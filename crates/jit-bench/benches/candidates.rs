@@ -1,0 +1,246 @@
+//! E2 + E5 + E6: the candidates generator itself.
+//!
+//! * **E2** — convergence: the paper claims the iterative algorithm
+//!   "converges after a small number of iterations"; we sweep beam width
+//!   `k ∈ {1, 4, 8, 16}` and report iterations-to-first-candidate and
+//!   success at a fixed iteration cap.
+//! * **E5** — diversity ablation: diverse vs greedy top-k and its effect
+//!   on canned-answer quality (§II-B's "diversity ensures … no
+//!   degradation").
+//! * **E6** — baselines: beam search vs random search vs greedy
+//!   coordinate ascent at a fixed model-evaluation budget.
+//!
+//! Run with: `cargo bench -p jit-bench --bench candidates`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jit_bench::{bench_generator, year_slices};
+use jit_constraints::set::domain_constraints;
+use jit_core::baselines::{greedy_coordinate, random_search, BaselineProblem};
+use jit_core::{CandidateParams, CandidatesGenerator, Objective};
+use jit_data::LendingClubGenerator;
+use jit_math::rng::Rng;
+use jit_math::{Matrix, Standardizer};
+use jit_ml::{Model, RandomForest, RandomForestParams};
+use std::hint::black_box;
+
+struct Fixture {
+    schema: jit_data::FeatureSchema,
+    model: RandomForest,
+    scales: Vec<f64>,
+    origin: Vec<f64>,
+    constraint: jit_constraints::BoundConstraint,
+}
+
+fn fixture() -> Fixture {
+    let gen = bench_generator(400);
+    let slices = year_slices(&gen);
+    let present = slices.last().unwrap();
+    let mut rng = Rng::seeded(11);
+    let model = RandomForest::fit(
+        present,
+        &RandomForestParams { n_trees: 20, ..Default::default() },
+        &mut rng,
+    );
+    let scales = Standardizer::fit(&Matrix::from_rows(present.rows()))
+        .stds()
+        .to_vec();
+    let schema = gen.schema().clone();
+    let (set, _) = domain_constraints(&schema);
+    let constraint = set.compile_at(0, &schema).unwrap();
+    Fixture { schema, model, scales, origin: LendingClubGenerator::john(), constraint }
+}
+
+fn generator<'a>(fx: &'a Fixture) -> CandidatesGenerator<'a> {
+    CandidatesGenerator {
+        model: &fx.model,
+        delta: 0.5,
+        origin: &fx.origin,
+        constraint: &fx.constraint,
+        schema: &fx.schema,
+        scales: &fx.scales,
+        time_index: 0,
+    }
+}
+
+/// E2: beam width sweep with a convergence shape table.
+fn bench_convergence(c: &mut Criterion) {
+    let fx = fixture();
+    let g = generator(&fx);
+
+    eprintln!("\n[E2] beam search convergence (d=6, lending forest)");
+    eprintln!(
+        "{:<6} {:>18} {:>12} {:>10}",
+        "k", "iters_to_first", "n_altering", "best_diff"
+    );
+    for k in [1usize, 4, 8, 16] {
+        // Find iterations-to-first-candidate by growing the cap.
+        let mut iters_to_first = None;
+        for iters in 1..=8 {
+            let params = CandidateParams {
+                beam_width: k,
+                max_iters: iters,
+                top_k: 8,
+                early_stop_after: 1,
+                ..Default::default()
+            };
+            if !g.generate(&params).is_empty() {
+                iters_to_first = Some(iters);
+                break;
+            }
+        }
+        let params = CandidateParams {
+            beam_width: k,
+            max_iters: 6,
+            top_k: 64,
+            early_stop_after: 0,
+            ..Default::default()
+        };
+        let all = g.generate(&params);
+        let best_diff = all
+            .iter()
+            .filter(|c| c.gap > 0)
+            .map(|c| c.diff)
+            .fold(f64::INFINITY, f64::min);
+        eprintln!(
+            "{:<6} {:>18} {:>12} {:>10.1}",
+            k,
+            iters_to_first.map_or("-".to_string(), |i| i.to_string()),
+            all.len(),
+            best_diff
+        );
+    }
+
+    let mut group = c.benchmark_group("e2_convergence");
+    group.sample_size(10);
+    for k in [1usize, 4, 8, 16] {
+        let params = CandidateParams { beam_width: k, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("beam_width", k), &params, |b, p| {
+            b.iter(|| black_box(g.generate(p).len()))
+        });
+    }
+    group.finish();
+}
+
+/// E5: diverse vs greedy top-k.
+fn bench_diversity(c: &mut Criterion) {
+    let fx = fixture();
+    let g = generator(&fx);
+
+    eprintln!("\n[E5] diversity ablation (top_k=8)");
+    eprintln!(
+        "{:<10} {:>12} {:>16} {:>14}",
+        "selection", "n", "mean_pair_dist", "best_diff"
+    );
+    for (label, lambda) in [("greedy", 0.0), ("diverse", 0.5)] {
+        let params = CandidateParams {
+            diversity_lambda: lambda,
+            top_k: 8,
+            ..Default::default()
+        };
+        let cands = g.generate(&params);
+        let mut dist = 0.0;
+        let mut pairs = 0usize;
+        for i in 0..cands.len() {
+            for j in (i + 1)..cands.len() {
+                dist += jit_math::distance::l2_diff(&cands[i].profile, &cands[j].profile);
+                pairs += 1;
+            }
+        }
+        let mean = if pairs == 0 { 0.0 } else { dist / pairs as f64 };
+        let best = cands
+            .iter()
+            .filter(|c| c.gap > 0)
+            .map(|c| c.diff)
+            .fold(f64::INFINITY, f64::min);
+        eprintln!("{:<10} {:>12} {:>16.1} {:>14.1}", label, cands.len(), mean, best);
+    }
+
+    let mut group = c.benchmark_group("e5_diversity");
+    group.sample_size(10);
+    for (label, lambda) in [("greedy", 0.0), ("diverse", 0.5)] {
+        let params = CandidateParams {
+            diversity_lambda: lambda,
+            top_k: 8,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("selection", label), &params, |b, p| {
+            b.iter(|| black_box(g.generate(p).len()))
+        });
+    }
+    group.finish();
+}
+
+/// E6: beam vs random vs greedy-coordinate at a fixed evaluation budget.
+fn bench_baselines(c: &mut Criterion) {
+    let fx = fixture();
+    let g = generator(&fx);
+    let problem = BaselineProblem {
+        model: &fx.model,
+        delta: 0.5,
+        origin: &fx.origin,
+        constraint: &fx.constraint,
+        schema: &fx.schema,
+        scales: &fx.scales,
+        time_index: 0,
+    };
+    const BUDGET: usize = 600;
+
+    eprintln!("\n[E6] counterfactual search baselines (budget {BUDGET} evals)");
+    eprintln!("{:<18} {:>8} {:>12} {:>12}", "method", "found", "best_diff", "gap");
+    {
+        let params = CandidateParams {
+            objective: Objective::MinDiff,
+            diversity_lambda: 0.0,
+            ..Default::default()
+        };
+        let beam = g.generate(&params);
+        let beam_best = beam.iter().find(|c| c.gap > 0);
+        eprintln!(
+            "{:<18} {:>8} {:>12} {:>12}",
+            "beam(ours)",
+            !beam.is_empty(),
+            beam_best.map_or("-".to_string(), |c| format!("{:.1}", c.diff)),
+            beam_best.map_or("-".to_string(), |c| c.gap.to_string()),
+        );
+        let mut rng = Rng::seeded(4);
+        let rand = random_search(&problem, BUDGET, &mut rng);
+        eprintln!(
+            "{:<18} {:>8} {:>12} {:>12}",
+            "random",
+            rand.best.is_some(),
+            rand.best.as_ref().map_or("-".to_string(), |c| format!("{:.1}", c.diff)),
+            rand.best.as_ref().map_or("-".to_string(), |c| c.gap.to_string()),
+        );
+        let greedy = greedy_coordinate(&problem, BUDGET);
+        eprintln!(
+            "{:<18} {:>8} {:>12} {:>12}",
+            "greedy-coordinate",
+            greedy.best.is_some(),
+            greedy.best.as_ref().map_or("-".to_string(), |c| format!("{:.1}", c.diff)),
+            greedy.best.as_ref().map_or("-".to_string(), |c| c.gap.to_string()),
+        );
+    }
+
+    let mut group = c.benchmark_group("e6_baselines");
+    group.sample_size(10);
+    group.bench_function("beam", |b| {
+        let params = CandidateParams { diversity_lambda: 0.0, ..Default::default() };
+        b.iter(|| black_box(g.generate(&params).len()))
+    });
+    group.bench_function("random", |b| {
+        b.iter(|| {
+            let mut rng = Rng::seeded(4);
+            black_box(random_search(&problem, BUDGET, &mut rng).best.is_some())
+        })
+    });
+    group.bench_function("greedy_coordinate", |b| {
+        b.iter(|| black_box(greedy_coordinate(&problem, BUDGET).best.is_some()))
+    });
+    group.finish();
+
+    // Sanity: the model must actually reject the origin, or E6 is vacuous.
+    assert!(fx.model.predict_proba(&fx.origin) <= 0.5);
+}
+
+criterion_group!(benches, bench_convergence, bench_diversity, bench_baselines);
+criterion_main!(benches);

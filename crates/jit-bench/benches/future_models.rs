@@ -1,0 +1,156 @@
+//! E4: quality of predicted future models.
+//!
+//! The paper adopts Lampert's EDD to predict future models; this bench
+//! quantifies the choice on the drifting lending workload. For each
+//! lead time `t ∈ {1, 2, 3}`, models are trained on 2007..2015 and
+//! evaluated on the *actual* 2015+t slice (which the generator can
+//! produce because the synthetic drift extends past the training window):
+//!
+//! * **oracle** — a forest trained on the true future slice (upper bound),
+//! * **edd** — the paper's method,
+//! * **param** — parameter extrapolation (Kumagai & Iwata-style),
+//! * **frozen** — the present model reused (the baseline to beat).
+//!
+//! Run with: `cargo bench -p jit-bench --bench future_models`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jit_bench::bench_generator;
+use jit_data::LendingClubGenerator;
+use jit_math::rng::Rng;
+use jit_ml::metrics::roc_auc;
+use jit_ml::{Dataset, Model, RandomForest, RandomForestParams};
+use jit_temporal::future::{
+    FutureModelsGenerator, FutureModelsParams, FuturePredictor,
+};
+use std::hint::black_box;
+
+fn auc_on(model: &dyn Model, data: &Dataset) -> f64 {
+    let scores: Vec<f64> = data.rows().iter().map(|r| model.predict_proba(r)).collect();
+    roc_auc(&scores, data.labels())
+}
+
+fn params_for(predictor: FuturePredictor, horizon: usize) -> FutureModelsParams {
+    FutureModelsParams {
+        horizon,
+        predictor,
+        n_landmarks: 60,
+        pool_slices: 4,
+        forest: RandomForestParams { n_trees: 20, ..Default::default() },
+        seed: 7,
+        ..Default::default()
+    }
+}
+
+fn bench_future_model_quality(c: &mut Criterion) {
+    let gen = bench_generator(400);
+    // History 2007..=2015; evaluation slices 2016..=2018.
+    let history: Vec<Dataset> = (2007..=2015)
+        .map(|y| LendingClubGenerator::to_dataset(&gen.records_for_year(y)))
+        .collect();
+    let horizon = 3usize;
+
+    let edd = FutureModelsGenerator::new(params_for(FuturePredictor::Edd, horizon))
+        .generate(&history)
+        .expect("edd generation");
+    let param =
+        FutureModelsGenerator::new(params_for(FuturePredictor::ParamExtrapolation, horizon))
+            .generate(&history)
+            .expect("param generation");
+    let frozen =
+        FutureModelsGenerator::new(params_for(FuturePredictor::Frozen, horizon))
+            .generate(&history)
+            .expect("frozen generation");
+
+    eprintln!("\n[E4] future model AUC on the *actual* future slice");
+    eprintln!(
+        "{:<8} {:>8} {:>8} {:>8} {:>8}",
+        "lead_t", "bayes", "edd", "param", "frozen"
+    );
+    for t in 1..=horizon {
+        let year = 2015 + t as u32;
+        let future = LendingClubGenerator::to_dataset(&gen.records_for_year(year));
+        // The Bayes ceiling: the generator's own approval probability
+        // scored against the sampled labels (irreducible label noise).
+        let bayes_scores: Vec<f64> = future
+            .rows()
+            .iter()
+            .map(|r| gen.oracle_probability(r, year))
+            .collect();
+        let bayes = roc_auc(&bayes_scores, future.labels());
+        eprintln!(
+            "{:<8} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            t,
+            bayes,
+            auc_on(edd[t].model.as_ref(), &future),
+            auc_on(param[t].model.as_ref(), &future),
+            auc_on(frozen[t].model.as_ref(), &future),
+        );
+    }
+
+    let mut group = c.benchmark_group("e4_future_models");
+    group.sample_size(10);
+    for (label, predictor) in [
+        ("edd", FuturePredictor::Edd),
+        ("param", FuturePredictor::ParamExtrapolation),
+        ("frozen", FuturePredictor::Frozen),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("generate", label),
+            &predictor,
+            |b, &p| {
+                b.iter(|| {
+                    let models = FutureModelsGenerator::new(params_for(p, horizon))
+                        .generate(black_box(&history))
+                        .expect("generation");
+                    black_box(models.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Substrate microbenches: forest training and embedding computation.
+fn bench_substrates(c: &mut Criterion) {
+    let gen = bench_generator(400);
+    let data = LendingClubGenerator::to_dataset(&gen.records_for_year(2015));
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(10);
+    group.bench_function("forest_fit_4800x6", |b| {
+        b.iter(|| {
+            let mut rng = Rng::seeded(3);
+            let f = RandomForest::fit(
+                black_box(&data),
+                &RandomForestParams { n_trees: 10, ..Default::default() },
+                &mut rng,
+            );
+            black_box(f.n_trees())
+        })
+    });
+    group.bench_function("forest_predict_1k", |b| {
+        let mut rng = Rng::seeded(3);
+        let f = RandomForest::fit(
+            &data,
+            &RandomForestParams { n_trees: 20, ..Default::default() },
+            &mut rng,
+        );
+        b.iter(|| {
+            let mut acc = 0.0;
+            for row in data.rows().iter().take(1000) {
+                acc += f.predict_proba(black_box(row));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("embedding_slice_400", |b| {
+        use jit_temporal::embedding::EmbeddingSpace;
+        let mut rng = Rng::seeded(5);
+        let slices = vec![data.clone()];
+        let space = EmbeddingSpace::fit(&slices, 60, &mut rng);
+        b.iter(|| black_box(space.embed(&data).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_future_model_quality, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! F2 (Figure 2): the six canned queries — result shapes and latency over
+//! a populated candidates database.
+//!
+//! Run with: `cargo bench -p jit-bench --bench queries`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jit_bench::{john_session, trained_system};
+use jit_core::CannedQuery;
+use std::hint::black_box;
+
+fn bench_canned_queries(c: &mut Criterion) {
+    let (system, _) = trained_system(200, 4, false);
+    let session = john_session(&system);
+
+    // Shape table: each query's answer on the John database.
+    eprintln!("\n[F2] canned queries over John's candidates database");
+    eprintln!(
+        "(candidates: {}, temporal inputs: {})",
+        session.db().row_count("candidates").unwrap(),
+        session.db().row_count("temporal_inputs").unwrap()
+    );
+    for q in CannedQuery::catalogue() {
+        match session.run(&q) {
+            Ok(insight) => eprintln!("  {}: {}", q.id(), insight.headline),
+            Err(e) => eprintln!("  {}: ERROR {e}", q.id()),
+        }
+    }
+
+    let mut group = c.benchmark_group("f2_canned_queries");
+    for q in CannedQuery::catalogue() {
+        group.bench_with_input(BenchmarkId::new("sql", q.id()), &q, |b, q| {
+            let sql = q.sql();
+            b.iter(|| black_box(session.sql(&sql).expect("query runs").len()))
+        });
+    }
+    group.finish();
+}
+
+/// Scaling: Q3 (the correlated-EXISTS join query) vs candidates-table size.
+fn bench_q3_scaling(c: &mut Criterion) {
+    use jit_core::tables;
+    use jit_core::Candidate;
+    use jit_data::FeatureSchema;
+    use jit_db::Database;
+    use jit_math::rng::Rng;
+
+    let schema = FeatureSchema::lending_club();
+    let q3 = CannedQuery::DominantFeature { feature: "income".to_string() };
+    let mut group = c.benchmark_group("f2_q3_scaling");
+    group.sample_size(10);
+    for n in [100usize, 400, 1600] {
+        let db = Database::new();
+        tables::create_tables(&db, &schema).unwrap();
+        let horizon = 9usize;
+        let mut rng = Rng::seeded(42);
+        let inputs: Vec<Vec<f64>> = (0..=horizon)
+            .map(|t| vec![29.0 + t as f64, 0.0, 46_000.0, 2_300.0, 4.0, 24_000.0])
+            .collect();
+        tables::insert_temporal_inputs(&db, &inputs).unwrap();
+        let candidates: Vec<Candidate> = (0..n)
+            .map(|i| {
+                let t = i % (horizon + 1);
+                let gap = rng.below(3);
+                Candidate {
+                    time_index: t,
+                    profile: vec![
+                        29.0 + t as f64,
+                        0.0,
+                        46_000.0 + rng.uniform(-2_000.0, 8_000.0),
+                        2_300.0,
+                        4.0,
+                        24_000.0,
+                    ],
+                    gap,
+                    diff: rng.uniform(0.0, 5_000.0),
+                    confidence: rng.uniform(0.4, 0.95),
+                }
+            })
+            .collect();
+        tables::insert_candidates(&db, &candidates).unwrap();
+        group.bench_with_input(BenchmarkId::new("rows", n), &db, |b, db| {
+            let sql = q3.sql();
+            b.iter(|| black_box(db.execute(&sql).expect("query runs").len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_canned_queries, bench_q3_scaling);
+criterion_main!(benches);

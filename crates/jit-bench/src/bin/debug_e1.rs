@@ -1,0 +1,78 @@
+//! Diagnostic for the E1 bench: prints the static and temporal plans of a
+//! few John-cohort applicants with their oracle transfer scores.
+
+use jit_bench::{bench_config, year_slices};
+use jit_constraints::ConstraintSet;
+use jit_core::JustInTime;
+use jit_data::{LendingClubGenerator, LendingClubParams};
+
+fn main() {
+    let gen = LendingClubGenerator::new(LendingClubParams {
+        records_per_year: 400,
+        oracle_sharpness: 5.0,
+        ..Default::default()
+    });
+    let slices = year_slices(&gen);
+    let schema = gen.schema().clone();
+    let system = JustInTime::train(bench_config(3, false), &schema, &slices).unwrap();
+
+    let cohort_gen = LendingClubGenerator::new(LendingClubParams {
+        records_per_year: 4_000,
+        oracle_sharpness: 5.0,
+        ..Default::default()
+    });
+    let applicants: Vec<Vec<f64>> = jit_bench::rejected_cohort(&cohort_gen, 2018, usize::MAX)
+        .into_iter()
+        .filter(|p| (28.0..=29.0).contains(&p[0]))
+        .take(6)
+        .collect();
+
+    let fmt = |p: &[f64]| -> String {
+        format!(
+            "age={} own={} inc={:.0} debt={:.0} sen={} loan={:.0}",
+            p[0], p[1], p[2], p[3], p[4], p[5]
+        )
+    };
+
+    for profile in &applicants {
+        let session = system.session(profile, &ConstraintSet::new(), None).unwrap();
+        let update = system.default_update_fn();
+        let projected = update.project(profile, 2);
+        println!("applicant: {}", fmt(profile));
+        println!("  oracle p(2018) = {:.3}", gen.oracle_probability(profile, 2018));
+        println!("  projected t=2:  {}", fmt(&projected));
+        println!(
+            "  oracle p(2020) unmodified projected = {:.3}",
+            gen.oracle_probability(&projected, 2020)
+        );
+
+        for (label, sql) in [
+            ("static q5", "SELECT * FROM candidates WHERE time = 0 ORDER BY p DESC LIMIT 1"),
+            ("temporal q5", "SELECT * FROM candidates WHERE time = 2 ORDER BY p DESC LIMIT 1"),
+        ] {
+            let rs = session.sql(sql).unwrap();
+            let Some(cand) = rs.rows.first().and_then(|r| {
+                jit_core::tables::candidate_from_row(&schema, &rs.columns, r)
+            }) else {
+                println!("  {label}: no candidate");
+                continue;
+            };
+            let eval_profile = if label.starts_with("static") {
+                let mut replayed = projected.clone();
+                for f in 0..schema.dim() {
+                    replayed[f] += cand.profile[f] - profile[f];
+                }
+                schema.sanitize_row(&replayed)
+            } else {
+                cand.profile.clone()
+            };
+            println!(
+                "  {label}: plan {} | model_p={:.2} -> oracle p(2020)={:.3}",
+                fmt(&eval_profile),
+                cand.confidence,
+                gen.oracle_probability(&eval_profile, 2020)
+            );
+        }
+        println!();
+    }
+}

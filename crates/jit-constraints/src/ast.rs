@@ -1,0 +1,698 @@
+//! Constraint abstract syntax and evaluation.
+//!
+//! A constraint is a boolean combination of comparisons between *linear
+//! expressions*. Linear expressions range over feature names, the three
+//! special properties (`diff`, `gap`, `confidence`) and constants. Name
+//! resolution is deferred: a [`Constraint`] carries names and becomes a
+//! [`BoundConstraint`] (carrying vector indices) once bound to a schema.
+
+use jit_data::FeatureSchema;
+use jit_math::distance::{l0_gap, l2_diff};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The paper's special candidate properties (§II-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Special {
+    /// l2 distance of the candidate from the (time-updated) input.
+    Diff,
+    /// l0 distance: number of modified attributes.
+    Gap,
+    /// The model score `M(x')` of the candidate.
+    Confidence,
+}
+
+impl fmt::Display for Special {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Special::Diff => write!(f, "diff"),
+            Special::Gap => write!(f, "gap"),
+            Special::Confidence => write!(f, "confidence"),
+        }
+    }
+}
+
+/// A variable reference inside a linear expression.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum VarRef {
+    /// A feature, by name (unbound) — resolved against a schema.
+    Feature(String),
+    /// One of the special properties.
+    Special(Special),
+}
+
+impl fmt::Display for VarRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VarRef::Feature(name) => write!(f, "{name}"),
+            VarRef::Special(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A linear expression `Σ coeff·var + constant`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinExpr {
+    /// Coefficients per variable; kept sorted by variable for canonical
+    /// printing. Zero coefficients are pruned.
+    coeffs: BTreeMap<VarRef, f64>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The constant expression `c`.
+    pub fn constant(c: f64) -> Self {
+        LinExpr { coeffs: BTreeMap::new(), constant: c }
+    }
+
+    /// The expression `1·var`.
+    pub fn var(v: VarRef) -> Self {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(v, 1.0);
+        LinExpr { coeffs, constant: 0.0 }
+    }
+
+    /// A single feature by name.
+    pub fn feature(name: &str) -> Self {
+        LinExpr::var(VarRef::Feature(name.to_string()))
+    }
+
+    /// The `diff` special.
+    pub fn diff() -> Self {
+        LinExpr::var(VarRef::Special(Special::Diff))
+    }
+
+    /// The `gap` special.
+    pub fn gap() -> Self {
+        LinExpr::var(VarRef::Special(Special::Gap))
+    }
+
+    /// The `confidence` special.
+    pub fn confidence() -> Self {
+        LinExpr::var(VarRef::Special(Special::Confidence))
+    }
+
+    /// Adds another linear expression.
+    pub fn plus(mut self, other: LinExpr) -> Self {
+        for (v, c) in other.coeffs {
+            *self.coeffs.entry(v).or_insert(0.0) += c;
+        }
+        self.constant += other.constant;
+        self.prune();
+        self
+    }
+
+    /// Subtracts another linear expression.
+    pub fn minus(self, other: LinExpr) -> Self {
+        self.plus(other.times(-1.0))
+    }
+
+    /// Scales by a constant.
+    pub fn times(mut self, s: f64) -> Self {
+        for c in self.coeffs.values_mut() {
+            *c *= s;
+        }
+        self.constant *= s;
+        self.prune();
+        self
+    }
+
+    /// Adds a constant offset.
+    pub fn offset(mut self, c: f64) -> Self {
+        self.constant += c;
+        self
+    }
+
+    fn prune(&mut self) {
+        self.coeffs.retain(|_, c| *c != 0.0);
+    }
+
+    /// The constant part.
+    pub fn constant_part(&self) -> f64 {
+        self.constant
+    }
+
+    /// Iterates `(var, coeff)` pairs in canonical order.
+    pub fn terms(&self) -> impl Iterator<Item = (&VarRef, f64)> + '_ {
+        self.coeffs.iter().map(|(v, c)| (v, *c))
+    }
+
+    /// Names of features mentioned in the expression.
+    pub fn feature_names(&self) -> Vec<&str> {
+        self.coeffs
+            .keys()
+            .filter_map(|v| match v {
+                VarRef::Feature(name) => Some(name.as_str()),
+                VarRef::Special(_) => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.coeffs {
+            if first {
+                if c == &1.0 {
+                    write!(f, "{v}")?;
+                } else if c == &-1.0 {
+                    write!(f, "-{v}")?;
+                } else {
+                    write!(f, "{c} * {v}")?;
+                }
+                first = false;
+            } else if *c >= 0.0 {
+                if c == &1.0 {
+                    write!(f, " + {v}")?;
+                } else {
+                    write!(f, " + {c} * {v}")?;
+                }
+            } else if c == &-1.0 {
+                write!(f, " - {v}")?;
+            } else {
+                write!(f, " - {} * {v}", -c)?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0.0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0.0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `=` (within tolerance)
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Le => "<=",
+            CmpOp::Lt => "<",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Tolerance for `=` / `!=` comparisons between floats.
+pub const EQ_TOLERANCE: f64 = 1e-9;
+
+impl CmpOp {
+    /// Applies the comparison to evaluated sides.
+    pub fn apply(&self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            CmpOp::Le => lhs <= rhs + EQ_TOLERANCE,
+            CmpOp::Lt => lhs < rhs - EQ_TOLERANCE,
+            CmpOp::Ge => lhs >= rhs - EQ_TOLERANCE,
+            CmpOp::Gt => lhs > rhs + EQ_TOLERANCE,
+            CmpOp::Eq => (lhs - rhs).abs() <= EQ_TOLERANCE,
+            CmpOp::Ne => (lhs - rhs).abs() > EQ_TOLERANCE,
+        }
+    }
+}
+
+/// A boolean combination of linear comparisons (paper §II-A: linear
+/// inequalities joined by conjunctions and disjunctions).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Constraint {
+    /// Always satisfied.
+    True,
+    /// `lhs op rhs`.
+    Cmp {
+        /// Left-hand linear expression.
+        lhs: LinExpr,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand linear expression.
+        rhs: LinExpr,
+    },
+    /// Conjunction.
+    And(Vec<Constraint>),
+    /// Disjunction.
+    Or(Vec<Constraint>),
+    /// Negation.
+    Not(Box<Constraint>),
+}
+
+impl Constraint {
+    /// Conjunction of `self` and `other` (flattens nested Ands).
+    pub fn and(self, other: Constraint) -> Constraint {
+        match (self, other) {
+            (Constraint::True, o) => o,
+            (s, Constraint::True) => s,
+            (Constraint::And(mut a), Constraint::And(b)) => {
+                a.extend(b);
+                Constraint::And(a)
+            }
+            (Constraint::And(mut a), o) => {
+                a.push(o);
+                Constraint::And(a)
+            }
+            (s, Constraint::And(mut b)) => {
+                b.insert(0, s);
+                Constraint::And(b)
+            }
+            (s, o) => Constraint::And(vec![s, o]),
+        }
+    }
+
+    /// Disjunction of `self` and `other` (flattens nested Ors).
+    pub fn or(self, other: Constraint) -> Constraint {
+        match (self, other) {
+            (Constraint::Or(mut a), Constraint::Or(b)) => {
+                a.extend(b);
+                Constraint::Or(a)
+            }
+            (Constraint::Or(mut a), o) => {
+                a.push(o);
+                Constraint::Or(a)
+            }
+            (s, Constraint::Or(mut b)) => {
+                b.insert(0, s);
+                Constraint::Or(b)
+            }
+            (s, o) => Constraint::Or(vec![s, o]),
+        }
+    }
+
+    /// Logical negation.
+    pub fn negate(self) -> Constraint {
+        Constraint::Not(Box::new(self))
+    }
+
+    /// All feature names mentioned anywhere in the constraint.
+    pub fn feature_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_names(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_names(&self, out: &mut Vec<String>) {
+        match self {
+            Constraint::True => {}
+            Constraint::Cmp { lhs, rhs, .. } => {
+                out.extend(lhs.feature_names().iter().map(|s| s.to_string()));
+                out.extend(rhs.feature_names().iter().map(|s| s.to_string()));
+            }
+            Constraint::And(cs) | Constraint::Or(cs) => {
+                for c in cs {
+                    c.collect_names(out);
+                }
+            }
+            Constraint::Not(c) => c.collect_names(out),
+        }
+    }
+
+    /// Resolves feature names to schema indices, producing an evaluatable
+    /// [`BoundConstraint`].
+    ///
+    /// # Errors
+    /// Returns the offending name when it is not in the schema.
+    pub fn bind(&self, schema: &FeatureSchema) -> Result<BoundConstraint, UnknownFeature> {
+        Ok(BoundConstraint { node: self.bind_node(schema)? })
+    }
+
+    fn bind_node(&self, schema: &FeatureSchema) -> Result<BoundNode, UnknownFeature> {
+        Ok(match self {
+            Constraint::True => BoundNode::True,
+            Constraint::Cmp { lhs, op, rhs } => BoundNode::Cmp {
+                lhs: bind_expr(lhs, schema)?,
+                op: *op,
+                rhs: bind_expr(rhs, schema)?,
+            },
+            Constraint::And(cs) => BoundNode::And(
+                cs.iter().map(|c| c.bind_node(schema)).collect::<Result<_, _>>()?,
+            ),
+            Constraint::Or(cs) => BoundNode::Or(
+                cs.iter().map(|c| c.bind_node(schema)).collect::<Result<_, _>>()?,
+            ),
+            Constraint::Not(c) => BoundNode::Not(Box::new(c.bind_node(schema)?)),
+        })
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::True => write!(f, "true"),
+            Constraint::Cmp { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Constraint::And(cs) => {
+                let parts: Vec<String> = cs.iter().map(|c| format!("({c})")).collect();
+                write!(f, "{}", parts.join(" and "))
+            }
+            Constraint::Or(cs) => {
+                let parts: Vec<String> = cs.iter().map(|c| format!("({c})")).collect();
+                write!(f, "{}", parts.join(" or "))
+            }
+            Constraint::Not(c) => write!(f, "not ({c})"),
+        }
+    }
+}
+
+/// Error: a constraint referenced a feature the schema does not define.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownFeature(pub String);
+
+impl fmt::Display for UnknownFeature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown feature {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownFeature {}
+
+/// A bound variable: features resolved to indices.
+#[derive(Clone, Debug)]
+enum BoundVar {
+    Feature(usize),
+    Special(Special),
+}
+
+#[derive(Clone, Debug)]
+struct BoundExpr {
+    terms: Vec<(BoundVar, f64)>,
+    constant: f64,
+}
+
+fn bind_expr(e: &LinExpr, schema: &FeatureSchema) -> Result<BoundExpr, UnknownFeature> {
+    let mut terms = Vec::new();
+    for (v, c) in e.terms() {
+        let bv = match v {
+            VarRef::Feature(name) => BoundVar::Feature(
+                schema
+                    .index_of(name)
+                    .ok_or_else(|| UnknownFeature(name.clone()))?,
+            ),
+            VarRef::Special(s) => BoundVar::Special(*s),
+        };
+        terms.push((bv, c));
+    }
+    Ok(BoundExpr { terms, constant: e.constant_part() })
+}
+
+#[derive(Clone, Debug)]
+enum BoundNode {
+    True,
+    Cmp { lhs: BoundExpr, op: CmpOp, rhs: BoundExpr },
+    And(Vec<BoundNode>),
+    Or(Vec<BoundNode>),
+    Not(Box<BoundNode>),
+}
+
+/// The evaluation context for a candidate modification at one time point.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalContext<'a> {
+    /// The candidate profile `x'`.
+    pub candidate: &'a [f64],
+    /// The (time-updated) original profile `x_t` that `diff`/`gap` are
+    /// measured against.
+    pub original: &'a [f64],
+    /// The model score `M_t(x')`.
+    pub confidence: f64,
+}
+
+impl<'a> EvalContext<'a> {
+    fn special(&self, s: Special) -> f64 {
+        match s {
+            Special::Diff => l2_diff(self.candidate, self.original),
+            Special::Gap => l0_gap(self.candidate, self.original) as f64,
+            Special::Confidence => self.confidence,
+        }
+    }
+}
+
+/// A schema-bound, evaluatable constraint.
+#[derive(Clone, Debug)]
+pub struct BoundConstraint {
+    node: BoundNode,
+}
+
+impl BoundConstraint {
+    /// The always-true constraint.
+    pub fn always() -> Self {
+        BoundConstraint { node: BoundNode::True }
+    }
+
+    /// Evaluates the constraint for a candidate.
+    pub fn eval(&self, ctx: &EvalContext<'_>) -> bool {
+        eval_node(&self.node, ctx)
+    }
+}
+
+fn eval_expr(e: &BoundExpr, ctx: &EvalContext<'_>) -> f64 {
+    let mut v = e.constant;
+    for (var, c) in &e.terms {
+        let x = match var {
+            BoundVar::Feature(i) => ctx.candidate[*i],
+            BoundVar::Special(s) => ctx.special(*s),
+        };
+        v += c * x;
+    }
+    v
+}
+
+fn eval_node(n: &BoundNode, ctx: &EvalContext<'_>) -> bool {
+    match n {
+        BoundNode::True => true,
+        BoundNode::Cmp { lhs, op, rhs } => op.apply(eval_expr(lhs, ctx), eval_expr(rhs, ctx)),
+        BoundNode::And(cs) => cs.iter().all(|c| eval_node(c, ctx)),
+        BoundNode::Or(cs) => cs.iter().any(|c| eval_node(c, ctx)),
+        BoundNode::Not(c) => !eval_node(c, ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> FeatureSchema {
+        FeatureSchema::lending_club()
+    }
+
+    fn ctx<'a>(candidate: &'a [f64], original: &'a [f64], conf: f64) -> EvalContext<'a> {
+        EvalContext { candidate, original, confidence: conf }
+    }
+
+    const ORIGINAL: [f64; 6] = [29.0, 0.0, 46_000.0, 2_300.0, 4.0, 24_000.0];
+
+    #[test]
+    fn simple_comparison() {
+        let c = Constraint::Cmp {
+            lhs: LinExpr::feature("income"),
+            op: CmpOp::Le,
+            rhs: LinExpr::constant(50_000.0),
+        };
+        let b = c.bind(&schema()).unwrap();
+        assert!(b.eval(&ctx(&ORIGINAL, &ORIGINAL, 0.5)));
+        let mut richer = ORIGINAL;
+        richer[2] = 60_000.0;
+        assert!(!b.eval(&ctx(&richer, &ORIGINAL, 0.5)));
+    }
+
+    #[test]
+    fn linear_combination() {
+        // income - 20 * debt >= 0
+        let c = Constraint::Cmp {
+            lhs: LinExpr::feature("income")
+                .minus(LinExpr::feature("debt").times(20.0)),
+            op: CmpOp::Ge,
+            rhs: LinExpr::constant(0.0),
+        };
+        let b = c.bind(&schema()).unwrap();
+        assert!(b.eval(&ctx(&ORIGINAL, &ORIGINAL, 0.5))); // 46000-46000 >= 0
+        let mut deeper = ORIGINAL;
+        deeper[3] = 3_000.0;
+        assert!(!b.eval(&ctx(&deeper, &ORIGINAL, 0.5)));
+    }
+
+    #[test]
+    fn specials_evaluate() {
+        let candidate = [29.0, 0.0, 50_000.0, 2_300.0, 4.0, 24_000.0];
+        // gap = 1 (income changed), diff = 4000.
+        let gap_le_1 = Constraint::Cmp {
+            lhs: LinExpr::gap(),
+            op: CmpOp::Le,
+            rhs: LinExpr::constant(1.0),
+        }
+        .bind(&schema())
+        .unwrap();
+        let diff_le = Constraint::Cmp {
+            lhs: LinExpr::diff(),
+            op: CmpOp::Le,
+            rhs: LinExpr::constant(4_500.0),
+        }
+        .bind(&schema())
+        .unwrap();
+        let conf_gt = Constraint::Cmp {
+            lhs: LinExpr::confidence(),
+            op: CmpOp::Gt,
+            rhs: LinExpr::constant(0.6),
+        }
+        .bind(&schema())
+        .unwrap();
+        let c = ctx(&candidate, &ORIGINAL, 0.7);
+        assert!(gap_le_1.eval(&c));
+        assert!(diff_le.eval(&c));
+        assert!(conf_gt.eval(&c));
+        let c_low = ctx(&candidate, &ORIGINAL, 0.5);
+        assert!(!conf_gt.eval(&c_low));
+    }
+
+    #[test]
+    fn and_or_not_semantics() {
+        let t = Constraint::True;
+        let f = Constraint::Cmp {
+            lhs: LinExpr::constant(1.0),
+            op: CmpOp::Lt,
+            rhs: LinExpr::constant(0.0),
+        };
+        let s = schema();
+        let c = ctx(&ORIGINAL, &ORIGINAL, 0.5);
+        assert!(t.clone().and(Constraint::True).bind(&s).unwrap().eval(&c));
+        assert!(!t.clone().and(f.clone()).bind(&s).unwrap().eval(&c));
+        assert!(f.clone().or(t.clone()).bind(&s).unwrap().eval(&c));
+        assert!(!f.clone().or(f.clone()).bind(&s).unwrap().eval(&c));
+        assert!(f.clone().negate().bind(&s).unwrap().eval(&c));
+        assert!(!t.negate().bind(&s).unwrap().eval(&c));
+    }
+
+    #[test]
+    fn and_flattening() {
+        let leaf = || Constraint::Cmp {
+            lhs: LinExpr::constant(0.0),
+            op: CmpOp::Le,
+            rhs: LinExpr::constant(1.0),
+        };
+        let c = leaf().and(leaf()).and(leaf());
+        match c {
+            Constraint::And(v) => assert_eq!(v.len(), 3),
+            other => panic!("expected flattened And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conjunction_subset_of_conjuncts() {
+        // A conjunction can only be satisfied when every conjunct is.
+        let a = Constraint::Cmp {
+            lhs: LinExpr::feature("income"),
+            op: CmpOp::Ge,
+            rhs: LinExpr::constant(40_000.0),
+        };
+        let b = Constraint::Cmp {
+            lhs: LinExpr::feature("debt"),
+            op: CmpOp::Le,
+            rhs: LinExpr::constant(2_000.0),
+        };
+        let s = schema();
+        let both = a.clone().and(b.clone()).bind(&s).unwrap();
+        let ba = a.bind(&s).unwrap();
+        let bb = b.bind(&s).unwrap();
+        let c = ctx(&ORIGINAL, &ORIGINAL, 0.5);
+        if both.eval(&c) {
+            assert!(ba.eval(&c) && bb.eval(&c));
+        }
+        // ORIGINAL has debt 2300 > 2000, so conjunction must fail.
+        assert!(!both.eval(&c));
+        assert!(ba.eval(&c));
+    }
+
+    #[test]
+    fn unknown_feature_error() {
+        let c = Constraint::Cmp {
+            lhs: LinExpr::feature("credit_score"),
+            op: CmpOp::Le,
+            rhs: LinExpr::constant(1.0),
+        };
+        let err = c.bind(&schema()).unwrap_err();
+        assert_eq!(err, UnknownFeature("credit_score".to_string()));
+    }
+
+    #[test]
+    fn eq_uses_tolerance() {
+        assert!(CmpOp::Eq.apply(1.0, 1.0 + 1e-12));
+        assert!(!CmpOp::Eq.apply(1.0, 1.1));
+        assert!(CmpOp::Ne.apply(1.0, 1.1));
+    }
+
+    #[test]
+    fn strict_ops_exclude_equality() {
+        assert!(!CmpOp::Lt.apply(1.0, 1.0));
+        assert!(!CmpOp::Gt.apply(1.0, 1.0));
+        assert!(CmpOp::Le.apply(1.0, 1.0));
+        assert!(CmpOp::Ge.apply(1.0, 1.0));
+    }
+
+    #[test]
+    fn feature_names_collected() {
+        let c = Constraint::Cmp {
+            lhs: LinExpr::feature("income").plus(LinExpr::feature("debt")),
+            op: CmpOp::Le,
+            rhs: LinExpr::feature("income"), // duplicate on purpose
+        }
+        .and(Constraint::Cmp {
+            lhs: LinExpr::gap(),
+            op: CmpOp::Le,
+            rhs: LinExpr::constant(2.0),
+        });
+        assert_eq!(c.feature_names(), vec!["debt".to_string(), "income".to_string()]);
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let c = Constraint::Cmp {
+            lhs: LinExpr::feature("income").minus(LinExpr::feature("debt").times(2.0)),
+            op: CmpOp::Ge,
+            rhs: LinExpr::constant(1_000.0),
+        };
+        let s = format!("{c}");
+        assert!(s.contains("income"), "{s}");
+        assert!(s.contains(">="), "{s}");
+        assert!(s.contains("2 * debt"), "{s}");
+    }
+
+    #[test]
+    fn linexpr_algebra() {
+        let e = LinExpr::feature("a")
+            .plus(LinExpr::feature("a"))
+            .plus(LinExpr::constant(3.0))
+            .times(2.0);
+        // 2*(a + a + 3) = 4a + 6
+        let terms: Vec<(String, f64)> = e
+            .terms()
+            .map(|(v, c)| (format!("{v}"), c))
+            .collect();
+        assert_eq!(terms, vec![("a".to_string(), 4.0)]);
+        assert_eq!(e.constant_part(), 6.0);
+    }
+
+    #[test]
+    fn linexpr_cancellation_prunes() {
+        let e = LinExpr::feature("a").minus(LinExpr::feature("a"));
+        assert_eq!(e.terms().count(), 0);
+        assert_eq!(format!("{e}"), "0");
+    }
+}

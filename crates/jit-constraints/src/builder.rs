@@ -1,0 +1,202 @@
+//! Fluent programmatic construction of constraints.
+//!
+//! The demo UI's *Personal Preferences* screen produces exactly these
+//! shapes: "income can rise at most 10%", "don't touch my address",
+//! "at most two features changed". Example:
+//!
+//! ```
+//! use jit_constraints::builder::*;
+//!
+//! let prefs = feature("income")
+//!     .le(55_000.0)
+//!     .and(gap().le(2.0))
+//!     .and(feature("debt").ge(0.0).or(feature("household").eq(1.0)));
+//! ```
+
+use crate::ast::{CmpOp, Constraint, LinExpr};
+
+/// Starts a linear expression from a feature name.
+pub fn feature(name: &str) -> Expr {
+    Expr(LinExpr::feature(name))
+}
+
+/// Starts a linear expression from a constant.
+pub fn constant(v: f64) -> Expr {
+    Expr(LinExpr::constant(v))
+}
+
+/// The `diff` special (l2 distance from the input).
+pub fn diff() -> Expr {
+    Expr(LinExpr::diff())
+}
+
+/// The `gap` special (number of modified attributes).
+pub fn gap() -> Expr {
+    Expr(LinExpr::gap())
+}
+
+/// The `confidence` special (model score).
+pub fn confidence() -> Expr {
+    Expr(LinExpr::confidence())
+}
+
+/// A linear expression under construction.
+#[derive(Clone, Debug)]
+pub struct Expr(LinExpr);
+
+impl Expr {
+    /// `self + other`.
+    pub fn plus(self, other: impl IntoExpr) -> Expr {
+        Expr(self.0.plus(other.into_expr().0))
+    }
+
+    /// `self - other`.
+    pub fn minus(self, other: impl IntoExpr) -> Expr {
+        Expr(self.0.minus(other.into_expr().0))
+    }
+
+    /// `c * self`.
+    pub fn times(self, c: f64) -> Expr {
+        Expr(self.0.times(c))
+    }
+
+    /// `self <= rhs`.
+    pub fn le(self, rhs: impl IntoExpr) -> Constraint {
+        self.cmp(CmpOp::Le, rhs)
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: impl IntoExpr) -> Constraint {
+        self.cmp(CmpOp::Lt, rhs)
+    }
+
+    /// `self >= rhs`.
+    pub fn ge(self, rhs: impl IntoExpr) -> Constraint {
+        self.cmp(CmpOp::Ge, rhs)
+    }
+
+    /// `self > rhs`.
+    pub fn gt(self, rhs: impl IntoExpr) -> Constraint {
+        self.cmp(CmpOp::Gt, rhs)
+    }
+
+    /// `self = rhs` (within tolerance).
+    pub fn eq(self, rhs: impl IntoExpr) -> Constraint {
+        self.cmp(CmpOp::Eq, rhs)
+    }
+
+    /// `self != rhs`.
+    pub fn ne(self, rhs: impl IntoExpr) -> Constraint {
+        self.cmp(CmpOp::Ne, rhs)
+    }
+
+    /// `lo <= self <= hi`.
+    pub fn between(self, lo: f64, hi: f64) -> Constraint {
+        self.clone().ge(lo).and(self.le(hi))
+    }
+
+    fn cmp(self, op: CmpOp, rhs: impl IntoExpr) -> Constraint {
+        Constraint::Cmp { lhs: self.0, op, rhs: rhs.into_expr().0 }
+    }
+}
+
+/// Anything convertible to an [`Expr`] — expressions themselves and bare
+/// numbers.
+pub trait IntoExpr {
+    /// Performs the conversion.
+    fn into_expr(self) -> Expr;
+}
+
+impl IntoExpr for Expr {
+    fn into_expr(self) -> Expr {
+        self
+    }
+}
+
+impl IntoExpr for f64 {
+    fn into_expr(self) -> Expr {
+        constant(self)
+    }
+}
+
+impl IntoExpr for i64 {
+    fn into_expr(self) -> Expr {
+        constant(self as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::EvalContext;
+    use jit_data::FeatureSchema;
+
+    const X: [f64; 6] = [29.0, 0.0, 46_000.0, 2_300.0, 4.0, 24_000.0];
+
+    fn check(c: &Constraint, candidate: &[f64], conf: f64) -> bool {
+        c.bind(&FeatureSchema::lending_club())
+            .unwrap()
+            .eval(&EvalContext { candidate, original: &X, confidence: conf })
+    }
+
+    #[test]
+    fn builder_simple() {
+        let c = feature("income").le(50_000.0);
+        assert!(check(&c, &X, 0.5));
+        let c = feature("income").gt(50_000.0);
+        assert!(!check(&c, &X, 0.5));
+    }
+
+    #[test]
+    fn builder_arithmetic() {
+        // income - 10*debt >= 23000
+        let c = feature("income").minus(feature("debt").times(10.0)).ge(23_000.0);
+        assert!(check(&c, &X, 0.5));
+    }
+
+    #[test]
+    fn builder_between() {
+        let c = feature("age").between(25.0, 35.0);
+        assert!(check(&c, &X, 0.5));
+        let c = feature("age").between(30.0, 35.0);
+        assert!(!check(&c, &X, 0.5));
+    }
+
+    #[test]
+    fn builder_specials_and_logic() {
+        let mut cand = X;
+        cand[2] = 47_000.0;
+        let c = gap()
+            .le(1.0)
+            .and(diff().le(1_500.0))
+            .and(confidence().ge(0.6).or(feature("household").eq(0.0)));
+        assert!(check(&c, &cand, 0.3)); // confidence low but household = 0
+        cand[1] = 1.0;
+        assert!(!check(&c, &cand, 0.3)); // gap now 2
+    }
+
+    #[test]
+    fn builder_matches_parser() {
+        let built = feature("income")
+            .minus(feature("debt").times(2.0))
+            .ge(1_000.0)
+            .and(gap().le(2.0));
+        let parsed =
+            crate::parse::parse_constraint("income - 2 * debt >= 1000 and gap <= 2")
+                .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn int_coercion() {
+        let c = feature("age").ge(29);
+        assert!(check(&c, &X, 0.5));
+    }
+
+    #[test]
+    fn expr_plus_combines() {
+        // income + 12*debt <= 80000: 46000 + 27600 = 73600.
+        let c = feature("income").plus(feature("debt").times(12.0)).le(80_000.0);
+        assert!(check(&c, &X, 0.5));
+    }
+}

@@ -1,0 +1,36 @@
+//! # jit-constraints
+//!
+//! The constraints language of JustInTime (paper Definition II.2).
+//!
+//! A *constraints function* `C` maps an input profile `x` to the set
+//! `C(x) ⊆ R^d` of modifications the user/domain considers valid. In the
+//! paper, constraints are "any number of linear inequalities joined by
+//! conjunctions and disjunctions, over any subset of attributes", plus
+//! three special properties of a candidate `x'`:
+//!
+//! * `diff` — the l2 distance `‖x' − x‖₂`,
+//! * `gap` — the l0 distance (number of modified attributes),
+//! * `confidence` — the model score `M(x')`.
+//!
+//! This crate provides:
+//!
+//! * an [`ast`] of linear expressions and boolean combinations;
+//! * a [`parse`]r for a human-friendly textual form
+//!   (`"income <= 80000 and (gap <= 2 or diff <= 1500)"`);
+//! * a [`builder`] API for programmatic construction;
+//! * [`set`] — time-scoped constraint collections
+//!   ([`set::ConstraintSet`]), the admin/user conjunction of §II-B, and
+//!   derivation of *domain constraints* from a feature schema (bounds and
+//!   immutability).
+//!
+//! Constraints are written over feature *names* and bound to vector indices
+//! against a [`jit_data::FeatureSchema`] before evaluation.
+
+pub mod ast;
+pub mod builder;
+pub mod parse;
+pub mod set;
+
+pub use ast::{BoundConstraint, CmpOp, Constraint, EvalContext, LinExpr, Special, VarRef};
+pub use parse::{parse_constraint, ParseError};
+pub use set::{ConstraintSet, ScopedConstraint, TimeScope};

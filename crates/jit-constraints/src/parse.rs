@@ -1,0 +1,531 @@
+//! Textual constraint parser.
+//!
+//! Grammar (whitespace-insensitive, keywords case-insensitive):
+//!
+//! ```text
+//! constraint := or_expr
+//! or_expr    := and_expr ( "or" and_expr )*
+//! and_expr   := unary ( "and" unary )*
+//! unary      := "not" unary | "(" constraint ")" | comparison | "true"
+//! comparison := linexpr cmp linexpr
+//! cmp        := "<=" | "<" | ">=" | ">" | "=" | "==" | "!="
+//! linexpr    := ["-"] term ( ("+"|"-") term )*
+//! term       := NUMBER [ "*" var ] | var [ "*" NUMBER ]
+//! var        := IDENT            -- feature name or diff/gap/confidence
+//! ```
+//!
+//! Parentheses always group *constraints*, never arithmetic; coefficients
+//! are written `c * feature` (the paper's constraint class is linear, so
+//! nothing more is needed). Examples accepted:
+//!
+//! ```text
+//! income <= 80000
+//! income - 0.2 * debt >= 1000 and gap <= 2
+//! not (diff > 5000) or confidence >= 0.8
+//! ```
+
+use crate::ast::{CmpOp, Constraint, LinExpr, Special, VarRef};
+use std::fmt;
+
+/// A parse failure, with byte offset into the source text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where the problem was noticed.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    Plus,
+    Minus,
+    Star,
+    LParen,
+    RParen,
+    Cmp(CmpOp),
+    And,
+    Or,
+    Not,
+    True,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { offset: self.pos, message: message.into() }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<(usize, Tok)>, ParseError> {
+        let bytes = self.src.as_bytes();
+        let mut out = Vec::new();
+        while self.pos < bytes.len() {
+            let c = bytes[self.pos] as char;
+            let start = self.pos;
+            match c {
+                ' ' | '\t' | '\n' | '\r' => {
+                    self.pos += 1;
+                }
+                '+' => {
+                    out.push((start, Tok::Plus));
+                    self.pos += 1;
+                }
+                '-' => {
+                    out.push((start, Tok::Minus));
+                    self.pos += 1;
+                }
+                '*' => {
+                    out.push((start, Tok::Star));
+                    self.pos += 1;
+                }
+                '(' => {
+                    out.push((start, Tok::LParen));
+                    self.pos += 1;
+                }
+                ')' => {
+                    out.push((start, Tok::RParen));
+                    self.pos += 1;
+                }
+                '<' => {
+                    if bytes.get(self.pos + 1) == Some(&b'=') {
+                        out.push((start, Tok::Cmp(CmpOp::Le)));
+                        self.pos += 2;
+                    } else {
+                        out.push((start, Tok::Cmp(CmpOp::Lt)));
+                        self.pos += 1;
+                    }
+                }
+                '>' => {
+                    if bytes.get(self.pos + 1) == Some(&b'=') {
+                        out.push((start, Tok::Cmp(CmpOp::Ge)));
+                        self.pos += 2;
+                    } else {
+                        out.push((start, Tok::Cmp(CmpOp::Gt)));
+                        self.pos += 1;
+                    }
+                }
+                '=' => {
+                    if bytes.get(self.pos + 1) == Some(&b'=') {
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                    }
+                    out.push((start, Tok::Cmp(CmpOp::Eq)));
+                }
+                '!' => {
+                    if bytes.get(self.pos + 1) == Some(&b'=') {
+                        out.push((start, Tok::Cmp(CmpOp::Ne)));
+                        self.pos += 2;
+                    } else {
+                        return Err(self.error("expected '=' after '!'"));
+                    }
+                }
+                '0'..='9' | '.' => {
+                    let mut end = self.pos;
+                    let mut seen_e = false;
+                    while end < bytes.len() {
+                        let d = bytes[end] as char;
+                        if d.is_ascii_digit() || d == '.' || d == '_' {
+                            end += 1;
+                        } else if (d == 'e' || d == 'E') && !seen_e {
+                            seen_e = true;
+                            end += 1;
+                            if end < bytes.len()
+                                && (bytes[end] == b'+' || bytes[end] == b'-')
+                            {
+                                end += 1;
+                            }
+                        } else {
+                            break;
+                        }
+                    }
+                    let text: String =
+                        self.src[self.pos..end].chars().filter(|c| *c != '_').collect();
+                    let value: f64 = text
+                        .parse()
+                        .map_err(|e| self.error(format!("bad number {text:?}: {e}")))?;
+                    out.push((start, Tok::Number(value)));
+                    self.pos = end;
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut end = self.pos;
+                    while end < bytes.len() {
+                        let d = bytes[end] as char;
+                        if d.is_ascii_alphanumeric() || d == '_' {
+                            end += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    let word = &self.src[self.pos..end];
+                    let tok = match word.to_ascii_lowercase().as_str() {
+                        "and" => Tok::And,
+                        "or" => Tok::Or,
+                        "not" => Tok::Not,
+                        "true" => Tok::True,
+                        _ => Tok::Ident(word.to_string()),
+                    };
+                    out.push((start, tok));
+                    self.pos = end;
+                }
+                other => {
+                    return Err(self.error(format!("unexpected character {other:?}")));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    tokens: Vec<(usize, Tok)>,
+    pos: usize,
+    src_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map_or(self.src_len, |(o, _)| *o)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { offset: self.offset(), message: message.into() }
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn constraint(&mut self) -> Result<Constraint, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while matches!(self.peek(), Some(Tok::Or)) {
+            self.pos += 1;
+            let rhs = self.and_expr()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Constraint, ParseError> {
+        let mut lhs = self.unary()?;
+        while matches!(self.peek(), Some(Tok::And)) {
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Constraint, ParseError> {
+        match self.peek() {
+            Some(Tok::Not) => {
+                self.pos += 1;
+                Ok(self.unary()?.negate())
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let inner = self.constraint()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(inner)
+            }
+            Some(Tok::True) => {
+                self.pos += 1;
+                Ok(Constraint::True)
+            }
+            _ => self.comparison(),
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Constraint, ParseError> {
+        let lhs = self.linexpr()?;
+        let op = match self.bump() {
+            Some(Tok::Cmp(op)) => op,
+            other => {
+                return Err(ParseError {
+                    offset: self.offset(),
+                    message: format!("expected comparison operator, found {other:?}"),
+                })
+            }
+        };
+        let rhs = self.linexpr()?;
+        Ok(Constraint::Cmp { lhs, op, rhs })
+    }
+
+    fn linexpr(&mut self) -> Result<LinExpr, ParseError> {
+        let mut negate_first = false;
+        if matches!(self.peek(), Some(Tok::Minus)) {
+            self.pos += 1;
+            negate_first = true;
+        }
+        let mut expr = self.term()?;
+        if negate_first {
+            expr = expr.times(-1.0);
+        }
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.pos += 1;
+                    let t = self.term()?;
+                    expr = expr.plus(t);
+                }
+                Some(Tok::Minus) => {
+                    self.pos += 1;
+                    let t = self.term()?;
+                    expr = expr.minus(t);
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    /// One term: `NUMBER`, `NUMBER * var`, `var`, or `var * NUMBER`.
+    fn term(&mut self) -> Result<LinExpr, ParseError> {
+        match self.bump() {
+            Some(Tok::Number(n)) => {
+                if matches!(self.peek(), Some(Tok::Star)) {
+                    self.pos += 1;
+                    let v = self.variable()?;
+                    Ok(LinExpr::var(v).times(n))
+                } else {
+                    Ok(LinExpr::constant(n))
+                }
+            }
+            Some(Tok::Ident(name)) => {
+                let v = resolve_var(&name);
+                if matches!(self.peek(), Some(Tok::Star)) {
+                    self.pos += 1;
+                    match self.bump() {
+                        Some(Tok::Number(n)) => Ok(LinExpr::var(v).times(n)),
+                        other => Err(ParseError {
+                            offset: self.offset(),
+                            message: format!("expected number after '*', found {other:?}"),
+                        }),
+                    }
+                } else {
+                    Ok(LinExpr::var(v))
+                }
+            }
+            other => Err(ParseError {
+                offset: self.offset(),
+                message: format!("expected number or identifier, found {other:?}"),
+            }),
+        }
+    }
+
+    fn variable(&mut self) -> Result<VarRef, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(name)) => Ok(resolve_var(&name)),
+            other => Err(ParseError {
+                offset: self.offset(),
+                message: format!("expected identifier, found {other:?}"),
+            }),
+        }
+    }
+}
+
+fn resolve_var(name: &str) -> VarRef {
+    match name.to_ascii_lowercase().as_str() {
+        "diff" => VarRef::Special(Special::Diff),
+        "gap" => VarRef::Special(Special::Gap),
+        "confidence" => VarRef::Special(Special::Confidence),
+        _ => VarRef::Feature(name.to_string()),
+    }
+}
+
+/// Parses a constraint from text.
+pub fn parse_constraint(src: &str) -> Result<Constraint, ParseError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    if tokens.is_empty() {
+        return Err(ParseError { offset: 0, message: "empty constraint".to_string() });
+    }
+    let mut parser = Parser { tokens, pos: 0, src_len: src.len() };
+    let c = parser.constraint()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(parser.error("trailing input after constraint"));
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::EvalContext;
+    use jit_data::FeatureSchema;
+
+    fn eval(src: &str, candidate: &[f64], original: &[f64], conf: f64) -> bool {
+        let c = parse_constraint(src).unwrap();
+        let b = c.bind(&FeatureSchema::lending_club()).unwrap();
+        b.eval(&EvalContext { candidate, original, confidence: conf })
+    }
+
+    const X: [f64; 6] = [29.0, 0.0, 46_000.0, 2_300.0, 4.0, 24_000.0];
+
+    #[test]
+    fn parses_simple_inequality() {
+        assert!(eval("income <= 50000", &X, &X, 0.5));
+        assert!(!eval("income > 50000", &X, &X, 0.5));
+    }
+
+    #[test]
+    fn parses_coefficients_both_orders() {
+        // income - 10*debt = 46000 - 23000 = 23000
+        assert!(eval("income - 10 * debt >= 23000", &X, &X, 0.5));
+        assert!(eval("income - debt * 10 >= 23000", &X, &X, 0.5));
+        assert!(!eval("income - debt * 10 > 23000", &X, &X, 0.5));
+    }
+
+    #[test]
+    fn parses_and_or_precedence() {
+        // and binds tighter than or.
+        let c = parse_constraint("income > 0 or income > 1 and income < 0").unwrap();
+        match c {
+            Constraint::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[1], Constraint::And(_)));
+            }
+            other => panic!("expected Or at top, got {other:?}"),
+        }
+        assert!(eval("income > 0 or income > 1 and income < 0", &X, &X, 0.5));
+    }
+
+    #[test]
+    fn parses_parens_and_not() {
+        assert!(!eval("not (income <= 50000)", &X, &X, 0.5));
+        assert!(eval("not (income <= 50000) or true", &X, &X, 0.5));
+        assert!(eval("(income <= 50000 or debt > 9000) and age >= 29", &X, &X, 0.5));
+    }
+
+    #[test]
+    fn parses_specials() {
+        let mut cand = X;
+        cand[2] = 48_000.0;
+        assert!(eval("gap <= 1 and diff <= 2500", &cand, &X, 0.5));
+        assert!(!eval("gap = 0", &cand, &X, 0.5));
+        assert!(eval("confidence >= 0.7", &cand, &X, 0.7));
+        assert!(eval("CONFIDENCE >= 0.7", &cand, &X, 0.7), "case-insensitive");
+    }
+
+    #[test]
+    fn parses_negative_leading_term() {
+        assert!(eval("-income <= 0", &X, &X, 0.5));
+        assert!(eval("- 2 * income <= -46000", &X, &X, 0.5));
+    }
+
+    #[test]
+    fn parses_equality_variants() {
+        assert!(eval("age = 29", &X, &X, 0.5));
+        assert!(eval("age == 29", &X, &X, 0.5));
+        assert!(eval("age != 30", &X, &X, 0.5));
+    }
+
+    #[test]
+    fn parses_numbers_with_underscores_and_exponents() {
+        assert!(eval("income <= 50_000", &X, &X, 0.5));
+        assert!(eval("income <= 5e4", &X, &X, 0.5));
+        assert!(eval("income <= 0.5e6", &X, &X, 0.5));
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        for bad in [
+            "",
+            "income <=",
+            "<= 5",
+            "income <= 5 extra",
+            "income @ 5",
+            "income ! 5",
+            "(income <= 5",
+            "income <= 5 and",
+            "5 * <= 3",
+        ] {
+            assert!(parse_constraint(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_carries_offset() {
+        let err = parse_constraint("income @@ 5").unwrap_err();
+        assert_eq!(err.offset, 7);
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(eval("income <= 50000 AND debt >= 0", &X, &X, 0.5));
+        assert!(eval("income > 99999 OR TRUE", &X, &X, 0.5));
+        assert!(eval("NOT (income > 99999)", &X, &X, 0.5));
+    }
+
+    #[test]
+    fn double_negation() {
+        assert!(eval("not not (income <= 50000)", &X, &X, 0.5));
+    }
+
+    #[test]
+    fn constant_only_comparison() {
+        assert!(eval("1 <= 2", &X, &X, 0.5));
+        assert!(!eval("2 + 2 = 5", &X, &X, 0.5));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let sources = [
+            "income <= 50000",
+            "income - 2 * debt >= 1000 and gap <= 2",
+            "not (diff > 5000) or confidence >= 0.8",
+            "(age >= 30 and debt <= 1000) or household = 1",
+        ];
+        let schema = FeatureSchema::lending_club();
+        for src in sources {
+            let c1 = parse_constraint(src).unwrap();
+            let printed = format!("{c1}");
+            let c2 = parse_constraint(&printed)
+                .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+            // Semantic equivalence on a probe set.
+            let b1 = c1.bind(&schema).unwrap();
+            let b2 = c2.bind(&schema).unwrap();
+            for conf in [0.1, 0.9] {
+                for cand in [X, [35.0, 1.0, 80_000.0, 500.0, 10.0, 10_000.0]] {
+                    let ctx = EvalContext { candidate: &cand, original: &X, confidence: conf };
+                    assert_eq!(b1.eval(&ctx), b2.eval(&ctx), "mismatch for {src}");
+                }
+            }
+        }
+    }
+}

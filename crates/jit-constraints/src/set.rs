@@ -1,0 +1,263 @@
+//! Time-scoped constraint sets and the admin ∧ user conjunction.
+//!
+//! §II-B: "Constraints may refer to a single point in time or all of them".
+//! The per-time-point constraints function `C_t` handed to each candidates
+//! generator is the conjunction of:
+//!
+//! * **domain constraints** (admin-defined, database-integrity-style) —
+//!   derived here from the feature schema: value bounds and immutability;
+//! * **user constraints** (preferences and limitations), possibly scoped to
+//!   specific time points.
+
+use crate::ast::{BoundConstraint, CmpOp, Constraint, EvalContext, LinExpr};
+use jit_data::{FeatureSchema, Mutability};
+
+/// When a constraint applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimeScope {
+    /// Applies at every time point.
+    AllTimes,
+    /// Applies only at the given time index `t`.
+    At(usize),
+    /// Applies for `t` in the inclusive range.
+    Between(usize, usize),
+}
+
+impl TimeScope {
+    /// Whether the scope covers time point `t`.
+    pub fn covers(&self, t: usize) -> bool {
+        match self {
+            TimeScope::AllTimes => true,
+            TimeScope::At(at) => *at == t,
+            TimeScope::Between(lo, hi) => (*lo..=*hi).contains(&t),
+        }
+    }
+}
+
+/// A constraint plus the time points it binds at.
+#[derive(Clone, Debug)]
+pub struct ScopedConstraint {
+    /// The constraint.
+    pub constraint: Constraint,
+    /// When it applies.
+    pub scope: TimeScope,
+}
+
+/// A collection of scoped constraints with helpers to compile the
+/// conjunction applicable at a given time point.
+#[derive(Clone, Debug, Default)]
+pub struct ConstraintSet {
+    items: Vec<ScopedConstraint>,
+}
+
+impl ConstraintSet {
+    /// An empty set (equivalent to `C(x) = R^d`).
+    pub fn new() -> Self {
+        ConstraintSet::default()
+    }
+
+    /// Adds a constraint at every time point.
+    pub fn add(&mut self, constraint: Constraint) -> &mut Self {
+        self.items.push(ScopedConstraint { constraint, scope: TimeScope::AllTimes });
+        self
+    }
+
+    /// Adds a constraint at one time point.
+    pub fn add_at(&mut self, t: usize, constraint: Constraint) -> &mut Self {
+        self.items.push(ScopedConstraint { constraint, scope: TimeScope::At(t) });
+        self
+    }
+
+    /// Adds a constraint over an inclusive time range.
+    pub fn add_between(&mut self, lo: usize, hi: usize, constraint: Constraint) -> &mut Self {
+        assert!(lo <= hi, "time range out of order");
+        self.items
+            .push(ScopedConstraint { constraint, scope: TimeScope::Between(lo, hi) });
+        self
+    }
+
+    /// Number of scoped constraints.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when no constraints are present.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Borrow of the scoped items.
+    pub fn items(&self) -> &[ScopedConstraint] {
+        &self.items
+    }
+
+    /// Merges another set into this one (used to conjoin the admin's domain
+    /// set with the user's preference set).
+    pub fn merge(&mut self, other: &ConstraintSet) -> &mut Self {
+        self.items.extend(other.items.iter().cloned());
+        self
+    }
+
+    /// The conjunction of all constraints that bind at time `t`, unbound.
+    pub fn at_time(&self, t: usize) -> Constraint {
+        let mut acc = Constraint::True;
+        for item in &self.items {
+            if item.scope.covers(t) {
+                acc = acc.and(item.constraint.clone());
+            }
+        }
+        acc
+    }
+
+    /// Compiles the time-`t` conjunction against a schema.
+    pub fn compile_at(
+        &self,
+        t: usize,
+        schema: &FeatureSchema,
+    ) -> Result<BoundConstraint, crate::ast::UnknownFeature> {
+        self.at_time(t).bind(schema)
+    }
+}
+
+/// Derives the admin's *domain constraints* from the feature schema:
+///
+/// * every feature within `[min, max]`;
+/// * immutable features pinned to their (time-updated) input value —
+///   expressed as `gap`-style equality `feature = value` is impossible
+///   without knowing `x_t`, so immutability is returned separately as the
+///   list of pinned feature indices and enforced by the candidates
+///   generator when it proposes moves.
+///
+/// Returns `(bounds_constraint_set, immutable_feature_indices)`.
+pub fn domain_constraints(schema: &FeatureSchema) -> (ConstraintSet, Vec<usize>) {
+    let mut set = ConstraintSet::new();
+    let mut immutable = Vec::new();
+    for (i, meta) in schema.features().iter().enumerate() {
+        let f = LinExpr::feature(&meta.name);
+        set.add(Constraint::Cmp {
+            lhs: f.clone(),
+            op: CmpOp::Ge,
+            rhs: LinExpr::constant(meta.min),
+        });
+        set.add(Constraint::Cmp {
+            lhs: f,
+            op: CmpOp::Le,
+            rhs: LinExpr::constant(meta.max),
+        });
+        if meta.mutability == Mutability::Immutable {
+            immutable.push(i);
+        }
+    }
+    (set, immutable)
+}
+
+/// Convenience: evaluates a bound constraint over a candidate.
+pub fn satisfies(
+    bound: &BoundConstraint,
+    candidate: &[f64],
+    original: &[f64],
+    confidence: f64,
+) -> bool {
+    bound.eval(&EvalContext { candidate, original, confidence })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use jit_data::FeatureSchema;
+
+    const X: [f64; 6] = [29.0, 0.0, 46_000.0, 2_300.0, 4.0, 24_000.0];
+
+    #[test]
+    fn scope_coverage() {
+        assert!(TimeScope::AllTimes.covers(0));
+        assert!(TimeScope::AllTimes.covers(99));
+        assert!(TimeScope::At(3).covers(3));
+        assert!(!TimeScope::At(3).covers(2));
+        assert!(TimeScope::Between(1, 4).covers(1));
+        assert!(TimeScope::Between(1, 4).covers(4));
+        assert!(!TimeScope::Between(1, 4).covers(5));
+    }
+
+    #[test]
+    fn at_time_conjunction_scoping() {
+        let mut set = ConstraintSet::new();
+        set.add(feature("income").ge(0.0)); // all times
+        set.add_at(2, feature("debt").le(1_000.0)); // only t=2
+        set.add_between(3, 5, feature("loan_amount").le(30_000.0));
+
+        let schema = FeatureSchema::lending_club();
+        let check = |t: usize, cand: &[f64]| {
+            let b = set.compile_at(t, &schema).unwrap();
+            satisfies(&b, cand, &X, 0.5)
+        };
+        // At t=0 only the income bound binds: X satisfies it.
+        assert!(check(0, &X));
+        // At t=2 the debt cap binds: X has debt 2300 -> fails.
+        assert!(!check(2, &X));
+        // At t=4 the loan cap binds: X has loan 24000 -> passes.
+        assert!(check(4, &X));
+        let mut big_loan = X;
+        big_loan[5] = 40_000.0;
+        assert!(!check(4, &big_loan));
+    }
+
+    #[test]
+    fn empty_set_is_permissive() {
+        let set = ConstraintSet::new();
+        assert!(set.is_empty());
+        let schema = FeatureSchema::lending_club();
+        let b = set.compile_at(0, &schema).unwrap();
+        assert!(satisfies(&b, &X, &X, 0.0));
+    }
+
+    #[test]
+    fn merge_conjoins() {
+        let mut admin = ConstraintSet::new();
+        admin.add(feature("income").ge(0.0));
+        let mut user = ConstraintSet::new();
+        user.add(feature("income").le(45_000.0));
+        admin.merge(&user);
+        assert_eq!(admin.len(), 2);
+        let schema = FeatureSchema::lending_club();
+        let b = admin.compile_at(0, &schema).unwrap();
+        // X has income 46000 which violates the user cap.
+        assert!(!satisfies(&b, &X, &X, 0.5));
+    }
+
+    #[test]
+    fn domain_constraints_enforce_bounds() {
+        let schema = FeatureSchema::lending_club();
+        let (set, immutable) = domain_constraints(&schema);
+        // Two constraints (min+max) per feature.
+        assert_eq!(set.len(), 2 * schema.dim());
+        // Age and seniority are immutable in the lending schema.
+        assert_eq!(immutable, vec![0, 4]);
+
+        let b = set.compile_at(0, &schema).unwrap();
+        assert!(satisfies(&b, &X, &X, 0.5));
+        let mut bad = X;
+        bad[0] = 150.0; // age above max 100
+        assert!(!satisfies(&b, &bad, &X, 0.5));
+        let mut neg = X;
+        neg[2] = -5.0; // negative income
+        assert!(!satisfies(&b, &neg, &X, 0.5));
+    }
+
+    #[test]
+    fn satisfies_passes_confidence_through() {
+        let schema = FeatureSchema::lending_club();
+        let mut set = ConstraintSet::new();
+        set.add(confidence().gt(0.8));
+        let b = set.compile_at(0, &schema).unwrap();
+        assert!(satisfies(&b, &X, &X, 0.9));
+        assert!(!satisfies(&b, &X, &X, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn bad_range_panics() {
+        ConstraintSet::new().add_between(5, 3, Constraint::True);
+    }
+}

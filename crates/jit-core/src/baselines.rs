@@ -1,0 +1,267 @@
+//! Counterfactual-search baselines (experiment E6).
+//!
+//! The paper's beam search is heuristic; to quantify its value the bench
+//! suite compares it against two classic alternatives at a fixed
+//! model-evaluation budget:
+//!
+//! * [`random_search`] — uniform random feature subsets and magnitudes
+//!   (the "perturbation" family of related work [1], [7]);
+//! * [`greedy_coordinate`] — steepest single-coordinate ascent on the
+//!   model score.
+//!
+//! Both honour the same constraints function and schema sanitization as
+//! the real generator, so comparisons are apples-to-apples.
+
+use crate::candidates::Candidate;
+use jit_constraints::{BoundConstraint, EvalContext};
+use jit_data::{FeatureSchema, Mutability};
+use jit_math::distance::{l0_gap, l2_diff};
+use jit_math::rng::Rng;
+use jit_ml::Model;
+
+/// Shared inputs of the baseline searches.
+pub struct BaselineProblem<'a> {
+    /// The model `M_t`.
+    pub model: &'a dyn Model,
+    /// Threshold `δ_t`.
+    pub delta: f64,
+    /// Temporal input `x_t`.
+    pub origin: &'a [f64],
+    /// Conjoined constraints at `t`.
+    pub constraint: &'a BoundConstraint,
+    /// Feature schema.
+    pub schema: &'a FeatureSchema,
+    /// Per-feature scales.
+    pub scales: &'a [f64],
+    /// Time index stamped on results.
+    pub time_index: usize,
+}
+
+/// Outcome of a baseline run.
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// Best decision-altering candidate found, if any.
+    pub best: Option<Candidate>,
+    /// Model evaluations spent.
+    pub evals: usize,
+}
+
+impl<'a> BaselineProblem<'a> {
+    fn mk_candidate(&self, profile: Vec<f64>, confidence: f64) -> Candidate {
+        Candidate {
+            time_index: self.time_index,
+            diff: l2_diff(&profile, self.origin),
+            gap: l0_gap(&profile, self.origin),
+            profile,
+            confidence,
+        }
+    }
+
+    fn feasible(&self, profile: &[f64], confidence: f64) -> bool {
+        self.schema.row_in_bounds(profile)
+            && self.constraint.eval(&EvalContext {
+                candidate: profile,
+                original: self.origin,
+                confidence,
+            })
+    }
+
+    fn mutable_features(&self) -> Vec<usize> {
+        (0..self.schema.dim())
+            .filter(|&f| self.schema.feature(f).mutability == Mutability::Actionable)
+            .collect()
+    }
+}
+
+/// Random perturbation search: each trial perturbs a random subset of
+/// mutable features by Gaussian steps; the best feasible decision-altering
+/// candidate (smallest `diff`) wins.
+pub fn random_search(
+    problem: &BaselineProblem<'_>,
+    budget: usize,
+    rng: &mut Rng,
+) -> BaselineResult {
+    let mutable = problem.mutable_features();
+    let mut best: Option<Candidate> = None;
+    let mut evals = 0usize;
+    if mutable.is_empty() {
+        return BaselineResult { best, evals };
+    }
+    while evals < budget {
+        let k = rng.range(1, mutable.len() + 1);
+        let chosen = rng.sample_indices(mutable.len(), k);
+        let mut profile = problem.origin.to_vec();
+        for ci in chosen {
+            let f = mutable[ci];
+            profile[f] += rng.normal_with(0.0, 1.5) * problem.scales[f];
+        }
+        let profile = problem.schema.sanitize_row(&profile);
+        let confidence = problem.model.predict_proba(&profile);
+        evals += 1;
+        if confidence > problem.delta && problem.feasible(&profile, confidence) {
+            let cand = problem.mk_candidate(profile, confidence);
+            match &best {
+                Some(b) if b.diff <= cand.diff => {}
+                _ => best = Some(cand),
+            }
+        }
+    }
+    BaselineResult { best, evals }
+}
+
+/// Greedy coordinate ascent: repeatedly applies the single-feature step
+/// that most increases the model score until the threshold is crossed or
+/// the budget/locality is exhausted.
+pub fn greedy_coordinate(
+    problem: &BaselineProblem<'_>,
+    budget: usize,
+) -> BaselineResult {
+    let mutable = problem.mutable_features();
+    let steps = [0.25, 0.5, 1.0, 2.0];
+    let mut current = problem.origin.to_vec();
+    let mut current_conf = problem.model.predict_proba(&current);
+    let mut evals = 1usize;
+    let mut best: Option<Candidate> = None;
+
+    if current_conf > problem.delta && problem.feasible(&current, current_conf) {
+        best = Some(problem.mk_candidate(current.clone(), current_conf));
+    }
+
+    loop {
+        let mut improved: Option<(Vec<f64>, f64)> = None;
+        'outer: for &f in &mutable {
+            for &s in &steps {
+                for dir in [1.0, -1.0] {
+                    if evals >= budget {
+                        break 'outer;
+                    }
+                    let mut p = current.clone();
+                    p[f] += dir * s * problem.scales[f];
+                    let p = problem.schema.sanitize_row(&p);
+                    let conf = problem.model.predict_proba(&p);
+                    evals += 1;
+                    if conf > current_conf + 1e-12 && problem.feasible(&p, conf) {
+                        match &improved {
+                            Some((_, ic)) if *ic >= conf => {}
+                            _ => improved = Some((p, conf)),
+                        }
+                    }
+                }
+            }
+        }
+        match improved {
+            Some((p, conf)) => {
+                current = p;
+                current_conf = conf;
+                if current_conf > problem.delta {
+                    let cand = problem.mk_candidate(current.clone(), current_conf);
+                    match &best {
+                        Some(b) if b.diff <= cand.diff => {}
+                        _ => best = Some(cand),
+                    }
+                }
+            }
+            None => break,
+        }
+        if evals >= budget {
+            break;
+        }
+    }
+    BaselineResult { best, evals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jit_data::{LendingClubGenerator, LendingClubParams};
+    use jit_ml::{RandomForest, RandomForestParams};
+
+    struct Fx {
+        schema: FeatureSchema,
+        model: RandomForest,
+        scales: Vec<f64>,
+        origin: Vec<f64>,
+        constraint: BoundConstraint,
+    }
+
+    fn fixture() -> Fx {
+        let gen = LendingClubGenerator::new(LendingClubParams {
+            records_per_year: 500,
+            ..Default::default()
+        });
+        let data = LendingClubGenerator::to_dataset(&gen.records_for_year(2015));
+        let mut rng = Rng::seeded(3);
+        let model = RandomForest::fit(
+            &data,
+            &RandomForestParams { n_trees: 20, ..Default::default() },
+            &mut rng,
+        );
+        let std =
+            jit_math::Standardizer::fit(&jit_math::Matrix::from_rows(data.rows()));
+        let schema = gen.schema().clone();
+        let (set, _) = jit_constraints::set::domain_constraints(&schema);
+        let constraint = set.compile_at(0, &schema).unwrap();
+        Fx {
+            schema,
+            model,
+            scales: std.stds().to_vec(),
+            origin: LendingClubGenerator::john(),
+            constraint,
+        }
+    }
+
+    fn problem(fx: &Fx) -> BaselineProblem<'_> {
+        BaselineProblem {
+            model: &fx.model,
+            delta: 0.5,
+            origin: &fx.origin,
+            constraint: &fx.constraint,
+            schema: &fx.schema,
+            scales: &fx.scales,
+            time_index: 0,
+        }
+    }
+
+    #[test]
+    fn random_search_finds_something_with_budget() {
+        let fx = fixture();
+        let mut rng = Rng::seeded(1);
+        let r = random_search(&problem(&fx), 800, &mut rng);
+        assert!(r.evals <= 800);
+        let best = r.best.expect("800 random draws should find approval");
+        assert!(best.confidence > 0.5);
+        assert!(fx.schema.row_in_bounds(&best.profile));
+    }
+
+    #[test]
+    fn greedy_coordinate_climbs() {
+        let fx = fixture();
+        let r = greedy_coordinate(&problem(&fx), 2000);
+        let best = r.best.expect("greedy should cross the threshold");
+        assert!(best.confidence > 0.5);
+        // Greedy never touches immutables either (not in mutable set).
+        assert_eq!(best.profile[0], fx.origin[0]);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let fx = fixture();
+        let mut rng = Rng::seeded(2);
+        let r = random_search(&problem(&fx), 10, &mut rng);
+        assert_eq!(r.evals, 10);
+        let g = greedy_coordinate(&problem(&fx), 10);
+        assert!(g.evals <= 10 + 1, "greedy evals {}", g.evals);
+    }
+
+    #[test]
+    fn random_search_deterministic_under_seed() {
+        let fx = fixture();
+        let a = random_search(&problem(&fx), 200, &mut Rng::seeded(5));
+        let b = random_search(&problem(&fx), 200, &mut Rng::seeded(5));
+        match (a.best, b.best) {
+            (Some(x), Some(y)) => assert_eq!(x.profile, y.profile),
+            (None, None) => {}
+            other => panic!("divergent outcomes {other:?}"),
+        }
+    }
+}

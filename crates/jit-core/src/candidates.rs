@@ -1,0 +1,840 @@
+//! The candidates generator (paper §II-A).
+//!
+//! Adapted from Deutch & Frost, *Constraints-based explanations of
+//! classifications* (ICDE'19): an iterative algorithm with
+//! model-dependent move heuristics, extended exactly as the JustInTime
+//! paper describes:
+//!
+//! * "incorporating diverse objectives (confidence, gap and diff) when
+//!   searching for the candidates, as opposed to a single distance
+//!   measure", and
+//! * "we output top-k candidates in each iteration, as opposed to just
+//!   one, using a beam search with width k to prune the least promising
+//!   candidates".
+//!
+//! Move proposers per model family (via [`ModelHints`]):
+//!
+//! * **Tree ensembles** — nudge one feature just across a split
+//!   threshold: between thresholds the ensemble is piecewise-constant, so
+//!   these are the only moves that can change the score.
+//! * **Linear models** — step along the score gradient, scaled per
+//!   feature.
+//! * **Opaque models** — coordinate perturbations at data-driven steps
+//!   (fractions of each feature's standard deviation).
+//!
+//! Every proposal is sanitized into the schema's domain, checked against
+//! the conjoined constraints function `C_t` (Definition II.2) and scored
+//! by the model. Profiles whose score exceeds `δ_t` are *decision
+//! altering candidates* (Definition II.3); the final top-k is selected
+//! with a maximal-marginal-relevance rule so the k candidates stay
+//! diverse (§II-B: "The diversity ensures that limiting the number of
+//! candidates does not lead to a degradation in the quality of the
+//! answers").
+
+use jit_constraints::{BoundConstraint, EvalContext};
+use jit_data::{FeatureSchema, Mutability};
+use jit_math::distance::{l0_gap, l2_diff};
+use jit_math::rng::Rng;
+use jit_ml::{Model, ModelHints};
+use std::collections::HashSet;
+
+/// What the search minimizes among decision-altering candidates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Objective {
+    /// Minimize the l2 modification cost (`diff`), the paper's default.
+    MinDiff,
+    /// Minimize the number of modified features (`gap`), tie-break on diff.
+    MinGap,
+    /// Maximize the model score (`confidence`).
+    MaxConfidence,
+}
+
+/// Search hyperparameters.
+#[derive(Clone, Debug)]
+pub struct CandidateParams {
+    /// Beam width *k* of the search.
+    pub beam_width: usize,
+    /// Maximum number of beam iterations.
+    pub max_iters: usize,
+    /// Number of candidates returned per time point.
+    pub top_k: usize,
+    /// Diversity strength of the final top-k selection (0 = pure score).
+    pub diversity_lambda: f64,
+    /// The optimization objective.
+    pub objective: Objective,
+    /// Cap on proposals expanded per beam state per iteration.
+    pub max_moves_per_state: usize,
+    /// Stop early once this many decision-altering candidates are found
+    /// (0 = run all iterations).
+    pub early_stop_after: usize,
+    /// After selection, bisect each modified coordinate back toward the
+    /// origin to the smallest change that still alters the decision
+    /// (the distance-minimization step of the underlying Deutch–Frost
+    /// algorithm).
+    pub refine: bool,
+    /// Seed for tie-breaking and opaque-model perturbations.
+    pub seed: u64,
+}
+
+impl Default for CandidateParams {
+    fn default() -> Self {
+        CandidateParams {
+            beam_width: 8,
+            max_iters: 6,
+            top_k: 8,
+            diversity_lambda: 0.3,
+            objective: Objective::MinDiff,
+            max_moves_per_state: 48,
+            early_stop_after: 64,
+            refine: true,
+            seed: 0xbea7,
+        }
+    }
+}
+
+/// A decision-altering candidate (Definition II.3) for one time point.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// Time index `t` the candidate applies to.
+    pub time_index: usize,
+    /// The modified profile `x'`.
+    pub profile: Vec<f64>,
+    /// `‖x' − x_t‖₂` against the temporal input.
+    pub diff: f64,
+    /// Number of modified features.
+    pub gap: usize,
+    /// Model score `M_t(x')`.
+    pub confidence: f64,
+}
+
+/// The per-time-point candidates generator.
+pub struct CandidatesGenerator<'a> {
+    /// The future model `M_t`.
+    pub model: &'a dyn Model,
+    /// Its threshold `δ_t`.
+    pub delta: f64,
+    /// The temporal input `x_t` modifications are measured against.
+    pub origin: &'a [f64],
+    /// Conjoined admin ∧ user constraints at time `t`.
+    pub constraint: &'a BoundConstraint,
+    /// Feature schema (bounds, kinds, mutability).
+    pub schema: &'a FeatureSchema,
+    /// Per-feature scale (standard deviations from training data) used to
+    /// size opaque/linear moves.
+    pub scales: &'a [f64],
+    /// Time index (stamped onto produced candidates).
+    pub time_index: usize,
+}
+
+/// Internal search state.
+#[derive(Clone)]
+struct State {
+    profile: Vec<f64>,
+    confidence: f64,
+    diff: f64,
+    gap: usize,
+}
+
+impl<'a> CandidatesGenerator<'a> {
+    /// Runs the beam search and returns up to `top_k` diverse
+    /// decision-altering candidates, best first under the objective.
+    pub fn generate(&self, params: &CandidateParams) -> Vec<Candidate> {
+        assert_eq!(self.origin.len(), self.schema.dim(), "origin dimension mismatch");
+        assert_eq!(self.scales.len(), self.schema.dim(), "scales dimension mismatch");
+        let mut rng = Rng::seeded(params.seed ^ (self.time_index as u64) << 32);
+        let hints = self.model.hints();
+
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut altering: Vec<State> = Vec::new();
+
+        let origin_state = self.mk_state(self.origin.to_vec());
+        // The unmodified profile may already be approved at this time
+        // point (the Q1 "no modification" answer).
+        if self.feasible(&origin_state) && origin_state.confidence > self.delta {
+            altering.push(origin_state.clone());
+        }
+        seen.insert(profile_key(&origin_state.profile));
+        let mut beam: Vec<State> = vec![origin_state];
+
+        for _iter in 0..params.max_iters {
+            let mut proposals: Vec<State> = Vec::new();
+            for state in &beam {
+                let moves = self.propose_moves(&state.profile, &hints, params, &mut rng);
+                for profile in moves {
+                    let key = profile_key(&profile);
+                    if !seen.insert(key) {
+                        continue;
+                    }
+                    let cand = self.mk_state(profile);
+                    if !self.feasible(&cand) {
+                        continue;
+                    }
+                    proposals.push(cand);
+                }
+            }
+            if proposals.is_empty() {
+                break;
+            }
+            for p in &proposals {
+                if p.confidence > self.delta {
+                    altering.push(p.clone());
+                }
+            }
+            // Beam ranking: drive confidence up while keeping the eventual
+            // objective cheap — a weighted blend, as in the adapted
+            // multi-objective search.
+            proposals.sort_by(|a, b| {
+                self.search_score(b)
+                    .partial_cmp(&self.search_score(a))
+                    .expect("finite scores")
+            });
+            proposals.truncate(params.beam_width);
+            beam = proposals;
+
+            if params.early_stop_after > 0 && altering.len() >= params.early_stop_after {
+                break;
+            }
+        }
+
+        let mut pool = altering;
+        if params.refine {
+            // Keep BOTH versions of every candidate: the boundary-refined
+            // one (minimal cost — serves Q2/Q4) and the original
+            // (higher-margin confidence — serves Q5/Q6). Refining
+            // everything in place would leave the whole table hugging the
+            // decision boundary, which is fragile under model drift.
+            let mut refined: Vec<State> = pool.clone();
+            for s in &mut refined {
+                self.refine_state(s);
+            }
+            pool.extend(refined);
+            // Bisection collapses many states onto the same boundary
+            // point; dedup again so diversity selection sees the truth.
+            let mut seen_refined = HashSet::new();
+            pool.retain(|s| seen_refined.insert(profile_key(&s.profile)));
+        }
+        self.select_diverse(pool, params)
+    }
+
+    /// Per-coordinate bisection toward the origin: finds the smallest
+    /// modification of each changed feature that keeps the state feasible
+    /// *and* decision-altering. Two passes over the features handle mild
+    /// interactions.
+    fn refine_state(&self, state: &mut State) {
+        for _pass in 0..2 {
+            for f in 0..self.schema.dim() {
+                let orig = self.origin[f];
+                if (state.profile[f] - orig).abs() <= 1e-12 {
+                    continue;
+                }
+                // Can the change be dropped entirely?
+                let mut trial = state.profile.clone();
+                trial[f] = orig;
+                let s = self.mk_state(self.schema.sanitize_row(&trial));
+                if s.confidence > self.delta && self.feasible(&s) {
+                    *state = s;
+                    continue;
+                }
+                // Bisect between origin (rejecting side) and the current
+                // value (approving side).
+                let mut lo = orig;
+                let mut hi = state.profile[f];
+                for _ in 0..20 {
+                    let mid = 0.5 * (lo + hi);
+                    let mut trial = state.profile.clone();
+                    trial[f] = mid;
+                    let s = self.mk_state(self.schema.sanitize_row(&trial));
+                    if s.confidence > self.delta && self.feasible(&s) {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
+                }
+                let mut final_profile = state.profile.clone();
+                final_profile[f] = hi;
+                let s = self.mk_state(self.schema.sanitize_row(&final_profile));
+                if s.confidence > self.delta && self.feasible(&s) {
+                    *state = s;
+                }
+            }
+        }
+    }
+
+    fn mk_state(&self, profile: Vec<f64>) -> State {
+        let confidence = self.model.predict_proba(&profile);
+        let diff = l2_diff(&profile, self.origin);
+        let gap = l0_gap(&profile, self.origin);
+        State { profile, confidence, diff, gap }
+    }
+
+    fn feasible(&self, s: &State) -> bool {
+        self.schema.row_in_bounds(&s.profile)
+            && self.constraint.eval(&EvalContext {
+                candidate: &s.profile,
+                original: self.origin,
+                confidence: s.confidence,
+            })
+    }
+
+    /// Blended beam-ranking score (higher is better).
+    fn search_score(&self, s: &State) -> f64 {
+        let scale: f64 = self.scales.iter().sum::<f64>().max(1e-9);
+        let norm_diff = s.diff / scale;
+        s.confidence - 0.05 * norm_diff - 0.01 * s.gap as f64
+    }
+
+    /// Scale-normalized distance from the origin (used where the score
+    /// must stay O(1): gap/confidence objectives and their MMR bonuses).
+    fn norm_diff(&self, profile: &[f64]) -> f64 {
+        let w: Vec<f64> =
+            self.scales.iter().map(|s| 1.0 / (s.max(1e-9) * s.max(1e-9))).collect();
+        jit_math::distance::weighted_l2(profile, self.origin, &w)
+    }
+
+    /// Objective score of a finished candidate (higher is better).
+    ///
+    /// `MinDiff` scores **raw** l2 diff — the paper's `diff` property and
+    /// the quantity Q4 orders by. The MMR diversity bonus for `MinDiff`
+    /// therefore also measures distances in raw units (commensurable);
+    /// the O(1) objectives use normalized distances instead.
+    fn objective_score(&self, s: &State, objective: Objective) -> f64 {
+        match objective {
+            Objective::MinDiff => -s.diff,
+            Objective::MinGap => {
+                -(s.gap as f64) - 1e-3 * self.norm_diff(&s.profile)
+            }
+            Objective::MaxConfidence => s.confidence,
+        }
+    }
+
+    /// Model-dependent move proposal.
+    fn propose_moves(
+        &self,
+        from: &[f64],
+        hints: &ModelHints,
+        params: &CandidateParams,
+        rng: &mut Rng,
+    ) -> Vec<Vec<f64>> {
+        let d = self.schema.dim();
+        let mut moves: Vec<Vec<f64>> = Vec::new();
+        let mutable = |f: usize| {
+            self.schema.feature(f).mutability == Mutability::Actionable
+        };
+
+        match hints {
+            ModelHints::Thresholds(per_feature) => {
+                for f in 0..d {
+                    if !mutable(f) {
+                        continue;
+                    }
+                    let thresholds = &per_feature[f];
+                    if thresholds.is_empty() {
+                        continue;
+                    }
+                    let cur = from[f];
+                    // Candidate thresholds on each side of the current
+                    // value. Taking only the nearest ones strands the
+                    // search when approval needs a long-range change, so
+                    // pick a spread: the nearest plus quantile-spaced
+                    // jumps across the rest of the range.
+                    let above: Vec<f64> =
+                        thresholds.iter().filter(|t| **t >= cur).cloned().collect();
+                    // Reversed so the nearest-below threshold comes first.
+                    let below: Vec<f64> =
+                        thresholds.iter().rev().filter(|t| **t < cur).cloned().collect();
+                    let eps = (self.scales[f] * 1e-3).max(1e-9);
+                    for t in spread_sample(&above) {
+                        moves.push(self.with_feature(from, f, t + eps));
+                    }
+                    for t in spread_sample(&below) {
+                        moves.push(self.with_feature(from, f, t - eps));
+                    }
+                }
+            }
+            ModelHints::Linear(w) => {
+                for f in 0..d {
+                    if !mutable(f) || w[f] == 0.0 {
+                        continue;
+                    }
+                    let dir = w[f].signum();
+                    for step in [0.25, 0.5, 1.0, 2.0] {
+                        moves.push(self.with_feature(
+                            from,
+                            f,
+                            from[f] + dir * step * self.scales[f],
+                        ));
+                    }
+                }
+            }
+            ModelHints::Opaque => {
+                for f in 0..d {
+                    if !mutable(f) {
+                        continue;
+                    }
+                    for step in [0.5, 1.0, 2.0] {
+                        moves.push(self.with_feature(from, f, from[f] + step * self.scales[f]));
+                        moves.push(self.with_feature(from, f, from[f] - step * self.scales[f]));
+                    }
+                }
+            }
+        }
+
+        // Budget: keep a random subset when too many (deterministic rng).
+        if moves.len() > params.max_moves_per_state {
+            rng.shuffle(&mut moves);
+            moves.truncate(params.max_moves_per_state);
+        }
+        moves
+    }
+
+    fn with_feature(&self, from: &[f64], f: usize, value: f64) -> Vec<f64> {
+        let mut out = from.to_vec();
+        out[f] = value;
+        self.schema.sanitize_row(&out)
+    }
+
+    /// Diverse top-k via maximal marginal relevance: greedily pick the
+    /// candidate maximizing `objective + λ · (distance to picked set)`,
+    /// with distances measured in scale-normalized feature space.
+    fn select_diverse(&self, pool: Vec<State>, params: &CandidateParams) -> Vec<Candidate> {
+        let mut remaining = pool;
+        // Dedup once more on profile keys (origin may repeat across iters).
+        let mut seen = HashSet::new();
+        remaining.retain(|s| seen.insert(profile_key(&s.profile)));
+
+        // Distance space for the MMR bonus must match the objective's
+        // scale: raw feature units for MinDiff, whitened otherwise.
+        let raw_space = params.objective == Objective::MinDiff;
+        let normalize = |p: &[f64]| -> Vec<f64> {
+            if raw_space {
+                p.to_vec()
+            } else {
+                p.iter().zip(self.scales).map(|(v, s)| v / s.max(1e-9)).collect()
+            }
+        };
+        let mut picked: Vec<State> = Vec::new();
+        let mut picked_norm: Vec<Vec<f64>> = Vec::new();
+
+        while picked.len() < params.top_k && !remaining.is_empty() {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, s) in remaining.iter().enumerate() {
+                let base = self.objective_score(s, params.objective);
+                let bonus = if picked_norm.is_empty() || params.diversity_lambda == 0.0 {
+                    0.0
+                } else {
+                    let n = normalize(&s.profile);
+                    let min_dist = picked_norm
+                        .iter()
+                        .map(|p| l2_diff(&n, p))
+                        .fold(f64::INFINITY, f64::min);
+                    params.diversity_lambda * min_dist
+                };
+                let score = base + bonus;
+                match best {
+                    Some((_, bs)) if bs >= score => {}
+                    _ => best = Some((i, score)),
+                }
+            }
+            let (idx, _) = best.expect("remaining non-empty");
+            let s = remaining.swap_remove(idx);
+            picked_norm.push(normalize(&s.profile));
+            picked.push(s);
+        }
+
+        picked
+            .into_iter()
+            .map(|s| Candidate {
+                time_index: self.time_index,
+                profile: s.profile,
+                diff: s.diff,
+                gap: s.gap,
+                confidence: s.confidence,
+            })
+            .collect()
+    }
+}
+
+/// Picks up to four representative values from a sorted slice: the two
+/// nearest (first elements) and two quantile-spaced far jumps. Gives the
+/// beam both fine local moves and long-range moves in one iteration.
+fn spread_sample(sorted: &[f64]) -> Vec<f64> {
+    match sorted.len() {
+        0 => Vec::new(),
+        n if n <= 4 => sorted.to_vec(),
+        n => {
+            let mut out = vec![sorted[0], sorted[1], sorted[n / 2], sorted[n - 1]];
+            out.dedup();
+            out
+        }
+    }
+}
+
+/// Hash key of a profile at 1e-9 granularity (for dedup).
+fn profile_key(profile: &[f64]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for v in profile {
+        let q = (v * 1e9).round() as i64;
+        q.hash(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jit_constraints::builder::*;
+    use jit_constraints::ConstraintSet;
+    use jit_data::schema::lending_idx as idx;
+    use jit_data::{LendingClubGenerator, LendingClubParams};
+    use jit_ml::{RandomForest, RandomForestParams};
+
+    struct Fixture {
+        schema: FeatureSchema,
+        model: RandomForest,
+        scales: Vec<f64>,
+        origin: Vec<f64>,
+    }
+
+    fn fixture() -> Fixture {
+        let gen = LendingClubGenerator::new(LendingClubParams {
+            records_per_year: 600,
+            ..Default::default()
+        });
+        let records = gen.records_for_year(2016);
+        let data = LendingClubGenerator::to_dataset(&records);
+        let mut rng = Rng::seeded(7);
+        let model = RandomForest::fit(
+            &data,
+            &RandomForestParams { n_trees: 25, ..Default::default() },
+            &mut rng,
+        );
+        // Per-feature stds.
+        let mat = jit_math::Matrix::from_rows(data.rows());
+        let std = jit_math::Standardizer::fit(&mat);
+        Fixture {
+            schema: gen.schema().clone(),
+            model,
+            scales: std.stds().to_vec(),
+            origin: LendingClubGenerator::john(),
+        }
+    }
+
+    fn constraint_for(
+        fx: &Fixture,
+        extra: Option<jit_constraints::Constraint>,
+    ) -> BoundConstraint {
+        let (mut set, _) = jit_constraints::set::domain_constraints(&fx.schema);
+        if let Some(c) = extra {
+            let mut user = ConstraintSet::new();
+            user.add(c);
+            set.merge(&user);
+        }
+        set.compile_at(0, &fx.schema).unwrap()
+    }
+
+    fn run(
+        fx: &Fixture,
+        constraint: &BoundConstraint,
+        params: &CandidateParams,
+    ) -> Vec<Candidate> {
+        let g = CandidatesGenerator {
+            model: &fx.model,
+            delta: 0.5,
+            origin: &fx.origin,
+            constraint,
+            schema: &fx.schema,
+            scales: &fx.scales,
+            time_index: 0,
+        };
+        g.generate(params)
+    }
+
+    #[test]
+    fn finds_decision_altering_candidates() {
+        let fx = fixture();
+        assert!(
+            fx.model.predict_proba(&fx.origin) <= 0.5,
+            "John must start rejected by the learned model"
+        );
+        let c = constraint_for(&fx, None);
+        let cands = run(&fx, &c, &CandidateParams::default());
+        assert!(!cands.is_empty(), "search must find altering candidates");
+        for cand in &cands {
+            assert!(cand.confidence > 0.5, "candidate below threshold");
+            assert!(fx.schema.row_in_bounds(&cand.profile));
+            assert!(cand.gap > 0, "altering candidate must modify something");
+        }
+    }
+
+    #[test]
+    fn candidates_sound_wrt_model_and_metrics() {
+        let fx = fixture();
+        let c = constraint_for(&fx, None);
+        for cand in run(&fx, &c, &CandidateParams::default()) {
+            // Reported metrics must agree with recomputation.
+            assert!(
+                (cand.confidence - fx.model.predict_proba(&cand.profile)).abs() < 1e-12
+            );
+            assert!((cand.diff - l2_diff(&cand.profile, &fx.origin)).abs() < 1e-12);
+            assert_eq!(cand.gap, l0_gap(&cand.profile, &fx.origin));
+        }
+    }
+
+    #[test]
+    fn immutable_features_never_touched() {
+        let fx = fixture();
+        let c = constraint_for(&fx, None);
+        for cand in run(&fx, &c, &CandidateParams::default()) {
+            assert_eq!(
+                cand.profile[idx::AGE], fx.origin[idx::AGE],
+                "age is immutable"
+            );
+            assert_eq!(
+                cand.profile[idx::SENIORITY], fx.origin[idx::SENIORITY],
+                "seniority is immutable"
+            );
+        }
+    }
+
+    #[test]
+    fn user_constraints_respected() {
+        let fx = fixture();
+        // User refuses to change income.
+        let c = constraint_for(
+            &fx,
+            Some(feature("income").eq(fx.origin[idx::INCOME])),
+        );
+        let cands = run(&fx, &c, &CandidateParams::default());
+        for cand in &cands {
+            assert!(
+                (cand.profile[idx::INCOME] - fx.origin[idx::INCOME]).abs() < 1e-6,
+                "income must stay fixed"
+            );
+        }
+    }
+
+    #[test]
+    fn gap_constraint_limits_feature_count() {
+        let fx = fixture();
+        let c = constraint_for(&fx, Some(gap().le(1.0)));
+        for cand in run(&fx, &c, &CandidateParams::default()) {
+            assert!(cand.gap <= 1, "gap constraint violated: {}", cand.gap);
+        }
+    }
+
+    #[test]
+    fn min_gap_objective_prefers_fewer_changes() {
+        let fx = fixture();
+        let c = constraint_for(&fx, None);
+        let diff_params = CandidateParams {
+            objective: Objective::MinDiff,
+            diversity_lambda: 0.0,
+            ..Default::default()
+        };
+        let gap_params = CandidateParams {
+            objective: Objective::MinGap,
+            diversity_lambda: 0.0,
+            ..Default::default()
+        };
+        let by_diff = run(&fx, &c, &diff_params);
+        let by_gap = run(&fx, &c, &gap_params);
+        assert!(!by_diff.is_empty() && !by_gap.is_empty());
+        assert!(by_gap[0].gap <= by_diff[0].gap);
+    }
+
+    #[test]
+    fn max_confidence_objective_ranks_by_confidence() {
+        let fx = fixture();
+        let c = constraint_for(&fx, None);
+        let params = CandidateParams {
+            objective: Objective::MaxConfidence,
+            diversity_lambda: 0.0,
+            ..Default::default()
+        };
+        let cands = run(&fx, &c, &params);
+        for w in cands.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence - 1e-12);
+        }
+    }
+
+    #[test]
+    fn diversity_spreads_candidates() {
+        let fx = fixture();
+        let c = constraint_for(&fx, None);
+        let diverse = run(
+            &fx,
+            &c,
+            &CandidateParams {
+                diversity_lambda: 1.0,
+                top_k: 4,
+                ..Default::default()
+            },
+        );
+        let greedy = run(
+            &fx,
+            &c,
+            &CandidateParams {
+                diversity_lambda: 0.0,
+                top_k: 4,
+                ..Default::default()
+            },
+        );
+        // With diversity, mean pairwise distance should not be smaller.
+        let mean_pairwise = |cs: &[Candidate]| -> f64 {
+            let mut total = 0.0;
+            let mut n = 0usize;
+            for i in 0..cs.len() {
+                for j in (i + 1)..cs.len() {
+                    total += l2_diff(&cs[i].profile, &cs[j].profile);
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                0.0
+            } else {
+                total / n as f64
+            }
+        };
+        if diverse.len() >= 2 && greedy.len() >= 2 {
+            assert!(mean_pairwise(&diverse) + 1e-9 >= mean_pairwise(&greedy));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let fx = fixture();
+        let c = constraint_for(&fx, None);
+        let a = run(&fx, &c, &CandidateParams::default());
+        let b = run(&fx, &c, &CandidateParams::default());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.profile, y.profile);
+        }
+    }
+
+    #[test]
+    fn top_k_respected() {
+        let fx = fixture();
+        let c = constraint_for(&fx, None);
+        let cands = run(&fx, &c, &CandidateParams { top_k: 3, ..Default::default() });
+        assert!(cands.len() <= 3);
+    }
+
+    #[test]
+    fn impossible_constraints_yield_empty() {
+        let fx = fixture();
+        let c = constraint_for(&fx, Some(diff().le(0.0).and(gap().ge(1.0))));
+        let cands = run(&fx, &c, &CandidateParams::default());
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn already_approved_origin_appears_as_zero_gap_candidate() {
+        let fx = fixture();
+        // A comfortably approved profile.
+        let rich = vec![40.0, 1.0, 150_000.0, 500.0, 15.0, 10_000.0];
+        assert!(fx.model.predict_proba(&rich) > 0.5);
+        let (set, _) = jit_constraints::set::domain_constraints(&fx.schema);
+        let c = set.compile_at(0, &fx.schema).unwrap();
+        let g = CandidatesGenerator {
+            model: &fx.model,
+            delta: 0.5,
+            origin: &rich,
+            constraint: &c,
+            schema: &fx.schema,
+            scales: &fx.scales,
+            time_index: 2,
+        };
+        let cands = g.generate(&CandidateParams::default());
+        assert!(cands.iter().any(|c| c.gap == 0 && c.diff == 0.0));
+        assert!(cands.iter().all(|c| c.time_index == 2));
+    }
+
+    #[test]
+    fn refinement_reduces_diff_without_losing_feasibility() {
+        let fx = fixture();
+        let c = constraint_for(&fx, None);
+        let raw = run(
+            &fx,
+            &c,
+            &CandidateParams { refine: false, diversity_lambda: 0.0, ..Default::default() },
+        );
+        let refined = run(
+            &fx,
+            &c,
+            &CandidateParams { refine: true, diversity_lambda: 0.0, ..Default::default() },
+        );
+        assert!(!raw.is_empty() && !refined.is_empty());
+        let best = |cs: &[Candidate]| {
+            cs.iter().filter(|c| c.gap > 0).map(|c| c.diff).fold(f64::INFINITY, f64::min)
+        };
+        assert!(
+            best(&refined) <= best(&raw) + 1e-9,
+            "refinement must not worsen best diff: {} vs {}",
+            best(&refined),
+            best(&raw)
+        );
+        // Refined candidates must still be decision-altering and feasible.
+        for cand in &refined {
+            assert!(cand.confidence > 0.5);
+            assert!(fx.schema.row_in_bounds(&cand.profile));
+        }
+    }
+
+    #[test]
+    fn opaque_model_fallback_works() {
+        use jit_ml::model::ConstantModel;
+        // A model with no hints and a score the search cannot move: the
+        // origin (score 0.7 > delta 0.5) itself is the only candidate.
+        let fx = fixture();
+        let constant = ConstantModel::new(6, 0.7);
+        let (set, _) = jit_constraints::set::domain_constraints(&fx.schema);
+        let c = set.compile_at(0, &fx.schema).unwrap();
+        let g = CandidatesGenerator {
+            model: &constant,
+            delta: 0.5,
+            origin: &fx.origin,
+            constraint: &c,
+            schema: &fx.schema,
+            scales: &fx.scales,
+            time_index: 0,
+        };
+        let cands = g.generate(&CandidateParams::default());
+        assert!(!cands.is_empty());
+        // Everything is "altering" under a constant 0.7 model; diverse
+        // selection must still respect top_k.
+        assert!(cands.len() <= CandidateParams::default().top_k);
+    }
+
+    #[test]
+    fn linear_hints_drive_gradient_moves() {
+        use jit_temporal::future::LinearScoreModel;
+        let fx = fixture();
+        // Score rises with income (w=+1e-4) and falls with debt (w=-1e-3).
+        let mut w = vec![0.0; 6];
+        w[idx::INCOME] = 1e-4;
+        w[idx::DEBT] = -1e-3;
+        let model = LinearScoreModel::new(w, -4.0);
+        let (set, _) = jit_constraints::set::domain_constraints(&fx.schema);
+        let c = set.compile_at(0, &fx.schema).unwrap();
+        let g = CandidatesGenerator {
+            model: &model,
+            delta: 0.5,
+            origin: &fx.origin,
+            constraint: &c,
+            schema: &fx.schema,
+            scales: &fx.scales,
+            time_index: 0,
+        };
+        let cands = g.generate(&CandidateParams::default());
+        assert!(!cands.is_empty(), "gradient moves should reach approval");
+        // The moves must have gone the right way: income up or debt down.
+        for cand in &cands {
+            assert!(
+                cand.profile[idx::INCOME] >= fx.origin[idx::INCOME] - 1e-6
+                    || cand.profile[idx::DEBT] <= fx.origin[idx::DEBT] + 1e-6
+            );
+        }
+    }
+}

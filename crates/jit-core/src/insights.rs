@@ -1,0 +1,423 @@
+//! Verbal insights — the *Plans and Insights* screen (Figure 3b).
+//!
+//! Query results are relational rows; users get sentences: "Reapplying in
+//! 2021 without any modification is predicted to be APPROVED", "increase
+//! income from $46,000 to $50,100 (+$4,100)".
+
+use crate::candidates::Candidate;
+use crate::queries::CannedQuery;
+use crate::tables::candidate_from_row;
+use jit_data::{FeatureKind, FeatureSchema};
+use jit_db::ResultSet;
+
+/// A rendered insight for one canned query.
+#[derive(Clone, Debug)]
+pub struct Insight {
+    /// The paper's query id (Q1–Q6).
+    pub query_id: String,
+    /// The natural-language question.
+    pub question: String,
+    /// The SQL that was executed.
+    pub sql: String,
+    /// One-sentence answer.
+    pub headline: String,
+    /// Step-by-step plan / supporting details.
+    pub details: Vec<String>,
+}
+
+impl std::fmt::Display for Insight {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "[{}] {}", self.query_id, self.question)?;
+        writeln!(f, "  => {}", self.headline)?;
+        for d in &self.details {
+            writeln!(f, "     - {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Context needed to turn rows into sentences.
+pub struct InsightContext<'a> {
+    /// The feature schema.
+    pub schema: &'a FeatureSchema,
+    /// Temporal inputs `x_0..x_T` (plans are described as changes against
+    /// the right time point's projection).
+    pub temporal_inputs: &'a [Vec<f64>],
+    /// Calendar year of `t = 0`.
+    pub start_year: u32,
+    /// Years per time step (the admin's Δ).
+    pub period_years: u32,
+}
+
+impl<'a> InsightContext<'a> {
+    /// Calendar year of time point `t`.
+    pub fn year_of(&self, t: usize) -> u32 {
+        self.start_year + (t as u32) * self.period_years
+    }
+
+    /// Horizon `T` implied by the temporal inputs.
+    pub fn horizon(&self) -> usize {
+        self.temporal_inputs.len().saturating_sub(1)
+    }
+}
+
+/// Formats a feature value for humans (dollar features get separators).
+pub fn format_value(schema: &FeatureSchema, feature: usize, v: f64) -> String {
+    match schema.feature(feature).kind {
+        FeatureKind::Binary => {
+            if v >= 0.5 {
+                "yes".to_string()
+            } else {
+                "no".to_string()
+            }
+        }
+        FeatureKind::Ordinal => format!("{}", v.round() as i64),
+        FeatureKind::Continuous => {
+            if v.abs() >= 1000.0 {
+                format_thousands(v)
+            } else {
+                format!("{v:.1}")
+            }
+        }
+    }
+}
+
+fn format_thousands(v: f64) -> String {
+    let neg = v < 0.0;
+    let whole = v.abs().round() as i64;
+    let digits = whole.to_string();
+    let mut out = String::new();
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    if neg {
+        format!("-{out}")
+    } else {
+        out
+    }
+}
+
+/// Describes the changes a candidate asks for, relative to the temporal
+/// input at its time point. One sentence per modified feature.
+pub fn describe_plan(ctx: &InsightContext<'_>, cand: &Candidate) -> Vec<String> {
+    let t = cand.time_index.min(ctx.horizon());
+    let base = &ctx.temporal_inputs[t];
+    let mut out = Vec::new();
+    for (f, (cur, new)) in base.iter().zip(&cand.profile).enumerate() {
+        if (cur - new).abs() <= 1e-9 {
+            continue;
+        }
+        let meta = ctx.schema.feature(f);
+        let name = &meta.name;
+        if meta.kind == FeatureKind::Binary {
+            out.push(format!(
+                "change {name} from {} to {}",
+                format_value(ctx.schema, f, *cur),
+                format_value(ctx.schema, f, *new),
+            ));
+            continue;
+        }
+        let direction = if new > cur { "increase" } else { "decrease" };
+        let delta = new - cur;
+        let sign = if delta >= 0.0 { "+" } else { "-" };
+        out.push(format!(
+            "{direction} {name} from {} to {} ({sign}{})",
+            format_value(ctx.schema, f, *cur),
+            format_value(ctx.schema, f, *new),
+            format_value(ctx.schema, f, delta.abs()),
+        ));
+    }
+    if out.is_empty() {
+        out.push("no modification needed".to_string());
+    }
+    out
+}
+
+/// Renders one canned query's result into an [`Insight`].
+pub fn render(
+    ctx: &InsightContext<'_>,
+    query: &CannedQuery,
+    rs: &ResultSet,
+) -> Insight {
+    let mut insight = Insight {
+        query_id: query.id().to_string(),
+        question: query.question(),
+        sql: query.sql(),
+        headline: String::new(),
+        details: Vec::new(),
+    };
+    match query {
+        CannedQuery::NoModification => match rs.scalar().and_then(|v| v.as_i64()) {
+            Some(t) => {
+                let t = t as usize;
+                insight.headline = format!(
+                    "Reapply without modifications at t={t} ({}): predicted APPROVED.",
+                    ctx.year_of(t)
+                );
+            }
+            None => {
+                insight.headline = format!(
+                    "No future time point within the horizon (through {}) approves \
+                     the unmodified application.",
+                    ctx.year_of(ctx.horizon())
+                );
+            }
+        },
+        CannedQuery::MinimalFeatureSet
+        | CannedQuery::MinimalOverallModification
+        | CannedQuery::MaximalConfidence => {
+            match rs
+                .rows
+                .first()
+                .and_then(|row| candidate_from_row(ctx.schema, &rs.columns, row))
+            {
+                Some(cand) => {
+                    let what = match query {
+                        CannedQuery::MinimalFeatureSet => format!(
+                            "Smallest change set: {} feature(s), at t={} ({})",
+                            cand.gap,
+                            cand.time_index,
+                            ctx.year_of(cand.time_index)
+                        ),
+                        CannedQuery::MinimalOverallModification => format!(
+                            "Minimal overall modification (diff {:.1}) at t={} ({})",
+                            cand.diff,
+                            cand.time_index,
+                            ctx.year_of(cand.time_index)
+                        ),
+                        _ => format!(
+                            "Maximal confidence {:.1}% at t={} ({})",
+                            cand.confidence * 100.0,
+                            cand.time_index,
+                            ctx.year_of(cand.time_index)
+                        ),
+                    };
+                    insight.headline = format!("{what}.");
+                    insight.details = describe_plan(ctx, &cand);
+                    insight.details.push(format!(
+                        "predicted approval confidence: {:.1}%",
+                        cand.confidence * 100.0
+                    ));
+                }
+                None => {
+                    insight.headline =
+                        "No decision-altering candidate satisfies your constraints."
+                            .to_string();
+                }
+            }
+        }
+        CannedQuery::DominantFeature { feature } => {
+            let mut times: Vec<usize> = rs
+                .rows
+                .iter()
+                .filter_map(|r| r[0].as_i64())
+                .map(|t| t as usize)
+                .collect();
+            times.sort_unstable();
+            let all = (0..=ctx.horizon()).collect::<Vec<_>>();
+            if times == all {
+                insight.headline = format!(
+                    "Yes — modifying {feature} alone can achieve APPROVAL at every \
+                     time point through {}.",
+                    ctx.year_of(ctx.horizon())
+                );
+            } else if times.is_empty() {
+                insight.headline = format!(
+                    "No — modifying {feature} alone never suffices within the horizon."
+                );
+            } else {
+                let years: Vec<String> =
+                    times.iter().map(|t| ctx.year_of(*t).to_string()).collect();
+                insight.headline = format!(
+                    "Partially — {feature} alone suffices only at {} of {} time \
+                     points ({}).",
+                    times.len(),
+                    ctx.horizon() + 1,
+                    years.join(", ")
+                );
+            }
+        }
+        CannedQuery::TurningPoint { alpha } => {
+            match rs.scalar().and_then(|v| v.as_i64()) {
+                Some(t) => {
+                    let t = t as usize;
+                    insight.headline = format!(
+                        "From t={t} ({}) onward, some modification always reaches \
+                         confidence > {alpha}.",
+                        ctx.year_of(t)
+                    );
+                }
+                None => {
+                    insight.headline = format!(
+                        "No turning point within the horizon: confidence > {alpha} is \
+                         not always reachable."
+                    );
+                }
+            }
+        }
+    }
+    insight
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jit_db::Value;
+
+    fn ctx_fixture(inputs: &[Vec<f64>]) -> (FeatureSchema, Vec<Vec<f64>>) {
+        (FeatureSchema::lending_club(), inputs.to_vec())
+    }
+
+    fn john_inputs() -> Vec<Vec<f64>> {
+        vec![
+            vec![29.0, 0.0, 46_000.0, 2_300.0, 4.0, 24_000.0],
+            vec![30.0, 0.0, 46_920.0, 2_300.0, 5.0, 24_000.0],
+            vec![31.0, 0.0, 47_858.0, 2_300.0, 6.0, 24_000.0],
+        ]
+    }
+
+    #[test]
+    fn year_mapping() {
+        let (schema, inputs) = ctx_fixture(&john_inputs());
+        let ctx = InsightContext {
+            schema: &schema,
+            temporal_inputs: &inputs,
+            start_year: 2018,
+            period_years: 1,
+        };
+        assert_eq!(ctx.year_of(0), 2018);
+        assert_eq!(ctx.year_of(2), 2020);
+        assert_eq!(ctx.horizon(), 2);
+    }
+
+    #[test]
+    fn thousands_formatting() {
+        assert_eq!(format_thousands(46_000.0), "46,000");
+        assert_eq!(format_thousands(1_234_567.0), "1,234,567");
+        assert_eq!(format_thousands(-4_100.0), "-4,100");
+        assert_eq!(format_thousands(999.0), "999");
+    }
+
+    #[test]
+    fn format_value_by_kind() {
+        let schema = FeatureSchema::lending_club();
+        assert_eq!(format_value(&schema, 1, 1.0), "yes"); // household binary
+        assert_eq!(format_value(&schema, 1, 0.0), "no");
+        assert_eq!(format_value(&schema, 0, 29.4), "29"); // age ordinal
+        assert_eq!(format_value(&schema, 2, 46_000.0), "46,000"); // income
+        assert_eq!(format_value(&schema, 2, 450.5), "450.5");
+    }
+
+    #[test]
+    fn describe_plan_lists_changes() {
+        let (schema, inputs) = ctx_fixture(&john_inputs());
+        let ctx = InsightContext {
+            schema: &schema,
+            temporal_inputs: &inputs,
+            start_year: 2018,
+            period_years: 1,
+        };
+        let cand = Candidate {
+            time_index: 1,
+            profile: vec![30.0, 0.0, 50_000.0, 1_800.0, 5.0, 24_000.0],
+            gap: 2,
+            diff: 3_120.0,
+            confidence: 0.7,
+        };
+        let plan = describe_plan(&ctx, &cand);
+        assert_eq!(plan.len(), 2);
+        assert!(plan[0].contains("increase income from 46,920 to 50,000"), "{plan:?}");
+        assert!(plan[1].contains("decrease debt"), "{plan:?}");
+    }
+
+    #[test]
+    fn describe_plan_no_changes() {
+        let (schema, inputs) = ctx_fixture(&john_inputs());
+        let ctx = InsightContext {
+            schema: &schema,
+            temporal_inputs: &inputs,
+            start_year: 2018,
+            period_years: 1,
+        };
+        let cand = Candidate {
+            time_index: 0,
+            profile: inputs[0].clone(),
+            gap: 0,
+            diff: 0.0,
+            confidence: 0.6,
+        };
+        assert_eq!(describe_plan(&ctx, &cand), vec!["no modification needed"]);
+    }
+
+    #[test]
+    fn q1_rendering() {
+        let (schema, inputs) = ctx_fixture(&john_inputs());
+        let ctx = InsightContext {
+            schema: &schema,
+            temporal_inputs: &inputs,
+            start_year: 2018,
+            period_years: 1,
+        };
+        let rs = ResultSet {
+            columns: vec!["min(time)".to_string()],
+            rows: vec![vec![Value::Int(2)]],
+        };
+        let insight = render(&ctx, &CannedQuery::NoModification, &rs);
+        assert!(insight.headline.contains("t=2 (2020)"), "{}", insight.headline);
+
+        let empty = ResultSet {
+            columns: vec!["min(time)".to_string()],
+            rows: vec![vec![Value::Null]],
+        };
+        let insight = render(&ctx, &CannedQuery::NoModification, &empty);
+        assert!(insight.headline.contains("No future time point"), "{}", insight.headline);
+    }
+
+    #[test]
+    fn q3_rendering_variants() {
+        let (schema, inputs) = ctx_fixture(&john_inputs());
+        let ctx = InsightContext {
+            schema: &schema,
+            temporal_inputs: &inputs,
+            start_year: 2018,
+            period_years: 1,
+        };
+        let q = CannedQuery::DominantFeature { feature: "income".to_string() };
+        let full = ResultSet {
+            columns: vec!["t".to_string()],
+            rows: vec![
+                vec![Value::Int(0)],
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+            ],
+        };
+        assert!(render(&ctx, &q, &full).headline.starts_with("Yes"));
+        let partial = ResultSet {
+            columns: vec!["t".to_string()],
+            rows: vec![vec![Value::Int(1)]],
+        };
+        let h = render(&ctx, &q, &partial).headline;
+        assert!(h.starts_with("Partially"), "{h}");
+        assert!(h.contains("2019"), "{h}");
+        let none = ResultSet { columns: vec!["t".to_string()], rows: vec![] };
+        assert!(render(&ctx, &q, &none).headline.starts_with("No —"));
+    }
+
+    #[test]
+    fn display_format() {
+        let insight = Insight {
+            query_id: "Q1".to_string(),
+            question: "When?".to_string(),
+            sql: "SELECT 1".to_string(),
+            headline: "Now.".to_string(),
+            details: vec!["do nothing".to_string()],
+        };
+        let s = insight.to_string();
+        assert!(s.contains("[Q1] When?"));
+        assert!(s.contains("=> Now."));
+        assert!(s.contains("- do nothing"));
+    }
+}

@@ -1,0 +1,536 @@
+//! The end-to-end JustInTime pipeline (Figure 1).
+//!
+//! **Admin side, once:** the administrator configures the horizon `T`,
+//! interval `Δ` and domain constraints; the models generator trains the
+//! sequence `(M_t, δ_t)` from timestamped historical data.
+//!
+//! **Per user:** a [`UserSession`] takes the user's profile, preference
+//! constraints and (optionally overridden) temporal update function,
+//! generates the per-time-point decision-altering candidates — in
+//! parallel, as the paper notes the generators are independent — stores
+//! them in the relational database, and answers canned or ad-hoc SQL
+//! queries with rendered insights.
+
+use crate::candidates::{Candidate, CandidateParams, CandidatesGenerator};
+use crate::insights::{render, Insight, InsightContext};
+use crate::queries::CannedQuery;
+use crate::tables;
+use jit_constraints::ConstraintSet;
+use jit_data::FeatureSchema;
+use jit_db::{Database, DbError, ResultSet};
+use jit_math::Matrix;
+use jit_ml::Dataset;
+use jit_temporal::future::{FutureModel, FutureModelsGenerator, FutureModelsParams};
+use jit_temporal::update::TemporalUpdateFn;
+
+/// Administrator configuration (the admin UI of Figure 1).
+#[derive(Clone, Debug)]
+pub struct AdminConfig {
+    /// Number of future time points `T`.
+    pub horizon: usize,
+    /// Calendar year of `t = 0` (presentation only).
+    pub start_year: u32,
+    /// Years per time step (`Δ`).
+    pub period_years: u32,
+    /// Future-model generation parameters (its `horizon` field is
+    /// overwritten with `self.horizon` during training).
+    pub future: FutureModelsParams,
+    /// Candidate-search parameters.
+    pub candidates: CandidateParams,
+    /// Run the per-time-point generators on parallel threads.
+    pub parallel_generators: bool,
+}
+
+impl Default for AdminConfig {
+    fn default() -> Self {
+        AdminConfig {
+            horizon: 5,
+            start_year: 2019,
+            period_years: 1,
+            future: FutureModelsParams::default(),
+            candidates: CandidateParams::default(),
+            parallel_generators: true,
+        }
+    }
+}
+
+/// Errors from training the system.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The models generator failed.
+    Future(jit_temporal::future::FutureError),
+    /// Slices' feature dimension does not match the schema.
+    DimensionMismatch {
+        /// Schema dimension.
+        expected: usize,
+        /// Slice dimension encountered.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Future(e) => write!(f, "models generator failed: {e}"),
+            TrainError::DimensionMismatch { expected, found } => {
+                write!(f, "slice dimension {found} does not match schema {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Errors from opening a user session.
+#[derive(Debug)]
+pub enum SessionError {
+    /// Profile dimension mismatch.
+    DimensionMismatch {
+        /// Schema dimension.
+        expected: usize,
+        /// Profile dimension given.
+        found: usize,
+    },
+    /// A user constraint referenced an unknown feature.
+    UnknownFeature(String),
+    /// Database population failed.
+    Db(DbError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::DimensionMismatch { expected, found } => {
+                write!(f, "profile dimension {found} does not match schema {expected}")
+            }
+            SessionError::UnknownFeature(name) => {
+                write!(f, "user constraint references unknown feature {name:?}")
+            }
+            SessionError::Db(e) => write!(f, "database error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<DbError> for SessionError {
+    fn from(e: DbError) -> Self {
+        SessionError::Db(e)
+    }
+}
+
+/// The trained JustInTime system (admin side of Figure 1).
+pub struct JustInTime {
+    config: AdminConfig,
+    schema: FeatureSchema,
+    models: Vec<FutureModel>,
+    scales: Vec<f64>,
+    domain: ConstraintSet,
+}
+
+impl JustInTime {
+    /// Trains the system: fits the future model sequence on historical
+    /// slices and derives domain constraints from the schema.
+    pub fn train(
+        config: AdminConfig,
+        schema: &FeatureSchema,
+        slices: &[Dataset],
+    ) -> Result<Self, TrainError> {
+        for s in slices {
+            if !s.is_empty() && s.dim() != schema.dim() {
+                return Err(TrainError::DimensionMismatch {
+                    expected: schema.dim(),
+                    found: s.dim(),
+                });
+            }
+        }
+        let mut future_params = config.future.clone();
+        future_params.horizon = config.horizon;
+        let generator = FutureModelsGenerator::new(future_params);
+        let models = generator.generate(slices).map_err(TrainError::Future)?;
+
+        // Per-feature scales from the union of all slices.
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for s in slices {
+            rows.extend(s.rows().iter().cloned());
+        }
+        let scales = if rows.is_empty() {
+            vec![1.0; schema.dim()]
+        } else {
+            jit_math::Standardizer::fit(&Matrix::from_rows(&rows))
+                .stds()
+                .to_vec()
+        };
+        let (domain, _immutable) = jit_constraints::set::domain_constraints(schema);
+        Ok(JustInTime { config, schema: schema.clone(), models, scales, domain })
+    }
+
+    /// The admin configuration.
+    pub fn config(&self) -> &AdminConfig {
+        &self.config
+    }
+
+    /// The feature schema.
+    pub fn schema(&self) -> &FeatureSchema {
+        &self.schema
+    }
+
+    /// The `(M_t, δ_t)` sequence, `t = 0..=T`.
+    pub fn models(&self) -> &[FutureModel] {
+        &self.models
+    }
+
+    /// Per-feature scales learned from the training data.
+    pub fn scales(&self) -> &[f64] {
+        &self.scales
+    }
+
+    /// Calendar year of time point `t`.
+    pub fn year_of(&self, t: usize) -> u32 {
+        self.config.start_year + (t as u32) * self.config.period_years
+    }
+
+    /// The default temporal update function (schema-derived).
+    pub fn default_update_fn(&self) -> TemporalUpdateFn {
+        TemporalUpdateFn::from_schema(&self.schema)
+    }
+
+    /// Opens a session for one user.
+    ///
+    /// * `profile` — the user's present feature vector `x`;
+    /// * `user_constraints` — preferences/limitations from the
+    ///   *Personal Preferences* screen (conjoined with domain constraints);
+    /// * `update_fn` — `None` uses the schema-derived temporal update
+    ///   function.
+    pub fn session(
+        &self,
+        profile: &[f64],
+        user_constraints: &ConstraintSet,
+        update_fn: Option<TemporalUpdateFn>,
+    ) -> Result<UserSession<'_>, SessionError> {
+        if profile.len() != self.schema.dim() {
+            return Err(SessionError::DimensionMismatch {
+                expected: self.schema.dim(),
+                found: profile.len(),
+            });
+        }
+        let update = update_fn.unwrap_or_else(|| self.default_update_fn());
+        let temporal_inputs = update.project_all(profile, self.config.horizon);
+
+        // Conjoin domain and user constraints once.
+        let mut all = self.domain.clone();
+        all.merge(user_constraints);
+
+        let candidates = self.generate_candidates(&temporal_inputs, &all)?;
+
+        // Populate the relational database.
+        let db = Database::new();
+        tables::create_tables(&db, &self.schema)?;
+        tables::insert_temporal_inputs(&db, &temporal_inputs)?;
+        tables::insert_candidates(&db, &candidates)?;
+
+        Ok(UserSession {
+            system: self,
+            profile: profile.to_vec(),
+            temporal_inputs,
+            candidates,
+            db,
+        })
+    }
+
+    /// Runs the per-time-point generators; parallel when configured
+    /// (§II-B: "The generators are independent of each other, and thus
+    /// they can be executed in parallel").
+    fn generate_candidates(
+        &self,
+        temporal_inputs: &[Vec<f64>],
+        constraints: &ConstraintSet,
+    ) -> Result<Vec<Candidate>, SessionError> {
+        let run_one = |t: usize| -> Result<Vec<Candidate>, SessionError> {
+            let bound = constraints
+                .compile_at(t, &self.schema)
+                .map_err(|e| SessionError::UnknownFeature(e.0))?;
+            let model = &self.models[t];
+            let generator = CandidatesGenerator {
+                model: &model.model,
+                delta: model.delta,
+                origin: &temporal_inputs[t],
+                constraint: &bound,
+                schema: &self.schema,
+                scales: &self.scales,
+                time_index: t,
+            };
+            Ok(generator.generate(&self.config.candidates))
+        };
+
+        let times: Vec<usize> = (0..=self.config.horizon).collect();
+        if self.config.parallel_generators && times.len() > 1 {
+            let mut results: Vec<Result<Vec<Candidate>, SessionError>> =
+                Vec::with_capacity(times.len());
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = times
+                    .iter()
+                    .map(|&t| scope.spawn(move |_| run_one(t)))
+                    .collect();
+                for h in handles {
+                    results.push(h.join().expect("generator thread panicked"));
+                }
+            })
+            .expect("crossbeam scope failed");
+            let mut all = Vec::new();
+            for r in results {
+                all.extend(r?);
+            }
+            Ok(all)
+        } else {
+            let mut all = Vec::new();
+            for &t in &times {
+                all.extend(run_one(t)?);
+            }
+            Ok(all)
+        }
+    }
+}
+
+/// A per-user session: generated candidates plus the queryable database.
+pub struct UserSession<'a> {
+    system: &'a JustInTime,
+    profile: Vec<f64>,
+    temporal_inputs: Vec<Vec<f64>>,
+    candidates: Vec<Candidate>,
+    db: Database,
+}
+
+impl std::fmt::Debug for UserSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UserSession")
+            .field("profile", &self.profile)
+            .field("candidates", &self.candidates.len())
+            .field("horizon", &(self.temporal_inputs.len().saturating_sub(1)))
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> UserSession<'a> {
+    /// The user's present profile.
+    pub fn profile(&self) -> &[f64] {
+        &self.profile
+    }
+
+    /// The temporal inputs `x_0..x_T`.
+    pub fn temporal_inputs(&self) -> &[Vec<f64>] {
+        &self.temporal_inputs
+    }
+
+    /// All generated decision-altering candidates.
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.candidates
+    }
+
+    /// The underlying relational database (expert access).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The present model's verdict on the unmodified profile:
+    /// `(confidence, approved)`.
+    pub fn present_decision(&self) -> (f64, bool) {
+        let m = &self.system.models()[0];
+        let conf = m.model.predict_proba(&self.profile);
+        (conf, conf > m.delta)
+    }
+
+    /// Executes raw SQL (the expert interface of §II-C).
+    pub fn sql(&self, sql: &str) -> Result<ResultSet, DbError> {
+        self.db.execute(sql)
+    }
+
+    /// Runs one canned query and renders its insight.
+    pub fn run(&self, query: &CannedQuery) -> Result<Insight, DbError> {
+        let rs = self.db.execute(&query.sql())?;
+        let ctx = InsightContext {
+            schema: self.system.schema(),
+            temporal_inputs: &self.temporal_inputs,
+            start_year: self.system.config().start_year,
+            period_years: self.system.config().period_years,
+        };
+        Ok(render(&ctx, query, &rs))
+    }
+
+    /// Runs the full canned catalogue (the demo's Queries screen).
+    pub fn run_all(&self) -> Result<Vec<Insight>, DbError> {
+        CannedQuery::catalogue().iter().map(|q| self.run(q)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jit_data::{LendingClubGenerator, LendingClubParams};
+
+    fn lending_slices(per_year: usize) -> (FeatureSchema, Vec<Dataset>) {
+        let gen = LendingClubGenerator::new(LendingClubParams {
+            records_per_year: per_year,
+            ..Default::default()
+        });
+        let slices: Vec<Dataset> = gen
+            .years()
+            .into_iter()
+            .map(|y| LendingClubGenerator::to_dataset(&gen.records_for_year(y)))
+            .collect();
+        (gen.schema().clone(), slices)
+    }
+
+    fn small_config(horizon: usize) -> AdminConfig {
+        use jit_ml::RandomForestParams;
+        AdminConfig {
+            horizon,
+            start_year: 2019,
+            period_years: 1,
+            future: FutureModelsParams {
+                n_landmarks: 40,
+                pool_slices: 3,
+                forest: RandomForestParams { n_trees: 12, ..Default::default() },
+                ..Default::default()
+            },
+            candidates: CandidateParams {
+                beam_width: 6,
+                max_iters: 4,
+                top_k: 6,
+                ..Default::default()
+            },
+            parallel_generators: true,
+        }
+    }
+
+    fn trained(horizon: usize) -> JustInTime {
+        let (schema, slices) = lending_slices(250);
+        JustInTime::train(small_config(horizon), &schema, &slices).unwrap()
+    }
+
+    #[test]
+    fn train_produces_model_sequence() {
+        let system = trained(3);
+        assert_eq!(system.models().len(), 4);
+        assert_eq!(system.year_of(0), 2019);
+        assert_eq!(system.year_of(3), 2022);
+        assert_eq!(system.scales().len(), 6);
+    }
+
+    #[test]
+    fn john_session_end_to_end() {
+        let system = trained(3);
+        let session = system
+            .session(&LendingClubGenerator::john(), &ConstraintSet::new(), None)
+            .unwrap();
+        // Temporal inputs: age advances.
+        assert_eq!(session.temporal_inputs().len(), 4);
+        assert_eq!(session.temporal_inputs()[2][0], 31.0);
+        // Candidates exist and are stamped with valid times.
+        assert!(!session.candidates().is_empty());
+        assert!(session.candidates().iter().all(|c| c.time_index <= 3));
+        // The database is populated and queryable.
+        assert_eq!(
+            session.db().row_count(crate::tables::CANDIDATES_TABLE).unwrap(),
+            session.candidates().len()
+        );
+        let rs = session.sql("SELECT COUNT(*) FROM temporal_inputs").unwrap();
+        assert_eq!(rs.scalar().unwrap().as_i64(), Some(4));
+    }
+
+    #[test]
+    fn canned_queries_render_insights() {
+        let system = trained(2);
+        let session = system
+            .session(&LendingClubGenerator::john(), &ConstraintSet::new(), None)
+            .unwrap();
+        let insights = session.run_all().unwrap();
+        assert_eq!(insights.len(), 6);
+        for i in &insights {
+            assert!(!i.headline.is_empty(), "{} missing headline", i.query_id);
+        }
+    }
+
+    #[test]
+    fn user_constraints_flow_through() {
+        use jit_constraints::builder::*;
+        let system = trained(2);
+        let mut prefs = ConstraintSet::new();
+        prefs.add(gap().le(1.0));
+        let session = system
+            .session(&LendingClubGenerator::john(), &prefs, None)
+            .unwrap();
+        for c in session.candidates() {
+            assert!(c.gap <= 1, "gap constraint leaked: {}", c.gap);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let (schema, slices) = lending_slices(250);
+        let mut cfg = small_config(2);
+        cfg.parallel_generators = true;
+        let par = JustInTime::train(cfg.clone(), &schema, &slices).unwrap();
+        cfg.parallel_generators = false;
+        let ser = JustInTime::train(cfg, &schema, &slices).unwrap();
+        let ps = par
+            .session(&LendingClubGenerator::john(), &ConstraintSet::new(), None)
+            .unwrap();
+        let ss = ser
+            .session(&LendingClubGenerator::john(), &ConstraintSet::new(), None)
+            .unwrap();
+        assert_eq!(ps.candidates().len(), ss.candidates().len());
+        for (a, b) in ps.candidates().iter().zip(ss.candidates()) {
+            assert_eq!(a.profile, b.profile);
+            assert_eq!(a.time_index, b.time_index);
+        }
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let system = trained(1);
+        let err = system
+            .session(&[1.0, 2.0], &ConstraintSet::new(), None)
+            .unwrap_err();
+        assert!(matches!(err, SessionError::DimensionMismatch { expected: 6, found: 2 }));
+    }
+
+    #[test]
+    fn unknown_feature_in_user_constraints() {
+        use jit_constraints::builder::*;
+        let system = trained(1);
+        let mut prefs = ConstraintSet::new();
+        prefs.add(feature("fico_score").ge(700.0));
+        let err = system
+            .session(&LendingClubGenerator::john(), &prefs, None)
+            .unwrap_err();
+        assert!(matches!(err, SessionError::UnknownFeature(f) if f == "fico_score"));
+    }
+
+    #[test]
+    fn custom_update_fn_respected() {
+        use jit_temporal::update::Override;
+        let system = trained(2);
+        let mut update = system.default_update_fn();
+        update.override_feature(
+            "debt",
+            Override::Trajectory(vec![1_000.0, 0.0]),
+        );
+        let session = system
+            .session(&LendingClubGenerator::john(), &ConstraintSet::new(), Some(update))
+            .unwrap();
+        assert_eq!(session.temporal_inputs()[1][3], 1_000.0);
+        assert_eq!(session.temporal_inputs()[2][3], 0.0);
+    }
+
+    #[test]
+    fn present_decision_rejects_john() {
+        let system = trained(1);
+        let session = system
+            .session(&LendingClubGenerator::john(), &ConstraintSet::new(), None)
+            .unwrap();
+        let (conf, approved) = session.present_decision();
+        assert!((0.0..=1.0).contains(&conf));
+        assert!(!approved, "John should start rejected (conf {conf})");
+    }
+}

@@ -1,0 +1,272 @@
+//! The canned questions of the paper's introduction, translated to the
+//! SQL of Figure 2.
+//!
+//! Non-expert users pick one of these on the *Queries* screen; experts can
+//! bypass them and issue raw SQL (`UserSession::sql`).
+
+use std::fmt;
+
+/// A predefined user question (paper intro, questions 1–6).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CannedQuery {
+    /// Q1 — "What is the closest time point (if any) at which reapplying
+    /// without modifications will be APPROVED?"
+    NoModification,
+    /// Q2 — "What is the smallest set of features whose modification can
+    /// lead to APPROVAL? (when? and how should they be modified?)"
+    MinimalFeatureSet,
+    /// Q3 — "Is there a single feature whose modification leads to
+    /// APPROVAL in all future time points?" (parameterized by feature, as
+    /// in Figure 2's `income` example)
+    DominantFeature {
+        /// The feature being tested for dominance.
+        feature: String,
+    },
+    /// Q4 — "What is the minimal overall modification (by some distance
+    /// measure) that leads to APPROVAL, and when?"
+    MinimalOverallModification,
+    /// Q5 — "Which modifications (and at which time point) would maximize
+    /// chances of APPROVAL?"
+    MaximalConfidence,
+    /// Q6 — "Is there a time point after which, with some modifications,
+    /// the confidence of being APPROVED always exceeds α?"
+    TurningPoint {
+        /// The confidence level α.
+        alpha: f64,
+    },
+}
+
+impl CannedQuery {
+    /// All six canned queries with representative parameters.
+    pub fn catalogue() -> Vec<CannedQuery> {
+        vec![
+            CannedQuery::NoModification,
+            CannedQuery::MinimalFeatureSet,
+            CannedQuery::DominantFeature { feature: "income".to_string() },
+            CannedQuery::MinimalOverallModification,
+            CannedQuery::MaximalConfidence,
+            CannedQuery::TurningPoint { alpha: 0.75 },
+        ]
+    }
+
+    /// Short identifier (Q1–Q6), matching the paper's numbering.
+    pub fn id(&self) -> &'static str {
+        match self {
+            CannedQuery::NoModification => "Q1",
+            CannedQuery::MinimalFeatureSet => "Q2",
+            CannedQuery::DominantFeature { .. } => "Q3",
+            CannedQuery::MinimalOverallModification => "Q4",
+            CannedQuery::MaximalConfidence => "Q5",
+            CannedQuery::TurningPoint { .. } => "Q6",
+        }
+    }
+
+    /// The question as shown on the Queries screen.
+    pub fn question(&self) -> String {
+        match self {
+            CannedQuery::NoModification => {
+                "What is the closest time point at which reapplying without \
+                 modifications will be APPROVED?"
+                    .to_string()
+            }
+            CannedQuery::MinimalFeatureSet => {
+                "What is the smallest set of features whose modification can \
+                 lead to APPROVAL?"
+                    .to_string()
+            }
+            CannedQuery::DominantFeature { feature } => format!(
+                "Can modifying {feature} alone lead to APPROVAL in all future \
+                 time points?"
+            ),
+            CannedQuery::MinimalOverallModification => {
+                "What is the minimal overall modification that leads to \
+                 APPROVAL, and when?"
+                    .to_string()
+            }
+            CannedQuery::MaximalConfidence => {
+                "Which modifications (and at which time point) would maximize \
+                 chances of APPROVAL?"
+                    .to_string()
+            }
+            CannedQuery::TurningPoint { alpha } => format!(
+                "Is there a time point after which, with some modifications, \
+                 the confidence of APPROVAL always exceeds {alpha}?"
+            ),
+        }
+    }
+
+    /// The SQL executed against the candidates database. Q1–Q6 follow
+    /// Figure 2; Q2/Q4/Q5 add deterministic tie-breaks so results are
+    /// stable, and Q6's elided subquery is materialized as "times with no
+    /// candidate above α" (with a strict `>` so the turning point itself
+    /// qualifies).
+    pub fn sql(&self) -> String {
+        match self {
+            CannedQuery::NoModification => {
+                "SELECT Min(time) FROM candidates WHERE diff = 0".to_string()
+            }
+            CannedQuery::MinimalFeatureSet => {
+                "SELECT * FROM candidates ORDER BY gap, diff, time LIMIT 1".to_string()
+            }
+            CannedQuery::DominantFeature { feature } => format!(
+                "SELECT distinct time as t FROM candidates WHERE EXISTS \
+                 (SELECT * FROM candidates as cnd INNER JOIN temporal_inputs as ti \
+                  ON ti.time = cnd.time WHERE cnd.time = t AND ((cnd.gap = 0) OR \
+                  (cnd.gap = 1 AND cnd.{feature} != ti.{feature})))"
+            ),
+            CannedQuery::MinimalOverallModification => {
+                "SELECT * FROM candidates ORDER BY diff, gap, time LIMIT 1".to_string()
+            }
+            CannedQuery::MaximalConfidence => {
+                "SELECT * FROM candidates ORDER BY p DESC, diff, time LIMIT 1"
+                    .to_string()
+            }
+            CannedQuery::TurningPoint { alpha } => format!(
+                "SELECT Min(time) FROM candidates WHERE time > ALL \
+                 (SELECT time as t FROM temporal_inputs WHERE NOT EXISTS \
+                  (SELECT * FROM candidates as c2 WHERE c2.time = t AND c2.p > {alpha}))"
+            ),
+        }
+    }
+}
+
+impl fmt::Display for CannedQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.id(), self.question())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::Candidate;
+    use crate::tables;
+    use jit_data::FeatureSchema;
+    use jit_db::Database;
+
+    fn cand(t: usize, gap: usize, diff: f64, p: f64, income: f64) -> Candidate {
+        Candidate {
+            time_index: t,
+            profile: vec![29.0 + t as f64, 0.0, income, 2_300.0, 4.0, 24_000.0],
+            gap,
+            diff,
+            confidence: p,
+        }
+    }
+
+    /// temporal inputs at income 46000 for every t; candidates staged so
+    /// every canned query has a hand-computable answer.
+    fn demo_db() -> Database {
+        let schema = FeatureSchema::lending_club();
+        let db = Database::new();
+        tables::create_tables(&db, &schema).unwrap();
+        tables::insert_temporal_inputs(
+            &db,
+            &[
+                vec![29.0, 0.0, 46_000.0, 2_300.0, 4.0, 24_000.0],
+                vec![30.0, 0.0, 46_000.0, 2_300.0, 4.0, 24_000.0],
+                vec![31.0, 0.0, 46_000.0, 2_300.0, 4.0, 24_000.0],
+            ],
+        )
+        .unwrap();
+        tables::insert_candidates(
+            &db,
+            &[
+                cand(0, 2, 5_000.0, 0.62, 52_000.0),
+                cand(1, 1, 3_000.0, 0.71, 49_000.0), // income-only change
+                cand(1, 0, 0.0, 0.58, 46_000.0),     // no modification at t=1
+                cand(2, 1, 2_000.0, 0.80, 48_000.0), // income-only change
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn all_queries_parse_and_run() {
+        let db = demo_db();
+        for q in CannedQuery::catalogue() {
+            let rs = db.execute(&q.sql());
+            assert!(rs.is_ok(), "{} failed: {:?}", q.id(), rs.err());
+        }
+    }
+
+    #[test]
+    fn q1_returns_first_free_approval() {
+        let db = demo_db();
+        let rs = db.execute(&CannedQuery::NoModification.sql()).unwrap();
+        assert_eq!(rs.scalar().unwrap().as_i64(), Some(1));
+    }
+
+    #[test]
+    fn q2_returns_zero_gap_candidate() {
+        let db = demo_db();
+        let rs = db.execute(&CannedQuery::MinimalFeatureSet.sql()).unwrap();
+        let gap = rs.column_index("gap").unwrap();
+        assert_eq!(rs.rows[0][gap].as_i64(), Some(0));
+    }
+
+    #[test]
+    fn q3_income_dominance_counts_times() {
+        let db = demo_db();
+        let q = CannedQuery::DominantFeature { feature: "income".to_string() };
+        let rs = db.execute(&q.sql()).unwrap();
+        // t=1 qualifies (gap 0 + income-only), t=2 qualifies (income-only);
+        // t=0 has only a gap-2 candidate.
+        let mut ts: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        ts.sort_unstable();
+        assert_eq!(ts, vec![1, 2]);
+    }
+
+    #[test]
+    fn q4_minimal_diff_row() {
+        let db = demo_db();
+        let rs = db
+            .execute(&CannedQuery::MinimalOverallModification.sql())
+            .unwrap();
+        let diff = rs.column_index("diff").unwrap();
+        assert_eq!(rs.rows[0][diff].as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn q5_max_confidence_row() {
+        let db = demo_db();
+        let rs = db.execute(&CannedQuery::MaximalConfidence.sql()).unwrap();
+        let p = rs.column_index("p").unwrap();
+        assert_eq!(rs.rows[0][p].as_f64(), Some(0.80));
+    }
+
+    #[test]
+    fn q6_turning_point_alpha_dependent() {
+        let db = demo_db();
+        // α = 0.55: every time point has a candidate above it -> turning
+        // point is 0.
+        let rs = db
+            .execute(&CannedQuery::TurningPoint { alpha: 0.55 }.sql())
+            .unwrap();
+        assert_eq!(rs.scalar().unwrap().as_i64(), Some(0));
+        // α = 0.65: t=0 (max 0.62) fails, t=1 (0.71) and t=2 (0.80) pass ->
+        // turning point 1.
+        let rs = db
+            .execute(&CannedQuery::TurningPoint { alpha: 0.65 }.sql())
+            .unwrap();
+        assert_eq!(rs.scalar().unwrap().as_i64(), Some(1));
+        // α = 0.9: no time qualifies; the last failing time is 2, nothing
+        // is beyond it -> NULL (no turning point).
+        let rs = db
+            .execute(&CannedQuery::TurningPoint { alpha: 0.9 }.sql())
+            .unwrap();
+        assert!(rs.scalar().unwrap().is_null());
+    }
+
+    #[test]
+    fn ids_and_questions_stable() {
+        let qs = CannedQuery::catalogue();
+        let ids: Vec<&str> = qs.iter().map(|q| q.id()).collect();
+        assert_eq!(ids, vec!["Q1", "Q2", "Q3", "Q4", "Q5", "Q6"]);
+        for q in &qs {
+            assert!(!q.question().is_empty());
+            assert!(q.to_string().starts_with(q.id()));
+        }
+    }
+}

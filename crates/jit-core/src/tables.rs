@@ -1,0 +1,190 @@
+//! Materializing the relational tables (paper §II-B).
+//!
+//! Two tables per user session:
+//!
+//! * `temporal_inputs(time, <feature columns>)` — the future
+//!   representations `x_0..x_T` produced by the temporal update function;
+//! * `candidates(time, <feature columns>, gap, diff, p)` — the
+//!   decision-altering candidates per time point, with the three special
+//!   properties; `p` is the model confidence (the paper's Q5 orders by
+//!   `p`).
+
+use crate::candidates::Candidate;
+use jit_data::FeatureSchema;
+use jit_db::{ColumnType, Database, DbError, Value};
+
+/// Name of the candidates table.
+pub const CANDIDATES_TABLE: &str = "candidates";
+/// Name of the temporal inputs table.
+pub const TEMPORAL_INPUTS_TABLE: &str = "temporal_inputs";
+
+/// Creates both tables for the given feature schema.
+pub fn create_tables(db: &Database, schema: &FeatureSchema) -> Result<(), DbError> {
+    let mut cand_cols = vec![("time".to_string(), ColumnType::Integer)];
+    let mut input_cols = vec![("time".to_string(), ColumnType::Integer)];
+    for f in schema.features() {
+        cand_cols.push((f.name.clone(), ColumnType::Real));
+        input_cols.push((f.name.clone(), ColumnType::Real));
+    }
+    cand_cols.push(("gap".to_string(), ColumnType::Integer));
+    cand_cols.push(("diff".to_string(), ColumnType::Real));
+    cand_cols.push(("p".to_string(), ColumnType::Real));
+    db.create_table(CANDIDATES_TABLE, cand_cols)?;
+    db.create_table(TEMPORAL_INPUTS_TABLE, input_cols)?;
+    Ok(())
+}
+
+/// Inserts the temporal input rows `x_0..x_T`.
+pub fn insert_temporal_inputs(
+    db: &Database,
+    inputs: &[Vec<f64>],
+) -> Result<(), DbError> {
+    let rows: Vec<Vec<Value>> = inputs
+        .iter()
+        .enumerate()
+        .map(|(t, x)| {
+            let mut row = Vec::with_capacity(x.len() + 1);
+            row.push(Value::Int(t as i64));
+            row.extend(x.iter().map(|v| Value::Float(*v)));
+            row
+        })
+        .collect();
+    db.insert_rows(TEMPORAL_INPUTS_TABLE, rows)
+}
+
+/// Inserts candidate rows.
+pub fn insert_candidates(db: &Database, candidates: &[Candidate]) -> Result<(), DbError> {
+    let rows: Vec<Vec<Value>> = candidates
+        .iter()
+        .map(|c| {
+            let mut row = Vec::with_capacity(c.profile.len() + 4);
+            row.push(Value::Int(c.time_index as i64));
+            row.extend(c.profile.iter().map(|v| Value::Float(*v)));
+            row.push(Value::Int(c.gap as i64));
+            row.push(Value::Float(c.diff));
+            row.push(Value::Float(c.confidence));
+            row
+        })
+        .collect();
+    db.insert_rows(CANDIDATES_TABLE, rows)
+}
+
+/// Reads a candidate back from a `SELECT * FROM candidates` result row.
+pub fn candidate_from_row(
+    schema: &FeatureSchema,
+    columns: &[String],
+    row: &[Value],
+) -> Option<Candidate> {
+    let find = |name: &str| columns.iter().position(|c| c.eq_ignore_ascii_case(name));
+    let time = row[find("time")?].as_i64()? as usize;
+    let mut profile = Vec::with_capacity(schema.dim());
+    for f in schema.features() {
+        profile.push(row[find(&f.name)?].as_f64()?);
+    }
+    Some(Candidate {
+        time_index: time,
+        profile,
+        gap: row[find("gap")?].as_i64()? as usize,
+        diff: row[find("diff")?].as_f64()?,
+        confidence: row[find("p")?].as_f64()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_candidate(t: usize) -> Candidate {
+        Candidate {
+            time_index: t,
+            profile: vec![30.0, 1.0, 50_000.0, 1_000.0, 5.0, 20_000.0],
+            gap: 2,
+            diff: 1234.5,
+            confidence: 0.71,
+        }
+    }
+
+    #[test]
+    fn create_and_populate() {
+        let schema = FeatureSchema::lending_club();
+        let db = Database::new();
+        create_tables(&db, &schema).unwrap();
+        insert_temporal_inputs(
+            &db,
+            &[vec![29.0, 0.0, 46_000.0, 2_300.0, 4.0, 24_000.0]],
+        )
+        .unwrap();
+        insert_candidates(&db, &[sample_candidate(0), sample_candidate(1)]).unwrap();
+        assert_eq!(db.row_count(CANDIDATES_TABLE).unwrap(), 2);
+        assert_eq!(db.row_count(TEMPORAL_INPUTS_TABLE).unwrap(), 1);
+
+        let rs = db
+            .execute("SELECT income FROM temporal_inputs WHERE time = 0")
+            .unwrap();
+        assert_eq!(rs.scalar().unwrap().as_f64(), Some(46_000.0));
+        let rs = db
+            .execute("SELECT p FROM candidates WHERE time = 1")
+            .unwrap();
+        assert_eq!(rs.scalar().unwrap().as_f64(), Some(0.71));
+    }
+
+    #[test]
+    fn roundtrip_candidate_through_sql() {
+        let schema = FeatureSchema::lending_club();
+        let db = Database::new();
+        create_tables(&db, &schema).unwrap();
+        let original = sample_candidate(3);
+        insert_candidates(&db, std::slice::from_ref(&original)).unwrap();
+        let rs = db.execute("SELECT * FROM candidates").unwrap();
+        let back = candidate_from_row(&schema, &rs.columns, &rs.rows[0]).unwrap();
+        assert_eq!(back.time_index, 3);
+        assert_eq!(back.profile, original.profile);
+        assert_eq!(back.gap, 2);
+        assert_eq!(back.diff, 1234.5);
+        assert_eq!(back.confidence, 0.71);
+    }
+
+    #[test]
+    fn paper_queries_run_against_schema() {
+        let schema = FeatureSchema::lending_club();
+        let db = Database::new();
+        create_tables(&db, &schema).unwrap();
+        insert_temporal_inputs(
+            &db,
+            &[
+                vec![29.0, 0.0, 46_000.0, 2_300.0, 4.0, 24_000.0],
+                vec![30.0, 0.0, 46_920.0, 2_300.0, 5.0, 24_000.0],
+            ],
+        )
+        .unwrap();
+        let mut zero_gap = sample_candidate(1);
+        zero_gap.gap = 0;
+        zero_gap.diff = 0.0;
+        insert_candidates(&db, &[sample_candidate(0), zero_gap]).unwrap();
+
+        // Q1 works against the real schema.
+        let rs = db
+            .execute("SELECT Min(time) FROM candidates WHERE diff = 0")
+            .unwrap();
+        assert_eq!(rs.scalar().unwrap().as_i64(), Some(1));
+        // Q3's join works against the real schema.
+        let rs = db
+            .execute(
+                "SELECT distinct time as t FROM candidates WHERE EXISTS \
+                 (SELECT * FROM candidates as cnd INNER JOIN temporal_inputs as ti \
+                  ON ti.time = cnd.time WHERE cnd.time = t AND ((cnd.gap = 0) OR \
+                  (cnd.gap = 1 AND cnd.income != ti.income)))",
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0].as_i64(), Some(1));
+    }
+
+    #[test]
+    fn candidate_from_row_rejects_missing_columns() {
+        let schema = FeatureSchema::lending_club();
+        let columns = vec!["time".to_string()];
+        let row = vec![Value::Int(0)];
+        assert!(candidate_from_row(&schema, &columns, &row).is_none());
+    }
+}

@@ -1,0 +1,235 @@
+//! Minimal CSV persistence for loan records.
+//!
+//! The original system keeps its raw training data in MySQL; here the
+//! excerpt shown to the demo audience (§III "an excerpt of the raw training
+//! data") is materialized as a CSV file. The format is fixed-column —
+//! `year,age,household,income,debt,seniority,loan_amount,approved` — so no
+//! quoting/escaping machinery is needed, and the parser validates
+//! everything it reads.
+
+use crate::lendingclub::LoanRecord;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Column header written/expected by this module.
+pub const HEADER: &str = "year,age,household,income,debt,seniority,loan_amount,approved";
+
+/// Errors raised while reading loan-record CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file contents.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv io error: {e}"),
+            CsvError::Malformed { line, reason } => {
+                write!(f, "malformed csv at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Serializes records to a writer, header first.
+pub fn write_records<W: Write>(out: W, records: &[LoanRecord]) -> Result<(), CsvError> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "{HEADER}")?;
+    for r in records {
+        let f = &r.features;
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{}",
+            r.year,
+            f[0],
+            f[1],
+            f[2],
+            f[3],
+            f[4],
+            f[5],
+            if r.approved { 1 } else { 0 }
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Serializes records to a file path.
+pub fn write_records_to_path<P: AsRef<Path>>(
+    path: P,
+    records: &[LoanRecord],
+) -> Result<(), CsvError> {
+    let file = std::fs::File::create(path)?;
+    write_records(file, records)
+}
+
+/// Parses records from a reader; validates the header and every field.
+pub fn read_records<R: BufRead>(input: R) -> Result<Vec<LoanRecord>, CsvError> {
+    let mut records = Vec::new();
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .ok_or(CsvError::Malformed { line: 1, reason: "empty file".to_string() })??;
+    if header.trim() != HEADER {
+        return Err(CsvError::Malformed {
+            line: 1,
+            reason: format!("expected header {HEADER:?}, found {header:?}"),
+        });
+    }
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 8 {
+            return Err(CsvError::Malformed {
+                line: line_no,
+                reason: format!("expected 8 fields, found {}", parts.len()),
+            });
+        }
+        let field = |j: usize| -> Result<f64, CsvError> {
+            parts[j].trim().parse::<f64>().map_err(|e| CsvError::Malformed {
+                line: line_no,
+                reason: format!("field {j} ({:?}): {e}", parts[j]),
+            })
+        };
+        let year = parts[0].trim().parse::<u32>().map_err(|e| CsvError::Malformed {
+            line: line_no,
+            reason: format!("year ({:?}): {e}", parts[0]),
+        })?;
+        let features = vec![field(1)?, field(2)?, field(3)?, field(4)?, field(5)?, field(6)?];
+        let approved = match parts[7].trim() {
+            "1" => true,
+            "0" => false,
+            other => {
+                return Err(CsvError::Malformed {
+                    line: line_no,
+                    reason: format!("approved must be 0/1, found {other:?}"),
+                })
+            }
+        };
+        records.push(LoanRecord { year, features, approved });
+    }
+    Ok(records)
+}
+
+/// Parses records from a file path.
+pub fn read_records_from_path<P: AsRef<Path>>(path: P) -> Result<Vec<LoanRecord>, CsvError> {
+    let file = std::fs::File::open(path)?;
+    read_records(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lendingclub::{LendingClubGenerator, LendingClubParams};
+
+    fn sample_records() -> Vec<LoanRecord> {
+        let g = LendingClubGenerator::new(LendingClubParams {
+            records_per_year: 20,
+            ..Default::default()
+        });
+        g.records_for_year(2012)
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let records = sample_records();
+        let mut buf = Vec::new();
+        write_records(&mut buf, &records).unwrap();
+        let back = read_records(std::io::BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(back.len(), records.len());
+        for (a, b) in back.iter().zip(&records) {
+            assert_eq!(a.year, b.year);
+            assert_eq!(a.approved, b.approved);
+            for (x, y) in a.features.iter().zip(&b.features) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let data = b"wrong,header\n".to_vec();
+        let err = read_records(std::io::BufReader::new(data.as_slice())).unwrap_err();
+        assert!(matches!(err, CsvError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        let data = format!("{HEADER}\n2010,1,2,3\n");
+        let err =
+            read_records(std::io::BufReader::new(data.as_bytes())).unwrap_err();
+        match err {
+            CsvError::Malformed { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("8 fields"));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_numeric_field() {
+        let data = format!("{HEADER}\n2010,abc,0,1,2,3,4,1\n");
+        let err =
+            read_records(std::io::BufReader::new(data.as_bytes())).unwrap_err();
+        assert!(matches!(err, CsvError::Malformed { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_approved_flag() {
+        let data = format!("{HEADER}\n2010,30,0,50000,1000,5,10000,yes\n");
+        let err =
+            read_records(std::io::BufReader::new(data.as_bytes())).unwrap_err();
+        match err {
+            CsvError::Malformed { reason, .. } => assert!(reason.contains("0/1")),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let data = format!("{HEADER}\n\n2010,30,0,50000,1000,5,10000,1\n\n");
+        let records =
+            read_records(std::io::BufReader::new(data.as_bytes())).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(records[0].approved);
+    }
+
+    #[test]
+    fn empty_file_is_error() {
+        let err = read_records(std::io::BufReader::new(&b""[..])).unwrap_err();
+        assert!(matches!(err, CsvError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn file_path_roundtrip() {
+        let records = sample_records();
+        let dir = std::env::temp_dir().join("jit_data_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("records.csv");
+        write_records_to_path(&path, &records).unwrap();
+        let back = read_records_from_path(&path).unwrap();
+        assert_eq!(back.len(), records.len());
+        std::fs::remove_file(&path).ok();
+    }
+}

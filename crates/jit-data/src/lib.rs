@@ -1,0 +1,26 @@
+//! # jit-data
+//!
+//! Data substrate for JustInTime: feature schemas and the synthetic
+//! Lending-Club-like workload.
+//!
+//! The paper demonstrates over the *Lending Club Loan Data* Kaggle dataset
+//! (~1M loan applications, 2007–2018). That dataset is not redistributable
+//! here, so this crate generates a synthetic equivalent with the same
+//! statistical structure the system exercises (see DESIGN.md §2):
+//!
+//! * the paper's six features — age, household status, annual income,
+//!   monthly debt, job seniority, requested loan amount;
+//! * timestamped labeled rows spanning 2007–2018;
+//! * **concept drift** in the approval rule, including the paper's
+//!   motivating example: for applicants over 30, income requirements relax
+//!   over the years while debt requirements tighten (Example I.1's "John");
+//! * covariate drift (wage growth, rising debt loads).
+//!
+//! Everything is seeded and parameterized, so experiments are reproducible.
+
+pub mod csv;
+pub mod lendingclub;
+pub mod schema;
+
+pub use lendingclub::{LendingClubGenerator, LendingClubParams, LoanRecord};
+pub use schema::{FeatureKind, FeatureMeta, FeatureSchema, Mutability, TemporalSpec};

@@ -1,0 +1,379 @@
+//! Feature schemas: names, kinds, bounds, temporal evolution and
+//! mutability.
+//!
+//! The schema is the shared vocabulary between crates:
+//!
+//! * `jit-temporal` reads [`TemporalSpec`] to build the paper's *Temporal
+//!   Update Function* (Definition II.4) — `age` increases by `Δ` per time
+//!   step, seniority usually follows, income gets an expected growth trend.
+//! * `jit-constraints` resolves feature *names* to vector indices.
+//! * the candidates generator respects [`Mutability`] — a proposal never
+//!   touches an immutable feature (one cannot decrease one's age, §II-A).
+
+/// The value type of a feature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FeatureKind {
+    /// Real-valued (income, debt).
+    Continuous,
+    /// Integer-valued but ordered (age, seniority years).
+    Ordinal,
+    /// Zero/one indicator (household status: 0 = renter, 1 = owner).
+    Binary,
+}
+
+/// How a feature evolves with time *by itself*, i.e. the per-feature
+/// component `f(x, t)[v]` of the Temporal Update Function.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TemporalSpec {
+    /// Unchanged by the passage of time (loan amount, household status).
+    Static,
+    /// Grows by `per_period` every time step of length Δ (age: 1.0/year,
+    /// seniority: ~1.0/year while employed).
+    Linear {
+        /// Additive growth per period.
+        per_period: f64,
+    },
+    /// Grows multiplicatively by `rate` per period (expected wage growth).
+    Compound {
+        /// Multiplicative growth rate per period (0.03 = +3%/period).
+        rate: f64,
+    },
+}
+
+impl TemporalSpec {
+    /// Value of a feature `t` periods into the future.
+    pub fn project(&self, value: f64, t: usize) -> f64 {
+        match self {
+            TemporalSpec::Static => value,
+            TemporalSpec::Linear { per_period } => value + per_period * t as f64,
+            TemporalSpec::Compound { rate } => value * (1.0 + rate).powi(t as i32),
+        }
+    }
+}
+
+/// Whether the *user* can deliberately change a feature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutability {
+    /// Freely modifiable by a plan of action (income, debt, loan amount).
+    Actionable,
+    /// Cannot be changed by the user (age); it may still evolve temporally.
+    Immutable,
+}
+
+/// Metadata for one feature.
+#[derive(Clone, Debug)]
+pub struct FeatureMeta {
+    /// Column name; also the SQL column name in the candidates table.
+    pub name: String,
+    /// Value type.
+    pub kind: FeatureKind,
+    /// Smallest admissible value (domain integrity constraint).
+    pub min: f64,
+    /// Largest admissible value.
+    pub max: f64,
+    /// Temporal evolution of the feature.
+    pub temporal: TemporalSpec,
+    /// Whether users may modify the feature deliberately.
+    pub mutability: Mutability,
+}
+
+impl FeatureMeta {
+    /// Convenience constructor.
+    pub fn new(
+        name: &str,
+        kind: FeatureKind,
+        min: f64,
+        max: f64,
+        temporal: TemporalSpec,
+        mutability: Mutability,
+    ) -> Self {
+        assert!(min <= max, "feature bounds out of order");
+        FeatureMeta { name: name.to_string(), kind, min, max, temporal, mutability }
+    }
+
+    /// Clamps and, for non-continuous kinds, rounds a raw value into the
+    /// feature's domain.
+    pub fn sanitize(&self, value: f64) -> f64 {
+        let v = match self.kind {
+            FeatureKind::Continuous => value,
+            FeatureKind::Ordinal => value.round(),
+            FeatureKind::Binary => {
+                if value >= 0.5 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        };
+        v.clamp(self.min, self.max)
+    }
+}
+
+/// An ordered collection of feature metadata defining the input space
+/// `R^d`.
+#[derive(Clone, Debug)]
+pub struct FeatureSchema {
+    features: Vec<FeatureMeta>,
+}
+
+impl FeatureSchema {
+    /// Builds a schema from feature metadata.
+    ///
+    /// # Panics
+    /// Panics on duplicate feature names.
+    pub fn new(features: Vec<FeatureMeta>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for f in &features {
+            assert!(seen.insert(f.name.clone()), "duplicate feature name {}", f.name);
+        }
+        FeatureSchema { features }
+    }
+
+    /// Number of features `d`.
+    pub fn dim(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Metadata of feature `i`.
+    pub fn feature(&self, i: usize) -> &FeatureMeta {
+        &self.features[i]
+    }
+
+    /// All features in order.
+    pub fn features(&self) -> &[FeatureMeta] {
+        &self.features
+    }
+
+    /// Index of the feature with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.features.iter().position(|f| f.name == name)
+    }
+
+    /// Feature names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.features.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Lower bounds vector.
+    pub fn mins(&self) -> Vec<f64> {
+        self.features.iter().map(|f| f.min).collect()
+    }
+
+    /// Upper bounds vector.
+    pub fn maxs(&self) -> Vec<f64> {
+        self.features.iter().map(|f| f.max).collect()
+    }
+
+    /// Applies per-feature sanitization to a full profile vector.
+    pub fn sanitize_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.dim(), "row dimension mismatch");
+        row.iter()
+            .zip(&self.features)
+            .map(|(v, f)| f.sanitize(*v))
+            .collect()
+    }
+
+    /// `true` when every coordinate lies within its feature's bounds.
+    pub fn row_in_bounds(&self, row: &[f64]) -> bool {
+        row.len() == self.dim()
+            && row
+                .iter()
+                .zip(&self.features)
+                .all(|(v, f)| *v >= f.min - 1e-9 && *v <= f.max + 1e-9)
+    }
+
+    /// The paper's loan-application schema: Age, Household status, Annual
+    /// Income, Monthly Debt, Job Seniority, Loan Amount (Example I.1).
+    ///
+    /// Temporal specs assume Δ = 1 year per time step: age and seniority
+    /// advance linearly, income follows expected wage growth, debt/loan are
+    /// under the user's control and hence static by default.
+    pub fn lending_club() -> Self {
+        FeatureSchema::new(vec![
+            FeatureMeta::new(
+                "age",
+                FeatureKind::Ordinal,
+                18.0,
+                100.0,
+                TemporalSpec::Linear { per_period: 1.0 },
+                Mutability::Immutable,
+            ),
+            FeatureMeta::new(
+                "household",
+                FeatureKind::Binary,
+                0.0,
+                1.0,
+                TemporalSpec::Static,
+                Mutability::Actionable,
+            ),
+            FeatureMeta::new(
+                "income",
+                FeatureKind::Continuous,
+                0.0,
+                2_000_000.0,
+                TemporalSpec::Compound { rate: 0.02 },
+                Mutability::Actionable,
+            ),
+            FeatureMeta::new(
+                "debt",
+                FeatureKind::Continuous,
+                0.0,
+                100_000.0,
+                TemporalSpec::Static,
+                Mutability::Actionable,
+            ),
+            FeatureMeta::new(
+                "seniority",
+                FeatureKind::Ordinal,
+                0.0,
+                60.0,
+                TemporalSpec::Linear { per_period: 1.0 },
+                Mutability::Immutable,
+            ),
+            FeatureMeta::new(
+                "loan_amount",
+                FeatureKind::Continuous,
+                500.0,
+                100_000.0,
+                TemporalSpec::Static,
+                Mutability::Actionable,
+            ),
+        ])
+    }
+}
+
+/// Well-known indices into the lending-club schema, for readable call
+/// sites.
+pub mod lending_idx {
+    /// Applicant age in years.
+    pub const AGE: usize = 0;
+    /// Household status (0 = renter, 1 = owner).
+    pub const HOUSEHOLD: usize = 1;
+    /// Annual income in dollars.
+    pub const INCOME: usize = 2;
+    /// Monthly debt obligations in dollars.
+    pub const DEBT: usize = 3;
+    /// Job seniority in years.
+    pub const SENIORITY: usize = 4;
+    /// Requested loan amount in dollars.
+    pub const LOAN_AMOUNT: usize = 5;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temporal_projection() {
+        assert_eq!(TemporalSpec::Static.project(5.0, 10), 5.0);
+        assert_eq!(TemporalSpec::Linear { per_period: 1.0 }.project(29.0, 3), 32.0);
+        let compound = TemporalSpec::Compound { rate: 0.1 }.project(100.0, 2);
+        assert!((compound - 121.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_at_zero_is_identity() {
+        for spec in [
+            TemporalSpec::Static,
+            TemporalSpec::Linear { per_period: 2.0 },
+            TemporalSpec::Compound { rate: 0.5 },
+        ] {
+            assert_eq!(spec.project(42.0, 0), 42.0);
+        }
+    }
+
+    #[test]
+    fn sanitize_by_kind() {
+        let f = FeatureMeta::new(
+            "x",
+            FeatureKind::Ordinal,
+            0.0,
+            10.0,
+            TemporalSpec::Static,
+            Mutability::Actionable,
+        );
+        assert_eq!(f.sanitize(3.4), 3.0);
+        assert_eq!(f.sanitize(-5.0), 0.0);
+        assert_eq!(f.sanitize(99.0), 10.0);
+
+        let b = FeatureMeta::new(
+            "b",
+            FeatureKind::Binary,
+            0.0,
+            1.0,
+            TemporalSpec::Static,
+            Mutability::Actionable,
+        );
+        assert_eq!(b.sanitize(0.6), 1.0);
+        assert_eq!(b.sanitize(0.4), 0.0);
+    }
+
+    #[test]
+    fn lending_schema_shape() {
+        let s = FeatureSchema::lending_club();
+        assert_eq!(s.dim(), 6);
+        assert_eq!(s.index_of("income"), Some(lending_idx::INCOME));
+        assert_eq!(s.index_of("nonexistent"), None);
+        assert_eq!(s.feature(lending_idx::AGE).mutability, Mutability::Immutable);
+        assert_eq!(
+            s.feature(lending_idx::DEBT).mutability,
+            Mutability::Actionable
+        );
+        assert_eq!(s.names()[5], "loan_amount");
+    }
+
+    #[test]
+    fn sanitize_row_and_bounds() {
+        let s = FeatureSchema::lending_club();
+        let raw = vec![29.7, 0.3, -50.0, 500.0, 3.2, 1_000_000.0];
+        let clean = s.sanitize_row(&raw);
+        assert_eq!(clean[lending_idx::AGE], 30.0); // rounded ordinal
+        assert_eq!(clean[lending_idx::HOUSEHOLD], 0.0); // binary snap
+        assert_eq!(clean[lending_idx::INCOME], 0.0); // clamped to min
+        assert_eq!(clean[lending_idx::LOAN_AMOUNT], 100_000.0); // clamped to max
+        assert!(s.row_in_bounds(&clean));
+        assert!(!s.row_in_bounds(&raw));
+    }
+
+    #[test]
+    fn row_in_bounds_checks_dimension() {
+        let s = FeatureSchema::lending_club();
+        assert!(!s.row_in_bounds(&[1.0, 2.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate feature name")]
+    fn duplicate_names_panic() {
+        FeatureSchema::new(vec![
+            FeatureMeta::new(
+                "x",
+                FeatureKind::Continuous,
+                0.0,
+                1.0,
+                TemporalSpec::Static,
+                Mutability::Actionable,
+            ),
+            FeatureMeta::new(
+                "x",
+                FeatureKind::Continuous,
+                0.0,
+                1.0,
+                TemporalSpec::Static,
+                Mutability::Actionable,
+            ),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds out of order")]
+    fn inverted_bounds_panic() {
+        FeatureMeta::new(
+            "x",
+            FeatureKind::Continuous,
+            1.0,
+            0.0,
+            TemporalSpec::Static,
+            Mutability::Actionable,
+        );
+    }
+}

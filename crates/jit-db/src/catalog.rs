@@ -1,0 +1,356 @@
+//! The database: a catalog of tables behind a reader-writer lock.
+
+use crate::ast::Statement;
+use crate::error::DbError;
+use crate::exec::Executor;
+use crate::parser::parse_statement;
+use crate::result::ResultSet;
+use crate::table::Table;
+use crate::value::{ColumnType, Value};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// An in-memory database.
+///
+/// Thread-safe: the paper's per-time-point candidate generators run in
+/// parallel and insert into the `candidates` table concurrently; readers
+/// (user queries) take the read lock.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: RwLock<HashMap<String, Table>>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Creates a table programmatically.
+    pub fn create_table(
+        &self,
+        name: &str,
+        columns: Vec<(String, ColumnType)>,
+    ) -> Result<(), DbError> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return Err(DbError::DuplicateTable(name.to_string()));
+        }
+        tables.insert(key, Table::new(name, columns));
+        Ok(())
+    }
+
+    /// Drops a table.
+    pub fn drop_table(&self, name: &str) -> Result<(), DbError> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        tables
+            .remove(&key)
+            .map(|_| ())
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// `true` if the table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.read().contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .tables
+            .read()
+            .values()
+            .map(|t| t.schema.name.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Row count of a table.
+    pub fn row_count(&self, name: &str) -> Result<usize, DbError> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .map(Table::len)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Inserts one row programmatically (full-width).
+    pub fn insert_row(&self, table: &str, row: Vec<Value>) -> Result<(), DbError> {
+        let mut tables = self.tables.write();
+        let t = tables
+            .get_mut(&table.to_ascii_lowercase())
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
+        t.insert_row(row)
+    }
+
+    /// Inserts many rows programmatically under one lock acquisition.
+    pub fn insert_rows(
+        &self,
+        table: &str,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<(), DbError> {
+        let mut tables = self.tables.write();
+        let t = tables
+            .get_mut(&table.to_ascii_lowercase())
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
+        for row in rows {
+            t.insert_row(row)?;
+        }
+        Ok(())
+    }
+
+    /// Parses and executes one SQL statement.
+    pub fn execute(&self, sql: &str) -> Result<ResultSet, DbError> {
+        match parse_statement(sql)? {
+            Statement::Select(q) => {
+                let tables = self.tables.read();
+                Executor::new(&tables).select(&q)
+            }
+            Statement::CreateTable { name, columns } => {
+                self.create_table(&name, columns)?;
+                Ok(ResultSet::empty())
+            }
+            Statement::DropTable(name) => {
+                self.drop_table(&name)?;
+                Ok(ResultSet::empty())
+            }
+            Statement::Insert { table, columns, rows } => {
+                // Evaluate row literals without any table context.
+                let mut evaluated: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let mut vals = Vec::with_capacity(row.len());
+                    for e in row {
+                        vals.push(eval_insert_literal(&e)?);
+                    }
+                    evaluated.push(vals);
+                }
+                let mut tables = self.tables.write();
+                let t = tables
+                    .get_mut(&table.to_ascii_lowercase())
+                    .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+                for vals in evaluated {
+                    match &columns {
+                        Some(cols) => t.insert_partial(cols, vals)?,
+                        None => t.insert_row(vals)?,
+                    }
+                }
+                Ok(ResultSet::empty())
+            }
+            Statement::Delete { table, predicate } => {
+                // Evaluate the predicate per row via a single-table SELECT
+                // of row positions, then retain the complement.
+                let keep: Vec<bool> = {
+                    let tables = self.tables.read();
+                    let t = tables
+                        .get(&table.to_ascii_lowercase())
+                        .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+                    match &predicate {
+                        None => vec![false; t.len()],
+                        Some(pred) => {
+                            let executor = Executor::new(&tables);
+                            let q = crate::ast::Select {
+                                distinct: false,
+                                projections: vec![crate::ast::Projection::Expr {
+                                    expr: pred.clone(),
+                                    alias: Some("matched".to_string()),
+                                }],
+                                from: crate::ast::TableRef {
+                                    name: table.clone(),
+                                    alias: None,
+                                },
+                                joins: vec![],
+                                where_clause: None,
+                                group_by: vec![],
+                                having: None,
+                                order_by: vec![],
+                                limit: None,
+                            };
+                            let rs = executor.select(&q)?;
+                            rs.rows.iter().map(|r| !r[0].truthy()).collect()
+                        }
+                    }
+                };
+                let mut tables = self.tables.write();
+                let t = tables
+                    .get_mut(&table.to_ascii_lowercase())
+                    .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+                let mut it = keep.iter();
+                t.rows.retain(|_| *it.next().unwrap_or(&true));
+                Ok(ResultSet::empty())
+            }
+        }
+    }
+}
+
+/// Evaluates a context-free expression (INSERT literals may contain
+/// arithmetic such as `-1` or `2 + 3`).
+fn eval_insert_literal(expr: &crate::ast::Expr) -> Result<Value, DbError> {
+    // The executor's eval is private; emulate the tiny literal subset here.
+    use crate::ast::{BinOp, Expr};
+    Ok(match expr {
+        Expr::Literal(v) => v.clone(),
+        Expr::Neg(e) => match eval_insert_literal(e)? {
+            Value::Int(i) => Value::Int(-i),
+            Value::Float(f) => Value::Float(-f),
+            Value::Null => Value::Null,
+            other => return Err(DbError::Eval(format!("cannot negate {other}"))),
+        },
+        Expr::Binary { lhs, op, rhs } => {
+            let a = eval_insert_literal(lhs)?;
+            let b = eval_insert_literal(rhs)?;
+            let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) else {
+                return Err(DbError::Eval(
+                    "INSERT expressions must be numeric literals".to_string(),
+                ));
+            };
+            let both_int = matches!((&a, &b), (Value::Int(_), Value::Int(_)));
+            let out = match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => {
+                    if y == 0.0 {
+                        return Err(DbError::Eval("division by zero".to_string()));
+                    }
+                    x / y
+                }
+                _ => {
+                    return Err(DbError::Eval(
+                        "unsupported operator in INSERT literal".to_string(),
+                    ))
+                }
+            };
+            if both_int && out.fract() == 0.0 && *op != BinOp::Div {
+                Value::Int(out as i64)
+            } else {
+                Value::Float(out)
+            }
+        }
+        other => {
+            return Err(DbError::Eval(format!(
+                "unsupported INSERT expression: {other:?}"
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (a INTEGER, b REAL, c TEXT)").unwrap();
+        db.execute(
+            "INSERT INTO t VALUES (1, 1.5, 'one'), (2, 2.5, 'two'), (3, 3.5, 'three')",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_select_roundtrip() {
+        let db = sample_db();
+        let rs = db.execute("SELECT a, c FROM t WHERE b > 2.0 ORDER BY a").unwrap();
+        assert_eq!(rs.columns, vec!["a", "c"]);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.rows[0][1].to_string(), "two");
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let db = sample_db();
+        let err = db.execute("CREATE TABLE t (x INTEGER)").unwrap_err();
+        assert_eq!(err, DbError::DuplicateTable("t".to_string()));
+    }
+
+    #[test]
+    fn drop_table() {
+        let db = sample_db();
+        db.execute("DROP TABLE t").unwrap();
+        assert!(!db.has_table("t"));
+        assert!(db.execute("SELECT * FROM t").is_err());
+    }
+
+    #[test]
+    fn insert_with_columns_fills_nulls() {
+        let db = sample_db();
+        db.execute("INSERT INTO t (a) VALUES (9)").unwrap();
+        let rs = db.execute("SELECT b FROM t WHERE a = 9").unwrap();
+        assert!(rs.rows[0][0].is_null());
+    }
+
+    #[test]
+    fn insert_negative_and_arithmetic_literals() {
+        let db = sample_db();
+        db.execute("INSERT INTO t VALUES (-4, 2 + 0.5, 'neg')").unwrap();
+        let rs = db.execute("SELECT a, b FROM t WHERE c = 'neg'").unwrap();
+        assert_eq!(rs.rows[0][0].as_i64(), Some(-4));
+        assert_eq!(rs.rows[0][1].as_f64(), Some(2.5));
+    }
+
+    #[test]
+    fn delete_with_predicate() {
+        let db = sample_db();
+        db.execute("DELETE FROM t WHERE a >= 2").unwrap();
+        assert_eq!(db.row_count("t").unwrap(), 1);
+        db.execute("DELETE FROM t").unwrap();
+        assert_eq!(db.row_count("t").unwrap(), 0);
+    }
+
+    #[test]
+    fn programmatic_insert() {
+        let db = sample_db();
+        db.insert_rows(
+            "t",
+            vec![vec![Value::Int(10), Value::Float(0.5), Value::from("ten")]],
+        )
+        .unwrap();
+        assert_eq!(db.row_count("t").unwrap(), 4);
+        let err = db.insert_row("zzz", vec![]).unwrap_err();
+        assert_eq!(err, DbError::UnknownTable("zzz".to_string()));
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let db = sample_db();
+        db.execute("CREATE TABLE alpha (x INTEGER)").unwrap();
+        assert_eq!(db.table_names(), vec!["alpha".to_string(), "t".to_string()]);
+    }
+
+    #[test]
+    fn type_mismatch_via_sql() {
+        let db = sample_db();
+        let err = db.execute("INSERT INTO t VALUES ('x', 1.0, 'y')").unwrap_err();
+        assert!(matches!(err, DbError::TypeMismatch { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn concurrent_reads_and_writes() {
+        use std::sync::Arc;
+        let db = Arc::new(sample_db());
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                for j in 0..50 {
+                    let v = (i * 50 + j) as i64;
+                    db.insert_row(
+                        "t",
+                        vec![Value::Int(v), Value::Float(v as f64), Value::from("w")],
+                    )
+                    .unwrap();
+                    let rs = db.execute("SELECT COUNT(*) FROM t").unwrap();
+                    assert!(rs.scalar().unwrap().as_i64().unwrap() >= 3);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.row_count("t").unwrap(), 3 + 200);
+    }
+}

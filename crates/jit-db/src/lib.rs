@@ -1,0 +1,53 @@
+//! # jit-db
+//!
+//! An in-memory relational engine with the SQL subset JustInTime needs.
+//!
+//! The original system stores generated candidates in MySQL and translates
+//! canned user questions into SQL (paper §II-C, Figure 2). This crate
+//! replaces MySQL with a small, fully tested engine that executes those
+//! queries *verbatim*, including the gnarly ones: correlated `EXISTS`
+//! subqueries referencing outer projection aliases (Q3) and
+//! `>= ALL (subquery)` comparisons (Q6).
+//!
+//! Supported surface:
+//!
+//! * `CREATE TABLE t (col TYPE, …)` with `INTEGER | REAL | TEXT | BOOLEAN`
+//! * `INSERT INTO t VALUES (…), (…), …` and `INSERT INTO t (cols) VALUES …`
+//! * `SELECT [DISTINCT] proj, … FROM t [AS a]`
+//!   `[INNER JOIN u [AS b] ON expr]*`
+//!   `[WHERE expr] [GROUP BY expr, …] [HAVING expr]`
+//!   `[ORDER BY expr [ASC|DESC], …] [LIMIT n]`
+//! * expressions: literals, (qualified) columns, `+ - * / %`, comparisons,
+//!   `AND OR NOT`, `BETWEEN`, `IN (list | subquery)`, `EXISTS (subquery)`,
+//!   `expr op ALL/ANY (subquery)`, `IS [NOT] NULL`, scalar subqueries,
+//!   aggregates `COUNT/SUM/AVG/MIN/MAX` (with `COUNT(*)`)
+//!
+//! Semantics notes: comparisons involving `NULL` are false (no full
+//! three-valued logic); aggregates skip `NULL`s; `ORDER BY` is a stable
+//! sort with `NULL`s last.
+//!
+//! Entry point: [`Database`], which wraps the catalog behind a
+//! `parking_lot::RwLock` so the per-time-point candidate generators can
+//! insert in parallel while readers run queries.
+
+pub mod ast;
+pub mod catalog;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod result;
+pub mod table;
+pub mod value;
+
+pub use catalog::Database;
+pub use error::DbError;
+pub use result::ResultSet;
+pub use value::{ColumnType, Value};
+
+/// Parses and executes one SQL statement against a database.
+///
+/// Convenience wrapper over [`Database::execute`].
+pub fn execute(db: &Database, sql: &str) -> Result<ResultSet, DbError> {
+    db.execute(sql)
+}

@@ -1,0 +1,188 @@
+//! Tables: schema + row storage.
+
+use crate::error::DbError;
+use crate::value::{ColumnType, Value};
+
+/// A table's schema.
+#[derive(Clone, Debug)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Ordered `(column name, type)` pairs.
+    pub columns: Vec<(String, ColumnType)>,
+}
+
+impl TableSchema {
+    /// Index of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|(c, _)| c.eq_ignore_ascii_case(name))
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|(c, _)| c.clone()).collect()
+    }
+}
+
+/// An in-memory table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Schema.
+    pub schema: TableSchema,
+    /// Row storage.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: &str, columns: Vec<(String, ColumnType)>) -> Self {
+        Table {
+            schema: TableSchema { name: name.to_string(), columns },
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Validates and appends a full row.
+    pub fn insert_row(&mut self, row: Vec<Value>) -> Result<(), DbError> {
+        if row.len() != self.schema.columns.len() {
+            return Err(DbError::ArityMismatch {
+                expected: self.schema.columns.len(),
+                found: row.len(),
+            });
+        }
+        let mut coerced = Vec::with_capacity(row.len());
+        for (v, (cname, ctype)) in row.into_iter().zip(&self.schema.columns) {
+            if !v.conforms_to(*ctype) {
+                return Err(DbError::TypeMismatch {
+                    table: self.schema.name.clone(),
+                    column: cname.clone(),
+                    value: v.to_string(),
+                });
+            }
+            // Widen ints stored in REAL columns so storage is homogeneous.
+            let v = match (&v, ctype) {
+                (Value::Int(i), ColumnType::Real) => Value::Float(*i as f64),
+                _ => v,
+            };
+            coerced.push(v);
+        }
+        self.rows.push(coerced);
+        Ok(())
+    }
+
+    /// Inserts a row given a subset of columns; missing columns get NULL.
+    pub fn insert_partial(
+        &mut self,
+        columns: &[String],
+        values: Vec<Value>,
+    ) -> Result<(), DbError> {
+        if columns.len() != values.len() {
+            return Err(DbError::ArityMismatch {
+                expected: columns.len(),
+                found: values.len(),
+            });
+        }
+        let mut row = vec![Value::Null; self.schema.columns.len()];
+        for (cname, v) in columns.iter().zip(values) {
+            let idx = self
+                .schema
+                .column_index(cname)
+                .ok_or_else(|| DbError::UnknownColumn(cname.clone()))?;
+            row[idx] = v;
+        }
+        self.insert_row(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                ("a".to_string(), ColumnType::Integer),
+                ("b".to_string(), ColumnType::Real),
+                ("c".to_string(), ColumnType::Text),
+            ],
+        )
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let mut t = table();
+        t.insert_row(vec![Value::Int(1), Value::Float(2.0), Value::from("x")])
+            .unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn int_widens_into_real_column() {
+        let mut t = table();
+        t.insert_row(vec![Value::Int(1), Value::Int(2), Value::from("x")]).unwrap();
+        assert!(matches!(t.rows[0][1], Value::Float(v) if v == 2.0));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut t = table();
+        let err = t
+            .insert_row(vec![Value::from("no"), Value::Float(1.0), Value::from("x")])
+            .unwrap_err();
+        assert!(matches!(err, DbError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = table();
+        let err = t.insert_row(vec![Value::Int(1)]).unwrap_err();
+        assert_eq!(err, DbError::ArityMismatch { expected: 3, found: 1 });
+    }
+
+    #[test]
+    fn partial_insert_fills_nulls() {
+        let mut t = table();
+        t.insert_partial(
+            &["c".to_string(), "a".to_string()],
+            vec![Value::from("hi"), Value::Int(9)],
+        )
+        .unwrap();
+        assert!(t.rows[0][1].is_null());
+        assert_eq!(t.rows[0][0].as_i64(), Some(9));
+    }
+
+    #[test]
+    fn partial_insert_unknown_column() {
+        let mut t = table();
+        let err = t
+            .insert_partial(&["zzz".to_string()], vec![Value::Int(1)])
+            .unwrap_err();
+        assert_eq!(err, DbError::UnknownColumn("zzz".to_string()));
+    }
+
+    #[test]
+    fn column_index_case_insensitive() {
+        let t = table();
+        assert_eq!(t.schema.column_index("A"), Some(0));
+        assert_eq!(t.schema.column_index("nope"), None);
+    }
+
+    #[test]
+    fn nulls_conform_anywhere() {
+        let mut t = table();
+        t.insert_row(vec![Value::Null, Value::Null, Value::Null]).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+}

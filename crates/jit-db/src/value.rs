@@ -1,0 +1,277 @@
+//! Runtime values and column types.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Declared column types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit signed integer.
+    Integer,
+    /// 64-bit float.
+    Real,
+    /// UTF-8 string.
+    Text,
+    /// Boolean.
+    Boolean,
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnType::Integer => write!(f, "INTEGER"),
+            ColumnType::Real => write!(f, "REAL"),
+            ColumnType::Text => write!(f, "TEXT"),
+            ColumnType::Boolean => write!(f, "BOOLEAN"),
+        }
+    }
+}
+
+/// A runtime value.
+///
+/// The derived `PartialEq` is *structural* (used for AST equality in
+/// tests); SQL equality with numeric coercion and NULL semantics is
+/// [`Value::sql_eq`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// `true` when the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (Int and Float only).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view (Int only; Float accepted when integral).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view; numeric zero/nonzero coerces like SQL.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Null => false,
+            Value::Text(_) => false,
+        }
+    }
+
+    /// Whether this value can be stored in a column of the given type.
+    /// NULL is storable anywhere; Int widens into REAL columns.
+    pub fn conforms_to(&self, ty: ColumnType) -> bool {
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Int(_), ColumnType::Integer)
+                | (Value::Int(_), ColumnType::Real)
+                | (Value::Float(_), ColumnType::Real)
+                | (Value::Text(_), ColumnType::Text)
+                | (Value::Bool(_), ColumnType::Boolean)
+        )
+    }
+
+    /// SQL comparison; `None` when either side is NULL or types are
+    /// incomparable. Int and Float compare numerically; Bool compares as
+    /// false < true.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// SQL equality through [`Value::compare`].
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        self.compare(other) == Some(Ordering::Equal)
+    }
+
+    /// Total ordering for ORDER BY / DISTINCT / GROUP BY: NULLs sort last,
+    /// mixed incomparable types order by a type rank so sorting is total.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 4,
+                Value::Int(_) | Value::Float(_) => 0,
+                Value::Text(_) => 1,
+                Value::Bool(_) => 2,
+            }
+        }
+        match self.compare(other) {
+            Some(o) => o,
+            None => match (self, other) {
+                (Value::Null, Value::Null) => Ordering::Equal,
+                _ => rank(self).cmp(&rank(other)).then_with(|| {
+                    // Same rank but incomparable can only be NaN floats.
+                    let a = self.as_f64().unwrap_or(f64::NAN);
+                    let b = other.as_f64().unwrap_or(f64::NAN);
+                    a.total_cmp(&b)
+                }),
+            },
+        }
+    }
+
+    /// Key usable in hash-based DISTINCT/GROUP BY: canonicalizes numerics.
+    pub fn group_key(&self) -> String {
+        match self {
+            Value::Null => "\u{0}null".to_string(),
+            Value::Int(i) => format!("n{}", *i as f64),
+            Value::Float(f) => format!("n{f}"),
+            Value::Text(s) => format!("t{s}"),
+            Value::Bool(b) => format!("b{b}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_cross_type_compare() {
+        assert_eq!(Value::Int(2).compare(&Value::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Int(1).compare(&Value::Float(1.5)), Some(Ordering::Less));
+        assert!(Value::Int(2).sql_eq(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn null_comparisons_are_none() {
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).compare(&Value::Null), None);
+        assert!(!Value::Null.sql_eq(&Value::Null));
+    }
+
+    #[test]
+    fn text_and_bool_compare() {
+        assert_eq!(
+            Value::Text("a".into()).compare(&Value::Text("b".into())),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Bool(false).compare(&Value::Bool(true)), Some(Ordering::Less));
+        assert_eq!(Value::Text("a".into()).compare(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn total_cmp_orders_nulls_last() {
+        let mut vs = [Value::Null, Value::Int(3), Value::Float(1.5), Value::Int(2)];
+        vs.sort_by(|a, b| a.total_cmp(b));
+        let shown: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
+        assert_eq!(shown, vec!["1.5", "2", "3", "NULL"]);
+    }
+
+    #[test]
+    fn conforms_widens_int_to_real() {
+        assert!(Value::Int(1).conforms_to(ColumnType::Real));
+        assert!(!Value::Float(1.0).conforms_to(ColumnType::Integer));
+        assert!(Value::Null.conforms_to(ColumnType::Text));
+        assert!(!Value::Text("x".into()).conforms_to(ColumnType::Boolean));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(Value::Int(5).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(!Value::Null.truthy());
+    }
+
+    #[test]
+    fn group_keys_canonicalize_numerics() {
+        assert_eq!(Value::Int(2).group_key(), Value::Float(2.0).group_key());
+        assert_ne!(Value::Int(2).group_key(), Value::Text("2".into()).group_key());
+        assert_ne!(Value::Null.group_key(), Value::Text("null".into()).group_key());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Float(3.0).to_string(), "3.0");
+        assert_eq!(Value::Float(3.25).to_string(), "3.25");
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn as_i64_accepts_integral_floats() {
+        assert_eq!(Value::Float(3.0).as_i64(), Some(3));
+        assert_eq!(Value::Float(3.5).as_i64(), None);
+        assert_eq!(Value::Text("3".into()).as_i64(), None);
+    }
+}

@@ -1,0 +1,308 @@
+//! Edge-case and failure-injection tests for the SQL engine, beyond the
+//! happy paths of `sql_queries.rs`.
+
+use jit_db::{Database, DbError, Value};
+
+fn db_with(values: &[(i64, Option<f64>, &str)]) -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (k INTEGER, x REAL, s TEXT)").unwrap();
+    for (k, x, s) in values {
+        db.insert_row(
+            "t",
+            vec![
+                Value::Int(*k),
+                x.map_or(Value::Null, Value::Float),
+                Value::from(*s),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+#[test]
+fn empty_table_queries() {
+    let db = db_with(&[]);
+    assert!(db.execute("SELECT * FROM t").unwrap().is_empty());
+    assert!(db.execute("SELECT * FROM t ORDER BY x DESC LIMIT 5").unwrap().is_empty());
+    let rs = db.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(rs.scalar().unwrap().as_i64(), Some(0));
+    // Aggregates over the empty table produce NULL (except COUNT).
+    let rs = db.execute("SELECT MIN(x) FROM t").unwrap();
+    assert!(rs.scalar().unwrap().is_null());
+    // EXISTS over empty table is false.
+    let rs = db
+        .execute("SELECT COUNT(*) FROM t WHERE EXISTS (SELECT * FROM t)")
+        .unwrap();
+    assert_eq!(rs.scalar().unwrap().as_i64(), Some(0));
+}
+
+#[test]
+fn group_by_expression_keys() {
+    let db = db_with(&[
+        (1, Some(1.0), "a"),
+        (2, Some(2.0), "a"),
+        (3, Some(3.0), "b"),
+        (4, Some(4.0), "b"),
+    ]);
+    // Group by a computed expression.
+    let rs = db
+        .execute("SELECT k % 2, COUNT(*) FROM t GROUP BY k % 2 ORDER BY k % 2")
+        .unwrap();
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs.rows[0][1].as_i64(), Some(2));
+    assert_eq!(rs.rows[1][1].as_i64(), Some(2));
+}
+
+#[test]
+fn group_by_text_column_with_aggregate_expression() {
+    let db = db_with(&[
+        (1, Some(10.0), "a"),
+        (2, Some(20.0), "a"),
+        (3, Some(5.0), "b"),
+    ]);
+    let rs = db
+        .execute(
+            "SELECT s, MAX(x) - MIN(x) AS range FROM t GROUP BY s ORDER BY s",
+        )
+        .unwrap();
+    assert_eq!(rs.columns, vec!["s", "range"]);
+    assert_eq!(rs.rows[0][1].as_f64(), Some(10.0));
+    assert_eq!(rs.rows[1][1].as_f64(), Some(0.0));
+}
+
+#[test]
+fn having_without_group_by_on_scalar_aggregate() {
+    let db = db_with(&[(1, Some(1.0), "a"), (2, Some(2.0), "b")]);
+    // Single-group aggregate with HAVING filtering the lone group.
+    let rs = db
+        .execute("SELECT COUNT(*) FROM t HAVING COUNT(*) > 1")
+        .unwrap();
+    assert_eq!(rs.len(), 1);
+    let rs = db
+        .execute("SELECT COUNT(*) FROM t HAVING COUNT(*) > 5")
+        .unwrap();
+    assert!(rs.is_empty());
+}
+
+#[test]
+fn having_without_aggregates_is_error() {
+    let db = db_with(&[(1, Some(1.0), "a")]);
+    let err = db.execute("SELECT k FROM t HAVING k > 0").unwrap_err();
+    assert!(matches!(err, DbError::AggregateMisuse(_)), "{err:?}");
+}
+
+#[test]
+fn nested_correlated_exists_two_levels() {
+    let db = db_with(&[
+        (1, Some(1.0), "a"),
+        (2, Some(2.0), "b"),
+        (3, Some(3.0), "c"),
+    ]);
+    // Outer row t.k; middle subquery binds u; inner references both u and
+    // the outermost t (outer references must be qualified — an unqualified
+    // `k` resolves against the innermost FROM first, per SQL scoping).
+    let rs = db
+        .execute(
+            "SELECT k FROM t WHERE EXISTS \
+             (SELECT * FROM t AS u WHERE u.k = t.k + 1 AND EXISTS \
+              (SELECT * FROM t AS v WHERE v.k = u.k + 1 AND v.k > t.k))",
+        )
+        .unwrap();
+    // Satisfied only for k=1 (chain 1 -> 2 -> 3).
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.rows[0][0].as_i64(), Some(1));
+}
+
+#[test]
+fn order_by_nulls_last_and_desc() {
+    let db = db_with(&[
+        (1, Some(2.0), "a"),
+        (2, None, "b"),
+        (3, Some(1.0), "c"),
+    ]);
+    let rs = db.execute("SELECT x FROM t ORDER BY x").unwrap();
+    assert_eq!(rs.rows[0][0].as_f64(), Some(1.0));
+    assert!(rs.rows[2][0].is_null(), "NULLs sort last ascending");
+    let rs = db.execute("SELECT x FROM t ORDER BY x DESC").unwrap();
+    assert!(rs.rows[0][0].is_null(), "DESC reverses, NULL first");
+}
+
+#[test]
+fn text_comparison_and_in_list() {
+    let db = db_with(&[(1, Some(1.0), "alpha"), (2, Some(2.0), "beta")]);
+    let rs = db
+        .execute("SELECT k FROM t WHERE s = 'alpha'")
+        .unwrap();
+    assert_eq!(rs.len(), 1);
+    let rs = db
+        .execute("SELECT k FROM t WHERE s IN ('beta', 'gamma')")
+        .unwrap();
+    assert_eq!(rs.rows[0][0].as_i64(), Some(2));
+    // Strings with escaped quotes.
+    db.execute("INSERT INTO t VALUES (9, 0.0, 'it''s')").unwrap();
+    let rs = db.execute("SELECT k FROM t WHERE s = 'it''s'").unwrap();
+    assert_eq!(rs.rows[0][0].as_i64(), Some(9));
+}
+
+#[test]
+fn cross_type_comparisons_are_false_not_errors() {
+    let db = db_with(&[(1, Some(1.0), "a")]);
+    let rs = db.execute("SELECT COUNT(*) FROM t WHERE s > 5").unwrap();
+    assert_eq!(rs.scalar().unwrap().as_i64(), Some(0));
+    let rs = db.execute("SELECT COUNT(*) FROM t WHERE s = 1").unwrap();
+    assert_eq!(rs.scalar().unwrap().as_i64(), Some(0));
+}
+
+#[test]
+fn arithmetic_type_errors_reported() {
+    let db = db_with(&[(1, Some(1.0), "a")]);
+    let err = db.execute("SELECT s + 1 FROM t").unwrap_err();
+    assert!(matches!(err, DbError::Eval(_)), "{err:?}");
+}
+
+#[test]
+fn quantified_any_all_with_empty_subquery() {
+    let db = db_with(&[(1, Some(1.0), "a")]);
+    // ALL over the empty set is vacuously true; ANY is false.
+    let rs = db
+        .execute("SELECT COUNT(*) FROM t WHERE k > ALL (SELECT k FROM t WHERE k > 99)")
+        .unwrap();
+    assert_eq!(rs.scalar().unwrap().as_i64(), Some(1));
+    let rs = db
+        .execute("SELECT COUNT(*) FROM t WHERE k > ANY (SELECT k FROM t WHERE k > 99)")
+        .unwrap();
+    assert_eq!(rs.scalar().unwrap().as_i64(), Some(0));
+}
+
+#[test]
+fn delete_then_reinsert_keeps_schema() {
+    let db = db_with(&[(1, Some(1.0), "a"), (2, Some(2.0), "b")]);
+    db.execute("DELETE FROM t").unwrap();
+    assert_eq!(db.row_count("t").unwrap(), 0);
+    db.execute("INSERT INTO t VALUES (7, 7.5, 'seven')").unwrap();
+    let rs = db.execute("SELECT s FROM t").unwrap();
+    assert_eq!(rs.rows[0][0].to_string(), "seven");
+}
+
+#[test]
+fn drop_and_recreate_table() {
+    let db = db_with(&[(1, Some(1.0), "a")]);
+    db.execute("DROP TABLE t").unwrap();
+    db.execute("CREATE TABLE t (only INTEGER)").unwrap();
+    db.execute("INSERT INTO t VALUES (42)").unwrap();
+    let rs = db.execute("SELECT only FROM t").unwrap();
+    assert_eq!(rs.scalar().unwrap().as_i64(), Some(42));
+}
+
+#[test]
+fn distinct_on_expressions_and_aliases_in_order_by() {
+    let db = db_with(&[
+        (1, Some(1.0), "a"),
+        (2, Some(1.0), "a"),
+        (3, Some(2.0), "b"),
+    ]);
+    let rs = db
+        .execute("SELECT DISTINCT x * 2 AS dbl FROM t ORDER BY dbl DESC")
+        .unwrap();
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs.rows[0][0].as_f64(), Some(4.0));
+    assert_eq!(rs.rows[1][0].as_f64(), Some(2.0));
+}
+
+#[test]
+fn between_with_nulls_never_matches() {
+    let db = db_with(&[(1, None, "a"), (2, Some(5.0), "b")]);
+    let rs = db
+        .execute("SELECT COUNT(*) FROM t WHERE x BETWEEN 0 AND 10")
+        .unwrap();
+    assert_eq!(rs.scalar().unwrap().as_i64(), Some(1));
+}
+
+#[test]
+fn scalar_subquery_empty_is_null() {
+    let db = db_with(&[(1, Some(1.0), "a")]);
+    // Comparison with NULL scalar subquery matches nothing.
+    let rs = db
+        .execute("SELECT COUNT(*) FROM t WHERE k > (SELECT k FROM t WHERE k > 99)")
+        .unwrap();
+    assert_eq!(rs.scalar().unwrap().as_i64(), Some(0));
+}
+
+#[test]
+fn join_on_text_keys() {
+    let db = db_with(&[(1, Some(1.0), "a"), (2, Some(2.0), "b")]);
+    db.execute("CREATE TABLE names (s TEXT, label TEXT)").unwrap();
+    db.execute("INSERT INTO names VALUES ('a', 'first'), ('b', 'second')")
+        .unwrap();
+    let rs = db
+        .execute(
+            "SELECT t.k, names.label FROM t INNER JOIN names ON t.s = names.s \
+             ORDER BY t.k",
+        )
+        .unwrap();
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs.rows[0][1].to_string(), "first");
+    assert_eq!(rs.rows[1][1].to_string(), "second");
+}
+
+#[test]
+fn aggregate_inside_order_by_of_grouped_query() {
+    let db = db_with(&[
+        (1, Some(10.0), "a"),
+        (2, Some(1.0), "a"),
+        (3, Some(5.0), "b"),
+    ]);
+    let rs = db
+        .execute("SELECT s FROM t GROUP BY s ORDER BY SUM(x) DESC")
+        .unwrap();
+    assert_eq!(rs.rows[0][0].to_string(), "a"); // sum 11 > 5
+    assert_eq!(rs.rows[1][0].to_string(), "b");
+}
+
+#[test]
+fn insert_arity_errors() {
+    let db = db_with(&[]);
+    let err = db.execute("INSERT INTO t VALUES (1, 2.0)").unwrap_err();
+    assert!(matches!(err, DbError::ArityMismatch { expected: 3, found: 2 }));
+    let err = db
+        .execute("INSERT INTO t (k) VALUES (1, 2)")
+        .unwrap_err();
+    assert!(matches!(err, DbError::ArityMismatch { .. }));
+}
+
+#[test]
+fn unknown_entities_error_cleanly() {
+    // Note: column resolution is lazy (per row), so unknown columns only
+    // surface once the table has rows — hence the non-empty fixture.
+    let db = db_with(&[(1, Some(1.0), "a")]);
+    assert!(matches!(
+        db.execute("SELECT * FROM ghosts").unwrap_err(),
+        DbError::UnknownTable(_)
+    ));
+    assert!(matches!(
+        db.execute("SELECT ghost FROM t").unwrap_err(),
+        DbError::UnknownColumn(_)
+    ));
+    assert!(matches!(
+        db.execute("INSERT INTO t (ghost) VALUES (1)").unwrap_err(),
+        DbError::UnknownColumn(_)
+    ));
+    assert!(matches!(
+        db.execute("DELETE FROM ghosts").unwrap_err(),
+        DbError::UnknownTable(_)
+    ));
+}
+
+#[test]
+fn deeply_nested_boolean_expressions() {
+    let db = db_with(&[(1, Some(1.0), "a"), (2, Some(2.0), "b"), (3, Some(3.0), "c")]);
+    let rs = db
+        .execute(
+            "SELECT k FROM t WHERE ((k = 1 OR k = 2) AND NOT (k = 2)) \
+             OR (k = 3 AND x > 2.5) ORDER BY k",
+        )
+        .unwrap();
+    let ks: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+    assert_eq!(ks, vec![1, 3]);
+}

@@ -1,0 +1,125 @@
+//! Distance measures between user profiles.
+//!
+//! The paper attaches three "special properties" to every candidate
+//! modification (§II-A): `diff` — the l2 distance from the original input,
+//! `gap` — the l0 distance (number of modified attributes), and
+//! `confidence` — the model score. The first two live here; confidence is a
+//! model concern (`jit-ml`).
+
+/// Tolerance under which two coordinates are treated as equal by [`l0_gap`].
+///
+/// The candidates generator proposes floating-point nudges; a coordinate
+/// that moved by less than this is "unchanged" for gap-counting purposes.
+pub const GAP_TOLERANCE: f64 = 1e-9;
+
+/// l0 "gap": number of coordinates in which `a` and `b` differ by more than
+/// [`GAP_TOLERANCE`].
+pub fn l0_gap(a: &[f64], b: &[f64]) -> usize {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter()
+        .zip(b)
+        .filter(|(x, y)| (*x - *y).abs() > GAP_TOLERANCE)
+        .count()
+}
+
+/// l1 (Manhattan) distance.
+pub fn l1(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Squared l2 distance (avoids the sqrt when only ordering matters).
+pub fn l2_squared(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// l2 "diff": Euclidean distance, the paper's primary modification cost.
+pub fn l2_diff(a: &[f64], b: &[f64]) -> f64 {
+    l2_squared(a, b).sqrt()
+}
+
+/// l∞ (Chebyshev) distance.
+pub fn linf(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+/// Weighted l2 distance `sqrt(Σ w_i (a_i - b_i)²)`.
+///
+/// Downstream code uses inverse-variance weights so that "increase income by
+/// $5k" and "increase seniority by 5 years" are commensurable.
+pub fn weighted_l2(a: &[f64], b: &[f64], w: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    assert_eq!(a.len(), w.len(), "weight length mismatch");
+    a.iter()
+        .zip(b)
+        .zip(w)
+        .map(|((x, y), wi)| wi * (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn gap_counts_changed_coordinates() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.5, 3.0];
+        assert_eq!(l0_gap(&a, &b), 1);
+        assert_eq!(l0_gap(&a, &a), 0);
+    }
+
+    #[test]
+    fn gap_ignores_sub_tolerance_noise() {
+        let a = [1.0];
+        let b = [1.0 + GAP_TOLERANCE / 2.0];
+        assert_eq!(l0_gap(&a, &b), 0);
+    }
+
+    #[test]
+    fn diff_is_euclidean() {
+        assert!(approx_eq(l2_diff(&[0.0, 0.0], &[3.0, 4.0]), 5.0, 1e-12));
+        assert_eq!(l2_diff(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn l1_and_linf_known_values() {
+        let a = [0.0, 0.0];
+        let b = [3.0, -4.0];
+        assert_eq!(l1(&a, &b), 7.0);
+        assert_eq!(linf(&a, &b), 4.0);
+    }
+
+    #[test]
+    fn weighted_l2_reduces_to_l2_with_unit_weights() {
+        let a = [1.0, 2.0];
+        let b = [4.0, 6.0];
+        let w = [1.0, 1.0];
+        assert!(approx_eq(weighted_l2(&a, &b, &w), l2_diff(&a, &b), 1e-12));
+    }
+
+    #[test]
+    fn weighted_l2_scales_coordinates() {
+        // weight 4 on the first coordinate doubles its contribution.
+        let d = weighted_l2(&[0.0, 0.0], &[1.0, 0.0], &[4.0, 1.0]);
+        assert!(approx_eq(d, 2.0, 1e-12));
+    }
+
+    #[test]
+    fn metric_axioms_spot_checks() {
+        let a = [1.0, -2.0, 0.5];
+        let b = [0.0, 3.0, 2.0];
+        // Symmetry.
+        assert!(approx_eq(l2_diff(&a, &b), l2_diff(&b, &a), 1e-12));
+        assert!(approx_eq(l1(&a, &b), l1(&b, &a), 1e-12));
+        // Identity.
+        assert_eq!(l2_diff(&a, &a), 0.0);
+        // Triangle inequality via a third point.
+        let c = [2.0, 2.0, 2.0];
+        assert!(l2_diff(&a, &b) <= l2_diff(&a, &c) + l2_diff(&c, &b) + 1e-12);
+    }
+}

@@ -1,0 +1,250 @@
+//! Positive-definite kernels and Gram matrices.
+//!
+//! `jit-temporal` follows Lampert (CVPR'15): each time slice's data
+//! distribution is represented by its *kernel mean embedding*
+//! `μ_t = (1/n) Σ k(x_i, ·)` in the RKHS of a chosen kernel. Everything that
+//! machinery needs from a kernel is the pairwise evaluation `k(a, b)`, which
+//! is what this module provides.
+
+use crate::distance::l2_squared;
+use crate::matrix::Matrix;
+
+/// A symmetric positive-definite kernel `k(a, b)`.
+pub trait Kernel {
+    /// Evaluates the kernel on a pair of points.
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64;
+
+    /// Gram matrix `K[i][j] = k(xs[i], ys[j])`.
+    fn gram(&self, xs: &[Vec<f64>], ys: &[Vec<f64>]) -> Matrix {
+        let mut k = Matrix::zeros(xs.len(), ys.len());
+        for (i, x) in xs.iter().enumerate() {
+            for (j, y) in ys.iter().enumerate() {
+                k[(i, j)] = self.eval(x, y);
+            }
+        }
+        k
+    }
+
+    /// Symmetric Gram matrix `K[i][j] = k(xs[i], xs[j])`; computes only the
+    /// upper triangle and mirrors it.
+    fn gram_symmetric(&self, xs: &[Vec<f64>]) -> Matrix {
+        let n = xs.len();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = self.eval(&xs[i], &xs[j]);
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        k
+    }
+}
+
+/// Gaussian RBF kernel `exp(-||a-b||² / (2σ²))`.
+#[derive(Clone, Debug)]
+pub struct RbfKernel {
+    gamma: f64,
+}
+
+impl RbfKernel {
+    /// Builds an RBF kernel from bandwidth `sigma` (σ > 0).
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma > 0.0, "rbf bandwidth must be positive");
+        RbfKernel { gamma: 1.0 / (2.0 * sigma * sigma) }
+    }
+
+    /// Builds an RBF kernel directly from `gamma` where
+    /// `k(a,b) = exp(-gamma ||a-b||²)`.
+    pub fn from_gamma(gamma: f64) -> Self {
+        assert!(gamma > 0.0, "rbf gamma must be positive");
+        RbfKernel { gamma }
+    }
+
+    /// The `gamma` coefficient in `exp(-gamma ||a-b||²)`.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Median heuristic: sets σ to the median pairwise distance of a sample,
+    /// the standard bandwidth choice for mean embeddings.
+    ///
+    /// Falls back to σ = 1 when fewer than two distinct points exist.
+    pub fn median_heuristic(xs: &[Vec<f64>]) -> Self {
+        let mut dists = Vec::new();
+        // Cap the quadratic pairwise scan; the median is stable on a subsample.
+        let step = (xs.len() / 64).max(1);
+        for i in (0..xs.len()).step_by(step) {
+            for j in ((i + step)..xs.len()).step_by(step) {
+                let d2 = l2_squared(&xs[i], &xs[j]);
+                if d2 > 0.0 {
+                    dists.push(d2.sqrt());
+                }
+            }
+        }
+        if dists.is_empty() {
+            return RbfKernel::new(1.0);
+        }
+        let sigma = crate::stats::quantile(&dists, 0.5);
+        RbfKernel::new(sigma.max(1e-6))
+    }
+}
+
+impl Kernel for RbfKernel {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        (-self.gamma * l2_squared(a, b)).exp()
+    }
+}
+
+/// Linear kernel `k(a,b) = aᵀb`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinearKernel;
+
+impl Kernel for LinearKernel {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        crate::vector::dot(a, b)
+    }
+}
+
+/// Polynomial kernel `k(a,b) = (aᵀb + c)^degree`.
+#[derive(Clone, Debug)]
+pub struct PolyKernel {
+    degree: u32,
+    offset: f64,
+}
+
+impl PolyKernel {
+    /// Builds a polynomial kernel; `degree >= 1`, `offset >= 0` keeps it PD.
+    pub fn new(degree: u32, offset: f64) -> Self {
+        assert!(degree >= 1, "polynomial degree must be >= 1");
+        assert!(offset >= 0.0, "polynomial offset must be non-negative");
+        PolyKernel { degree, offset }
+    }
+}
+
+impl Kernel for PolyKernel {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        (crate::vector::dot(a, b) + self.offset).powi(self.degree as i32)
+    }
+}
+
+/// Squared RKHS distance between the mean embeddings of two samples
+/// (the squared Maximum Mean Discrepancy, biased V-statistic form):
+///
+/// `MMD²(X, Y) = mean(K_xx) - 2 mean(K_xy) + mean(K_yy)`.
+///
+/// `jit-temporal` uses it to validate extrapolated embeddings and the test
+/// suite uses it to check that herded pseudo-samples approximate their
+/// target distribution.
+pub fn mmd_squared<K: Kernel>(kernel: &K, xs: &[Vec<f64>], ys: &[Vec<f64>]) -> f64 {
+    assert!(!xs.is_empty() && !ys.is_empty(), "mmd of empty sample");
+    let mean_of = |m: &Matrix| -> f64 {
+        m.data().iter().sum::<f64>() / (m.rows() * m.cols()) as f64
+    };
+    let kxx = kernel.gram_symmetric(xs);
+    let kyy = kernel.gram_symmetric(ys);
+    let kxy = kernel.gram(xs, ys);
+    mean_of(&kxx) - 2.0 * mean_of(&kxy) + mean_of(&kyy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::rng::Rng;
+
+    #[test]
+    fn rbf_is_one_at_zero_distance() {
+        let k = RbfKernel::new(1.0);
+        let x = vec![1.0, 2.0];
+        assert!(approx_eq(k.eval(&x, &x), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn rbf_decays_with_distance() {
+        let k = RbfKernel::new(1.0);
+        let o = vec![0.0];
+        assert!(k.eval(&o, &[1.0]) > k.eval(&o, &[2.0]));
+        assert!(k.eval(&o, &[2.0]) > k.eval(&o, &[5.0]));
+    }
+
+    #[test]
+    fn rbf_known_value() {
+        // sigma=1 => k = exp(-d²/2); d=1 => exp(-0.5).
+        let k = RbfKernel::new(1.0);
+        assert!(approx_eq(k.eval(&[0.0], &[1.0]), (-0.5f64).exp(), 1e-12));
+    }
+
+    #[test]
+    fn linear_kernel_is_dot() {
+        let k = LinearKernel;
+        assert_eq!(k.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn poly_kernel_known_value() {
+        let k = PolyKernel::new(2, 1.0);
+        // (1*1 + 1)² = 4
+        assert_eq!(k.eval(&[1.0], &[1.0]), 4.0);
+    }
+
+    #[test]
+    fn gram_symmetric_matches_gram() {
+        let xs = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![0.5, 0.5]];
+        let k = RbfKernel::new(0.7);
+        let a = k.gram(&xs, &xs);
+        let b = k.gram_symmetric(&xs);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(approx_eq(a[(i, j)], b[(i, j)], 1e-12));
+            }
+        }
+        assert!(b.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn gram_is_positive_semidefinite() {
+        // K + eps*I should be Cholesky-factorizable for an RBF Gram matrix.
+        let mut rng = Rng::seeded(5);
+        let xs: Vec<Vec<f64>> =
+            (0..10).map(|_| vec![rng.normal(), rng.normal()]).collect();
+        let mut k = RbfKernel::new(1.0).gram_symmetric(&xs);
+        k.add_diagonal(1e-9);
+        assert!(k.cholesky().is_ok());
+    }
+
+    #[test]
+    fn median_heuristic_reasonable_scale() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let k = RbfKernel::median_heuristic(&xs);
+        // Median pairwise distance of 0..19 is ~7; gamma = 1/(2σ²).
+        assert!(k.gamma() > 0.0 && k.gamma() < 1.0);
+    }
+
+    #[test]
+    fn median_heuristic_degenerate_sample() {
+        let xs = vec![vec![1.0], vec![1.0]];
+        let k = RbfKernel::median_heuristic(&xs);
+        assert!(k.gamma().is_finite());
+    }
+
+    #[test]
+    fn mmd_zero_for_identical_samples() {
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let k = RbfKernel::new(1.0);
+        let m = mmd_squared(&k, &xs, &xs);
+        assert!(m.abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmd_larger_for_shifted_distribution() {
+        let mut rng = Rng::seeded(9);
+        let xs: Vec<Vec<f64>> = (0..50).map(|_| vec![rng.normal()]).collect();
+        let near: Vec<Vec<f64>> =
+            (0..50).map(|_| vec![rng.normal() + 0.1]).collect();
+        let far: Vec<Vec<f64>> =
+            (0..50).map(|_| vec![rng.normal() + 3.0]).collect();
+        let k = RbfKernel::new(1.0);
+        assert!(mmd_squared(&k, &xs, &far) > mmd_squared(&k, &xs, &near));
+    }
+}

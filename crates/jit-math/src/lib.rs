@@ -1,0 +1,75 @@
+//! # jit-math
+//!
+//! Self-contained numerical substrate for the JustInTime workspace.
+//!
+//! The crate deliberately has **zero external dependencies**: every algorithm
+//! downstream (random forests, kernel mean embeddings, counterfactual beam
+//! search) must be reproducible bit-for-bit across runs, so randomness,
+//! linear algebra and statistics all live here under explicit seeds.
+//!
+//! Modules:
+//!
+//! * [`vector`] — elementwise operations over `&[f64]` slices.
+//! * [`matrix`] — a dense row-major [`matrix::Matrix`] with the solvers the
+//!   workspace needs (Cholesky, ridge regression).
+//! * [`kernel`] — positive-definite kernels and kernel/Gram matrices used by
+//!   the distribution-embedding machinery of `jit-temporal`.
+//! * [`stats`] — descriptive statistics, Welford online accumulators and a
+//!   feature [`stats::Standardizer`] (whitening).
+//! * [`distance`] — the paper's candidate metrics: `gap` (l0), `diff` (l2)
+//!   and friends.
+//! * [`rng`] — a SplitMix64 deterministic RNG with the samplers the
+//!   workspace needs (uniform, normal, Bernoulli, choice, shuffle).
+
+pub mod distance;
+pub mod kernel;
+pub mod matrix;
+pub mod rng;
+pub mod stats;
+pub mod vector;
+
+pub use distance::{l0_gap, l1, l2_diff, l2_squared, linf, weighted_l2};
+pub use kernel::{Kernel, LinearKernel, PolyKernel, RbfKernel};
+pub use matrix::Matrix;
+pub use rng::Rng;
+pub use stats::{OnlineStats, Standardizer};
+
+/// Numerical tolerance used across the workspace when comparing floats.
+pub const EPS: f64 = 1e-9;
+
+/// Returns `true` when `a` and `b` are within `tol` of each other.
+///
+/// Uses a combined absolute/relative criterion so it behaves sensibly for
+/// both tiny and large magnitudes.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    if diff <= tol {
+        return true;
+    }
+    let largest = a.abs().max(b.abs());
+    diff <= largest * tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_relative_for_large_magnitudes() {
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9));
+        assert!(!approx_eq(1e12, 1.1e12, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_zero() {
+        assert!(approx_eq(0.0, 0.0, 1e-9));
+        assert!(approx_eq(0.0, 1e-10, 1e-9));
+    }
+}

@@ -1,0 +1,447 @@
+//! Dense row-major matrix with the factorizations the workspace needs.
+//!
+//! This is not a general-purpose BLAS: it implements exactly what
+//! `jit-temporal` (kernel ridge / vector-valued regression) and `jit-ml`
+//! (logistic regression) require — multiplication, transpose, Cholesky
+//! factorization of SPD matrices, and linear solves built on it.
+
+use crate::{approx_eq, vector};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Errors produced by matrix factorizations and solvers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MatrixError {
+    /// The matrix was expected to be square.
+    NotSquare,
+    /// Cholesky hit a non-positive pivot: input not positive definite.
+    NotPositiveDefinite,
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatrixError::NotSquare => write!(f, "matrix is not square"),
+            MatrixError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            MatrixError::ShapeMismatch => write!(f, "matrix shape mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must be rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from a slice of equal-length rows.
+    ///
+    /// # Panics
+    /// Panics when rows have differing lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a fresh vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// The raw row-major buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix-matrix product `self * other`.
+    ///
+    /// Uses the classic i-k-j loop order so the inner loop streams over
+    /// contiguous rows of `other` (cache friendly for row-major storage).
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, MatrixError> {
+        if self.cols != other.rows {
+            return Err(MatrixError::ShapeMismatch);
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                vector::axpy(out_row, a, orow);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, MatrixError> {
+        if self.cols != v.len() {
+            return Err(MatrixError::ShapeMismatch);
+        }
+        Ok((0..self.rows).map(|i| vector::dot(self.row(i), v)).collect())
+    }
+
+    /// Elementwise sum `self + other`.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix, MatrixError> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(MatrixError::ShapeMismatch);
+        }
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// Scales every entry by `s`, returning a new matrix.
+    pub fn scaled(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * s).collect(),
+        }
+    }
+
+    /// Adds `v` to the diagonal in place (used for ridge regularization).
+    ///
+    /// # Panics
+    /// Panics when the matrix is not square.
+    pub fn add_diagonal(&mut self, v: f64) {
+        assert_eq!(self.rows, self.cols, "add_diagonal requires square matrix");
+        for i in 0..self.rows {
+            self[(i, i)] += v;
+        }
+    }
+
+    /// Returns `true` when the matrix is symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if !approx_eq(self[(i, j)], self[(j, i)], tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Cholesky factorization of a symmetric positive-definite matrix:
+    /// returns lower-triangular `L` with `self = L * Lᵀ`.
+    pub fn cholesky(&self) -> Result<Matrix, MatrixError> {
+        if self.rows != self.cols {
+            return Err(MatrixError::NotSquare);
+        }
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return Err(MatrixError::NotPositiveDefinite);
+                    }
+                    l[(i, j)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solves `self * x = b` for SPD `self` via Cholesky.
+    pub fn solve_spd(&self, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
+        let l = self.cholesky()?;
+        Ok(l.cholesky_solve(b))
+    }
+
+    /// Given `self == L` (lower triangular Cholesky factor), solves
+    /// `L Lᵀ x = b` by forward then backward substitution.
+    pub fn cholesky_solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.rows;
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Forward: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self[(i, k)] * y[k];
+            }
+            y[i] = s / self[(i, i)];
+        }
+        // Backward: Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self[(k, i)] * x[k];
+            }
+            x[i] = s / self[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `self * X = B` column-by-column for SPD `self`.
+    pub fn solve_spd_matrix(&self, b: &Matrix) -> Result<Matrix, MatrixError> {
+        if self.rows != b.rows {
+            return Err(MatrixError::ShapeMismatch);
+        }
+        let l = self.cholesky()?;
+        let mut out = Matrix::zeros(b.rows, b.cols);
+        for j in 0..b.cols {
+            let col = b.col(j);
+            let x = l.cholesky_solve(&col);
+            for i in 0..b.rows {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Solves the ridge regression problem `min_w ||X w - y||² + lambda ||w||²`
+/// through the normal equations `(XᵀX + lambda I) w = Xᵀ y`.
+///
+/// `lambda` must be positive: it both regularizes and guarantees the normal
+/// matrix is SPD so Cholesky applies.
+pub fn ridge_regression(x: &Matrix, y: &[f64], lambda: f64) -> Result<Vec<f64>, MatrixError> {
+    assert!(lambda > 0.0, "ridge lambda must be positive");
+    if x.rows() != y.len() {
+        return Err(MatrixError::ShapeMismatch);
+    }
+    let xt = x.transpose();
+    let mut xtx = xt.matmul(x)?;
+    xtx.add_diagonal(lambda);
+    let xty = xt.matvec(y)?;
+    xtx.solve_spd(&xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn assert_vec_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(approx_eq(*x, *y, tol), "{x} != {y}");
+        }
+    }
+
+    #[test]
+    fn identity_matvec_is_noop() {
+        let i = Matrix::identity(3);
+        let v = vec![1.0, -2.0, 3.0];
+        assert_eq!(i.matvec(&v).unwrap(), v);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 2);
+        assert_eq!(a.matmul(&b).unwrap_err(), MatrixError::ShapeMismatch);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        // SPD matrix built as B Bᵀ + I.
+        let b = Matrix::from_rows(&[
+            vec![1.0, 2.0, 0.5],
+            vec![0.0, 1.0, -1.0],
+            vec![2.0, 0.3, 1.0],
+        ]);
+        let mut spd = b.matmul(&b.transpose()).unwrap();
+        spd.add_diagonal(1.0);
+        let l = spd.cholesky().unwrap();
+        let recon = l.matmul(&l.transpose()).unwrap();
+        for i in 0..3 {
+            assert_vec_close(recon.row(i), spd.row(i), 1e-9);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_non_spd() {
+        let m = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert_eq!(m.cholesky().unwrap_err(), MatrixError::NotPositiveDefinite);
+        let r = Matrix::zeros(2, 3);
+        assert_eq!(r.cholesky().unwrap_err(), MatrixError::NotSquare);
+    }
+
+    #[test]
+    fn solve_spd_recovers_solution() {
+        let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
+        let x_true = vec![1.0, -2.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = a.solve_spd(&b).unwrap();
+        assert_vec_close(&x, &x_true, 1e-10);
+    }
+
+    #[test]
+    fn solve_spd_matrix_solves_columns() {
+        let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
+        let x_true = Matrix::from_rows(&[vec![1.0, 0.5], vec![-2.0, 2.0]]);
+        let b = a.matmul(&x_true).unwrap();
+        let x = a.solve_spd_matrix(&b).unwrap();
+        for i in 0..2 {
+            assert_vec_close(x.row(i), x_true.row(i), 1e-10);
+        }
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        // y = 2*x exactly; tiny lambda recovers w ~ 2, huge lambda shrinks.
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let y = vec![2.0, 4.0, 6.0];
+        let w_small = ridge_regression(&x, &y, 1e-9).unwrap();
+        assert!(approx_eq(w_small[0], 2.0, 1e-6));
+        let w_big = ridge_regression(&x, &y, 1e6).unwrap();
+        assert!(w_big[0].abs() < 0.01);
+    }
+
+    #[test]
+    fn is_symmetric_detects_asymmetry() {
+        let s = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 3.0]]);
+        assert!(s.is_symmetric(1e-12));
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.5, 3.0]]);
+        assert!(!a.is_symmetric(1e-12));
+        assert!(!Matrix::zeros(1, 2).is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn col_extracts_column() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let b = Matrix::from_rows(&[vec![3.0, 4.0]]);
+        assert_eq!(a.add(&b).unwrap(), Matrix::from_rows(&[vec![4.0, 6.0]]));
+        assert_eq!(a.scaled(2.0), Matrix::from_rows(&[vec![2.0, 4.0]]));
+        assert_eq!(
+            a.add(&Matrix::zeros(2, 2)).unwrap_err(),
+            MatrixError::ShapeMismatch
+        );
+    }
+
+    #[test]
+    fn frobenius_norm_known_value() {
+        let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0]]);
+        assert!(approx_eq(a.frobenius_norm(), 5.0, 1e-12));
+    }
+}

@@ -1,0 +1,366 @@
+//! Descriptive statistics and feature standardization.
+//!
+//! The kernel mean embedding of `jit-temporal` and the move proposers of the
+//! candidates generator both operate in *whitened* feature space — otherwise
+//! an income measured in dollars dominates an age measured in years. The
+//! [`Standardizer`] learns per-feature location/scale on training data and
+//! maps profiles back and forth.
+
+use crate::matrix::Matrix;
+
+/// Welford's online mean/variance accumulator.
+///
+/// Numerically stable for long streams and mergeable (see [`OnlineStats::merge`]),
+/// which the parallel candidate generators rely on.
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// A fresh, empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0.0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance with Bessel's correction.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (Chan et al. parallel
+    /// variance formula).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of `values` by linear interpolation
+/// between order statistics.
+///
+/// # Panics
+/// Panics when `values` is empty or `q` is outside `[0,1]`.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length samples; `0.0` when
+/// either side is constant.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "sample length mismatch");
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+/// Per-feature affine whitening: `z = (x - mean) / std`.
+///
+/// Constant features (std == 0) are mapped with scale 1 so transform stays
+/// invertible.
+#[derive(Clone, Debug)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits means and standard deviations on the rows of `x`.
+    ///
+    /// # Panics
+    /// Panics when `x` has no rows.
+    pub fn fit(x: &Matrix) -> Self {
+        assert!(x.rows() > 0, "cannot fit standardizer on empty data");
+        let d = x.cols();
+        let mut stats = vec![OnlineStats::new(); d];
+        for i in 0..x.rows() {
+            for (j, stat) in stats.iter_mut().enumerate() {
+                stat.push(x[(i, j)]);
+            }
+        }
+        let means = stats.iter().map(|s| s.mean()).collect();
+        let stds = stats
+            .iter()
+            .map(|s| {
+                let sd = s.std_dev();
+                if sd > 0.0 {
+                    sd
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Standardizer { means, stds }
+    }
+
+    /// Builds a standardizer from explicit parameters.
+    pub fn from_params(means: Vec<f64>, stds: Vec<f64>) -> Self {
+        assert_eq!(means.len(), stds.len(), "parameter length mismatch");
+        assert!(stds.iter().all(|s| *s > 0.0), "stds must be positive");
+        Standardizer { means, stds }
+    }
+
+    /// Number of features this standardizer was fit on.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Learned per-feature means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Learned per-feature standard deviations (1.0 for constant features).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Whitens a single row.
+    pub fn transform_row(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim(), "feature dimension mismatch");
+        x.iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Inverse of [`Standardizer::transform_row`].
+    pub fn inverse_row(&self, z: &[f64]) -> Vec<f64> {
+        assert_eq!(z.len(), self.dim(), "feature dimension mismatch");
+        z.iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((v, m), s)| v * s + m)
+            .collect()
+    }
+
+    /// Whitens every row of a matrix.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), x.cols());
+        for i in 0..x.rows() {
+            let z = self.transform_row(x.row(i));
+            out.row_mut(i).copy_from_slice(&z);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert!(approx_eq(s.mean(), 5.0, 1e-12));
+        assert!(approx_eq(s.variance(), 4.0, 1e-12));
+        assert!(approx_eq(s.std_dev(), 2.0, 1e-12));
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn welford_merge_equals_single_stream() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert!(approx_eq(left.mean(), whole.mean(), 1e-10));
+        assert!(approx_eq(left.variance(), whole.variance(), 1e-10));
+        assert_eq!(left.count(), whole.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before_mean = a.mean();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.mean(), before_mean);
+        let mut empty = OnlineStats::new();
+        empty.merge(&a);
+        assert_eq!(empty.mean(), before_mean);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!(approx_eq(quantile(&xs, 0.5), 2.5, 1e-12));
+    }
+
+    #[test]
+    fn pearson_perfect_and_constant() {
+        let a = [1.0, 2.0, 3.0];
+        assert!(approx_eq(pearson(&a, &[2.0, 4.0, 6.0]), 1.0, 1e-12));
+        assert!(approx_eq(pearson(&a, &[-1.0, -2.0, -3.0]), -1.0, 1e-12));
+        assert_eq!(pearson(&a, &[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn standardizer_roundtrip() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 100.0],
+            vec![2.0, 200.0],
+            vec![3.0, 300.0],
+        ]);
+        let s = Standardizer::fit(&x);
+        let row = [2.5, 150.0];
+        let z = s.transform_row(&row);
+        let back = s.inverse_row(&z);
+        for (a, b) in back.iter().zip(&row) {
+            assert!(approx_eq(*a, *b, 1e-10));
+        }
+    }
+
+    #[test]
+    fn standardizer_whitens_to_zero_mean_unit_var() {
+        let x = Matrix::from_rows(&[
+            vec![10.0],
+            vec![20.0],
+            vec![30.0],
+            vec![40.0],
+        ]);
+        let s = Standardizer::fit(&x);
+        let z = s.transform(&x);
+        let vals = z.col(0);
+        let mut acc = OnlineStats::new();
+        for v in vals {
+            acc.push(v);
+        }
+        assert!(acc.mean().abs() < 1e-10);
+        assert!(approx_eq(acc.variance(), 1.0, 1e-10));
+    }
+
+    #[test]
+    fn standardizer_handles_constant_feature() {
+        let x = Matrix::from_rows(&[vec![5.0], vec![5.0]]);
+        let s = Standardizer::fit(&x);
+        let z = s.transform_row(&[5.0]);
+        assert_eq!(z, vec![0.0]);
+        assert_eq!(s.inverse_row(&z), vec![5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        quantile(&[], 0.5);
+    }
+}

@@ -1,0 +1,187 @@
+//! Elementwise vector operations over plain `&[f64]` slices.
+//!
+//! The workspace represents user profiles and feature rows as `Vec<f64>`;
+//! these helpers keep the call sites in `jit-ml`/`jit-core` free of manual
+//! index loops. All functions panic if slice lengths mismatch — a length
+//! mismatch is always a programming error, never a data error.
+
+/// Adds `b` into `a` elementwise, in place.
+pub fn add_assign(a: &mut [f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+/// Returns `a + b` as a new vector.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = a.to_vec();
+    add_assign(&mut out, b);
+    out
+}
+
+/// Returns `a - b` as a new vector.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Scales `a` by `s` in place.
+pub fn scale_assign(a: &mut [f64], s: f64) {
+    for x in a.iter_mut() {
+        *x *= s;
+    }
+}
+
+/// Returns `s * a` as a new vector.
+pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
+    a.iter().map(|x| x * s).collect()
+}
+
+/// `a += s * b`, the classic axpy kernel.
+pub fn axpy(a: &mut [f64], s: f64, b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += s * y;
+    }
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Sum of all elements.
+pub fn sum(a: &[f64]) -> f64 {
+    a.iter().sum()
+}
+
+/// Arithmetic mean; returns 0.0 for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        sum(a) / a.len() as f64
+    }
+}
+
+/// Index of the maximum element (first one on ties); `None` when empty or
+/// when every element is NaN.
+pub fn argmax(a: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in a.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if bv >= v => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the minimum element (first one on ties); `None` when empty or
+/// when every element is NaN.
+pub fn argmin(a: &[f64]) -> Option<usize> {
+    argmax(&a.iter().map(|v| -v).collect::<Vec<_>>())
+}
+
+/// Clamps every coordinate of `a` into `[lo[i], hi[i]]`, in place.
+pub fn clamp_box(a: &mut [f64], lo: &[f64], hi: &[f64]) {
+    assert_eq!(a.len(), lo.len(), "vector length mismatch");
+    assert_eq!(a.len(), hi.len(), "vector length mismatch");
+    for i in 0..a.len() {
+        a[i] = a[i].clamp(lo[i], hi[i]);
+    }
+}
+
+/// Linear interpolation `(1-t)*a + t*b`.
+pub fn lerp(a: &[f64], b: &[f64], t: f64) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).map(|(x, y)| (1.0 - t) * x + t * y).collect()
+}
+
+/// Returns `true` when every element of `a` is finite.
+pub fn all_finite(a: &[f64]) -> bool {
+    a.iter().all(|v| v.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [0.5, -1.0, 4.0];
+        let s = add(&a, &b);
+        let back = sub(&s, &b);
+        for (x, y) in back.iter().zip(&a) {
+            assert!(approx_eq(*x, *y, 1e-12));
+        }
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!(approx_eq(norm(&[3.0, 4.0]), 5.0, 1e-12));
+    }
+
+    #[test]
+    fn axpy_matches_manual() {
+        let mut a = vec![1.0, 1.0];
+        axpy(&mut a, 2.0, &[3.0, -1.0]);
+        assert_eq!(a, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn argmax_ignores_nan_and_breaks_ties_first() {
+        assert_eq!(argmax(&[f64::NAN, 2.0, 2.0, 1.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[f64::NAN]), None);
+        assert_eq!(argmin(&[3.0, -1.0, 0.0]), Some(1));
+    }
+
+    #[test]
+    fn clamp_box_respects_bounds() {
+        let mut a = vec![-5.0, 0.5, 9.0];
+        clamp_box(&mut a, &[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(a, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = [0.0, 10.0];
+        let b = [1.0, 20.0];
+        assert_eq!(lerp(&a, &b, 0.0), vec![0.0, 10.0]);
+        assert_eq!(lerp(&a, &b, 1.0), vec![1.0, 20.0]);
+        assert_eq!(lerp(&a, &b, 0.5), vec![0.5, 15.0]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn all_finite_detects_nan_and_inf() {
+        assert!(all_finite(&[1.0, 2.0]));
+        assert!(!all_finite(&[1.0, f64::NAN]));
+        assert!(!all_finite(&[f64::INFINITY]));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,351 @@
+//! Gradient-boosted trees (extension model family).
+//!
+//! The paper trains random forests; gradient boosting is implemented as the
+//! natural "future work" model family and is exercised by the ablation
+//! benches to show the candidates generator works across tree ensembles.
+//! Boosting on the logistic loss: each round fits a small regression tree to
+//! the negative gradient (residuals) and adds it with shrinkage.
+
+use crate::dataset::Dataset;
+use crate::model::{Model, ModelHints};
+use jit_math::rng::Rng;
+
+/// Hyperparameters for [`GradientBoosting::fit`].
+#[derive(Clone, Debug)]
+pub struct BoostingParams {
+    /// Number of boosting rounds (trees).
+    pub n_rounds: usize,
+    /// Shrinkage applied to every tree's contribution.
+    pub learning_rate: f64,
+    /// Depth of each regression tree.
+    pub max_depth: usize,
+    /// Minimum examples per leaf.
+    pub min_leaf: usize,
+}
+
+impl Default for BoostingParams {
+    fn default() -> Self {
+        BoostingParams { n_rounds: 50, learning_rate: 0.2, max_depth: 3, min_leaf: 4 }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum RNode {
+    Leaf { value: f64 },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+/// A depth-limited least-squares regression tree on residuals.
+#[derive(Clone, Debug)]
+struct RegressionTree {
+    nodes: Vec<RNode>,
+}
+
+impl RegressionTree {
+    fn fit(
+        rows: &[Vec<f64>],
+        targets: &[f64],
+        indices: &[usize],
+        max_depth: usize,
+        min_leaf: usize,
+    ) -> Self {
+        let mut nodes = Vec::new();
+        Self::build(rows, targets, indices, max_depth, min_leaf, &mut nodes);
+        RegressionTree { nodes }
+    }
+
+    fn mean(targets: &[f64], indices: &[usize]) -> f64 {
+        if indices.is_empty() {
+            return 0.0;
+        }
+        indices.iter().map(|&i| targets[i]).sum::<f64>() / indices.len() as f64
+    }
+
+    #[allow(clippy::needless_range_loop)] // feature-index loops mirror the math
+    fn build(
+        rows: &[Vec<f64>],
+        targets: &[f64],
+        indices: &[usize],
+        depth: usize,
+        min_leaf: usize,
+        nodes: &mut Vec<RNode>,
+    ) -> usize {
+        let value = Self::mean(targets, indices);
+        if depth == 0 || indices.len() < 2 * min_leaf {
+            nodes.push(RNode::Leaf { value });
+            return nodes.len() - 1;
+        }
+        // Best squared-error split.
+        let d = rows[0].len();
+        let total_sum: f64 = indices.iter().map(|&i| targets[i]).sum();
+        let n = indices.len() as f64;
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        let mut col: Vec<(f64, f64)> = Vec::with_capacity(indices.len());
+        for f in 0..d {
+            col.clear();
+            for &i in indices {
+                col.push((rows[i][f], targets[i]));
+            }
+            col.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN features"));
+            let mut left_sum = 0.0;
+            for w in 0..col.len() - 1 {
+                left_sum += col[w].1;
+                if col[w].0 == col[w + 1].0 {
+                    continue;
+                }
+                let nl = (w + 1) as f64;
+                let nr = n - nl;
+                if (nl as usize) < min_leaf || (nr as usize) < min_leaf {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                // Variance-reduction gain (up to constants).
+                let gain = left_sum * left_sum / nl + right_sum * right_sum / nr
+                    - total_sum * total_sum / n;
+                let threshold = 0.5 * (col[w].0 + col[w + 1].0);
+                match best {
+                    Some((_, _, bg)) if bg >= gain => {}
+                    _ => best = Some((f, threshold, gain)),
+                }
+            }
+        }
+        let Some((feature, threshold, gain)) = best else {
+            nodes.push(RNode::Leaf { value });
+            return nodes.len() - 1;
+        };
+        if gain <= 1e-12 {
+            nodes.push(RNode::Leaf { value });
+            return nodes.len() - 1;
+        }
+        let (li, ri): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| rows[i][feature] <= threshold);
+        let my = nodes.len();
+        nodes.push(RNode::Leaf { value }); // placeholder
+        let left = Self::build(rows, targets, &li, depth - 1, min_leaf, nodes);
+        let right = Self::build(rows, targets, &ri, depth - 1, min_leaf, nodes);
+        nodes[my] = RNode::Split { feature, threshold, left, right };
+        my
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                RNode::Leaf { value } => return *value,
+                RNode::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    fn split_thresholds(&self) -> Vec<(usize, f64)> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                RNode::Split { feature, threshold, .. } => Some((*feature, *threshold)),
+                RNode::Leaf { .. } => None,
+            })
+            .collect()
+    }
+}
+
+/// A fitted gradient-boosting classifier on the logistic loss.
+#[derive(Clone, Debug)]
+pub struct GradientBoosting {
+    base_score: f64,
+    trees: Vec<RegressionTree>,
+    learning_rate: f64,
+    dim: usize,
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl GradientBoosting {
+    /// Fits the ensemble. Example weights participate through a
+    /// weight-proportional subsample per round (stochastic gradient
+    /// boosting), so herded pseudo-samples train correctly.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn fit(data: &Dataset, params: &BoostingParams, rng: &mut Rng) -> Self {
+        assert!(!data.is_empty(), "cannot fit boosting on empty dataset");
+        let n = data.len();
+        let rows = data.rows();
+        let prior = data.positive_rate().clamp(1e-6, 1.0 - 1e-6);
+        let base_score = (prior / (1.0 - prior)).ln();
+        let mut raw = vec![base_score; n];
+        let mut trees = Vec::with_capacity(params.n_rounds);
+        let uniform_weights = data.weights().iter().all(|w| (*w - 1.0).abs() < 1e-12);
+
+        for _ in 0..params.n_rounds {
+            // Negative gradient of log-loss wrt raw score: y - p.
+            let residuals: Vec<f64> = raw
+                .iter()
+                .zip(data.labels())
+                .map(|(&r, &y)| (if y { 1.0 } else { 0.0 }) - sigmoid(r))
+                .collect();
+            let indices: Vec<usize> = if uniform_weights {
+                (0..n).collect()
+            } else {
+                (0..n).map(|_| rng.weighted_index(data.weights())).collect()
+            };
+            let tree = RegressionTree::fit(
+                rows,
+                &residuals,
+                &indices,
+                params.max_depth,
+                params.min_leaf,
+            );
+            for (i, r) in raw.iter_mut().enumerate() {
+                *r += params.learning_rate * tree.predict(&rows[i]);
+            }
+            trees.push(tree);
+        }
+        GradientBoosting {
+            base_score,
+            trees,
+            learning_rate: params.learning_rate,
+            dim: data.dim(),
+        }
+    }
+
+    /// Number of boosting rounds fitted.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Model for GradientBoosting {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        let mut raw = self.base_score;
+        for t in &self.trees {
+            raw += self.learning_rate * t.predict(x);
+        }
+        sigmoid(raw)
+    }
+
+    fn hints(&self) -> ModelHints {
+        let mut per_feature = vec![Vec::new(); self.dim];
+        for tree in &self.trees {
+            for (f, t) in tree.split_thresholds() {
+                per_feature[f].push(t);
+            }
+        }
+        for ts in &mut per_feature {
+            ts.sort_by(|a, b| a.partial_cmp(b).expect("finite thresholds"));
+            ts.dedup();
+        }
+        ModelHints::Thresholds(per_feature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_moons(n: usize, rng: &mut Rng) -> Dataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let upper = rng.bernoulli(0.5);
+            let t = rng.uniform(0.0, std::f64::consts::PI);
+            let (x, y) = if upper {
+                (t.cos(), t.sin())
+            } else {
+                (1.0 - t.cos(), 0.5 - t.sin())
+            };
+            rows.push(vec![x + 0.05 * rng.normal(), y + 0.05 * rng.normal()]);
+            labels.push(upper);
+        }
+        Dataset::from_rows(rows, labels)
+    }
+
+    #[test]
+    fn boosting_learns_nonlinear_boundary() {
+        let mut rng = Rng::seeded(1);
+        let train = two_moons(400, &mut rng);
+        let test = two_moons(200, &mut rng);
+        let m = GradientBoosting::fit(&train, &BoostingParams::default(), &mut rng);
+        let mut correct = 0;
+        for (row, label, _) in test.iter() {
+            if (m.predict_proba(row) > 0.5) == label {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / test.len() as f64;
+        assert!(acc > 0.9, "boosting accuracy {acc} too low");
+    }
+
+    #[test]
+    fn more_rounds_reduce_training_loss() {
+        let mut rng = Rng::seeded(2);
+        let d = two_moons(200, &mut rng);
+        let small = GradientBoosting::fit(
+            &d,
+            &BoostingParams { n_rounds: 2, ..Default::default() },
+            &mut Rng::seeded(3),
+        );
+        let large = GradientBoosting::fit(
+            &d,
+            &BoostingParams { n_rounds: 60, ..Default::default() },
+            &mut Rng::seeded(3),
+        );
+        let loss = |m: &GradientBoosting| {
+            let scores: Vec<f64> =
+                d.rows().iter().map(|r| m.predict_proba(r)).collect();
+            crate::metrics::log_loss(&scores, d.labels())
+        };
+        assert!(loss(&large) < loss(&small));
+    }
+
+    #[test]
+    fn zero_rounds_returns_prior() {
+        let mut rng = Rng::seeded(4);
+        let d = two_moons(50, &mut rng);
+        let m = GradientBoosting::fit(
+            &d,
+            &BoostingParams { n_rounds: 0, ..Default::default() },
+            &mut rng,
+        );
+        let p = m.predict_proba(&[0.0, 0.0]);
+        assert!((p - d.positive_rate()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hints_expose_thresholds() {
+        let mut rng = Rng::seeded(5);
+        let d = two_moons(100, &mut rng);
+        let m = GradientBoosting::fit(&d, &BoostingParams::default(), &mut rng);
+        match m.hints() {
+            ModelHints::Thresholds(per_feature) => {
+                assert_eq!(per_feature.len(), 2);
+                assert!(per_feature.iter().any(|t| !t.is_empty()));
+            }
+            _ => panic!("boosting must expose threshold hints"),
+        }
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let mut rng = Rng::seeded(6);
+        let d = two_moons(100, &mut rng);
+        let m = GradientBoosting::fit(&d, &BoostingParams::default(), &mut rng);
+        for (row, _, _) in d.iter() {
+            let p = m.predict_proba(row);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Weighted, labeled tabular datasets.
+//!
+//! A [`Dataset`] owns feature rows (`Vec<f64>` per example), binary labels
+//! and optional per-example importance weights. Weights matter here because
+//! future models in `jit-temporal` are trained on *herded pseudo-samples*
+//! whose importance weights come from the extrapolated distribution
+//! embedding.
+
+use jit_math::rng::Rng;
+
+/// A labeled, optionally weighted tabular dataset for binary classification.
+#[derive(Clone, Debug, Default)]
+pub struct Dataset {
+    rows: Vec<Vec<f64>>,
+    labels: Vec<bool>,
+    weights: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Creates a dataset from rows and labels with unit weights.
+    ///
+    /// # Panics
+    /// Panics when lengths mismatch or rows are ragged.
+    pub fn from_rows(rows: Vec<Vec<f64>>, labels: Vec<bool>) -> Self {
+        let n = rows.len();
+        let weights = vec![1.0; n];
+        Self::from_weighted_rows(rows, labels, weights)
+    }
+
+    /// Creates a dataset with explicit example weights.
+    ///
+    /// # Panics
+    /// Panics when lengths mismatch, rows are ragged, or any weight is
+    /// negative/non-finite.
+    pub fn from_weighted_rows(rows: Vec<Vec<f64>>, labels: Vec<bool>, weights: Vec<f64>) -> Self {
+        assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
+        assert_eq!(rows.len(), weights.len(), "rows/weights length mismatch");
+        if let Some(first) = rows.first() {
+            let d = first.len();
+            assert!(rows.iter().all(|r| r.len() == d), "ragged feature rows");
+        }
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        Dataset { rows, labels, weights }
+    }
+
+    /// Appends one example.
+    pub fn push(&mut self, row: Vec<f64>, label: bool, weight: f64) {
+        if let Some(first) = self.rows.first() {
+            assert_eq!(first.len(), row.len(), "feature dimension mismatch");
+        }
+        assert!(weight.is_finite() && weight >= 0.0, "invalid weight");
+        self.rows.push(row);
+        self.labels.push(label);
+        self.weights.push(weight);
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Feature dimension (0 when empty).
+    pub fn dim(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+
+    /// Borrow of all feature rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Borrow of all labels.
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// Borrow of all weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// One feature row.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i]
+    }
+
+    /// One label.
+    pub fn label(&self, i: usize) -> bool {
+        self.labels[i]
+    }
+
+    /// Fraction of positive examples, weight-aware. Returns 0.0 when empty.
+    pub fn positive_rate(&self) -> f64 {
+        let total: f64 = self.weights.iter().sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let pos: f64 = self
+            .labels
+            .iter()
+            .zip(&self.weights)
+            .filter(|(l, _)| **l)
+            .map(|(_, w)| *w)
+            .sum();
+        pos / total
+    }
+
+    /// Extracts the sub-dataset at the given indices (weights preserved).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let rows = indices.iter().map(|&i| self.rows[i].clone()).collect();
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        let weights = indices.iter().map(|&i| self.weights[i]).collect();
+        Dataset { rows, labels, weights }
+    }
+
+    /// Splits into (train, test) with `test_fraction` of examples held out,
+    /// stratified by label so both splits keep the class balance.
+    ///
+    /// # Panics
+    /// Panics when `test_fraction` is outside `(0, 1)`.
+    pub fn stratified_split(&self, test_fraction: f64, rng: &mut Rng) -> (Dataset, Dataset) {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "test_fraction must be in (0,1)"
+        );
+        let mut pos: Vec<usize> = Vec::new();
+        let mut neg: Vec<usize> = Vec::new();
+        for (i, &l) in self.labels.iter().enumerate() {
+            if l {
+                pos.push(i)
+            } else {
+                neg.push(i)
+            }
+        }
+        rng.shuffle(&mut pos);
+        rng.shuffle(&mut neg);
+        let mut train_idx = Vec::new();
+        let mut test_idx = Vec::new();
+        for class in [pos, neg] {
+            let n_test = ((class.len() as f64) * test_fraction).round() as usize;
+            let n_test = n_test.min(class.len());
+            test_idx.extend_from_slice(&class[..n_test]);
+            train_idx.extend_from_slice(&class[n_test..]);
+        }
+        (self.subset(&train_idx), self.subset(&test_idx))
+    }
+
+    /// Draws a bootstrap sample of the same size.
+    ///
+    /// When the dataset carries non-uniform weights the draw is
+    /// weight-proportional, which is how future models are trained on
+    /// herded pseudo-samples.
+    pub fn bootstrap(&self, rng: &mut Rng) -> Dataset {
+        assert!(!self.is_empty(), "bootstrap of empty dataset");
+        let n = self.len();
+        let uniform = self.weights.iter().all(|w| (*w - 1.0).abs() < 1e-12);
+        let mut indices = Vec::with_capacity(n);
+        if uniform {
+            for _ in 0..n {
+                indices.push(rng.below(n));
+            }
+        } else {
+            for _ in 0..n {
+                indices.push(rng.weighted_index(&self.weights));
+            }
+        }
+        let mut out = self.subset(&indices);
+        // Bootstrap resampling realizes the weights; reset them to 1.
+        out.weights.iter_mut().for_each(|w| *w = 1.0);
+        out
+    }
+
+    /// Iterator over `(row, label, weight)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], bool, f64)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.labels)
+            .zip(&self.weights)
+            .map(|((r, l), w)| (r.as_slice(), *l, *w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (2 * i) as f64]).collect();
+        let labels: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        Dataset::from_rows(rows, labels)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = toy(9);
+        assert_eq!(d.len(), 9);
+        assert_eq!(d.dim(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.row(2), &[2.0, 4.0]);
+        assert!(d.label(0));
+        assert!(!d.label(1));
+    }
+
+    #[test]
+    fn positive_rate_weighted() {
+        let d = Dataset::from_weighted_rows(
+            vec![vec![0.0], vec![1.0]],
+            vec![true, false],
+            vec![3.0, 1.0],
+        );
+        assert!((d.positive_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positive_rate_empty_is_zero() {
+        assert_eq!(Dataset::new().positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn subset_preserves_rows() {
+        let d = toy(5);
+        let s = d.subset(&[4, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(0), &[4.0, 8.0]);
+        assert_eq!(s.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn stratified_split_keeps_class_balance() {
+        let n = 300;
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let labels: Vec<bool> = (0..n).map(|i| i < 100).collect(); // 1/3 positive
+        let d = Dataset::from_rows(rows, labels);
+        let mut rng = Rng::seeded(1);
+        let (train, test) = d.stratified_split(0.3, &mut rng);
+        assert_eq!(train.len() + test.len(), n);
+        assert!((train.positive_rate() - 1.0 / 3.0).abs() < 0.02);
+        assert!((test.positive_rate() - 1.0 / 3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn stratified_split_disjoint_and_complete() {
+        let d = toy(50);
+        let mut rng = Rng::seeded(2);
+        let (train, test) = d.stratified_split(0.2, &mut rng);
+        // Reconstruct multiset of first coordinates.
+        let mut all: Vec<i64> = train
+            .rows()
+            .iter()
+            .chain(test.rows())
+            .map(|r| r[0] as i64)
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn bootstrap_same_size_and_unit_weights() {
+        let d = toy(40);
+        let mut rng = Rng::seeded(3);
+        let b = d.bootstrap(&mut rng);
+        assert_eq!(b.len(), 40);
+        assert!(b.weights().iter().all(|w| *w == 1.0));
+    }
+
+    #[test]
+    fn weighted_bootstrap_prefers_heavy_rows() {
+        let rows = vec![vec![0.0], vec![1.0]];
+        let labels = vec![false, true];
+        let weights = vec![1.0, 99.0];
+        let d = Dataset::from_weighted_rows(rows, labels, weights);
+        let mut rng = Rng::seeded(4);
+        let mut heavy = 0usize;
+        let mut total = 0usize;
+        for _ in 0..50 {
+            let b = d.bootstrap(&mut rng);
+            heavy += b.rows().iter().filter(|r| r[0] == 1.0).count();
+            total += b.len();
+        }
+        assert!(heavy as f64 / total as f64 > 0.9);
+    }
+
+    #[test]
+    fn push_checks_dimension() {
+        let mut d = toy(2);
+        d.push(vec![7.0, 8.0], true, 1.0);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn push_wrong_dim_panics() {
+        let mut d = toy(2);
+        d.push(vec![7.0], true, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        Dataset::from_rows(vec![vec![1.0], vec![1.0, 2.0]], vec![true, false]);
+    }
+
+    #[test]
+    fn iter_yields_triples() {
+        let d = Dataset::from_weighted_rows(
+            vec![vec![1.0]],
+            vec![true],
+            vec![2.0],
+        );
+        let (row, label, weight) = d.iter().next().unwrap();
+        assert_eq!(row, &[1.0]);
+        assert!(label);
+        assert_eq!(weight, 2.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # jit-ml
+//!
+//! Machine-learning substrate for JustInTime.
+//!
+//! The paper's framework only requires a binary classifier
+//! `M : R^d -> [0,1]` (Definition II.1) plus, for the candidates generator,
+//! *model-dependent heuristics* describing how `M` can be nudged across its
+//! decision boundary. The original system used H2O random forests; this
+//! crate provides from-scratch implementations with exactly the surface the
+//! rest of the workspace needs:
+//!
+//! * [`dataset::Dataset`] — weighted, labeled tabular data with splits and
+//!   bootstraps.
+//! * [`tree::DecisionTree`] — CART with Gini impurity, sample weights and
+//!   feature subsampling.
+//! * [`forest::RandomForest`] — bagged trees, the paper's model family.
+//! * [`logistic::LogisticRegression`] — a linear baseline whose gradient
+//!   feeds the gradient-guided move proposer.
+//! * [`boosting::GradientBoosting`] — an extension model family
+//!   (future-work surface; exercised by the ablation benches).
+//! * [`metrics`] — accuracy, AUC, F1, log-loss, confusion counts.
+//! * [`threshold`] — calibration of the per-model decision threshold `δ_t`.
+//! * [`model::Model`] — the trait tying it together, including
+//!   [`model::ModelHints`] consumed by the counterfactual search.
+
+pub mod boosting;
+pub mod dataset;
+pub mod forest;
+pub mod logistic;
+pub mod metrics;
+pub mod model;
+pub mod threshold;
+pub mod tree;
+
+pub use dataset::Dataset;
+pub use forest::{RandomForest, RandomForestParams};
+pub use logistic::{LogisticParams, LogisticRegression};
+pub use model::{Model, ModelHints};
+pub use tree::{DecisionTree, DecisionTreeParams};

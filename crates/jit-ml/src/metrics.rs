@@ -1,0 +1,242 @@
+//! Classification quality metrics.
+//!
+//! Used by `jit-temporal` to compare predicted-future models against oracle
+//! models (experiment E4) and by `threshold` to calibrate `δ_t`.
+
+/// Confusion-matrix counts at a fixed decision threshold.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tallies counts for `scores` vs `labels` at threshold `delta`
+    /// (prediction positive iff score > delta, matching Definition II.3).
+    pub fn at_threshold(scores: &[f64], labels: &[bool], delta: f64) -> Self {
+        assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+        let mut c = Confusion::default();
+        for (&s, &l) in scores.iter().zip(labels) {
+            match (s > delta, l) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Total number of examples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Fraction of correct decisions; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / t as f64
+        }
+    }
+
+    /// TP / (TP + FP); 0 when no positive predictions.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// TP / (TP + FN); 0 when no positive labels.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Accuracy at threshold 0.5.
+pub fn accuracy(scores: &[f64], labels: &[bool]) -> f64 {
+    Confusion::at_threshold(scores, labels, 0.5).accuracy()
+}
+
+/// Area under the ROC curve by the rank statistic (handles score ties by
+/// midranks). Returns 0.5 when either class is absent.
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let n_pos = labels.iter().filter(|l| **l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Rank scores ascending with midranks for ties.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("no NaN scores"));
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = midrank;
+        }
+        i = j + 1;
+    }
+    let pos_rank_sum: f64 = ranks
+        .iter()
+        .zip(labels)
+        .filter(|(_, l)| **l)
+        .map(|(r, _)| *r)
+        .sum();
+    let u = pos_rank_sum - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos * n_neg) as f64
+}
+
+/// Mean binary cross-entropy; probabilities are clipped away from {0, 1}.
+pub fn log_loss(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    assert!(!scores.is_empty(), "log_loss of empty input");
+    let eps = 1e-12;
+    let total: f64 = scores
+        .iter()
+        .zip(labels)
+        .map(|(&s, &l)| {
+            let p = s.clamp(eps, 1.0 - eps);
+            if l {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum();
+    total / scores.len() as f64
+}
+
+/// Brier score: mean squared error of the probability forecasts.
+pub fn brier(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    assert!(!scores.is_empty(), "brier of empty input");
+    let total: f64 = scores
+        .iter()
+        .zip(labels)
+        .map(|(&s, &l)| {
+            let y = if l { 1.0 } else { 0.0 };
+            (s - y) * (s - y)
+        })
+        .sum();
+    total / scores.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let scores = [0.9, 0.8, 0.3, 0.2];
+        let labels = [true, false, true, false];
+        let c = Confusion::at_threshold(&scores, &labels, 0.5);
+        assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(c.accuracy(), 0.5);
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+        assert_eq!(c.f1(), 0.5);
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        let c = Confusion::at_threshold(&[0.5], &[true], 0.5);
+        // 0.5 > 0.5 is false => predicted negative => false negative.
+        assert_eq!(c.fn_, 1);
+        assert_eq!(c.tp, 0);
+    }
+
+    #[test]
+    fn perfect_classifier_metrics() {
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let labels = [true, true, false, false];
+        assert_eq!(accuracy(&scores, &labels), 1.0);
+        assert_eq!(roc_auc(&scores, &labels), 1.0);
+        assert!(log_loss(&scores, &labels) < 0.3);
+        assert!(brier(&scores, &labels) < 0.05);
+    }
+
+    #[test]
+    fn inverted_classifier_auc_zero() {
+        let scores = [0.1, 0.2, 0.9, 0.8];
+        let labels = [true, true, false, false];
+        assert_eq!(roc_auc(&scores, &labels), 0.0);
+    }
+
+    #[test]
+    fn random_scores_auc_half() {
+        // Constant scores: all ties => AUC 0.5 by midranks.
+        let scores = [0.5; 10];
+        let labels: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_single_class_auc_half() {
+        assert_eq!(roc_auc(&[0.1, 0.9], &[true, true]), 0.5);
+        assert_eq!(roc_auc(&[0.1, 0.9], &[false, false]), 0.5);
+    }
+
+    #[test]
+    fn auc_invariant_to_monotone_transform() {
+        let scores = [0.1, 0.4, 0.35, 0.8];
+        let labels = [false, true, false, true];
+        let squashed: Vec<f64> = scores.iter().map(|s| s * s).collect();
+        assert!((roc_auc(&scores, &labels) - roc_auc(&squashed, &labels)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_loss_clips_extremes() {
+        let v = log_loss(&[0.0, 1.0], &[true, false]);
+        assert!(v.is_finite());
+        assert!(v > 10.0, "confidently wrong should cost a lot");
+    }
+
+    #[test]
+    fn brier_known_value() {
+        // Forecast 0.8 on a positive: (0.8-1)^2 = 0.04.
+        assert!((brier(&[0.8], &[true]) - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_confusion_metrics_are_zero() {
+        let c = Confusion::default();
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+}

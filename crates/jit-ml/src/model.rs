@@ -1,0 +1,124 @@
+//! The [`Model`] trait — Definition II.1 of the paper.
+//!
+//! A model maps a profile vector to the probability of the *desired*
+//! positive classification. The candidates generator additionally needs
+//! model-dependent structure to propose decision-altering moves; models
+//! surface that through [`ModelHints`].
+
+/// Structure a model exposes to guide counterfactual move proposal.
+#[derive(Clone, Debug)]
+pub enum ModelHints {
+    /// Tree-family models: per-feature sorted, deduplicated split
+    /// thresholds. A proposal nudges a feature just across one of these.
+    Thresholds(Vec<Vec<f64>>),
+    /// Linear-family models: the weight vector. A proposal steps along the
+    /// (sign of the) gradient of the score.
+    Linear(Vec<f64>),
+    /// No structural information; the search falls back to data-driven
+    /// coordinate perturbations.
+    Opaque,
+}
+
+impl ModelHints {
+    /// `true` when the hints carry no structure.
+    pub fn is_opaque(&self) -> bool {
+        matches!(self, ModelHints::Opaque)
+    }
+}
+
+/// A binary classification model `M : R^d -> [0,1]` (paper Definition II.1).
+pub trait Model: Send + Sync {
+    /// Input dimension `d`.
+    fn dim(&self) -> usize;
+
+    /// Probability of the desired positive class for profile `x`.
+    fn predict_proba(&self, x: &[f64]) -> f64;
+
+    /// Model-dependent structure for the counterfactual search.
+    ///
+    /// The default is [`ModelHints::Opaque`]; tree and linear models
+    /// override it.
+    fn hints(&self) -> ModelHints {
+        ModelHints::Opaque
+    }
+
+    /// Convenience: hard decision at threshold `delta`
+    /// (Definition II.3 requires a strict inequality `M(x') > δ`).
+    fn decide(&self, x: &[f64], delta: f64) -> bool {
+        self.predict_proba(x) > delta
+    }
+}
+
+/// Blanket implementation so `Box<dyn Model>` is itself a `Model`.
+impl Model for Box<dyn Model> {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        (**self).predict_proba(x)
+    }
+
+    fn hints(&self) -> ModelHints {
+        (**self).hints()
+    }
+}
+
+/// A trivial constant model, useful in tests and as a degenerate baseline.
+#[derive(Clone, Debug)]
+pub struct ConstantModel {
+    dim: usize,
+    prob: f64,
+}
+
+impl ConstantModel {
+    /// A model that outputs `prob` for every input of dimension `dim`.
+    pub fn new(dim: usize, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        ConstantModel { dim, prob }
+    }
+}
+
+impl Model for ConstantModel {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn predict_proba(&self, _x: &[f64]) -> f64 {
+        self.prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_model_outputs_constant() {
+        let m = ConstantModel::new(3, 0.7);
+        assert_eq!(m.predict_proba(&[0.0, 0.0, 0.0]), 0.7);
+        assert_eq!(m.dim(), 3);
+        assert!(m.hints().is_opaque());
+    }
+
+    #[test]
+    fn decide_is_strict() {
+        let m = ConstantModel::new(1, 0.5);
+        assert!(!m.decide(&[0.0], 0.5), "M(x) > delta must be strict");
+        assert!(m.decide(&[0.0], 0.49));
+    }
+
+    #[test]
+    fn boxed_model_delegates() {
+        let b: Box<dyn Model> = Box::new(ConstantModel::new(2, 0.9));
+        assert_eq!(b.predict_proba(&[1.0, 2.0]), 0.9);
+        assert_eq!(b.dim(), 2);
+        assert!(b.decide(&[1.0, 2.0], 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn constant_model_validates_prob() {
+        ConstantModel::new(1, 1.5);
+    }
+}

@@ -1,0 +1,137 @@
+//! Calibration of the decision threshold `δ_t`.
+//!
+//! The paper's models generator emits *pairs* `(M_t, δ_t)` — each future
+//! model carries its own threshold (§II-B). In a lending setting the bank
+//! tunes δ for a target precision ("approve only when we are this sure") or
+//! for maximum F1; both policies are provided.
+
+use crate::metrics::Confusion;
+
+/// Threshold selection policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ThresholdPolicy {
+    /// Pick the threshold maximizing F1 on the calibration split.
+    MaxF1,
+    /// Pick the smallest threshold whose precision reaches the target;
+    /// falls back to the highest-precision threshold when unreachable.
+    TargetPrecision(f64),
+    /// Use a fixed threshold (e.g. the conventional 0.5).
+    Fixed(f64),
+}
+
+/// Calibrates `δ` on held-out `(scores, labels)` under the given policy.
+///
+/// Candidate thresholds are the midpoints between consecutive distinct
+/// scores, plus the extremes, so every achievable confusion matrix is
+/// examined.
+///
+/// # Panics
+/// Panics when `scores` is empty (except for `Fixed`) or lengths mismatch.
+pub fn calibrate(scores: &[f64], labels: &[bool], policy: ThresholdPolicy) -> f64 {
+    if let ThresholdPolicy::Fixed(delta) = policy {
+        return delta;
+    }
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    assert!(!scores.is_empty(), "cannot calibrate on empty data");
+
+    let mut sorted = scores.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN scores"));
+    sorted.dedup();
+    let mut candidates = Vec::with_capacity(sorted.len() + 1);
+    candidates.push((sorted[0] - 1e-6).max(0.0));
+    for w in sorted.windows(2) {
+        candidates.push(0.5 * (w[0] + w[1]));
+    }
+    candidates.push(sorted[sorted.len() - 1]); // classify-all-negative extreme
+
+    match policy {
+        ThresholdPolicy::MaxF1 => {
+            let mut best = (candidates[0], -1.0);
+            for &c in &candidates {
+                let f1 = Confusion::at_threshold(scores, labels, c).f1();
+                if f1 > best.1 {
+                    best = (c, f1);
+                }
+            }
+            best.0
+        }
+        ThresholdPolicy::TargetPrecision(target) => {
+            assert!((0.0..=1.0).contains(&target), "precision target out of range");
+            // Smallest threshold that reaches the target keeps recall maximal.
+            let mut reaching: Option<f64> = None;
+            let mut best_precision = (candidates[0], -1.0);
+            for &c in &candidates {
+                let conf = Confusion::at_threshold(scores, labels, c);
+                if conf.tp + conf.fp == 0 {
+                    continue; // no positive predictions: precision undefined
+                }
+                let p = conf.precision();
+                if p > best_precision.1 {
+                    best_precision = (c, p);
+                }
+                if p >= target && reaching.is_none() {
+                    reaching = Some(c);
+                }
+            }
+            reaching.unwrap_or(best_precision.0)
+        }
+        ThresholdPolicy::Fixed(_) => unreachable!("handled above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_policy_passthrough() {
+        assert_eq!(calibrate(&[], &[], ThresholdPolicy::Fixed(0.42)), 0.42);
+    }
+
+    #[test]
+    fn max_f1_separable() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [false, false, true, true];
+        let delta = calibrate(&scores, &labels, ThresholdPolicy::MaxF1);
+        // Any threshold in (0.2, 0.8) achieves F1=1; check it lands there.
+        assert!(delta > 0.2 && delta < 0.8, "delta {delta}");
+        assert_eq!(Confusion::at_threshold(&scores, &labels, delta).f1(), 1.0);
+    }
+
+    #[test]
+    fn target_precision_reachable() {
+        // Overlapping scores; precision 1.0 requires threshold above 0.6.
+        let scores = [0.3, 0.5, 0.6, 0.7, 0.9];
+        let labels = [false, true, false, true, true];
+        let delta = calibrate(&scores, &labels, ThresholdPolicy::TargetPrecision(1.0));
+        let conf = Confusion::at_threshold(&scores, &labels, delta);
+        assert_eq!(conf.precision(), 1.0);
+        // Smallest such threshold keeps both true positives above it.
+        assert_eq!(conf.tp, 2);
+    }
+
+    #[test]
+    fn target_precision_unreachable_falls_back() {
+        // Inverted labels: precision can never hit 0.99.
+        let scores = [0.9, 0.8, 0.1];
+        let labels = [false, false, true];
+        let delta = calibrate(&scores, &labels, ThresholdPolicy::TargetPrecision(0.99));
+        assert!(delta.is_finite());
+    }
+
+    #[test]
+    fn max_f1_prefers_recall_when_all_positive() {
+        let scores = [0.2, 0.6];
+        let labels = [true, true];
+        let delta = calibrate(&scores, &labels, ThresholdPolicy::MaxF1);
+        // Predicting everything positive is optimal.
+        let c = Confusion::at_threshold(&scores, &labels, delta);
+        assert_eq!(c.fn_, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_non_fixed_panics() {
+        calibrate(&[], &[], ThresholdPolicy::MaxF1);
+    }
+}

@@ -1,0 +1,426 @@
+//! CART decision trees with weighted Gini impurity.
+//!
+//! Besides prediction, trees expose their **split thresholds** per feature:
+//! the model-dependent heuristic of the candidates generator (Deutch &
+//! Frost '19, as adapted in the JustInTime paper §II-A) proposes moves that
+//! nudge a feature *just across* one of these thresholds, because between
+//! thresholds a tree ensemble's output is piecewise constant.
+
+use crate::dataset::Dataset;
+use crate::model::{Model, ModelHints};
+use jit_math::rng::Rng;
+
+/// Hyperparameters for [`DecisionTree::fit`].
+#[derive(Clone, Debug)]
+pub struct DecisionTreeParams {
+    /// Maximum tree depth (root is depth 0).
+    pub max_depth: usize,
+    /// Minimum total example weight a leaf may hold.
+    pub min_leaf_weight: f64,
+    /// Number of features examined per split; `None` means all features.
+    /// Random forests pass `sqrt(d)` here.
+    pub feature_subsample: Option<usize>,
+}
+
+impl Default for DecisionTreeParams {
+    fn default() -> Self {
+        DecisionTreeParams { max_depth: 8, min_leaf_weight: 2.0, feature_subsample: None }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        /// Weighted positive fraction of the training examples in the leaf.
+        prob: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Index of the child taken when `x[feature] <= threshold`.
+        left: usize,
+        /// Index of the child taken when `x[feature] > threshold`.
+        right: usize,
+    },
+}
+
+/// A fitted CART binary classifier.
+#[derive(Clone, Debug)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    dim: usize,
+}
+
+struct Builder<'a> {
+    data: &'a Dataset,
+    params: &'a DecisionTreeParams,
+    nodes: Vec<Node>,
+    rng: Rng,
+}
+
+/// Weighted Gini impurity of a (pos_weight, total_weight) split side.
+fn gini(pos: f64, total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let p = pos / total;
+    2.0 * p * (1.0 - p)
+}
+
+impl<'a> Builder<'a> {
+    /// Finds the best split of `indices` over a feature subsample; returns
+    /// `(feature, threshold, impurity_decrease)`.
+    fn best_split(&mut self, indices: &[usize]) -> Option<(usize, f64, f64)> {
+        let d = self.data.dim();
+        let weights = self.data.weights();
+        let labels = self.data.labels();
+
+        let mut total_w = 0.0;
+        let mut total_pos = 0.0;
+        for &i in indices {
+            total_w += weights[i];
+            if labels[i] {
+                total_pos += weights[i];
+            }
+        }
+        if total_w <= 0.0 {
+            return None;
+        }
+        let parent_impurity = gini(total_pos, total_w);
+        if parent_impurity == 0.0 {
+            return None; // already pure
+        }
+
+        let features: Vec<usize> = match self.params.feature_subsample {
+            Some(k) if k < d => self.rng.sample_indices(d, k.max(1)),
+            _ => (0..d).collect(),
+        };
+
+        let mut best: Option<(usize, f64, f64)> = None;
+        // Reusable (value, weight, is_pos) buffer per feature.
+        let mut col: Vec<(f64, f64, bool)> = Vec::with_capacity(indices.len());
+        for &f in &features {
+            col.clear();
+            for &i in indices {
+                col.push((self.data.row(i)[f], weights[i], labels[i]));
+            }
+            col.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN features"));
+
+            let mut left_w = 0.0;
+            let mut left_pos = 0.0;
+            for w in 0..col.len().saturating_sub(1) {
+                left_w += col[w].1;
+                if col[w].2 {
+                    left_pos += col[w].1;
+                }
+                // Can't split between equal values.
+                if col[w].0 == col[w + 1].0 {
+                    continue;
+                }
+                let right_w = total_w - left_w;
+                let right_pos = total_pos - left_pos;
+                if left_w < self.params.min_leaf_weight
+                    || right_w < self.params.min_leaf_weight
+                {
+                    continue;
+                }
+                let weighted_child = (left_w * gini(left_pos, left_w)
+                    + right_w * gini(right_pos, right_w))
+                    / total_w;
+                let decrease = parent_impurity - weighted_child;
+                let threshold = 0.5 * (col[w].0 + col[w + 1].0);
+                match best {
+                    Some((_, _, bd)) if bd >= decrease => {}
+                    _ => best = Some((f, threshold, decrease)),
+                }
+            }
+        }
+        // Zero-gain splits are allowed (mirroring sklearn): on XOR-shaped
+        // data no single split improves Gini, yet children can become
+        // separable. Termination still holds because a split always has
+        // non-empty children and depth is bounded.
+        best.filter(|(_, _, d)| *d >= 0.0)
+    }
+
+    fn build(&mut self, indices: &[usize], depth: usize) -> usize {
+        let weights = self.data.weights();
+        let labels = self.data.labels();
+        let mut total_w = 0.0;
+        let mut pos_w = 0.0;
+        for &i in indices {
+            total_w += weights[i];
+            if labels[i] {
+                pos_w += weights[i];
+            }
+        }
+        let leaf_prob = if total_w > 0.0 { pos_w / total_w } else { 0.5 };
+
+        if depth >= self.params.max_depth || indices.len() < 2 {
+            self.nodes.push(Node::Leaf { prob: leaf_prob });
+            return self.nodes.len() - 1;
+        }
+        let Some((feature, threshold, _)) = self.best_split(indices) else {
+            self.nodes.push(Node::Leaf { prob: leaf_prob });
+            return self.nodes.len() - 1;
+        };
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| self.data.row(i)[feature] <= threshold);
+        debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
+
+        // Reserve this node's slot before recursing so children line up.
+        let my = self.nodes.len();
+        self.nodes.push(Node::Leaf { prob: leaf_prob }); // placeholder
+        let left = self.build(&left_idx, depth + 1);
+        let right = self.build(&right_idx, depth + 1);
+        self.nodes[my] = Node::Split { feature, threshold, left, right };
+        my
+    }
+}
+
+impl DecisionTree {
+    /// Fits a tree on `data`.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn fit(data: &Dataset, params: &DecisionTreeParams, rng: &mut Rng) -> Self {
+        assert!(!data.is_empty(), "cannot fit tree on empty dataset");
+        let mut builder =
+            Builder { data, params, nodes: Vec::new(), rng: rng.fork() };
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let root = builder.build(&indices, 0);
+        debug_assert_eq!(root, 0);
+        DecisionTree { nodes: builder.nodes, dim: data.dim() }
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the fitted tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + rec(nodes, *left).max(rec(nodes, *right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            rec(&self.nodes, 0)
+        }
+    }
+
+    /// Collects every `(feature, threshold)` split used by the tree.
+    pub fn split_thresholds(&self) -> Vec<(usize, f64)> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Split { feature, threshold, .. } => Some((*feature, *threshold)),
+                Node::Leaf { .. } => None,
+            })
+            .collect()
+    }
+
+    /// The split thresholds encountered along the decision path of `x`.
+    ///
+    /// These are the *locally relevant* thresholds the counterfactual
+    /// heuristic perturbs first.
+    pub fn path_thresholds(&self, x: &[f64]) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { .. } => break,
+                Node::Split { feature, threshold, left, right } => {
+                    out.push((*feature, *threshold));
+                    node = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Model for DecisionTree {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim, "feature dimension mismatch");
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { prob } => return *prob,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    fn hints(&self) -> ModelHints {
+        let mut per_feature = vec![Vec::new(); self.dim];
+        for (f, t) in self.split_thresholds() {
+            per_feature[f].push(t);
+        }
+        for ts in &mut per_feature {
+            ts.sort_by(|a, b| a.partial_cmp(b).expect("finite thresholds"));
+            ts.dedup();
+        }
+        ModelHints::Thresholds(per_feature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable toy data: positive iff x0 > 5.
+    fn separable(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, 0.0]).collect();
+        let labels: Vec<bool> = (0..n).map(|i| i as f64 > 5.0).collect();
+        Dataset::from_rows(rows, labels)
+    }
+
+    #[test]
+    fn learns_separable_boundary() {
+        let d = separable(20);
+        let mut rng = Rng::seeded(1);
+        let t = DecisionTree::fit(&d, &DecisionTreeParams::default(), &mut rng);
+        assert!(t.predict_proba(&[0.0, 0.0]) < 0.5);
+        assert!(t.predict_proba(&[19.0, 0.0]) > 0.5);
+        // The single needed split is near 5.5.
+        let ths = t.split_thresholds();
+        assert!(ths.iter().any(|(f, th)| *f == 0 && (*th - 5.5).abs() < 1.0));
+    }
+
+    #[test]
+    fn pure_dataset_is_single_leaf() {
+        let d = Dataset::from_rows(vec![vec![1.0], vec![2.0]], vec![true, true]);
+        let mut rng = Rng::seeded(2);
+        let t = DecisionTree::fit(&d, &DecisionTreeParams::default(), &mut rng);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.predict_proba(&[5.0]), 1.0);
+    }
+
+    #[test]
+    fn max_depth_zero_gives_prior() {
+        let d = separable(20);
+        let params = DecisionTreeParams { max_depth: 0, ..Default::default() };
+        let mut rng = Rng::seeded(3);
+        let t = DecisionTree::fit(&d, &params, &mut rng);
+        assert_eq!(t.node_count(), 1);
+        let prior = d.positive_rate();
+        assert!((t.predict_proba(&[0.0, 0.0]) - prior).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_min_leaf_weight() {
+        let d = separable(20);
+        let params = DecisionTreeParams {
+            min_leaf_weight: 100.0, // impossible: forces a leaf
+            ..Default::default()
+        };
+        let mut rng = Rng::seeded(4);
+        let t = DecisionTree::fit(&d, &params, &mut rng);
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn xor_needs_depth_two() {
+        // XOR of signs: not linearly separable, needs two levels.
+        let rows = vec![
+            vec![-1.0, -1.0],
+            vec![-1.0, 1.0],
+            vec![1.0, -1.0],
+            vec![1.0, 1.0],
+            vec![-2.0, -2.0],
+            vec![-2.0, 2.0],
+            vec![2.0, -2.0],
+            vec![2.0, 2.0],
+        ];
+        let labels = vec![false, true, true, false, false, true, true, false];
+        let d = Dataset::from_rows(rows, labels);
+        // Zero-gain splits near the root consume depth before the
+        // informative ones, so give the tree slack beyond the minimal 2.
+        let params = DecisionTreeParams {
+            max_depth: 6,
+            min_leaf_weight: 1.0,
+            feature_subsample: None,
+        };
+        let mut rng = Rng::seeded(5);
+        let t = DecisionTree::fit(&d, &params, &mut rng);
+        assert!(t.predict_proba(&[-1.5, 1.5]) > 0.5);
+        assert!(t.predict_proba(&[1.5, 1.5]) < 0.5);
+        assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn weights_shift_leaf_probability() {
+        // Same point twice with conflicting labels: probability follows weight.
+        let d = Dataset::from_weighted_rows(
+            vec![vec![0.0], vec![0.0]],
+            vec![true, false],
+            vec![3.0, 1.0],
+        );
+        let mut rng = Rng::seeded(6);
+        let t = DecisionTree::fit(&d, &DecisionTreeParams::default(), &mut rng);
+        assert!((t.predict_proba(&[0.0]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_thresholds_subset_of_all() {
+        let d = separable(30);
+        let mut rng = Rng::seeded(7);
+        let t = DecisionTree::fit(&d, &DecisionTreeParams::default(), &mut rng);
+        let all: std::collections::HashSet<(usize, i64)> = t
+            .split_thresholds()
+            .iter()
+            .map(|(f, th)| (*f, (th * 1e6) as i64))
+            .collect();
+        for (f, th) in t.path_thresholds(&[3.0, 0.0]) {
+            assert!(all.contains(&(f, (th * 1e6) as i64)));
+        }
+    }
+
+    #[test]
+    fn hints_are_sorted_dedup_thresholds() {
+        let d = separable(30);
+        let mut rng = Rng::seeded(8);
+        let t = DecisionTree::fit(&d, &DecisionTreeParams::default(), &mut rng);
+        match t.hints() {
+            ModelHints::Thresholds(per_feature) => {
+                assert_eq!(per_feature.len(), 2);
+                for ts in &per_feature {
+                    for w in ts.windows(2) {
+                        assert!(w[0] < w[1], "thresholds must be sorted+dedup");
+                    }
+                }
+            }
+            _ => panic!("tree must expose threshold hints"),
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = separable(40);
+        let params = DecisionTreeParams {
+            feature_subsample: Some(1),
+            ..Default::default()
+        };
+        let t1 = DecisionTree::fit(&d, &params, &mut Rng::seeded(9));
+        let t2 = DecisionTree::fit(&d, &params, &mut Rng::seeded(9));
+        for i in 0..40 {
+            let x = [i as f64, 0.0];
+            assert_eq!(t1.predict_proba(&x), t2.predict_proba(&x));
+        }
+    }
+}

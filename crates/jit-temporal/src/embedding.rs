@@ -1,0 +1,256 @@
+//! Kernel mean embeddings of time slices (empirical kernel maps).
+//!
+//! Lampert (CVPR'15) represents each time slice's distribution by its mean
+//! embedding `μ_i = (1/n) Σ_j k(x_j, ·)` in an RKHS. Working with abstract
+//! RKHS elements is intractable, so — as in the reference implementation —
+//! we represent `μ_i` by its **evaluations at a fixed landmark set**
+//! `Z = {z_1..z_m}`: the vector `v_i[l] = (1/n) Σ_j k(x_j, z_l)`.
+//!
+//! Labels are appended as an extra ±1 coordinate before embedding, so the
+//! *joint* distribution `P(x, y)` is tracked: the approval rule's drift is
+//! part of the signal, not just the covariates'.
+
+use jit_math::kernel::{Kernel, RbfKernel};
+use jit_math::rng::Rng;
+use jit_math::stats::Standardizer;
+use jit_math::Matrix;
+use jit_ml::Dataset;
+
+/// Scale of the label coordinate appended to feature vectors; ±1 after
+/// whitening would be drowned out by d feature coordinates, so the label
+/// is emphasized to keep concept drift visible in the embedding.
+const LABEL_SCALE: f64 = 2.0;
+
+/// A shared embedding space: landmarks, kernel and feature whitening.
+#[derive(Clone, Debug)]
+pub struct EmbeddingSpace {
+    landmarks: Vec<Vec<f64>>,
+    kernel: RbfKernel,
+    standardizer: Standardizer,
+}
+
+impl EmbeddingSpace {
+    /// Builds an embedding space from historical slices.
+    ///
+    /// * whitening is fitted on the union of all slices;
+    /// * `n_landmarks` points are sampled uniformly from the union;
+    /// * the RBF bandwidth uses the median heuristic on the landmarks.
+    ///
+    /// # Panics
+    /// Panics when the slices are all empty or `n_landmarks == 0`.
+    pub fn fit(slices: &[Dataset], n_landmarks: usize, rng: &mut Rng) -> Self {
+        assert!(n_landmarks > 0, "need at least one landmark");
+        let total: usize = slices.iter().map(Dataset::len).sum();
+        assert!(total > 0, "cannot fit embedding space on empty slices");
+
+        // Whitener over raw features (without the label coordinate).
+        let mut all_rows: Vec<Vec<f64>> = Vec::with_capacity(total);
+        for s in slices {
+            all_rows.extend(s.rows().iter().cloned());
+        }
+        let standardizer = Standardizer::fit(&Matrix::from_rows(&all_rows));
+
+        // Joint (whitened features ⊕ label) points for landmark sampling.
+        let mut joint: Vec<Vec<f64>> = Vec::with_capacity(total);
+        for s in slices {
+            for (row, label, _) in s.iter() {
+                joint.push(Self::join(&standardizer, row, label));
+            }
+        }
+        let k = n_landmarks.min(joint.len());
+        let idx = rng.sample_indices(joint.len(), k);
+        let landmarks: Vec<Vec<f64>> = idx.into_iter().map(|i| joint[i].clone()).collect();
+        let kernel = RbfKernel::median_heuristic(&landmarks);
+        EmbeddingSpace { landmarks, kernel, standardizer }
+    }
+
+    fn join(std: &Standardizer, row: &[f64], label: bool) -> Vec<f64> {
+        let mut z = std.transform_row(row);
+        z.push(if label { LABEL_SCALE } else { -LABEL_SCALE });
+        z
+    }
+
+    /// The whitened-joint representation of a labeled example.
+    pub fn joint_point(&self, row: &[f64], label: bool) -> Vec<f64> {
+        Self::join(&self.standardizer, row, label)
+    }
+
+    /// Number of landmarks (the embedding dimension).
+    pub fn dim(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    /// Borrow of the landmark points (whitened-joint space).
+    pub fn landmarks(&self) -> &[Vec<f64>] {
+        &self.landmarks
+    }
+
+    /// The kernel in use.
+    pub fn kernel(&self) -> &RbfKernel {
+        &self.kernel
+    }
+
+    /// Mean embedding of a labeled slice: `v[l] = Σ_j w_j k(x_j, z_l) / Σ w_j`.
+    pub fn embed(&self, slice: &Dataset) -> Vec<f64> {
+        assert!(!slice.is_empty(), "cannot embed an empty slice");
+        let mut v = vec![0.0; self.dim()];
+        let mut total_w = 0.0;
+        for (row, label, w) in slice.iter() {
+            if w == 0.0 {
+                continue;
+            }
+            let p = self.joint_point(row, label);
+            total_w += w;
+            for (l, z) in self.landmarks.iter().enumerate() {
+                v[l] += w * self.kernel.eval(&p, z);
+            }
+        }
+        assert!(total_w > 0.0, "slice has zero total weight");
+        for x in &mut v {
+            *x /= total_w;
+        }
+        v
+    }
+
+    /// Mean embedding of a weighted point set already in joint space.
+    pub fn embed_joint_points(&self, points: &[Vec<f64>], weights: &[f64]) -> Vec<f64> {
+        assert_eq!(points.len(), weights.len(), "points/weights length mismatch");
+        let total_w: f64 = weights.iter().sum();
+        assert!(total_w > 0.0, "zero total weight");
+        let mut v = vec![0.0; self.dim()];
+        for (p, &w) in points.iter().zip(weights) {
+            if w == 0.0 {
+                continue;
+            }
+            for (l, z) in self.landmarks.iter().enumerate() {
+                v[l] += w * self.kernel.eval(p, z);
+            }
+        }
+        for x in &mut v {
+            *x /= total_w;
+        }
+        v
+    }
+
+    /// Euclidean distance between two embedding vectors — a proxy for the
+    /// RKHS distance restricted to landmark evaluations.
+    pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        jit_math::distance::l2_diff(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_slice(n: usize, mean: f64, pos_rate: f64, rng: &mut Rng) -> Dataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            rows.push(vec![rng.normal_with(mean, 1.0), rng.normal_with(0.0, 1.0)]);
+            labels.push(rng.bernoulli(pos_rate));
+        }
+        Dataset::from_rows(rows, labels)
+    }
+
+    #[test]
+    fn embedding_dim_matches_landmarks() {
+        let mut rng = Rng::seeded(1);
+        let slices = vec![gaussian_slice(100, 0.0, 0.5, &mut rng)];
+        let space = EmbeddingSpace::fit(&slices, 30, &mut rng);
+        assert_eq!(space.dim(), 30);
+        let v = space.embed(&slices[0]);
+        assert_eq!(v.len(), 30);
+        assert!(v.iter().all(|x| (0.0..=1.0).contains(x)), "RBF means in [0,1]");
+    }
+
+    #[test]
+    fn landmarks_capped_by_pool() {
+        let mut rng = Rng::seeded(2);
+        let slices = vec![gaussian_slice(10, 0.0, 0.5, &mut rng)];
+        let space = EmbeddingSpace::fit(&slices, 500, &mut rng);
+        assert_eq!(space.dim(), 10);
+    }
+
+    #[test]
+    fn identical_slices_embed_identically() {
+        let mut rng = Rng::seeded(3);
+        let s = gaussian_slice(50, 0.0, 0.5, &mut rng);
+        let space = EmbeddingSpace::fit(std::slice::from_ref(&s), 20, &mut rng);
+        let a = space.embed(&s);
+        let b = space.embed(&s);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn covariate_shift_moves_embedding_monotonically() {
+        let mut rng = Rng::seeded(4);
+        let base = gaussian_slice(200, 0.0, 0.5, &mut rng);
+        let near = gaussian_slice(200, 0.5, 0.5, &mut rng);
+        let far = gaussian_slice(200, 2.0, 0.5, &mut rng);
+        let slices = vec![base.clone(), near.clone(), far.clone()];
+        let space = EmbeddingSpace::fit(&slices, 50, &mut rng);
+        let e0 = space.embed(&base);
+        let e1 = space.embed(&near);
+        let e2 = space.embed(&far);
+        assert!(space.distance(&e0, &e1) < space.distance(&e0, &e2));
+    }
+
+    #[test]
+    fn concept_drift_moves_embedding() {
+        // Same covariates, different label rule -> embeddings must differ.
+        let mut rng = Rng::seeded(5);
+        let mostly_pos = gaussian_slice(300, 0.0, 0.9, &mut rng);
+        let mostly_neg = gaussian_slice(300, 0.0, 0.1, &mut rng);
+        let slices = vec![mostly_pos.clone(), mostly_neg.clone()];
+        let space = EmbeddingSpace::fit(&slices, 50, &mut rng);
+        let d = space.distance(&space.embed(&mostly_pos), &space.embed(&mostly_neg));
+        assert!(d > 0.05, "label flip must move the joint embedding, got {d}");
+    }
+
+    #[test]
+    fn weighted_embedding_interpolates() {
+        let mut rng = Rng::seeded(6);
+        let a = gaussian_slice(100, -1.0, 0.5, &mut rng);
+        let b = gaussian_slice(100, 1.0, 0.5, &mut rng);
+        let slices = vec![a.clone(), b.clone()];
+        let space = EmbeddingSpace::fit(&slices, 40, &mut rng);
+
+        // Pool = union; weights selecting only `a` reproduce a's embedding.
+        let mut points = Vec::new();
+        for (row, label, _) in a.iter().chain(b.iter()) {
+            points.push(space.joint_point(row, label));
+        }
+        let mut w_a = vec![1.0; 100];
+        w_a.extend(vec![0.0; 100]);
+        let ea_direct = space.embed(&a);
+        let ea_pool = space.embed_joint_points(&points, &w_a);
+        for (x, y) in ea_direct.iter().zip(&ea_pool) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn embed_with_zero_weight_examples_skips_them() {
+        let d = Dataset::from_weighted_rows(
+            vec![vec![0.0], vec![100.0]],
+            vec![true, true],
+            vec![1.0, 0.0],
+        );
+        let only_first = Dataset::from_rows(vec![vec![0.0]], vec![true]);
+        let mut rng = Rng::seeded(7);
+        let space = EmbeddingSpace::fit(
+            &[Dataset::from_rows(
+                vec![vec![0.0], vec![1.0], vec![2.0]],
+                vec![true, false, true],
+            )],
+            3,
+            &mut rng,
+        );
+        let a = space.embed(&d);
+        let b = space.embed(&only_first);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Recovering a weighted pseudo-sample from a predicted embedding.
+//!
+//! An extrapolated embedding `v̂` is an abstract RKHS point; to *train* a
+//! model we need data. Following the herding/pre-image step of EDD, we find
+//! non-negative weights `w` over a pool of historical labeled points `P`
+//! such that the pool's weighted mean map matches `v̂` at the landmarks:
+//!
+//! `min_w ‖K_ZP w − v̂‖² + λ‖w‖²,  w ≥ 0`
+//!
+//! solved as an `m × m` ridge system in landmark space (cheap: `m` is the
+//! landmark count, not the pool size) followed by clipping to the
+//! non-negative orthant and renormalization. The weighted pool then trains
+//! the future model via weight-proportional bootstrap.
+
+use crate::embedding::EmbeddingSpace;
+use jit_math::kernel::Kernel;
+use jit_math::matrix::Matrix;
+
+/// Parameters for weight recovery.
+#[derive(Clone, Copy, Debug)]
+pub struct HerdingParams {
+    /// Ridge strength on the weights.
+    pub lambda: f64,
+    /// Floor applied after clipping, as a fraction of the uniform weight;
+    /// keeps the effective sample size from collapsing.
+    pub min_weight_fraction: f64,
+}
+
+impl Default for HerdingParams {
+    fn default() -> Self {
+        HerdingParams { lambda: 1e-3, min_weight_fraction: 0.05 }
+    }
+}
+
+/// Solves for pool weights whose weighted mean map best matches the target
+/// embedding. Returns weights normalized to mean 1 (so they compose with
+/// weight-proportional bootstraps of any size).
+///
+/// Uses the identity `(KᵀK + λI)⁻¹Kᵀ = Kᵀ(KKᵀ + λI)⁻¹` to solve in
+/// landmark space: `w = K_PZ (K_ZP K_PZ + λ I_m)⁻¹ v̂`.
+///
+/// # Panics
+/// Panics when the pool is empty or the target dimension mismatches the
+/// space.
+pub fn herd_weights(
+    space: &EmbeddingSpace,
+    pool_joint: &[Vec<f64>],
+    target: &[f64],
+    params: &HerdingParams,
+) -> Vec<f64> {
+    assert!(!pool_joint.is_empty(), "herding needs a non-empty pool");
+    assert_eq!(target.len(), space.dim(), "target embedding dimension mismatch");
+    let m = space.dim();
+    let p = pool_joint.len();
+
+    // K_ZP: m x p kernel evaluations landmark-vs-pool.
+    let mut kzp = Matrix::zeros(m, p);
+    for (l, z) in space.landmarks().iter().enumerate() {
+        for (j, x) in pool_joint.iter().enumerate() {
+            kzp[(l, j)] = space.kernel().eval(z, x);
+        }
+    }
+    // The target is a *mean* map; match the mean by scaling: K_ZP w / p ≈ v̂
+    // with w ~ O(1). Fold 1/p into the kernel matrix.
+    let kzp_mean = kzp.scaled(1.0 / p as f64);
+
+    // G = (K K^T + λ·scale·I_m), solve G u = target, then w = K^T u.
+    // λ is made scale-free by tying it to the mean diagonal of G, so the
+    // same parameter works regardless of pool size or kernel bandwidth.
+    let mut g = kzp_mean
+        .matmul(&kzp_mean.transpose())
+        .expect("shape is m x m by construction");
+    let trace: f64 = (0..m).map(|i| g[(i, i)]).sum();
+    let ridge = (params.lambda * (trace / m as f64)).max(1e-12);
+    g.add_diagonal(ridge);
+    let u = g.solve_spd(target).expect("ridge system is SPD");
+    let mut w = kzp_mean
+        .transpose()
+        .matvec(&u)
+        .expect("shape is p by construction");
+
+    // Clip, floor, renormalize to mean 1.
+    let floor = params.min_weight_fraction.max(0.0);
+    for x in w.iter_mut() {
+        if !x.is_finite() || *x < 0.0 {
+            *x = 0.0;
+        }
+    }
+    let sum: f64 = w.iter().sum();
+    if sum <= 0.0 {
+        // Degenerate target: fall back to uniform.
+        return vec![1.0; p];
+    }
+    let scale = p as f64 / sum;
+    for x in w.iter_mut() {
+        *x = (*x * scale).max(floor);
+    }
+    // Renormalize after flooring.
+    let sum2: f64 = w.iter().sum();
+    let scale2 = p as f64 / sum2;
+    for x in w.iter_mut() {
+        *x *= scale2;
+    }
+    w
+}
+
+/// Residual `‖K_ZP w / p − v̂‖₂` — how well the recovered weights match the
+/// target embedding (diagnostic; also used by tests).
+pub fn herding_residual(
+    space: &EmbeddingSpace,
+    pool_joint: &[Vec<f64>],
+    weights: &[f64],
+    target: &[f64],
+) -> f64 {
+    let emb = space.embed_joint_points(pool_joint, weights);
+    space.distance(&emb, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jit_math::rng::Rng;
+    use jit_ml::Dataset;
+
+    fn gaussian_slice(n: usize, mean: f64, pos_rate: f64, rng: &mut Rng) -> Dataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            rows.push(vec![rng.normal_with(mean, 1.0), rng.normal_with(0.0, 1.0)]);
+            labels.push(rng.bernoulli(pos_rate));
+        }
+        Dataset::from_rows(rows, labels)
+    }
+
+    fn joint_pool(space: &EmbeddingSpace, slices: &[Dataset]) -> Vec<Vec<f64>> {
+        let mut out = Vec::new();
+        for s in slices {
+            for (row, label, _) in s.iter() {
+                out.push(space.joint_point(row, label));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn weights_recover_a_member_distribution() {
+        // Pool = mixture of two clusters; target = embedding of cluster B.
+        // Herded weights must emphasize cluster B points.
+        let mut rng = Rng::seeded(1);
+        let a = gaussian_slice(150, -2.0, 0.5, &mut rng);
+        let b = gaussian_slice(150, 2.0, 0.5, &mut rng);
+        let slices = vec![a.clone(), b.clone()];
+        let space = EmbeddingSpace::fit(&slices, 60, &mut rng);
+        let pool = joint_pool(&space, &slices);
+        let target = space.embed(&b);
+
+        let w = herd_weights(&space, &pool, &target, &HerdingParams::default());
+        assert_eq!(w.len(), 300);
+        let mass_a: f64 = w[..150].iter().sum();
+        let mass_b: f64 = w[150..].iter().sum();
+        assert!(
+            mass_b > 2.0 * mass_a,
+            "cluster B should dominate: A={mass_a:.1} B={mass_b:.1}"
+        );
+    }
+
+    #[test]
+    fn herded_embedding_close_to_target() {
+        let mut rng = Rng::seeded(2);
+        let a = gaussian_slice(200, 0.0, 0.3, &mut rng);
+        let b = gaussian_slice(200, 1.0, 0.7, &mut rng);
+        let slices = vec![a.clone(), b.clone()];
+        let space = EmbeddingSpace::fit(&slices, 50, &mut rng);
+        let pool = joint_pool(&space, &slices);
+        let target = space.embed(&b);
+
+        let w = herd_weights(&space, &pool, &target, &HerdingParams::default());
+        let fitted = herding_residual(&space, &pool, &w, &target);
+        let uniform = herding_residual(&space, &pool, &vec![1.0; 400], &target);
+        assert!(
+            fitted < uniform * 0.6,
+            "herding should beat uniform: {fitted} vs {uniform}"
+        );
+    }
+
+    #[test]
+    fn weights_non_negative_and_mean_one() {
+        let mut rng = Rng::seeded(3);
+        let s = gaussian_slice(100, 0.0, 0.5, &mut rng);
+        let space = EmbeddingSpace::fit(std::slice::from_ref(&s), 30, &mut rng);
+        let pool = joint_pool(&space, std::slice::from_ref(&s));
+        let target = space.embed(&s);
+        let w = herd_weights(&space, &pool, &target, &HerdingParams::default());
+        assert!(w.iter().all(|x| *x >= 0.0));
+        let mean: f64 = w.iter().sum::<f64>() / w.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-9, "mean weight {mean}");
+    }
+
+    #[test]
+    fn self_target_stays_near_uniform() {
+        // Matching the pool's own distribution needs no extreme weights.
+        let mut rng = Rng::seeded(4);
+        let s = gaussian_slice(200, 0.0, 0.5, &mut rng);
+        let space = EmbeddingSpace::fit(std::slice::from_ref(&s), 40, &mut rng);
+        let pool = joint_pool(&space, std::slice::from_ref(&s));
+        let target = space.embed(&s);
+        let w = herd_weights(&space, &pool, &target, &HerdingParams::default());
+        let max = w.iter().cloned().fold(0.0, f64::max);
+        assert!(max < 25.0, "no single point should dominate, max={max}");
+    }
+
+    #[test]
+    fn zero_target_falls_back_to_uniform() {
+        let mut rng = Rng::seeded(5);
+        let s = gaussian_slice(50, 0.0, 0.5, &mut rng);
+        let space = EmbeddingSpace::fit(std::slice::from_ref(&s), 20, &mut rng);
+        let pool = joint_pool(&space, std::slice::from_ref(&s));
+        // A target of all zeros is unreachable by non-negative RBF sums with
+        // positive mass; solver should degrade gracefully.
+        let target = vec![0.0; space.dim()];
+        let w = herd_weights(&space, &pool, &target, &HerdingParams::default());
+        assert_eq!(w.len(), 50);
+        assert!(w.iter().all(|x| x.is_finite() && *x >= 0.0));
+    }
+}

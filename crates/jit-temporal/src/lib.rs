@@ -1,0 +1,42 @@
+//! # jit-temporal
+//!
+//! The temporal machinery of JustInTime (paper §II-B).
+//!
+//! Two independent concerns live here:
+//!
+//! 1. **Temporal update functions** ([`update`]) — Definition II.4: how a
+//!    *user's own profile* deterministically evolves (`age` grows by Δ per
+//!    step, income follows expected wage growth, …). Defaults derive from
+//!    the feature schema's [`jit_data::TemporalSpec`]s; per-user overrides
+//!    are supported ("I plan to buy a house at t=2").
+//!
+//! 2. **Future model prediction** — the models generator "uses existing
+//!    domain adaptation methods [Lampert, CVPR'15] … two techniques:
+//!    probability distribution embedding into a reproducing kernel Hilbert
+//!    space, and vector-valued regression". The pipeline:
+//!
+//!    * [`embedding`] — each historical time slice is summarized by its
+//!      kernel mean embedding, represented by its evaluations at a fixed
+//!      landmark set (an empirical kernel map). Labels are embedded
+//!      *jointly* with features so concept drift — not just covariate
+//!      drift — is captured.
+//!    * [`vvr`] — a vector-valued ridge autoregression `μ_{i+1} ≈ A μ_i`
+//!      fitted over the embedding sequence and iterated to extrapolate
+//!      future embeddings.
+//!    * [`herding`] — a weighted pseudo-sample is recovered from a
+//!      predicted embedding by solving for pool weights whose mean map
+//!      matches it (ridge in landmark space, clipped to non-negative).
+//!    * [`future`] — orchestration: slices → embeddings → extrapolation →
+//!      herded weights → weighted random forest + calibrated threshold
+//!      `(M_t, δ_t)` per future time point. A parameter-extrapolation
+//!      baseline (Kumagai & Iwata-style, ref [8]) and a frozen-model
+//!      baseline are provided for the E4 experiment.
+
+pub mod embedding;
+pub mod future;
+pub mod herding;
+pub mod update;
+pub mod vvr;
+
+pub use future::{FutureModel, FutureModelsGenerator, FutureModelsParams, FuturePredictor};
+pub use update::TemporalUpdateFn;

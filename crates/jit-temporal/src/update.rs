@@ -1,0 +1,183 @@
+//! Temporal update functions (paper Definition II.4).
+//!
+//! "For features specified as *non temporal* f is the identity function.
+//! For every *temporal* feature v, the value of v at time point t is given
+//! by f(x, t)[v]." — e.g. `f(x, 3)[age] = x[age] + 3Δ` (Example II.5).
+//!
+//! Defaults come from the schema's [`TemporalSpec`]s; users may override
+//! individual features with planned trajectories ("my seniority resets to 0
+//! at t=1 because I will switch jobs").
+
+use jit_data::{FeatureSchema, TemporalSpec};
+
+/// Per-feature override of the default temporal evolution.
+#[derive(Clone, Debug)]
+pub enum Override {
+    /// Replace the schema spec with another spec.
+    Spec(TemporalSpec),
+    /// Explicit value at each future time point `1..=T`; time points past
+    /// the end of the vector hold the last value.
+    Trajectory(Vec<f64>),
+}
+
+/// The temporal update function `f(x, t)`.
+#[derive(Clone, Debug)]
+pub struct TemporalUpdateFn {
+    specs: Vec<TemporalSpec>,
+    overrides: Vec<Option<Override>>,
+    schema: FeatureSchema,
+}
+
+impl TemporalUpdateFn {
+    /// Builds the default update function from a schema.
+    pub fn from_schema(schema: &FeatureSchema) -> Self {
+        TemporalUpdateFn {
+            specs: schema.features().iter().map(|f| f.temporal).collect(),
+            overrides: vec![None; schema.dim()],
+            schema: schema.clone(),
+        }
+    }
+
+    /// Overrides the evolution of one feature (by name).
+    ///
+    /// # Panics
+    /// Panics when the feature name is unknown.
+    pub fn override_feature(&mut self, name: &str, how: Override) -> &mut Self {
+        let i = self
+            .schema
+            .index_of(name)
+            .unwrap_or_else(|| panic!("unknown feature {name:?}"));
+        self.overrides[i] = Some(how);
+        self
+    }
+
+    /// The profile `x` projected `t` time steps into the future,
+    /// sanitized into the schema's domains (ordinals rounded, bounds
+    /// clamped).
+    pub fn project(&self, x: &[f64], t: usize) -> Vec<f64> {
+        assert_eq!(x.len(), self.specs.len(), "profile dimension mismatch");
+        let raw: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| match &self.overrides[i] {
+                None => self.specs[i].project(v, t),
+                Some(Override::Spec(spec)) => spec.project(v, t),
+                Some(Override::Trajectory(traj)) => {
+                    if t == 0 || traj.is_empty() {
+                        v
+                    } else {
+                        traj[(t - 1).min(traj.len() - 1)]
+                    }
+                }
+            })
+            .collect();
+        self.schema.sanitize_row(&raw)
+    }
+
+    /// All temporal representations `x_0 .. x_T` (paper §II-B: "outputs …
+    /// are stored in a relational table called temporal inputs").
+    pub fn project_all(&self, x: &[f64], horizon: usize) -> Vec<Vec<f64>> {
+        (0..=horizon).map(|t| self.project(x, t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jit_data::schema::lending_idx as idx;
+
+    fn john() -> Vec<f64> {
+        vec![29.0, 0.0, 46_000.0, 2_300.0, 4.0, 24_000.0]
+    }
+
+    #[test]
+    fn identity_at_t0() {
+        let schema = FeatureSchema::lending_club();
+        let f = TemporalUpdateFn::from_schema(&schema);
+        assert_eq!(f.project(&john(), 0), john());
+    }
+
+    #[test]
+    fn age_advances_linearly() {
+        // Example II.5: f(x, 3)[age] = x[age] + 3Δ (Δ = 1 year).
+        let schema = FeatureSchema::lending_club();
+        let f = TemporalUpdateFn::from_schema(&schema);
+        let x3 = f.project(&john(), 3);
+        assert_eq!(x3[idx::AGE], 32.0);
+        assert_eq!(x3[idx::SENIORITY], 7.0);
+        // Static features untouched.
+        assert_eq!(x3[idx::DEBT], 2_300.0);
+        assert_eq!(x3[idx::LOAN_AMOUNT], 24_000.0);
+    }
+
+    #[test]
+    fn income_compounds() {
+        let schema = FeatureSchema::lending_club();
+        let f = TemporalUpdateFn::from_schema(&schema);
+        let x2 = f.project(&john(), 2);
+        let expected = 46_000.0 * 1.02f64.powi(2);
+        assert!((x2[idx::INCOME] - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn override_with_spec() {
+        let schema = FeatureSchema::lending_club();
+        let mut f = TemporalUpdateFn::from_schema(&schema);
+        // User expects no wage growth.
+        f.override_feature("income", Override::Spec(TemporalSpec::Static));
+        let x5 = f.project(&john(), 5);
+        assert_eq!(x5[idx::INCOME], 46_000.0);
+    }
+
+    #[test]
+    fn override_with_trajectory() {
+        let schema = FeatureSchema::lending_club();
+        let mut f = TemporalUpdateFn::from_schema(&schema);
+        // Planned debt payoff: 1500 after one year, 500 after two, then 0.
+        f.override_feature(
+            "debt",
+            Override::Trajectory(vec![1_500.0, 500.0, 0.0]),
+        );
+        assert_eq!(f.project(&john(), 0)[idx::DEBT], 2_300.0);
+        assert_eq!(f.project(&john(), 1)[idx::DEBT], 1_500.0);
+        assert_eq!(f.project(&john(), 2)[idx::DEBT], 500.0);
+        assert_eq!(f.project(&john(), 3)[idx::DEBT], 0.0);
+        assert_eq!(f.project(&john(), 9)[idx::DEBT], 0.0, "holds last value");
+    }
+
+    #[test]
+    fn empty_trajectory_is_identity() {
+        let schema = FeatureSchema::lending_club();
+        let mut f = TemporalUpdateFn::from_schema(&schema);
+        f.override_feature("debt", Override::Trajectory(vec![]));
+        assert_eq!(f.project(&john(), 4)[idx::DEBT], 2_300.0);
+    }
+
+    #[test]
+    fn projection_respects_bounds() {
+        let schema = FeatureSchema::lending_club();
+        let f = TemporalUpdateFn::from_schema(&schema);
+        let mut old = john();
+        old[idx::AGE] = 95.0;
+        let x10 = f.project(&old, 10);
+        assert_eq!(x10[idx::AGE], 100.0, "age clamps at schema max");
+    }
+
+    #[test]
+    fn project_all_length_and_prefix() {
+        let schema = FeatureSchema::lending_club();
+        let f = TemporalUpdateFn::from_schema(&schema);
+        let all = f.project_all(&john(), 4);
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[0], john());
+        assert_eq!(all[3], f.project(&john(), 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown feature")]
+    fn unknown_override_panics() {
+        let schema = FeatureSchema::lending_club();
+        TemporalUpdateFn::from_schema(&schema)
+            .override_feature("salary", Override::Spec(TemporalSpec::Static));
+    }
+}

@@ -1,0 +1,242 @@
+//! Vector-valued ridge autoregression over embedding sequences.
+//!
+//! Lampert's EDD learns an operator `A` with `μ_{i+1} ≈ A μ_i` from the
+//! historical sequence of distribution embeddings, then iterates it to
+//! extrapolate `μ_{n+t}`. With embeddings represented as landmark
+//! evaluation vectors this is a finite-dimensional multi-output ridge
+//! regression with an affine term:
+//!
+//! `v_{i+1} ≈ A v_i + b`, fit by minimizing
+//! `Σ_i ‖A v_i + b − v_{i+1}‖² + λ‖A‖²_F`.
+
+use jit_math::matrix::{Matrix, MatrixError};
+
+/// A fitted first-order vector autoregression.
+#[derive(Clone, Debug)]
+pub struct VectorAutoregression {
+    /// Transition weights, `dim x (dim+1)` (last column is the bias).
+    weights: Matrix,
+    dim: usize,
+}
+
+/// Errors from fitting a [`VectorAutoregression`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum VvrError {
+    /// Fewer than two vectors: no transitions to learn from.
+    TooFewSteps,
+    /// Vectors have inconsistent dimensions.
+    DimensionMismatch,
+    /// The regularized normal matrix failed to factor (should not happen
+    /// for positive `lambda`).
+    Solver(MatrixError),
+}
+
+impl std::fmt::Display for VvrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VvrError::TooFewSteps => write!(f, "need at least two vectors to fit a VAR"),
+            VvrError::DimensionMismatch => write!(f, "inconsistent vector dimensions"),
+            VvrError::Solver(e) => write!(f, "solver failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VvrError {}
+
+impl VectorAutoregression {
+    /// Fits `v_{i+1} ≈ A v_i + b` on the sequence by multi-output ridge.
+    ///
+    /// `lambda > 0` regularizes `A` (and `b`) toward zero; because the
+    /// identity map is usually closer to the truth for slowly drifting
+    /// distributions, regularization is applied to the *deviation from
+    /// identity*: we fit `Δ` with `v_{i+1} − v_i ≈ Δ v_i + b` and set
+    /// `A = I + Δ`. With small data (a dozen slices), this biases the
+    /// extrapolation toward "keep drifting the same way" rather than
+    /// "collapse to zero".
+    pub fn fit(sequence: &[Vec<f64>], lambda: f64) -> Result<Self, VvrError> {
+        assert!(lambda > 0.0, "lambda must be positive");
+        if sequence.len() < 2 {
+            return Err(VvrError::TooFewSteps);
+        }
+        let dim = sequence[0].len();
+        if dim == 0 || sequence.iter().any(|v| v.len() != dim) {
+            return Err(VvrError::DimensionMismatch);
+        }
+        let n = sequence.len() - 1; // transitions
+
+        // Design matrix X: n x (dim+1), rows are [v_i, 1].
+        let mut x = Matrix::zeros(n, dim + 1);
+        #[allow(clippy::needless_range_loop)] // row index mirrors the math
+        for i in 0..n {
+            x.row_mut(i)[..dim].copy_from_slice(&sequence[i]);
+            x.row_mut(i)[dim] = 1.0;
+        }
+        // Targets: differences v_{i+1} - v_i, one column per output dim.
+        let mut y = Matrix::zeros(n, dim);
+        for i in 0..n {
+            for j in 0..dim {
+                y[(i, j)] = sequence[i + 1][j] - sequence[i][j];
+            }
+        }
+        // Normal equations shared across outputs.
+        let xt = x.transpose();
+        let mut xtx = xt.matmul(&x).map_err(VvrError::Solver)?;
+        xtx.add_diagonal(lambda);
+        let xty = xt.matmul(&y).map_err(VvrError::Solver)?;
+        let delta = xtx.solve_spd_matrix(&xty).map_err(VvrError::Solver)?; // (dim+1) x dim
+
+        // weights[r] = row r of (I + Δᵀ) with bias in the last column.
+        let mut weights = Matrix::zeros(dim, dim + 1);
+        for r in 0..dim {
+            for c in 0..dim {
+                weights[(r, c)] = delta[(c, r)] + if r == c { 1.0 } else { 0.0 };
+            }
+            weights[(r, dim)] = delta[(dim, r)];
+        }
+        Ok(VectorAutoregression { weights, dim })
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// One transition step.
+    pub fn step(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let mut out = vec![0.0; self.dim];
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = self.weights.row(r);
+            let mut acc = row[self.dim]; // bias
+            for (c, &vc) in v.iter().enumerate() {
+                acc += row[c] * vc;
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    /// Iterates `steps` transitions from `v`.
+    pub fn extrapolate(&self, v: &[f64], steps: usize) -> Vec<f64> {
+        let mut cur = v.to_vec();
+        for _ in 0..steps {
+            cur = self.step(&cur);
+        }
+        cur
+    }
+
+    /// Mean squared one-step-ahead error over the training sequence — a
+    /// quick fit diagnostic.
+    pub fn training_mse(&self, sequence: &[Vec<f64>]) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for w in sequence.windows(2) {
+            let pred = self.step(&w[0]);
+            total += jit_math::distance::l2_squared(&pred, &w[1]);
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_constant_drift() {
+        // v_{i+1} = v_i + [0.1, -0.2]: pure bias dynamics.
+        let mut seq = vec![vec![1.0, 2.0]];
+        for _ in 0..10 {
+            let last = seq.last().unwrap();
+            seq.push(vec![last[0] + 0.1, last[1] - 0.2]);
+        }
+        let var = VectorAutoregression::fit(&seq, 1e-6).unwrap();
+        let pred = var.step(seq.last().unwrap());
+        let last = seq.last().unwrap();
+        assert!((pred[0] - (last[0] + 0.1)).abs() < 1e-3, "{pred:?}");
+        assert!((pred[1] - (last[1] - 0.2)).abs() < 1e-3, "{pred:?}");
+    }
+
+    #[test]
+    fn recovers_contraction_dynamics() {
+        // v_{i+1} = 0.9 v_i: linear map, no bias.
+        let mut seq = vec![vec![4.0, -2.0]];
+        for _ in 0..12 {
+            let last = seq.last().unwrap();
+            seq.push(vec![0.9 * last[0], 0.9 * last[1]]);
+        }
+        let var = VectorAutoregression::fit(&seq, 1e-8).unwrap();
+        let pred = var.extrapolate(&seq[0], 3);
+        let truth = [4.0 * 0.9f64.powi(3), -2.0 * 0.9f64.powi(3)];
+        assert!((pred[0] - truth[0]).abs() < 0.05, "{pred:?} vs {truth:?}");
+        assert!((pred[1] - truth[1]).abs() < 0.05);
+    }
+
+    #[test]
+    fn strong_regularization_defaults_to_identity() {
+        let seq = vec![vec![1.0, 1.0], vec![2.0, 0.0], vec![1.5, 0.5]];
+        let var = VectorAutoregression::fit(&seq, 1e9).unwrap();
+        // Δ shrunk to ~0 => A ~ I => step is ~identity.
+        let v = vec![0.7, -0.3];
+        let pred = var.step(&v);
+        assert!((pred[0] - v[0]).abs() < 1e-3);
+        assert!((pred[1] - v[1]).abs() < 1e-3);
+    }
+
+    #[test]
+    fn extrapolate_zero_steps_is_identity() {
+        let seq = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let var = VectorAutoregression::fit(&seq, 1e-6).unwrap();
+        assert_eq!(var.extrapolate(&[5.0], 0), vec![5.0]);
+    }
+
+    #[test]
+    fn training_mse_small_on_learnable_dynamics() {
+        let mut seq = vec![vec![0.0, 1.0]];
+        for _ in 0..15 {
+            let l = seq.last().unwrap();
+            seq.push(vec![l[0] + 0.05, 0.95 * l[1]]);
+        }
+        let var = VectorAutoregression::fit(&seq, 1e-6).unwrap();
+        assert!(var.training_mse(&seq) < 1e-6);
+    }
+
+    #[test]
+    fn errors_on_degenerate_input() {
+        assert_eq!(
+            VectorAutoregression::fit(&[vec![1.0]], 1.0).unwrap_err(),
+            VvrError::TooFewSteps
+        );
+        assert_eq!(
+            VectorAutoregression::fit(&[vec![1.0], vec![1.0, 2.0]], 1.0).unwrap_err(),
+            VvrError::DimensionMismatch
+        );
+        assert_eq!(
+            VectorAutoregression::fit(&[vec![], vec![]], 1.0).unwrap_err(),
+            VvrError::DimensionMismatch
+        );
+    }
+
+    #[test]
+    fn noisy_drift_still_tracks_direction() {
+        // Drift +0.1 per step with noise; extrapolation should keep going up.
+        let mut rng = jit_math::rng::Rng::seeded(11);
+        let mut seq = vec![vec![0.0; 4]];
+        for i in 1..=12 {
+            let v: Vec<f64> =
+                (0..4).map(|_| 0.1 * i as f64 + 0.01 * rng.normal()).collect();
+            seq.push(v);
+        }
+        let var = VectorAutoregression::fit(&seq, 1e-3).unwrap();
+        let last = seq.last().unwrap().clone();
+        let future = var.extrapolate(&last, 3);
+        for (f, l) in future.iter().zip(&last) {
+            assert!(f > l, "drift direction lost: {future:?} vs {last:?}");
+        }
+    }
+}

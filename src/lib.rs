@@ -1,0 +1,77 @@
+//! # justintime
+//!
+//! A from-scratch Rust reproduction of **JustInTime** — *"Just in Time:
+//! Personal Temporal Insights for Altering Model Decisions"* (Boer,
+//! Deutch, Frost, Milo; ICDE 2019, DOI 10.1109/ICDE.2019.00221).
+//!
+//! JustInTime answers the question every rejected loan applicant asks:
+//! *what should I change — and when should I reapply — to get approved?*
+//! Unlike single-shot counterfactual explainers, it accounts for the fact
+//! that both the applicant's profile **and the bank's model** evolve over
+//! time.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use justintime::prelude::*;
+//!
+//! // 1. Synthetic Lending-Club-like history, 2007-2018, with drift.
+//! let gen = LendingClubGenerator::with_defaults();
+//! let slices: Vec<Dataset> = gen
+//!     .years()
+//!     .into_iter()
+//!     .map(|y| LendingClubGenerator::to_dataset(&gen.records_for_year(y)))
+//!     .collect();
+//!
+//! // 2. Admin trains the system: future models (M_t, delta_t), t = 0..=T.
+//! let system =
+//!     JustInTime::train(AdminConfig::default(), gen.schema(), &slices).unwrap();
+//!
+//! // 3. A rejected applicant opens a session with their preferences.
+//! let mut prefs = ConstraintSet::new();
+//! prefs.add(jit_constraints::parse_constraint("income <= 60000 and gap <= 2").unwrap());
+//! let session =
+//!     system.session(&LendingClubGenerator::john(), &prefs, None).unwrap();
+//!
+//! // 4. Canned questions, answered from the candidates database.
+//! for insight in session.run_all().unwrap() {
+//!     println!("{insight}");
+//! }
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`jit_math`] | vectors, matrices, Cholesky/ridge, kernels, RNG |
+//! | [`jit_ml`] | decision trees, random forests, logistic, GBM, metrics |
+//! | [`jit_data`] | feature schema + drifting Lending-Club generator |
+//! | [`jit_constraints`] | the constraints language (diff/gap/confidence) |
+//! | [`jit_temporal`] | temporal update fns, EDD future-model prediction |
+//! | [`jit_db`] | in-memory SQL engine (Figure 2 queries run verbatim) |
+//! | [`jit_core`] | candidates generator, canned queries, insights, pipeline |
+
+pub use jit_constraints;
+pub use jit_core;
+pub use jit_data;
+pub use jit_db;
+pub use jit_math;
+pub use jit_ml;
+pub use jit_temporal;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use jit_constraints::builder::{confidence, constant, diff, feature, gap};
+    pub use jit_constraints::{parse_constraint, Constraint, ConstraintSet};
+    pub use jit_core::{
+        AdminConfig, CandidateParams, CannedQuery, Insight, JustInTime, Objective,
+        UserSession,
+    };
+    pub use jit_data::{
+        FeatureSchema, LendingClubGenerator, LendingClubParams, LoanRecord,
+    };
+    pub use jit_db::{Database, ResultSet, Value};
+    pub use jit_ml::{Dataset, Model, RandomForest, RandomForestParams};
+    pub use jit_temporal::future::{FutureModelsParams, FuturePredictor};
+    pub use jit_temporal::update::{Override, TemporalUpdateFn};
+}

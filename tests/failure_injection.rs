@@ -1,0 +1,176 @@
+//! Failure-injection tests: the pipeline must degrade gracefully, never
+//! panic, on degenerate inputs.
+
+use justintime::prelude::*;
+
+fn tiny_slices(n_slices: usize, per: usize) -> (FeatureSchema, Vec<Dataset>) {
+    let gen = LendingClubGenerator::new(LendingClubParams {
+        records_per_year: per.max(1),
+        ..Default::default()
+    });
+    let schema = gen.schema().clone();
+    let slices = gen
+        .years()
+        .into_iter()
+        .take(n_slices)
+        .map(|y| LendingClubGenerator::to_dataset(&gen.records_for_year(y)))
+        .collect();
+    (schema, slices)
+}
+
+fn tiny_config(horizon: usize) -> AdminConfig {
+    AdminConfig {
+        horizon,
+        future: FutureModelsParams {
+            n_landmarks: 10,
+            pool_slices: 2,
+            forest: RandomForestParams { n_trees: 4, ..Default::default() },
+            ..Default::default()
+        },
+        candidates: CandidateParams {
+            beam_width: 3,
+            max_iters: 2,
+            top_k: 3,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn training_on_no_slices_errors() {
+    let (schema, _) = tiny_slices(1, 10);
+    let err = JustInTime::train(tiny_config(2), &schema, &[]);
+    assert!(err.is_err());
+}
+
+#[test]
+fn training_on_single_slice_errors_for_positive_horizon() {
+    let (schema, slices) = tiny_slices(1, 30);
+    let err = JustInTime::train(tiny_config(2), &schema, &slices);
+    assert!(err.is_err(), "cannot learn drift from one slice");
+}
+
+#[test]
+fn training_with_wrong_dimension_errors() {
+    let (schema, _) = tiny_slices(2, 10);
+    let bad = vec![Dataset::from_rows(vec![vec![1.0, 2.0]], vec![true])];
+    let err = JustInTime::train(tiny_config(0), &schema, &bad);
+    assert!(err.is_err());
+}
+
+#[test]
+fn horizon_zero_works() {
+    let (schema, slices) = tiny_slices(3, 60);
+    let system = JustInTime::train(tiny_config(0), &schema, &slices).unwrap();
+    assert_eq!(system.models().len(), 1);
+    let session = system
+        .session(&LendingClubGenerator::john(), &ConstraintSet::new(), None)
+        .unwrap();
+    assert_eq!(session.temporal_inputs().len(), 1);
+    // All six queries still run (answers may be empty/negative).
+    let insights = session.run_all().unwrap();
+    assert_eq!(insights.len(), 6);
+}
+
+#[test]
+fn tiny_slices_still_train() {
+    // 12 records per year is pathological but must not panic.
+    let (schema, slices) = tiny_slices(4, 12);
+    let system = JustInTime::train(tiny_config(1), &schema, &slices).unwrap();
+    let session = system
+        .session(&LendingClubGenerator::john(), &ConstraintSet::new(), None)
+        .unwrap();
+    let _ = session.run_all().unwrap();
+}
+
+#[test]
+fn contradictory_user_constraints_yield_empty_candidates() {
+    let (schema, slices) = tiny_slices(3, 60);
+    let system = JustInTime::train(tiny_config(1), &schema, &slices).unwrap();
+    let mut prefs = ConstraintSet::new();
+    // income must be both huge and tiny: unsatisfiable.
+    prefs.add(
+        jit_constraints::parse_constraint("income >= 1000000 and income <= 1")
+            .unwrap(),
+    );
+    let session = system
+        .session(&LendingClubGenerator::john(), &prefs, None)
+        .unwrap();
+    assert!(session.candidates().is_empty());
+    // Queries still answer (negatively) instead of erroring.
+    let insights = session.run_all().unwrap();
+    assert!(insights[0].headline.contains("No future time point"));
+}
+
+#[test]
+fn profile_at_schema_bounds_is_handled() {
+    let (schema, slices) = tiny_slices(3, 60);
+    let system = JustInTime::train(tiny_config(1), &schema, &slices).unwrap();
+    // Maximal-age applicant: temporal update clamps, search never leaves
+    // the domain.
+    let extreme = vec![100.0, 1.0, 2_000_000.0, 100_000.0, 60.0, 100_000.0];
+    let session = system.session(&extreme, &ConstraintSet::new(), None).unwrap();
+    for inputs in session.temporal_inputs() {
+        assert!(schema.row_in_bounds(inputs));
+    }
+    for cand in session.candidates() {
+        assert!(schema.row_in_bounds(&cand.profile));
+    }
+}
+
+#[test]
+fn malformed_sql_from_expert_is_an_error_not_a_panic() {
+    let (schema, slices) = tiny_slices(3, 60);
+    let system = JustInTime::train(tiny_config(1), &schema, &slices).unwrap();
+    let session = system
+        .session(&LendingClubGenerator::john(), &ConstraintSet::new(), None)
+        .unwrap();
+    for bad in [
+        "SELEKT * FROM candidates",
+        "SELECT * FROM nope",
+        "SELECT nope FROM candidates",
+        "SELECT * FROM candidates WHERE",
+        "DROP TABLE candidates; DROP TABLE temporal_inputs",
+    ] {
+        assert!(session.sql(bad).is_err(), "should reject {bad:?}");
+    }
+    // The tables survive the failed statements.
+    assert!(session.sql("SELECT COUNT(*) FROM candidates").is_ok());
+}
+
+#[test]
+fn unparseable_user_constraint_is_rejected_up_front() {
+    assert!(jit_constraints::parse_constraint("income <=").is_err());
+    assert!(jit_constraints::parse_constraint("").is_err());
+    assert!(jit_constraints::parse_constraint("not not not").is_err());
+}
+
+#[test]
+fn all_labels_one_class_still_trains() {
+    // Degenerate labels: everyone approved.
+    let gen = LendingClubGenerator::new(LendingClubParams {
+        records_per_year: 40,
+        ..Default::default()
+    });
+    let schema = gen.schema().clone();
+    let slices: Vec<Dataset> = gen
+        .years()
+        .into_iter()
+        .take(3)
+        .map(|y| {
+            let d = LendingClubGenerator::to_dataset(&gen.records_for_year(y));
+            Dataset::from_rows(
+                d.rows().to_vec(),
+                vec![true; d.len()],
+            )
+        })
+        .collect();
+    let system = JustInTime::train(tiny_config(1), &schema, &slices).unwrap();
+    let session = system
+        .session(&LendingClubGenerator::john(), &ConstraintSet::new(), None)
+        .unwrap();
+    // Everyone approved: the zero-gap candidate should exist everywhere.
+    let insight = session.run(&CannedQuery::NoModification).unwrap();
+    assert!(insight.headline.contains("t=0"), "{}", insight.headline);
+}

@@ -1,0 +1,351 @@
+//! Property-based tests (proptest) over the workspace's core invariants.
+
+use justintime::jit_constraints::{parse_constraint, EvalContext};
+use justintime::jit_db::{Database, Value};
+use justintime::jit_math::distance::{l0_gap, l1, l2_diff, linf};
+use justintime::jit_math::matrix::{ridge_regression, Matrix};
+use justintime::jit_math::rng::Rng;
+use justintime::jit_math::stats::{quantile, OnlineStats, Standardizer};
+use justintime::prelude::*;
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- jit-math: metric axioms --------------------------------------
+    #[test]
+    fn distances_are_symmetric_and_nonnegative(
+        a in finite_vec(6),
+        b in finite_vec(6),
+    ) {
+        for d in [l2_diff(&a, &b), l1(&a, &b), linf(&a, &b)] {
+            prop_assert!(d >= 0.0);
+        }
+        prop_assert!((l2_diff(&a, &b) - l2_diff(&b, &a)).abs() < 1e-9);
+        prop_assert_eq!(l0_gap(&a, &b), l0_gap(&b, &a));
+        prop_assert_eq!(l0_gap(&a, &a), 0);
+        prop_assert_eq!(l2_diff(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality_l2(
+        a in finite_vec(4),
+        b in finite_vec(4),
+        c in finite_vec(4),
+    ) {
+        prop_assert!(l2_diff(&a, &b) <= l2_diff(&a, &c) + l2_diff(&c, &b) + 1e-6);
+    }
+
+    #[test]
+    fn gap_bounded_by_dimension(a in finite_vec(6), b in finite_vec(6)) {
+        prop_assert!(l0_gap(&a, &b) <= 6);
+    }
+
+    // ---- jit-math: linear algebra -------------------------------------
+    #[test]
+    fn cholesky_reconstructs_spd_matrices(seed in 0u64..1000) {
+        let mut rng = Rng::seeded(seed);
+        let n = 4;
+        let mut b = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                b[(i, j)] = rng.normal();
+            }
+        }
+        let mut spd = b.matmul(&b.transpose()).unwrap();
+        spd.add_diagonal(1.0);
+        let l = spd.cholesky().unwrap();
+        let recon = l.matmul(&l.transpose()).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((recon[(i, j)] - spd[(i, j)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn ridge_residual_optimality(seed in 0u64..500) {
+        // The ridge solution must beat small perturbations of itself on
+        // the regularized objective.
+        let mut rng = Rng::seeded(seed);
+        let n = 12;
+        let x = Matrix::from_rows(
+            &(0..n).map(|_| vec![rng.normal(), rng.normal()]).collect::<Vec<_>>(),
+        );
+        let y: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let lambda = 0.5;
+        let w = ridge_regression(&x, &y, lambda).unwrap();
+        let objective = |w: &[f64]| -> f64 {
+            let pred = x.matvec(w).unwrap();
+            let mut obj = 0.0;
+            for (p, yi) in pred.iter().zip(&y) {
+                obj += (p - yi) * (p - yi);
+            }
+            obj + lambda * (w[0] * w[0] + w[1] * w[1])
+        };
+        let base = objective(&w);
+        for delta in [[1e-3, 0.0], [0.0, 1e-3], [-1e-3, 0.0], [0.0, -1e-3]] {
+            let perturbed = [w[0] + delta[0], w[1] + delta[1]];
+            prop_assert!(objective(&perturbed) + 1e-12 >= base);
+        }
+    }
+
+    #[test]
+    fn standardizer_roundtrip_property(rows in proptest::collection::vec(finite_vec(3), 2..20)) {
+        let m = Matrix::from_rows(&rows);
+        let s = Standardizer::fit(&m);
+        for row in &rows {
+            let z = s.transform_row(row);
+            let back = s.inverse_row(&z);
+            for (a, b) in back.iter().zip(row) {
+                prop_assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn welford_matches_two_pass(xs in proptest::collection::vec(-1e3f64..1e3, 1..50)) {
+        let mut acc = OnlineStats::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var =
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        prop_assert!((acc.mean() - mean).abs() < 1e-6);
+        prop_assert!((acc.variance() - var).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_is_monotone(xs in proptest::collection::vec(-1e3f64..1e3, 1..40)) {
+        let q25 = quantile(&xs, 0.25);
+        let q50 = quantile(&xs, 0.5);
+        let q75 = quantile(&xs, 0.75);
+        prop_assert!(q25 <= q50 + 1e-12);
+        prop_assert!(q50 <= q75 + 1e-12);
+    }
+
+    // ---- jit-constraints: parser and evaluation ------------------------
+    #[test]
+    fn constraint_display_reparse_equivalence(
+        bound in -1e5f64..1e5,
+        conf in 0.0f64..1.0,
+    ) {
+        let src = format!("income <= {bound} or confidence >= {conf}");
+        let c1 = parse_constraint(&src).unwrap();
+        let c2 = parse_constraint(&format!("{c1}")).unwrap();
+        let schema = FeatureSchema::lending_club();
+        let b1 = c1.bind(&schema).unwrap();
+        let b2 = c2.bind(&schema).unwrap();
+        let x = [29.0, 0.0, 46_000.0, 2_300.0, 4.0, 24_000.0];
+        for cand_income in [0.0, bound - 1.0, bound, bound + 1.0, 1e6] {
+            let mut cand = x;
+            cand[2] = cand_income.clamp(0.0, 2e6);
+            for confidence in [0.0, conf, 1.0] {
+                let ctx = EvalContext { candidate: &cand, original: &x, confidence };
+                prop_assert_eq!(b1.eval(&ctx), b2.eval(&ctx));
+            }
+        }
+    }
+
+    #[test]
+    fn conjunction_implies_conjuncts(
+        lo in 0.0f64..50_000.0,
+        hi in 50_000.0f64..200_000.0,
+    ) {
+        let schema = FeatureSchema::lending_club();
+        let a = parse_constraint(&format!("income >= {lo}")).unwrap();
+        let b = parse_constraint(&format!("income <= {hi}")).unwrap();
+        let both = a.clone().and(b.clone()).bind(&schema).unwrap();
+        let ba = a.bind(&schema).unwrap();
+        let bb = b.bind(&schema).unwrap();
+        let x = [29.0, 0.0, 46_000.0, 2_300.0, 4.0, 24_000.0];
+        for income in [0.0, lo, (lo + hi) / 2.0, hi, 1e6] {
+            let mut cand = x;
+            cand[2] = income;
+            let ctx = EvalContext { candidate: &cand, original: &x, confidence: 0.5 };
+            if both.eval(&ctx) {
+                prop_assert!(ba.eval(&ctx) && bb.eval(&ctx));
+            }
+        }
+    }
+
+    // ---- jit-db: executor invariants -----------------------------------
+    #[test]
+    fn limit_caps_rows(values in proptest::collection::vec(-1000i64..1000, 0..30), limit in 0usize..10) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (v INTEGER)").unwrap();
+        for v in &values {
+            db.insert_row("t", vec![Value::Int(*v)]).unwrap();
+        }
+        let rs = db.execute(&format!("SELECT v FROM t LIMIT {limit}")).unwrap();
+        prop_assert!(rs.len() <= limit);
+        prop_assert!(rs.len() <= values.len());
+    }
+
+    #[test]
+    fn where_filters_exactly(values in proptest::collection::vec(-100i64..100, 0..40), cut in -100i64..100) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (v INTEGER)").unwrap();
+        for v in &values {
+            db.insert_row("t", vec![Value::Int(*v)]).unwrap();
+        }
+        let rs = db.execute(&format!("SELECT v FROM t WHERE v > {cut}")).unwrap();
+        let expected = values.iter().filter(|v| **v > cut).count();
+        prop_assert_eq!(rs.len(), expected);
+        for row in &rs.rows {
+            prop_assert!(row[0].as_i64().unwrap() > cut);
+        }
+    }
+
+    #[test]
+    fn order_by_sorts(values in proptest::collection::vec(-1000i64..1000, 0..40)) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (v INTEGER)").unwrap();
+        for v in &values {
+            db.insert_row("t", vec![Value::Int(*v)]).unwrap();
+        }
+        let rs = db.execute("SELECT v FROM t ORDER BY v").unwrap();
+        let got: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        let mut expected = values.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn aggregates_match_manual(values in proptest::collection::vec(-1000i64..1000, 1..40)) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (v INTEGER)").unwrap();
+        for v in &values {
+            db.insert_row("t", vec![Value::Int(*v)]).unwrap();
+        }
+        let rs = db
+            .execute("SELECT COUNT(*), MIN(v), MAX(v), SUM(v) FROM t")
+            .unwrap();
+        let row = &rs.rows[0];
+        prop_assert_eq!(row[0].as_i64().unwrap(), values.len() as i64);
+        prop_assert_eq!(row[1].as_i64().unwrap(), *values.iter().min().unwrap());
+        prop_assert_eq!(row[2].as_i64().unwrap(), *values.iter().max().unwrap());
+        prop_assert_eq!(row[3].as_i64().unwrap(), values.iter().sum::<i64>());
+    }
+
+    #[test]
+    fn distinct_yields_unique_rows(values in proptest::collection::vec(0i64..10, 0..50)) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (v INTEGER)").unwrap();
+        for v in &values {
+            db.insert_row("t", vec![Value::Int(*v)]).unwrap();
+        }
+        let rs = db.execute("SELECT DISTINCT v FROM t").unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for row in &rs.rows {
+            prop_assert!(seen.insert(row[0].as_i64().unwrap()));
+        }
+        let expected: std::collections::HashSet<i64> = values.iter().cloned().collect();
+        prop_assert_eq!(seen.len(), expected.len());
+    }
+
+    // ---- jit-temporal: update function ---------------------------------
+    #[test]
+    fn temporal_update_identity_at_zero(profile in finite_vec(6)) {
+        let schema = FeatureSchema::lending_club();
+        let clean = schema.sanitize_row(&profile);
+        let f = TemporalUpdateFn::from_schema(&schema);
+        prop_assert_eq!(f.project(&clean, 0), clean);
+    }
+
+    #[test]
+    fn temporal_age_monotone(profile in finite_vec(6), t in 0usize..10) {
+        let schema = FeatureSchema::lending_club();
+        let clean = schema.sanitize_row(&profile);
+        let f = TemporalUpdateFn::from_schema(&schema);
+        let later = f.project(&clean, t);
+        prop_assert!(later[0] >= clean[0], "age can only grow");
+        prop_assert!(schema.row_in_bounds(&later));
+    }
+}
+
+// ---- jit-ml: model invariants (plain tests with seeded generators) ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn forest_probabilities_bounded(seed in 0u64..100) {
+        let mut rng = Rng::seeded(seed);
+        let rows: Vec<Vec<f64>> =
+            (0..60).map(|_| vec![rng.normal(), rng.normal()]).collect();
+        let labels: Vec<bool> = rows.iter().map(|r| r[0] > 0.0).collect();
+        let data = Dataset::from_rows(rows.clone(), labels);
+        let forest = RandomForest::fit(
+            &data,
+            &RandomForestParams { n_trees: 5, ..Default::default() },
+            &mut rng,
+        );
+        for row in &rows {
+            let p = forest.predict_proba(row);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn candidate_generation_sound_under_random_constraints(
+        debt_floor in 0.0f64..2000.0,
+        gap_cap in 1i64..4,
+    ) {
+        use justintime::jit_core::{CandidatesGenerator, CandidateParams};
+        use justintime::jit_constraints::set::domain_constraints;
+
+        let gen = LendingClubGenerator::new(LendingClubParams {
+            records_per_year: 150,
+            ..Default::default()
+        });
+        let data = LendingClubGenerator::to_dataset(&gen.records_for_year(2016));
+        let mut rng = Rng::seeded(3);
+        let model = RandomForest::fit(
+            &data,
+            &RandomForestParams { n_trees: 8, ..Default::default() },
+            &mut rng,
+        );
+        let schema = gen.schema().clone();
+        let scales = justintime::jit_math::Standardizer::fit(
+            &justintime::jit_math::Matrix::from_rows(data.rows()),
+        )
+        .stds()
+        .to_vec();
+        let (mut set, _) = domain_constraints(&schema);
+        let mut user = ConstraintSet::new();
+        user.add(
+            parse_constraint(&format!("debt >= {debt_floor} and gap <= {gap_cap}"))
+                .unwrap(),
+        );
+        set.merge(&user);
+        let bound = set.compile_at(0, &schema).unwrap();
+        let origin = LendingClubGenerator::john();
+        let generator = CandidatesGenerator {
+            model: &model,
+            delta: 0.5,
+            origin: &origin,
+            constraint: &bound,
+            schema: &schema,
+            scales: &scales,
+            time_index: 0,
+        };
+        let params = CandidateParams {
+            beam_width: 4,
+            max_iters: 3,
+            top_k: 4,
+            ..Default::default()
+        };
+        for cand in generator.generate(&params) {
+            prop_assert!(cand.confidence > 0.5);
+            prop_assert!(cand.profile[3] >= debt_floor - 1e-9);
+            prop_assert!((cand.gap as i64) <= gap_cap);
+            prop_assert!(schema.row_in_bounds(&cand.profile));
+        }
+    }
+}
