@@ -41,9 +41,7 @@ fn fixture() -> Fixture {
         &RandomForestParams { n_trees: 20, ..Default::default() },
         &mut rng,
     );
-    let scales = Standardizer::fit(&Matrix::from_rows(present.rows()))
-        .stds()
-        .to_vec();
+    let scales = Standardizer::fit(&Matrix::from_rows(present.rows())).stds().to_vec();
     let schema = gen.schema().clone();
     let (set, _) = domain_constraints(&schema);
     let constraint = set.compile_at(0, &schema).unwrap();
@@ -142,7 +140,8 @@ fn bench_diversity(c: &mut Criterion) {
         let mut pairs = 0usize;
         for i in 0..cands.len() {
             for j in (i + 1)..cands.len() {
-                dist += jit_math::distance::l2_diff(&cands[i].profile, &cands[j].profile);
+                dist +=
+                    jit_math::distance::l2_diff(&cands[i].profile, &cands[j].profile);
                 pairs += 1;
             }
         }
@@ -163,9 +162,11 @@ fn bench_diversity(c: &mut Criterion) {
             top_k: 8,
             ..Default::default()
         };
-        group.bench_with_input(BenchmarkId::new("selection", label), &params, |b, p| {
-            b.iter(|| black_box(g.generate(p).len()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("selection", label),
+            &params,
+            |b, p| b.iter(|| black_box(g.generate(p).len())),
+        );
     }
     group.finish();
 }

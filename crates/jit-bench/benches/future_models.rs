@@ -52,10 +52,12 @@ fn bench_future_model_quality(c: &mut Criterion) {
     let edd = FutureModelsGenerator::new(params_for(FuturePredictor::Edd, horizon))
         .generate(&history)
         .expect("edd generation");
-    let param =
-        FutureModelsGenerator::new(params_for(FuturePredictor::ParamExtrapolation, horizon))
-            .generate(&history)
-            .expect("param generation");
+    let param = FutureModelsGenerator::new(params_for(
+        FuturePredictor::ParamExtrapolation,
+        horizon,
+    ))
+    .generate(&history)
+    .expect("param generation");
     let frozen =
         FutureModelsGenerator::new(params_for(FuturePredictor::Frozen, horizon))
             .generate(&history)
@@ -71,11 +73,8 @@ fn bench_future_model_quality(c: &mut Criterion) {
         let future = LendingClubGenerator::to_dataset(&gen.records_for_year(year));
         // The Bayes ceiling: the generator's own approval probability
         // scored against the sampled labels (irreducible label noise).
-        let bayes_scores: Vec<f64> = future
-            .rows()
-            .iter()
-            .map(|r| gen.oracle_probability(r, year))
-            .collect();
+        let bayes_scores: Vec<f64> =
+            future.rows().iter().map(|r| gen.oracle_probability(r, year)).collect();
         let bayes = roc_auc(&bayes_scores, future.labels());
         eprintln!(
             "{:<8} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",

@@ -35,8 +35,8 @@ fn bench_session(c: &mut Criterion) {
     let gen = bench_generator(200);
     let slices = year_slices(&gen);
     let schema = gen.schema().clone();
-    let system = JustInTime::train(bench_config(4, false), &schema, &slices)
-        .expect("train");
+    let system =
+        JustInTime::train(bench_config(4, false), &schema, &slices).expect("train");
     let mut group = c.benchmark_group("f1_pipeline");
     group.sample_size(10);
     group.bench_function("user_session_T4", |b| {

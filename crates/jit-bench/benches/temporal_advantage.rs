@@ -36,8 +36,8 @@ fn bench_temporal_vs_static(c: &mut Criterion) {
     });
     let slices = year_slices(&gen);
     let schema = gen.schema().clone();
-    let system = JustInTime::train(bench_config(3, false), &schema, &slices)
-        .expect("train");
+    let system =
+        JustInTime::train(bench_config(3, false), &schema, &slices).expect("train");
     // Realistic rejected applicants from the latest historical year,
     // restricted to the "John cohort": 28-29 year olds, who cross the
     // over-30 boundary during the horizon — exactly the population whose
@@ -48,11 +48,12 @@ fn bench_temporal_vs_static(c: &mut Criterion) {
         oracle_sharpness: 5.0,
         ..Default::default()
     });
-    let applicants: Vec<Vec<f64>> = jit_bench::rejected_cohort(&cohort_gen, 2018, usize::MAX)
-        .into_iter()
-        .filter(|p| (28.0..=29.0).contains(&p[0]))
-        .take(20)
-        .collect();
+    let applicants: Vec<Vec<f64>> =
+        jit_bench::rejected_cohort(&cohort_gen, 2018, usize::MAX)
+            .into_iter()
+            .filter(|p| (28.0..=29.0).contains(&p[0]))
+            .take(20)
+            .collect();
     // t=2 maps to calendar 2018+2 = 2020 in oracle terms (the oracle's
     // drift keeps extending past the generated years).
     let eval_year = 2020u32;
@@ -135,10 +136,7 @@ fn bench_temporal_vs_static(c: &mut Criterion) {
     let (static_t, temporal_t, none_t, total) = run_cohort();
     eprintln!("\n[E1] static vs temporal plans, oracle-scored at t=2 ({eval_year})");
     eprintln!("cohort: {total} rejected applicants");
-    eprintln!(
-        "{:<28} {:>10} {:>14}",
-        "plan", "approved", "mean_oracle_p"
-    );
+    eprintln!("{:<28} {:>10} {:>14}", "plan", "approved", "mean_oracle_p");
     for (label, t) in [
         ("no plan (wait + reapply)", none_t),
         ("static  min-diff (Q4)", static_t[0]),

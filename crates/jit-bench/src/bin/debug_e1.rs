@@ -21,11 +21,12 @@ fn main() {
         oracle_sharpness: 5.0,
         ..Default::default()
     });
-    let applicants: Vec<Vec<f64>> = jit_bench::rejected_cohort(&cohort_gen, 2018, usize::MAX)
-        .into_iter()
-        .filter(|p| (28.0..=29.0).contains(&p[0]))
-        .take(6)
-        .collect();
+    let applicants: Vec<Vec<f64>> =
+        jit_bench::rejected_cohort(&cohort_gen, 2018, usize::MAX)
+            .into_iter()
+            .filter(|p| (28.0..=29.0).contains(&p[0]))
+            .take(6)
+            .collect();
 
     let fmt = |p: &[f64]| -> String {
         format!(
@@ -47,8 +48,14 @@ fn main() {
         );
 
         for (label, sql) in [
-            ("static q5", "SELECT * FROM candidates WHERE time = 0 ORDER BY p DESC LIMIT 1"),
-            ("temporal q5", "SELECT * FROM candidates WHERE time = 2 ORDER BY p DESC LIMIT 1"),
+            (
+                "static q5",
+                "SELECT * FROM candidates WHERE time = 0 ORDER BY p DESC LIMIT 1",
+            ),
+            (
+                "temporal q5",
+                "SELECT * FROM candidates WHERE time = 2 ORDER BY p DESC LIMIT 1",
+            ),
         ] {
             let rs = session.sql(sql).unwrap();
             let Some(cand) = rs.rows.first().and_then(|r| {

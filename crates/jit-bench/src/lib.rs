@@ -78,7 +78,11 @@ pub fn john_session(system: &JustInTime) -> jit_core::UserSession<'_> {
 /// Unlike the hand-crafted demo extremes, these live in the dense region
 /// of the data distribution, where learned models are locally reliable —
 /// the right population for transfer experiments (E1).
-pub fn rejected_cohort(gen: &LendingClubGenerator, year: u32, n: usize) -> Vec<Vec<f64>> {
+pub fn rejected_cohort(
+    gen: &LendingClubGenerator,
+    year: u32,
+    n: usize,
+) -> Vec<Vec<f64>> {
     gen.records_for_year(year)
         .into_iter()
         .filter(|r| gen.oracle_probability(&r.features, year) < 0.5)

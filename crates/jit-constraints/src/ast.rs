@@ -332,7 +332,10 @@ impl Constraint {
     ///
     /// # Errors
     /// Returns the offending name when it is not in the schema.
-    pub fn bind(&self, schema: &FeatureSchema) -> Result<BoundConstraint, UnknownFeature> {
+    pub fn bind(
+        &self,
+        schema: &FeatureSchema,
+    ) -> Result<BoundConstraint, UnknownFeature> {
         Ok(BoundConstraint { node: self.bind_node(schema)? })
     }
 
@@ -403,9 +406,7 @@ fn bind_expr(e: &LinExpr, schema: &FeatureSchema) -> Result<BoundExpr, UnknownFe
     for (v, c) in e.terms() {
         let bv = match v {
             VarRef::Feature(name) => BoundVar::Feature(
-                schema
-                    .index_of(name)
-                    .ok_or_else(|| UnknownFeature(name.clone()))?,
+                schema.index_of(name).ok_or_else(|| UnknownFeature(name.clone()))?,
             ),
             VarRef::Special(s) => BoundVar::Special(*s),
         };
@@ -478,7 +479,9 @@ fn eval_expr(e: &BoundExpr, ctx: &EvalContext<'_>) -> f64 {
 fn eval_node(n: &BoundNode, ctx: &EvalContext<'_>) -> bool {
     match n {
         BoundNode::True => true,
-        BoundNode::Cmp { lhs, op, rhs } => op.apply(eval_expr(lhs, ctx), eval_expr(rhs, ctx)),
+        BoundNode::Cmp { lhs, op, rhs } => {
+            op.apply(eval_expr(lhs, ctx), eval_expr(rhs, ctx))
+        }
         BoundNode::And(cs) => cs.iter().all(|c| eval_node(c, ctx)),
         BoundNode::Or(cs) => cs.iter().any(|c| eval_node(c, ctx)),
         BoundNode::Not(c) => !eval_node(c, ctx),
@@ -493,7 +496,11 @@ mod tests {
         FeatureSchema::lending_club()
     }
 
-    fn ctx<'a>(candidate: &'a [f64], original: &'a [f64], conf: f64) -> EvalContext<'a> {
+    fn ctx<'a>(
+        candidate: &'a [f64],
+        original: &'a [f64],
+        conf: f64,
+    ) -> EvalContext<'a> {
         EvalContext { candidate, original, confidence: conf }
     }
 
@@ -517,8 +524,7 @@ mod tests {
     fn linear_combination() {
         // income - 20 * debt >= 0
         let c = Constraint::Cmp {
-            lhs: LinExpr::feature("income")
-                .minus(LinExpr::feature("debt").times(20.0)),
+            lhs: LinExpr::feature("income").minus(LinExpr::feature("debt").times(20.0)),
             op: CmpOp::Ge,
             rhs: LinExpr::constant(0.0),
         };
@@ -681,10 +687,8 @@ mod tests {
             .plus(LinExpr::constant(3.0))
             .times(2.0);
         // 2*(a + a + 3) = 4a + 6
-        let terms: Vec<(String, f64)> = e
-            .terms()
-            .map(|(v, c)| (format!("{v}"), c))
-            .collect();
+        let terms: Vec<(String, f64)> =
+            e.terms().map(|(v, c)| (format!("{v}"), c)).collect();
         assert_eq!(terms, vec![("a".to_string(), 4.0)]);
         assert_eq!(e.constant_part(), 6.0);
     }

@@ -134,9 +134,11 @@ mod tests {
     const X: [f64; 6] = [29.0, 0.0, 46_000.0, 2_300.0, 4.0, 24_000.0];
 
     fn check(c: &Constraint, candidate: &[f64], conf: f64) -> bool {
-        c.bind(&FeatureSchema::lending_club())
-            .unwrap()
-            .eval(&EvalContext { candidate, original: &X, confidence: conf })
+        c.bind(&FeatureSchema::lending_club()).unwrap().eval(&EvalContext {
+            candidate,
+            original: &X,
+            confidence: conf,
+        })
     }
 
     #[test]

@@ -31,6 +31,8 @@ pub mod builder;
 pub mod parse;
 pub mod set;
 
-pub use ast::{BoundConstraint, CmpOp, Constraint, EvalContext, LinExpr, Special, VarRef};
+pub use ast::{
+    BoundConstraint, CmpOp, Constraint, EvalContext, LinExpr, Special, VarRef,
+};
 pub use parse::{parse_constraint, ParseError};
 pub use set::{ConstraintSet, ScopedConstraint, TimeScope};

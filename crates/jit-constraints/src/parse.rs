@@ -335,7 +335,9 @@ impl Parser {
                         Some(Tok::Number(n)) => Ok(LinExpr::var(v).times(n)),
                         other => Err(ParseError {
                             offset: self.offset(),
-                            message: format!("expected number after '*', found {other:?}"),
+                            message: format!(
+                                "expected number after '*', found {other:?}"
+                            ),
                         }),
                     }
                 } else {
@@ -522,7 +524,11 @@ mod tests {
             let b2 = c2.bind(&schema).unwrap();
             for conf in [0.1, 0.9] {
                 for cand in [X, [35.0, 1.0, 80_000.0, 500.0, 10.0, 10_000.0]] {
-                    let ctx = EvalContext { candidate: &cand, original: &X, confidence: conf };
+                    let ctx = EvalContext {
+                        candidate: &cand,
+                        original: &X,
+                        confidence: conf,
+                    };
                     assert_eq!(b1.eval(&ctx), b2.eval(&ctx), "mismatch for {src}");
                 }
             }

@@ -69,7 +69,12 @@ impl ConstraintSet {
     }
 
     /// Adds a constraint over an inclusive time range.
-    pub fn add_between(&mut self, lo: usize, hi: usize, constraint: Constraint) -> &mut Self {
+    pub fn add_between(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        constraint: Constraint,
+    ) -> &mut Self {
         assert!(lo <= hi, "time range out of order");
         self.items
             .push(ScopedConstraint { constraint, scope: TimeScope::Between(lo, hi) });

@@ -159,7 +159,8 @@ impl<'a> CandidatesGenerator<'a> {
         for _iter in 0..params.max_iters {
             let mut proposals: Vec<State> = Vec::new();
             for state in &beam {
-                let moves = self.propose_moves(&state.profile, &hints, params, &mut rng);
+                let moves =
+                    self.propose_moves(&state.profile, &hints, params, &mut rng);
                 for profile in moves {
                     let key = profile_key(&profile);
                     if !seen.insert(key) {
@@ -191,7 +192,8 @@ impl<'a> CandidatesGenerator<'a> {
             proposals.truncate(params.beam_width);
             beam = proposals;
 
-            if params.early_stop_after > 0 && altering.len() >= params.early_stop_after {
+            if params.early_stop_after > 0 && altering.len() >= params.early_stop_after
+            {
                 break;
             }
         }
@@ -300,9 +302,7 @@ impl<'a> CandidatesGenerator<'a> {
     fn objective_score(&self, s: &State, objective: Objective) -> f64 {
         match objective {
             Objective::MinDiff => -s.diff,
-            Objective::MinGap => {
-                -(s.gap as f64) - 1e-3 * self.norm_diff(&s.profile)
-            }
+            Objective::MinGap => -(s.gap as f64) - 1e-3 * self.norm_diff(&s.profile),
             Objective::MaxConfidence => s.confidence,
         }
     }
@@ -317,9 +317,8 @@ impl<'a> CandidatesGenerator<'a> {
     ) -> Vec<Vec<f64>> {
         let d = self.schema.dim();
         let mut moves: Vec<Vec<f64>> = Vec::new();
-        let mutable = |f: usize| {
-            self.schema.feature(f).mutability == Mutability::Actionable
-        };
+        let mutable =
+            |f: usize| self.schema.feature(f).mutability == Mutability::Actionable;
 
         match hints {
             ModelHints::Thresholds(per_feature) => {
@@ -340,8 +339,12 @@ impl<'a> CandidatesGenerator<'a> {
                     let above: Vec<f64> =
                         thresholds.iter().filter(|t| **t >= cur).cloned().collect();
                     // Reversed so the nearest-below threshold comes first.
-                    let below: Vec<f64> =
-                        thresholds.iter().rev().filter(|t| **t < cur).cloned().collect();
+                    let below: Vec<f64> = thresholds
+                        .iter()
+                        .rev()
+                        .filter(|t| **t < cur)
+                        .cloned()
+                        .collect();
                     let eps = (self.scales[f] * 1e-3).max(1e-9);
                     for t in spread_sample(&above) {
                         moves.push(self.with_feature(from, f, t + eps));
@@ -372,8 +375,16 @@ impl<'a> CandidatesGenerator<'a> {
                         continue;
                     }
                     for step in [0.5, 1.0, 2.0] {
-                        moves.push(self.with_feature(from, f, from[f] + step * self.scales[f]));
-                        moves.push(self.with_feature(from, f, from[f] - step * self.scales[f]));
+                        moves.push(self.with_feature(
+                            from,
+                            f,
+                            from[f] + step * self.scales[f],
+                        ));
+                        moves.push(self.with_feature(
+                            from,
+                            f,
+                            from[f] - step * self.scales[f],
+                        ));
                     }
                 }
             }
@@ -396,7 +407,11 @@ impl<'a> CandidatesGenerator<'a> {
     /// Diverse top-k via maximal marginal relevance: greedily pick the
     /// candidate maximizing `objective + λ · (distance to picked set)`,
     /// with distances measured in scale-normalized feature space.
-    fn select_diverse(&self, pool: Vec<State>, params: &CandidateParams) -> Vec<Candidate> {
+    fn select_diverse(
+        &self,
+        pool: Vec<State>,
+        params: &CandidateParams,
+    ) -> Vec<Candidate> {
         let mut remaining = pool;
         // Dedup once more on profile keys (origin may repeat across iters).
         let mut seen = HashSet::new();
@@ -419,7 +434,8 @@ impl<'a> CandidatesGenerator<'a> {
             let mut best: Option<(usize, f64)> = None;
             for (i, s) in remaining.iter().enumerate() {
                 let base = self.objective_score(s, params.objective);
-                let bonus = if picked_norm.is_empty() || params.diversity_lambda == 0.0 {
+                let bonus = if picked_norm.is_empty() || params.diversity_lambda == 0.0
+                {
                     0.0
                 } else {
                     let n = normalize(&s.profile);
@@ -586,12 +602,10 @@ mod tests {
         let fx = fixture();
         let c = constraint_for(&fx, None);
         for cand in run(&fx, &c, &CandidateParams::default()) {
+            assert_eq!(cand.profile[idx::AGE], fx.origin[idx::AGE], "age is immutable");
             assert_eq!(
-                cand.profile[idx::AGE], fx.origin[idx::AGE],
-                "age is immutable"
-            );
-            assert_eq!(
-                cand.profile[idx::SENIORITY], fx.origin[idx::SENIORITY],
+                cand.profile[idx::SENIORITY],
+                fx.origin[idx::SENIORITY],
                 "seniority is immutable"
             );
         }
@@ -601,10 +615,7 @@ mod tests {
     fn user_constraints_respected() {
         let fx = fixture();
         // User refuses to change income.
-        let c = constraint_for(
-            &fx,
-            Some(feature("income").eq(fx.origin[idx::INCOME])),
-        );
+        let c = constraint_for(&fx, Some(feature("income").eq(fx.origin[idx::INCOME])));
         let cands = run(&fx, &c, &CandidateParams::default());
         for cand in &cands {
             assert!(
@@ -665,20 +676,12 @@ mod tests {
         let diverse = run(
             &fx,
             &c,
-            &CandidateParams {
-                diversity_lambda: 1.0,
-                top_k: 4,
-                ..Default::default()
-            },
+            &CandidateParams { diversity_lambda: 1.0, top_k: 4, ..Default::default() },
         );
         let greedy = run(
             &fx,
             &c,
-            &CandidateParams {
-                diversity_lambda: 0.0,
-                top_k: 4,
-                ..Default::default()
-            },
+            &CandidateParams { diversity_lambda: 0.0, top_k: 4, ..Default::default() },
         );
         // With diversity, mean pairwise distance should not be smaller.
         let mean_pairwise = |cs: &[Candidate]| -> f64 {
@@ -758,16 +761,27 @@ mod tests {
         let raw = run(
             &fx,
             &c,
-            &CandidateParams { refine: false, diversity_lambda: 0.0, ..Default::default() },
+            &CandidateParams {
+                refine: false,
+                diversity_lambda: 0.0,
+                ..Default::default()
+            },
         );
         let refined = run(
             &fx,
             &c,
-            &CandidateParams { refine: true, diversity_lambda: 0.0, ..Default::default() },
+            &CandidateParams {
+                refine: true,
+                diversity_lambda: 0.0,
+                ..Default::default()
+            },
         );
         assert!(!raw.is_empty() && !refined.is_empty());
         let best = |cs: &[Candidate]| {
-            cs.iter().filter(|c| c.gap > 0).map(|c| c.diff).fold(f64::INFINITY, f64::min)
+            cs.iter()
+                .filter(|c| c.gap > 0)
+                .map(|c| c.diff)
+                .fold(f64::INFINITY, f64::min)
         };
         assert!(
             best(&refined) <= best(&raw) + 1e-9,

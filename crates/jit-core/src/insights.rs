@@ -373,7 +373,11 @@ mod tests {
             rows: vec![vec![Value::Null]],
         };
         let insight = render(&ctx, &CannedQuery::NoModification, &empty);
-        assert!(insight.headline.contains("No future time point"), "{}", insight.headline);
+        assert!(
+            insight.headline.contains("No future time point"),
+            "{}",
+            insight.headline
+        );
     }
 
     #[test]
@@ -388,11 +392,7 @@ mod tests {
         let q = CannedQuery::DominantFeature { feature: "income".to_string() };
         let full = ResultSet {
             columns: vec!["t".to_string()],
-            rows: vec![
-                vec![Value::Int(0)],
-                vec![Value::Int(1)],
-                vec![Value::Int(2)],
-            ],
+            rows: vec![vec![Value::Int(0)], vec![Value::Int(1)], vec![Value::Int(2)]],
         };
         assert!(render(&ctx, &q, &full).headline.starts_with("Yes"));
         let partial = ResultSet {

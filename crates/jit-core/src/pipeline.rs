@@ -157,9 +157,7 @@ impl JustInTime {
         let scales = if rows.is_empty() {
             vec![1.0; schema.dim()]
         } else {
-            jit_math::Standardizer::fit(&Matrix::from_rows(&rows))
-                .stds()
-                .to_vec()
+            jit_math::Standardizer::fit(&Matrix::from_rows(&rows)).stds().to_vec()
         };
         let (domain, _immutable) = jit_constraints::set::domain_constraints(schema);
         Ok(JustInTime { config, schema: schema.clone(), models, scales, domain })
@@ -267,16 +265,13 @@ impl JustInTime {
         if self.config.parallel_generators && times.len() > 1 {
             let mut results: Vec<Result<Vec<Candidate>, SessionError>> =
                 Vec::with_capacity(times.len());
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = times
-                    .iter()
-                    .map(|&t| scope.spawn(move |_| run_one(t)))
-                    .collect();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> =
+                    times.iter().map(|&t| scope.spawn(move || run_one(t))).collect();
                 for h in handles {
                     results.push(h.join().expect("generator thread panicked"));
                 }
-            })
-            .expect("crossbeam scope failed");
+            });
             let mut all = Vec::new();
             for r in results {
                 all.extend(r?);
@@ -457,9 +452,8 @@ mod tests {
         let system = trained(2);
         let mut prefs = ConstraintSet::new();
         prefs.add(gap().le(1.0));
-        let session = system
-            .session(&LendingClubGenerator::john(), &prefs, None)
-            .unwrap();
+        let session =
+            system.session(&LendingClubGenerator::john(), &prefs, None).unwrap();
         for c in session.candidates() {
             assert!(c.gap <= 1, "gap constraint leaked: {}", c.gap);
         }
@@ -489,10 +483,11 @@ mod tests {
     #[test]
     fn dimension_errors() {
         let system = trained(1);
-        let err = system
-            .session(&[1.0, 2.0], &ConstraintSet::new(), None)
-            .unwrap_err();
-        assert!(matches!(err, SessionError::DimensionMismatch { expected: 6, found: 2 }));
+        let err = system.session(&[1.0, 2.0], &ConstraintSet::new(), None).unwrap_err();
+        assert!(matches!(
+            err,
+            SessionError::DimensionMismatch { expected: 6, found: 2 }
+        ));
     }
 
     #[test]
@@ -501,9 +496,8 @@ mod tests {
         let system = trained(1);
         let mut prefs = ConstraintSet::new();
         prefs.add(feature("fico_score").ge(700.0));
-        let err = system
-            .session(&LendingClubGenerator::john(), &prefs, None)
-            .unwrap_err();
+        let err =
+            system.session(&LendingClubGenerator::john(), &prefs, None).unwrap_err();
         assert!(matches!(err, SessionError::UnknownFeature(f) if f == "fico_score"));
     }
 
@@ -512,10 +506,7 @@ mod tests {
         use jit_temporal::update::Override;
         let system = trained(2);
         let mut update = system.default_update_fn();
-        update.override_feature(
-            "debt",
-            Override::Trajectory(vec![1_000.0, 0.0]),
-        );
+        update.override_feature("debt", Override::Trajectory(vec![1_000.0, 0.0]));
         let session = system
             .session(&LendingClubGenerator::john(), &ConstraintSet::new(), Some(update))
             .unwrap();

@@ -221,9 +221,7 @@ mod tests {
     #[test]
     fn q4_minimal_diff_row() {
         let db = demo_db();
-        let rs = db
-            .execute(&CannedQuery::MinimalOverallModification.sql())
-            .unwrap();
+        let rs = db.execute(&CannedQuery::MinimalOverallModification.sql()).unwrap();
         let diff = rs.column_index("diff").unwrap();
         assert_eq!(rs.rows[0][diff].as_f64(), Some(0.0));
     }
@@ -241,21 +239,15 @@ mod tests {
         let db = demo_db();
         // α = 0.55: every time point has a candidate above it -> turning
         // point is 0.
-        let rs = db
-            .execute(&CannedQuery::TurningPoint { alpha: 0.55 }.sql())
-            .unwrap();
+        let rs = db.execute(&CannedQuery::TurningPoint { alpha: 0.55 }.sql()).unwrap();
         assert_eq!(rs.scalar().unwrap().as_i64(), Some(0));
         // α = 0.65: t=0 (max 0.62) fails, t=1 (0.71) and t=2 (0.80) pass ->
         // turning point 1.
-        let rs = db
-            .execute(&CannedQuery::TurningPoint { alpha: 0.65 }.sql())
-            .unwrap();
+        let rs = db.execute(&CannedQuery::TurningPoint { alpha: 0.65 }.sql()).unwrap();
         assert_eq!(rs.scalar().unwrap().as_i64(), Some(1));
         // α = 0.9: no time qualifies; the last failing time is 2, nothing
         // is beyond it -> NULL (no turning point).
-        let rs = db
-            .execute(&CannedQuery::TurningPoint { alpha: 0.9 }.sql())
-            .unwrap();
+        let rs = db.execute(&CannedQuery::TurningPoint { alpha: 0.9 }.sql()).unwrap();
         assert!(rs.scalar().unwrap().is_null());
     }
 

@@ -53,7 +53,10 @@ pub fn insert_temporal_inputs(
 }
 
 /// Inserts candidate rows.
-pub fn insert_candidates(db: &Database, candidates: &[Candidate]) -> Result<(), DbError> {
+pub fn insert_candidates(
+    db: &Database,
+    candidates: &[Candidate],
+) -> Result<(), DbError> {
     let rows: Vec<Vec<Value>> = candidates
         .iter()
         .map(|c| {
@@ -118,13 +121,10 @@ mod tests {
         assert_eq!(db.row_count(CANDIDATES_TABLE).unwrap(), 2);
         assert_eq!(db.row_count(TEMPORAL_INPUTS_TABLE).unwrap(), 1);
 
-        let rs = db
-            .execute("SELECT income FROM temporal_inputs WHERE time = 0")
-            .unwrap();
+        let rs =
+            db.execute("SELECT income FROM temporal_inputs WHERE time = 0").unwrap();
         assert_eq!(rs.scalar().unwrap().as_f64(), Some(46_000.0));
-        let rs = db
-            .execute("SELECT p FROM candidates WHERE time = 1")
-            .unwrap();
+        let rs = db.execute("SELECT p FROM candidates WHERE time = 1").unwrap();
         assert_eq!(rs.scalar().unwrap().as_f64(), Some(0.71));
     }
 
@@ -163,9 +163,7 @@ mod tests {
         insert_candidates(&db, &[sample_candidate(0), zero_gap]).unwrap();
 
         // Q1 works against the real schema.
-        let rs = db
-            .execute("SELECT Min(time) FROM candidates WHERE diff = 0")
-            .unwrap();
+        let rs = db.execute("SELECT Min(time) FROM candidates WHERE diff = 0").unwrap();
         assert_eq!(rs.scalar().unwrap().as_i64(), Some(1));
         // Q3's join works against the real schema.
         let rs = db

@@ -12,7 +12,8 @@ use std::io::{BufRead, BufWriter, Write};
 use std::path::Path;
 
 /// Column header written/expected by this module.
-pub const HEADER: &str = "year,age,household,income,debt,seniority,loan_amount,approved";
+pub const HEADER: &str =
+    "year,age,household,income,debt,seniority,loan_amount,approved";
 
 /// Errors raised while reading loan-record CSV.
 #[derive(Debug)]
@@ -115,7 +116,8 @@ pub fn read_records<R: BufRead>(input: R) -> Result<Vec<LoanRecord>, CsvError> {
             line: line_no,
             reason: format!("year ({:?}): {e}", parts[0]),
         })?;
-        let features = vec![field(1)?, field(2)?, field(3)?, field(4)?, field(5)?, field(6)?];
+        let features =
+            vec![field(1)?, field(2)?, field(3)?, field(4)?, field(5)?, field(6)?];
         let approved = match parts[7].trim() {
             "1" => true,
             "0" => false,
@@ -132,7 +134,9 @@ pub fn read_records<R: BufRead>(input: R) -> Result<Vec<LoanRecord>, CsvError> {
 }
 
 /// Parses records from a file path.
-pub fn read_records_from_path<P: AsRef<Path>>(path: P) -> Result<Vec<LoanRecord>, CsvError> {
+pub fn read_records_from_path<P: AsRef<Path>>(
+    path: P,
+) -> Result<Vec<LoanRecord>, CsvError> {
     let file = std::fs::File::open(path)?;
     read_records(std::io::BufReader::new(file))
 }
@@ -176,8 +180,7 @@ mod tests {
     #[test]
     fn rejects_wrong_field_count() {
         let data = format!("{HEADER}\n2010,1,2,3\n");
-        let err =
-            read_records(std::io::BufReader::new(data.as_bytes())).unwrap_err();
+        let err = read_records(std::io::BufReader::new(data.as_bytes())).unwrap_err();
         match err {
             CsvError::Malformed { line, reason } => {
                 assert_eq!(line, 2);
@@ -190,16 +193,14 @@ mod tests {
     #[test]
     fn rejects_non_numeric_field() {
         let data = format!("{HEADER}\n2010,abc,0,1,2,3,4,1\n");
-        let err =
-            read_records(std::io::BufReader::new(data.as_bytes())).unwrap_err();
+        let err = read_records(std::io::BufReader::new(data.as_bytes())).unwrap_err();
         assert!(matches!(err, CsvError::Malformed { line: 2, .. }));
     }
 
     #[test]
     fn rejects_bad_approved_flag() {
         let data = format!("{HEADER}\n2010,30,0,50000,1000,5,10000,yes\n");
-        let err =
-            read_records(std::io::BufReader::new(data.as_bytes())).unwrap_err();
+        let err = read_records(std::io::BufReader::new(data.as_bytes())).unwrap_err();
         match err {
             CsvError::Malformed { reason, .. } => assert!(reason.contains("0/1")),
             other => panic!("unexpected error {other}"),
@@ -209,8 +210,7 @@ mod tests {
     #[test]
     fn skips_blank_lines() {
         let data = format!("{HEADER}\n\n2010,30,0,50000,1000,5,10000,1\n\n");
-        let records =
-            read_records(std::io::BufReader::new(data.as_bytes())).unwrap();
+        let records = read_records(std::io::BufReader::new(data.as_bytes())).unwrap();
         assert_eq!(records.len(), 1);
         assert!(records[0].approved);
     }

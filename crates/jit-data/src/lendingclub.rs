@@ -124,10 +124,7 @@ impl LendingClubGenerator {
 
     /// Generates the full 2007–2018 record stream.
     pub fn all_records(&self) -> Vec<LoanRecord> {
-        self.years()
-            .into_iter()
-            .flat_map(|y| self.records_for_year(y))
-            .collect()
+        self.years().into_iter().flat_map(|y| self.records_for_year(y)).collect()
     }
 
     fn sample_record(&self, year: u32, rng: &mut Rng) -> LoanRecord {
@@ -144,8 +141,9 @@ impl LendingClubGenerator {
         // Income: lognormal with wage growth over the years and a
         // seniority premium.
         let base_income = 42_000.0 + 1_500.0 * yr;
-        let income = (base_income * (0.25 * (seniority / 10.0) + rng.normal_with(0.0, 0.45)).exp())
-            .clamp(8_000.0, 900_000.0);
+        let income = (base_income
+            * (0.25 * (seniority / 10.0) + rng.normal_with(0.0, 0.45)).exp())
+        .clamp(8_000.0, 900_000.0);
         // Home ownership rises with age.
         let own_prob = 0.7 * sigmoid((age - 35.0) / 8.0);
         let household = if rng.bernoulli(own_prob) { 1.0 } else { 0.0 };
@@ -200,7 +198,8 @@ impl LendingClubGenerator {
             _ => 0.0,
         };
 
-        w_income * (income / 52_000.0).ln() - w_dti * (debt_load - 0.34)
+        w_income * (income / 52_000.0).ln()
+            - w_dti * (debt_load - 0.34)
             - 1.4 * (lti - 0.35)
             + 0.35 * household
             + 0.05 * seniority.min(15.0)
@@ -234,13 +233,25 @@ impl LendingClubGenerator {
         vec![
             ("john-high-debt".to_string(), Self::john()),
             // Income too low for the requested amount.
-            ("amara-low-income".to_string(), vec![24.0, 0.0, 21_000.0, 700.0, 1.0, 30_000.0]),
+            (
+                "amara-low-income".to_string(),
+                vec![24.0, 0.0, 21_000.0, 700.0, 1.0, 30_000.0],
+            ),
             // Debt-to-income ratio extreme despite a high income.
-            ("bianca-dti".to_string(), vec![41.0, 1.0, 95_000.0, 7_200.0, 12.0, 18_000.0]),
+            (
+                "bianca-dti".to_string(),
+                vec![41.0, 1.0, 95_000.0, 7_200.0, 12.0, 18_000.0],
+            ),
             // Loan-to-income far above policy.
-            ("carlos-oversized-loan".to_string(), vec![33.0, 0.0, 38_000.0, 900.0, 6.0, 55_000.0]),
+            (
+                "carlos-oversized-loan".to_string(),
+                vec![33.0, 0.0, 38_000.0, 900.0, 6.0, 55_000.0],
+            ),
             // Young, no seniority, renter, thin margins on every factor.
-            ("dana-thin-file".to_string(), vec![21.0, 0.0, 26_000.0, 850.0, 0.0, 15_000.0]),
+            (
+                "dana-thin-file".to_string(),
+                vec![21.0, 0.0, 26_000.0, 850.0, 0.0, 15_000.0],
+            ),
         ]
     }
 }

@@ -167,10 +167,7 @@ impl FeatureSchema {
     /// Applies per-feature sanitization to a full profile vector.
     pub fn sanitize_row(&self, row: &[f64]) -> Vec<f64> {
         assert_eq!(row.len(), self.dim(), "row dimension mismatch");
-        row.iter()
-            .zip(&self.features)
-            .map(|(v, f)| f.sanitize(*v))
-            .collect()
+        row.iter().zip(&self.features).map(|(v, f)| f.sanitize(*v)).collect()
     }
 
     /// `true` when every coordinate lies within its feature's bounds.
@@ -315,10 +312,7 @@ mod tests {
         assert_eq!(s.index_of("income"), Some(lending_idx::INCOME));
         assert_eq!(s.index_of("nonexistent"), None);
         assert_eq!(s.feature(lending_idx::AGE).mutability, Mutability::Immutable);
-        assert_eq!(
-            s.feature(lending_idx::DEBT).mutability,
-            Mutability::Actionable
-        );
+        assert_eq!(s.feature(lending_idx::DEBT).mutability, Mutability::Actionable);
         assert_eq!(s.names()[5], "loan_amount");
     }
 

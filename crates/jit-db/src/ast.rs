@@ -338,7 +338,8 @@ mod tests {
 
     #[test]
     fn contains_aggregate_walks_tree() {
-        let agg = Expr::Aggregate { func: AggFunc::Min, arg: Some(Box::new(Expr::col("x"))) };
+        let agg =
+            Expr::Aggregate { func: AggFunc::Min, arg: Some(Box::new(Expr::col("x"))) };
         let plus = Expr::Binary {
             lhs: Box::new(agg),
             op: BinOp::Add,

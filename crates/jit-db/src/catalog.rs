@@ -58,12 +58,8 @@ impl Database {
 
     /// Names of all tables, sorted.
     pub fn table_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .tables
-            .read()
-            .values()
-            .map(|t| t.schema.name.clone())
-            .collect();
+        let mut names: Vec<String> =
+            self.tables.read().values().map(|t| t.schema.name.clone()).collect();
         names.sort();
         names
     }

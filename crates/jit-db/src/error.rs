@@ -54,10 +54,9 @@ impl fmt::Display for DbError {
             DbError::DuplicateTable(t) => write!(f, "table {t:?} already exists"),
             DbError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
             DbError::AmbiguousColumn(c) => write!(f, "ambiguous column {c:?}"),
-            DbError::TypeMismatch { table, column, value } => write!(
-                f,
-                "type mismatch inserting {value} into {table}.{column}"
-            ),
+            DbError::TypeMismatch { table, column, value } => {
+                write!(f, "type mismatch inserting {value} into {table}.{column}")
+            }
             DbError::ArityMismatch { expected, found } => {
                 write!(f, "expected {expected} values, found {found}")
             }

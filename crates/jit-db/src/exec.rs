@@ -40,7 +40,11 @@ impl RowLayout {
     }
 
     /// Resolves a column reference to a flat index.
-    fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<Option<usize>, DbError> {
+    fn resolve(
+        &self,
+        qualifier: Option<&str>,
+        name: &str,
+    ) -> Result<Option<usize>, DbError> {
         let mut found: Option<usize> = None;
         for b in &self.bindings {
             if let Some(q) = qualifier {
@@ -48,7 +52,9 @@ impl RowLayout {
                     continue;
                 }
             }
-            if let Some(ci) = b.columns.iter().position(|c| c.eq_ignore_ascii_case(name)) {
+            if let Some(ci) =
+                b.columns.iter().position(|c| c.eq_ignore_ascii_case(name))
+            {
                 if found.is_some() {
                     return Err(DbError::AmbiguousColumn(name.to_string()));
                 }
@@ -70,16 +76,13 @@ impl RowLayout {
     }
 
     fn binding_columns(&self, name: &str) -> Option<Vec<(String, usize)>> {
-        self.bindings
-            .iter()
-            .find(|b| b.name.eq_ignore_ascii_case(name))
-            .map(|b| {
-                b.columns
-                    .iter()
-                    .enumerate()
-                    .map(|(i, c)| (c.clone(), b.offset + i))
-                    .collect()
-            })
+        self.bindings.iter().find(|b| b.name.eq_ignore_ascii_case(name)).map(|b| {
+            b.columns
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (c.clone(), b.offset + i))
+                .collect()
+        })
     }
 }
 
@@ -206,11 +209,12 @@ impl<'a> Executor<'a> {
         }
 
         // ---- group / aggregate / project ---------------------------------
-        let has_aggregates = q
-            .projections
-            .iter()
-            .any(|p| matches!(p, Projection::Expr { expr, .. } if expr.contains_aggregate()))
-            || q.having.as_ref().is_some_and(Expr::contains_aggregate);
+        let has_aggregates = q.projections.iter().any(
+            |p| matches!(p, Projection::Expr { expr, .. } if expr.contains_aggregate()),
+        ) || q
+            .having
+            .as_ref()
+            .is_some_and(Expr::contains_aggregate);
 
         let columns = output_columns(&q.projections, &layout)?;
         let mut output: Vec<(Vec<Value>, Vec<Value>)> = Vec::new(); // (projected, sort keys)
@@ -223,7 +227,8 @@ impl<'a> Executor<'a> {
                 let mut map: HashMap<String, Vec<Vec<Value>>> = HashMap::new();
                 let mut order: Vec<String> = Vec::new();
                 for row in rows {
-                    let frame = Frame { layout: &layout, row: &row, aliases: &my_aliases };
+                    let frame =
+                        Frame { layout: &layout, row: &row, aliases: &my_aliases };
                     let mut frames: Vec<Frame<'_>> = env.to_vec();
                     frames.push(frame);
                     let mut key = String::new();
@@ -236,7 +241,10 @@ impl<'a> Executor<'a> {
                     }
                     map.entry(key).or_default().push(row);
                 }
-                order.into_iter().map(|k| map.remove(&k).expect("key present")).collect()
+                order
+                    .into_iter()
+                    .map(|k| map.remove(&k).expect("key present"))
+                    .collect()
             };
 
             for group in &groups {
@@ -267,8 +275,12 @@ impl<'a> Executor<'a> {
                         continue;
                     }
                 }
-                let projected =
-                    self.project_row(&q.projections, &layout, &frames, Some(&group_ctx))?;
+                let projected = self.project_row(
+                    &q.projections,
+                    &layout,
+                    &frames,
+                    Some(&group_ctx),
+                )?;
                 let keys =
                     self.sort_keys(q, &frames, Some(&group_ctx), &projected, &columns)?;
                 output.push((projected, keys));
@@ -283,7 +295,8 @@ impl<'a> Executor<'a> {
                 let frame = Frame { layout: &layout, row, aliases: &my_aliases };
                 let mut frames: Vec<Frame<'_>> = env.to_vec();
                 frames.push(frame);
-                let projected = self.project_row(&q.projections, &layout, &frames, None)?;
+                let projected =
+                    self.project_row(&q.projections, &layout, &frames, None)?;
                 let keys = self.sort_keys(q, &frames, None, &projected, &columns)?;
                 output.push((projected, keys));
             }
@@ -293,10 +306,8 @@ impl<'a> Executor<'a> {
         if q.distinct {
             let mut seen = std::collections::HashSet::new();
             output.retain(|(projected, _)| {
-                let key: String = projected
-                    .iter()
-                    .map(|v| v.group_key() + "\u{1}")
-                    .collect();
+                let key: String =
+                    projected.iter().map(|v| v.group_key() + "\u{1}").collect();
                 seen.insert(key)
             });
         }
@@ -447,9 +458,8 @@ impl<'a> Executor<'a> {
                 }
                 let v = self.eval(lhs, frames, group)?;
                 let values = self.subquery_column(subquery, frames)?;
-                let holds = |x: &Value| -> bool {
-                    compare_values(&v, *op, x).unwrap_or(false)
-                };
+                let holds =
+                    |x: &Value| -> bool { compare_values(&v, *op, x).unwrap_or(false) };
                 let result = match quantifier {
                     Quantifier::All => values.iter().all(holds),
                     Quantifier::Any => values.iter().any(holds),
@@ -515,8 +525,7 @@ impl<'a> Executor<'a> {
         }
         match (a.as_f64(), b.as_f64()) {
             (Some(x), Some(y)) => {
-                let both_int =
-                    matches!((&a, &b), (Value::Int(_), Value::Int(_)));
+                let both_int = matches!((&a, &b), (Value::Int(_), Value::Int(_)));
                 let out = match op {
                     BinOp::Add => x + y,
                     BinOp::Sub => x - y,
@@ -579,14 +588,12 @@ impl<'a> Executor<'a> {
         }
         Ok(match func {
             AggFunc::Count => Value::Int(values.len() as i64),
-            AggFunc::Min => values
-                .into_iter()
-                .min_by(|a, b| a.total_cmp(b))
-                .unwrap_or(Value::Null),
-            AggFunc::Max => values
-                .into_iter()
-                .max_by(|a, b| a.total_cmp(b))
-                .unwrap_or(Value::Null),
+            AggFunc::Min => {
+                values.into_iter().min_by(|a, b| a.total_cmp(b)).unwrap_or(Value::Null)
+            }
+            AggFunc::Max => {
+                values.into_iter().max_by(|a, b| a.total_cmp(b)).unwrap_or(Value::Null)
+            }
             AggFunc::Sum | AggFunc::Avg => {
                 if values.is_empty() {
                     return Ok(Value::Null);
@@ -677,8 +684,10 @@ fn equi_join_keys(
     let Expr::Binary { lhs, op: BinOp::Eq, rhs } = on else {
         return Ok(None);
     };
-    let (Expr::Column { qualifier: q1, name: n1 }, Expr::Column { qualifier: q2, name: n2 }) =
-        (lhs.as_ref(), rhs.as_ref())
+    let (
+        Expr::Column { qualifier: q1, name: n1 },
+        Expr::Column { qualifier: q2, name: n2 },
+    ) = (lhs.as_ref(), rhs.as_ref())
     else {
         return Ok(None);
     };
@@ -688,7 +697,8 @@ fn equi_join_keys(
                     rn: &str|
      -> Result<Option<(usize, usize)>, DbError> {
         // Right side must reference the newly joined binding.
-        let right_matches = rq.as_deref().is_none_or(|q| q.eq_ignore_ascii_case(right_binding));
+        let right_matches =
+            rq.as_deref().is_none_or(|q| q.eq_ignore_ascii_case(right_binding));
         if !right_matches {
             return Ok(None);
         }
@@ -723,7 +733,9 @@ fn projection_aliases(projections: &[Projection]) -> Vec<(String, Expr)> {
     projections
         .iter()
         .filter_map(|p| match p {
-            Projection::Expr { expr, alias: Some(a) } => Some((a.clone(), expr.clone())),
+            Projection::Expr { expr, alias: Some(a) } => {
+                Some((a.clone(), expr.clone()))
+            }
             _ => None,
         })
         .collect()

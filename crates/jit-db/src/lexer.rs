@@ -274,11 +274,7 @@ mod tests {
     fn qualified_names() {
         assert_eq!(
             toks("cnd.income"),
-            vec![
-                Token::Ident("cnd".into()),
-                Token::Dot,
-                Token::Ident("income".into())
-            ]
+            vec![Token::Ident("cnd".into()), Token::Dot, Token::Ident("income".into())]
         );
     }
 

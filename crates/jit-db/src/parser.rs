@@ -21,8 +21,8 @@ pub fn parse_statement(sql: &str) -> Result<Statement, DbError> {
 
 /// Keywords that terminate a bare (AS-less) alias position.
 const CLAUSE_KEYWORDS: &[&str] = &[
-    "where", "group", "having", "order", "limit", "inner", "join", "on", "as",
-    "and", "or", "not", "union", "values", "set",
+    "where", "group", "having", "order", "limit", "inner", "join", "on", "as", "and",
+    "or", "not", "union", "values", "set",
 ];
 
 struct Parser {
@@ -186,8 +186,7 @@ impl Parser {
         self.expect_kw("delete")?;
         self.expect_kw("from")?;
         let table = self.ident("table name")?;
-        let predicate =
-            if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let predicate = if self.eat_kw("where") { Some(self.expr()?) } else { None };
         Ok(Statement::Delete { table, predicate })
     }
 
@@ -343,7 +342,8 @@ impl Parser {
         let mut lhs = self.and_expr()?;
         while self.eat_kw("or") {
             let rhs = self.and_expr()?;
-            lhs = Expr::Binary { lhs: Box::new(lhs), op: BinOp::Or, rhs: Box::new(rhs) };
+            lhs =
+                Expr::Binary { lhs: Box::new(lhs), op: BinOp::Or, rhs: Box::new(rhs) };
         }
         Ok(lhs)
     }
@@ -352,7 +352,8 @@ impl Parser {
         let mut lhs = self.not_expr()?;
         while self.eat_kw("and") {
             let rhs = self.not_expr()?;
-            lhs = Expr::Binary { lhs: Box::new(lhs), op: BinOp::And, rhs: Box::new(rhs) };
+            lhs =
+                Expr::Binary { lhs: Box::new(lhs), op: BinOp::And, rhs: Box::new(rhs) };
         }
         Ok(lhs)
     }
@@ -378,9 +379,7 @@ impl Parser {
 
         // [NOT] BETWEEN / [NOT] IN
         let negated_prefix = if self.peek_kw("not")
-            && self
-                .peek2()
-                .is_some_and(|t| t.is_kw("between") || t.is_kw("in"))
+            && self.peek2().is_some_and(|t| t.is_kw("between") || t.is_kw("in"))
         {
             self.pos += 1;
             true
@@ -625,12 +624,10 @@ mod tests {
 
     #[test]
     fn parses_paper_q3_shape() {
-        let s = sel(
-            "SELECT distinct time as t FROM candidates WHERE EXISTS \
+        let s = sel("SELECT distinct time as t FROM candidates WHERE EXISTS \
              (SELECT * FROM candidates as cnd INNER JOIN temporal_inputs as ti \
               ON ti.time = cnd.time WHERE cnd.time = t AND ((gap = 0) OR (gap = 1 \
-              AND cnd.income != ti.income)))",
-        );
+              AND cnd.income != ti.income)))");
         assert!(s.distinct);
         match &s.projections[0] {
             Projection::Expr { alias: Some(a), .. } => assert_eq!(a, "t"),
@@ -652,10 +649,8 @@ mod tests {
 
     #[test]
     fn parses_paper_q6_all_quantifier() {
-        let s = sel(
-            "SELECT Min(time) FROM candidates WHERE time >= ALL \
-             (SELECT time as t FROM candidates WHERE gap = 0)",
-        );
+        let s = sel("SELECT Min(time) FROM candidates WHERE time >= ALL \
+             (SELECT time as t FROM candidates WHERE gap = 0)");
         let Some(Expr::QuantifiedCmp { op, quantifier, .. }) = &s.where_clause else {
             panic!("expected quantified comparison");
         };
@@ -665,10 +660,9 @@ mod tests {
 
     #[test]
     fn parses_create_and_insert() {
-        let c = parse_statement(
-            "CREATE TABLE t (a INTEGER, b REAL, c TEXT, d BOOLEAN)",
-        )
-        .unwrap();
+        let c =
+            parse_statement("CREATE TABLE t (a INTEGER, b REAL, c TEXT, d BOOLEAN)")
+                .unwrap();
         match c {
             Statement::CreateTable { name, columns } => {
                 assert_eq!(name, "t");
@@ -677,10 +671,8 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        let i = parse_statement(
-            "INSERT INTO t (a, b) VALUES (1, 2.5), (3, 4.5)",
-        )
-        .unwrap();
+        let i =
+            parse_statement("INSERT INTO t (a, b) VALUES (1, 2.5), (3, 4.5)").unwrap();
         match i {
             Statement::Insert { table, columns, rows } => {
                 assert_eq!(table, "t");
@@ -711,7 +703,9 @@ mod tests {
     fn arithmetic_precedence() {
         let s = sel("SELECT a + b * 2 FROM t");
         match &s.projections[0] {
-            Projection::Expr { expr: Expr::Binary { op: BinOp::Add, rhs, .. }, .. } => {
+            Projection::Expr {
+                expr: Expr::Binary { op: BinOp::Add, rhs, .. }, ..
+            } => {
                 assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("{other:?}"),
@@ -734,10 +728,7 @@ mod tests {
         let s = sel("SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b IN (1, 2, 3)");
         assert!(s.where_clause.is_some());
         let s = sel("SELECT * FROM t WHERE a NOT BETWEEN 1 AND 5");
-        assert!(matches!(
-            s.where_clause.unwrap(),
-            Expr::Between { negated: true, .. }
-        ));
+        assert!(matches!(s.where_clause.unwrap(), Expr::Between { negated: true, .. }));
         let s = sel("SELECT * FROM t WHERE a NOT IN (SELECT a FROM u)");
         assert!(matches!(
             s.where_clause.unwrap(),
@@ -748,9 +739,7 @@ mod tests {
     #[test]
     fn is_null_variants() {
         let s = sel("SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL");
-        let Expr::Binary { lhs, rhs, .. } = s.where_clause.unwrap() else {
-            panic!()
-        };
+        let Expr::Binary { lhs, rhs, .. } = s.where_clause.unwrap() else { panic!() };
         assert!(matches!(*lhs, Expr::IsNull { negated: false, .. }));
         assert!(matches!(*rhs, Expr::IsNull { negated: true, .. }));
     }
@@ -773,10 +762,8 @@ mod tests {
 
     #[test]
     fn group_by_having() {
-        let s = sel(
-            "SELECT time, COUNT(*) FROM candidates GROUP BY time \
-             HAVING COUNT(*) > 2 ORDER BY time",
-        );
+        let s = sel("SELECT time, COUNT(*) FROM candidates GROUP BY time \
+             HAVING COUNT(*) > 2 ORDER BY time");
         assert_eq!(s.group_by.len(), 1);
         assert!(s.having.is_some());
     }

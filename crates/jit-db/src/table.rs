@@ -122,8 +122,7 @@ mod tests {
     #[test]
     fn insert_and_count() {
         let mut t = table();
-        t.insert_row(vec![Value::Int(1), Value::Float(2.0), Value::from("x")])
-            .unwrap();
+        t.insert_row(vec![Value::Int(1), Value::Float(2.0), Value::from("x")]).unwrap();
         assert_eq!(t.len(), 1);
         assert!(!t.is_empty());
     }
@@ -166,9 +165,8 @@ mod tests {
     #[test]
     fn partial_insert_unknown_column() {
         let mut t = table();
-        let err = t
-            .insert_partial(&["zzz".to_string()], vec![Value::Int(1)])
-            .unwrap_err();
+        let err =
+            t.insert_partial(&["zzz".to_string()], vec![Value::Int(1)]).unwrap_err();
         assert_eq!(err, DbError::UnknownColumn("zzz".to_string()));
     }
 

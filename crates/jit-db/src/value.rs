@@ -224,7 +224,10 @@ mod tests {
             Value::Text("a".into()).compare(&Value::Text("b".into())),
             Some(Ordering::Less)
         );
-        assert_eq!(Value::Bool(false).compare(&Value::Bool(true)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Bool(false).compare(&Value::Bool(true)),
+            Some(Ordering::Less)
+        );
         assert_eq!(Value::Text("a".into()).compare(&Value::Int(1)), None);
     }
 

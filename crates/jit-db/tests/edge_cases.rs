@@ -9,11 +9,7 @@ fn db_with(values: &[(i64, Option<f64>, &str)]) -> Database {
     for (k, x, s) in values {
         db.insert_row(
             "t",
-            vec![
-                Value::Int(*k),
-                x.map_or(Value::Null, Value::Float),
-                Value::from(*s),
-            ],
+            vec![Value::Int(*k), x.map_or(Value::Null, Value::Float), Value::from(*s)],
         )
         .unwrap();
     }
@@ -31,9 +27,8 @@ fn empty_table_queries() {
     let rs = db.execute("SELECT MIN(x) FROM t").unwrap();
     assert!(rs.scalar().unwrap().is_null());
     // EXISTS over empty table is false.
-    let rs = db
-        .execute("SELECT COUNT(*) FROM t WHERE EXISTS (SELECT * FROM t)")
-        .unwrap();
+    let rs =
+        db.execute("SELECT COUNT(*) FROM t WHERE EXISTS (SELECT * FROM t)").unwrap();
     assert_eq!(rs.scalar().unwrap().as_i64(), Some(0));
 }
 
@@ -56,15 +51,10 @@ fn group_by_expression_keys() {
 
 #[test]
 fn group_by_text_column_with_aggregate_expression() {
-    let db = db_with(&[
-        (1, Some(10.0), "a"),
-        (2, Some(20.0), "a"),
-        (3, Some(5.0), "b"),
-    ]);
+    let db =
+        db_with(&[(1, Some(10.0), "a"), (2, Some(20.0), "a"), (3, Some(5.0), "b")]);
     let rs = db
-        .execute(
-            "SELECT s, MAX(x) - MIN(x) AS range FROM t GROUP BY s ORDER BY s",
-        )
+        .execute("SELECT s, MAX(x) - MIN(x) AS range FROM t GROUP BY s ORDER BY s")
         .unwrap();
     assert_eq!(rs.columns, vec!["s", "range"]);
     assert_eq!(rs.rows[0][1].as_f64(), Some(10.0));
@@ -75,13 +65,9 @@ fn group_by_text_column_with_aggregate_expression() {
 fn having_without_group_by_on_scalar_aggregate() {
     let db = db_with(&[(1, Some(1.0), "a"), (2, Some(2.0), "b")]);
     // Single-group aggregate with HAVING filtering the lone group.
-    let rs = db
-        .execute("SELECT COUNT(*) FROM t HAVING COUNT(*) > 1")
-        .unwrap();
+    let rs = db.execute("SELECT COUNT(*) FROM t HAVING COUNT(*) > 1").unwrap();
     assert_eq!(rs.len(), 1);
-    let rs = db
-        .execute("SELECT COUNT(*) FROM t HAVING COUNT(*) > 5")
-        .unwrap();
+    let rs = db.execute("SELECT COUNT(*) FROM t HAVING COUNT(*) > 5").unwrap();
     assert!(rs.is_empty());
 }
 
@@ -94,11 +80,7 @@ fn having_without_aggregates_is_error() {
 
 #[test]
 fn nested_correlated_exists_two_levels() {
-    let db = db_with(&[
-        (1, Some(1.0), "a"),
-        (2, Some(2.0), "b"),
-        (3, Some(3.0), "c"),
-    ]);
+    let db = db_with(&[(1, Some(1.0), "a"), (2, Some(2.0), "b"), (3, Some(3.0), "c")]);
     // Outer row t.k; middle subquery binds u; inner references both u and
     // the outermost t (outer references must be qualified — an unqualified
     // `k` resolves against the innermost FROM first, per SQL scoping).
@@ -116,11 +98,7 @@ fn nested_correlated_exists_two_levels() {
 
 #[test]
 fn order_by_nulls_last_and_desc() {
-    let db = db_with(&[
-        (1, Some(2.0), "a"),
-        (2, None, "b"),
-        (3, Some(1.0), "c"),
-    ]);
+    let db = db_with(&[(1, Some(2.0), "a"), (2, None, "b"), (3, Some(1.0), "c")]);
     let rs = db.execute("SELECT x FROM t ORDER BY x").unwrap();
     assert_eq!(rs.rows[0][0].as_f64(), Some(1.0));
     assert!(rs.rows[2][0].is_null(), "NULLs sort last ascending");
@@ -131,13 +109,9 @@ fn order_by_nulls_last_and_desc() {
 #[test]
 fn text_comparison_and_in_list() {
     let db = db_with(&[(1, Some(1.0), "alpha"), (2, Some(2.0), "beta")]);
-    let rs = db
-        .execute("SELECT k FROM t WHERE s = 'alpha'")
-        .unwrap();
+    let rs = db.execute("SELECT k FROM t WHERE s = 'alpha'").unwrap();
     assert_eq!(rs.len(), 1);
-    let rs = db
-        .execute("SELECT k FROM t WHERE s IN ('beta', 'gamma')")
-        .unwrap();
+    let rs = db.execute("SELECT k FROM t WHERE s IN ('beta', 'gamma')").unwrap();
     assert_eq!(rs.rows[0][0].as_i64(), Some(2));
     // Strings with escaped quotes.
     db.execute("INSERT INTO t VALUES (9, 0.0, 'it''s')").unwrap();
@@ -197,14 +171,9 @@ fn drop_and_recreate_table() {
 
 #[test]
 fn distinct_on_expressions_and_aliases_in_order_by() {
-    let db = db_with(&[
-        (1, Some(1.0), "a"),
-        (2, Some(1.0), "a"),
-        (3, Some(2.0), "b"),
-    ]);
-    let rs = db
-        .execute("SELECT DISTINCT x * 2 AS dbl FROM t ORDER BY dbl DESC")
-        .unwrap();
+    let db = db_with(&[(1, Some(1.0), "a"), (2, Some(1.0), "a"), (3, Some(2.0), "b")]);
+    let rs =
+        db.execute("SELECT DISTINCT x * 2 AS dbl FROM t ORDER BY dbl DESC").unwrap();
     assert_eq!(rs.len(), 2);
     assert_eq!(rs.rows[0][0].as_f64(), Some(4.0));
     assert_eq!(rs.rows[1][0].as_f64(), Some(2.0));
@@ -213,9 +182,7 @@ fn distinct_on_expressions_and_aliases_in_order_by() {
 #[test]
 fn between_with_nulls_never_matches() {
     let db = db_with(&[(1, None, "a"), (2, Some(5.0), "b")]);
-    let rs = db
-        .execute("SELECT COUNT(*) FROM t WHERE x BETWEEN 0 AND 10")
-        .unwrap();
+    let rs = db.execute("SELECT COUNT(*) FROM t WHERE x BETWEEN 0 AND 10").unwrap();
     assert_eq!(rs.scalar().unwrap().as_i64(), Some(1));
 }
 
@@ -233,8 +200,7 @@ fn scalar_subquery_empty_is_null() {
 fn join_on_text_keys() {
     let db = db_with(&[(1, Some(1.0), "a"), (2, Some(2.0), "b")]);
     db.execute("CREATE TABLE names (s TEXT, label TEXT)").unwrap();
-    db.execute("INSERT INTO names VALUES ('a', 'first'), ('b', 'second')")
-        .unwrap();
+    db.execute("INSERT INTO names VALUES ('a', 'first'), ('b', 'second')").unwrap();
     let rs = db
         .execute(
             "SELECT t.k, names.label FROM t INNER JOIN names ON t.s = names.s \
@@ -248,14 +214,8 @@ fn join_on_text_keys() {
 
 #[test]
 fn aggregate_inside_order_by_of_grouped_query() {
-    let db = db_with(&[
-        (1, Some(10.0), "a"),
-        (2, Some(1.0), "a"),
-        (3, Some(5.0), "b"),
-    ]);
-    let rs = db
-        .execute("SELECT s FROM t GROUP BY s ORDER BY SUM(x) DESC")
-        .unwrap();
+    let db = db_with(&[(1, Some(10.0), "a"), (2, Some(1.0), "a"), (3, Some(5.0), "b")]);
+    let rs = db.execute("SELECT s FROM t GROUP BY s ORDER BY SUM(x) DESC").unwrap();
     assert_eq!(rs.rows[0][0].to_string(), "a"); // sum 11 > 5
     assert_eq!(rs.rows[1][0].to_string(), "b");
 }
@@ -265,9 +225,7 @@ fn insert_arity_errors() {
     let db = db_with(&[]);
     let err = db.execute("INSERT INTO t VALUES (1, 2.0)").unwrap_err();
     assert!(matches!(err, DbError::ArityMismatch { expected: 3, found: 2 }));
-    let err = db
-        .execute("INSERT INTO t (k) VALUES (1, 2)")
-        .unwrap_err();
+    let err = db.execute("INSERT INTO t (k) VALUES (1, 2)").unwrap_err();
     assert!(matches!(err, DbError::ArityMismatch { .. }));
 }
 

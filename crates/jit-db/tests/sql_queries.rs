@@ -21,10 +21,8 @@ fn demo_db() -> Database {
          gap INTEGER, diff REAL, p REAL)",
     )
     .unwrap();
-    db.execute(
-        "CREATE TABLE temporal_inputs (time INTEGER, income REAL, debt REAL)",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE temporal_inputs (time INTEGER, income REAL, debt REAL)")
+        .unwrap();
     db.execute(
         "INSERT INTO candidates VALUES \
          (0, 52000, 2300, 1, 6000.0, 0.61), \
@@ -47,18 +45,14 @@ fn demo_db() -> Database {
 fn q1_no_modification() {
     // Paper Q1: closest time where reapplying unchanged gets approved.
     let db = demo_db();
-    let rs = db
-        .execute("SELECT Min(time) FROM candidates WHERE diff = 0")
-        .unwrap();
+    let rs = db.execute("SELECT Min(time) FROM candidates WHERE diff = 0").unwrap();
     assert_eq!(rs.scalar().unwrap().as_i64(), Some(1));
 }
 
 #[test]
 fn q1_empty_answer_is_null() {
     let db = demo_db();
-    let rs = db
-        .execute("SELECT Min(time) FROM candidates WHERE diff = -1")
-        .unwrap();
+    let rs = db.execute("SELECT Min(time) FROM candidates WHERE diff = -1").unwrap();
     assert!(rs.scalar().unwrap().is_null());
 }
 
@@ -66,9 +60,7 @@ fn q1_empty_answer_is_null() {
 fn q2_minimal_features_set() {
     // Paper Q2: smallest set of modified features.
     let db = demo_db();
-    let rs = db
-        .execute("SELECT * FROM candidates ORDER BY gap LIMIT 1")
-        .unwrap();
+    let rs = db.execute("SELECT * FROM candidates ORDER BY gap LIMIT 1").unwrap();
     assert_eq!(rs.len(), 1);
     let gap_idx = rs.column_index("gap").unwrap();
     assert_eq!(rs.rows[0][gap_idx].as_i64(), Some(0));
@@ -90,8 +82,7 @@ fn q3_dominant_feature_income() {
     // t=0: gap-1 candidate has income 52000 != 46000 -> qualifies.
     // t=1: gap-0 candidate -> qualifies.
     // t=2: gap-1 candidates: incomes 46900 (== ti) and 46000 (!= 46900) -> qualifies.
-    let mut times: Vec<i64> =
-        rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+    let mut times: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
     times.sort_unstable();
     assert_eq!(times, vec![0, 1, 2]);
 }
@@ -123,9 +114,7 @@ fn q4_minimal_overall_modification() {
 #[test]
 fn q5_maximal_confidence() {
     let db = demo_db();
-    let rs = db
-        .execute("SELECT * FROM candidates ORDER BY p DESC LIMIT 1")
-        .unwrap();
+    let rs = db.execute("SELECT * FROM candidates ORDER BY p DESC LIMIT 1").unwrap();
     let p_idx = rs.column_index("p").unwrap();
     assert_eq!(rs.rows[0][p_idx].as_f64(), Some(0.72));
 }
@@ -224,13 +213,11 @@ fn in_subquery_and_list() {
         )
         .unwrap();
     assert_eq!(rs.scalar().unwrap().as_i64(), Some(1));
-    let rs = db
-        .execute("SELECT COUNT(*) FROM candidates WHERE time IN (0, 2)")
-        .unwrap();
+    let rs =
+        db.execute("SELECT COUNT(*) FROM candidates WHERE time IN (0, 2)").unwrap();
     assert_eq!(rs.scalar().unwrap().as_i64(), Some(4));
-    let rs = db
-        .execute("SELECT COUNT(*) FROM candidates WHERE time NOT IN (0, 2)")
-        .unwrap();
+    let rs =
+        db.execute("SELECT COUNT(*) FROM candidates WHERE time NOT IN (0, 2)").unwrap();
     assert_eq!(rs.scalar().unwrap().as_i64(), Some(2));
 }
 
@@ -286,7 +273,11 @@ fn distinct_dedupes() {
     let rs = db.execute("SELECT DISTINCT time FROM candidates").unwrap();
     assert_eq!(rs.len(), 3);
     let rs = db.execute("SELECT DISTINCT gap, time FROM candidates").unwrap();
-    assert_eq!(rs.len(), 5, "only t=2's two gap-1 rows collapse? no: (1,0),(2,0),(0,1),(2,1),(1,2) x2 -> 5");
+    assert_eq!(
+        rs.len(),
+        5,
+        "only t=2's two gap-1 rows collapse? no: (1,0),(2,0),(0,1),(2,1),(1,2) x2 -> 5"
+    );
 }
 
 #[test]
@@ -342,7 +333,9 @@ fn error_paths() {
     assert!(db.execute("SELECT * FROM ghosts").is_err());
     assert!(db.execute("SELECT Min(p) FROM candidates WHERE Min(p) > 0").is_err());
     assert!(db
-        .execute("SELECT time FROM candidates WHERE time = (SELECT time FROM candidates)")
+        .execute(
+            "SELECT time FROM candidates WHERE time = (SELECT time FROM candidates)"
+        )
         .is_err());
     // Ambiguity: `time` exists in both joined tables.
     assert!(db
@@ -365,13 +358,10 @@ fn null_handling_in_predicates() {
     let db = demo_db();
     db.execute("INSERT INTO candidates (time) VALUES (3)").unwrap();
     // NULL comparisons never match.
-    let rs = db
-        .execute("SELECT COUNT(*) FROM candidates WHERE income > 0")
-        .unwrap();
+    let rs = db.execute("SELECT COUNT(*) FROM candidates WHERE income > 0").unwrap();
     assert_eq!(rs.scalar().unwrap().as_i64(), Some(6));
-    let rs = db
-        .execute("SELECT COUNT(*) FROM candidates WHERE income IS NULL")
-        .unwrap();
+    let rs =
+        db.execute("SELECT COUNT(*) FROM candidates WHERE income IS NULL").unwrap();
     assert_eq!(rs.scalar().unwrap().as_i64(), Some(1));
     // Aggregates skip NULLs: COUNT(income) < COUNT(*).
     let rs = db.execute("SELECT COUNT(income) FROM candidates").unwrap();

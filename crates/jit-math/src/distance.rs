@@ -16,10 +16,7 @@ pub const GAP_TOLERANCE: f64 = 1e-9;
 /// [`GAP_TOLERANCE`].
 pub fn l0_gap(a: &[f64], b: &[f64]) -> usize {
     assert_eq!(a.len(), b.len(), "vector length mismatch");
-    a.iter()
-        .zip(b)
-        .filter(|(x, y)| (*x - *y).abs() > GAP_TOLERANCE)
-        .count()
+    a.iter().zip(b).filter(|(x, y)| (*x - *y).abs() > GAP_TOLERANCE).count()
 }
 
 /// l1 (Manhattan) distance.

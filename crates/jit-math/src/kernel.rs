@@ -240,10 +240,8 @@ mod tests {
     fn mmd_larger_for_shifted_distribution() {
         let mut rng = Rng::seeded(9);
         let xs: Vec<Vec<f64>> = (0..50).map(|_| vec![rng.normal()]).collect();
-        let near: Vec<Vec<f64>> =
-            (0..50).map(|_| vec![rng.normal() + 0.1]).collect();
-        let far: Vec<Vec<f64>> =
-            (0..50).map(|_| vec![rng.normal() + 3.0]).collect();
+        let near: Vec<Vec<f64>> = (0..50).map(|_| vec![rng.normal() + 0.1]).collect();
+        let far: Vec<Vec<f64>> = (0..50).map(|_| vec![rng.normal() + 3.0]).collect();
         let k = RbfKernel::new(1.0);
         assert!(mmd_squared(&k, &xs, &far) > mmd_squared(&k, &xs, &near));
     }

@@ -304,7 +304,11 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
 ///
 /// `lambda` must be positive: it both regularizes and guarantees the normal
 /// matrix is SPD so Cholesky applies.
-pub fn ridge_regression(x: &Matrix, y: &[f64], lambda: f64) -> Result<Vec<f64>, MatrixError> {
+pub fn ridge_regression(
+    x: &Matrix,
+    y: &[f64],
+    lambda: f64,
+) -> Result<Vec<f64>, MatrixError> {
     assert!(lambda > 0.0, "ridge lambda must be positive");
     if x.rows() != y.len() {
         return Err(MatrixError::ShapeMismatch);

@@ -117,10 +117,7 @@ impl Rng {
             target -= w;
         }
         // Floating point slack: return last positive-weight index.
-        weights
-            .iter()
-            .rposition(|w| *w > 0.0)
-            .expect("at least one positive weight")
+        weights.iter().rposition(|w| *w > 0.0).expect("at least one positive weight")
     }
 
     /// Uniformly picks one element of a non-empty slice.

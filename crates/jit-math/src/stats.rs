@@ -24,7 +24,13 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// A fresh, empty accumulator.
     pub fn new() -> Self {
-        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Feeds one observation.
@@ -226,11 +232,7 @@ impl Standardizer {
     /// Inverse of [`Standardizer::transform_row`].
     pub fn inverse_row(&self, z: &[f64]) -> Vec<f64> {
         assert_eq!(z.len(), self.dim(), "feature dimension mismatch");
-        z.iter()
-            .zip(&self.means)
-            .zip(&self.stds)
-            .map(|((v, m), s)| v * s + m)
-            .collect()
+        z.iter().zip(&self.means).zip(&self.stds).map(|((v, m), s)| v * s + m).collect()
     }
 
     /// Whitens every row of a matrix.
@@ -316,11 +318,8 @@ mod tests {
 
     #[test]
     fn standardizer_roundtrip() {
-        let x = Matrix::from_rows(&[
-            vec![1.0, 100.0],
-            vec![2.0, 200.0],
-            vec![3.0, 300.0],
-        ]);
+        let x =
+            Matrix::from_rows(&[vec![1.0, 100.0], vec![2.0, 200.0], vec![3.0, 300.0]]);
         let s = Standardizer::fit(&x);
         let row = [2.5, 150.0];
         let z = s.transform_row(&row);
@@ -332,12 +331,7 @@ mod tests {
 
     #[test]
     fn standardizer_whitens_to_zero_mean_unit_var() {
-        let x = Matrix::from_rows(&[
-            vec![10.0],
-            vec![20.0],
-            vec![30.0],
-            vec![40.0],
-        ]);
+        let x = Matrix::from_rows(&[vec![10.0], vec![20.0], vec![30.0], vec![40.0]]);
         let s = Standardizer::fit(&x);
         let z = s.transform(&x);
         let vals = z.col(0);

@@ -262,11 +262,8 @@ mod tests {
         for _ in 0..n {
             let upper = rng.bernoulli(0.5);
             let t = rng.uniform(0.0, std::f64::consts::PI);
-            let (x, y) = if upper {
-                (t.cos(), t.sin())
-            } else {
-                (1.0 - t.cos(), 0.5 - t.sin())
-            };
+            let (x, y) =
+                if upper { (t.cos(), t.sin()) } else { (1.0 - t.cos(), 0.5 - t.sin()) };
             rows.push(vec![x + 0.05 * rng.normal(), y + 0.05 * rng.normal()]);
             labels.push(upper);
         }

@@ -37,7 +37,11 @@ impl Dataset {
     /// # Panics
     /// Panics when lengths mismatch, rows are ragged, or any weight is
     /// negative/non-finite.
-    pub fn from_weighted_rows(rows: Vec<Vec<f64>>, labels: Vec<bool>, weights: Vec<f64>) -> Self {
+    pub fn from_weighted_rows(
+        rows: Vec<Vec<f64>>,
+        labels: Vec<bool>,
+        weights: Vec<f64>,
+    ) -> Self {
         assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
         assert_eq!(rows.len(), weights.len(), "rows/weights length mismatch");
         if let Some(first) = rows.first() {
@@ -131,7 +135,11 @@ impl Dataset {
     ///
     /// # Panics
     /// Panics when `test_fraction` is outside `(0, 1)`.
-    pub fn stratified_split(&self, test_fraction: f64, rng: &mut Rng) -> (Dataset, Dataset) {
+    pub fn stratified_split(
+        &self,
+        test_fraction: f64,
+        rng: &mut Rng,
+    ) -> (Dataset, Dataset) {
         assert!(
             test_fraction > 0.0 && test_fraction < 1.0,
             "test_fraction must be in (0,1)"
@@ -198,7 +206,8 @@ mod tests {
     use super::*;
 
     fn toy(n: usize) -> Dataset {
-        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (2 * i) as f64]).collect();
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|i| vec![i as f64, (2 * i) as f64]).collect();
         let labels: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
         Dataset::from_rows(rows, labels)
     }
@@ -257,12 +266,8 @@ mod tests {
         let mut rng = Rng::seeded(2);
         let (train, test) = d.stratified_split(0.2, &mut rng);
         // Reconstruct multiset of first coordinates.
-        let mut all: Vec<i64> = train
-            .rows()
-            .iter()
-            .chain(test.rows())
-            .map(|r| r[0] as i64)
-            .collect();
+        let mut all: Vec<i64> =
+            train.rows().iter().chain(test.rows()).map(|r| r[0] as i64).collect();
         all.sort_unstable();
         assert_eq!(all, (0..50).collect::<Vec<i64>>());
     }
@@ -315,11 +320,7 @@ mod tests {
 
     #[test]
     fn iter_yields_triples() {
-        let d = Dataset::from_weighted_rows(
-            vec![vec![1.0]],
-            vec![true],
-            vec![2.0],
-        );
+        let d = Dataset::from_weighted_rows(vec![vec![1.0]], vec![true], vec![2.0]);
         let (row, label, weight) = d.iter().next().unwrap();
         assert_eq!(row, &[1.0]);
         assert!(label);

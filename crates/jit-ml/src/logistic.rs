@@ -27,7 +27,12 @@ pub struct LogisticParams {
 
 impl Default for LogisticParams {
     fn default() -> Self {
-        LogisticParams { epochs: 200, learning_rate: 0.1, l2: 1e-4, batch_size: Some(64) }
+        LogisticParams {
+            epochs: 200,
+            learning_rate: 0.1,
+            l2: 1e-4,
+            batch_size: Some(64),
+        }
     }
 }
 
@@ -86,9 +91,7 @@ impl LogisticRegression {
                     }
                     weight_sum += wi;
                     let zi = &z[i];
-                    let pred = sigmoid(
-                        jit_math::vector::dot(&w, zi) + b,
-                    );
+                    let pred = sigmoid(jit_math::vector::dot(&w, zi) + b);
                     let err = pred - if data.label(i) { 1.0 } else { 0.0 };
                     for (g, &f) in grad_w.iter_mut().zip(zi) {
                         *g += wi * err * f;
@@ -122,11 +125,7 @@ impl LogisticRegression {
     /// (`w_raw[j] = w[j] / std[j]`), i.e. the per-unit effect of each raw
     /// feature on the log-odds.
     pub fn input_space_weights(&self) -> Vec<f64> {
-        self.weights
-            .iter()
-            .zip(self.standardizer.stds())
-            .map(|(w, s)| w / s)
-            .collect()
+        self.weights.iter().zip(self.standardizer.stds()).map(|(w, s)| w / s).collect()
     }
 }
 
@@ -230,7 +229,8 @@ mod tests {
     fn full_batch_matches_api() {
         let mut rng = Rng::seeded(5);
         let d = linear_data(100, &mut rng);
-        let params = LogisticParams { batch_size: None, epochs: 100, ..Default::default() };
+        let params =
+            LogisticParams { batch_size: None, epochs: 100, ..Default::default() };
         let m = LogisticRegression::fit(&d, &params, &mut rng);
         assert!(m.predict_proba(&[3.0, -3.0]) > 0.5);
         assert!(m.predict_proba(&[-3.0, 3.0]) < 0.5);
@@ -240,8 +240,16 @@ mod tests {
     fn deterministic_under_seed() {
         let mut rng = Rng::seeded(6);
         let d = linear_data(100, &mut rng);
-        let m1 = LogisticRegression::fit(&d, &LogisticParams::default(), &mut Rng::seeded(7));
-        let m2 = LogisticRegression::fit(&d, &LogisticParams::default(), &mut Rng::seeded(7));
+        let m1 = LogisticRegression::fit(
+            &d,
+            &LogisticParams::default(),
+            &mut Rng::seeded(7),
+        );
+        let m2 = LogisticRegression::fit(
+            &d,
+            &LogisticParams::default(),
+            &mut Rng::seeded(7),
+        );
         assert_eq!(m1.weights(), m2.weights());
         assert_eq!(m1.bias(), m2.bias());
     }

@@ -110,12 +110,8 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
         }
         i = j + 1;
     }
-    let pos_rank_sum: f64 = ranks
-        .iter()
-        .zip(labels)
-        .filter(|(_, l)| **l)
-        .map(|(r, _)| *r)
-        .sum();
+    let pos_rank_sum: f64 =
+        ranks.iter().zip(labels).filter(|(_, l)| **l).map(|(r, _)| *r).sum();
     let u = pos_rank_sum - (n_pos * (n_pos + 1)) as f64 / 2.0;
     u / (n_pos * n_neg) as f64
 }
@@ -215,7 +211,9 @@ mod tests {
         let scores = [0.1, 0.4, 0.35, 0.8];
         let labels = [false, true, false, true];
         let squashed: Vec<f64> = scores.iter().map(|s| s * s).collect();
-        assert!((roc_auc(&scores, &labels) - roc_auc(&squashed, &labels)).abs() < 1e-12);
+        assert!(
+            (roc_auc(&scores, &labels) - roc_auc(&squashed, &labels)).abs() < 1e-12
+        );
     }
 
     #[test]

@@ -24,7 +24,11 @@ pub struct DecisionTreeParams {
 
 impl Default for DecisionTreeParams {
     fn default() -> Self {
-        DecisionTreeParams { max_depth: 8, min_leaf_weight: 2.0, feature_subsample: None }
+        DecisionTreeParams {
+            max_depth: 8,
+            min_leaf_weight: 2.0,
+            feature_subsample: None,
+        }
     }
 }
 
@@ -164,9 +168,8 @@ impl<'a> Builder<'a> {
             return self.nodes.len() - 1;
         };
 
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
-            .iter()
-            .partition(|&&i| self.data.row(i)[feature] <= threshold);
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| self.data.row(i)[feature] <= threshold);
         debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
 
         // Reserve this node's slot before recursing so children line up.
@@ -186,8 +189,7 @@ impl DecisionTree {
     /// Panics on an empty dataset.
     pub fn fit(data: &Dataset, params: &DecisionTreeParams, rng: &mut Rng) -> Self {
         assert!(!data.is_empty(), "cannot fit tree on empty dataset");
-        let mut builder =
-            Builder { data, params, nodes: Vec::new(), rng: rng.fork() };
+        let mut builder = Builder { data, params, nodes: Vec::new(), rng: rng.fork() };
         let indices: Vec<usize> = (0..data.len()).collect();
         let root = builder.build(&indices, 0);
         debug_assert_eq!(root, 0);
@@ -412,10 +414,8 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let d = separable(40);
-        let params = DecisionTreeParams {
-            feature_subsample: Some(1),
-            ..Default::default()
-        };
+        let params =
+            DecisionTreeParams { feature_subsample: Some(1), ..Default::default() };
         let t1 = DecisionTree::fit(&d, &params, &mut Rng::seeded(9));
         let t2 = DecisionTree::fit(&d, &params, &mut Rng::seeded(9));
         for i in 0..40 {

@@ -59,7 +59,8 @@ impl EmbeddingSpace {
         }
         let k = n_landmarks.min(joint.len());
         let idx = rng.sample_indices(joint.len(), k);
-        let landmarks: Vec<Vec<f64>> = idx.into_iter().map(|i| joint[i].clone()).collect();
+        let landmarks: Vec<Vec<f64>> =
+            idx.into_iter().map(|i| joint[i].clone()).collect();
         let kernel = RbfKernel::median_heuristic(&landmarks);
         EmbeddingSpace { landmarks, kernel, standardizer }
     }

@@ -191,7 +191,10 @@ impl FutureModelsGenerator {
     /// This step is user-independent and performed once (paper §II-B:
     /// "this part of the candidates generation process is performed once
     /// and is independent of any specific user").
-    pub fn generate(&self, slices: &[Dataset]) -> Result<Vec<FutureModel>, FutureError> {
+    pub fn generate(
+        &self,
+        slices: &[Dataset],
+    ) -> Result<Vec<FutureModel>, FutureError> {
         if slices.is_empty() {
             return Err(FutureError::NoSlices);
         }
@@ -207,7 +210,9 @@ impl FutureModelsGenerator {
         let mut rng = Rng::seeded(self.params.seed);
         match self.params.predictor {
             FuturePredictor::Edd => self.generate_edd(slices, &mut rng),
-            FuturePredictor::ParamExtrapolation => self.generate_param(slices, &mut rng),
+            FuturePredictor::ParamExtrapolation => {
+                self.generate_param(slices, &mut rng)
+            }
             FuturePredictor::Frozen => self.generate_frozen(slices, &mut rng),
         }
     }
@@ -473,19 +478,12 @@ mod tests {
         let gen = FutureModelsGenerator::new(FutureModelsParams::default());
         assert_eq!(gen.generate(&[]).unwrap_err(), FutureError::NoSlices);
 
-        let with_empty = vec![
-            Dataset::from_rows(vec![vec![0.0]], vec![true]),
-            Dataset::new(),
-        ];
-        assert_eq!(
-            gen.generate(&with_empty).unwrap_err(),
-            FutureError::EmptySlice(1)
-        );
+        let with_empty =
+            vec![Dataset::from_rows(vec![vec![0.0]], vec![true]), Dataset::new()];
+        assert_eq!(gen.generate(&with_empty).unwrap_err(), FutureError::EmptySlice(1));
 
-        let single = vec![Dataset::from_rows(
-            vec![vec![0.0], vec![1.0]],
-            vec![false, true],
-        )];
+        let single =
+            vec![Dataset::from_rows(vec![vec![0.0], vec![1.0]], vec![false, true])];
         assert_eq!(
             gen.generate(&single).unwrap_err(),
             FutureError::TooFewSlicesForDrift

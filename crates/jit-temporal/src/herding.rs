@@ -67,17 +67,13 @@ pub fn herd_weights(
     // G = (K K^T + λ·scale·I_m), solve G u = target, then w = K^T u.
     // λ is made scale-free by tying it to the mean diagonal of G, so the
     // same parameter works regardless of pool size or kernel bandwidth.
-    let mut g = kzp_mean
-        .matmul(&kzp_mean.transpose())
-        .expect("shape is m x m by construction");
+    let mut g =
+        kzp_mean.matmul(&kzp_mean.transpose()).expect("shape is m x m by construction");
     let trace: f64 = (0..m).map(|i| g[(i, i)]).sum();
     let ridge = (params.lambda * (trace / m as f64)).max(1e-12);
     g.add_diagonal(ridge);
     let u = g.solve_spd(target).expect("ridge system is SPD");
-    let mut w = kzp_mean
-        .transpose()
-        .matvec(&u)
-        .expect("shape is p by construction");
+    let mut w = kzp_mean.transpose().matvec(&u).expect("shape is p by construction");
 
     // Clip, floor, renormalize to mean 1.
     let floor = params.min_weight_fraction.max(0.0);

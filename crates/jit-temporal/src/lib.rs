@@ -38,5 +38,7 @@ pub mod herding;
 pub mod update;
 pub mod vvr;
 
-pub use future::{FutureModel, FutureModelsGenerator, FutureModelsParams, FuturePredictor};
+pub use future::{
+    FutureModel, FutureModelsGenerator, FutureModelsParams, FuturePredictor,
+};
 pub use update::TemporalUpdateFn;

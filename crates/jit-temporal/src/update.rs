@@ -134,10 +134,7 @@ mod tests {
         let schema = FeatureSchema::lending_club();
         let mut f = TemporalUpdateFn::from_schema(&schema);
         // Planned debt payoff: 1500 after one year, 500 after two, then 0.
-        f.override_feature(
-            "debt",
-            Override::Trajectory(vec![1_500.0, 500.0, 0.0]),
-        );
+        f.override_feature("debt", Override::Trajectory(vec![1_500.0, 500.0, 0.0]));
         assert_eq!(f.project(&john(), 0)[idx::DEBT], 2_300.0);
         assert_eq!(f.project(&john(), 1)[idx::DEBT], 1_500.0);
         assert_eq!(f.project(&john(), 2)[idx::DEBT], 500.0);

@@ -34,7 +34,9 @@ pub enum VvrError {
 impl std::fmt::Display for VvrError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            VvrError::TooFewSteps => write!(f, "need at least two vectors to fit a VAR"),
+            VvrError::TooFewSteps => {
+                write!(f, "need at least two vectors to fit a VAR")
+            }
             VvrError::DimensionMismatch => write!(f, "inconsistent vector dimensions"),
             VvrError::Solver(e) => write!(f, "solver failure: {e}"),
         }

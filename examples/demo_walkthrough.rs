@@ -47,10 +47,7 @@ fn main() {
         println!("----------------------------------------------------------");
         println!("applicant: {name}");
         println!("profile ({names}):");
-        println!(
-            "  {:?}",
-            profile.iter().map(|v| *v as i64).collect::<Vec<_>>()
-        );
+        println!("  {:?}", profile.iter().map(|v| *v as i64).collect::<Vec<_>>());
 
         // Screen 1: Personal Preferences.
         let pref_text = preferences_for(&name);
@@ -80,10 +77,7 @@ fn main() {
         let queries: Vec<CannedQuery> = if name == "john-high-debt" {
             CannedQuery::catalogue()
         } else {
-            vec![
-                CannedQuery::NoModification,
-                CannedQuery::MinimalOverallModification,
-            ]
+            vec![CannedQuery::NoModification, CannedQuery::MinimalOverallModification]
         };
         println!();
         for q in &queries {
@@ -101,9 +95,8 @@ fn main() {
     // does when it "examines the execution of a single candidates
     // generator".
     let (_, profile) = &LendingClubGenerator::demo_applicants()[0];
-    let session = system
-        .session(profile, &ConstraintSet::new(), None)
-        .expect("session opens");
+    let session =
+        system.session(profile, &ConstraintSet::new(), None).expect("session opens");
     let rs = session
         .sql("SELECT time, income, debt, loan_amount, gap, diff, p FROM candidates WHERE time = 0 ORDER BY diff")
         .expect("sql runs");

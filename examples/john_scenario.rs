@@ -29,9 +29,8 @@ fn main() {
         JustInTime::train(config, gen.schema(), &slices).expect("training succeeds");
 
     let john = LendingClubGenerator::john();
-    let session = system
-        .session(&john, &ConstraintSet::new(), None)
-        .expect("session opens");
+    let session =
+        system.session(&john, &ConstraintSet::new(), None).expect("session opens");
     let (conf, approved) = session.present_decision();
     println!(
         "2019: John applies -> {} (confidence {:.1}%)\n",

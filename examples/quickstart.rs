@@ -25,11 +25,7 @@ fn main() {
     println!("      {} applications across {} years", total, slices.len());
 
     println!("[2/4] training future models (M_t, delta_t) for t = 0..=4 ...");
-    let config = AdminConfig {
-        horizon: 4,
-        start_year: 2019,
-        ..Default::default()
-    };
+    let config = AdminConfig { horizon: 4, start_year: 2019, ..Default::default() };
     let system = JustInTime::train(config, gen.schema(), &slices)
         .expect("training should succeed on generated data");
     for m in system.models() {
@@ -51,9 +47,7 @@ fn main() {
         jit_constraints::parse_constraint("income <= 60000 and gap <= 2")
             .expect("valid constraint"),
     );
-    let session = system
-        .session(&john, &prefs, None)
-        .expect("session should open");
+    let session = system.session(&john, &prefs, None).expect("session should open");
     let (conf, approved) = session.present_decision();
     println!(
         "      present decision: {} (confidence {:.1}%)",
@@ -75,7 +69,9 @@ fn main() {
     // Expert access: raw SQL against the candidates database.
     println!("expert SQL: SELECT time, COUNT(*), MAX(p) FROM candidates GROUP BY time ORDER BY time");
     let rs = session
-        .sql("SELECT time, COUNT(*), MAX(p) FROM candidates GROUP BY time ORDER BY time")
+        .sql(
+            "SELECT time, COUNT(*), MAX(p) FROM candidates GROUP BY time ORDER BY time",
+        )
         .expect("sql should run");
     println!("{rs}");
 }

@@ -63,27 +63,20 @@ fn canned_answers_consistent_with_brute_force_scan() {
     let cands = session.candidates();
 
     // Q1: min time with diff = 0, recomputed by hand over the candidates.
-    let expected_q1 = cands
-        .iter()
-        .filter(|c| c.diff == 0.0)
-        .map(|c| c.time_index as i64)
-        .min();
+    let expected_q1 =
+        cands.iter().filter(|c| c.diff == 0.0).map(|c| c.time_index as i64).min();
     let rs = session.sql(&CannedQuery::NoModification.sql()).unwrap();
     assert_eq!(rs.scalar().unwrap().as_i64(), expected_q1);
 
     // Q4: global min diff.
     let expected_q4 = cands.iter().map(|c| c.diff).fold(f64::INFINITY, f64::min);
-    let rs = session
-        .sql("SELECT Min(diff) FROM candidates")
-        .unwrap();
+    let rs = session.sql("SELECT Min(diff) FROM candidates").unwrap();
     let got = rs.scalar().unwrap().as_f64().unwrap();
     assert!((got - expected_q4).abs() < 1e-9);
 
     // Q5: max confidence row.
-    let expected_q5 = cands
-        .iter()
-        .map(|c| c.confidence)
-        .fold(f64::NEG_INFINITY, f64::max);
+    let expected_q5 =
+        cands.iter().map(|c| c.confidence).fold(f64::NEG_INFINITY, f64::max);
     let rs = session.sql(&CannedQuery::MaximalConfidence.sql()).unwrap();
     let p_idx = rs.column_index("p").unwrap();
     let got = rs.rows[0][p_idx].as_f64().unwrap();
@@ -91,10 +84,7 @@ fn canned_answers_consistent_with_brute_force_scan() {
 
     // Row counts agree between the struct view and the SQL view.
     let rs = session.sql("SELECT COUNT(*) FROM candidates").unwrap();
-    assert_eq!(
-        rs.scalar().unwrap().as_i64().unwrap() as usize,
-        cands.len()
-    );
+    assert_eq!(rs.scalar().unwrap().as_i64().unwrap() as usize, cands.len());
 }
 
 #[test]
@@ -126,9 +116,7 @@ fn user_constraint_round_trip_through_parser_and_search() {
         )
         .unwrap(),
     );
-    let session = system
-        .session(&LendingClubGenerator::john(), &prefs, None)
-        .unwrap();
+    let session = system.session(&LendingClubGenerator::john(), &prefs, None).unwrap();
     for cand in session.candidates() {
         assert!(cand.profile[3] >= 500.0 - 1e-9, "debt floor violated");
         assert!(cand.gap <= 2, "gap cap violated");
@@ -167,14 +155,12 @@ fn future_models_approve_more_typical_profiles_than_extremes() {
     for m in system.models() {
         let ps = m.model.predict_proba(&strong);
         let pw = m.model.predict_proba(&weak);
-        assert!(
-            ps > pw,
-            "t={}: strong {ps} should beat weak {pw}",
-            m.time_index
-        );
+        assert!(ps > pw, "t={}: strong {ps} should beat weak {pw}", m.time_index);
     }
     // And the oracle agrees.
-    assert!(gen.oracle_probability(&strong, 2018) > gen.oracle_probability(&weak, 2018));
+    assert!(
+        gen.oracle_probability(&strong, 2018) > gen.oracle_probability(&weak, 2018)
+    );
 }
 
 #[test]
@@ -219,8 +205,9 @@ fn csv_export_of_training_data_round_trips() {
     let records = gen.records_for_year(2014);
     let mut buf = Vec::new();
     justintime::jit_data::csv::write_records(&mut buf, &records).unwrap();
-    let back =
-        justintime::jit_data::csv::read_records(std::io::BufReader::new(buf.as_slice()))
-            .unwrap();
+    let back = justintime::jit_data::csv::read_records(std::io::BufReader::new(
+        buf.as_slice(),
+    ))
+    .unwrap();
     assert_eq!(back.len(), records.len());
 }

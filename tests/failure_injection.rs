@@ -91,12 +91,9 @@ fn contradictory_user_constraints_yield_empty_candidates() {
     let mut prefs = ConstraintSet::new();
     // income must be both huge and tiny: unsatisfiable.
     prefs.add(
-        jit_constraints::parse_constraint("income >= 1000000 and income <= 1")
-            .unwrap(),
+        jit_constraints::parse_constraint("income >= 1000000 and income <= 1").unwrap(),
     );
-    let session = system
-        .session(&LendingClubGenerator::john(), &prefs, None)
-        .unwrap();
+    let session = system.session(&LendingClubGenerator::john(), &prefs, None).unwrap();
     assert!(session.candidates().is_empty());
     // Queries still answer (negatively) instead of erroring.
     let insights = session.run_all().unwrap();
@@ -160,10 +157,7 @@ fn all_labels_one_class_still_trains() {
         .take(3)
         .map(|y| {
             let d = LendingClubGenerator::to_dataset(&gen.records_for_year(y));
-            Dataset::from_rows(
-                d.rows().to_vec(),
-                vec![true; d.len()],
-            )
+            Dataset::from_rows(d.rows().to_vec(), vec![true; d.len()])
         })
         .collect();
     let system = JustInTime::train(tiny_config(1), &schema, &slices).unwrap();

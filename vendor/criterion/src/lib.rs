@@ -1,0 +1,204 @@
+//! Minimal vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! implements the subset of criterion's API the workspace's five benchmark
+//! harnesses use: [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `sample_size` / `bench_function` / `bench_with_input` / `finish`,
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Unlike the real criterion it performs no statistical analysis: each
+//! benchmark is warmed up once, sampled `sample_size` times, and the mean /
+//! min wall-clock per iteration is printed. That is enough to (a) compile
+//! with `cargo bench --no-run` and (b) give usable relative numbers until a
+//! real harness can be fetched.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Identifier for a parameterized benchmark: `function_name/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn with_sample_size(sample_size: usize) -> Self {
+        Self { samples: Vec::with_capacity(sample_size), sample_size }
+    }
+
+    /// Times `routine`, discarding one warm-up call, then recording
+    /// `sample_size` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<48} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{id:<48} mean {:>12} min {:>12} ({} samples)",
+            format_duration(mean),
+            format_duration(min),
+            self.samples.len(),
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<ID: Display, F>(&mut self, id: ID, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::with_sample_size(self.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    pub fn bench_with_input<ID: Display, I: ?Sized, F>(
+        &mut self,
+        id: ID,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::with_sample_size(self.sample_size);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: DEFAULT_SAMPLE_SIZE }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { name: name.into(), sample_size, _criterion: self }
+    }
+}
+
+/// Bundles benchmark functions into a single runner, mirroring criterion's
+/// basic (non-configured) form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running each group, mirroring criterion's entry macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher::with_sample_size(7);
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(b.samples.len(), 7);
+        assert_eq!(calls, 8, "one warm-up call plus seven samples");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut ran = 0u32;
+        group.bench_function("noop", |b| b.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4, |b, n| {
+            b.iter(|| ran += n)
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

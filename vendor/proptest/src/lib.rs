@@ -1,0 +1,333 @@
+//! Minimal vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! implements the subset of proptest the workspace's property suites use:
+//!
+//! * [`strategy::Strategy`] with implementations for primitive `Range`s,
+//! * [`collection::vec`] (fixed or ranged length),
+//! * [`test_runner::ProptestConfig`] (`with_cases`),
+//! * the [`proptest!`] item macro (with an optional
+//!   `#![proptest_config(...)]` header) and `prop_assert!` /
+//!   `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Differences from real proptest: generation is plain uniform sampling from
+//! a deterministic per-test RNG (seeded from the test's name), and failures
+//! panic immediately without shrinking. The failure message includes the
+//! case number so a failing case is still reproducible — re-running the same
+//! test binary regenerates the identical sequence.
+
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Deterministic splitmix64 generator; quality is ample for test-input
+    /// sampling and it keeps this shim dependency-free.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn seeded(seed: u64) -> Self {
+            Self { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+        }
+
+        /// Seeds a generator from a test's name so distinct properties
+        /// explore distinct input streams, deterministically across runs.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self::seeded(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform in `[lo, hi)`; `lo < hi` required.
+        pub fn i128_in(&mut self, lo: i128, hi: i128) -> i128 {
+            debug_assert!(lo < hi);
+            let span = (hi - lo) as u128;
+            let r = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+            lo + (r % span) as i128
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Generates values of `Self::Value` from an RNG. Real proptest's
+    /// `Strategy` produces shrinkable value trees; this shim only samples.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    // Strategies are passed by value in user code but the macro holds them
+    // across cases; blanket-impl for references so both styles work.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty f32 range strategy");
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    rng.i128_in(self.start as i128, self.end as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    /// `Just`-style constant strategy, handy for composing.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            Self { lo: len, hi: len + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.hi - self.size.lo == 1 {
+                self.size.lo
+            } else {
+                rng.i128_in(self.size.lo as i128, self.size.hi as i128) as usize
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests. Supported grammar (a strict subset of real
+/// proptest's):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0f64..1.0, v in proptest::collection::vec(0i64..9, 3)) {
+///         prop_assert!(x >= 0.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@body $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for case in 0..config.cases {
+                let run = || {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )*
+                    $body
+                };
+                if let Err(panic) = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(run),
+                ) {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed (deterministic; \
+                         re-run reproduces it)",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@body $config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @body $crate::test_runner::ProptestConfig::default(); $($rest)*
+        );
+    };
+}
+
+/// Asserts a property holds; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let mut rng = TestRng::seeded(7);
+        for _ in 0..1000 {
+            let f = Strategy::generate(&(-2.5f64..4.0), &mut rng);
+            assert!((-2.5..4.0).contains(&f));
+            let i = Strategy::generate(&(-10i64..10), &mut rng);
+            assert!((-10..10).contains(&i));
+            let u = Strategy::generate(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_spec() {
+        let mut rng = TestRng::seeded(11);
+        let fixed = crate::collection::vec(0f64..1.0, 5);
+        assert_eq!(Strategy::generate(&fixed, &mut rng).len(), 5);
+        let ranged = crate::collection::vec(0i64..100, 2..6);
+        for _ in 0..200 {
+            let v = Strategy::generate(&ranged, &mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let sample = |seed_name: &str| {
+            let mut rng = TestRng::from_name(seed_name);
+            (0..32).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(sample("a"), sample("a"));
+        assert_ne!(sample("a"), sample("b"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_arguments(x in 0f64..1.0, v in crate::collection::vec(0i64..5, 1..4)) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert_eq!(v.iter().filter(|x| **x < 5).count(), v.len());
+        }
+    }
+}
