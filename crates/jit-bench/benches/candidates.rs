@@ -19,7 +19,7 @@ use jit_core::baselines::{greedy_coordinate, random_search, BaselineProblem};
 use jit_core::{CandidateParams, CandidatesGenerator, Objective};
 use jit_data::LendingClubGenerator;
 use jit_math::rng::Rng;
-use jit_math::{Matrix, Standardizer};
+use jit_math::Standardizer;
 use jit_ml::{Model, RandomForest, RandomForestParams};
 use std::hint::black_box;
 
@@ -41,7 +41,7 @@ fn fixture() -> Fixture {
         &RandomForestParams { n_trees: 20, ..Default::default() },
         &mut rng,
     );
-    let scales = Standardizer::fit(&Matrix::from_rows(present.rows())).stds().to_vec();
+    let scales = Standardizer::fit(&present.matrix()).stds().to_vec();
     let schema = gen.schema().clone();
     let (set, _) = domain_constraints(&schema);
     let constraint = set.compile_at(0, &schema).unwrap();

@@ -25,7 +25,7 @@ use jit_temporal::future::{
 use std::hint::black_box;
 
 fn auc_on(model: &dyn Model, data: &Dataset) -> f64 {
-    let scores: Vec<f64> = data.rows().iter().map(|r| model.predict_proba(r)).collect();
+    let scores: Vec<f64> = data.rows().map(|r| model.predict_proba(r)).collect();
     roc_auc(&scores, data.labels())
 }
 
@@ -74,7 +74,7 @@ fn bench_future_model_quality(c: &mut Criterion) {
         // The Bayes ceiling: the generator's own approval probability
         // scored against the sampled labels (irreducible label noise).
         let bayes_scores: Vec<f64> =
-            future.rows().iter().map(|r| gen.oracle_probability(r, year)).collect();
+            future.rows().map(|r| gen.oracle_probability(r, year)).collect();
         let bayes = roc_auc(&bayes_scores, future.labels());
         eprintln!(
             "{:<8} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
@@ -135,7 +135,7 @@ fn bench_substrates(c: &mut Criterion) {
         );
         b.iter(|| {
             let mut acc = 0.0;
-            for row in data.rows().iter().take(1000) {
+            for row in data.rows().take(1000) {
                 acc += f.predict_proba(black_box(row));
             }
             black_box(acc)

@@ -1,0 +1,141 @@
+//! Machine-readable perf snapshot for the `BENCH_*.json` trajectory files.
+//!
+//! Times the three hot-path workloads the perf acceptance criteria track —
+//! models-generator training (`future_models`), the end-to-end pipeline
+//! (`pipeline`) and the candidates search (`candidates`) — and prints one
+//! JSON object to stdout, so snapshots are reproducible with:
+//!
+//! ```text
+//! cargo run --release -p jit-bench --bin perf_snapshot            # full
+//! cargo run --release -p jit-bench --bin perf_snapshot -- --scale smoke
+//! ```
+//!
+//! `--scale smoke` shrinks every workload (fewer records, trees, reps) so
+//! CI can *run* the benches — not just compile them — in seconds.
+
+use jit_bench::{bench_config, bench_generator, john_session, year_slices};
+use jit_core::JustInTime;
+use jit_data::LendingClubGenerator;
+use jit_ml::{Dataset, RandomForestParams};
+use jit_temporal::future::{
+    FutureModelsGenerator, FutureModelsParams, FuturePredictor,
+};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Scale {
+    name: &'static str,
+    records_per_year: usize,
+    n_trees: usize,
+    horizon: usize,
+    reps: usize,
+}
+
+const FULL: Scale =
+    Scale { name: "full", records_per_year: 400, n_trees: 20, horizon: 4, reps: 5 };
+
+const SMOKE: Scale =
+    Scale { name: "smoke", records_per_year: 60, n_trees: 6, horizon: 2, reps: 2 };
+
+/// Times `f` (`reps` samples after one warm-up); returns (mean_ms, min_ms).
+fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> (f64, f64) {
+    f();
+    let mut total = 0.0;
+    let mut min = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        total += ms;
+        min = min.min(ms);
+    }
+    (total / reps as f64, min)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = match args.iter().position(|a| a == "--scale") {
+        Some(i) if args.get(i + 1).map(String::as_str) == Some("smoke") => SMOKE,
+        Some(i) if args.get(i + 1).map(String::as_str) == Some("full") => FULL,
+        Some(_) => {
+            eprintln!("usage: perf_snapshot [--scale full|smoke]");
+            std::process::exit(2);
+        }
+        None => FULL,
+    };
+    let mut entries: Vec<(String, f64, f64)> = Vec::new();
+
+    // --- future_models: models-generator training per predictor --------
+    let gen = bench_generator(scale.records_per_year);
+    let history: Vec<Dataset> = (2007..=2015)
+        .map(|y| LendingClubGenerator::to_dataset(&gen.records_for_year(y)))
+        .collect();
+    for (label, predictor) in [
+        ("edd", FuturePredictor::Edd),
+        ("param", FuturePredictor::ParamExtrapolation),
+        ("frozen", FuturePredictor::Frozen),
+    ] {
+        let params = FutureModelsParams {
+            horizon: scale.horizon,
+            predictor,
+            n_landmarks: 60,
+            pool_slices: 4,
+            forest: RandomForestParams { n_trees: scale.n_trees, ..Default::default() },
+            seed: 7,
+            ..Default::default()
+        };
+        let (mean, min) = time_ms(scale.reps, || {
+            let models = FutureModelsGenerator::new(params.clone())
+                .generate(black_box(&history))
+                .expect("generation");
+            black_box(models.len());
+        });
+        entries.push((
+            format!("future_models/generate_{label}_T{}", scale.horizon),
+            mean,
+            min,
+        ));
+    }
+
+    // --- pipeline: admin training + user session -----------------------
+    let gen = bench_generator(scale.records_per_year.min(200));
+    let slices = year_slices(&gen);
+    let schema = gen.schema().clone();
+    let config = bench_config(scale.horizon, true);
+    let (mean, min) = time_ms(scale.reps, || {
+        let system = JustInTime::train(config.clone(), &schema, black_box(&slices))
+            .expect("train");
+        black_box(system.models().len());
+    });
+    entries.push((format!("pipeline/train_models_T{}", scale.horizon), mean, min));
+
+    let system = JustInTime::train(config, &schema, &slices).expect("train");
+    let (mean, min) = time_ms(scale.reps, || {
+        let session = john_session(black_box(&system));
+        black_box(session.candidates().len());
+    });
+    entries.push((format!("pipeline/user_session_T{}", scale.horizon), mean, min));
+
+    // --- candidates: one generator run over the present model ----------
+    let (mean, min) = time_ms(scale.reps, || {
+        let session = john_session(black_box(&system));
+        black_box(session.run_all().expect("queries").len());
+    });
+    entries.push(("candidates/session_canned_queries".to_string(), mean, min));
+
+    // --- JSON out -------------------------------------------------------
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("{{");
+    println!("  \"schema_version\": 1,");
+    println!("  \"scale\": \"{}\",", scale.name);
+    println!("  \"reps\": {},", scale.reps);
+    println!("  \"threads_available\": {threads},");
+    println!("  \"timings_ms\": {{");
+    let n = entries.len();
+    for (i, (name, mean, min)) in entries.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        println!("    \"{name}\": {{ \"mean\": {mean:.2}, \"min\": {min:.2} }}{comma}");
+    }
+    println!("  }}");
+    println!("}}");
+}

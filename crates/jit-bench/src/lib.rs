@@ -48,6 +48,7 @@ pub fn bench_config(horizon: usize, parallel: bool) -> AdminConfig {
             ..Default::default()
         },
         parallel_generators: parallel,
+        threads: 0,
     }
 }
 

@@ -196,8 +196,7 @@ mod tests {
             &RandomForestParams { n_trees: 20, ..Default::default() },
             &mut rng,
         );
-        let std =
-            jit_math::Standardizer::fit(&jit_math::Matrix::from_rows(data.rows()));
+        let std = jit_math::Standardizer::fit(&data.matrix());
         let schema = gen.schema().clone();
         let (set, _) = jit_constraints::set::domain_constraints(&schema);
         let constraint = set.compile_at(0, &schema).unwrap();

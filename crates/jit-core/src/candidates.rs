@@ -526,8 +526,7 @@ mod tests {
             &mut rng,
         );
         // Per-feature stds.
-        let mat = jit_math::Matrix::from_rows(data.rows());
-        let std = jit_math::Standardizer::fit(&mat);
+        let std = jit_math::Standardizer::fit(&data.matrix());
         Fixture {
             schema: gen.schema().clone(),
             model,

@@ -18,8 +18,8 @@ use crate::tables;
 use jit_constraints::ConstraintSet;
 use jit_data::FeatureSchema;
 use jit_db::{Database, DbError, ResultSet};
-use jit_math::Matrix;
 use jit_ml::Dataset;
+use jit_runtime::Runtime;
 use jit_temporal::future::{FutureModel, FutureModelsGenerator, FutureModelsParams};
 use jit_temporal::update::TemporalUpdateFn;
 
@@ -37,8 +37,16 @@ pub struct AdminConfig {
     pub future: FutureModelsParams,
     /// Candidate-search parameters.
     pub candidates: CandidateParams,
-    /// Run the per-time-point generators on parallel threads.
+    /// Run the horizon-level fan-outs — future-model training steps and
+    /// the per-time-point candidate generators — on parallel threads;
+    /// `false` forces both serial regardless of `threads`. (Forest-level
+    /// parallelism stays governed by `future.forest.threads`.)
     pub parallel_generators: bool,
+    /// Worker threads for training and candidate generation: `0` = one
+    /// per core, `1` = serial. Propagated into `future.threads` during
+    /// training (like `horizon`). Results are bit-identical for every
+    /// value — see `jit-runtime`'s determinism contract.
+    pub threads: usize,
 }
 
 impl Default for AdminConfig {
@@ -50,6 +58,7 @@ impl Default for AdminConfig {
             future: FutureModelsParams::default(),
             candidates: CandidateParams::default(),
             parallel_generators: true,
+            threads: 0,
         }
     }
 }
@@ -146,18 +155,19 @@ impl JustInTime {
         }
         let mut future_params = config.future.clone();
         future_params.horizon = config.horizon;
+        // `parallel_generators: false` means serial end to end, so it
+        // must gate training exactly like candidate generation below.
+        future_params.threads =
+            if config.parallel_generators { config.threads } else { 1 };
         let generator = FutureModelsGenerator::new(future_params);
         let models = generator.generate(slices).map_err(TrainError::Future)?;
 
         // Per-feature scales from the union of all slices.
-        let mut rows: Vec<Vec<f64>> = Vec::new();
-        for s in slices {
-            rows.extend(s.rows().iter().cloned());
-        }
-        let scales = if rows.is_empty() {
+        let union = Dataset::concat(slices);
+        let scales = if union.is_empty() {
             vec![1.0; schema.dim()]
         } else {
-            jit_math::Standardizer::fit(&Matrix::from_rows(&rows)).stds().to_vec()
+            jit_math::Standardizer::fit(&union.matrix()).stds().to_vec()
         };
         let (domain, _immutable) = jit_constraints::set::domain_constraints(schema);
         Ok(JustInTime { config, schema: schema.clone(), models, scales, domain })
@@ -261,29 +271,20 @@ impl JustInTime {
             Ok(generator.generate(&self.config.candidates))
         };
 
-        let times: Vec<usize> = (0..=self.config.horizon).collect();
-        if self.config.parallel_generators && times.len() > 1 {
-            let mut results: Vec<Result<Vec<Candidate>, SessionError>> =
-                Vec::with_capacity(times.len());
-            std::thread::scope(|scope| {
-                let handles: Vec<_> =
-                    times.iter().map(|&t| scope.spawn(move || run_one(t))).collect();
-                for h in handles {
-                    results.push(h.join().expect("generator thread panicked"));
-                }
-            });
-            let mut all = Vec::new();
-            for r in results {
-                all.extend(r?);
-            }
-            Ok(all)
+        // Each time point seeds its own generator from `t` alone, so no
+        // RNG forking is needed for determinism here; the runtime keeps
+        // results in time order for every thread count.
+        let runtime = if self.config.parallel_generators {
+            Runtime::new(self.config.threads)
         } else {
-            let mut all = Vec::new();
-            for &t in &times {
-                all.extend(run_one(t)?);
-            }
-            Ok(all)
+            Runtime::serial()
+        };
+        let results = runtime.parallel_map(self.config.horizon + 1, run_one);
+        let mut all = Vec::new();
+        for r in results {
+            all.extend(r?);
         }
+        Ok(all)
     }
 }
 
@@ -395,6 +396,7 @@ mod tests {
                 ..Default::default()
             },
             parallel_generators: true,
+            threads: 0,
         }
     }
 

@@ -43,7 +43,7 @@ struct RegressionTree {
 
 impl RegressionTree {
     fn fit(
-        rows: &[Vec<f64>],
+        rows: &[&[f64]],
         targets: &[f64],
         indices: &[usize],
         max_depth: usize,
@@ -63,7 +63,7 @@ impl RegressionTree {
 
     #[allow(clippy::needless_range_loop)] // feature-index loops mirror the math
     fn build(
-        rows: &[Vec<f64>],
+        rows: &[&[f64]],
         targets: &[f64],
         indices: &[usize],
         depth: usize,
@@ -179,7 +179,7 @@ impl GradientBoosting {
     pub fn fit(data: &Dataset, params: &BoostingParams, rng: &mut Rng) -> Self {
         assert!(!data.is_empty(), "cannot fit boosting on empty dataset");
         let n = data.len();
-        let rows = data.rows();
+        let rows: Vec<&[f64]> = data.rows().collect();
         let prior = data.positive_rate().clamp(1e-6, 1.0 - 1e-6);
         let base_score = (prior / (1.0 - prior)).ln();
         let mut raw = vec![base_score; n];
@@ -196,17 +196,17 @@ impl GradientBoosting {
             let indices: Vec<usize> = if uniform_weights {
                 (0..n).collect()
             } else {
-                (0..n).map(|_| rng.weighted_index(data.weights())).collect()
+                crate::dataset::weighted_draw_indices(data.weights(), n, rng)
             };
             let tree = RegressionTree::fit(
-                rows,
+                &rows,
                 &residuals,
                 &indices,
                 params.max_depth,
                 params.min_leaf,
             );
             for (i, r) in raw.iter_mut().enumerate() {
-                *r += params.learning_rate * tree.predict(&rows[i]);
+                *r += params.learning_rate * tree.predict(rows[i]);
             }
             trees.push(tree);
         }
@@ -301,8 +301,7 @@ mod tests {
             &mut Rng::seeded(3),
         );
         let loss = |m: &GradientBoosting| {
-            let scores: Vec<f64> =
-                d.rows().iter().map(|r| m.predict_proba(r)).collect();
+            let scores: Vec<f64> = d.rows().map(|r| m.predict_proba(r)).collect();
             crate::metrics::log_loss(&scores, d.labels())
         };
         assert!(loss(&large) < loss(&small));

@@ -1,17 +1,54 @@
-//! Weighted, labeled tabular datasets.
+//! Weighted, labeled tabular datasets with zero-copy views.
 //!
-//! A [`Dataset`] owns feature rows (`Vec<f64>` per example), binary labels
-//! and optional per-example importance weights. Weights matter here because
-//! future models in `jit-temporal` are trained on *herded pseudo-samples*
-//! whose importance weights come from the extrapolated distribution
-//! embedding.
+//! A [`Dataset`] holds feature rows in **one contiguous, row-major,
+//! `Arc`-shared buffer** plus per-view labels and importance weights.
+//! Weights matter here because future models in `jit-temporal` are trained
+//! on *herded pseudo-samples* whose importance weights come from the
+//! extrapolated distribution embedding.
+//!
+//! [`Dataset::subset`], [`Dataset::bootstrap`] and
+//! [`Dataset::stratified_split`] produce **views**: they remap row indices
+//! into the shared buffer instead of cloning row data. A random forest
+//! drawing one bootstrap per tree therefore allocates `O(n)` indices per
+//! tree instead of `O(n·d)` feature values — previously the dominant
+//! allocation in forest training. Labels and weights (one `bool`/`f64` per
+//! example) are materialized per view so hot-path accessors can stay
+//! slice-returning.
 
 use jit_math::rng::Rng;
+use jit_math::Matrix;
+use std::sync::Arc;
 
-/// A labeled, optionally weighted tabular dataset for binary classification.
+/// The shared, flattened row storage behind one or more dataset views.
+#[derive(Clone, Debug, Default)]
+struct RowStorage {
+    /// Row-major feature values; `len == n_rows * dim`.
+    values: Vec<f64>,
+    /// Feature dimension (stride); 0 only when the storage is empty.
+    dim: usize,
+}
+
+impl RowStorage {
+    fn n_rows(&self) -> usize {
+        self.values.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    fn row(&self, i: usize) -> &[f64] {
+        &self.values[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+/// A labeled, optionally weighted tabular dataset for binary
+/// classification.
+///
+/// Cloning a `Dataset` is cheap: the row buffer (and the index remap of a
+/// view) is reference-counted, so clones and sub-views share storage.
 #[derive(Clone, Debug, Default)]
 pub struct Dataset {
-    rows: Vec<Vec<f64>>,
+    storage: Arc<RowStorage>,
+    /// View row -> storage row. `None` means the identity view over all
+    /// storage rows.
+    index: Option<Arc<Vec<u32>>>,
     labels: Vec<bool>,
     weights: Vec<f64>,
 }
@@ -44,46 +81,159 @@ impl Dataset {
     ) -> Self {
         assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
         assert_eq!(rows.len(), weights.len(), "rows/weights length mismatch");
-        if let Some(first) = rows.first() {
-            let d = first.len();
-            assert!(rows.iter().all(|r| r.len() == d), "ragged feature rows");
+        let dim = rows.first().map_or(0, Vec::len);
+        let mut values = Vec::with_capacity(rows.len() * dim);
+        for r in &rows {
+            assert_eq!(r.len(), dim, "ragged feature rows");
+            values.extend_from_slice(r);
         }
+        Self::check_weights(&weights);
+        Dataset {
+            storage: Arc::new(RowStorage { values, dim }),
+            index: None,
+            labels,
+            weights,
+        }
+    }
+
+    fn check_weights(weights: &[f64]) {
         assert!(
             weights.iter().all(|w| w.is_finite() && *w >= 0.0),
             "weights must be finite and non-negative"
         );
-        Dataset { rows, labels, weights }
+    }
+
+    /// Concatenates datasets into one freshly flattened dataset (weights
+    /// preserved). The result owns a single buffer that subsequent views
+    /// share — `jit-temporal` builds its herding pool once with this and
+    /// then materializes only weights per horizon step.
+    ///
+    /// # Panics
+    /// Panics when non-empty parts disagree on feature dimension.
+    pub fn concat<'a, I: IntoIterator<Item = &'a Dataset>>(parts: I) -> Self {
+        let mut values = Vec::new();
+        let mut labels = Vec::new();
+        let mut weights = Vec::new();
+        let mut dim = 0usize;
+        for part in parts {
+            if part.is_empty() {
+                continue;
+            }
+            if dim == 0 {
+                dim = part.dim();
+            }
+            assert_eq!(part.dim(), dim, "feature dimension mismatch in concat");
+            for (row, label, w) in part.iter() {
+                values.extend_from_slice(row);
+                labels.push(label);
+                weights.push(w);
+            }
+        }
+        Dataset {
+            storage: Arc::new(RowStorage { values, dim }),
+            index: None,
+            labels,
+            weights,
+        }
+    }
+
+    /// A view sharing this dataset's rows and labels but carrying new
+    /// weights (e.g. per-horizon herding weights over a shared pool).
+    ///
+    /// # Panics
+    /// Panics when the length mismatches or any weight is invalid.
+    pub fn with_weights(&self, weights: Vec<f64>) -> Dataset {
+        assert_eq!(weights.len(), self.len(), "weights length mismatch");
+        Self::check_weights(&weights);
+        Dataset {
+            storage: Arc::clone(&self.storage),
+            index: self.index.clone(),
+            labels: self.labels.clone(),
+            weights,
+        }
     }
 
     /// Appends one example.
+    ///
+    /// On a shared or remapped dataset this first materializes a private
+    /// copy of the view (copy-on-write); prefer constructing datasets up
+    /// front via [`Dataset::from_rows`] in hot paths.
     pub fn push(&mut self, row: Vec<f64>, label: bool, weight: f64) {
-        if let Some(first) = self.rows.first() {
-            assert_eq!(first.len(), row.len(), "feature dimension mismatch");
+        if !self.is_empty() {
+            assert_eq!(self.dim(), row.len(), "feature dimension mismatch");
         }
         assert!(weight.is_finite() && weight >= 0.0, "invalid weight");
-        self.rows.push(row);
+        if self.index.is_some() {
+            // Flatten the view so storage rows == view rows again.
+            let mut values = Vec::with_capacity((self.len() + 1) * row.len());
+            for (r, _, _) in self.iter() {
+                values.extend_from_slice(r);
+            }
+            self.storage = Arc::new(RowStorage { values, dim: row.len() });
+            self.index = None;
+        }
+        let storage = Arc::make_mut(&mut self.storage);
+        if storage.dim == 0 {
+            storage.dim = row.len();
+        }
+        storage.values.extend_from_slice(&row);
         self.labels.push(label);
         self.weights.push(weight);
     }
 
-    /// Number of examples.
+    /// Number of examples in this view.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        match &self.index {
+            Some(ix) => ix.len(),
+            None => self.storage.n_rows(),
+        }
     }
 
     /// `true` when the dataset has no examples.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
     /// Feature dimension (0 when empty).
     pub fn dim(&self) -> usize {
-        self.rows.first().map_or(0, Vec::len)
+        if self.is_empty() {
+            0
+        } else {
+            self.storage.dim
+        }
     }
 
-    /// Borrow of all feature rows.
-    pub fn rows(&self) -> &[Vec<f64>] {
-        &self.rows
+    /// Storage row behind view row `i`.
+    #[inline]
+    fn storage_row(&self, i: usize) -> usize {
+        match &self.index {
+            Some(ix) => ix[i] as usize,
+            None => i,
+        }
+    }
+
+    /// Iterator over feature rows, in view order.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f64]> + Clone + '_ {
+        (0..self.len()).map(|i| self.row(i))
+    }
+
+    /// The rows of this view as a dense matrix (one copy).
+    pub fn matrix(&self) -> Matrix {
+        let dim = self.storage.dim;
+        match &self.index {
+            None => Matrix::from_vec(
+                self.storage.n_rows(),
+                dim,
+                self.storage.values.clone(),
+            ),
+            Some(_) => {
+                let mut data = Vec::with_capacity(self.len() * dim);
+                for r in self.rows() {
+                    data.extend_from_slice(r);
+                }
+                Matrix::from_vec(self.len(), dim, data)
+            }
+        }
     }
 
     /// Borrow of all labels.
@@ -97,8 +247,9 @@ impl Dataset {
     }
 
     /// One feature row.
+    #[inline]
     pub fn row(&self, i: usize) -> &[f64] {
-        &self.rows[i]
+        self.storage.row(self.storage_row(i))
     }
 
     /// One label.
@@ -122,12 +273,23 @@ impl Dataset {
         pos / total
     }
 
-    /// Extracts the sub-dataset at the given indices (weights preserved).
+    /// The sub-dataset at the given indices (weights preserved) as a
+    /// zero-copy view into the shared row buffer.
     pub fn subset(&self, indices: &[usize]) -> Dataset {
-        let rows = indices.iter().map(|&i| self.rows[i].clone()).collect();
+        let remap: Vec<u32> = indices
+            .iter()
+            .map(|&i| {
+                u32::try_from(self.storage_row(i)).expect("storage row fits in u32")
+            })
+            .collect();
         let labels = indices.iter().map(|&i| self.labels[i]).collect();
         let weights = indices.iter().map(|&i| self.weights[i]).collect();
-        Dataset { rows, labels, weights }
+        Dataset {
+            storage: Arc::clone(&self.storage),
+            index: Some(Arc::new(remap)),
+            labels,
+            weights,
+        }
     }
 
     /// Splits into (train, test) with `test_fraction` of examples held out,
@@ -166,25 +328,22 @@ impl Dataset {
         (self.subset(&train_idx), self.subset(&test_idx))
     }
 
-    /// Draws a bootstrap sample of the same size.
+    /// Draws a bootstrap sample of the same size, as a zero-copy view.
     ///
     /// When the dataset carries non-uniform weights the draw is
     /// weight-proportional, which is how future models are trained on
-    /// herded pseudo-samples.
+    /// herded pseudo-samples. Weighted draws binary-search a prefix-sum
+    /// table (`O(n log n)` total) instead of scanning the weight vector
+    /// per draw (`O(n²)`).
     pub fn bootstrap(&self, rng: &mut Rng) -> Dataset {
         assert!(!self.is_empty(), "bootstrap of empty dataset");
         let n = self.len();
         let uniform = self.weights.iter().all(|w| (*w - 1.0).abs() < 1e-12);
-        let mut indices = Vec::with_capacity(n);
-        if uniform {
-            for _ in 0..n {
-                indices.push(rng.below(n));
-            }
+        let indices = if uniform {
+            (0..n).map(|_| rng.below(n)).collect()
         } else {
-            for _ in 0..n {
-                indices.push(rng.weighted_index(&self.weights));
-            }
-        }
+            weighted_draw_indices(&self.weights, n, rng)
+        };
         let mut out = self.subset(&indices);
         // Bootstrap resampling realizes the weights; reset them to 1.
         out.weights.iter_mut().for_each(|w| *w = 1.0);
@@ -193,12 +352,39 @@ impl Dataset {
 
     /// Iterator over `(row, label, weight)` triples.
     pub fn iter(&self) -> impl Iterator<Item = (&[f64], bool, f64)> + '_ {
-        self.rows
-            .iter()
-            .zip(&self.labels)
-            .zip(&self.weights)
-            .map(|((r, l), w)| (r.as_slice(), *l, *w))
+        (0..self.len()).map(|i| (self.row(i), self.labels[i], self.weights[i]))
     }
+}
+
+/// Draws `n_draws` weight-proportional indices into `weights` via a
+/// prefix-sum table and binary search (`O(n log n)` total instead of a
+/// linear scan per draw). One uniform variate is consumed per draw.
+///
+/// Shared by [`Dataset::bootstrap`] and the boosting resampler.
+///
+/// # Panics
+/// Panics when the total positive weight is zero.
+pub(crate) fn weighted_draw_indices(
+    weights: &[f64],
+    n_draws: usize,
+    rng: &mut Rng,
+) -> Vec<usize> {
+    // Inclusive prefix sums; zero-weight rows repeat the previous value
+    // and can never be selected by a strictly-greater search.
+    let mut prefix = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for &w in weights {
+        acc += w.max(0.0);
+        prefix.push(acc);
+    }
+    assert!(acc > 0.0, "weighted draw needs positive total weight");
+    (0..n_draws)
+        .map(|_| {
+            let target = rng.next_f64() * acc;
+            // First index with prefix[i] > target.
+            prefix.partition_point(|&p| p <= target).min(weights.len() - 1)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -248,6 +434,56 @@ mod tests {
     }
 
     #[test]
+    fn subset_is_view_not_copy() {
+        let d = toy(100);
+        let s = d.subset(&[1, 2, 3]);
+        let nested = s.subset(&[2, 0]);
+        // Views share the parent's buffer...
+        assert!(Arc::ptr_eq(&d.storage, &s.storage));
+        assert!(Arc::ptr_eq(&d.storage, &nested.storage));
+        // ...and nested views resolve through composed remaps.
+        assert_eq!(nested.row(0), d.row(3));
+        assert_eq!(nested.row(1), d.row(1));
+        assert_eq!(nested.label(0), d.label(3));
+    }
+
+    #[test]
+    fn with_weights_shares_rows() {
+        let d = toy(4);
+        let w = d.with_weights(vec![2.0, 0.0, 1.0, 5.0]);
+        assert!(Arc::ptr_eq(&d.storage, &w.storage));
+        assert_eq!(w.weights(), &[2.0, 0.0, 1.0, 5.0]);
+        assert_eq!(w.row(3), d.row(3));
+        assert_eq!(w.labels(), d.labels());
+    }
+
+    #[test]
+    fn concat_flattens_parts() {
+        let a = toy(3);
+        let b = toy(6).subset(&[4, 5]);
+        let c = Dataset::concat([&a, &b]);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.row(3), &[4.0, 8.0]);
+        assert_eq!(c.dim(), 2);
+        assert!(c.index.is_none());
+        // Empty parts are skipped.
+        let with_empty = Dataset::concat([&Dataset::new(), &a]);
+        assert_eq!(with_empty.len(), 3);
+    }
+
+    #[test]
+    fn matrix_matches_rows_for_views() {
+        let d = toy(6);
+        let v = d.subset(&[5, 1, 3]);
+        let m = v.matrix();
+        for (i, row) in v.rows().enumerate() {
+            for j in 0..v.dim() {
+                assert_eq!(m[(i, j)], row[j]);
+            }
+        }
+    }
+
+    #[test]
     fn stratified_split_keeps_class_balance() {
         let n = 300;
         let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
@@ -267,7 +503,7 @@ mod tests {
         let (train, test) = d.stratified_split(0.2, &mut rng);
         // Reconstruct multiset of first coordinates.
         let mut all: Vec<i64> =
-            train.rows().iter().chain(test.rows()).map(|r| r[0] as i64).collect();
+            train.rows().chain(test.rows()).map(|r| r[0] as i64).collect();
         all.sort_unstable();
         assert_eq!(all, (0..50).collect::<Vec<i64>>());
     }
@@ -279,6 +515,7 @@ mod tests {
         let b = d.bootstrap(&mut rng);
         assert_eq!(b.len(), 40);
         assert!(b.weights().iter().all(|w| *w == 1.0));
+        assert!(Arc::ptr_eq(&d.storage, &b.storage), "bootstrap must be a view");
     }
 
     #[test]
@@ -292,10 +529,24 @@ mod tests {
         let mut total = 0usize;
         for _ in 0..50 {
             let b = d.bootstrap(&mut rng);
-            heavy += b.rows().iter().filter(|r| r[0] == 1.0).count();
+            heavy += b.rows().filter(|r| r[0] == 1.0).count();
             total += b.len();
         }
         assert!(heavy as f64 / total as f64 > 0.9);
+    }
+
+    #[test]
+    fn weighted_bootstrap_never_selects_zero_weight() {
+        let d = Dataset::from_weighted_rows(
+            vec![vec![0.0], vec![1.0], vec![2.0]],
+            vec![false, true, false],
+            vec![0.0, 1.0, 0.0],
+        );
+        let mut rng = Rng::seeded(5);
+        for _ in 0..20 {
+            let b = d.bootstrap(&mut rng);
+            assert!(b.rows().all(|r| r[0] == 1.0));
+        }
     }
 
     #[test]
@@ -303,6 +554,27 @@ mod tests {
         let mut d = toy(2);
         d.push(vec![7.0, 8.0], true, 1.0);
         assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn push_on_view_copies_on_write() {
+        let d = toy(5);
+        let mut v = d.subset(&[4, 2]);
+        v.push(vec![9.0, 9.0], false, 1.0);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.row(0), &[4.0, 8.0]);
+        assert_eq!(v.row(2), &[9.0, 9.0]);
+        // The parent is untouched.
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.row(4), &[4.0, 8.0]);
+    }
+
+    #[test]
+    fn push_onto_empty_sets_dimension() {
+        let mut d = Dataset::new();
+        d.push(vec![1.0, 2.0, 3.0], true, 1.0);
+        assert_eq!(d.dim(), 3);
+        assert_eq!(d.len(), 1);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::dataset::Dataset;
 use crate::model::{Model, ModelHints};
 use crate::tree::{DecisionTree, DecisionTreeParams};
 use jit_math::rng::Rng;
+use jit_runtime::{fork_streams, Runtime};
 
 /// Hyperparameters for [`RandomForest::fit`].
 #[derive(Clone, Debug)]
@@ -22,6 +23,9 @@ pub struct RandomForestParams {
     pub min_leaf_weight: f64,
     /// Features examined per split; `None` = floor(sqrt(d)).max(1).
     pub feature_subsample: Option<usize>,
+    /// Worker threads for tree training: `0` = one per core, `1` = serial.
+    /// Results are bit-identical for every value (see `jit-runtime`).
+    pub threads: usize,
 }
 
 impl Default for RandomForestParams {
@@ -31,6 +35,7 @@ impl Default for RandomForestParams {
             max_depth: 8,
             min_leaf_weight: 2.0,
             feature_subsample: None,
+            threads: 0,
         }
     }
 }
@@ -48,6 +53,10 @@ impl RandomForest {
     /// Weighted datasets resample weight-proportionally, which is how
     /// `jit-temporal` trains future models on herded pseudo-samples.
     ///
+    /// Trees train in parallel on `params.threads` workers. Each tree's
+    /// RNG stream is forked from `rng` *before* dispatch, so the fitted
+    /// forest is bit-identical for every thread count (including serial).
+    ///
     /// # Panics
     /// Panics on an empty dataset or zero trees.
     pub fn fit(data: &Dataset, params: &RandomForestParams, rng: &mut Rng) -> Self {
@@ -62,12 +71,12 @@ impl RandomForest {
             min_leaf_weight: params.min_leaf_weight,
             feature_subsample: Some(mtry.min(d)),
         };
-        let trees = (0..params.n_trees)
-            .map(|_| {
-                let sample = data.bootstrap(rng);
-                DecisionTree::fit(&sample, &tree_params, rng)
-            })
-            .collect();
+        let streams = fork_streams(rng, params.n_trees);
+        let trees = Runtime::new(params.threads).parallel_map(params.n_trees, |i| {
+            let mut tree_rng = streams[i].clone();
+            let sample = data.bootstrap(&mut tree_rng);
+            DecisionTree::fit(&sample, &tree_params, &mut tree_rng)
+        });
         RandomForest { trees, dim: d }
     }
 

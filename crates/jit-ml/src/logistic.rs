@@ -10,7 +10,6 @@ use crate::dataset::Dataset;
 use crate::model::{Model, ModelHints};
 use jit_math::rng::Rng;
 use jit_math::stats::Standardizer;
-use jit_math::Matrix;
 
 /// Hyperparameters for [`LogisticRegression::fit`].
 #[derive(Clone, Debug)]
@@ -67,10 +66,10 @@ impl LogisticRegression {
     pub fn fit(data: &Dataset, params: &LogisticParams, rng: &mut Rng) -> Self {
         assert!(!data.is_empty(), "cannot fit logistic model on empty dataset");
         let d = data.dim();
-        let x_mat = Matrix::from_rows(data.rows());
+        let x_mat = data.matrix();
         let standardizer = Standardizer::fit(&x_mat);
         let z: Vec<Vec<f64>> =
-            data.rows().iter().map(|r| standardizer.transform_row(r)).collect();
+            data.rows().map(|r| standardizer.transform_row(r)).collect();
 
         let mut w = vec![0.0; d];
         let mut b = 0.0;

@@ -64,6 +64,22 @@ impl Model for Box<dyn Model> {
     }
 }
 
+/// Blanket implementation so `Arc<dyn Model>` (the shape future-model
+/// sequences share their models in) is itself a `Model`.
+impl Model for std::sync::Arc<dyn Model> {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        (**self).predict_proba(x)
+    }
+
+    fn hints(&self) -> ModelHints {
+        (**self).hints()
+    }
+}
+
 /// A trivial constant model, useful in tests and as a degenerate baseline.
 #[derive(Clone, Debug)]
 pub struct ConstantModel {

@@ -56,10 +56,34 @@ pub struct DecisionTree {
 }
 
 struct Builder<'a> {
-    data: &'a Dataset,
     params: &'a DecisionTreeParams,
     nodes: Vec<Node>,
     rng: Rng,
+    /// Per-example weights, copied out of the dataset once.
+    weights: Vec<f64>,
+    /// Per-example labels, copied out of the dataset once.
+    labels: Vec<bool>,
+    /// Column-major feature values: `cols[f][i]` is feature `f` of
+    /// example `i`. Transposed once per tree so split scans are
+    /// cache-linear.
+    cols: Vec<Vec<f64>>,
+    /// Scratch: which side of the current split each example fell on.
+    goes_left: Vec<bool>,
+}
+
+/// A node's working set: its member examples plus, per feature, the same
+/// members in ascending feature-value order.
+///
+/// Each feature column is sorted **once per tree** at the root; recursion
+/// partitions the sorted lists stably, so every node sees presorted
+/// columns without re-sorting (`O(n·d)` per node instead of
+/// `O(k·n log n)`).
+struct NodeSet {
+    /// Member example ids in ascending id order (the summation order, kept
+    /// stable so impurity accumulation is reproducible).
+    members: Vec<u32>,
+    /// Per feature: member ids in ascending feature-value order.
+    sorted: Vec<Vec<u32>>,
 }
 
 /// Weighted Gini impurity of a (pos_weight, total_weight) split side.
@@ -72,19 +96,59 @@ fn gini(pos: f64, total: f64) -> f64 {
 }
 
 impl<'a> Builder<'a> {
-    /// Finds the best split of `indices` over a feature subsample; returns
+    fn new(data: &Dataset, params: &'a DecisionTreeParams, rng: Rng) -> Self {
+        let n = data.len();
+        let d = data.dim();
+        let mut cols = vec![Vec::with_capacity(n); d];
+        for row in data.rows() {
+            for (f, &v) in row.iter().enumerate() {
+                cols[f].push(v);
+            }
+        }
+        Builder {
+            params,
+            nodes: Vec::new(),
+            rng,
+            weights: data.weights().to_vec(),
+            labels: data.labels().to_vec(),
+            cols,
+            goes_left: vec![false; n],
+        }
+    }
+
+    fn root_set(&self) -> NodeSet {
+        let n = self.weights.len();
+        let members: Vec<u32> = (0..n as u32).collect();
+        let sorted = self
+            .cols
+            .iter()
+            .map(|col| {
+                let mut order = members.clone();
+                // Stable: ties keep ascending id order, like the previous
+                // per-node stable sort over id-ordered gathers.
+                order.sort_by(|&a, &b| {
+                    col[a as usize]
+                        .partial_cmp(&col[b as usize])
+                        .expect("no NaN features")
+                });
+                order
+            })
+            .collect();
+        NodeSet { members, sorted }
+    }
+
+    /// Finds the best split of the node over a feature subsample; returns
     /// `(feature, threshold, impurity_decrease)`.
-    fn best_split(&mut self, indices: &[usize]) -> Option<(usize, f64, f64)> {
-        let d = self.data.dim();
-        let weights = self.data.weights();
-        let labels = self.data.labels();
+    fn best_split(&mut self, set: &NodeSet) -> Option<(usize, f64, f64)> {
+        let d = self.cols.len();
 
         let mut total_w = 0.0;
         let mut total_pos = 0.0;
-        for &i in indices {
-            total_w += weights[i];
-            if labels[i] {
-                total_pos += weights[i];
+        for &i in &set.members {
+            let w = self.weights[i as usize];
+            total_w += w;
+            if self.labels[i as usize] {
+                total_pos += w;
             }
         }
         if total_w <= 0.0 {
@@ -101,24 +165,21 @@ impl<'a> Builder<'a> {
         };
 
         let mut best: Option<(usize, f64, f64)> = None;
-        // Reusable (value, weight, is_pos) buffer per feature.
-        let mut col: Vec<(f64, f64, bool)> = Vec::with_capacity(indices.len());
         for &f in &features {
-            col.clear();
-            for &i in indices {
-                col.push((self.data.row(i)[f], weights[i], labels[i]));
-            }
-            col.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN features"));
-
+            let order = &set.sorted[f];
+            let col = &self.cols[f];
             let mut left_w = 0.0;
             let mut left_pos = 0.0;
-            for w in 0..col.len().saturating_sub(1) {
-                left_w += col[w].1;
-                if col[w].2 {
-                    left_pos += col[w].1;
+            for w in 0..order.len().saturating_sub(1) {
+                let i = order[w] as usize;
+                left_w += self.weights[i];
+                if self.labels[i] {
+                    left_pos += self.weights[i];
                 }
+                let v = col[i];
+                let v_next = col[order[w + 1] as usize];
                 // Can't split between equal values.
-                if col[w].0 == col[w + 1].0 {
+                if v == v_next {
                     continue;
                 }
                 let right_w = total_w - left_w;
@@ -132,7 +193,7 @@ impl<'a> Builder<'a> {
                     + right_w * gini(right_pos, right_w))
                     / total_w;
                 let decrease = parent_impurity - weighted_child;
-                let threshold = 0.5 * (col[w].0 + col[w + 1].0);
+                let threshold = 0.5 * (v + v_next);
                 match best {
                     Some((_, _, bd)) if bd >= decrease => {}
                     _ => best = Some((f, threshold, decrease)),
@@ -146,37 +207,70 @@ impl<'a> Builder<'a> {
         best.filter(|(_, _, d)| *d >= 0.0)
     }
 
-    fn build(&mut self, indices: &[usize], depth: usize) -> usize {
-        let weights = self.data.weights();
-        let labels = self.data.labels();
+    /// Stably partitions a node's members and presorted columns by the
+    /// chosen split, preserving both id order and per-feature value order.
+    fn partition(
+        &mut self,
+        set: NodeSet,
+        feature: usize,
+        threshold: f64,
+    ) -> (NodeSet, NodeSet) {
+        let col = &self.cols[feature];
+        for &i in &set.members {
+            self.goes_left[i as usize] = col[i as usize] <= threshold;
+        }
+        let split_members = |ids: &[u32], goes_left: &[bool]| -> (Vec<u32>, Vec<u32>) {
+            let mut left = Vec::new();
+            let mut right = Vec::new();
+            for &i in ids {
+                if goes_left[i as usize] {
+                    left.push(i);
+                } else {
+                    right.push(i);
+                }
+            }
+            (left, right)
+        };
+        let (lm, rm) = split_members(&set.members, &self.goes_left);
+        let mut ls = Vec::with_capacity(set.sorted.len());
+        let mut rs = Vec::with_capacity(set.sorted.len());
+        for order in &set.sorted {
+            let (lo, ro) = split_members(order, &self.goes_left);
+            ls.push(lo);
+            rs.push(ro);
+        }
+        (NodeSet { members: lm, sorted: ls }, NodeSet { members: rm, sorted: rs })
+    }
+
+    fn build(&mut self, set: NodeSet, depth: usize) -> usize {
         let mut total_w = 0.0;
         let mut pos_w = 0.0;
-        for &i in indices {
-            total_w += weights[i];
-            if labels[i] {
-                pos_w += weights[i];
+        for &i in &set.members {
+            let w = self.weights[i as usize];
+            total_w += w;
+            if self.labels[i as usize] {
+                pos_w += w;
             }
         }
         let leaf_prob = if total_w > 0.0 { pos_w / total_w } else { 0.5 };
 
-        if depth >= self.params.max_depth || indices.len() < 2 {
+        if depth >= self.params.max_depth || set.members.len() < 2 {
             self.nodes.push(Node::Leaf { prob: leaf_prob });
             return self.nodes.len() - 1;
         }
-        let Some((feature, threshold, _)) = self.best_split(indices) else {
+        let Some((feature, threshold, _)) = self.best_split(&set) else {
             self.nodes.push(Node::Leaf { prob: leaf_prob });
             return self.nodes.len() - 1;
         };
 
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-            indices.iter().partition(|&&i| self.data.row(i)[feature] <= threshold);
-        debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
+        let (left_set, right_set) = self.partition(set, feature, threshold);
+        debug_assert!(!left_set.members.is_empty() && !right_set.members.is_empty());
 
         // Reserve this node's slot before recursing so children line up.
         let my = self.nodes.len();
         self.nodes.push(Node::Leaf { prob: leaf_prob }); // placeholder
-        let left = self.build(&left_idx, depth + 1);
-        let right = self.build(&right_idx, depth + 1);
+        let left = self.build(left_set, depth + 1);
+        let right = self.build(right_set, depth + 1);
         self.nodes[my] = Node::Split { feature, threshold, left, right };
         my
     }
@@ -189,9 +283,10 @@ impl DecisionTree {
     /// Panics on an empty dataset.
     pub fn fit(data: &Dataset, params: &DecisionTreeParams, rng: &mut Rng) -> Self {
         assert!(!data.is_empty(), "cannot fit tree on empty dataset");
-        let mut builder = Builder { data, params, nodes: Vec::new(), rng: rng.fork() };
-        let indices: Vec<usize> = (0..data.len()).collect();
-        let root = builder.build(&indices, 0);
+        assert!(u32::try_from(data.len()).is_ok(), "dataset too large for tree ids");
+        let mut builder = Builder::new(data, params, rng.fork());
+        let root_set = builder.root_set();
+        let root = builder.build(root_set, 0);
         debug_assert_eq!(root, 0);
         DecisionTree { nodes: builder.nodes, dim: data.dim() }
     }

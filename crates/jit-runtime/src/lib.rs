@@ -1,0 +1,262 @@
+//! # jit-runtime
+//!
+//! A deterministic, std-only parallel runtime for the training hot paths.
+//!
+//! The paper's admin-side pipeline is embarrassingly parallel: forest trees
+//! are independent bootstraps, the per-horizon future models are independent
+//! training problems, and "the generators are independent of each other, and
+//! thus they can be executed in parallel" (§II-B). This crate provides the
+//! one primitive all of those need — an order-preserving
+//! [`Runtime::parallel_map`] over a scoped, chunk-stealing thread pool —
+//! plus the RNG-stream discipline that keeps parallel training
+//! reproducible.
+//!
+//! ## Pool semantics
+//!
+//! * **Scoped.** Workers are spawned with [`std::thread::scope`] per call,
+//!   so task closures may borrow from the caller's stack. There is no
+//!   global pool, no configuration hidden in statics, and nothing outlives
+//!   the call.
+//! * **Chunked work stealing.** Tasks are indexed `0..n`; workers claim
+//!   contiguous chunks from a shared atomic cursor. Chunk size shrinks with
+//!   `n / (threads * 4)` so imbalanced task costs (e.g. herding + training
+//!   at different horizons) still spread across cores, while tiny task
+//!   bodies are not drowned in synchronization.
+//! * **Order preserving.** The result vector is index-addressed: output
+//!   `i` is the value produced by task `i`, regardless of which worker ran
+//!   it or in what order chunks were claimed.
+//! * **Serial fallback.** `threads <= 1` (or `n <= 1`) runs the tasks
+//!   inline on the caller's thread — no spawns, identical results.
+//! * **Panic propagation.** A panicking task poisons the scope; the panic
+//!   resurfaces on the caller once remaining workers finish their chunks.
+//!
+//! ## Determinism contract
+//!
+//! The pool itself introduces no nondeterminism — only task code can. The
+//! contract callers must follow:
+//!
+//! 1. **Fork RNG streams before dispatch.** Derive one child generator per
+//!    task, in task order, on the caller's thread ([`fork_streams`]), and
+//!    hand task `i` exactly stream `i`. Streams are then independent of
+//!    scheduling.
+//! 2. **No shared mutable state between tasks.** Each task returns its
+//!    result; aggregation happens after the barrier on the caller.
+//!
+//! Under this contract, output is **bit-identical across any thread
+//! count**, including the serial fallback: `Runtime::new(1)`,
+//! `Runtime::new(8)` and `Runtime::serial()` produce the same bytes. The
+//! workspace's training paths (`RandomForest::fit`, the models generator,
+//! the per-time-point candidates generators) all follow it, and
+//! `tests/determinism.rs` locks the property down.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use jit_math::rng::Rng;
+
+/// A handle describing how much parallelism to use.
+///
+/// `Runtime` is cheap to construct (it holds only a thread count); the
+/// actual workers are scoped to each [`Runtime::parallel_map`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct Runtime {
+    threads: usize,
+}
+
+impl Default for Runtime {
+    /// Equivalent to `Runtime::new(0)`: one thread per available core.
+    fn default() -> Self {
+        Runtime::new(0)
+    }
+}
+
+impl Runtime {
+    /// Creates a runtime with the given thread count.
+    ///
+    /// `0` means "auto": one thread per core reported by
+    /// [`std::thread::available_parallelism`] (1 if unavailable).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+        } else {
+            threads
+        };
+        Runtime { threads }
+    }
+
+    /// A runtime that always runs inline on the caller's thread.
+    pub fn serial() -> Self {
+        Runtime { threads: 1 }
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over the task indices `0..n`, returning results in task
+    /// order.
+    ///
+    /// `f` runs on pool workers (or inline when `threads <= 1` / `n <= 1`)
+    /// and must not rely on execution order; see the crate docs for the
+    /// determinism contract.
+    pub fn parallel_map<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.threads <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let workers = self.threads.min(n);
+        // Chunks small enough to balance uneven tasks, large enough that
+        // the atomic cursor stays cold.
+        let chunk = (n / (workers * 4)).max(1);
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<Vec<(usize, R)>>();
+
+        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let tx = tx.clone();
+                    let cursor = &cursor;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= n {
+                                break;
+                            }
+                            for i in start..(start + chunk).min(n) {
+                                local.push((i, f(i)));
+                            }
+                        }
+                        // The receiver lives until every worker is joined;
+                        // a send cannot fail here.
+                        let _ = tx.send(local);
+                    })
+                })
+                .collect();
+            drop(tx);
+            // A panicking worker drops its sender without sending, so this
+            // loop always terminates; the panic payload is then re-raised
+            // by the explicit joins below.
+            while let Ok(batch) = rx.recv() {
+                for (i, r) in batch {
+                    debug_assert!(results[i].is_none(), "task {i} ran twice");
+                    results[i] = Some(r);
+                }
+            }
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every task index produced a result"))
+            .collect()
+    }
+}
+
+/// Forks `n` independent child RNG streams from `parent`, in task order.
+///
+/// This is step 1 of the determinism contract: call it on the dispatching
+/// thread *before* `parallel_map`, then hand task `i` stream `i` (cloning
+/// out of the returned vector). The parent advances by exactly `n` draws
+/// regardless of thread count, so everything downstream of the fork point
+/// is schedule-independent.
+pub fn fork_streams(parent: &mut Rng, n: usize) -> Vec<Rng> {
+    (0..n).map(|_| parent.fork()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_are_in_task_order() {
+        for threads in [1usize, 2, 3, 8] {
+            let rt = Runtime::new(threads);
+            let out = rt.parallel_map(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_and_one_task_edge_cases() {
+        let rt = Runtime::new(4);
+        assert_eq!(rt.parallel_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(rt.parallel_map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let rt = Runtime::new(8);
+        let out = rt.parallel_map(1000, |_| counter.fetch_add(1, Ordering::SeqCst));
+        assert_eq!(out.len(), 1000);
+        assert_eq!(counter.load(Ordering::SeqCst), 1000);
+        let mut seen: Vec<usize> = out;
+        seen.sort_unstable();
+        assert_eq!(seen, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn auto_threads_resolves_positive() {
+        assert!(Runtime::new(0).threads() >= 1);
+        assert_eq!(Runtime::serial().threads(), 1);
+        assert_eq!(Runtime::new(5).threads(), 5);
+    }
+
+    #[test]
+    fn tasks_may_borrow_from_caller() {
+        let data: Vec<f64> = (0..256).map(|i| i as f64).collect();
+        let rt = Runtime::new(4);
+        let doubled = rt.parallel_map(data.len(), |i| data[i] * 2.0);
+        assert_eq!(doubled[255], 510.0);
+    }
+
+    #[test]
+    fn forked_streams_are_schedule_independent() {
+        let mk = |threads: usize| -> Vec<u64> {
+            let mut parent = Rng::seeded(42);
+            let streams = fork_streams(&mut parent, 16);
+            Runtime::new(threads).parallel_map(16, |i| streams[i].clone().next_u64())
+        };
+        let serial = mk(1);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(mk(threads), serial, "threads={threads}");
+        }
+        // Streams must actually differ from each other.
+        let set: std::collections::HashSet<_> = serial.iter().collect();
+        assert_eq!(set.len(), serial.len());
+    }
+
+    #[test]
+    fn parent_advance_is_thread_count_independent() {
+        let mut a = Rng::seeded(9);
+        let mut b = Rng::seeded(9);
+        let _ = fork_streams(&mut a, 8);
+        let _ = fork_streams(&mut b, 8);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "task panic bubbles")]
+    fn panics_propagate_to_caller() {
+        let rt = Runtime::new(2);
+        rt.parallel_map(8, |i| {
+            if i == 3 {
+                panic!("task panic bubbles");
+            }
+            i
+        });
+    }
+}

@@ -46,7 +46,7 @@ impl EmbeddingSpace {
         // Whitener over raw features (without the label coordinate).
         let mut all_rows: Vec<Vec<f64>> = Vec::with_capacity(total);
         for s in slices {
-            all_rows.extend(s.rows().iter().cloned());
+            all_rows.extend(s.rows().map(<[f64]>::to_vec));
         }
         let standardizer = Standardizer::fit(&Matrix::from_rows(&all_rows));
 

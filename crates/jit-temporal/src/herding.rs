@@ -32,12 +32,106 @@ impl Default for HerdingParams {
     }
 }
 
-/// Solves for pool weights whose weighted mean map best matches the target
-/// embedding. Returns weights normalized to mean 1 (so they compose with
-/// weight-proportional bootstraps of any size).
+/// Precomputed herding system for one `(space, pool)` pair.
 ///
-/// Uses the identity `(KᵀK + λI)⁻¹Kᵀ = Kᵀ(KKᵀ + λI)⁻¹` to solve in
-/// landmark space: `w = K_PZ (K_ZP K_PZ + λ I_m)⁻¹ v̂`.
+/// The kernel matrix `K_ZP` and the Cholesky factor of the ridge Gram
+/// `K Kᵀ + λI` depend only on the landmark set and the pool — not on the
+/// extrapolated target — so the models generator builds this **once** and
+/// solves per horizon step. Each solve is then two triangular
+/// substitutions plus one `p × m` mat-vec, instead of re-evaluating
+/// `m × p` RBF kernels and re-factorizing.
+#[derive(Clone, Debug)]
+pub struct HerdingSolver {
+    /// `K_ZP / p` (the mean-map kernel matrix), `m × p`.
+    kzp_mean: Matrix,
+    /// Lower-triangular Cholesky factor of `K Kᵀ + ridge·I`, `m × m`.
+    gram_chol: Matrix,
+    params: HerdingParams,
+    pool_size: usize,
+}
+
+impl HerdingSolver {
+    /// Builds the solver: evaluates landmark-vs-pool kernels and
+    /// factorizes the ridge Gram.
+    ///
+    /// # Panics
+    /// Panics when the pool is empty.
+    pub fn new(
+        space: &EmbeddingSpace,
+        pool_joint: &[Vec<f64>],
+        params: &HerdingParams,
+    ) -> Self {
+        assert!(!pool_joint.is_empty(), "herding needs a non-empty pool");
+        let m = space.dim();
+        let p = pool_joint.len();
+
+        // K_ZP: m x p kernel evaluations landmark-vs-pool.
+        let mut kzp = Matrix::zeros(m, p);
+        for (l, z) in space.landmarks().iter().enumerate() {
+            for (j, x) in pool_joint.iter().enumerate() {
+                kzp[(l, j)] = space.kernel().eval(z, x);
+            }
+        }
+        // The target is a *mean* map; match the mean by scaling:
+        // K_ZP w / p ≈ v̂ with w ~ O(1). Fold 1/p into the kernel matrix.
+        let kzp_mean = kzp.scaled(1.0 / p as f64);
+
+        // G = (K K^T + λ·scale·I_m). λ is made scale-free by tying it to
+        // the mean diagonal of G, so the same parameter works regardless
+        // of pool size or kernel bandwidth.
+        let mut g = kzp_mean
+            .matmul(&kzp_mean.transpose())
+            .expect("shape is m x m by construction");
+        let trace: f64 = (0..m).map(|i| g[(i, i)]).sum();
+        let ridge = (params.lambda * (trace / m as f64)).max(1e-12);
+        g.add_diagonal(ridge);
+        let gram_chol = g.cholesky().expect("ridge system is SPD");
+        HerdingSolver { kzp_mean, gram_chol, params: *params, pool_size: p }
+    }
+
+    /// Solves for pool weights whose weighted mean map best matches the
+    /// target embedding. Returns weights normalized to mean 1 (so they
+    /// compose with weight-proportional bootstraps of any size).
+    ///
+    /// Uses the identity `(KᵀK + λI)⁻¹Kᵀ = Kᵀ(KKᵀ + λI)⁻¹` to solve in
+    /// landmark space: `w = K_PZ (K_ZP K_PZ + λ I_m)⁻¹ v̂`.
+    ///
+    /// # Panics
+    /// Panics when the target dimension mismatches the space.
+    pub fn solve(&self, target: &[f64]) -> Vec<f64> {
+        let p = self.pool_size;
+        let u = self.gram_chol.cholesky_solve(target);
+        let mut w =
+            self.kzp_mean.transpose().matvec(&u).expect("shape is p by construction");
+
+        // Clip, floor, renormalize to mean 1.
+        let floor = self.params.min_weight_fraction.max(0.0);
+        for x in w.iter_mut() {
+            if !x.is_finite() || *x < 0.0 {
+                *x = 0.0;
+            }
+        }
+        let sum: f64 = w.iter().sum();
+        if sum <= 0.0 {
+            // Degenerate target: fall back to uniform.
+            return vec![1.0; p];
+        }
+        let scale = p as f64 / sum;
+        for x in w.iter_mut() {
+            *x = (*x * scale).max(floor);
+        }
+        // Renormalize after flooring.
+        let sum2: f64 = w.iter().sum();
+        let scale2 = p as f64 / sum2;
+        for x in w.iter_mut() {
+            *x *= scale2;
+        }
+        w
+    }
+}
+
+/// One-shot convenience wrapper over [`HerdingSolver`]; callers herding
+/// repeatedly against the same pool should build the solver once instead.
 ///
 /// # Panics
 /// Panics when the pool is empty or the target dimension mismatches the
@@ -48,56 +142,8 @@ pub fn herd_weights(
     target: &[f64],
     params: &HerdingParams,
 ) -> Vec<f64> {
-    assert!(!pool_joint.is_empty(), "herding needs a non-empty pool");
     assert_eq!(target.len(), space.dim(), "target embedding dimension mismatch");
-    let m = space.dim();
-    let p = pool_joint.len();
-
-    // K_ZP: m x p kernel evaluations landmark-vs-pool.
-    let mut kzp = Matrix::zeros(m, p);
-    for (l, z) in space.landmarks().iter().enumerate() {
-        for (j, x) in pool_joint.iter().enumerate() {
-            kzp[(l, j)] = space.kernel().eval(z, x);
-        }
-    }
-    // The target is a *mean* map; match the mean by scaling: K_ZP w / p ≈ v̂
-    // with w ~ O(1). Fold 1/p into the kernel matrix.
-    let kzp_mean = kzp.scaled(1.0 / p as f64);
-
-    // G = (K K^T + λ·scale·I_m), solve G u = target, then w = K^T u.
-    // λ is made scale-free by tying it to the mean diagonal of G, so the
-    // same parameter works regardless of pool size or kernel bandwidth.
-    let mut g =
-        kzp_mean.matmul(&kzp_mean.transpose()).expect("shape is m x m by construction");
-    let trace: f64 = (0..m).map(|i| g[(i, i)]).sum();
-    let ridge = (params.lambda * (trace / m as f64)).max(1e-12);
-    g.add_diagonal(ridge);
-    let u = g.solve_spd(target).expect("ridge system is SPD");
-    let mut w = kzp_mean.transpose().matvec(&u).expect("shape is p by construction");
-
-    // Clip, floor, renormalize to mean 1.
-    let floor = params.min_weight_fraction.max(0.0);
-    for x in w.iter_mut() {
-        if !x.is_finite() || *x < 0.0 {
-            *x = 0.0;
-        }
-    }
-    let sum: f64 = w.iter().sum();
-    if sum <= 0.0 {
-        // Degenerate target: fall back to uniform.
-        return vec![1.0; p];
-    }
-    let scale = p as f64 / sum;
-    for x in w.iter_mut() {
-        *x = (*x * scale).max(floor);
-    }
-    // Renormalize after flooring.
-    let sum2: f64 = w.iter().sum();
-    let scale2 = p as f64 / sum2;
-    for x in w.iter_mut() {
-        *x *= scale2;
-    }
-    w
+    HerdingSolver::new(space, pool_joint, params).solve(target)
 }
 
 /// Residual `‖K_ZP w / p − v̂‖₂` — how well the recovered weights match the

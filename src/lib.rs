@@ -44,6 +44,7 @@
 //! | crate | role |
 //! |---|---|
 //! | [`jit_math`] | vectors, matrices, Cholesky/ridge, kernels, RNG |
+//! | [`jit_runtime`] | deterministic scoped thread pool for training |
 //! | [`jit_ml`] | decision trees, random forests, logistic, GBM, metrics |
 //! | [`jit_data`] | feature schema + drifting Lending-Club generator |
 //! | [`jit_constraints`] | the constraints language (diff/gap/confidence) |
@@ -57,6 +58,7 @@ pub use jit_data;
 pub use jit_db;
 pub use jit_math;
 pub use jit_ml;
+pub use jit_runtime;
 pub use jit_temporal;
 
 /// One-stop imports for applications.

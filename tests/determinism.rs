@@ -1,0 +1,325 @@
+//! Determinism and view-equivalence suite for the parallel training
+//! runtime (jit-runtime) and the zero-copy `Dataset` views.
+//!
+//! Two families of guarantees are locked down here:
+//!
+//! 1. **Thread-count invariance.** Training output — forests, future
+//!    model sequences, candidate tables — is bit-identical under a fixed
+//!    seed for 1, 2 and 8 worker threads, and identical to the serial
+//!    path. This is the `jit-runtime` determinism contract (per-task RNG
+//!    streams forked before dispatch) observed end to end.
+//! 2. **View semantics.** `Dataset::subset` / `bootstrap` /
+//!    `stratified_split` are index-remapping views into one shared
+//!    buffer, and must reproduce the old clone-based semantics exactly:
+//!    same rows, labels, weights, in the same order, with the same RNG
+//!    consumption.
+
+use justintime::jit_constraints::ConstraintSet;
+use justintime::jit_math::rng::Rng;
+use justintime::jit_ml::{DecisionTree, DecisionTreeParams};
+use justintime::jit_runtime::{fork_streams, Runtime};
+use justintime::jit_temporal::future::FutureModelsGenerator;
+use justintime::prelude::*;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------
+
+fn lending_slices(per_year: usize, n_years: usize) -> (FeatureSchema, Vec<Dataset>) {
+    let gen = LendingClubGenerator::new(LendingClubParams {
+        records_per_year: per_year,
+        ..Default::default()
+    });
+    let slices = gen
+        .years()
+        .into_iter()
+        .take(n_years)
+        .map(|y| LendingClubGenerator::to_dataset(&gen.records_for_year(y)))
+        .collect();
+    (gen.schema().clone(), slices)
+}
+
+fn probe_grid(dim: usize, n: usize) -> Vec<Vec<f64>> {
+    let mut rng = Rng::seeded(0xfeed);
+    (0..n).map(|_| (0..dim).map(|_| rng.normal_with(0.0, 2.0)).collect()).collect()
+}
+
+// ---------------------------------------------------------------------
+// 1. Thread-count invariance
+// ---------------------------------------------------------------------
+
+#[test]
+fn forest_is_bit_identical_across_thread_counts() {
+    let (_, slices) = lending_slices(120, 3);
+    let data = slices.last().unwrap();
+    let probes = probe_grid(data.dim(), 32);
+
+    let fit = |threads: usize| {
+        let params = RandomForestParams { n_trees: 12, threads, ..Default::default() };
+        let forest = RandomForest::fit(data, &params, &mut Rng::seeded(77));
+        probes.iter().map(|x| forest.predict_proba(x)).collect::<Vec<f64>>()
+    };
+    let serial = fit(1);
+    for threads in [2usize, 8] {
+        assert_eq!(fit(threads), serial, "forest differs at threads={threads}");
+    }
+}
+
+#[test]
+fn future_models_are_bit_identical_across_thread_counts() {
+    let (_, slices) = lending_slices(100, 5);
+    let probes = probe_grid(slices[0].dim(), 16);
+
+    for predictor in [
+        FuturePredictor::Edd,
+        FuturePredictor::ParamExtrapolation,
+        FuturePredictor::Frozen,
+    ] {
+        let generate = |threads: usize| {
+            let gen = FutureModelsGenerator::new(FutureModelsParams {
+                horizon: 3,
+                predictor,
+                n_landmarks: 25,
+                forest: RandomForestParams {
+                    n_trees: 6,
+                    threads,
+                    ..Default::default()
+                },
+                threads,
+                seed: 913,
+                ..Default::default()
+            });
+            let models = gen.generate(&slices).expect("generation succeeds");
+            models
+                .iter()
+                .map(|m| {
+                    let scores: Vec<f64> =
+                        probes.iter().map(|x| m.model.predict_proba(x)).collect();
+                    (m.time_index, m.delta, scores)
+                })
+                .collect::<Vec<_>>()
+        };
+        let serial = generate(1);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                generate(threads),
+                serial,
+                "{predictor:?} differs at threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn end_to_end_candidates_are_bit_identical_across_thread_counts() {
+    let (schema, slices) = lending_slices(120, 4);
+    let session_profiles = |threads: usize| {
+        let config = AdminConfig {
+            horizon: 2,
+            threads,
+            future: FutureModelsParams {
+                n_landmarks: 20,
+                pool_slices: 2,
+                forest: RandomForestParams { n_trees: 6, ..Default::default() },
+                ..Default::default()
+            },
+            candidates: CandidateParams {
+                beam_width: 4,
+                max_iters: 3,
+                top_k: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let system = JustInTime::train(config, &schema, &slices).expect("train");
+        let session = system
+            .session(&LendingClubGenerator::john(), &ConstraintSet::new(), None)
+            .expect("session");
+        session
+            .candidates()
+            .iter()
+            .map(|c| (c.time_index, c.profile.clone(), c.confidence))
+            .collect::<Vec<_>>()
+    };
+    let serial = session_profiles(1);
+    assert!(!serial.is_empty(), "fixture must produce candidates");
+    for threads in [2usize, 8] {
+        assert_eq!(session_profiles(threads), serial, "threads={threads}");
+    }
+}
+
+#[test]
+fn runtime_parallel_map_matches_serial_with_forked_streams() {
+    // The contract in miniature: fork first, then map.
+    let run = |threads: usize| -> Vec<u64> {
+        let mut parent = Rng::seeded(4242);
+        let streams = fork_streams(&mut parent, 64);
+        Runtime::new(threads).parallel_map(64, |i| {
+            let mut rng = streams[i].clone();
+            (0..100).map(|_| rng.next_u64()).fold(0u64, u64::wrapping_add)
+        })
+    };
+    let serial = run(1);
+    for threads in [2usize, 3, 8] {
+        assert_eq!(run(threads), serial);
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. View semantics match the old clone-based behaviour
+// ---------------------------------------------------------------------
+
+/// Clone-based reference implementation of `subset` (the pre-view
+/// semantics): materializes rows, labels and weights at `indices`.
+fn subset_reference(
+    d: &Dataset,
+    indices: &[usize],
+) -> (Vec<Vec<f64>>, Vec<bool>, Vec<f64>) {
+    let rows: Vec<Vec<f64>> = indices.iter().map(|&i| d.row(i).to_vec()).collect();
+    let labels = indices.iter().map(|&i| d.label(i)).collect();
+    let weights = indices.iter().map(|&i| d.weights()[i]).collect();
+    (rows, labels, weights)
+}
+
+fn materialize(d: &Dataset) -> (Vec<Vec<f64>>, Vec<bool>, Vec<f64>) {
+    (d.rows().map(<[f64]>::to_vec).collect(), d.labels().to_vec(), d.weights().to_vec())
+}
+
+/// Strategy over random (rows, labels, weights) triples of varying shape.
+///
+/// Implemented against the vendored proptest's sampling `Strategy` trait
+/// directly (the shim has no `prop_flat_map`/`any`).
+#[derive(Clone, Debug)]
+struct ArbitraryDataset {
+    max_rows: usize,
+}
+
+fn arbitrary_dataset(max_rows: usize) -> ArbitraryDataset {
+    ArbitraryDataset { max_rows }
+}
+
+impl Strategy for ArbitraryDataset {
+    type Value = (Vec<Vec<f64>>, Vec<bool>, Vec<f64>);
+
+    fn generate(&self, rng: &mut proptest::test_runner::TestRng) -> Self::Value {
+        let n = rng.i128_in(1, self.max_rows as i128) as usize;
+        let dim = rng.i128_in(1, 4) as usize;
+        let rows = (0..n)
+            .map(|_| (0..dim).map(|_| -1e3 + 2e3 * rng.unit_f64()).collect())
+            .collect();
+        let labels = (0..n).map(|_| rng.next_u64() & 1 == 1).collect();
+        let weights = (0..n).map(|_| 0.01 + 9.99 * rng.unit_f64()).collect();
+        (rows, labels, weights)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn subset_view_matches_clone_semantics(
+        data in arbitrary_dataset(24),
+        pick in proptest::collection::vec(0usize..1000, 1..40),
+    ) {
+        let (rows, labels, weights) = data;
+        let d = Dataset::from_weighted_rows(rows, labels, weights);
+        let indices: Vec<usize> = pick.into_iter().map(|i| i % d.len()).collect();
+        let expected = subset_reference(&d, &indices);
+        let view = d.subset(&indices);
+        prop_assert_eq!(materialize(&view), expected);
+        // Views of views also resolve correctly.
+        let half: Vec<usize> = (0..view.len() / 2).collect();
+        if !half.is_empty() {
+            let expected2 = subset_reference(&view, &half);
+            prop_assert_eq!(materialize(&view.subset(&half)), expected2);
+        }
+    }
+
+    #[test]
+    fn stratified_split_view_matches_clone_semantics(
+        data in arbitrary_dataset(40),
+        seed in 0u64..500,
+        fraction in 0.1f64..0.9,
+    ) {
+        let (rows, labels, weights) = data;
+        let d = Dataset::from_weighted_rows(rows, labels, weights);
+        // Reference: replicate the split index computation, then compare
+        // against the view outputs.
+        let mut pos: Vec<usize> = Vec::new();
+        let mut neg: Vec<usize> = Vec::new();
+        for (i, &l) in d.labels().iter().enumerate() {
+            if l { pos.push(i) } else { neg.push(i) }
+        }
+        let mut rng = Rng::seeded(seed);
+        rng.shuffle(&mut pos);
+        rng.shuffle(&mut neg);
+        let mut train_idx = Vec::new();
+        let mut test_idx = Vec::new();
+        for class in [pos, neg] {
+            let n_test = ((class.len() as f64) * fraction).round() as usize;
+            let n_test = n_test.min(class.len());
+            test_idx.extend_from_slice(&class[..n_test]);
+            train_idx.extend_from_slice(&class[n_test..]);
+        }
+        let (train, test) = d.stratified_split(fraction, &mut Rng::seeded(seed));
+        prop_assert_eq!(materialize(&train), subset_reference(&d, &train_idx));
+        prop_assert_eq!(materialize(&test), subset_reference(&d, &test_idx));
+    }
+
+    #[test]
+    fn uniform_bootstrap_view_matches_clone_semantics(
+        data in arbitrary_dataset(30),
+        seed in 0u64..500,
+    ) {
+        let (rows, labels, _) = data;
+        let d = Dataset::from_rows(rows, labels);
+        // Reference: uniform bootstrap draws `below(n)` per row.
+        let mut rng = Rng::seeded(seed);
+        let indices: Vec<usize> = (0..d.len()).map(|_| rng.below(d.len())).collect();
+        let (rows_e, labels_e, _) = subset_reference(&d, &indices);
+        let b = d.bootstrap(&mut Rng::seeded(seed));
+        let (rows_b, labels_b, weights_b) = materialize(&b);
+        prop_assert_eq!(rows_b, rows_e);
+        prop_assert_eq!(labels_b, labels_e);
+        // Bootstrap realizes weights to 1.
+        prop_assert!(weights_b.iter().all(|w| *w == 1.0));
+    }
+
+    #[test]
+    fn weighted_bootstrap_draws_follow_weights(
+        seed in 0u64..200,
+    ) {
+        // A 3-row dataset where row 1 carries ~98% of the mass: the view
+        // bootstrap must never select zero-weight rows and must draw the
+        // heavy row overwhelmingly often.
+        let d = Dataset::from_weighted_rows(
+            vec![vec![0.0], vec![1.0], vec![2.0]],
+            vec![false, true, false],
+            vec![0.0, 98.0, 2.0],
+        );
+        let b = d.bootstrap(&mut Rng::seeded(seed));
+        prop_assert_eq!(b.len(), 3);
+        prop_assert!(b.rows().all(|r| r[0] > 0.0), "zero-weight row selected");
+    }
+
+    #[test]
+    fn trees_are_identical_on_view_and_materialized_copy(
+        data in arbitrary_dataset(30),
+        seed in 0u64..200,
+    ) {
+        let (rows, labels, weights) = data;
+        let d = Dataset::from_weighted_rows(rows, labels, weights);
+        let indices: Vec<usize> = (0..d.len()).rev().collect();
+        let view = d.subset(&indices);
+        let (rows_m, labels_m, weights_m) = materialize(&view);
+        let copy = Dataset::from_weighted_rows(rows_m, labels_m, weights_m);
+
+        let params = DecisionTreeParams::default();
+        let tv = DecisionTree::fit(&view, &params, &mut Rng::seeded(seed));
+        let tc = DecisionTree::fit(&copy, &params, &mut Rng::seeded(seed));
+        for x in probe_grid(d.dim(), 8) {
+            prop_assert_eq!(tv.predict_proba(&x), tc.predict_proba(&x));
+        }
+    }
+}

@@ -157,7 +157,10 @@ fn all_labels_one_class_still_trains() {
         .take(3)
         .map(|y| {
             let d = LendingClubGenerator::to_dataset(&gen.records_for_year(y));
-            Dataset::from_rows(d.rows().to_vec(), vec![true; d.len()])
+            Dataset::from_rows(
+                d.rows().map(<[f64]>::to_vec).collect(),
+                vec![true; d.len()],
+            )
         })
         .collect();
     let system = JustInTime::train(tiny_config(1), &schema, &slices).unwrap();

@@ -312,11 +312,8 @@ proptest! {
             &mut rng,
         );
         let schema = gen.schema().clone();
-        let scales = justintime::jit_math::Standardizer::fit(
-            &justintime::jit_math::Matrix::from_rows(data.rows()),
-        )
-        .stds()
-        .to_vec();
+        let scales =
+            justintime::jit_math::Standardizer::fit(&data.matrix()).stds().to_vec();
         let (mut set, _) = domain_constraints(&schema);
         let mut user = ConstraintSet::new();
         user.add(
