@@ -1,0 +1,46 @@
+//! Batch serving vs serial sessions: the amortization claim of the
+//! serving layer (`JustInTime::serve_batch`).
+//!
+//! A batch of N users shares per-time-point move-hint extraction, the
+//! training-time compiled domain constraints and the DDL-initialized
+//! database template; serial sessions repeat the per-call share of that
+//! work N times. On a multi-core host the `PerUser` fan-out adds the
+//! parallel win on top (bit-identical output either way).
+//!
+//! Run with: `cargo bench -p jit-bench --bench serving`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jit_bench::{bench_generator, serving_cohort, trained_system};
+use std::hint::black_box;
+
+fn bench_serving(c: &mut Criterion) {
+    let (system, _) = trained_system(200, 2, true);
+    let gen = bench_generator(200);
+    let cohort = serving_cohort(&system, &gen, 8);
+    assert_eq!(cohort.len(), 8, "cohort fixture must fill up");
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.bench_function("serial_sessions_8xT2", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for request in &cohort {
+                let session = system
+                    .session(&request.profile, &request.constraints, None)
+                    .expect("session");
+                total += session.candidates().len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("batch_sessions_8xT2", |b| {
+        b.iter(|| {
+            let sessions = system.serve_batch(black_box(&cohort)).expect("batch");
+            black_box(sessions.iter().map(|s| s.candidates().len()).sum::<usize>())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -1,9 +1,11 @@
-//! Machine-readable perf snapshot for the `BENCH_*.json` trajectory files.
+//! Machine-readable perf snapshot for the `BENCH_*.json` trajectory
+//! files, plus the CI perf-regression gate.
 //!
-//! Times the three hot-path workloads the perf acceptance criteria track —
+//! Times the hot-path workloads the perf acceptance criteria track —
 //! models-generator training (`future_models`), the end-to-end pipeline
-//! (`pipeline`) and the candidates search (`candidates`) — and prints one
-//! JSON object to stdout, so snapshots are reproducible with:
+//! (`pipeline`), the candidates search (`candidates`) and multi-user
+//! serving (`serve`) — and prints one JSON object to stdout, so
+//! snapshots are reproducible with:
 //!
 //! ```text
 //! cargo run --release -p jit-bench --bin perf_snapshot            # full
@@ -12,8 +14,26 @@
 //!
 //! `--scale smoke` shrinks every workload (fewer records, trees, reps) so
 //! CI can *run* the benches — not just compile them — in seconds.
+//!
+//! ## Regression gate
+//!
+//! ```text
+//! perf_snapshot --scale smoke --check BENCH_3.json --tolerance 1.25
+//! ```
+//!
+//! compares the fresh snapshot against the `"timings_ms"` block of the
+//! given baseline file and **exits non-zero** when any benchmark present
+//! in both regresses past `tolerance` (fresh `min` > baseline `min` ×
+//! tolerance). `min`-of-reps is compared because it is the
+//! noise-robust statistic on shared CI runners; baselines below the
+//! `--floor` (default 1 ms) are reported but not gated, since sub-ms
+//! timings are timer-noise dominated across runner generations. The
+//! report goes to stderr so stdout stays valid snapshot JSON for
+//! artifact upload.
 
-use jit_bench::{bench_config, bench_generator, john_session, year_slices};
+use jit_bench::{
+    bench_config, bench_generator, john_session, serving_cohort, year_slices,
+};
 use jit_core::JustInTime;
 use jit_data::LendingClubGenerator;
 use jit_ml::{Dataset, RandomForestParams};
@@ -29,13 +49,26 @@ struct Scale {
     n_trees: usize,
     horizon: usize,
     reps: usize,
+    batch_users: usize,
 }
 
-const FULL: Scale =
-    Scale { name: "full", records_per_year: 400, n_trees: 20, horizon: 4, reps: 5 };
+const FULL: Scale = Scale {
+    name: "full",
+    records_per_year: 400,
+    n_trees: 20,
+    horizon: 4,
+    reps: 5,
+    batch_users: 8,
+};
 
-const SMOKE: Scale =
-    Scale { name: "smoke", records_per_year: 60, n_trees: 6, horizon: 2, reps: 2 };
+const SMOKE: Scale = Scale {
+    name: "smoke",
+    records_per_year: 60,
+    n_trees: 6,
+    horizon: 2,
+    reps: 3,
+    batch_users: 8,
+};
 
 /// Times `f` (`reps` samples after one warm-up); returns (mean_ms, min_ms).
 fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> (f64, f64) {
@@ -52,17 +85,193 @@ fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> (f64, f64) {
     (total / reps as f64, min)
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = match args.iter().position(|a| a == "--scale") {
-        Some(i) if args.get(i + 1).map(String::as_str) == Some("smoke") => SMOKE,
-        Some(i) if args.get(i + 1).map(String::as_str) == Some("full") => FULL,
-        Some(_) => {
-            eprintln!("usage: perf_snapshot [--scale full|smoke]");
-            std::process::exit(2);
+struct Args {
+    scale: Scale,
+    check: Option<String>,
+    tolerance: f64,
+    floor_ms: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perf_snapshot [--scale full|smoke] \
+         [--check BASELINE.json [--tolerance RATIO] [--floor MS]]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = Args { scale: FULL, check: None, tolerance: 1.25, floor_ms: 1.0 };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                match argv.get(i + 1).map(String::as_str) {
+                    Some("full") => out.scale = FULL,
+                    Some("smoke") => out.scale = SMOKE,
+                    _ => usage(),
+                }
+                i += 2;
+            }
+            "--check" => {
+                let Some(path) = argv.get(i + 1) else { usage() };
+                out.check = Some(path.clone());
+                i += 2;
+            }
+            "--tolerance" => {
+                let Some(t) = argv.get(i + 1).and_then(|t| t.parse::<f64>().ok())
+                else {
+                    usage()
+                };
+                if !(t.is_finite() && t >= 1.0) {
+                    usage()
+                }
+                out.tolerance = t;
+                i += 2;
+            }
+            "--floor" => {
+                let Some(f) = argv.get(i + 1).and_then(|f| f.parse::<f64>().ok())
+                else {
+                    usage()
+                };
+                if !(f.is_finite() && f >= 0.0) {
+                    usage()
+                }
+                out.floor_ms = f;
+                i += 2;
+            }
+            _ => usage(),
         }
-        None => FULL,
+    }
+    out
+}
+
+/// Extracts `name -> min_ms` from the first `"timings_ms"` object of a
+/// snapshot-shaped JSON file. A deliberately tiny scanner (the workspace
+/// is dependency-free): entries look like
+/// `"bench/name": { "mean": 1.23, "min": 1.11 }`.
+fn parse_baseline_timings(text: &str) -> Vec<(String, f64)> {
+    let Some(anchor) = text.find("\"timings_ms\"") else { return Vec::new() };
+    let rest = &text[anchor..];
+    let Some(open) = rest.find('{') else { return Vec::new() };
+    let body = &rest[open + 1..];
+    // The block ends at the first `}` that closes it; entry objects nest
+    // exactly one level deep.
+    let mut out = Vec::new();
+    let mut depth = 1usize;
+    let mut cursor = body;
+    while depth > 0 {
+        let Some(q) = cursor.find(['"', '{', '}']) else { break };
+        match &cursor[q..=q] {
+            "{" => {
+                depth += 1;
+                cursor = &cursor[q + 1..];
+            }
+            "}" => {
+                depth -= 1;
+                cursor = &cursor[q + 1..];
+            }
+            _ => {
+                let after = &cursor[q + 1..];
+                let Some(endq) = after.find('"') else { break };
+                let key = &after[..endq];
+                cursor = &after[endq + 1..];
+                if depth == 1 && key.contains('/') {
+                    // Benchmark entry: scan its object for "min".
+                    if let Some(obj_end) = cursor.find('}') {
+                        let obj = &cursor[..obj_end];
+                        if let Some(min) = scan_number_field(obj, "\"min\"") {
+                            out.push((key.to_string(), min));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Finds `"field": <number>` inside a flat object body.
+fn scan_number_field(obj: &str, field: &str) -> Option<f64> {
+    let at = obj.find(field)?;
+    let after = &obj[at + field.len()..];
+    let colon = after.find(':')?;
+    let tail = after[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// Compares fresh entries against a baseline; returns the number of
+/// regressions past tolerance and prints the gate report to stderr.
+fn check_regressions(
+    entries: &[(String, f64, f64)],
+    baseline_path: &str,
+    tolerance: f64,
+    floor_ms: f64,
+) -> usize {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf gate: cannot read {baseline_path}: {e}");
+            return 1;
+        }
     };
+    let baseline = parse_baseline_timings(&text);
+    if baseline.is_empty() {
+        eprintln!("perf gate: no \"timings_ms\" entries found in {baseline_path}");
+        return 1;
+    }
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    eprintln!(
+        "perf gate: baseline {baseline_path}, tolerance {tolerance}x, \
+         floor {floor_ms} ms"
+    );
+    for (name, _, fresh_min) in entries {
+        let Some((_, base_min)) =
+            baseline.iter().find(|(base_name, _)| base_name == name)
+        else {
+            eprintln!("  [skip] {name} (not in baseline)");
+            continue;
+        };
+        // Sub-floor baselines are timer-noise dominated (and magnify
+        // cross-runner constant factors); report them without gating.
+        if *base_min < floor_ms {
+            eprintln!(
+                "  [skip] {name} (baseline {base_min:.2} ms below the \
+                 {floor_ms:.2} ms gate floor)"
+            );
+            continue;
+        }
+        compared += 1;
+        let ratio = fresh_min / base_min;
+        let verdict = if *fresh_min > base_min * tolerance {
+            regressions += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "  [{verdict}] {name}: {fresh_min:.2} ms vs baseline {base_min:.2} ms \
+             ({ratio:.2}x)"
+        );
+    }
+    if compared == 0 {
+        eprintln!("perf gate: no overlapping benchmarks — gate is vacuous, failing");
+        return 1;
+    }
+    eprintln!(
+        "perf gate: {compared} compared, {regressions} regressed past {tolerance}x"
+    );
+    regressions
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = args.scale;
     let mut entries: Vec<(String, f64, f64)> = Vec::new();
 
     // --- future_models: models-generator training per predictor --------
@@ -123,6 +332,26 @@ fn main() {
     });
     entries.push(("candidates/session_canned_queries".to_string(), mean, min));
 
+    // --- serve: serial sessions vs the amortized batch layer -----------
+    let cohort = serving_cohort(&system, &gen, scale.batch_users);
+    let n = cohort.len();
+    let (mean, min) = time_ms(scale.reps, || {
+        let mut total = 0usize;
+        for request in &cohort {
+            let session = system
+                .session(&request.profile, &request.constraints, None)
+                .expect("session");
+            total += session.candidates().len();
+        }
+        black_box(total);
+    });
+    entries.push((format!("serve/serial_sessions_{n}xT{}", scale.horizon), mean, min));
+    let (mean, min) = time_ms(scale.reps, || {
+        let sessions = system.serve_batch(black_box(&cohort)).expect("batch");
+        black_box(sessions.iter().map(|s| s.candidates().len()).sum::<usize>());
+    });
+    entries.push((format!("serve/batch_sessions_{n}xT{}", scale.horizon), mean, min));
+
     // --- JSON out -------------------------------------------------------
     let threads = std::thread::available_parallelism().map_or(1, usize::from);
     println!("{{");
@@ -138,4 +367,13 @@ fn main() {
     }
     println!("  }}");
     println!("}}");
+
+    // --- perf gate ------------------------------------------------------
+    if let Some(baseline) = &args.check {
+        let regressions =
+            check_regressions(&entries, baseline, args.tolerance, args.floor_ms);
+        if regressions > 0 {
+            std::process::exit(1);
+        }
+    }
 }

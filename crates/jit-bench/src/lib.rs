@@ -49,6 +49,7 @@ pub fn bench_config(horizon: usize, parallel: bool) -> AdminConfig {
         },
         parallel_generators: parallel,
         threads: 0,
+        ..Default::default()
     }
 }
 
@@ -71,6 +72,22 @@ pub fn john_session(system: &JustInTime) -> jit_core::UserSession<'_> {
     system
         .session(&LendingClubGenerator::john(), &ConstraintSet::new(), None)
         .expect("bench session must open")
+}
+
+/// A serving batch of `n` [`jit_core::UserRequest`]s over rejected
+/// applicants from the system's present year (falling back to John
+/// clones when the generator yields too few rejections at bench scale).
+pub fn serving_cohort(
+    system: &JustInTime,
+    gen: &LendingClubGenerator,
+    n: usize,
+) -> Vec<jit_core::UserRequest> {
+    let year = system.config().start_year.saturating_sub(1).max(2007);
+    let mut profiles = rejected_cohort(gen, year, n);
+    while profiles.len() < n {
+        profiles.push(LendingClubGenerator::john());
+    }
+    profiles.into_iter().map(jit_core::UserRequest::new).collect()
 }
 
 /// A realistic cohort of rejected applicants: records drawn from the

@@ -336,7 +336,7 @@ impl Constraint {
         &self,
         schema: &FeatureSchema,
     ) -> Result<BoundConstraint, UnknownFeature> {
-        Ok(BoundConstraint { node: self.bind_node(schema)? })
+        Ok(BoundConstraint::from_node(self.bind_node(schema)?))
     }
 
     fn bind_node(&self, schema: &FeatureSchema) -> Result<BoundNode, UnknownFeature> {
@@ -446,20 +446,154 @@ impl<'a> EvalContext<'a> {
     }
 }
 
+/// One specialized conjunct `coeff·x[feature] + offset  OP  rhs`.
+///
+/// Schema-derived domain bounds (and most user preference caps) are
+/// conjunctions of exactly this shape; evaluating them through a dense
+/// table instead of the general [`BoundNode`] tree keeps the candidates
+/// search — which checks feasibility thousands of times per session —
+/// out of pointer-chasing territory.
+#[derive(Clone, Copy, Debug)]
+struct FastCmp {
+    feature: u32,
+    op: CmpOp,
+    coeff: f64,
+    offset: f64,
+    rhs: f64,
+}
+
+impl FastCmp {
+    /// Specializes a top-level conjunct when it has the simple shape.
+    fn of(node: &BoundNode) -> Option<FastCmp> {
+        let BoundNode::Cmp { lhs, op, rhs } = node else { return None };
+        if !rhs.terms.is_empty() {
+            return None;
+        }
+        let [(BoundVar::Feature(i), coeff)] = &lhs.terms[..] else { return None };
+        Some(FastCmp {
+            feature: u32::try_from(*i).ok()?,
+            op: *op,
+            coeff: *coeff,
+            offset: lhs.constant,
+            rhs: rhs.constant,
+        })
+    }
+
+    fn eval(&self, candidate: &[f64]) -> bool {
+        // `offset + coeff·x` matches `eval_expr`'s accumulation order
+        // exactly (one product, one addition — bit-identical).
+        let lhs = self.offset + self.coeff * candidate[self.feature as usize];
+        self.op.apply(lhs, self.rhs)
+    }
+}
+
 /// A schema-bound, evaluatable constraint.
 #[derive(Clone, Debug)]
 pub struct BoundConstraint {
     node: BoundNode,
+    /// Specialized prefix of top-level `And` conjuncts (see [`FastCmp`]);
+    /// `fast_resume` is the index of the first conjunct the table does
+    /// not cover. Empty when the root is not a conjunction.
+    fast: Vec<FastCmp>,
+    fast_resume: usize,
 }
 
 impl BoundConstraint {
+    fn from_node(node: BoundNode) -> Self {
+        let (fast, fast_resume) = match &node {
+            BoundNode::And(cs) => {
+                let fast: Vec<FastCmp> = cs.iter().map_while(FastCmp::of).collect();
+                let resume = fast.len();
+                (fast, resume)
+            }
+            _ => (Vec::new(), 0),
+        };
+        BoundConstraint { node, fast, fast_resume }
+    }
+
     /// The always-true constraint.
     pub fn always() -> Self {
-        BoundConstraint { node: BoundNode::True }
+        BoundConstraint::from_node(BoundNode::True)
+    }
+
+    /// The conjunction of two bound constraints, flattening nested `And`s
+    /// exactly like [`Constraint::and`] does before binding — so
+    /// `domain.bind(s).conjoin(&user.bind(s))` is structurally identical
+    /// to binding the merged [`crate::ConstraintSet`] (the batch-serving
+    /// overlay relies on this to stay bit-identical with serial
+    /// compilation).
+    pub fn conjoin(&self, other: &BoundConstraint) -> BoundConstraint {
+        let node = match (self.node.clone(), other.node.clone()) {
+            (BoundNode::True, o) => o,
+            (s, BoundNode::True) => s,
+            (BoundNode::And(mut a), BoundNode::And(b)) => {
+                a.extend(b);
+                BoundNode::And(a)
+            }
+            (BoundNode::And(mut a), o) => {
+                a.push(o);
+                BoundNode::And(a)
+            }
+            (s, BoundNode::And(mut b)) => {
+                b.insert(0, s);
+                BoundNode::And(b)
+            }
+            (s, o) => BoundNode::And(vec![s, o]),
+        };
+        BoundConstraint::from_node(node)
     }
 
     /// Evaluates the constraint for a candidate.
     pub fn eval(&self, ctx: &EvalContext<'_>) -> bool {
+        self.eval_assuming_bounds(0, ctx)
+    }
+
+    /// Number of leading fast-path conjuncts that are implied by the
+    /// schema's value bounds — i.e. tautological for any profile whose
+    /// coordinates lie inside `[min, max]` (the postcondition of
+    /// [`jit_data::FeatureSchema::sanitize_row`]).
+    ///
+    /// The candidates search computes this once per run and passes it to
+    /// [`BoundConstraint::eval_assuming_bounds`] for its (sanitized)
+    /// trial profiles; the schema-derived domain bounds then cost nothing
+    /// per evaluation.
+    pub fn bounds_implied_prefix(&self, schema: &FeatureSchema) -> usize {
+        self.fast
+            .iter()
+            .take_while(|fc| {
+                if fc.coeff != 1.0 || fc.offset != 0.0 {
+                    return false;
+                }
+                let Some(meta) = schema.features().get(fc.feature as usize) else {
+                    return false;
+                };
+                match fc.op {
+                    // v >= min  ⇒  v >= rhs − tol  whenever rhs <= min.
+                    CmpOp::Ge => fc.rhs <= meta.min,
+                    // v <= max  ⇒  v <= rhs + tol  whenever rhs >= max.
+                    CmpOp::Le => fc.rhs >= meta.max,
+                    _ => false,
+                }
+            })
+            .count()
+    }
+
+    /// [`BoundConstraint::eval`] under the caller-guaranteed premise that
+    /// the candidate satisfies the schema bounds: the first `skip` fast
+    /// conjuncts (as counted by
+    /// [`BoundConstraint::bounds_implied_prefix`]) are skipped. With
+    /// `skip = 0` this is exactly `eval`.
+    pub fn eval_assuming_bounds(&self, skip: usize, ctx: &EvalContext<'_>) -> bool {
+        if let BoundNode::And(cs) = &self.node {
+            if !self.fast.is_empty() {
+                for fc in &self.fast[skip..] {
+                    if !fc.eval(ctx.candidate) {
+                        return false;
+                    }
+                }
+                return cs[self.fast_resume..].iter().all(|c| eval_node(c, ctx));
+            }
+        }
         eval_node(&self.node, ctx)
     }
 }
@@ -624,6 +758,87 @@ mod tests {
         // ORIGINAL has debt 2300 > 2000, so conjunction must fail.
         assert!(!both.eval(&c));
         assert!(ba.eval(&c));
+    }
+
+    #[test]
+    fn conjoin_is_structurally_identical_to_unbound_and() {
+        let s = schema();
+        let income = Constraint::Cmp {
+            lhs: LinExpr::feature("income"),
+            op: CmpOp::Ge,
+            rhs: LinExpr::constant(40_000.0),
+        };
+        let debt = Constraint::Cmp {
+            lhs: LinExpr::feature("debt"),
+            op: CmpOp::Le,
+            rhs: LinExpr::constant(2_000.0),
+        };
+        let gap = Constraint::Cmp {
+            lhs: LinExpr::gap(),
+            op: CmpOp::Le,
+            rhs: LinExpr::constant(2.0),
+        };
+        let cases: Vec<(Constraint, Constraint)> = vec![
+            (Constraint::True, income.clone()),
+            (income.clone(), Constraint::True),
+            (income.clone(), debt.clone()),
+            (income.clone().and(debt.clone()), gap.clone()),
+            (income.clone(), debt.clone().and(gap.clone())),
+            (income.clone().and(debt.clone()), gap.clone().and(income.clone())),
+        ];
+        for (a, b) in cases {
+            let merged = a.clone().and(b.clone()).bind(&s).unwrap();
+            let conjoined = a.bind(&s).unwrap().conjoin(&b.bind(&s).unwrap());
+            assert_eq!(format!("{merged:?}"), format!("{conjoined:?}"));
+        }
+    }
+
+    #[test]
+    fn fast_path_agrees_with_general_eval() {
+        let s = schema();
+        // A conjunction whose prefix is specializable (feature-vs-const)
+        // and whose tail is not (special property, disjunction).
+        let c = Constraint::Cmp {
+            lhs: LinExpr::feature("income"),
+            op: CmpOp::Ge,
+            rhs: LinExpr::constant(30_000.0),
+        }
+        .and(Constraint::Cmp {
+            lhs: LinExpr::feature("debt").times(2.0).offset(-10.0),
+            op: CmpOp::Le,
+            rhs: LinExpr::constant(10_000.0),
+        })
+        .and(Constraint::Cmp {
+            lhs: LinExpr::gap(),
+            op: CmpOp::Le,
+            rhs: LinExpr::constant(3.0),
+        });
+        let b = c.bind(&s).unwrap();
+        // Probes on both sides of every bound.
+        let mut cases = vec![ORIGINAL.to_vec()];
+        let mut poor = ORIGINAL.to_vec();
+        poor[2] = 10_000.0;
+        cases.push(poor);
+        let mut indebted = ORIGINAL.to_vec();
+        indebted[3] = 9_000.0;
+        cases.push(indebted);
+        let mut changed = ORIGINAL.to_vec();
+        for v in changed.iter_mut() {
+            *v += 1.0;
+        }
+        cases.push(changed); // gap 6 > 3
+        for cand in &cases {
+            // Reference: evaluate each conjunct individually (no fast
+            // prefix is built for a lone comparison's And-free root).
+            let ctx = ctx(cand, &ORIGINAL, 0.5);
+            let general: bool = match &c {
+                Constraint::And(parts) => {
+                    parts.iter().all(|p| p.bind(&s).unwrap().eval(&ctx))
+                }
+                _ => unreachable!(),
+            };
+            assert_eq!(b.eval(&ctx), general);
+        }
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Compiled-constraint caching for batch serving.
+//!
+//! The admin's *domain constraints* (schema bounds, §II-B) are identical
+//! for every user, yet the serial pipeline used to re-clone, re-merge and
+//! re-bind them per user per time point. [`CompiledDomain`] compiles the
+//! domain set once per time point `t = 0..=T` and lets each user overlay
+//! their personal preference set on top — the overlay produces a
+//! [`BoundConstraint`] *structurally identical* to binding the merged
+//! set, so batch serving stays bit-identical with serial sessions.
+
+use crate::ast::{BoundConstraint, UnknownFeature};
+use crate::set::ConstraintSet;
+use jit_data::FeatureSchema;
+
+/// Per-time-point compilations of a (domain) constraint set, shared
+/// across all users of a trained system.
+#[derive(Clone, Debug)]
+pub struct CompiledDomain {
+    per_time: Vec<BoundConstraint>,
+}
+
+impl CompiledDomain {
+    /// Compiles `set` against `schema` for every `t = 0..=horizon`.
+    ///
+    /// # Errors
+    /// Returns the offending name when the set references a feature the
+    /// schema does not define.
+    pub fn compile(
+        set: &ConstraintSet,
+        schema: &FeatureSchema,
+        horizon: usize,
+    ) -> Result<Self, UnknownFeature> {
+        let per_time = (0..=horizon)
+            .map(|t| set.compile_at(t, schema))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CompiledDomain { per_time })
+    }
+
+    /// The horizon `T` this cache was compiled for.
+    pub fn horizon(&self) -> usize {
+        self.per_time.len().saturating_sub(1)
+    }
+
+    /// The cached compilation for time point `t`.
+    ///
+    /// # Panics
+    /// Panics when `t` exceeds the compiled horizon.
+    pub fn at(&self, t: usize) -> &BoundConstraint {
+        &self.per_time[t]
+    }
+
+    /// The time-`t` conjunction of the cached domain set with a user's
+    /// preference set — equivalent to merging the two [`ConstraintSet`]s
+    /// and compiling the result, without re-binding the domain part.
+    ///
+    /// # Errors
+    /// Returns the offending name when a user constraint references an
+    /// unknown feature.
+    pub fn overlay(
+        &self,
+        t: usize,
+        user: &ConstraintSet,
+        schema: &FeatureSchema,
+    ) -> Result<BoundConstraint, UnknownFeature> {
+        if user.is_empty() {
+            return Ok(self.at(t).clone());
+        }
+        let user_bound = user.compile_at(t, schema)?;
+        Ok(self.at(t).conjoin(&user_bound))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::EvalContext;
+    use crate::builder::*;
+    use crate::set::domain_constraints;
+
+    const X: [f64; 6] = [29.0, 0.0, 46_000.0, 2_300.0, 4.0, 24_000.0];
+
+    fn eval(b: &BoundConstraint, candidate: &[f64]) -> bool {
+        b.eval(&EvalContext { candidate, original: &X, confidence: 0.5 })
+    }
+
+    #[test]
+    fn overlay_matches_merged_compilation() {
+        let schema = FeatureSchema::lending_club();
+        let (domain, _) = domain_constraints(&schema);
+        let compiled = CompiledDomain::compile(&domain, &schema, 3).unwrap();
+        assert_eq!(compiled.horizon(), 3);
+
+        let mut user = ConstraintSet::new();
+        user.add(feature("income").le(45_000.0));
+        user.add_at(2, feature("debt").le(1_000.0));
+
+        let mut merged = domain.clone();
+        merged.merge(&user);
+        for t in 0..=3 {
+            let via_overlay = compiled.overlay(t, &user, &schema).unwrap();
+            let via_merge = merged.compile_at(t, &schema).unwrap();
+            // Same structure, hence same evaluation on probes straddling
+            // each bound.
+            assert_eq!(format!("{via_overlay:?}"), format!("{via_merge:?}"));
+            let mut probes = vec![X.to_vec()];
+            let mut rich = X.to_vec();
+            rich[2] = 46_000.0;
+            probes.push(rich);
+            let mut indebted = X.to_vec();
+            indebted[3] = 1_500.0;
+            probes.push(indebted);
+            for p in &probes {
+                assert_eq!(eval(&via_overlay, p), eval(&via_merge, p), "t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_user_overlay_is_domain_only() {
+        let schema = FeatureSchema::lending_club();
+        let (domain, _) = domain_constraints(&schema);
+        let compiled = CompiledDomain::compile(&domain, &schema, 1).unwrap();
+        let b = compiled.overlay(0, &ConstraintSet::new(), &schema).unwrap();
+        assert!(eval(&b, &X));
+        let mut out_of_bounds = X.to_vec();
+        out_of_bounds[0] = 150.0;
+        assert!(!eval(&b, &out_of_bounds));
+    }
+
+    #[test]
+    fn overlay_reports_unknown_user_feature() {
+        let schema = FeatureSchema::lending_club();
+        let (domain, _) = domain_constraints(&schema);
+        let compiled = CompiledDomain::compile(&domain, &schema, 1).unwrap();
+        let mut user = ConstraintSet::new();
+        user.add(feature("fico").ge(700.0));
+        let err = compiled.overlay(0, &user, &schema).unwrap_err();
+        assert_eq!(err, UnknownFeature("fico".to_string()));
+    }
+
+    #[test]
+    fn scoped_user_constraints_only_bind_in_scope() {
+        let schema = FeatureSchema::lending_club();
+        let (domain, _) = domain_constraints(&schema);
+        let compiled = CompiledDomain::compile(&domain, &schema, 2).unwrap();
+        let mut user = ConstraintSet::new();
+        user.add_at(1, feature("loan_amount").le(10_000.0));
+        // X has loan 24000: fails only at t=1.
+        for (t, expect) in [(0, true), (1, false), (2, true)] {
+            let b = compiled.overlay(t, &user, &schema).unwrap();
+            assert_eq!(eval(&b, &X), expect, "t={t}");
+        }
+    }
+}

@@ -21,18 +21,23 @@
 //! * [`set`] — time-scoped constraint collections
 //!   ([`set::ConstraintSet`]), the admin/user conjunction of §II-B, and
 //!   derivation of *domain constraints* from a feature schema (bounds and
-//!   immutability).
+//!   immutability);
+//! * [`compiled`] — [`CompiledDomain`], the per-time-point compiled cache
+//!   of the admin's domain set that batch serving shares across users,
+//!   with per-user preference overlays.
 //!
 //! Constraints are written over feature *names* and bound to vector indices
 //! against a [`jit_data::FeatureSchema`] before evaluation.
 
 pub mod ast;
 pub mod builder;
+pub mod compiled;
 pub mod parse;
 pub mod set;
 
 pub use ast::{
     BoundConstraint, CmpOp, Constraint, EvalContext, LinExpr, Special, VarRef,
 };
+pub use compiled::CompiledDomain;
 pub use parse::{parse_constraint, ParseError};
 pub use set::{ConstraintSet, ScopedConstraint, TimeScope};

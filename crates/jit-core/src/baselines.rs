@@ -5,7 +5,7 @@
 //! model-evaluation budget:
 //!
 //! * [`random_search`] — uniform random feature subsets and magnitudes
-//!   (the "perturbation" family of related work [1], [7]);
+//!   (the "perturbation" family of related work \[1\], \[7\]);
 //! * [`greedy_coordinate`] — steepest single-coordinate ascent on the
 //!   model score.
 //!

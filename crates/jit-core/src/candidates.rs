@@ -135,16 +135,76 @@ struct State {
     gap: usize,
 }
 
+/// Memo for refine trials within one `(state, feature)` bisection.
+#[derive(Default)]
+struct TrialCache {
+    /// The most recent trial, keyed by the sanitized coordinate's exact
+    /// bits, and its outcome.
+    last: Option<(u64, Option<f64>)>,
+    /// The most recent *accepted* trial (the value `hi` lands on, which
+    /// the post-bisection acceptance re-visits).
+    last_accepted: Option<(u64, f64)>,
+    /// Model confidence per threshold *cell* of the bisected feature,
+    /// for [`ModelHints::Thresholds`] models only.
+    ///
+    /// Such a model is piecewise constant between consecutive thresholds
+    /// — the exact property the move proposer exploits ("between
+    /// thresholds a tree ensemble's output is piecewise constant") — and
+    /// all other coordinates are fixed within one bisection, so two
+    /// trial values with the same cell index (= count of thresholds
+    /// strictly below the value) provably traverse every tree
+    /// identically. Bisections converge onto a decision boundary and
+    /// probe the two cells around it over and over; caching confidence
+    /// per cell removes most model evaluations of the refinement phase.
+    cells: Vec<(usize, f64)>,
+}
+
+impl TrialCache {
+    fn reset(&mut self) {
+        self.last = None;
+        self.last_accepted = None;
+        self.cells.clear();
+    }
+}
+
 impl<'a> CandidatesGenerator<'a> {
     /// Runs the beam search and returns up to `top_k` diverse
     /// decision-altering candidates, best first under the objective.
     pub fn generate(&self, params: &CandidateParams) -> Vec<Candidate> {
+        self.generate_with_hints(params, &self.model.hints())
+    }
+
+    /// [`CandidatesGenerator::generate`] with the model's move hints
+    /// supplied by the caller.
+    ///
+    /// Hints depend only on the model — not on the user — so batch
+    /// serving extracts them once per time point and shares them across
+    /// every user in the batch instead of re-walking the ensemble per
+    /// session. `hints` must come from `self.model` (or be equal to its
+    /// output) for the moves to make sense.
+    pub fn generate_with_hints(
+        &self,
+        params: &CandidateParams,
+        hints: &ModelHints,
+    ) -> Vec<Candidate> {
         assert_eq!(self.origin.len(), self.schema.dim(), "origin dimension mismatch");
         assert_eq!(self.scales.len(), self.schema.dim(), "scales dimension mismatch");
+        // A non-finite origin can never yield a feasible candidate: every
+        // proposal inherits the non-finite coordinate (moves change one
+        // feature, sanitize passes NaN through) and the bounds check
+        // rejects it. Bail out up front — the sanitized fast paths below
+        // elide that bounds check and must never see NaN.
+        if !self.origin.iter().all(|v| v.is_finite()) {
+            return Vec::new();
+        }
         let mut rng = Rng::seeded(params.seed ^ (self.time_index as u64) << 32);
-        let hints = self.model.hints();
+        let scale_sum = self.scales.iter().sum::<f64>().max(1e-9);
+        // Domain-bound conjuncts are tautological on sanitized profiles;
+        // count once how many lead the constraint so the hot feasibility
+        // checks can skip them.
+        let bounds_skip = self.constraint.bounds_implied_prefix(self.schema);
 
-        let mut seen: HashSet<u64> = HashSet::new();
+        let mut seen = KeySet::default();
         let mut altering: Vec<State> = Vec::new();
 
         let origin_state = self.mk_state(self.origin.to_vec());
@@ -156,18 +216,23 @@ impl<'a> CandidatesGenerator<'a> {
         seen.insert(profile_key(&origin_state.profile));
         let mut beam: Vec<State> = vec![origin_state];
 
+        let mut move_scratch = vec![0.0; self.schema.dim()];
         for _iter in 0..params.max_iters {
             let mut proposals: Vec<State> = Vec::new();
             for state in &beam {
-                let moves =
-                    self.propose_moves(&state.profile, &hints, params, &mut rng);
-                for profile in moves {
-                    let key = profile_key(&profile);
+                let moves = self.propose_moves(&state.profile, hints, params, &mut rng);
+                for (f, value) in moves {
+                    // Sanitize into the scratch buffer first: already-seen
+                    // or infeasible moves never allocate a profile.
+                    move_scratch.copy_from_slice(&state.profile);
+                    move_scratch[f] = value;
+                    self.schema.sanitize_row_in_place(&mut move_scratch);
+                    let key = profile_key(&move_scratch);
                     if !seen.insert(key) {
                         continue;
                     }
-                    let cand = self.mk_state(profile);
-                    if !self.feasible(&cand) {
+                    let cand = self.mk_state(move_scratch.clone());
+                    if !self.feasible_sanitized(&cand, bounds_skip) {
                         continue;
                     }
                     proposals.push(cand);
@@ -183,14 +248,15 @@ impl<'a> CandidatesGenerator<'a> {
             }
             // Beam ranking: drive confidence up while keeping the eventual
             // objective cheap — a weighted blend, as in the adapted
-            // multi-objective search.
-            proposals.sort_by(|a, b| {
-                self.search_score(b)
-                    .partial_cmp(&self.search_score(a))
-                    .expect("finite scores")
-            });
-            proposals.truncate(params.beam_width);
-            beam = proposals;
+            // multi-objective search. Scores are computed once per
+            // proposal, not per comparison.
+            let mut scored: Vec<(f64, State)> = proposals
+                .into_iter()
+                .map(|p| (self.search_score(&p, scale_sum), p))
+                .collect();
+            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+            scored.truncate(params.beam_width);
+            beam = scored.into_iter().map(|(_, p)| p).collect();
 
             if params.early_stop_after > 0 && altering.len() >= params.early_stop_after
             {
@@ -205,14 +271,16 @@ impl<'a> CandidatesGenerator<'a> {
             // (higher-margin confidence — serves Q5/Q6). Refining
             // everything in place would leave the whole table hugging the
             // decision boundary, which is fragile under model drift.
+            let mut scratch = vec![0.0; self.schema.dim()];
+            let mut cache = TrialCache::default();
             let mut refined: Vec<State> = pool.clone();
             for s in &mut refined {
-                self.refine_state(s);
+                self.refine_state(s, &mut scratch, bounds_skip, hints, &mut cache);
             }
             pool.extend(refined);
             // Bisection collapses many states onto the same boundary
             // point; dedup again so diversity selection sees the truth.
-            let mut seen_refined = HashSet::new();
+            let mut seen_refined = KeySet::default();
             pool.retain(|s| seen_refined.insert(profile_key(&s.profile)));
         }
         self.select_diverse(pool, params)
@@ -222,19 +290,51 @@ impl<'a> CandidatesGenerator<'a> {
     /// modification of each changed feature that keeps the state feasible
     /// *and* decision-altering. Two passes over the features handle mild
     /// interactions.
-    fn refine_state(&self, state: &mut State) {
+    ///
+    /// `scratch` is a caller-provided trial buffer (the bisection
+    /// evaluates thousands of throwaway profiles per session; discarded
+    /// trials allocate nothing).
+    fn refine_state(
+        &self,
+        state: &mut State,
+        scratch: &mut [f64],
+        skip: usize,
+        hints: &ModelHints,
+        cache: &mut TrialCache,
+    ) {
+        let per_feature_thresholds = match hints {
+            ModelHints::Thresholds(per_feature) => Some(per_feature),
+            _ => None,
+        };
+        // Runtime-verified fast path: when the state's profile is a fixed
+        // point of sanitation (checked bit-exactly below, re-checked
+        // after every adoption), a trial's full-row sanitize reduces to
+        // sanitizing the one changed coordinate — so `scratch` can be
+        // seeded once per state and each trial touches a single slot.
+        let mut profile_is_fixed_point = self.sanitize_fixed_point(&state.profile);
+        scratch.copy_from_slice(&state.profile);
         for _pass in 0..2 {
             for f in 0..self.schema.dim() {
                 let orig = self.origin[f];
                 if (state.profile[f] - orig).abs() <= 1e-12 {
                     continue;
                 }
+                let thresholds = per_feature_thresholds.map(|per| per[f].as_slice());
+                cache.reset();
                 // Can the change be dropped entirely?
-                let mut trial = state.profile.clone();
-                trial[f] = orig;
-                let s = self.mk_state(self.schema.sanitize_row(&trial));
-                if s.confidence > self.delta && self.feasible(&s) {
-                    *state = s;
+                if let Some(conf) = self.trial_accepts(
+                    state,
+                    f,
+                    orig,
+                    scratch,
+                    skip,
+                    profile_is_fixed_point,
+                    thresholds,
+                    cache,
+                ) {
+                    Self::adopt(state, scratch, conf, self.origin);
+                    profile_is_fixed_point = self.sanitize_fixed_point(&state.profile);
+                    scratch.copy_from_slice(&state.profile);
                     continue;
                 }
                 // Bisect between origin (rejecting side) and the current
@@ -243,23 +343,142 @@ impl<'a> CandidatesGenerator<'a> {
                 let mut hi = state.profile[f];
                 for _ in 0..20 {
                     let mid = 0.5 * (lo + hi);
-                    let mut trial = state.profile.clone();
-                    trial[f] = mid;
-                    let s = self.mk_state(self.schema.sanitize_row(&trial));
-                    if s.confidence > self.delta && self.feasible(&s) {
+                    if self
+                        .trial_accepts(
+                            state,
+                            f,
+                            mid,
+                            scratch,
+                            skip,
+                            profile_is_fixed_point,
+                            thresholds,
+                            cache,
+                        )
+                        .is_some()
+                    {
                         hi = mid;
                     } else {
                         lo = mid;
                     }
                 }
-                let mut final_profile = state.profile.clone();
-                final_profile[f] = hi;
-                let s = self.mk_state(self.schema.sanitize_row(&final_profile));
-                if s.confidence > self.delta && self.feasible(&s) {
-                    *state = s;
+                if let Some(conf) = self.trial_accepts(
+                    state,
+                    f,
+                    hi,
+                    scratch,
+                    skip,
+                    profile_is_fixed_point,
+                    thresholds,
+                    cache,
+                ) {
+                    Self::adopt(state, scratch, conf, self.origin);
+                    profile_is_fixed_point = self.sanitize_fixed_point(&state.profile);
                 }
+                // Leave no trial residue behind for the next feature.
+                scratch.copy_from_slice(&state.profile);
             }
         }
+    }
+
+    /// Whether `profile` is bit-exactly unchanged by sanitation (true for
+    /// every profile the search itself produced; the raw origin may not
+    /// be).
+    fn sanitize_fixed_point(&self, profile: &[f64]) -> bool {
+        profile
+            .iter()
+            .zip(self.schema.features())
+            .all(|(v, meta)| meta.sanitize(*v).to_bits() == v.to_bits())
+    }
+
+    /// Evaluates the trial "set feature `f` of `state` to `value`" in
+    /// `scratch` (sanitized). Returns the model confidence when the trial
+    /// is decision-altering and feasible, `None` otherwise — exactly the
+    /// `s.confidence > δ && feasible(s)` acceptance test, minus the
+    /// allocations.
+    ///
+    /// When `fixed_point` is set the caller guarantees
+    /// `scratch[i] == sanitize(state.profile[i])` for every `i != f`, so
+    /// only slot `f` is written; otherwise the whole row is rebuilt and
+    /// sanitized. Either way `scratch` ends up bit-identical to
+    /// `sanitize_row(state.profile with [f] = value)`.
+    ///
+    /// `cache` short-circuits re-evaluations of bit-identical trials
+    /// within one `(state, feature)` bisection: sanitation collapses many
+    /// midpoints onto the same profile (ordinal rounding, binary
+    /// snapping, bound clamping), and the post-bisection acceptance
+    /// re-visits the last accepted midpoint. A hit means the sanitized
+    /// coordinate — and hence the whole trial profile — is bit-identical,
+    /// so skipping the re-evaluation cannot change anything observable.
+    #[allow(clippy::too_many_arguments)]
+    fn trial_accepts(
+        &self,
+        state: &State,
+        f: usize,
+        value: f64,
+        scratch: &mut [f64],
+        skip: usize,
+        fixed_point: bool,
+        thresholds: Option<&[f64]>,
+        cache: &mut TrialCache,
+    ) -> Option<f64> {
+        if fixed_point {
+            scratch[f] = self.schema.feature(f).sanitize(value);
+        } else {
+            scratch.copy_from_slice(&state.profile);
+            scratch[f] = value;
+            self.schema.sanitize_row_in_place(scratch);
+        }
+        let key = scratch[f].to_bits();
+        match cache.last {
+            Some((k, cached)) if k == key => return cached,
+            _ => {}
+        }
+        match cache.last_accepted {
+            Some((k, conf)) if k == key => return Some(conf),
+            _ => {}
+        }
+        // Threshold-hinted models are piecewise constant in the bisected
+        // coordinate (see [`TrialCache::cells`]): reuse the cell's
+        // confidence when this cell was already probed.
+        let confidence = match thresholds {
+            Some(ts) => {
+                let cell = ts.partition_point(|t| *t < scratch[f]);
+                match cache.cells.iter().find(|(c, _)| *c == cell) {
+                    Some((_, conf)) => *conf,
+                    None => {
+                        let conf = self.model.predict_proba(scratch);
+                        cache.cells.push((cell, conf));
+                        conf
+                    }
+                }
+            }
+            None => self.model.predict_proba(scratch),
+        };
+        // `scratch` is sanitized, so the schema-bound checks
+        // (`row_in_bounds` and the first `skip` domain conjuncts) hold by
+        // construction and are elided.
+        let accepted = if confidence > self.delta
+            && self.constraint.eval_assuming_bounds(
+                skip,
+                &EvalContext { candidate: scratch, original: self.origin, confidence },
+            ) {
+            Some(confidence)
+        } else {
+            None
+        };
+        cache.last = Some((key, accepted));
+        if let Some(conf) = accepted {
+            cache.last_accepted = Some((key, conf));
+        }
+        accepted
+    }
+
+    /// Overwrites `state` with the accepted trial profile in `scratch`.
+    fn adopt(state: &mut State, scratch: &[f64], confidence: f64, origin: &[f64]) {
+        state.profile.copy_from_slice(scratch);
+        state.confidence = confidence;
+        state.diff = l2_diff(&state.profile, origin);
+        state.gap = l0_gap(&state.profile, origin);
     }
 
     fn mk_state(&self, profile: Vec<f64>) -> State {
@@ -278,19 +497,26 @@ impl<'a> CandidatesGenerator<'a> {
             })
     }
 
-    /// Blended beam-ranking score (higher is better).
-    fn search_score(&self, s: &State) -> f64 {
-        let scale: f64 = self.scales.iter().sum::<f64>().max(1e-9);
-        let norm_diff = s.diff / scale;
-        s.confidence - 0.05 * norm_diff - 0.01 * s.gap as f64
+    /// [`CandidatesGenerator::feasible`] for states whose profile has
+    /// been through [`jit_data::FeatureSchema::sanitize_row`]: the
+    /// in-bounds check and the leading `skip` domain-bound conjuncts hold
+    /// by construction and are elided (same result, fewer comparisons).
+    fn feasible_sanitized(&self, s: &State, skip: usize) -> bool {
+        self.constraint.eval_assuming_bounds(
+            skip,
+            &EvalContext {
+                candidate: &s.profile,
+                original: self.origin,
+                confidence: s.confidence,
+            },
+        )
     }
 
-    /// Scale-normalized distance from the origin (used where the score
-    /// must stay O(1): gap/confidence objectives and their MMR bonuses).
-    fn norm_diff(&self, profile: &[f64]) -> f64 {
-        let w: Vec<f64> =
-            self.scales.iter().map(|s| 1.0 / (s.max(1e-9) * s.max(1e-9))).collect();
-        jit_math::distance::weighted_l2(profile, self.origin, &w)
+    /// Blended beam-ranking score (higher is better). `scale_sum` is the
+    /// clamped sum of feature scales, computed once per search.
+    fn search_score(&self, s: &State, scale_sum: f64) -> f64 {
+        let norm_diff = s.diff / scale_sum;
+        s.confidence - 0.05 * norm_diff - 0.01 * s.gap as f64
     }
 
     /// Objective score of a finished candidate (higher is better).
@@ -298,25 +524,37 @@ impl<'a> CandidatesGenerator<'a> {
     /// `MinDiff` scores **raw** l2 diff — the paper's `diff` property and
     /// the quantity Q4 orders by. The MMR diversity bonus for `MinDiff`
     /// therefore also measures distances in raw units (commensurable);
-    /// the O(1) objectives use normalized distances instead.
-    fn objective_score(&self, s: &State, objective: Objective) -> f64 {
+    /// the O(1) objectives use normalized distances instead
+    /// (`whitening` holds `1/scale²` weights, built once per selection).
+    fn objective_score(
+        &self,
+        s: &State,
+        objective: Objective,
+        whitening: &[f64],
+    ) -> f64 {
         match objective {
             Objective::MinDiff => -s.diff,
-            Objective::MinGap => -(s.gap as f64) - 1e-3 * self.norm_diff(&s.profile),
+            Objective::MinGap => {
+                let norm =
+                    jit_math::distance::weighted_l2(&s.profile, self.origin, whitening);
+                -(s.gap as f64) - 1e-3 * norm
+            }
             Objective::MaxConfidence => s.confidence,
         }
     }
 
-    /// Model-dependent move proposal.
+    /// Model-dependent move proposal, as `(feature, raw value)` pairs —
+    /// the caller sanitizes each move into a scratch profile, so proposals
+    /// that dedup away cost no allocation.
     fn propose_moves(
         &self,
         from: &[f64],
         hints: &ModelHints,
         params: &CandidateParams,
         rng: &mut Rng,
-    ) -> Vec<Vec<f64>> {
+    ) -> Vec<(usize, f64)> {
         let d = self.schema.dim();
-        let mut moves: Vec<Vec<f64>> = Vec::new();
+        let mut moves: Vec<(usize, f64)> = Vec::new();
         let mutable =
             |f: usize| self.schema.feature(f).mutability == Mutability::Actionable;
 
@@ -335,22 +573,19 @@ impl<'a> CandidatesGenerator<'a> {
                     // value. Taking only the nearest ones strands the
                     // search when approval needs a long-range change, so
                     // pick a spread: the nearest plus quantile-spaced
-                    // jumps across the rest of the range.
-                    let above: Vec<f64> =
-                        thresholds.iter().filter(|t| **t >= cur).cloned().collect();
-                    // Reversed so the nearest-below threshold comes first.
-                    let below: Vec<f64> = thresholds
-                        .iter()
-                        .rev()
-                        .filter(|t| **t < cur)
-                        .cloned()
-                        .collect();
+                    // jumps across the rest of the range. Hint emitters
+                    // guarantee sorted ascending + dedup'd thresholds, so
+                    // both sides are index ranges — no filtering pass.
                     let eps = (self.scales[f] * 1e-3).max(1e-9);
-                    for t in spread_sample(&above) {
-                        moves.push(self.with_feature(from, f, t + eps));
+                    let split = thresholds.partition_point(|t| *t < cur);
+                    let above = &thresholds[split..];
+                    for j in spread_indices(above.len()) {
+                        moves.push((f, above[j] + eps));
                     }
-                    for t in spread_sample(&below) {
-                        moves.push(self.with_feature(from, f, t - eps));
+                    // Below-side walked in descending order so the
+                    // nearest-below threshold comes first.
+                    for j in spread_indices(split) {
+                        moves.push((f, thresholds[split - 1 - j] - eps));
                     }
                 }
             }
@@ -361,30 +596,18 @@ impl<'a> CandidatesGenerator<'a> {
                     }
                     let dir = w[f].signum();
                     for step in [0.25, 0.5, 1.0, 2.0] {
-                        moves.push(self.with_feature(
-                            from,
-                            f,
-                            from[f] + dir * step * self.scales[f],
-                        ));
+                        moves.push((f, from[f] + dir * step * self.scales[f]));
                     }
                 }
             }
             ModelHints::Opaque => {
-                for f in 0..d {
+                for (f, &cur) in from.iter().enumerate().take(d) {
                     if !mutable(f) {
                         continue;
                     }
                     for step in [0.5, 1.0, 2.0] {
-                        moves.push(self.with_feature(
-                            from,
-                            f,
-                            from[f] + step * self.scales[f],
-                        ));
-                        moves.push(self.with_feature(
-                            from,
-                            f,
-                            from[f] - step * self.scales[f],
-                        ));
+                        moves.push((f, cur + step * self.scales[f]));
+                        moves.push((f, cur - step * self.scales[f]));
                     }
                 }
             }
@@ -398,12 +621,6 @@ impl<'a> CandidatesGenerator<'a> {
         moves
     }
 
-    fn with_feature(&self, from: &[f64], f: usize, value: f64) -> Vec<f64> {
-        let mut out = from.to_vec();
-        out[f] = value;
-        self.schema.sanitize_row(&out)
-    }
-
     /// Diverse top-k via maximal marginal relevance: greedily pick the
     /// candidate maximizing `objective + λ · (distance to picked set)`,
     /// with distances measured in scale-normalized feature space.
@@ -414,38 +631,40 @@ impl<'a> CandidatesGenerator<'a> {
     ) -> Vec<Candidate> {
         let mut remaining = pool;
         // Dedup once more on profile keys (origin may repeat across iters).
-        let mut seen = HashSet::new();
+        let mut seen = KeySet::default();
         remaining.retain(|s| seen.insert(profile_key(&s.profile)));
 
         // Distance space for the MMR bonus must match the objective's
         // scale: raw feature units for MinDiff, whitened otherwise.
+        // Normalized profiles, objective bases and min-distances to the
+        // picked set are computed once and maintained incrementally —
+        // the greedy rounds then only scan flat arrays.
         let raw_space = params.objective == Objective::MinDiff;
+        let clamped: Vec<f64> = self.scales.iter().map(|s| s.max(1e-9)).collect();
+        let whitening: Vec<f64> = clamped.iter().map(|s| 1.0 / (s * s)).collect();
         let normalize = |p: &[f64]| -> Vec<f64> {
             if raw_space {
                 p.to_vec()
             } else {
-                p.iter().zip(self.scales).map(|(v, s)| v / s.max(1e-9)).collect()
+                p.iter().zip(&clamped).map(|(v, s)| v / s).collect()
             }
         };
+        let mut norms: Vec<Vec<f64>> =
+            remaining.iter().map(|s| normalize(&s.profile)).collect();
+        let mut base: Vec<f64> = remaining
+            .iter()
+            .map(|s| self.objective_score(s, params.objective, &whitening))
+            .collect();
+        let mut min_dist: Vec<f64> = vec![f64::INFINITY; remaining.len()];
         let mut picked: Vec<State> = Vec::new();
-        let mut picked_norm: Vec<Vec<f64>> = Vec::new();
 
         while picked.len() < params.top_k && !remaining.is_empty() {
+            let use_bonus = !picked.is_empty() && params.diversity_lambda != 0.0;
             let mut best: Option<(usize, f64)> = None;
-            for (i, s) in remaining.iter().enumerate() {
-                let base = self.objective_score(s, params.objective);
-                let bonus = if picked_norm.is_empty() || params.diversity_lambda == 0.0
-                {
-                    0.0
-                } else {
-                    let n = normalize(&s.profile);
-                    let min_dist = picked_norm
-                        .iter()
-                        .map(|p| l2_diff(&n, p))
-                        .fold(f64::INFINITY, f64::min);
-                    params.diversity_lambda * min_dist
-                };
-                let score = base + bonus;
+            for i in 0..remaining.len() {
+                let bonus =
+                    if use_bonus { params.diversity_lambda * min_dist[i] } else { 0.0 };
+                let score = base[i] + bonus;
                 match best {
                     Some((_, bs)) if bs >= score => {}
                     _ => best = Some((i, score)),
@@ -453,7 +672,15 @@ impl<'a> CandidatesGenerator<'a> {
             }
             let (idx, _) = best.expect("remaining non-empty");
             let s = remaining.swap_remove(idx);
-            picked_norm.push(normalize(&s.profile));
+            base.swap_remove(idx);
+            min_dist.swap_remove(idx);
+            let picked_norm = norms.swap_remove(idx);
+            for (i, n) in norms.iter().enumerate() {
+                let dist = l2_diff(n, &picked_norm);
+                if dist < min_dist[i] {
+                    min_dist[i] = dist;
+                }
+            }
             picked.push(s);
         }
 
@@ -470,31 +697,62 @@ impl<'a> CandidatesGenerator<'a> {
     }
 }
 
-/// Picks up to four representative values from a sorted slice: the two
-/// nearest (first elements) and two quantile-spaced far jumps. Gives the
-/// beam both fine local moves and long-range moves in one iteration.
-fn spread_sample(sorted: &[f64]) -> Vec<f64> {
-    match sorted.len() {
-        0 => Vec::new(),
-        n if n <= 4 => sorted.to_vec(),
-        n => {
-            let mut out = vec![sorted[0], sorted[1], sorted[n / 2], sorted[n - 1]];
-            out.dedup();
-            out
+/// Index pattern for picking up to four representative positions from a
+/// sorted run of `n` distinct values: the two nearest (first positions)
+/// and two quantile-spaced far jumps. Gives the beam both fine local
+/// moves and long-range moves in one iteration, without materializing
+/// the filtered threshold list.
+fn spread_indices(n: usize) -> impl Iterator<Item = usize> {
+    let (picks, len): ([usize; 4], usize) = match n {
+        0..=4 => ([0, 1, 2, 3], n),
+        n => ([0, 1, n / 2, n - 1], 4),
+    };
+    picks.into_iter().take(len)
+}
+
+/// Hash key of a profile at 1e-9 granularity (for dedup).
+///
+/// SplitMix64-chained over the quantized coordinates: full-avalanche
+/// mixing at a few ns per coordinate, an order of magnitude cheaper than
+/// SipHash in the search's dedup-heavy inner loops.
+fn profile_key(profile: &[f64]) -> u64 {
+    let mut h: u64 = 0x243f_6a88_85a3_08d3; // pi, as a nothing-up-my-sleeve seed
+    for v in profile {
+        h ^= (v * 1e9).round() as i64 as u64;
+        // SplitMix64 finalizer.
+        h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+    }
+    h
+}
+
+/// Pass-through hasher for [`profile_key`] values: the keys are already
+/// avalanche-mixed, so re-hashing them through the default SipHash would
+/// only burn time.
+#[derive(Default)]
+struct KeyHasher(u64);
+
+impl std::hash::Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 writes (unused by `u64` keys).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
         }
     }
 }
 
-/// Hash key of a profile at 1e-9 granularity (for dedup).
-fn profile_key(profile: &[f64]) -> u64 {
-    use std::hash::{Hash, Hasher};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    for v in profile {
-        let q = (v * 1e9).round() as i64;
-        q.hash(&mut h);
-    }
-    h.finish()
-}
+/// A dedup set over [`profile_key`] values.
+type KeySet = HashSet<u64, std::hash::BuildHasherDefault<KeyHasher>>;
 
 #[cfg(test)]
 mod tests {
@@ -721,6 +979,28 @@ mod tests {
         let c = constraint_for(&fx, None);
         let cands = run(&fx, &c, &CandidateParams { top_k: 3, ..Default::default() });
         assert!(cands.len() <= 3);
+    }
+
+    #[test]
+    fn non_finite_origin_yields_empty_without_panicking() {
+        let fx = fixture();
+        let c = constraint_for(&fx, None);
+        let mut nan_origin = fx.origin.clone();
+        nan_origin[idx::DEBT] = f64::NAN;
+        let g = CandidatesGenerator {
+            model: &fx.model,
+            delta: 0.5,
+            origin: &nan_origin,
+            constraint: &c,
+            schema: &fx.schema,
+            scales: &fx.scales,
+            time_index: 0,
+        };
+        assert!(g.generate(&CandidateParams::default()).is_empty());
+        let mut inf_origin = fx.origin.clone();
+        inf_origin[idx::INCOME] = f64::INFINITY;
+        let g = CandidatesGenerator { origin: &inf_origin, ..g };
+        assert!(g.generate(&CandidateParams::default()).is_empty());
     }
 
     #[test]

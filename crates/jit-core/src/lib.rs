@@ -19,7 +19,8 @@
 //!   *Plans and Insights* screen (Figure 3b).
 //! * [`pipeline`] — the [`pipeline::JustInTime`] façade: admin
 //!   configuration, model training, per-user sessions with parallel
-//!   per-time-point candidate generation.
+//!   per-time-point candidate generation, and the amortized multi-user
+//!   batch serving layer ([`pipeline::JustInTime::serve_batch`]).
 
 pub mod baselines;
 pub mod candidates;
@@ -30,5 +31,8 @@ pub mod tables;
 
 pub use candidates::{Candidate, CandidateParams, CandidatesGenerator, Objective};
 pub use insights::Insight;
-pub use pipeline::{AdminConfig, JustInTime, UserSession};
+pub use pipeline::{
+    AdminConfig, BatchError, BatchParallelism, JustInTime, SessionBuilder, UserRequest,
+    UserSession,
+};
 pub use queries::CannedQuery;

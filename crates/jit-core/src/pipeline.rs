@@ -15,13 +15,13 @@ use crate::candidates::{Candidate, CandidateParams, CandidatesGenerator};
 use crate::insights::{render, Insight, InsightContext};
 use crate::queries::CannedQuery;
 use crate::tables;
-use jit_constraints::ConstraintSet;
+use jit_constraints::{BoundConstraint, CompiledDomain, Constraint, ConstraintSet};
 use jit_data::FeatureSchema;
 use jit_db::{Database, DbError, ResultSet};
-use jit_ml::Dataset;
+use jit_ml::{Dataset, ModelHints};
 use jit_runtime::Runtime;
 use jit_temporal::future::{FutureModel, FutureModelsGenerator, FutureModelsParams};
-use jit_temporal::update::TemporalUpdateFn;
+use jit_temporal::update::{Override, TemporalUpdateFn};
 
 /// Administrator configuration (the admin UI of Figure 1).
 #[derive(Clone, Debug)]
@@ -47,6 +47,30 @@ pub struct AdminConfig {
     /// training (like `horizon`). Results are bit-identical for every
     /// value — see `jit-runtime`'s determinism contract.
     pub threads: usize,
+    /// Worker threads for the [`JustInTime::serve_batch`] user fan-out:
+    /// `0` = one per core, `1` = serial. Results are bit-identical for
+    /// every value and for both parallelism policies.
+    pub batch_threads: usize,
+    /// Which axis [`JustInTime::serve_batch`] parallelizes over.
+    pub batch_parallelism: BatchParallelism,
+}
+
+/// Which axis of a serving batch runs on the thread pool.
+///
+/// Either way the output is bit-identical to serial per-user sessions;
+/// the policy only decides where wall-clock parallelism is spent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchParallelism {
+    /// One pool task per user (the default). Each user's per-time-point
+    /// generators then run inline on the worker — `jit-runtime`'s
+    /// nested-parallelism guard keeps the pools from multiplying. Best
+    /// when batches are wide (many users, short horizons).
+    PerUser,
+    /// Users are processed serially; each user's per-time-point
+    /// generators fan out on the pool (the `session()` behaviour). Best
+    /// for narrow batches with long horizons, and for latency over
+    /// throughput.
+    PerTimePoint,
 }
 
 impl Default for AdminConfig {
@@ -59,6 +83,8 @@ impl Default for AdminConfig {
             candidates: CandidateParams::default(),
             parallel_generators: true,
             threads: 0,
+            batch_threads: 0,
+            batch_parallelism: BatchParallelism::PerUser,
         }
     }
 }
@@ -128,6 +154,55 @@ impl From<DbError> for SessionError {
     }
 }
 
+/// Error from [`JustInTime::serve_batch`]: which request failed and why.
+#[derive(Debug)]
+pub struct BatchError {
+    /// Index of the failing request within the batch.
+    pub user: usize,
+    /// The underlying per-user session error.
+    pub error: SessionError,
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch request {} failed: {}", self.user, self.error)
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// One user's request in a serving batch: the present profile plus the
+/// per-user knobs of the *Personal Preferences* screen.
+///
+/// Build directly, or fluently through [`JustInTime::session_builder`].
+#[derive(Clone, Debug)]
+pub struct UserRequest {
+    /// The user's present feature vector `x`.
+    pub profile: Vec<f64>,
+    /// Preference/limitation constraints, conjoined with the admin's
+    /// domain constraints at every time point they cover.
+    pub constraints: ConstraintSet,
+    /// Temporal update function override; `None` uses the schema-derived
+    /// default.
+    pub update_fn: Option<TemporalUpdateFn>,
+}
+
+impl UserRequest {
+    /// A request with no preference constraints and the default update
+    /// function.
+    pub fn new(profile: impl Into<Vec<f64>>) -> Self {
+        UserRequest {
+            profile: profile.into(),
+            constraints: ConstraintSet::new(),
+            update_fn: None,
+        }
+    }
+}
+
 /// The trained JustInTime system (admin side of Figure 1).
 pub struct JustInTime {
     config: AdminConfig,
@@ -135,6 +210,13 @@ pub struct JustInTime {
     models: Vec<FutureModel>,
     scales: Vec<f64>,
     domain: ConstraintSet,
+    /// The domain set compiled once per time point at training time —
+    /// serving only overlays per-user constraints on top.
+    compiled_domain: CompiledDomain,
+    /// Schema-initialized database with the session table DDL already
+    /// executed; every session clones this template instead of re-running
+    /// `CREATE TABLE`.
+    db_template: Database,
 }
 
 impl JustInTime {
@@ -170,7 +252,23 @@ impl JustInTime {
             jit_math::Standardizer::fit(&union.matrix()).stds().to_vec()
         };
         let (domain, _immutable) = jit_constraints::set::domain_constraints(schema);
-        Ok(JustInTime { config, schema: schema.clone(), models, scales, domain })
+        // Schema-derived constraints only mention schema features, and a
+        // fresh template cannot collide on table names: both one-time
+        // serving caches are infallible here.
+        let compiled_domain = CompiledDomain::compile(&domain, schema, config.horizon)
+            .expect("domain constraints bind against their own schema");
+        let db_template = Database::new();
+        tables::create_tables(&db_template, schema)
+            .expect("fresh template database accepts the session DDL");
+        Ok(JustInTime {
+            config,
+            schema: schema.clone(),
+            models,
+            scales,
+            domain,
+            compiled_domain,
+            db_template,
+        })
     }
 
     /// The admin configuration.
@@ -193,6 +291,16 @@ impl JustInTime {
         &self.scales
     }
 
+    /// The schema-derived domain constraint set.
+    pub fn domain(&self) -> &ConstraintSet {
+        &self.domain
+    }
+
+    /// The domain constraints compiled per time point at training time.
+    pub fn compiled_domain(&self) -> &CompiledDomain {
+        &self.compiled_domain
+    }
+
     /// Calendar year of time point `t`.
     pub fn year_of(&self, t: usize) -> u32 {
         self.config.start_year + (t as u32) * self.config.period_years
@@ -203,7 +311,7 @@ impl JustInTime {
         TemporalUpdateFn::from_schema(&self.schema)
     }
 
-    /// Opens a session for one user.
+    /// Opens a session for one user — a serving batch of one.
     ///
     /// * `profile` — the user's present feature vector `x`;
     /// * `user_constraints` — preferences/limitations from the
@@ -216,30 +324,110 @@ impl JustInTime {
         user_constraints: &ConstraintSet,
         update_fn: Option<TemporalUpdateFn>,
     ) -> Result<UserSession<'_>, SessionError> {
-        if profile.len() != self.schema.dim() {
+        let request = UserRequest {
+            profile: profile.to_vec(),
+            constraints: user_constraints.clone(),
+            update_fn,
+        };
+        match self.serve_batch(std::slice::from_ref(&request)) {
+            Ok(mut sessions) => Ok(sessions.pop().expect("one request, one session")),
+            Err(e) => Err(e.error),
+        }
+    }
+
+    /// Starts a fluent per-user request for `profile`; finish with
+    /// [`SessionBuilder::open`] (session of one) or
+    /// [`SessionBuilder::build`] (a [`UserRequest`] for a batch).
+    pub fn session_builder(&self, profile: &[f64]) -> SessionBuilder<'_> {
+        SessionBuilder { system: self, request: UserRequest::new(profile.to_vec()) }
+    }
+
+    /// Serves a batch of users, amortizing everything user-independent:
+    /// the models' move hints are extracted once per time point, the
+    /// domain constraints were compiled once at training time (each user
+    /// only overlays their preferences), and every session database is
+    /// cloned from the schema-initialized template instead of re-running
+    /// DDL.
+    ///
+    /// Users fan out across `config.batch_threads` workers according to
+    /// `config.batch_parallelism`. The result is **bit-identical to
+    /// serial [`JustInTime::session`] calls in request order**, for any
+    /// thread count and either policy (candidate generators derive their
+    /// RNG streams from the time index alone, and the runtime preserves
+    /// task order).
+    ///
+    /// # Errors
+    /// All-or-nothing: the first failing request (by batch index) is
+    /// reported and the whole batch is discarded.
+    pub fn serve_batch(
+        &self,
+        requests: &[UserRequest],
+    ) -> Result<Vec<UserSession<'_>>, BatchError> {
+        // Amortized once per batch: move hints per time point.
+        let hints: Vec<ModelHints> =
+            self.models.iter().map(|m| m.model.hints()).collect();
+
+        let session_runtime = if self.config.parallel_generators {
+            Runtime::new(self.config.threads)
+        } else {
+            Runtime::serial()
+        };
+        let user_runtime = match self.config.batch_parallelism {
+            BatchParallelism::PerUser => Runtime::new(self.config.batch_threads),
+            // Users stay serial; the per-time-point pool inside each
+            // session provides the parallelism.
+            BatchParallelism::PerTimePoint => Runtime::serial(),
+        };
+
+        let results = user_runtime.parallel_map(requests.len(), |u| {
+            self.serve_one(&requests[u], &hints, &session_runtime)
+        });
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(user, r)| r.map_err(|error| BatchError { user, error }))
+            .collect()
+    }
+
+    /// The per-user serving pipeline behind both [`JustInTime::session`]
+    /// and [`JustInTime::serve_batch`].
+    fn serve_one(
+        &self,
+        request: &UserRequest,
+        hints: &[ModelHints],
+        runtime: &Runtime,
+    ) -> Result<UserSession<'_>, SessionError> {
+        if request.profile.len() != self.schema.dim() {
             return Err(SessionError::DimensionMismatch {
                 expected: self.schema.dim(),
-                found: profile.len(),
+                found: request.profile.len(),
             });
         }
-        let update = update_fn.unwrap_or_else(|| self.default_update_fn());
-        let temporal_inputs = update.project_all(profile, self.config.horizon);
+        let update =
+            request.update_fn.clone().unwrap_or_else(|| self.default_update_fn());
+        let temporal_inputs = update.project_all(&request.profile, self.config.horizon);
 
-        // Conjoin domain and user constraints once.
-        let mut all = self.domain.clone();
-        all.merge(user_constraints);
+        // Per-time-point constraints: the cached domain compilation with
+        // this user's preferences overlaid (structurally identical to
+        // merging the sets and compiling from scratch).
+        let bounds: Vec<BoundConstraint> = (0..=self.config.horizon)
+            .map(|t| {
+                self.compiled_domain.overlay(t, &request.constraints, &self.schema)
+            })
+            .collect::<Result<_, _>>()
+            .map_err(|e| SessionError::UnknownFeature(e.0))?;
 
-        let candidates = self.generate_candidates(&temporal_inputs, &all)?;
+        let candidates =
+            self.generate_candidates(&temporal_inputs, &bounds, hints, runtime);
 
-        // Populate the relational database.
-        let db = Database::new();
-        tables::create_tables(&db, &self.schema)?;
+        // Populate the user's relational database from the DDL template.
+        let db = self.db_template.clone();
         tables::insert_temporal_inputs(&db, &temporal_inputs)?;
         tables::insert_candidates(&db, &candidates)?;
 
         Ok(UserSession {
             system: self,
-            profile: profile.to_vec(),
+            profile: request.profile.clone(),
             temporal_inputs,
             candidates,
             db,
@@ -252,39 +440,111 @@ impl JustInTime {
     fn generate_candidates(
         &self,
         temporal_inputs: &[Vec<f64>],
-        constraints: &ConstraintSet,
-    ) -> Result<Vec<Candidate>, SessionError> {
-        let run_one = |t: usize| -> Result<Vec<Candidate>, SessionError> {
-            let bound = constraints
-                .compile_at(t, &self.schema)
-                .map_err(|e| SessionError::UnknownFeature(e.0))?;
+        bounds: &[BoundConstraint],
+        hints: &[ModelHints],
+        runtime: &Runtime,
+    ) -> Vec<Candidate> {
+        let run_one = |t: usize| -> Vec<Candidate> {
             let model = &self.models[t];
             let generator = CandidatesGenerator {
                 model: &model.model,
                 delta: model.delta,
                 origin: &temporal_inputs[t],
-                constraint: &bound,
+                constraint: &bounds[t],
                 schema: &self.schema,
                 scales: &self.scales,
                 time_index: t,
             };
-            Ok(generator.generate(&self.config.candidates))
+            generator.generate_with_hints(&self.config.candidates, &hints[t])
         };
 
         // Each time point seeds its own generator from `t` alone, so no
         // RNG forking is needed for determinism here; the runtime keeps
         // results in time order for every thread count.
-        let runtime = if self.config.parallel_generators {
-            Runtime::new(self.config.threads)
-        } else {
-            Runtime::serial()
-        };
         let results = runtime.parallel_map(self.config.horizon + 1, run_one);
-        let mut all = Vec::new();
-        for r in results {
-            all.extend(r?);
+        results.into_iter().flatten().collect()
+    }
+}
+
+/// Fluent construction of a [`UserRequest`], bound to a trained system.
+///
+/// ```no_run
+/// # use jit_core::JustInTime;
+/// # use jit_data::LendingClubGenerator;
+/// # fn demo(system: &JustInTime) {
+/// let session = system
+///     .session_builder(&LendingClubGenerator::john())
+///     .constraint(jit_constraints::parse_constraint("gap <= 2").unwrap())
+///     .open()
+///     .unwrap();
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct SessionBuilder<'a> {
+    system: &'a JustInTime,
+    request: UserRequest,
+}
+
+impl std::fmt::Debug for SessionBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionBuilder")
+            .field("request", &self.request)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SessionBuilder<'a> {
+    /// Adds a preference constraint at every time point.
+    pub fn constraint(mut self, c: Constraint) -> Self {
+        self.request.constraints.add(c);
+        self
+    }
+
+    /// Adds a preference constraint at one time point.
+    pub fn constraint_at(mut self, t: usize, c: Constraint) -> Self {
+        self.request.constraints.add_at(t, c);
+        self
+    }
+
+    /// Merges a whole preference set.
+    pub fn constraints(mut self, set: &ConstraintSet) -> Self {
+        self.request.constraints.merge(set);
+        self
+    }
+
+    /// Replaces the temporal update function.
+    pub fn update_fn(mut self, update: TemporalUpdateFn) -> Self {
+        self.request.update_fn = Some(update);
+        self
+    }
+
+    /// Overrides one feature's temporal behaviour, starting from the
+    /// system's default update function when none was set yet.
+    pub fn override_feature(mut self, name: &str, o: Override) -> Self {
+        let mut update = self
+            .request
+            .update_fn
+            .take()
+            .unwrap_or_else(|| self.system.default_update_fn());
+        update.override_feature(name, o);
+        self.request.update_fn = Some(update);
+        self
+    }
+
+    /// Finishes the builder as a batch request.
+    pub fn build(self) -> UserRequest {
+        self.request
+    }
+
+    /// Opens the session directly (a batch of one).
+    ///
+    /// # Errors
+    /// The per-user [`SessionError`], as from [`JustInTime::session`].
+    pub fn open(self) -> Result<UserSession<'a>, SessionError> {
+        match self.system.serve_batch(std::slice::from_ref(&self.request)) {
+            Ok(mut sessions) => Ok(sessions.pop().expect("one request, one session")),
+            Err(e) => Err(e.error),
         }
-        Ok(all)
     }
 }
 
@@ -397,6 +657,7 @@ mod tests {
             },
             parallel_generators: true,
             threads: 0,
+            ..Default::default()
         }
     }
 
@@ -480,6 +741,167 @@ mod tests {
             assert_eq!(a.profile, b.profile);
             assert_eq!(a.time_index, b.time_index);
         }
+    }
+
+    type Fingerprint = Vec<(usize, Vec<u64>, u64)>;
+
+    fn candidate_fingerprints(s: &UserSession<'_>) -> Fingerprint {
+        s.candidates()
+            .iter()
+            .map(|c| {
+                (
+                    c.time_index,
+                    c.profile.iter().map(|v| v.to_bits()).collect(),
+                    c.confidence.to_bits(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serve_batch_is_bit_identical_to_serial_sessions() {
+        use jit_constraints::builder::*;
+        let system = trained(2);
+        let mut prefs = ConstraintSet::new();
+        prefs.add(gap().le(2.0));
+        let cohort = [
+            UserRequest::new(LendingClubGenerator::john()),
+            UserRequest {
+                profile: LendingClubGenerator::john(),
+                constraints: prefs.clone(),
+                update_fn: None,
+            },
+            UserRequest::new(vec![40.0, 1.0, 30_000.0, 3_000.0, 10.0, 30_000.0]),
+        ];
+        let batch = system.serve_batch(&cohort).unwrap();
+        assert_eq!(batch.len(), 3);
+        for (req, batched) in cohort.iter().zip(&batch) {
+            let serial = system
+                .session(&req.profile, &req.constraints, req.update_fn.clone())
+                .unwrap();
+            assert_eq!(
+                candidate_fingerprints(batched),
+                candidate_fingerprints(&serial)
+            );
+            assert_eq!(
+                batched.db().row_count(crate::tables::CANDIDATES_TABLE).unwrap(),
+                batched.candidates().len()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_constraint_overlays_do_not_leak_between_users() {
+        use jit_constraints::builder::*;
+        let system = trained(2);
+        let mut capped = ConstraintSet::new();
+        capped.add(gap().le(1.0));
+        // Constrained user sandwiched between unconstrained ones.
+        let requests = [
+            UserRequest::new(LendingClubGenerator::john()),
+            UserRequest {
+                profile: LendingClubGenerator::john(),
+                constraints: capped,
+                update_fn: None,
+            },
+            UserRequest::new(LendingClubGenerator::john()),
+        ];
+        let batch = system.serve_batch(&requests).unwrap();
+        for c in batch[1].candidates() {
+            assert!(c.gap <= 1, "user 1's gap cap violated: {}", c.gap);
+        }
+        // Users 0 and 2 are identical requests: same candidates, and the
+        // middle user's cap must not have constrained them.
+        assert_eq!(
+            candidate_fingerprints(&batch[0]),
+            candidate_fingerprints(&batch[2])
+        );
+        let unconstrained = system
+            .session(&LendingClubGenerator::john(), &ConstraintSet::new(), None)
+            .unwrap();
+        assert_eq!(
+            candidate_fingerprints(&batch[0]),
+            candidate_fingerprints(&unconstrained)
+        );
+    }
+
+    #[test]
+    fn batch_policies_and_thread_counts_agree() {
+        let (schema, slices) = lending_slices(250);
+        let requests = [
+            UserRequest::new(LendingClubGenerator::john()),
+            UserRequest::new(vec![40.0, 1.0, 30_000.0, 3_000.0, 10.0, 30_000.0]),
+        ];
+        let mut reference: Option<Vec<Fingerprint>> = None;
+        for policy in [BatchParallelism::PerUser, BatchParallelism::PerTimePoint] {
+            for threads in [1usize, 2, 8] {
+                let mut cfg = small_config(2);
+                cfg.batch_parallelism = policy;
+                cfg.batch_threads = threads;
+                let system = JustInTime::train(cfg, &schema, &slices).unwrap();
+                let batch = system.serve_batch(&requests).unwrap();
+                let prints: Vec<_> = batch.iter().map(candidate_fingerprints).collect();
+                match &reference {
+                    None => reference = Some(prints),
+                    Some(r) => {
+                        assert_eq!(&prints, r, "policy {policy:?} threads {threads}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_error_reports_failing_user() {
+        use jit_constraints::builder::*;
+        let system = trained(1);
+        let mut bad = ConstraintSet::new();
+        bad.add(feature("fico_score").ge(700.0));
+        let requests = [
+            UserRequest::new(LendingClubGenerator::john()),
+            UserRequest {
+                profile: LendingClubGenerator::john(),
+                constraints: bad,
+                update_fn: None,
+            },
+        ];
+        let err = system.serve_batch(&requests).unwrap_err();
+        assert_eq!(err.user, 1);
+        assert!(
+            matches!(err.error, SessionError::UnknownFeature(ref f) if f == "fico_score")
+        );
+        // Dimension errors surface the same way.
+        let err = system.serve_batch(&[UserRequest::new(vec![1.0])]).unwrap_err();
+        assert_eq!(err.user, 0);
+        assert!(matches!(
+            err.error,
+            SessionError::DimensionMismatch { expected: 6, found: 1 }
+        ));
+        // Empty batches are fine.
+        assert!(system.serve_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn session_builder_overrides_flow_through() {
+        use jit_constraints::builder::*;
+        use jit_temporal::update::Override;
+        let system = trained(2);
+        let session = system
+            .session_builder(&LendingClubGenerator::john())
+            .constraint(gap().le(1.0))
+            .override_feature("debt", Override::Trajectory(vec![1_000.0, 0.0]))
+            .open()
+            .unwrap();
+        assert!(session.candidates().iter().all(|c| c.gap <= 1));
+        assert_eq!(session.temporal_inputs()[1][3], 1_000.0);
+        assert_eq!(session.temporal_inputs()[2][3], 0.0);
+        // build() produces a request usable in a batch, identically.
+        let request = system
+            .session_builder(&LendingClubGenerator::john())
+            .constraint(gap().le(1.0))
+            .build();
+        let batch = system.serve_batch(std::slice::from_ref(&request)).unwrap();
+        assert!(batch[0].candidates().iter().all(|c| c.gap <= 1));
     }
 
     #[test]

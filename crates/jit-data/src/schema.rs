@@ -170,6 +170,16 @@ impl FeatureSchema {
         row.iter().zip(&self.features).map(|(v, f)| f.sanitize(*v)).collect()
     }
 
+    /// [`FeatureSchema::sanitize_row`] without the allocation: overwrites
+    /// `row` with its sanitized values (hot path of the candidates
+    /// search, which sanitizes thousands of trial profiles per session).
+    pub fn sanitize_row_in_place(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.dim(), "row dimension mismatch");
+        for (v, f) in row.iter_mut().zip(&self.features) {
+            *v = f.sanitize(*v);
+        }
+    }
+
     /// `true` when every coordinate lies within its feature's bounds.
     pub fn row_in_bounds(&self, row: &[f64]) -> bool {
         row.len() == self.dim()
@@ -327,6 +337,10 @@ mod tests {
         assert_eq!(clean[lending_idx::LOAN_AMOUNT], 100_000.0); // clamped to max
         assert!(s.row_in_bounds(&clean));
         assert!(!s.row_in_bounds(&raw));
+        // The in-place variant is bit-identical to the allocating one.
+        let mut in_place = raw.clone();
+        s.sanitize_row_in_place(&mut in_place);
+        assert_eq!(in_place, clean);
     }
 
     #[test]

@@ -20,6 +20,19 @@ pub struct Database {
     tables: RwLock<HashMap<String, Table>>,
 }
 
+/// Deep point-in-time snapshot: the clone owns independent copies of all
+/// schemas and rows.
+///
+/// Batch serving uses this as a *template/DDL split*: the pipeline
+/// executes table DDL once into a schema-initialized template at training
+/// time, then clones the (empty-table) template per user session instead
+/// of re-running `CREATE TABLE` per user.
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        Database { tables: RwLock::new(self.tables.read().clone()) }
+    }
+}
+
 impl Database {
     /// Creates an empty database.
     pub fn new() -> Self {
@@ -322,6 +335,26 @@ mod tests {
         let db = sample_db();
         let err = db.execute("INSERT INTO t VALUES ('x', 1.0, 'y')").unwrap_err();
         assert!(matches!(err, DbError::TypeMismatch { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn clone_is_an_independent_snapshot() {
+        let template = sample_db();
+        let a = template.clone();
+        let b = template.clone();
+        // Schemas carried over; rows too (snapshot semantics).
+        assert_eq!(a.table_names(), template.table_names());
+        assert_eq!(a.row_count("t").unwrap(), 3);
+        // Writes to one clone never leak into the template or siblings.
+        a.execute("INSERT INTO t VALUES (99, 9.9, 'a-only')").unwrap();
+        b.execute("DELETE FROM t").unwrap();
+        assert_eq!(a.row_count("t").unwrap(), 4);
+        assert_eq!(b.row_count("t").unwrap(), 0);
+        assert_eq!(template.row_count("t").unwrap(), 3);
+        // DDL on a clone stays local as well.
+        a.execute("CREATE TABLE extra (x INTEGER)").unwrap();
+        assert!(!template.has_table("extra"));
+        assert!(!b.has_table("extra"));
     }
 
     #[test]

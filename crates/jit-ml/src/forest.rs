@@ -8,7 +8,7 @@
 
 use crate::dataset::Dataset;
 use crate::model::{Model, ModelHints};
-use crate::tree::{DecisionTree, DecisionTreeParams};
+use crate::tree::{DatasetPresort, DecisionTree, DecisionTreeParams};
 use jit_math::rng::Rng;
 use jit_runtime::{fork_streams, Runtime};
 
@@ -72,11 +72,35 @@ impl RandomForest {
             feature_subsample: Some(mtry.min(d)),
         };
         let streams = fork_streams(rng, params.n_trees);
-        let trees = Runtime::new(params.threads).parallel_map(params.n_trees, |i| {
-            let mut tree_rng = streams[i].clone();
-            let sample = data.bootstrap(&mut tree_rng);
-            DecisionTree::fit(&sample, &tree_params, &mut tree_rng)
-        });
+        let runtime = Runtime::new(params.threads);
+        // Uniform (unweighted) bootstraps share one dataset-level presort
+        // across all trees; each tree derives its root sort order from it
+        // instead of re-sorting every feature. The uniformity predicate
+        // and the per-draw RNG consumption replicate
+        // `Dataset::bootstrap`'s uniform branch exactly, so the fitted
+        // forest is bit-identical to the view-based path.
+        let uniform = data.weights().iter().all(|w| (*w - 1.0).abs() < 1e-12);
+        let trees = if uniform {
+            let n = data.len();
+            let presort = DatasetPresort::new(data);
+            runtime.parallel_map(params.n_trees, |i| {
+                let mut tree_rng = streams[i].clone();
+                let indices: Vec<u32> =
+                    (0..n).map(|_| tree_rng.below(n) as u32).collect();
+                DecisionTree::fit_bootstrap(
+                    &presort,
+                    &indices,
+                    &tree_params,
+                    &mut tree_rng,
+                )
+            })
+        } else {
+            runtime.parallel_map(params.n_trees, |i| {
+                let mut tree_rng = streams[i].clone();
+                let sample = data.bootstrap(&mut tree_rng);
+                DecisionTree::fit(&sample, &tree_params, &mut tree_rng)
+            })
+        };
         RandomForest { trees, dim: d }
     }
 
@@ -114,7 +138,8 @@ impl Model for RandomForest {
     }
 
     fn predict_proba(&self, x: &[f64]) -> f64 {
-        let sum: f64 = self.trees.iter().map(|t| t.predict_proba(x)).sum();
+        assert_eq!(x.len(), self.dim, "feature dimension mismatch");
+        let sum: f64 = self.trees.iter().map(|t| t.predict_proba_unchecked(x)).sum();
         sum / self.trees.len() as f64
     }
 
@@ -232,6 +257,43 @@ mod tests {
                     "path threshold missing from global hint set"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn uniform_presort_path_matches_view_path() {
+        use crate::tree::DecisionTreeParams;
+        use jit_runtime::fork_streams;
+        let mut rng_data = Rng::seeded(11);
+        let d = ring_data(120, &mut rng_data);
+        let params =
+            RandomForestParams { n_trees: 8, threads: 1, ..Default::default() };
+        let forest = RandomForest::fit(&d, &params, &mut Rng::seeded(42));
+        // Reference: the pre-presort implementation — per-tree bootstrap
+        // views with per-tree feature sorts.
+        let mtry = ((d.dim() as f64).sqrt().floor() as usize).max(1);
+        let tree_params = DecisionTreeParams {
+            max_depth: params.max_depth,
+            min_leaf_weight: params.min_leaf_weight,
+            feature_subsample: Some(mtry),
+        };
+        let mut rng = Rng::seeded(42);
+        let streams = fork_streams(&mut rng, params.n_trees);
+        let reference: Vec<DecisionTree> = (0..params.n_trees)
+            .map(|i| {
+                let mut tree_rng = streams[i].clone();
+                let sample = d.bootstrap(&mut tree_rng);
+                DecisionTree::fit(&sample, &tree_params, &mut tree_rng)
+            })
+            .collect();
+        for (a, b) in forest.trees().iter().zip(&reference) {
+            assert_eq!(a.split_thresholds(), b.split_thresholds());
+        }
+        for (row, _, _) in d.iter() {
+            let ref_pred: f64 =
+                reference.iter().map(|t| t.predict_proba(row)).sum::<f64>()
+                    / reference.len() as f64;
+            assert_eq!(forest.predict_proba(row), ref_pred);
         }
     }
 

@@ -36,4 +36,4 @@ pub use dataset::Dataset;
 pub use forest::{RandomForest, RandomForestParams};
 pub use logistic::{LogisticParams, LogisticRegression};
 pub use model::{Model, ModelHints};
-pub use tree::{DecisionTree, DecisionTreeParams};
+pub use tree::{DatasetPresort, DecisionTree, DecisionTreeParams};

@@ -48,10 +48,34 @@ enum Node {
     },
 }
 
+/// One flat tree node: 24 packed bytes, so a prediction step touches a
+/// single cache line instead of one line per parallel array.
+///
+/// `feature == LEAF` marks a leaf whose probability sits in `threshold`;
+/// otherwise `threshold` is the split value and `left`/`right` the child
+/// node indices.
+#[derive(Clone, Copy, Debug)]
+struct FlatNode {
+    threshold: f64,
+    feature: u32,
+    left: u32,
+    right: u32,
+}
+
+/// Sentinel in [`FlatNode::feature`] marking a leaf node.
+const LEAF: u32 = u32::MAX;
+
 /// A fitted CART binary classifier.
+///
+/// Nodes are stored flat in build (pre-)order; the prediction loop is the
+/// single hottest operation of the candidates search (thousands of calls
+/// per user session), and the dense `FlatNode` layout keeps it to one
+/// array read per level with no enum discriminants. (A branch-free
+/// fixed-depth descent was tried and measured slower: most paths exit
+/// well above the maximum depth.)
 #[derive(Clone, Debug)]
 pub struct DecisionTree {
-    nodes: Vec<Node>,
+    nodes: Vec<FlatNode>,
     dim: usize,
 }
 
@@ -114,6 +138,72 @@ impl<'a> Builder<'a> {
             cols,
             goes_left: vec![false; n],
         }
+    }
+
+    /// Builder over the bootstrap sample `indices` of a presorted parent:
+    /// columns and labels are gathered from the parent, weights are the
+    /// unit weights a realized bootstrap carries.
+    fn from_bootstrap(
+        presort: &DatasetPresort,
+        indices: &[u32],
+        params: &'a DecisionTreeParams,
+        rng: Rng,
+    ) -> Self {
+        let n = indices.len();
+        let cols = presort
+            .cols
+            .iter()
+            .map(|pc| indices.iter().map(|&i| pc[i as usize]).collect())
+            .collect();
+        let labels = indices.iter().map(|&i| presort.labels[i as usize]).collect();
+        Builder {
+            params,
+            nodes: Vec::new(),
+            rng,
+            weights: vec![1.0; n],
+            labels,
+            cols,
+            goes_left: vec![false; n],
+        }
+    }
+
+    /// Derives the root [`NodeSet`] of a bootstrap sample from the parent
+    /// presort: members are counting-sorted into per-parent-row buckets
+    /// (ascending member id within a bucket), then emitted in the
+    /// parent's per-feature value order — `O(n)` per feature instead of
+    /// an `O(n log n)` sort.
+    fn bootstrap_root_set(&self, presort: &DatasetPresort, indices: &[u32]) -> NodeSet {
+        let n = indices.len();
+        let parent_n = presort.len();
+        let members: Vec<u32> = (0..n as u32).collect();
+        let mut start = vec![0u32; parent_n + 1];
+        for &pr in indices {
+            start[pr as usize + 1] += 1;
+        }
+        for i in 0..parent_n {
+            start[i + 1] += start[i];
+        }
+        let mut grouped = vec![0u32; n];
+        let mut cursor = start.clone();
+        for (m, &pr) in indices.iter().enumerate() {
+            let c = &mut cursor[pr as usize];
+            grouped[*c as usize] = m as u32;
+            *c += 1;
+        }
+        let sorted = presort
+            .sorted
+            .iter()
+            .map(|parent_order| {
+                let mut order = Vec::with_capacity(n);
+                for &pr in parent_order {
+                    let lo = start[pr as usize] as usize;
+                    let hi = start[pr as usize + 1] as usize;
+                    order.extend_from_slice(&grouped[lo..hi]);
+                }
+                order
+            })
+            .collect();
+        NodeSet { members, sorted }
     }
 
     fn root_set(&self) -> NodeSet {
@@ -276,6 +366,77 @@ impl<'a> Builder<'a> {
     }
 }
 
+/// Column-major presort of a whole dataset, computed **once per forest**
+/// and shared by every tree trained on uniform (unweighted) bootstraps of
+/// that dataset.
+///
+/// Each tree's root sort order per feature is then *derived* from the
+/// parent order by a counting sort over the bootstrap indices
+/// (`O(n·d)`) instead of re-sorting every feature per tree
+/// (`O(d·n log n)`). Ties between equal feature values may land in a
+/// different relative order than a direct stable sort of the sample, but
+/// split search only evaluates boundaries between *distinct* values and
+/// uniform bootstraps carry exact unit weights, so the fitted tree is
+/// bit-identical either way.
+#[derive(Clone, Debug)]
+pub struct DatasetPresort {
+    /// Column-major feature values of the parent dataset.
+    cols: Vec<Vec<f64>>,
+    /// Per feature: parent row ids in ascending feature-value order
+    /// (stable, ties by ascending row id).
+    sorted: Vec<Vec<u32>>,
+    /// Parent labels.
+    labels: Vec<bool>,
+}
+
+impl DatasetPresort {
+    /// Transposes and presorts `data` (one `O(d·n log n)` pass).
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or one too large for `u32` row ids.
+    pub fn new(data: &Dataset) -> Self {
+        assert!(!data.is_empty(), "cannot presort an empty dataset");
+        let n = data.len();
+        assert!(u32::try_from(n).is_ok(), "dataset too large for tree ids");
+        let d = data.dim();
+        let mut cols = vec![Vec::with_capacity(n); d];
+        for row in data.rows() {
+            for (f, &v) in row.iter().enumerate() {
+                cols[f].push(v);
+            }
+        }
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let sorted = cols
+            .iter()
+            .map(|col| {
+                let mut order = ids.clone();
+                order.sort_by(|&a, &b| {
+                    col[a as usize]
+                        .partial_cmp(&col[b as usize])
+                        .expect("no NaN features")
+                });
+                order
+            })
+            .collect();
+        DatasetPresort { cols, sorted, labels: data.labels().to_vec() }
+    }
+
+    /// Number of parent rows.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when the presort covers no rows (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.cols.len()
+    }
+}
+
 impl DecisionTree {
     /// Fits a tree on `data`.
     ///
@@ -284,11 +445,58 @@ impl DecisionTree {
     pub fn fit(data: &Dataset, params: &DecisionTreeParams, rng: &mut Rng) -> Self {
         assert!(!data.is_empty(), "cannot fit tree on empty dataset");
         assert!(u32::try_from(data.len()).is_ok(), "dataset too large for tree ids");
-        let mut builder = Builder::new(data, params, rng.fork());
+        let builder = Builder::new(data, params, rng.fork());
         let root_set = builder.root_set();
+        Self::finish(builder, root_set, data.dim())
+    }
+
+    /// Fits a tree on the bootstrap sample `indices` of a presorted
+    /// parent dataset, deriving the root sort order from the shared
+    /// [`DatasetPresort`] instead of re-sorting per tree.
+    ///
+    /// Exactly equivalent to `DecisionTree::fit(&parent.bootstrap(rng),
+    /// ..)` for a *uniform-weight* parent (unit example weights are
+    /// materialized, as `bootstrap` realizes its draws to weight 1); the
+    /// RNG is consumed identically to `fit` (one fork).
+    ///
+    /// # Panics
+    /// Panics when `indices` is empty or references rows outside the
+    /// presorted parent.
+    pub fn fit_bootstrap(
+        presort: &DatasetPresort,
+        indices: &[u32],
+        params: &DecisionTreeParams,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(!indices.is_empty(), "cannot fit tree on empty bootstrap");
+        let builder = Builder::from_bootstrap(presort, indices, params, rng.fork());
+        let root_set = builder.bootstrap_root_set(presort, indices);
+        Self::finish(builder, root_set, presort.dim())
+    }
+
+    fn finish(mut builder: Builder<'_>, root_set: NodeSet, dim: usize) -> Self {
         let root = builder.build(root_set, 0);
         debug_assert_eq!(root, 0);
-        DecisionTree { nodes: builder.nodes, dim: data.dim() }
+        Self::flatten(&builder.nodes, dim)
+    }
+
+    /// Converts the builder's node list into the flat layout.
+    fn flatten(nodes: &[Node], dim: usize) -> Self {
+        let flat = nodes
+            .iter()
+            .map(|node| match node {
+                Node::Leaf { prob } => {
+                    FlatNode { threshold: *prob, feature: LEAF, left: 0, right: 0 }
+                }
+                Node::Split { feature, threshold, left, right } => FlatNode {
+                    threshold: *threshold,
+                    feature: *feature as u32,
+                    left: *left as u32,
+                    right: *right as u32,
+                },
+            })
+            .collect();
+        DecisionTree { nodes: flat, dim }
     }
 
     /// Number of nodes in the fitted tree.
@@ -298,12 +506,12 @@ impl DecisionTree {
 
     /// Depth of the fitted tree (0 for a single leaf).
     pub fn depth(&self) -> usize {
-        fn rec(nodes: &[Node], i: usize) -> usize {
-            match &nodes[i] {
-                Node::Leaf { .. } => 0,
-                Node::Split { left, right, .. } => {
-                    1 + rec(nodes, *left).max(rec(nodes, *right))
-                }
+        fn rec(nodes: &[FlatNode], i: usize) -> usize {
+            let n = &nodes[i];
+            if n.feature == LEAF {
+                0
+            } else {
+                1 + rec(nodes, n.left as usize).max(rec(nodes, n.right as usize))
             }
         }
         if self.nodes.is_empty() {
@@ -317,10 +525,8 @@ impl DecisionTree {
     pub fn split_thresholds(&self) -> Vec<(usize, f64)> {
         self.nodes
             .iter()
-            .filter_map(|n| match n {
-                Node::Split { feature, threshold, .. } => Some((*feature, *threshold)),
-                Node::Leaf { .. } => None,
-            })
+            .filter(|n| n.feature != LEAF)
+            .map(|n| (n.feature as usize, n.threshold))
             .collect()
     }
 
@@ -330,17 +536,36 @@ impl DecisionTree {
     /// heuristic perturbs first.
     pub fn path_thresholds(&self, x: &[f64]) -> Vec<(usize, f64)> {
         let mut out = Vec::new();
-        let mut node = 0usize;
-        loop {
-            match &self.nodes[node] {
-                Node::Leaf { .. } => break,
-                Node::Split { feature, threshold, left, right } => {
-                    out.push((*feature, *threshold));
-                    node = if x[*feature] <= *threshold { *left } else { *right };
-                }
-            }
+        let mut node = &self.nodes[0];
+        while node.feature != LEAF {
+            let f = node.feature as usize;
+            out.push((f, node.threshold));
+            node = if x[f] <= node.threshold {
+                &self.nodes[node.left as usize]
+            } else {
+                &self.nodes[node.right as usize]
+            };
         }
         out
+    }
+
+    /// [`Model::predict_proba`] without the per-call dimension assert —
+    /// the forest checks once and then walks all its trees through here.
+    #[inline]
+    pub(crate) fn predict_proba_unchecked(&self, x: &[f64]) -> f64 {
+        let nodes = &self.nodes[..];
+        let mut node = &nodes[0];
+        loop {
+            let f = node.feature;
+            if f == LEAF {
+                return node.threshold;
+            }
+            node = if x[f as usize] <= node.threshold {
+                &nodes[node.left as usize]
+            } else {
+                &nodes[node.right as usize]
+            };
+        }
     }
 }
 
@@ -351,15 +576,7 @@ impl Model for DecisionTree {
 
     fn predict_proba(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.dim, "feature dimension mismatch");
-        let mut node = 0usize;
-        loop {
-            match &self.nodes[node] {
-                Node::Leaf { prob } => return *prob,
-                Node::Split { feature, threshold, left, right } => {
-                    node = if x[*feature] <= *threshold { *left } else { *right };
-                }
-            }
-        }
+        self.predict_proba_unchecked(x)
     }
 
     fn hints(&self) -> ModelHints {
@@ -503,6 +720,41 @@ mod tests {
                 }
             }
             _ => panic!("tree must expose threshold hints"),
+        }
+    }
+
+    #[test]
+    fn fit_bootstrap_matches_view_bootstrap_fit() {
+        // Heavy value ties across distinct rows: the derived root order
+        // may permute tied members, which must not change the tree.
+        let rows: Vec<Vec<f64>> = (0..48)
+            .map(|i| vec![(i % 4) as f64, ((i * 3) % 5) as f64, (i % 2) as f64])
+            .collect();
+        let labels: Vec<bool> = (0..48).map(|i| (i % 3) == 0).collect();
+        let d = Dataset::from_rows(rows, labels);
+        let presort = DatasetPresort::new(&d);
+        let params = DecisionTreeParams {
+            feature_subsample: Some(2),
+            min_leaf_weight: 1.0,
+            ..Default::default()
+        };
+        for seed in 0..12u64 {
+            // Old path: bootstrap view + per-tree sort.
+            let mut rng_a = Rng::seeded(seed);
+            let sample = d.bootstrap(&mut rng_a);
+            let ta = DecisionTree::fit(&sample, &params, &mut rng_a);
+            // New path: shared presort + derived order, identical draws.
+            let mut rng_b = Rng::seeded(seed);
+            let indices: Vec<u32> =
+                (0..d.len()).map(|_| rng_b.below(d.len()) as u32).collect();
+            let tb =
+                DecisionTree::fit_bootstrap(&presort, &indices, &params, &mut rng_b);
+            assert_eq!(ta.node_count(), tb.node_count(), "seed {seed}");
+            assert_eq!(ta.split_thresholds(), tb.split_thresholds(), "seed {seed}");
+            for i in 0..16 {
+                let x = vec![(i % 5) as f64 * 0.8, (i % 7) as f64 * 0.6, 0.5];
+                assert_eq!(ta.predict_proba(&x), tb.predict_proba(&x));
+            }
         }
     }
 

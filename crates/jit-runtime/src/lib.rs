@@ -27,6 +27,11 @@
 //!   it or in what order chunks were claimed.
 //! * **Serial fallback.** `threads <= 1` (or `n <= 1`) runs the tasks
 //!   inline on the caller's thread — no spawns, identical results.
+//! * **Nested-parallelism guard.** A `parallel_map` issued from *inside*
+//!   a pool task (batch serving fans users out, and each user's session
+//!   fans time points out) runs inline on the worker instead of spawning
+//!   a pool-per-worker. Output is unchanged; only oversubscription is
+//!   avoided.
 //! * **Panic propagation.** A panicking task poisons the scope; the panic
 //!   resurfaces on the caller once remaining workers finish their chunks.
 //!
@@ -49,11 +54,29 @@
 //! the per-time-point candidates generators) all follow it, and
 //! `tests/determinism.rs` locks the property down.
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 use jit_math::rng::Rng;
+
+thread_local! {
+    /// `true` while the current thread is a pool worker executing tasks.
+    ///
+    /// The nested-parallelism guard: a `parallel_map` issued from inside a
+    /// task (e.g. per-time-point candidate generation inside a per-user
+    /// batch fan-out) runs inline instead of spawning a second scoped pool
+    /// per worker. Results are unaffected — the pool is order-preserving
+    /// and tasks are required to be schedule-independent — this only
+    /// prevents `threads²` oversubscription.
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// `true` when called from inside a pool worker's task.
+pub fn in_pool_worker() -> bool {
+    IN_POOL_WORKER.with(Cell::get)
+}
 
 /// A handle describing how much parallelism to use.
 ///
@@ -106,7 +129,7 @@ impl Runtime {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
-        if self.threads <= 1 || n <= 1 {
+        if self.threads <= 1 || n <= 1 || in_pool_worker() {
             return (0..n).map(f).collect();
         }
         let workers = self.threads.min(n);
@@ -125,6 +148,7 @@ impl Runtime {
                     let cursor = &cursor;
                     let f = &f;
                     scope.spawn(move || {
+                        IN_POOL_WORKER.with(|w| w.set(true));
                         let mut local: Vec<(usize, R)> = Vec::new();
                         loop {
                             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -246,6 +270,22 @@ mod tests {
         let _ = fork_streams(&mut a, 8);
         let _ = fork_streams(&mut b, 8);
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn nested_parallel_map_runs_inline_in_workers() {
+        let rt = Runtime::new(4);
+        let out = rt.parallel_map(8, |i| {
+            assert!(in_pool_worker(), "task must see the worker flag");
+            // The nested pool must fall back inline (no thread explosion)
+            // and still produce ordered results.
+            Runtime::new(4).parallel_map(4, |j| i * 10 + j)
+        });
+        for (i, inner) in out.iter().enumerate() {
+            assert_eq!(inner, &vec![i * 10, i * 10 + 1, i * 10 + 2, i * 10 + 3]);
+        }
+        // The caller's thread is not a worker.
+        assert!(!in_pool_worker());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!   feeding weighted random forests (the paper's method);
 //! * [`FuturePredictor::ParamExtrapolation`] — per-slice logistic models
 //!   whose parameters are extrapolated over time (Kumagai & Iwata-style,
-//!   the paper's ref [8]);
+//!   the paper's ref \[8\]);
 //! * [`FuturePredictor::Frozen`] — the present model reused at every
 //!   future time point (the strawman every temporal method must beat).
 

@@ -29,7 +29,7 @@
 //!    * [`future`] — orchestration: slices → embeddings → extrapolation →
 //!      herded weights → weighted random forest + calibrated threshold
 //!      `(M_t, δ_t)` per future time point. A parameter-extrapolation
-//!      baseline (Kumagai & Iwata-style, ref [8]) and a frozen-model
+//!      baseline (Kumagai & Iwata-style, ref \[8\]) and a frozen-model
 //!      baseline are provided for the E4 experiment.
 
 pub mod embedding;

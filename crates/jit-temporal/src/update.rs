@@ -2,7 +2,7 @@
 //!
 //! "For features specified as *non temporal* f is the identity function.
 //! For every *temporal* feature v, the value of v at time point t is given
-//! by f(x, t)[v]." — e.g. `f(x, 3)[age] = x[age] + 3Δ` (Example II.5).
+//! by f(x, t)\[v\]." — e.g. `f(x, 3)[age] = x[age] + 3Δ` (Example II.5).
 //!
 //! Defaults come from the schema's [`TemporalSpec`]s; users may override
 //! individual features with planned trajectories ("my seniority resets to 0

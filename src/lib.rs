@@ -37,6 +37,20 @@
 //! for insight in session.run_all().unwrap() {
 //!     println!("{insight}");
 //! }
+//!
+//! // 5. Serving at scale: batch whole cohorts through the amortized
+//! //    serving layer — bit-identical to serial sessions, for any
+//! //    thread count (see `examples/batch_serving.rs`).
+//! let cohort = vec![
+//!     UserRequest::new(LendingClubGenerator::john()),
+//!     system
+//!         .session_builder(&LendingClubGenerator::john())
+//!         .constraint(gap().le(2.0))
+//!         .build(),
+//! ];
+//! for session in system.serve_batch(&cohort).unwrap() {
+//!     println!("{} candidates", session.candidates().len());
+//! }
 //! ```
 //!
 //! ## Crate map
@@ -47,10 +61,10 @@
 //! | [`jit_runtime`] | deterministic scoped thread pool for training |
 //! | [`jit_ml`] | decision trees, random forests, logistic, GBM, metrics |
 //! | [`jit_data`] | feature schema + drifting Lending-Club generator |
-//! | [`jit_constraints`] | the constraints language (diff/gap/confidence) |
+//! | [`jit_constraints`] | the constraints language (diff/gap/confidence), compiled-domain cache |
 //! | [`jit_temporal`] | temporal update fns, EDD future-model prediction |
 //! | [`jit_db`] | in-memory SQL engine (Figure 2 queries run verbatim) |
-//! | [`jit_core`] | candidates generator, canned queries, insights, pipeline |
+//! | [`jit_core`] | candidates generator, canned queries, insights, pipeline, batch serving |
 
 pub use jit_constraints;
 pub use jit_core;
@@ -64,10 +78,12 @@ pub use jit_temporal;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use jit_constraints::builder::{confidence, constant, diff, feature, gap};
-    pub use jit_constraints::{parse_constraint, Constraint, ConstraintSet};
+    pub use jit_constraints::{
+        parse_constraint, CompiledDomain, Constraint, ConstraintSet,
+    };
     pub use jit_core::{
-        AdminConfig, CandidateParams, CannedQuery, Insight, JustInTime, Objective,
-        UserSession,
+        AdminConfig, BatchError, BatchParallelism, CandidateParams, CannedQuery,
+        Insight, JustInTime, Objective, SessionBuilder, UserRequest, UserSession,
     };
     pub use jit_data::{
         FeatureSchema, LendingClubGenerator, LendingClubParams, LoanRecord,

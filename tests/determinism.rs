@@ -149,6 +149,127 @@ fn end_to_end_candidates_are_bit_identical_across_thread_counts() {
     }
 }
 
+// ---------------------------------------------------------------------
+// 1b. Batch serving: serve_batch ≡ serial sessions, for any thread count
+// ---------------------------------------------------------------------
+
+type SessionFingerprint = Vec<(usize, Vec<u64>, u64, u64)>;
+
+fn fingerprint(session: &justintime::jit_core::UserSession<'_>) -> SessionFingerprint {
+    session
+        .candidates()
+        .iter()
+        .map(|c| {
+            (
+                c.time_index,
+                c.profile.iter().map(|v| v.to_bits()).collect(),
+                c.diff.to_bits(),
+                c.confidence.to_bits(),
+            )
+        })
+        .collect()
+}
+
+fn batch_config(batch_threads: usize, policy: BatchParallelism) -> AdminConfig {
+    AdminConfig {
+        horizon: 2,
+        batch_threads,
+        batch_parallelism: policy,
+        future: FutureModelsParams {
+            n_landmarks: 20,
+            pool_slices: 2,
+            forest: RandomForestParams { n_trees: 6, ..Default::default() },
+            ..Default::default()
+        },
+        candidates: CandidateParams {
+            beam_width: 4,
+            max_iters: 3,
+            top_k: 4,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn batch_cohort() -> Vec<UserRequest> {
+    let mut capped = ConstraintSet::new();
+    capped.add(justintime::jit_constraints::builder::gap().le(1.0));
+    vec![
+        UserRequest::new(LendingClubGenerator::john()),
+        UserRequest {
+            profile: LendingClubGenerator::john(),
+            constraints: capped,
+            update_fn: None,
+        },
+        UserRequest::new(vec![45.0, 1.0, 28_000.0, 2_800.0, 12.0, 32_000.0]),
+    ]
+}
+
+#[test]
+fn serve_batch_is_bit_identical_to_serial_sessions_across_threads() {
+    let (schema, slices) = lending_slices(120, 4);
+    let cohort = batch_cohort();
+
+    // Reference: three serial session() calls on a serially-trained system.
+    let serial_system =
+        JustInTime::train(batch_config(1, BatchParallelism::PerUser), &schema, &slices)
+            .expect("train");
+    let serial: Vec<SessionFingerprint> = cohort
+        .iter()
+        .map(|r| {
+            fingerprint(
+                &serial_system
+                    .session(&r.profile, &r.constraints, r.update_fn.clone())
+                    .expect("serial session"),
+            )
+        })
+        .collect();
+    assert!(serial.iter().all(|s| !s.is_empty()), "fixture must yield candidates");
+
+    for policy in [BatchParallelism::PerUser, BatchParallelism::PerTimePoint] {
+        for threads in [1usize, 2, 8] {
+            let system =
+                JustInTime::train(batch_config(threads, policy), &schema, &slices)
+                    .expect("train");
+            let batch = system.serve_batch(&cohort).expect("serve_batch");
+            let prints: Vec<SessionFingerprint> =
+                batch.iter().map(fingerprint).collect();
+            assert_eq!(
+                prints, serial,
+                "serve_batch diverged at threads={threads} policy={policy:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_overlays_do_not_leak_between_users_at_any_thread_count() {
+    let (schema, slices) = lending_slices(120, 4);
+    let cohort = batch_cohort();
+    for threads in [1usize, 2, 8] {
+        let system = JustInTime::train(
+            batch_config(threads, BatchParallelism::PerUser),
+            &schema,
+            &slices,
+        )
+        .expect("train");
+        let batch = system.serve_batch(&cohort).expect("serve_batch");
+        // User 1 carries the gap cap; it must bind for them only.
+        assert!(batch[1].candidates().iter().all(|c| c.gap <= 1));
+        // Users 0 and 2 must match fresh unconstrained serial sessions.
+        for idx in [0usize, 2] {
+            let fresh = system
+                .session(&cohort[idx].profile, &ConstraintSet::new(), None)
+                .expect("session");
+            assert_eq!(
+                fingerprint(&batch[idx]),
+                fingerprint(&fresh),
+                "overlay leaked into user {idx} at threads={threads}"
+            );
+        }
+    }
+}
+
 #[test]
 fn runtime_parallel_map_matches_serial_with_forked_streams() {
     // The contract in miniature: fork first, then map.
