@@ -39,6 +39,22 @@ fn bench_serving(c: &mut Criterion) {
             black_box(sessions.iter().map(|s| s.candidates().len()).sum::<usize>())
         })
     });
+    // Returning users: the fingerprint diff replays unchanged time
+    // points from stored snapshots instead of re-searching.
+    let no_drift = jit_bench::returning_cohort(&system, &cohort);
+    group.bench_function("reserve_no_drift_8xT2", |b| {
+        b.iter(|| {
+            let sessions = system.reserve_batch(black_box(&no_drift)).expect("reserve");
+            black_box(sessions.iter().map(|s| s.candidates().len()).sum::<usize>())
+        })
+    });
+    let drifted = jit_bench::drifted_returning_cohort(&system, &cohort);
+    group.bench_function("reserve_drift25_8xT2", |b| {
+        b.iter(|| {
+            let sessions = system.reserve_batch(black_box(&drifted)).expect("reserve");
+            black_box(sessions.iter().map(|s| s.candidates().len()).sum::<usize>())
+        })
+    });
     group.finish();
 }
 

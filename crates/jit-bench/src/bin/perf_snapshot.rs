@@ -3,9 +3,10 @@
 //!
 //! Times the hot-path workloads the perf acceptance criteria track —
 //! models-generator training (`future_models`), the end-to-end pipeline
-//! (`pipeline`), the candidates search (`candidates`) and multi-user
-//! serving (`serve`) — and prints one JSON object to stdout, so
-//! snapshots are reproducible with:
+//! (`pipeline`), the candidates search (`candidates`), multi-user
+//! serving (`serve`) and returning-user re-serving under the fingerprint
+//! diff (`reserve`, no-drift and 25%-drift cohorts) — and prints one
+//! JSON object to stdout, so snapshots are reproducible with:
 //!
 //! ```text
 //! cargo run --release -p jit-bench --bin perf_snapshot            # full
@@ -32,7 +33,8 @@
 //! artifact upload.
 
 use jit_bench::{
-    bench_config, bench_generator, john_session, serving_cohort, year_slices,
+    bench_config, bench_generator, drifted_returning_cohort, john_session,
+    returning_cohort, serving_cohort, year_slices,
 };
 use jit_core::JustInTime;
 use jit_data::LendingClubGenerator;
@@ -351,6 +353,23 @@ fn main() {
         black_box(sessions.iter().map(|s| s.candidates().len()).sum::<usize>());
     });
     entries.push((format!("serve/batch_sessions_{n}xT{}", scale.horizon), mean, min));
+
+    // --- reserve: returning users against the fingerprint diff ---------
+    // No drift: every time point replays from the snapshots (the pure
+    // refresh path). 25% drift: every fourth user returns with a changed
+    // profile, so a quarter of the cohort's (user, t) pairs recompute.
+    let no_drift = returning_cohort(&system, &cohort);
+    let (mean, min) = time_ms(scale.reps, || {
+        let sessions = system.reserve_batch(black_box(&no_drift)).expect("reserve");
+        black_box(sessions.iter().map(|s| s.candidates().len()).sum::<usize>());
+    });
+    entries.push((format!("reserve/no_drift_{n}xT{}", scale.horizon), mean, min));
+    let drifted = drifted_returning_cohort(&system, &cohort);
+    let (mean, min) = time_ms(scale.reps, || {
+        let sessions = system.reserve_batch(black_box(&drifted)).expect("reserve");
+        black_box(sessions.iter().map(|s| s.candidates().len()).sum::<usize>());
+    });
+    entries.push((format!("reserve/drift25_{n}xT{}", scale.horizon), mean, min));
 
     // --- JSON out -------------------------------------------------------
     let threads = std::thread::available_parallelism().map_or(1, usize::from);

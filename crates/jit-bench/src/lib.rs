@@ -90,6 +90,38 @@ pub fn serving_cohort(
     profiles.into_iter().map(jit_core::UserRequest::new).collect()
 }
 
+/// First-visit snapshots for a returning-user workload: serves `cohort`
+/// once and wraps each session's [`jit_core::SessionSnapshot`] as an
+/// unchanged [`jit_core::ReturningUser`] (the no-drift refresh).
+pub fn returning_cohort(
+    system: &JustInTime,
+    cohort: &[jit_core::UserRequest],
+) -> Vec<jit_core::ReturningUser> {
+    system
+        .serve_batch(cohort)
+        .expect("bench first visit must serve")
+        .iter()
+        .map(|s| jit_core::ReturningUser::unchanged(s.snapshot()))
+        .collect()
+}
+
+/// The 25%-drift variant of [`returning_cohort`]: every fourth user
+/// returns with a perturbed profile, so (with the other three unchanged)
+/// 25% of the cohort's `(user, time point)` pairs fail their fingerprint
+/// diff and recompute while the rest replay.
+pub fn drifted_returning_cohort(
+    system: &JustInTime,
+    cohort: &[jit_core::UserRequest],
+) -> Vec<jit_core::ReturningUser> {
+    let mut returning = returning_cohort(system, cohort);
+    for user in returning.iter_mut().step_by(4) {
+        // A $1 change of monthly debt changes every temporal input, so
+        // all of this user's time points recompute.
+        user.request.profile[jit_data::schema::lending_idx::DEBT] += 1.0;
+    }
+    returning
+}
+
 /// A realistic cohort of rejected applicants: records drawn from the
 /// generator's latest year whose oracle probability is below 0.5.
 ///

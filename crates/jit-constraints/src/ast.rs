@@ -578,6 +578,22 @@ impl BoundConstraint {
             .count()
     }
 
+    /// Content digest of the bound constraint: the full node tree —
+    /// operators, feature indices, special-property tags, coefficient
+    /// and constant bits.
+    ///
+    /// Two bound constraints with equal digests accept exactly the same
+    /// candidates (evaluation is a pure function of the digested
+    /// structure; the fast-path tables are derived from it at
+    /// construction). Incremental re-serving diffs these digests to
+    /// decide whether a stored time point's constraint environment
+    /// changed.
+    pub fn content_digest(&self) -> jit_math::Digest {
+        let mut w = jit_math::DigestWriter::new("jit-constraints/bound");
+        digest_node(&self.node, &mut w);
+        w.finish()
+    }
+
     /// [`BoundConstraint::eval`] under the caller-guaranteed premise that
     /// the candidate satisfies the schema bounds: the first `skip` fast
     /// conjuncts (as counted by
@@ -595,6 +611,65 @@ impl BoundConstraint {
             }
         }
         eval_node(&self.node, ctx)
+    }
+}
+
+fn digest_expr(e: &BoundExpr, w: &mut jit_math::DigestWriter) {
+    w.write_usize(e.terms.len());
+    for (var, c) in &e.terms {
+        match var {
+            BoundVar::Feature(i) => {
+                w.write_u64(0);
+                w.write_usize(*i);
+            }
+            BoundVar::Special(s) => {
+                w.write_u64(1);
+                w.write_u64(match s {
+                    Special::Diff => 0,
+                    Special::Gap => 1,
+                    Special::Confidence => 2,
+                });
+            }
+        }
+        w.write_f64(*c);
+    }
+    w.write_f64(e.constant);
+}
+
+fn digest_node(n: &BoundNode, w: &mut jit_math::DigestWriter) {
+    match n {
+        BoundNode::True => w.write_u64(0),
+        BoundNode::Cmp { lhs, op, rhs } => {
+            w.write_u64(1);
+            w.write_u64(match op {
+                CmpOp::Le => 0,
+                CmpOp::Lt => 1,
+                CmpOp::Ge => 2,
+                CmpOp::Gt => 3,
+                CmpOp::Eq => 4,
+                CmpOp::Ne => 5,
+            });
+            digest_expr(lhs, w);
+            digest_expr(rhs, w);
+        }
+        BoundNode::And(cs) => {
+            w.write_u64(2);
+            w.write_usize(cs.len());
+            for c in cs {
+                digest_node(c, w);
+            }
+        }
+        BoundNode::Or(cs) => {
+            w.write_u64(3);
+            w.write_usize(cs.len());
+            for c in cs {
+                digest_node(c, w);
+            }
+        }
+        BoundNode::Not(c) => {
+            w.write_u64(4);
+            digest_node(c, w);
+        }
     }
 }
 
@@ -839,6 +914,47 @@ mod tests {
             };
             assert_eq!(b.eval(&ctx), general);
         }
+    }
+
+    #[test]
+    fn content_digest_stable_and_sensitive() {
+        let s = schema();
+        let mk = |cap: f64| {
+            Constraint::Cmp {
+                lhs: LinExpr::feature("income"),
+                op: CmpOp::Le,
+                rhs: LinExpr::constant(cap),
+            }
+            .and(Constraint::Cmp {
+                lhs: LinExpr::gap(),
+                op: CmpOp::Le,
+                rhs: LinExpr::constant(2.0),
+            })
+            .bind(&s)
+            .unwrap()
+        };
+        // Rebinding the same constraint digests identically.
+        assert_eq!(mk(50_000.0).content_digest(), mk(50_000.0).content_digest());
+        // One ULP of one constant changes the digest.
+        let bumped = f64::from_bits(50_000.0f64.to_bits() + 1);
+        assert_ne!(mk(50_000.0).content_digest(), mk(bumped).content_digest());
+        // Conjoining is observable.
+        let base = mk(50_000.0);
+        assert_ne!(base.content_digest(), base.conjoin(&mk(50_000.0)).content_digest());
+        // Conjoin ≡ merged And, structurally — digests must agree too.
+        let income = Constraint::Cmp {
+            lhs: LinExpr::feature("income"),
+            op: CmpOp::Ge,
+            rhs: LinExpr::constant(40_000.0),
+        };
+        let debt = Constraint::Cmp {
+            lhs: LinExpr::feature("debt"),
+            op: CmpOp::Le,
+            rhs: LinExpr::constant(2_000.0),
+        };
+        let merged = income.clone().and(debt.clone()).bind(&s).unwrap();
+        let conjoined = income.bind(&s).unwrap().conjoin(&debt.bind(&s).unwrap());
+        assert_eq!(merged.content_digest(), conjoined.content_digest());
     }
 
     #[test]

@@ -17,6 +17,10 @@ use jit_data::FeatureSchema;
 #[derive(Clone, Debug)]
 pub struct CompiledDomain {
     per_time: Vec<BoundConstraint>,
+    /// Content digests of `per_time`, computed once at compile time so
+    /// the serving fingerprints of users with no preference overlays
+    /// need no re-walk of the constraint trees.
+    digests: Vec<jit_math::Digest>,
 }
 
 impl CompiledDomain {
@@ -30,10 +34,11 @@ impl CompiledDomain {
         schema: &FeatureSchema,
         horizon: usize,
     ) -> Result<Self, UnknownFeature> {
-        let per_time = (0..=horizon)
+        let per_time: Vec<BoundConstraint> = (0..=horizon)
             .map(|t| set.compile_at(t, schema))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(CompiledDomain { per_time })
+        let digests = per_time.iter().map(BoundConstraint::content_digest).collect();
+        Ok(CompiledDomain { per_time, digests })
     }
 
     /// The horizon `T` this cache was compiled for.
@@ -47,6 +52,15 @@ impl CompiledDomain {
     /// Panics when `t` exceeds the compiled horizon.
     pub fn at(&self, t: usize) -> &BoundConstraint {
         &self.per_time[t]
+    }
+
+    /// The content digest of the time-`t` compilation, equal to
+    /// `self.at(t).content_digest()` but cached at compile time.
+    ///
+    /// # Panics
+    /// Panics when `t` exceeds the compiled horizon.
+    pub fn digest_at(&self, t: usize) -> jit_math::Digest {
+        self.digests[t]
     }
 
     /// The time-`t` conjunction of the cached domain set with a user's
@@ -113,6 +127,23 @@ mod tests {
                 assert_eq!(eval(&via_overlay, p), eval(&via_merge, p), "t={t}");
             }
         }
+    }
+
+    #[test]
+    fn cached_digests_match_recomputation_and_overlays() {
+        let schema = FeatureSchema::lending_club();
+        let (domain, _) = domain_constraints(&schema);
+        let compiled = CompiledDomain::compile(&domain, &schema, 2).unwrap();
+        for t in 0..=2 {
+            assert_eq!(compiled.digest_at(t), compiled.at(t).content_digest());
+        }
+        // An overlay changes the digest; an empty overlay does not.
+        let mut user = ConstraintSet::new();
+        user.add(feature("income").le(45_000.0));
+        let overlaid = compiled.overlay(1, &user, &schema).unwrap();
+        assert_ne!(overlaid.content_digest(), compiled.digest_at(1));
+        let empty = compiled.overlay(1, &ConstraintSet::new(), &schema).unwrap();
+        assert_eq!(empty.content_digest(), compiled.digest_at(1));
     }
 
     #[test]

@@ -30,13 +30,38 @@
 //! diverse (§II-B: "The diversity ensures that limiting the number of
 //! candidates does not lead to a degradation in the quality of the
 //! answers").
+//!
+//! ## The timeline-aware engine
+//!
+//! A user session runs this search once per time point `t = 0..=T`, and
+//! adjacent time points share most of their structure: the same schema,
+//! the same scales, heavily overlapping threshold sets — and, for some
+//! predictors (frozen models, unchanged slices of a drifted retrain),
+//! literally the same model. [`TimelineSearch`] is the stateful engine
+//! that exploits this: it owns the search's warm state — scratch rows,
+//! dedup key sets, and a **threshold-cell confidence cache** — and
+//! carries it across `run` calls instead of rebuilding it per `t`.
+//!
+//! The confidence cache is the load-bearing piece. A
+//! [`ModelHints::Thresholds`] model is piecewise constant between split
+//! thresholds in *every* coordinate, so its prediction is a pure
+//! function of the profile's **cell vector** (per feature, the count of
+//! thresholds strictly below the value): two profiles with equal cell
+//! vectors provably traverse every tree identically. The engine
+//! memoizes confidence per cell vector — across beam states, refine
+//! bisections and passes within one time point, and across time points
+//! whenever the caller proves the model unchanged (by content
+//! fingerprint; see [`jit_ml::Model::fingerprint`]). Cells whose model
+//! changed are dropped and re-verified by recomputation, so warm
+//! output is **bit-identical** to a cold search at every time point.
 
 use jit_constraints::{BoundConstraint, EvalContext};
 use jit_data::{FeatureSchema, Mutability};
+use jit_math::digest::{splitmix64, Digest};
 use jit_math::distance::{l0_gap, l2_diff};
 use jit_math::rng::Rng;
 use jit_ml::{Model, ModelHints};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// What the search minimizes among decision-altering candidates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -92,6 +117,30 @@ impl Default for CandidateParams {
     }
 }
 
+impl CandidateParams {
+    /// Content digest over every knob that steers the search. Part of
+    /// the per-time-point serving fingerprint: two searches over equal
+    /// fingerprints produce bit-identical candidates, so any parameter
+    /// change must change this digest.
+    pub fn content_digest(&self) -> Digest {
+        let mut w = jit_math::DigestWriter::new("jit-core/candidate-params");
+        w.write_usize(self.beam_width);
+        w.write_usize(self.max_iters);
+        w.write_usize(self.top_k);
+        w.write_f64(self.diversity_lambda);
+        w.write_u64(match self.objective {
+            Objective::MinDiff => 0,
+            Objective::MinGap => 1,
+            Objective::MaxConfidence => 2,
+        });
+        w.write_usize(self.max_moves_per_state);
+        w.write_usize(self.early_stop_after);
+        w.write_bool(self.refine);
+        w.write_u64(self.seed);
+        w.finish()
+    }
+}
+
 /// A decision-altering candidate (Definition II.3) for one time point.
 #[derive(Clone, Debug)]
 pub struct Candidate {
@@ -135,7 +184,9 @@ struct State {
     gap: usize,
 }
 
-/// Memo for refine trials within one `(state, feature)` bisection.
+/// Memo for refine trials within one `(state, feature)` bisection: the
+/// exact-bits fast path in front of the engine-wide cell cache (a hit
+/// here also skips the cell computation and the constraint re-check).
 #[derive(Default)]
 struct TrialCache {
     /// The most recent trial, keyed by the sanitized coordinate's exact
@@ -144,26 +195,222 @@ struct TrialCache {
     /// The most recent *accepted* trial (the value `hi` lands on, which
     /// the post-bisection acceptance re-visits).
     last_accepted: Option<(u64, f64)>,
-    /// Model confidence per threshold *cell* of the bisected feature,
-    /// for [`ModelHints::Thresholds`] models only.
-    ///
-    /// Such a model is piecewise constant between consecutive thresholds
-    /// — the exact property the move proposer exploits ("between
-    /// thresholds a tree ensemble's output is piecewise constant") — and
-    /// all other coordinates are fixed within one bisection, so two
-    /// trial values with the same cell index (= count of thresholds
-    /// strictly below the value) provably traverse every tree
-    /// identically. Bisections converge onto a decision boundary and
-    /// probe the two cells around it over and over; caching confidence
-    /// per cell removes most model evaluations of the refinement phase.
-    cells: Vec<(usize, f64)>,
 }
 
 impl TrialCache {
     fn reset(&mut self) {
         self.last = None;
         self.last_accepted = None;
-        self.cells.clear();
+    }
+}
+
+/// Engine-wide confidence memo over threshold *cell vectors*.
+///
+/// A [`ModelHints::Thresholds`] model is piecewise constant between
+/// consecutive split thresholds — the exact property the move proposer
+/// exploits ("between thresholds a tree ensemble's output is piecewise
+/// constant"). Per feature, the cell index is the count of thresholds
+/// strictly below the value, matching the `x <= threshold` split
+/// convention: two profiles with equal cell vectors take the same branch
+/// at every split of every tree, hence score identically. The cache
+/// therefore memoizes `predict_proba` per cell vector, with an exact
+/// cell-vector comparison on every hash hit so a collision can never
+/// smuggle in a wrong confidence — reuse is provable, and cached search
+/// output stays bit-identical to a cache-free search.
+///
+/// The beam search converges onto decision boundaries and re-probes the
+/// cells around them from many states, features and bisection passes;
+/// one shared memo across the whole time point (and, when the model is
+/// unchanged, across adjacent time points) removes the bulk of the
+/// remaining model evaluations.
+///
+/// Cell vectors hash by a **position-salted commutative sum** (one
+/// avalanched term per `(feature, cell)` pair): full profiles fold all
+/// terms, while a refine bisection — whose trials differ from their
+/// seeded base in exactly one slot — updates the hash in O(1) by
+/// subtracting the old term and adding the new one. That keeps the
+/// per-trial probe down at the cost the old single-feature memo paid,
+/// with cross-state sharing on top.
+#[derive(Default)]
+struct CellConfidenceCache {
+    map: CellMap,
+    /// Scratch for full-profile probes' cell vectors.
+    cells: Vec<u32>,
+    /// Cell vector of the current bisection's seeded base profile.
+    base_cells: Vec<u32>,
+    /// Commutative hash of `base_cells`.
+    base_hash: u64,
+}
+
+/// Hash-bucketed cell-vector memo: key is the mixed cell hash, each
+/// bucket holds `(exact cells, confidence)` pairs for verification.
+type CellMap =
+    HashMap<u64, Vec<(Box<[u32]>, f64)>, std::hash::BuildHasherDefault<KeyHasher>>;
+
+/// One avalanched hash term per `(feature, cell)` coordinate; cell
+/// vectors hash to the wrapping sum of their terms.
+#[inline]
+fn cell_term(f: usize, cell: u32) -> u64 {
+    splitmix64(((f as u64) << 32) ^ u64::from(cell))
+}
+
+/// Writes `profile`'s cell vector into `cells` and returns its
+/// commutative hash. The single definition of the cell convention —
+/// `partition_point(t < v)` counts thresholds strictly below the value,
+/// mirroring the `x <= threshold` split rule — shared by the
+/// full-profile and bisection-base paths so their hashes can never
+/// diverge.
+fn fold_cells(per_feature: &[Vec<f64>], profile: &[f64], cells: &mut Vec<u32>) -> u64 {
+    cells.clear();
+    let mut h: u64 = 0;
+    for (f, (v, ts)) in profile.iter().zip(per_feature).enumerate() {
+        let cell = ts.partition_point(|t| *t < *v) as u32;
+        cells.push(cell);
+        h = h.wrapping_add(cell_term(f, cell));
+    }
+    h
+}
+
+impl CellConfidenceCache {
+    /// Model confidence for `profile`, memoized by threshold cell when
+    /// `per_feature` hints are available (they must be `model`'s own —
+    /// the caller's contract, as for
+    /// [`CandidatesGenerator::generate_with_hints`]).
+    fn confidence(
+        &mut self,
+        model: &dyn Model,
+        per_feature: Option<&[Vec<f64>]>,
+        profile: &[f64],
+    ) -> f64 {
+        let Some(per_feature) = per_feature else {
+            return model.predict_proba(profile);
+        };
+        let h = fold_cells(per_feature, profile, &mut self.cells);
+        let bucket = self.map.entry(h).or_default();
+        if let Some((_, conf)) =
+            bucket.iter().find(|(cells, _)| cells[..] == self.cells[..])
+        {
+            return *conf;
+        }
+        let conf = model.predict_proba(profile);
+        bucket.push((self.cells.as_slice().into(), conf));
+        conf
+    }
+
+    /// Seeds a bisection base: `sanitized` must be the (elementwise
+    /// sanitized) profile the upcoming [`CellConfidenceCache::trial`]
+    /// calls differ from in exactly one slot.
+    fn seed_base(&mut self, per_feature: &[Vec<f64>], sanitized: &[f64]) {
+        self.base_hash = fold_cells(per_feature, sanitized, &mut self.base_cells);
+    }
+
+    /// Trial probe against the seeded base: `profile` equals the seeded
+    /// sanitized base everywhere except slot `f`. Only that slot's cell
+    /// is recomputed; the hash updates in O(1).
+    fn trial(
+        &mut self,
+        model: &dyn Model,
+        per_feature: &[Vec<f64>],
+        f: usize,
+        profile: &[f64],
+    ) -> f64 {
+        let cell = per_feature[f].partition_point(|t| *t < profile[f]) as u32;
+        let h = self
+            .base_hash
+            .wrapping_sub(cell_term(f, self.base_cells[f]))
+            .wrapping_add(cell_term(f, cell));
+        let bucket = self.map.entry(h).or_default();
+        let hit = bucket.iter().find(|(cells, _)| {
+            cells.len() == self.base_cells.len()
+                && cells.iter().zip(&self.base_cells).enumerate().all(
+                    |(i, (stored, base))| {
+                        if i == f {
+                            *stored == cell
+                        } else {
+                            stored == base
+                        }
+                    },
+                )
+        });
+        if let Some((_, conf)) = hit {
+            return *conf;
+        }
+        let conf = model.predict_proba(profile);
+        let mut stored: Box<[u32]> = self.base_cells.as_slice().into();
+        stored[f] = cell;
+        bucket.push((stored, conf));
+        conf
+    }
+}
+
+/// The stateful, timeline-aware search engine.
+///
+/// One engine serves an entire user timeline (and can be reused across
+/// users): [`TimelineSearch::run`] executes the per-time-point beam
+/// search of [`CandidatesGenerator`], but the warm state — sanitize
+/// scratch rows, dedup key sets, the confidence memo over surviving
+/// threshold cells — lives here and carries across calls instead of
+/// being rebuilt per `t`.
+///
+/// Cross-time-point reuse is gated on proof: the caller passes the
+/// current model's content fingerprint (`model_key`), and cached cells
+/// survive into the next call only when the fingerprints match — i.e.
+/// the models are bit-identical, so every memoized confidence is exactly
+/// what the fresh model would compute. On any change (or an unknown
+/// model, `None`) the cells are dropped and re-verified by
+/// recomputation. Output is therefore **bit-identical to a cold
+/// per-time-point search** regardless of call order, sharing, thread
+/// placement or drift history; `tests/determinism.rs` locks this down
+/// end to end.
+#[derive(Default)]
+pub struct TimelineSearch {
+    /// Scratch row for beam move sanitation.
+    move_scratch: Vec<f64>,
+    /// Scratch row for refine trials.
+    trial_scratch: Vec<f64>,
+    /// Per-time-point profile dedup (cleared per run, capacity kept).
+    seen: KeySet,
+    /// Exact-bits memo within one `(state, feature)` bisection.
+    trial_cache: TrialCache,
+    /// Confidence per threshold cell of the current model.
+    confidence: CellConfidenceCache,
+    /// Fingerprint of the model `confidence` currently describes.
+    model_key: Option<Digest>,
+}
+
+impl TimelineSearch {
+    /// A fresh engine with no warm state.
+    pub fn new() -> Self {
+        TimelineSearch::default()
+    }
+
+    /// Runs the search for one time point, reusing the engine's warm
+    /// state.
+    ///
+    /// `model_key` identifies `g.model` by content
+    /// ([`jit_ml::Model::fingerprint`]): pass the same key across calls
+    /// to carry the threshold-cell confidence cache between adjacent
+    /// time points of one timeline. Pass `None` for an unknown model —
+    /// the cache is then cleared, which is always sound.
+    ///
+    /// The result is bit-identical to
+    /// [`CandidatesGenerator::generate_with_hints`] on a fresh engine,
+    /// whatever was run before.
+    pub fn run(
+        &mut self,
+        g: &CandidatesGenerator<'_>,
+        params: &CandidateParams,
+        hints: &ModelHints,
+        model_key: Option<Digest>,
+    ) -> Vec<Candidate> {
+        // Carry the confidence cells only under proof of model identity;
+        // everything else in the engine is model-independent scratch.
+        match (self.model_key, model_key) {
+            (Some(prev), Some(cur)) if prev == cur => {}
+            _ => self.confidence.map.clear(),
+        }
+        self.model_key = model_key;
+        g.search(self, params, hints)
     }
 }
 
@@ -180,10 +427,28 @@ impl<'a> CandidatesGenerator<'a> {
     /// Hints depend only on the model — not on the user — so batch
     /// serving extracts them once per time point and shares them across
     /// every user in the batch instead of re-walking the ensemble per
-    /// session. `hints` must come from `self.model` (or be equal to its
-    /// output) for the moves to make sense.
+    /// session. `hints` **must** come from `self.model` (or be equal to
+    /// its output): the search both proposes moves from them and relies
+    /// on them as a proof of piecewise constancy for confidence
+    /// memoization.
+    ///
+    /// This is the one-shot entry point (a fresh [`TimelineSearch`] per
+    /// call); timeline serving keeps an engine alive across time points
+    /// instead.
     pub fn generate_with_hints(
         &self,
+        params: &CandidateParams,
+        hints: &ModelHints,
+    ) -> Vec<Candidate> {
+        TimelineSearch::new().run(self, params, hints, None)
+    }
+
+    /// The search body behind [`TimelineSearch::run`]: identical
+    /// semantics to the historical per-call search, with all reusable
+    /// state borrowed from `engine`.
+    fn search(
+        &self,
+        engine: &mut TimelineSearch,
         params: &CandidateParams,
         hints: &ModelHints,
     ) -> Vec<Candidate> {
@@ -197,6 +462,10 @@ impl<'a> CandidatesGenerator<'a> {
         if !self.origin.iter().all(|v| v.is_finite()) {
             return Vec::new();
         }
+        let per_feature = match hints {
+            ModelHints::Thresholds(per_feature) => Some(per_feature.as_slice()),
+            _ => None,
+        };
         let mut rng = Rng::seeded(params.seed ^ (self.time_index as u64) << 32);
         let scale_sum = self.scales.iter().sum::<f64>().max(1e-9);
         // Domain-bound conjuncts are tautological on sanitized profiles;
@@ -204,19 +473,21 @@ impl<'a> CandidatesGenerator<'a> {
         // checks can skip them.
         let bounds_skip = self.constraint.bounds_implied_prefix(self.schema);
 
-        let mut seen = KeySet::default();
+        engine.seen.clear();
+        engine.move_scratch.resize(self.schema.dim(), 0.0);
+        engine.trial_scratch.resize(self.schema.dim(), 0.0);
         let mut altering: Vec<State> = Vec::new();
 
-        let origin_state = self.mk_state(self.origin.to_vec());
+        let origin_state =
+            self.mk_state(self.origin.to_vec(), per_feature, &mut engine.confidence);
         // The unmodified profile may already be approved at this time
         // point (the Q1 "no modification" answer).
         if self.feasible(&origin_state) && origin_state.confidence > self.delta {
             altering.push(origin_state.clone());
         }
-        seen.insert(profile_key(&origin_state.profile));
+        engine.seen.insert(profile_key(&origin_state.profile));
         let mut beam: Vec<State> = vec![origin_state];
 
-        let mut move_scratch = vec![0.0; self.schema.dim()];
         for _iter in 0..params.max_iters {
             let mut proposals: Vec<State> = Vec::new();
             for state in &beam {
@@ -224,14 +495,16 @@ impl<'a> CandidatesGenerator<'a> {
                 for (f, value) in moves {
                     // Sanitize into the scratch buffer first: already-seen
                     // or infeasible moves never allocate a profile.
-                    move_scratch.copy_from_slice(&state.profile);
-                    move_scratch[f] = value;
-                    self.schema.sanitize_row_in_place(&mut move_scratch);
-                    let key = profile_key(&move_scratch);
-                    if !seen.insert(key) {
+                    engine.move_scratch.copy_from_slice(&state.profile);
+                    engine.move_scratch[f] = value;
+                    self.schema.sanitize_row_in_place(&mut engine.move_scratch);
+                    let key = profile_key(&engine.move_scratch);
+                    if !engine.seen.insert(key) {
                         continue;
                     }
-                    let cand = self.mk_state(move_scratch.clone());
+                    let profile = engine.move_scratch.clone();
+                    let cand =
+                        self.mk_state(profile, per_feature, &mut engine.confidence);
                     if !self.feasible_sanitized(&cand, bounds_skip) {
                         continue;
                     }
@@ -271,11 +544,9 @@ impl<'a> CandidatesGenerator<'a> {
             // (higher-margin confidence — serves Q5/Q6). Refining
             // everything in place would leave the whole table hugging the
             // decision boundary, which is fragile under model drift.
-            let mut scratch = vec![0.0; self.schema.dim()];
-            let mut cache = TrialCache::default();
             let mut refined: Vec<State> = pool.clone();
             for s in &mut refined {
-                self.refine_state(s, &mut scratch, bounds_skip, hints, &mut cache);
+                self.refine_state(s, engine, bounds_skip, per_feature);
             }
             pool.extend(refined);
             // Bisection collapses many states onto the same boundary
@@ -291,50 +562,55 @@ impl<'a> CandidatesGenerator<'a> {
     /// *and* decision-altering. Two passes over the features handle mild
     /// interactions.
     ///
-    /// `scratch` is a caller-provided trial buffer (the bisection
-    /// evaluates thousands of throwaway profiles per session; discarded
-    /// trials allocate nothing).
+    /// Trials run in the engine's scratch row (the bisection evaluates
+    /// thousands of throwaway profiles per session; discarded trials
+    /// allocate nothing) and score through the engine's cell cache.
     fn refine_state(
         &self,
         state: &mut State,
-        scratch: &mut [f64],
+        engine: &mut TimelineSearch,
         skip: usize,
-        hints: &ModelHints,
-        cache: &mut TrialCache,
+        per_feature: Option<&[Vec<f64>]>,
     ) {
-        let per_feature_thresholds = match hints {
-            ModelHints::Thresholds(per_feature) => Some(per_feature),
-            _ => None,
-        };
         // Runtime-verified fast path: when the state's profile is a fixed
         // point of sanitation (checked bit-exactly below, re-checked
         // after every adoption), a trial's full-row sanitize reduces to
-        // sanitizing the one changed coordinate — so `scratch` can be
-        // seeded once per state and each trial touches a single slot.
+        // sanitizing the one changed coordinate — so the scratch row can
+        // be seeded once per state and each trial touches a single slot.
         let mut profile_is_fixed_point = self.sanitize_fixed_point(&state.profile);
-        scratch.copy_from_slice(&state.profile);
+        engine.trial_scratch.copy_from_slice(&state.profile);
         for _pass in 0..2 {
             for f in 0..self.schema.dim() {
                 let orig = self.origin[f];
                 if (state.profile[f] - orig).abs() <= 1e-12 {
                     continue;
                 }
-                let thresholds = per_feature_thresholds.map(|per| per[f].as_slice());
-                cache.reset();
+                engine.trial_cache.reset();
+                // Seed the cell-cache base: trials differ from the
+                // sanitized state profile in slot `f` only, so their cell
+                // vectors derive from this base by one O(1) update.
+                if let Some(pf) = per_feature {
+                    if profile_is_fixed_point {
+                        engine.confidence.seed_base(pf, &state.profile);
+                    } else {
+                        engine.trial_scratch.copy_from_slice(&state.profile);
+                        self.schema.sanitize_row_in_place(&mut engine.trial_scratch);
+                        engine.confidence.seed_base(pf, &engine.trial_scratch);
+                    }
+                }
                 // Can the change be dropped entirely?
                 if let Some(conf) = self.trial_accepts(
                     state,
                     f,
                     orig,
-                    scratch,
+                    engine,
                     skip,
                     profile_is_fixed_point,
-                    thresholds,
-                    cache,
+                    per_feature,
                 ) {
-                    Self::adopt(state, scratch, conf, self.origin);
+                    Self::adopt(state, &engine.trial_scratch, conf, self.origin);
                     profile_is_fixed_point = self.sanitize_fixed_point(&state.profile);
-                    scratch.copy_from_slice(&state.profile);
+                    engine.trial_scratch.copy_from_slice(&state.profile);
                     continue;
                 }
                 // Bisect between origin (rejecting side) and the current
@@ -348,11 +624,10 @@ impl<'a> CandidatesGenerator<'a> {
                             state,
                             f,
                             mid,
-                            scratch,
+                            engine,
                             skip,
                             profile_is_fixed_point,
-                            thresholds,
-                            cache,
+                            per_feature,
                         )
                         .is_some()
                     {
@@ -365,17 +640,16 @@ impl<'a> CandidatesGenerator<'a> {
                     state,
                     f,
                     hi,
-                    scratch,
+                    engine,
                     skip,
                     profile_is_fixed_point,
-                    thresholds,
-                    cache,
+                    per_feature,
                 ) {
-                    Self::adopt(state, scratch, conf, self.origin);
+                    Self::adopt(state, &engine.trial_scratch, conf, self.origin);
                     profile_is_fixed_point = self.sanitize_fixed_point(&state.profile);
                 }
                 // Leave no trial residue behind for the next feature.
-                scratch.copy_from_slice(&state.profile);
+                engine.trial_scratch.copy_from_slice(&state.profile);
             }
         }
     }
@@ -390,37 +664,37 @@ impl<'a> CandidatesGenerator<'a> {
             .all(|(v, meta)| meta.sanitize(*v).to_bits() == v.to_bits())
     }
 
-    /// Evaluates the trial "set feature `f` of `state` to `value`" in
-    /// `scratch` (sanitized). Returns the model confidence when the trial
-    /// is decision-altering and feasible, `None` otherwise — exactly the
-    /// `s.confidence > δ && feasible(s)` acceptance test, minus the
-    /// allocations.
+    /// Evaluates the trial "set feature `f` of `state` to `value`" in the
+    /// engine's trial scratch (sanitized). Returns the model confidence
+    /// when the trial is decision-altering and feasible, `None` otherwise
+    /// — exactly the `s.confidence > δ && feasible(s)` acceptance test,
+    /// minus the allocations.
     ///
     /// When `fixed_point` is set the caller guarantees
     /// `scratch[i] == sanitize(state.profile[i])` for every `i != f`, so
     /// only slot `f` is written; otherwise the whole row is rebuilt and
-    /// sanitized. Either way `scratch` ends up bit-identical to
+    /// sanitized. Either way the scratch ends up bit-identical to
     /// `sanitize_row(state.profile with [f] = value)`.
     ///
-    /// `cache` short-circuits re-evaluations of bit-identical trials
-    /// within one `(state, feature)` bisection: sanitation collapses many
-    /// midpoints onto the same profile (ordinal rounding, binary
-    /// snapping, bound clamping), and the post-bisection acceptance
-    /// re-visits the last accepted midpoint. A hit means the sanitized
-    /// coordinate — and hence the whole trial profile — is bit-identical,
-    /// so skipping the re-evaluation cannot change anything observable.
+    /// Two memo layers, both provably output-preserving: the engine's
+    /// [`TrialCache`] short-circuits bit-identical trials within one
+    /// `(state, feature)` bisection (sanitation collapses many midpoints
+    /// onto the same profile, and the post-bisection acceptance re-visits
+    /// the last accepted midpoint), and the [`CellConfidenceCache`]
+    /// memoizes model confidence per threshold cell across the entire
+    /// engine lifetime.
     #[allow(clippy::too_many_arguments)]
     fn trial_accepts(
         &self,
         state: &State,
         f: usize,
         value: f64,
-        scratch: &mut [f64],
+        engine: &mut TimelineSearch,
         skip: usize,
         fixed_point: bool,
-        thresholds: Option<&[f64]>,
-        cache: &mut TrialCache,
+        per_feature: Option<&[Vec<f64>]>,
     ) -> Option<f64> {
+        let scratch = &mut engine.trial_scratch;
         if fixed_point {
             scratch[f] = self.schema.feature(f).sanitize(value);
         } else {
@@ -429,46 +703,39 @@ impl<'a> CandidatesGenerator<'a> {
             self.schema.sanitize_row_in_place(scratch);
         }
         let key = scratch[f].to_bits();
-        match cache.last {
+        match engine.trial_cache.last {
             Some((k, cached)) if k == key => return cached,
             _ => {}
         }
-        match cache.last_accepted {
+        match engine.trial_cache.last_accepted {
             Some((k, conf)) if k == key => return Some(conf),
             _ => {}
         }
-        // Threshold-hinted models are piecewise constant in the bisected
-        // coordinate (see [`TrialCache::cells`]): reuse the cell's
-        // confidence when this cell was already probed.
-        let confidence = match thresholds {
-            Some(ts) => {
-                let cell = ts.partition_point(|t| *t < scratch[f]);
-                match cache.cells.iter().find(|(c, _)| *c == cell) {
-                    Some((_, conf)) => *conf,
-                    None => {
-                        let conf = self.model.predict_proba(scratch);
-                        cache.cells.push((cell, conf));
-                        conf
-                    }
-                }
+        let confidence = match per_feature {
+            Some(pf) => {
+                engine.confidence.trial(self.model, pf, f, &engine.trial_scratch)
             }
-            None => self.model.predict_proba(scratch),
+            None => self.model.predict_proba(&engine.trial_scratch),
         };
-        // `scratch` is sanitized, so the schema-bound checks
+        // The scratch is sanitized, so the schema-bound checks
         // (`row_in_bounds` and the first `skip` domain conjuncts) hold by
         // construction and are elided.
         let accepted = if confidence > self.delta
             && self.constraint.eval_assuming_bounds(
                 skip,
-                &EvalContext { candidate: scratch, original: self.origin, confidence },
+                &EvalContext {
+                    candidate: &engine.trial_scratch,
+                    original: self.origin,
+                    confidence,
+                },
             ) {
             Some(confidence)
         } else {
             None
         };
-        cache.last = Some((key, accepted));
+        engine.trial_cache.last = Some((key, accepted));
         if let Some(conf) = accepted {
-            cache.last_accepted = Some((key, conf));
+            engine.trial_cache.last_accepted = Some((key, conf));
         }
         accepted
     }
@@ -481,8 +748,13 @@ impl<'a> CandidatesGenerator<'a> {
         state.gap = l0_gap(&state.profile, origin);
     }
 
-    fn mk_state(&self, profile: Vec<f64>) -> State {
-        let confidence = self.model.predict_proba(&profile);
+    fn mk_state(
+        &self,
+        profile: Vec<f64>,
+        per_feature: Option<&[Vec<f64>]>,
+        conf_cache: &mut CellConfidenceCache,
+    ) -> State {
+        let confidence = conf_cache.confidence(self.model, per_feature, &profile);
         let diff = l2_diff(&profile, self.origin);
         let gap = l0_gap(&profile, self.origin);
         State { profile, confidence, diff, gap }
@@ -710,20 +982,14 @@ fn spread_indices(n: usize) -> impl Iterator<Item = usize> {
     picks.into_iter().take(len)
 }
 
-/// Hash key of a profile at 1e-9 granularity (for dedup).
-///
-/// SplitMix64-chained over the quantized coordinates: full-avalanche
-/// mixing at a few ns per coordinate, an order of magnitude cheaper than
+/// Hash key of a profile at 1e-9 granularity (for dedup),
+/// SplitMix64-chained over the quantized coordinates — full-avalanche
+/// mixing at a few ns per word, an order of magnitude cheaper than
 /// SipHash in the search's dedup-heavy inner loops.
 fn profile_key(profile: &[f64]) -> u64 {
     let mut h: u64 = 0x243f_6a88_85a3_08d3; // pi, as a nothing-up-my-sleeve seed
     for v in profile {
-        h ^= (v * 1e9).round() as i64 as u64;
-        // SplitMix64 finalizer.
-        h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        h ^= h >> 31;
+        h = splitmix64(h ^ (v * 1e9).round() as i64 as u64);
     }
     h
 }
@@ -971,6 +1237,83 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.profile, y.profile);
         }
+    }
+
+    fn bits(cands: &[Candidate]) -> Vec<(usize, Vec<u64>, u64, u64, usize)> {
+        cands
+            .iter()
+            .map(|c| {
+                (
+                    c.time_index,
+                    c.profile.iter().map(|v| v.to_bits()).collect(),
+                    c.diff.to_bits(),
+                    c.confidence.to_bits(),
+                    c.gap,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn warm_engine_is_bit_identical_to_cold_searches_across_a_timeline() {
+        // One engine runs a whole timeline (same model, shifting origins —
+        // the frozen-predictor serving shape), then survives a model
+        // change. Every run must equal a cold single-shot search bit for
+        // bit: warm state may only skip provably identical work.
+        let fx = fixture();
+        let c = constraint_for(&fx, None);
+        let params = CandidateParams::default();
+        let hints = fx.model.hints();
+        let key = fx.model.fingerprint();
+        assert!(key.is_some(), "forests must be fingerprintable");
+
+        let mut engine = TimelineSearch::new();
+        for t in 0..3usize {
+            // Ages advance along the timeline, as temporal inputs do.
+            let mut origin = fx.origin.clone();
+            origin[idx::AGE] += t as f64;
+            origin[idx::SENIORITY] += t as f64;
+            let g = CandidatesGenerator {
+                model: &fx.model,
+                delta: 0.5,
+                origin: &origin,
+                constraint: &c,
+                schema: &fx.schema,
+                scales: &fx.scales,
+                time_index: t,
+            };
+            let warm = engine.run(&g, &params, &hints, key);
+            let cold = g.generate_with_hints(&params, &hints);
+            assert_eq!(bits(&warm), bits(&cold), "warm diverged at t={t}");
+            assert!(!warm.is_empty(), "fixture must produce candidates at t={t}");
+        }
+
+        // Drift: a different model (new seed) with a different key. The
+        // engine must drop the stale cells and match cold output.
+        let gen = LendingClubGenerator::new(LendingClubParams {
+            records_per_year: 600,
+            ..Default::default()
+        });
+        let data = LendingClubGenerator::to_dataset(&gen.records_for_year(2017));
+        let drifted = RandomForest::fit(
+            &data,
+            &RandomForestParams { n_trees: 25, ..Default::default() },
+            &mut Rng::seeded(99),
+        );
+        assert_ne!(drifted.fingerprint(), key);
+        let g = CandidatesGenerator {
+            model: &drifted,
+            delta: 0.5,
+            origin: &fx.origin,
+            constraint: &c,
+            schema: &fx.schema,
+            scales: &fx.scales,
+            time_index: 1,
+        };
+        let drifted_hints = drifted.hints();
+        let warm = engine.run(&g, &params, &drifted_hints, drifted.fingerprint());
+        let cold = g.generate_with_hints(&params, &drifted_hints);
+        assert_eq!(bits(&warm), bits(&cold), "warm diverged after model drift");
     }
 
     #[test]

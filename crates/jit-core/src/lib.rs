@@ -8,7 +8,9 @@
 //! * [`candidates`] — the adapted Deutch–Frost counterfactual search:
 //!   an iterative beam search with model-dependent move proposers,
 //!   multiple objectives (`diff`, `gap`, `confidence`) and a diverse
-//!   top-k selection (§II-A).
+//!   top-k selection (§II-A), driven by the stateful
+//!   [`candidates::TimelineSearch`] engine that carries warm state
+//!   across the time points of a user's timeline.
 //! * [`baselines`] — random-search and greedy coordinate-descent
 //!   counterfactual baselines for experiment E6.
 //! * [`tables`] — materializes the `temporal_inputs` and `candidates`
@@ -19,8 +21,12 @@
 //!   *Plans and Insights* screen (Figure 3b).
 //! * [`pipeline`] — the [`pipeline::JustInTime`] façade: admin
 //!   configuration, model training, per-user sessions with parallel
-//!   per-time-point candidate generation, and the amortized multi-user
-//!   batch serving layer ([`pipeline::JustInTime::serve_batch`]).
+//!   per-time-point candidate generation, the amortized multi-user
+//!   batch serving layer ([`pipeline::JustInTime::serve_batch`]), and
+//!   fingerprint-diffed incremental re-serving of returning users under
+//!   model drift ([`pipeline::JustInTime::reserve_batch`], with
+//!   [`pipeline::UserSession::snapshot`] /
+//!   [`pipeline::SessionSnapshot`]).
 
 pub mod baselines;
 pub mod candidates;
@@ -29,10 +35,12 @@ pub mod pipeline;
 pub mod queries;
 pub mod tables;
 
-pub use candidates::{Candidate, CandidateParams, CandidatesGenerator, Objective};
+pub use candidates::{
+    Candidate, CandidateParams, CandidatesGenerator, Objective, TimelineSearch,
+};
 pub use insights::Insight;
 pub use pipeline::{
-    AdminConfig, BatchError, BatchParallelism, JustInTime, SessionBuilder, UserRequest,
-    UserSession,
+    AdminConfig, BatchError, BatchParallelism, JustInTime, ReturningUser,
+    SessionBuilder, SessionSnapshot, TimePointServe, UserRequest, UserSession,
 };
 pub use queries::CannedQuery;

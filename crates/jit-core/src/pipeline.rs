@@ -10,18 +10,40 @@
 //! parallel, as the paper notes the generators are independent — stores
 //! them in the relational database, and answers canned or ad-hoc SQL
 //! queries with rendered insights.
+//!
+//! **Returning users — the fingerprinting contract.** The realistic
+//! serving workload is users who come back after the admin has retrained
+//! under drift and need their insights refreshed. Recomputing every time
+//! point on every visit wastes exactly the work drift did *not* touch,
+//! so serving is content-addressed: at train time every `(M_t, δ_t)`
+//! carries a fingerprint ([`FutureModel::fingerprint`]), the compiled
+//! domain carries per-time-point digests, and each served session stamps
+//! every time point with a fingerprint combining model, constraints
+//! (with the user's overlay), temporal input, schema, scales and search
+//! parameters — every byte the search at `t` can observe. A
+//! [`SessionSnapshot`] captures those stamps with the results;
+//! [`JustInTime::reserve_batch`] diffs them against the current system
+//! and **replays** time points whose fingerprint is unchanged (provably
+//! bit-identical to re-running the search) while recomputing only the
+//! rest. Opaque artifacts fingerprint as `None` and are always
+//! recomputed — the diff never guesses. Snapshots are in-memory values:
+//! they are only meaningful within one build of the search code.
 
-use crate::candidates::{Candidate, CandidateParams, CandidatesGenerator};
+use crate::candidates::{
+    Candidate, CandidateParams, CandidatesGenerator, TimelineSearch,
+};
 use crate::insights::{render, Insight, InsightContext};
 use crate::queries::CannedQuery;
 use crate::tables;
 use jit_constraints::{BoundConstraint, CompiledDomain, Constraint, ConstraintSet};
 use jit_data::FeatureSchema;
 use jit_db::{Database, DbError, ResultSet};
-use jit_ml::{Dataset, ModelHints};
+use jit_math::digest::{Digest, DigestWriter};
+use jit_ml::{Dataset, Model, ModelHints};
 use jit_runtime::Runtime;
 use jit_temporal::future::{FutureModel, FutureModelsGenerator, FutureModelsParams};
 use jit_temporal::update::{Override, TemporalUpdateFn};
+use std::sync::OnceLock;
 
 /// Administrator configuration (the admin UI of Figure 1).
 #[derive(Clone, Debug)]
@@ -217,6 +239,17 @@ pub struct JustInTime {
     /// executed; every session clones this template instead of re-running
     /// `CREATE TABLE`.
     db_template: Database,
+    /// Per-time-point `(M_t, δ_t)` fingerprints, computed once at train
+    /// time (`None` for opaque models).
+    model_digests: Vec<Option<Digest>>,
+    /// Per-time-point **model-only** fingerprints — the cache keys the
+    /// timeline search uses to decide whether its threshold cells may
+    /// carry from `t` to `t+1` (frozen predictors share one model across
+    /// the horizon; EDD models differ per step).
+    model_keys: Vec<Option<Digest>>,
+    /// Digest of the user-independent search environment: schema,
+    /// scales and candidate-search parameters.
+    search_env: Digest,
 }
 
 impl JustInTime {
@@ -260,6 +293,20 @@ impl JustInTime {
         let db_template = Database::new();
         tables::create_tables(&db_template, schema)
             .expect("fresh template database accepts the session DDL");
+        // Content fingerprints, once per train: serving stamps sessions
+        // with them and incremental re-serving diffs them, at zero
+        // per-request digesting cost for the model side.
+        let model_digests: Vec<Option<Digest>> =
+            models.iter().map(FutureModel::fingerprint).collect();
+        let model_keys: Vec<Option<Digest>> =
+            models.iter().map(|m| m.model.fingerprint()).collect();
+        let search_env = {
+            let mut w = DigestWriter::new("jit-core/search-env");
+            w.write_digest(schema.content_digest());
+            w.write_f64s(&scales);
+            w.write_digest(config.candidates.content_digest());
+            w.finish()
+        };
         Ok(JustInTime {
             config,
             schema: schema.clone(),
@@ -268,6 +315,9 @@ impl JustInTime {
             domain,
             compiled_domain,
             db_template,
+            model_digests,
+            model_keys,
+            search_env,
         })
     }
 
@@ -364,9 +414,72 @@ impl JustInTime {
         requests: &[UserRequest],
     ) -> Result<Vec<UserSession<'_>>, BatchError> {
         // Amortized once per batch: move hints per time point.
-        let hints: Vec<ModelHints> =
-            self.models.iter().map(|m| m.model.hints()).collect();
+        let hints = HintsCache::new();
+        let (session_runtime, user_runtime) = self.batch_runtimes();
+        let results = user_runtime.parallel_map(requests.len(), |u| {
+            self.serve_one(&requests[u], &hints, &session_runtime, None)
+        });
+        Self::collect_batch(results)
+    }
 
+    /// Re-serves a batch of **returning users** against the current
+    /// (possibly drifted) model set.
+    ///
+    /// Each request carries the [`SessionSnapshot`] of the user's prior
+    /// visit. Per time point, the stored fingerprint is diffed against
+    /// what this system would stamp today; a time point whose model,
+    /// overlay constraints and temporal inputs are all unchanged is
+    /// **replayed** from the snapshot, and only changed (or
+    /// unfingerprintable) time points re-run the search. The fresh
+    /// session's database is rebuilt either way, and
+    /// [`UserSession::reserve_report`] records what happened per `t`.
+    ///
+    /// The result is **bit-identical to a cold
+    /// [`JustInTime::serve_batch`] of the same requests**, for any
+    /// thread count and batch policy and any amount of drift — replay
+    /// only happens when every input the search reads is provably
+    /// unchanged (`tests/determinism.rs` locks this down under no,
+    /// partial and full drift).
+    ///
+    /// # Errors
+    /// All-or-nothing, as for [`JustInTime::serve_batch`].
+    pub fn reserve_batch(
+        &self,
+        returning: &[ReturningUser],
+    ) -> Result<Vec<UserSession<'_>>, BatchError> {
+        // Hints are extracted lazily: a fully-replayed batch (the
+        // no-drift fast path) never walks the ensembles at all.
+        let hints = HintsCache::new();
+        let (session_runtime, user_runtime) = self.batch_runtimes();
+        let results = user_runtime.parallel_map(returning.len(), |u| {
+            self.serve_one(
+                &returning[u].request,
+                &hints,
+                &session_runtime,
+                Some(&returning[u].prior),
+            )
+        });
+        Self::collect_batch(results)
+    }
+
+    /// Re-serves one returning user — a [`JustInTime::reserve_batch`] of
+    /// one, and the restore half of [`UserSession::snapshot`].
+    ///
+    /// # Errors
+    /// The per-user [`SessionError`], as from [`JustInTime::session`].
+    pub fn reserve(
+        &self,
+        returning: &ReturningUser,
+    ) -> Result<UserSession<'_>, SessionError> {
+        match self.reserve_batch(std::slice::from_ref(returning)) {
+            Ok(mut sessions) => Ok(sessions.pop().expect("one request, one session")),
+            Err(e) => Err(e.error),
+        }
+    }
+
+    /// The worker pools a serving batch fans out on (shared by
+    /// [`JustInTime::serve_batch`] and [`JustInTime::reserve_batch`]).
+    fn batch_runtimes(&self) -> (Runtime, Runtime) {
         let session_runtime = if self.config.parallel_generators {
             Runtime::new(self.config.threads)
         } else {
@@ -378,10 +491,12 @@ impl JustInTime {
             // session provides the parallelism.
             BatchParallelism::PerTimePoint => Runtime::serial(),
         };
+        (session_runtime, user_runtime)
+    }
 
-        let results = user_runtime.parallel_map(requests.len(), |u| {
-            self.serve_one(&requests[u], &hints, &session_runtime)
-        });
+    fn collect_batch<'a>(
+        results: Vec<Result<UserSession<'a>, SessionError>>,
+    ) -> Result<Vec<UserSession<'a>>, BatchError> {
         results
             .into_iter()
             .enumerate()
@@ -389,13 +504,15 @@ impl JustInTime {
             .collect()
     }
 
-    /// The per-user serving pipeline behind both [`JustInTime::session`]
-    /// and [`JustInTime::serve_batch`].
+    /// The per-user serving pipeline behind [`JustInTime::session`],
+    /// [`JustInTime::serve_batch`] and (with `prior`)
+    /// [`JustInTime::reserve_batch`].
     fn serve_one(
         &self,
         request: &UserRequest,
-        hints: &[ModelHints],
+        hints: &HintsCache,
         runtime: &Runtime,
+        prior: Option<&SessionSnapshot>,
     ) -> Result<UserSession<'_>, SessionError> {
         if request.profile.len() != self.schema.dim() {
             return Err(SessionError::DimensionMismatch {
@@ -417,8 +534,41 @@ impl JustInTime {
             .collect::<Result<_, _>>()
             .map_err(|e| SessionError::UnknownFeature(e.0))?;
 
+        // Stamp every time point with its serving fingerprint (see the
+        // module docs); an empty preference set reuses the constraint
+        // digests cached at compile time.
+        let empty_prefs = request.constraints.is_empty();
+        let fingerprints: Vec<Option<Digest>> = (0..=self.config.horizon)
+            .map(|t| {
+                let bound_digest = if empty_prefs {
+                    self.compiled_domain.digest_at(t)
+                } else {
+                    bounds[t].content_digest()
+                };
+                self.time_fingerprint(t, &temporal_inputs[t], bound_digest)
+            })
+            .collect();
+
+        // A returning user replays every time point whose fingerprint
+        // still matches; everything else (including unfingerprintable
+        // artifacts) is recomputed.
+        let provenance: Option<Vec<TimePointServe>> = prior.map(|prior| {
+            fingerprints
+                .iter()
+                .enumerate()
+                .map(|(t, fp)| match (*fp, prior.fingerprint_at(t)) {
+                    (Some(now), Some(then)) if now == then => TimePointServe::Replayed,
+                    _ => TimePointServe::Recomputed,
+                })
+                .collect()
+        });
+        let replay = match (prior, &provenance) {
+            (Some(prior), Some(plan)) => Some((prior, plan.as_slice())),
+            _ => None,
+        };
+
         let candidates =
-            self.generate_candidates(&temporal_inputs, &bounds, hints, runtime);
+            self.generate_candidates(&temporal_inputs, &bounds, hints, runtime, replay);
 
         // Populate the user's relational database from the DDL template.
         let db = self.db_template.clone();
@@ -427,24 +577,62 @@ impl JustInTime {
 
         Ok(UserSession {
             system: self,
-            profile: request.profile.clone(),
+            request: request.clone(),
             temporal_inputs,
             candidates,
             db,
+            fingerprints,
+            provenance,
         })
+    }
+
+    /// The serving fingerprint of time point `t` for a session with
+    /// temporal input `origin` and compiled-constraint digest
+    /// `bound_digest`. `None` when `(M_t, δ_t)` is unfingerprintable.
+    fn time_fingerprint(
+        &self,
+        t: usize,
+        origin: &[f64],
+        bound_digest: Digest,
+    ) -> Option<Digest> {
+        let model = self.model_digests[t]?;
+        let mut w = DigestWriter::new("jit-core/time-point");
+        w.write_digest(self.search_env);
+        w.write_usize(t);
+        w.write_digest(model);
+        w.write_digest(bound_digest);
+        w.write_f64s(origin);
+        Some(w.finish())
     }
 
     /// Runs the per-time-point generators; parallel when configured
     /// (§II-B: "The generators are independent of each other, and thus
     /// they can be executed in parallel").
+    ///
+    /// Each worker owns a [`TimelineSearch`] engine: on the serial path
+    /// (and inside batch workers) one engine walks `t = 0..=T` in order,
+    /// carrying warm threshold cells across adjacent time points
+    /// whenever the per-`t` model fingerprints match. `replay` short-
+    /// circuits time points a returning user's snapshot already holds.
     fn generate_candidates(
         &self,
         temporal_inputs: &[Vec<f64>],
         bounds: &[BoundConstraint],
-        hints: &[ModelHints],
+        hints: &HintsCache,
         runtime: &Runtime,
+        replay: Option<(&SessionSnapshot, &[TimePointServe])>,
     ) -> Vec<Candidate> {
-        let run_one = |t: usize| -> Vec<Candidate> {
+        let run_one = |engine: &mut TimelineSearch, t: usize| -> Vec<Candidate> {
+            if let Some((prior, plan)) = replay {
+                if plan[t] == TimePointServe::Replayed {
+                    return prior
+                        .candidates
+                        .iter()
+                        .filter(|c| c.time_index == t)
+                        .cloned()
+                        .collect();
+                }
+            }
             let model = &self.models[t];
             let generator = CandidatesGenerator {
                 model: &model.model,
@@ -455,14 +643,44 @@ impl JustInTime {
                 scales: &self.scales,
                 time_index: t,
             };
-            generator.generate_with_hints(&self.config.candidates, &hints[t])
+            engine.run(
+                &generator,
+                &self.config.candidates,
+                &hints.get(self)[t],
+                self.model_keys[t],
+            )
         };
 
         // Each time point seeds its own generator from `t` alone, so no
         // RNG forking is needed for determinism here; the runtime keeps
-        // results in time order for every thread count.
-        let results = runtime.parallel_map(self.config.horizon + 1, run_one);
+        // results in time order for every thread count, and engine state
+        // only memoizes provably identical work (so worker placement
+        // cannot change output).
+        let results = runtime.parallel_map_with(
+            self.config.horizon + 1,
+            TimelineSearch::new,
+            run_one,
+        );
         results.into_iter().flatten().collect()
+    }
+}
+
+/// Lazily extracted per-time-point move hints, shared across a batch.
+///
+/// Extraction walks every ensemble once; batches that never reach a
+/// search — fully-replayed returning cohorts — skip it entirely.
+struct HintsCache {
+    hints: OnceLock<Vec<ModelHints>>,
+}
+
+impl HintsCache {
+    fn new() -> Self {
+        HintsCache { hints: OnceLock::new() }
+    }
+
+    fn get(&self, system: &JustInTime) -> &[ModelHints] {
+        self.hints
+            .get_or_init(|| system.models.iter().map(|m| m.model.hints()).collect())
     }
 }
 
@@ -536,6 +754,13 @@ impl<'a> SessionBuilder<'a> {
         self.request
     }
 
+    /// Finishes the builder as a **returning-user** request against the
+    /// given prior snapshot, for [`JustInTime::reserve_batch`] — the
+    /// fluent way to say "same user, updated preferences".
+    pub fn build_returning(self, prior: SessionSnapshot) -> ReturningUser {
+        ReturningUser::with_request(prior, self.request)
+    }
+
     /// Opens the session directly (a batch of one).
     ///
     /// # Errors
@@ -548,19 +773,103 @@ impl<'a> SessionBuilder<'a> {
     }
 }
 
+/// How [`JustInTime::reserve_batch`] produced one time point of a
+/// returning user's fresh session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimePointServe {
+    /// The stored fingerprint matched the current system: the time
+    /// point's candidates were replayed from the snapshot (provably
+    /// bit-identical to re-running the search).
+    Replayed,
+    /// The model, constraint overlay or temporal input changed — or an
+    /// artifact was unfingerprintable — so the search re-ran.
+    Recomputed,
+}
+
+/// An owned snapshot of a served session: the request, the per-time-point
+/// results, and the serving fingerprints they were computed under.
+///
+/// Snapshots outlive the system that produced them (no borrow), which is
+/// the point: store one when the user leaves, and when they return —
+/// after any number of retrains — hand it to
+/// [`JustInTime::reserve_batch`], which replays whatever drift left
+/// untouched. Snapshots are in-memory values scoped to one build of the
+/// search code; they are not a wire format.
+#[derive(Clone, Debug)]
+pub struct SessionSnapshot {
+    /// The request the stored session answered.
+    pub request: UserRequest,
+    temporal_inputs: Vec<Vec<f64>>,
+    candidates: Vec<Candidate>,
+    fingerprints: Vec<Option<Digest>>,
+}
+
+impl SessionSnapshot {
+    /// The stored horizon `T`.
+    pub fn horizon(&self) -> usize {
+        self.temporal_inputs.len().saturating_sub(1)
+    }
+
+    /// The stored candidates (all time points, in time order).
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.candidates
+    }
+
+    /// The stored temporal inputs `x_0..x_T`.
+    pub fn temporal_inputs(&self) -> &[Vec<f64>] {
+        &self.temporal_inputs
+    }
+
+    /// The serving fingerprint time point `t` was computed under, if any
+    /// (`None` for out-of-range `t` and unfingerprintable artifacts —
+    /// both re-serve as [`TimePointServe::Recomputed`]).
+    pub fn fingerprint_at(&self, t: usize) -> Option<Digest> {
+        self.fingerprints.get(t).copied().flatten()
+    }
+}
+
+/// One returning user in a [`JustInTime::reserve_batch`]: the request to
+/// serve now plus the snapshot of their prior visit.
+#[derive(Clone, Debug)]
+pub struct ReturningUser {
+    /// The request to serve now — the prior one verbatim, or updated
+    /// preferences/profile (changed parts re-serve incrementally).
+    pub request: UserRequest,
+    /// The stored session from the previous visit.
+    pub prior: SessionSnapshot,
+}
+
+impl ReturningUser {
+    /// A user returning with the same request their snapshot was served
+    /// for — the pure "has anything drifted?" refresh.
+    pub fn unchanged(prior: SessionSnapshot) -> Self {
+        ReturningUser { request: prior.request.clone(), prior }
+    }
+
+    /// A user returning with an updated request.
+    pub fn with_request(prior: SessionSnapshot, request: UserRequest) -> Self {
+        ReturningUser { request, prior }
+    }
+}
+
 /// A per-user session: generated candidates plus the queryable database.
 pub struct UserSession<'a> {
     system: &'a JustInTime,
-    profile: Vec<f64>,
+    request: UserRequest,
     temporal_inputs: Vec<Vec<f64>>,
     candidates: Vec<Candidate>,
     db: Database,
+    /// Per-time-point serving fingerprints (see the module docs).
+    fingerprints: Vec<Option<Digest>>,
+    /// Per-time-point provenance when this session came from
+    /// [`JustInTime::reserve_batch`]; `None` for cold sessions.
+    provenance: Option<Vec<TimePointServe>>,
 }
 
 impl std::fmt::Debug for UserSession<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("UserSession")
-            .field("profile", &self.profile)
+            .field("profile", &self.request.profile)
             .field("candidates", &self.candidates.len())
             .field("horizon", &(self.temporal_inputs.len().saturating_sub(1)))
             .finish_non_exhaustive()
@@ -570,7 +879,24 @@ impl std::fmt::Debug for UserSession<'_> {
 impl<'a> UserSession<'a> {
     /// The user's present profile.
     pub fn profile(&self) -> &[f64] {
-        &self.profile
+        &self.request.profile
+    }
+
+    /// Snapshots the session for a later incremental re-serve (see
+    /// [`SessionSnapshot`]).
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            request: self.request.clone(),
+            temporal_inputs: self.temporal_inputs.clone(),
+            candidates: self.candidates.clone(),
+            fingerprints: self.fingerprints.clone(),
+        }
+    }
+
+    /// For sessions produced by [`JustInTime::reserve_batch`]: how each
+    /// time point was served. `None` for cold sessions.
+    pub fn reserve_report(&self) -> Option<&[TimePointServe]> {
+        self.provenance.as_deref()
     }
 
     /// The temporal inputs `x_0..x_T`.
@@ -592,7 +918,7 @@ impl<'a> UserSession<'a> {
     /// `(confidence, approved)`.
     pub fn present_decision(&self) -> (f64, bool) {
         let m = &self.system.models()[0];
-        let conf = m.model.predict_proba(&self.profile);
+        let conf = m.model.predict_proba(&self.request.profile);
         (conf, conf > m.delta)
     }
 
@@ -849,6 +1175,110 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn reserve_with_no_drift_replays_every_time_point() {
+        let system = trained(2);
+        let request = UserRequest::new(LendingClubGenerator::john());
+        let cold = system.serve_batch(std::slice::from_ref(&request)).unwrap();
+        let returning = ReturningUser::unchanged(cold[0].snapshot());
+        let warm = system.reserve_batch(std::slice::from_ref(&returning)).unwrap();
+        assert_eq!(
+            warm[0].reserve_report().unwrap(),
+            &[TimePointServe::Replayed; 3][..]
+        );
+        assert_eq!(candidate_fingerprints(&warm[0]), candidate_fingerprints(&cold[0]));
+        // The fresh session's database is fully rebuilt.
+        assert_eq!(
+            warm[0].db().row_count(crate::tables::CANDIDATES_TABLE).unwrap(),
+            warm[0].candidates().len()
+        );
+        // And the replayed session snapshots identically to the cold one.
+        assert_eq!(
+            warm[0].snapshot().fingerprint_at(1),
+            cold[0].snapshot().fingerprint_at(1)
+        );
+    }
+
+    #[test]
+    fn reserve_recomputes_only_changed_time_points() {
+        use jit_constraints::builder::*;
+        let system = trained(2);
+        let session = system
+            .session(&LendingClubGenerator::john(), &ConstraintSet::new(), None)
+            .unwrap();
+        let prior = session.snapshot();
+        // The user comes back with a new preference scoped to t = 1 only:
+        // t = 0 and t = 2 replay, t = 1 re-runs under the new overlay.
+        let returning = system
+            .session_builder(&LendingClubGenerator::john())
+            .constraint_at(1, gap().le(1.0))
+            .build_returning(prior);
+        let warm = system.reserve(&returning).unwrap();
+        assert_eq!(
+            warm.reserve_report().unwrap(),
+            &[
+                TimePointServe::Replayed,
+                TimePointServe::Recomputed,
+                TimePointServe::Replayed,
+            ][..]
+        );
+        // Bit-identical to serving the new request cold.
+        let cold =
+            system.serve_batch(std::slice::from_ref(&returning.request)).unwrap();
+        assert_eq!(candidate_fingerprints(&warm), candidate_fingerprints(&cold[0]));
+        assert!(warm
+            .candidates()
+            .iter()
+            .filter(|c| c.time_index == 1)
+            .all(|c| c.gap <= 1));
+    }
+
+    #[test]
+    fn reserve_under_full_drift_recomputes_everything_bit_identically() {
+        let (schema, slices) = lending_slices(250);
+        let before = JustInTime::train(small_config(2), &schema, &slices[..4]).unwrap();
+        let request = UserRequest::new(LendingClubGenerator::john());
+        let prior =
+            before.serve_batch(std::slice::from_ref(&request)).unwrap()[0].snapshot();
+        // Retrain on the full history: every model changes, so every time
+        // point must recompute — and match the drifted system's cold
+        // serve exactly.
+        let after = JustInTime::train(small_config(2), &schema, &slices).unwrap();
+        let warm = after.reserve(&ReturningUser::unchanged(prior)).unwrap();
+        assert_eq!(
+            warm.reserve_report().unwrap(),
+            &[TimePointServe::Recomputed; 3][..]
+        );
+        let cold = after.serve_batch(std::slice::from_ref(&request)).unwrap();
+        assert_eq!(candidate_fingerprints(&warm), candidate_fingerprints(&cold[0]));
+    }
+
+    #[test]
+    fn reserve_errors_mirror_serve_errors() {
+        use jit_constraints::builder::*;
+        let system = trained(1);
+        let prior = system
+            .session(&LendingClubGenerator::john(), &ConstraintSet::new(), None)
+            .unwrap()
+            .snapshot();
+        let mut bad = ConstraintSet::new();
+        bad.add(feature("fico_score").ge(700.0));
+        let returning = ReturningUser::with_request(
+            prior,
+            UserRequest {
+                profile: LendingClubGenerator::john(),
+                constraints: bad,
+                update_fn: None,
+            },
+        );
+        let err = system.reserve_batch(std::slice::from_ref(&returning)).unwrap_err();
+        assert_eq!(err.user, 0);
+        assert!(
+            matches!(err.error, SessionError::UnknownFeature(ref f) if f == "fico_score")
+        );
+        assert!(system.reserve_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -180,6 +180,43 @@ impl FeatureSchema {
         }
     }
 
+    /// Content digest of the schema: every field that influences
+    /// sanitization, bounds checking, temporal projection or mutability.
+    ///
+    /// Two schemas with equal digests behave identically in every
+    /// serving-relevant way, so the digest participates in the
+    /// per-time-point fingerprints that incremental re-serving diffs.
+    pub fn content_digest(&self) -> jit_math::Digest {
+        let mut w = jit_math::DigestWriter::new("jit-data/schema");
+        w.write_usize(self.features.len());
+        for f in &self.features {
+            w.write_str(&f.name);
+            w.write_u64(match f.kind {
+                FeatureKind::Continuous => 0,
+                FeatureKind::Ordinal => 1,
+                FeatureKind::Binary => 2,
+            });
+            w.write_f64(f.min);
+            w.write_f64(f.max);
+            match f.temporal {
+                TemporalSpec::Static => w.write_u64(0),
+                TemporalSpec::Linear { per_period } => {
+                    w.write_u64(1);
+                    w.write_f64(per_period);
+                }
+                TemporalSpec::Compound { rate } => {
+                    w.write_u64(2);
+                    w.write_f64(rate);
+                }
+            }
+            w.write_u64(match f.mutability {
+                Mutability::Actionable => 0,
+                Mutability::Immutable => 1,
+            });
+        }
+        w.finish()
+    }
+
     /// `true` when every coordinate lies within its feature's bounds.
     pub fn row_in_bounds(&self, row: &[f64]) -> bool {
         row.len() == self.dim()
@@ -269,6 +306,18 @@ pub mod lending_idx {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn content_digest_is_stable_and_sensitive() {
+        let a = FeatureSchema::lending_club();
+        let b = FeatureSchema::lending_club();
+        assert_eq!(a.content_digest(), b.content_digest());
+        // Any byte of any field must matter.
+        let mut metas: Vec<FeatureMeta> = a.features().to_vec();
+        metas[2].max += 1.0;
+        let changed = FeatureSchema::new(metas);
+        assert_ne!(a.content_digest(), changed.content_digest());
+    }
 
     #[test]
     fn temporal_projection() {

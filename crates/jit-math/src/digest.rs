@@ -1,0 +1,239 @@
+//! Content digests for trained artifacts.
+//!
+//! Serving a *returning* user efficiently requires deciding whether the
+//! artifacts a stored session was computed from — future models,
+//! compiled constraints, temporal inputs — are still the ones the system
+//! holds today. Pointer identity cannot answer that (the system may have
+//! been retrained, reloaded, or rebuilt from the same data), so trained
+//! artifacts expose a **content digest**: a 128-bit hash over every byte
+//! that influences their observable behaviour.
+//!
+//! The contract consumers rely on:
+//!
+//! * **Deterministic.** Digesting the same content twice — in the same
+//!   process or after a rebuild from identical bytes — yields the same
+//!   [`Digest`]. No pointers, capacities or other incidental state may
+//!   be written.
+//! * **Sensitive.** Any change to any written byte (a single f64 bit, a
+//!   reordered element, a length) changes the digest, up to hash
+//!   collisions.
+//! * **Domain separated.** Writers are created with a domain tag so that
+//!   structurally identical artifacts of different kinds (say, a weight
+//!   vector and a threshold list) cannot collide by construction.
+//!
+//! The implementation chains two independent SplitMix64-style lanes over
+//! the written words. 128 bits keep accidental collisions out of reach
+//! for any realistic artifact census; the digest is **not**
+//! cryptographic and must not be used against adversarial inputs.
+
+use std::fmt;
+
+/// A 128-bit content digest (see the module docs for the contract).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Digest(pub [u64; 2]);
+
+impl Digest {
+    /// Hex rendering, stable across processes (used by snapshots and
+    /// logs; [`Digest::from_hex`] round-trips it).
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.0[0], self.0[1])
+    }
+
+    /// Parses the 32-hex-digit form produced by [`Digest::to_hex`].
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        // from_str_radix alone would also accept a leading sign; only
+        // exactly 32 hex digits round-trip with `to_hex`.
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(Digest([hi, lo]))
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+/// SplitMix64 finalizer: full-avalanche mixing of one word.
+///
+/// Public because it is the workspace's shared cheap mixer — the
+/// candidates search keys its dedup sets and cell caches with it
+/// instead of re-declaring the constants.
+#[inline]
+pub fn splitmix64(mut h: u64) -> u64 {
+    h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Streaming writer producing a [`Digest`].
+///
+/// All numeric writes funnel through [`DigestWriter::write_u64`]; floats
+/// are written as their exact IEEE-754 bit patterns, so two artifacts
+/// digest equal **iff** they are bit-identical in every written field.
+#[derive(Clone, Debug)]
+pub struct DigestWriter {
+    a: u64,
+    b: u64,
+}
+
+impl DigestWriter {
+    /// Creates a writer for the given domain tag (e.g.
+    /// `"jit-ml/forest"`). The tag participates in the digest.
+    pub fn new(domain: &str) -> Self {
+        // Two lanes with unrelated seeds; the domain tag is folded into
+        // both so cross-domain collisions need a 128-bit coincidence.
+        let mut w = DigestWriter { a: 0x243f_6a88_85a3_08d3, b: 0x1319_8a2e_0370_7344 };
+        w.write_bytes(domain.as_bytes());
+        w
+    }
+
+    /// Writes one word into both lanes.
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.a = splitmix64(self.a ^ v);
+        // The second lane sees the word under a different whitening so
+        // the lanes never degenerate into copies of each other.
+        self.b = splitmix64(self.b ^ v.rotate_left(23) ^ 0xa076_1d64_78bd_642f);
+    }
+
+    /// Writes a float as its exact bit pattern (`-0.0 != 0.0`, NaN
+    /// payloads preserved — content equality, not numeric equality).
+    #[inline]
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Writes a length/index.
+    #[inline]
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Writes a boolean.
+    #[inline]
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u64(u64::from(v));
+    }
+
+    /// Writes a byte string, length-prefixed (so `"ab","c"` and
+    /// `"a","bc"` digest differently).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_usize(bytes.len());
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    /// Writes a string, length-prefixed.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Writes a slice of floats, length-prefixed.
+    pub fn write_f64s(&mut self, vs: &[f64]) {
+        self.write_usize(vs.len());
+        for v in vs {
+            self.write_f64(*v);
+        }
+    }
+
+    /// Folds an already-finished digest in (for composing artifact
+    /// digests out of part digests).
+    pub fn write_digest(&mut self, d: Digest) {
+        self.write_u64(d.0[0]);
+        self.write_u64(d.0[1]);
+    }
+
+    /// Finalizes the digest.
+    pub fn finish(self) -> Digest {
+        // One last avalanche per lane so trailing zero-ish writes still
+        // disperse.
+        Digest([splitmix64(self.a), splitmix64(self.b ^ self.a.rotate_left(32))])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest_of(words: &[u64]) -> Digest {
+        let mut w = DigestWriter::new("test");
+        for &v in words {
+            w.write_u64(v);
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn deterministic_across_writers() {
+        assert_eq!(digest_of(&[1, 2, 3]), digest_of(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn sensitive_to_every_word_and_order() {
+        let base = digest_of(&[1, 2, 3]);
+        assert_ne!(base, digest_of(&[1, 2, 4]));
+        assert_ne!(base, digest_of(&[0, 2, 3]));
+        assert_ne!(base, digest_of(&[1, 3, 2]), "order must matter");
+        assert_ne!(base, digest_of(&[1, 2]), "length must matter");
+    }
+
+    #[test]
+    fn domain_separation() {
+        let a = DigestWriter::new("domain-a").finish();
+        let b = DigestWriter::new("domain-b").finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn float_bits_not_numeric_equality() {
+        let mut w1 = DigestWriter::new("f");
+        w1.write_f64(0.0);
+        let mut w2 = DigestWriter::new("f");
+        w2.write_f64(-0.0);
+        assert_ne!(w1.finish(), w2.finish());
+    }
+
+    #[test]
+    fn string_prefixing_blocks_concat_ambiguity() {
+        let mut w1 = DigestWriter::new("s");
+        w1.write_str("ab");
+        w1.write_str("c");
+        let mut w2 = DigestWriter::new("s");
+        w2.write_str("a");
+        w2.write_str("bc");
+        assert_ne!(w1.finish(), w2.finish());
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let d = digest_of(&[42, 7]);
+        assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(Digest::from_hex("zz"), None);
+        assert_eq!(Digest::from_hex(&"0".repeat(31)), None);
+        // from_str_radix would tolerate a sign; from_hex must not.
+        assert_eq!(Digest::from_hex(&format!("+{}", "0".repeat(31))), None);
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        // A single-word digest must not have equal lanes (they would
+        // then be a 64-bit digest in disguise).
+        let d = digest_of(&[0xdead_beef]);
+        assert_ne!(d.0[0], d.0[1]);
+    }
+}

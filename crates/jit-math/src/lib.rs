@@ -20,7 +20,10 @@
 //!   and friends.
 //! * [`rng`] — a SplitMix64 deterministic RNG with the samplers the
 //!   workspace needs (uniform, normal, Bernoulli, choice, shuffle).
+//! * [`digest`] — 128-bit content digests for trained artifacts, the
+//!   change-detection primitive behind incremental re-serving.
 
+pub mod digest;
 pub mod distance;
 pub mod kernel;
 pub mod matrix;
@@ -28,6 +31,7 @@ pub mod rng;
 pub mod stats;
 pub mod vector;
 
+pub use digest::{Digest, DigestWriter};
 pub use distance::{l0_gap, l1, l2_diff, l2_squared, linf, weighted_l2};
 pub use kernel::{Kernel, LinearKernel, PolyKernel, RbfKernel};
 pub use matrix::Matrix;

@@ -156,6 +156,18 @@ impl Model for RandomForest {
         }
         ModelHints::Thresholds(per_feature)
     }
+
+    fn fingerprint(&self) -> Option<jit_math::Digest> {
+        // Every prediction and hint is a pure function of the tree list
+        // (in order) and the dimension; digest exactly those.
+        let mut w = jit_math::DigestWriter::new("jit-ml/forest");
+        w.write_usize(self.dim);
+        w.write_usize(self.trees.len());
+        for tree in &self.trees {
+            tree.digest_into(&mut w);
+        }
+        Some(w.finish())
+    }
 }
 
 #[cfg(test)]

@@ -141,6 +141,17 @@ impl Model for LogisticRegression {
     fn hints(&self) -> ModelHints {
         ModelHints::Linear(self.input_space_weights())
     }
+
+    fn fingerprint(&self) -> Option<jit_math::Digest> {
+        // predict_proba reads weights, bias and the standardizer's
+        // means/stds; hints derive from the same fields.
+        let mut w = jit_math::DigestWriter::new("jit-ml/logistic");
+        w.write_f64s(&self.weights);
+        w.write_f64(self.bias);
+        w.write_f64s(self.standardizer.means());
+        w.write_f64s(self.standardizer.stds());
+        Some(w.finish())
+    }
 }
 
 #[cfg(test)]

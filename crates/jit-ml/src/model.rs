@@ -42,6 +42,20 @@ pub trait Model: Send + Sync {
         ModelHints::Opaque
     }
 
+    /// Content fingerprint of the fitted model, or `None` when the model
+    /// cannot vouch for one.
+    ///
+    /// The contract (see [`jit_math::digest`]): two models returning the
+    /// same `Some(digest)` produce **bit-identical** `predict_proba` and
+    /// [`Model::hints`] output for every input — the incremental serving
+    /// layer replays stored results on the strength of this, so an
+    /// implementation must digest every byte that can influence a
+    /// prediction, and must return `None` (always treated as "changed")
+    /// rather than guess.
+    fn fingerprint(&self) -> Option<jit_math::Digest> {
+        None
+    }
+
     /// Convenience: hard decision at threshold `delta`
     /// (Definition II.3 requires a strict inequality `M(x') > δ`).
     fn decide(&self, x: &[f64], delta: f64) -> bool {
@@ -62,6 +76,10 @@ impl Model for Box<dyn Model> {
     fn hints(&self) -> ModelHints {
         (**self).hints()
     }
+
+    fn fingerprint(&self) -> Option<jit_math::Digest> {
+        (**self).fingerprint()
+    }
 }
 
 /// Blanket implementation so `Arc<dyn Model>` (the shape future-model
@@ -77,6 +95,10 @@ impl Model for std::sync::Arc<dyn Model> {
 
     fn hints(&self) -> ModelHints {
         (**self).hints()
+    }
+
+    fn fingerprint(&self) -> Option<jit_math::Digest> {
+        (**self).fingerprint()
     }
 }
 
@@ -102,6 +124,13 @@ impl Model for ConstantModel {
 
     fn predict_proba(&self, _x: &[f64]) -> f64 {
         self.prob
+    }
+
+    fn fingerprint(&self) -> Option<jit_math::Digest> {
+        let mut w = jit_math::DigestWriter::new("jit-ml/constant");
+        w.write_usize(self.dim);
+        w.write_f64(self.prob);
+        Some(w.finish())
     }
 }
 

@@ -569,6 +569,22 @@ impl DecisionTree {
     }
 }
 
+impl DecisionTree {
+    /// Folds the tree's full fitted content — dimension and every flat
+    /// node, in storage order — into `w`. Together with the flat layout
+    /// this captures everything `predict_proba` / `hints` can observe,
+    /// which is what the [`Model::fingerprint`] contract requires.
+    pub fn digest_into(&self, w: &mut jit_math::DigestWriter) {
+        w.write_usize(self.dim);
+        w.write_usize(self.nodes.len());
+        for n in &self.nodes {
+            w.write_f64(n.threshold);
+            w.write_u64(u64::from(n.feature) | (u64::from(n.left) << 32));
+            w.write_u64(u64::from(n.right));
+        }
+    }
+}
+
 impl Model for DecisionTree {
     fn dim(&self) -> usize {
         self.dim
@@ -589,6 +605,12 @@ impl Model for DecisionTree {
             ts.dedup();
         }
         ModelHints::Thresholds(per_feature)
+    }
+
+    fn fingerprint(&self) -> Option<jit_math::Digest> {
+        let mut w = jit_math::DigestWriter::new("jit-ml/tree");
+        self.digest_into(&mut w);
+        Some(w.finish())
     }
 }
 

@@ -129,8 +129,31 @@ impl Runtime {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
+        self.parallel_map_with(n, || (), |(), i| f(i))
+    }
+
+    /// [`Runtime::parallel_map`] with **per-worker mutable state**: each
+    /// worker calls `init()` once and threads the state through every
+    /// task it executes; the serial/inline path uses a single state for
+    /// all of `0..n`.
+    ///
+    /// This is how stateful engines (scratch buffers, warm caches — see
+    /// `jit-core`'s timeline search) ride a fan-out without either
+    /// re-allocating per task or sharing mutable state between tasks.
+    /// The determinism contract gains one clause: task output must not
+    /// depend on the state's *history* — state may only make a task
+    /// cheaper (memoized results it would recompute identically), never
+    /// different, because which tasks share a state depends on
+    /// scheduling.
+    pub fn parallel_map_with<S, R, I, F>(&self, n: usize, init: I, f: F) -> Vec<R>
+    where
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> R + Sync,
+    {
         if self.threads <= 1 || n <= 1 || in_pool_worker() {
-            return (0..n).map(f).collect();
+            let mut state = init();
+            return (0..n).map(|i| f(&mut state, i)).collect();
         }
         let workers = self.threads.min(n);
         // Chunks small enough to balance uneven tasks, large enough that
@@ -147,8 +170,10 @@ impl Runtime {
                     let tx = tx.clone();
                     let cursor = &cursor;
                     let f = &f;
+                    let init = &init;
                     scope.spawn(move || {
                         IN_POOL_WORKER.with(|w| w.set(true));
+                        let mut state = init();
                         let mut local: Vec<(usize, R)> = Vec::new();
                         loop {
                             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -156,7 +181,7 @@ impl Runtime {
                                 break;
                             }
                             for i in start..(start + chunk).min(n) {
-                                local.push((i, f(i)));
+                                local.push((i, f(&mut state, i)));
                             }
                         }
                         // The receiver lives until every worker is joined;
@@ -245,6 +270,38 @@ mod tests {
         let rt = Runtime::new(4);
         let doubled = rt.parallel_map(data.len(), |i| data[i] * 2.0);
         assert_eq!(doubled[255], 510.0);
+    }
+
+    #[test]
+    fn parallel_map_with_keeps_per_worker_state_and_order() {
+        for threads in [1usize, 2, 8] {
+            let rt = Runtime::new(threads);
+            // State counts the tasks a worker has run; output must stay
+            // index-addressed regardless of how states are shared.
+            let out = rt.parallel_map_with(
+                64,
+                || 0usize,
+                |count, i| {
+                    *count += 1;
+                    (i, *count >= 1)
+                },
+            );
+            for (i, (idx, counted)) in out.iter().enumerate() {
+                assert_eq!(*idx, i);
+                assert!(counted);
+            }
+        }
+        // Serial path: a single state sees every task.
+        let rt = Runtime::serial();
+        let out = rt.parallel_map_with(
+            5,
+            || 0usize,
+            |c, _| {
+                *c += 1;
+                *c
+            },
+        );
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
     }
 
     #[test]

@@ -99,6 +99,23 @@ impl FutureModel {
     pub fn approves(&self, x: &[f64]) -> bool {
         self.model.predict_proba(x) > self.delta
     }
+
+    /// Content fingerprint of the `(M_t, δ_t)` pair, or `None` when the
+    /// underlying model is opaque (see [`Model::fingerprint`]).
+    ///
+    /// Equal fingerprints guarantee bit-identical `predict_proba`,
+    /// [`Model::hints`] *and* threshold behaviour — the unit the
+    /// incremental serving layer diffs when deciding whether a stored
+    /// time point survived a retrain. The time index is deliberately
+    /// excluded: [`FuturePredictor::Frozen`] shares one model across
+    /// every `t`, and the fingerprints must say so.
+    pub fn fingerprint(&self) -> Option<jit_math::Digest> {
+        let model = self.model.fingerprint()?;
+        let mut w = jit_math::DigestWriter::new("jit-temporal/future-model");
+        w.write_digest(model);
+        w.write_f64(self.delta);
+        Some(w.finish())
+    }
 }
 
 impl std::fmt::Debug for FutureModel {
@@ -170,6 +187,13 @@ impl Model for LinearScoreModel {
 
     fn hints(&self) -> ModelHints {
         ModelHints::Linear(self.weights.clone())
+    }
+
+    fn fingerprint(&self) -> Option<jit_math::Digest> {
+        let mut w = jit_math::DigestWriter::new("jit-temporal/linear-score");
+        w.write_f64s(&self.weights);
+        w.write_f64(self.bias);
+        Some(w.finish())
     }
 }
 

@@ -34,16 +34,19 @@ impl Default for HerdingParams {
 
 /// Precomputed herding system for one `(space, pool)` pair.
 ///
-/// The kernel matrix `K_ZP` and the Cholesky factor of the ridge Gram
-/// `K Kᵀ + λI` depend only on the landmark set and the pool — not on the
-/// extrapolated target — so the models generator builds this **once** and
-/// solves per horizon step. Each solve is then two triangular
-/// substitutions plus one `p × m` mat-vec, instead of re-evaluating
-/// `m × p` RBF kernels and re-factorizing.
+/// The kernel matrix `K_ZP`, its transpose and the Cholesky factor of
+/// the ridge Gram `K Kᵀ + λI` depend only on the landmark set and the
+/// pool — not on the extrapolated target — so the models generator
+/// builds this **once** and solves per horizon step. Each solve is then
+/// two triangular substitutions plus one `p × m` mat-vec, instead of
+/// re-evaluating `m × p` RBF kernels, re-factorizing and re-transposing
+/// per step.
 #[derive(Clone, Debug)]
 pub struct HerdingSolver {
-    /// `K_ZP / p` (the mean-map kernel matrix), `m × p`.
-    kzp_mean: Matrix,
+    /// `(K_ZP / p)ᵀ` (the mean-map kernel matrix, pre-transposed),
+    /// `p × m`: the shape the per-step mat-vec consumes, materialized
+    /// once per pool instead of per solve.
+    kpz_mean: Matrix,
     /// Lower-triangular Cholesky factor of `K Kᵀ + ridge·I`, `m × m`.
     gram_chol: Matrix,
     params: HerdingParams,
@@ -86,7 +89,11 @@ impl HerdingSolver {
         let ridge = (params.lambda * (trace / m as f64)).max(1e-12);
         g.add_diagonal(ridge);
         let gram_chol = g.cholesky().expect("ridge system is SPD");
-        HerdingSolver { kzp_mean, gram_chol, params: *params, pool_size: p }
+        // Solves consume K_PZ; transpose once here instead of allocating
+        // a fresh p × m transpose on every horizon step (bit-identical:
+        // the mat-vec accumulates the same products in the same order).
+        let kpz_mean = kzp_mean.transpose();
+        HerdingSolver { kpz_mean, gram_chol, params: *params, pool_size: p }
     }
 
     /// Solves for pool weights whose weighted mean map best matches the
@@ -101,8 +108,7 @@ impl HerdingSolver {
     pub fn solve(&self, target: &[f64]) -> Vec<f64> {
         let p = self.pool_size;
         let u = self.gram_chol.cholesky_solve(target);
-        let mut w =
-            self.kzp_mean.transpose().matvec(&u).expect("shape is p by construction");
+        let mut w = self.kpz_mean.matvec(&u).expect("shape is p by construction");
 
         // Clip, floor, renormalize to mean 1.
         let floor = self.params.min_weight_fraction.max(0.0);
@@ -223,6 +229,31 @@ mod tests {
             fitted < uniform * 0.6,
             "herding should beat uniform: {fitted} vs {uniform}"
         );
+    }
+
+    #[test]
+    fn reused_solver_is_bit_identical_to_one_shot_across_steps() {
+        // The EDD generator builds one solver per pool and solves once
+        // per horizon step; hoisting the kernel matrix and its transpose
+        // out of the per-step path must not change a single bit relative
+        // to rebuilding from scratch every step.
+        let mut rng = Rng::seeded(6);
+        let a = gaussian_slice(120, -1.0, 0.4, &mut rng);
+        let b = gaussian_slice(120, 1.0, 0.6, &mut rng);
+        let slices = vec![a.clone(), b.clone()];
+        let space = EmbeddingSpace::fit(&slices, 40, &mut rng);
+        let pool = joint_pool(&space, &slices);
+        let params = HerdingParams::default();
+
+        let solver = HerdingSolver::new(&space, &pool, &params);
+        let targets = [space.embed(&a), space.embed(&b), space.embed(&slices[0])];
+        for (step, target) in targets.iter().enumerate() {
+            let reused = solver.solve(target);
+            let fresh = herd_weights(&space, &pool, target, &params);
+            let reused_bits: Vec<u64> = reused.iter().map(|v| v.to_bits()).collect();
+            let fresh_bits: Vec<u64> = fresh.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(reused_bits, fresh_bits, "solver diverged at step {step}");
+        }
     }
 
     #[test]

@@ -48,8 +48,22 @@
 //!         .constraint(gap().le(2.0))
 //!         .build(),
 //! ];
-//! for session in system.serve_batch(&cohort).unwrap() {
+//! let sessions = system.serve_batch(&cohort).unwrap();
+//! for session in &sessions {
 //!     println!("{} candidates", session.candidates().len());
+//! }
+//!
+//! // 6. Returning users: snapshot sessions, and when users come back —
+//! //    after any amount of retraining — re-serve them incrementally.
+//! //    Time points whose fingerprints are unchanged replay from the
+//! //    snapshot; only drifted ones recompute (bit-identical to a cold
+//! //    serve; see `examples/returning_user.rs`).
+//! let snapshots: Vec<SessionSnapshot> =
+//!     sessions.iter().map(UserSession::snapshot).collect();
+//! let returning: Vec<ReturningUser> =
+//!     snapshots.into_iter().map(ReturningUser::unchanged).collect();
+//! for refreshed in system.reserve_batch(&returning).unwrap() {
+//!     println!("{:?}", refreshed.reserve_report().unwrap());
 //! }
 //! ```
 //!
@@ -57,14 +71,14 @@
 //!
 //! | crate | role |
 //! |---|---|
-//! | [`jit_math`] | vectors, matrices, Cholesky/ridge, kernels, RNG |
+//! | [`jit_math`] | vectors, matrices, Cholesky/ridge, kernels, RNG, content digests |
 //! | [`jit_runtime`] | deterministic scoped thread pool for training |
 //! | [`jit_ml`] | decision trees, random forests, logistic, GBM, metrics |
 //! | [`jit_data`] | feature schema + drifting Lending-Club generator |
 //! | [`jit_constraints`] | the constraints language (diff/gap/confidence), compiled-domain cache |
 //! | [`jit_temporal`] | temporal update fns, EDD future-model prediction |
 //! | [`jit_db`] | in-memory SQL engine (Figure 2 queries run verbatim) |
-//! | [`jit_core`] | candidates generator, canned queries, insights, pipeline, batch serving |
+//! | [`jit_core`] | timeline-aware candidates search, canned queries, insights, pipeline, batch + incremental serving |
 
 pub use jit_constraints;
 pub use jit_core;
@@ -83,12 +97,14 @@ pub mod prelude {
     };
     pub use jit_core::{
         AdminConfig, BatchError, BatchParallelism, CandidateParams, CannedQuery,
-        Insight, JustInTime, Objective, SessionBuilder, UserRequest, UserSession,
+        Insight, JustInTime, Objective, ReturningUser, SessionBuilder, SessionSnapshot,
+        TimePointServe, TimelineSearch, UserRequest, UserSession,
     };
     pub use jit_data::{
         FeatureSchema, LendingClubGenerator, LendingClubParams, LoanRecord,
     };
     pub use jit_db::{Database, ResultSet, Value};
+    pub use jit_math::digest::{Digest, DigestWriter};
     pub use jit_ml::{Dataset, Model, RandomForest, RandomForestParams};
     pub use jit_temporal::future::{FutureModelsParams, FuturePredictor};
     pub use jit_temporal::update::{Override, TemporalUpdateFn};

@@ -270,6 +270,119 @@ fn batch_overlays_do_not_leak_between_users_at_any_thread_count() {
     }
 }
 
+// ---------------------------------------------------------------------
+// 1c. Incremental re-serving: reserve_batch ≡ cold serve_batch under
+//     no / partial / full drift, for any thread count and batch policy
+// ---------------------------------------------------------------------
+
+/// The three drift scenarios the fingerprint diff must survive.
+enum Drift {
+    /// Same system, same requests: everything replays.
+    None,
+    /// Same system, a new time-scoped preference at `t = 1`: only that
+    /// time point recomputes.
+    Partial,
+    /// Retrained on an extended history: every model changes, everything
+    /// recomputes.
+    Full,
+}
+
+#[test]
+fn reserve_batch_is_bit_identical_to_cold_serve_under_drift() {
+    use justintime::jit_constraints::builder::gap;
+    let (schema, slices) = lending_slices(120, 5);
+    let cohort = batch_cohort();
+
+    for drift in [Drift::None, Drift::Partial, Drift::Full] {
+        for policy in [BatchParallelism::PerUser, BatchParallelism::PerTimePoint] {
+            for threads in [1usize, 2, 8] {
+                let mut config = batch_config(threads, policy);
+                config.threads = threads;
+                let before = JustInTime::train(config.clone(), &schema, &slices[..4])
+                    .expect("train before");
+                let priors: Vec<SessionSnapshot> = before
+                    .serve_batch(&cohort)
+                    .expect("serve before")
+                    .iter()
+                    .map(UserSession::snapshot)
+                    .collect();
+
+                // The system and requests the user returns to/with.
+                let after;
+                let current = match drift {
+                    Drift::Full => {
+                        after = JustInTime::train(config.clone(), &schema, &slices)
+                            .expect("train after");
+                        &after
+                    }
+                    _ => &before,
+                };
+                let returning: Vec<ReturningUser> = priors
+                    .iter()
+                    .map(|prior| match drift {
+                        Drift::Partial => {
+                            let mut request = prior.request.clone();
+                            request.constraints.add_at(1, gap().le(1.0));
+                            ReturningUser::with_request(prior.clone(), request)
+                        }
+                        _ => ReturningUser::unchanged(prior.clone()),
+                    })
+                    .collect();
+
+                let warm = current.reserve_batch(&returning).expect("reserve");
+                // Reference: cold serve of the same requests on the
+                // current system.
+                let requests: Vec<UserRequest> =
+                    returning.iter().map(|r| r.request.clone()).collect();
+                let cold = current.serve_batch(&requests).expect("cold serve");
+                let warm_prints: Vec<SessionFingerprint> =
+                    warm.iter().map(fingerprint).collect();
+                let cold_prints: Vec<SessionFingerprint> =
+                    cold.iter().map(fingerprint).collect();
+                assert_eq!(
+                    warm_prints, cold_prints,
+                    "reserve diverged (threads={threads} policy={policy:?})"
+                );
+
+                // Provenance must reflect the drift exactly.
+                for session in &warm {
+                    let report = session.reserve_report().expect("reserved session");
+                    match drift {
+                        Drift::None => {
+                            assert!(report
+                                .iter()
+                                .all(|o| *o == TimePointServe::Replayed));
+                        }
+                        Drift::Partial => {
+                            assert_eq!(
+                                report,
+                                &[
+                                    TimePointServe::Replayed,
+                                    TimePointServe::Recomputed,
+                                    TimePointServe::Replayed,
+                                ][..]
+                            );
+                        }
+                        Drift::Full => {
+                            assert!(report
+                                .iter()
+                                .all(|o| *o == TimePointServe::Recomputed));
+                        }
+                    }
+                }
+                // Replayed sessions still serve queries from a rebuilt DB.
+                let rs = warm[0]
+                    .sql("SELECT COUNT(*) FROM candidates")
+                    .expect("rebuilt database answers SQL");
+                assert_eq!(
+                    rs.scalar().unwrap().as_i64(),
+                    Some(warm[0].candidates().len() as i64)
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn runtime_parallel_map_matches_serial_with_forked_streams() {
     // The contract in miniature: fork first, then map.
@@ -443,4 +556,106 @@ proptest! {
             prop_assert_eq!(tv.predict_proba(&x), tc.predict_proba(&x));
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// 3. Fingerprint contract: stable across rebuilds and re-serialization,
+//    sensitive to every model/constraint byte
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn model_fingerprints_are_stable_and_sensitive(
+        seed in 0u64..10_000,
+        bump in 0usize..64,
+    ) {
+        // Forests: refitting from the same seed and data is the in-memory
+        // analogue of deserializing the same bytes — fingerprints must
+        // agree; a different seed grows different trees and must not.
+        let (_, slices) = lending_slices(80, 2);
+        let data = slices.last().unwrap();
+        let params = RandomForestParams { n_trees: 4, threads: 1, ..Default::default() };
+        let a = RandomForest::fit(data, &params, &mut Rng::seeded(seed));
+        let b = RandomForest::fit(data, &params, &mut Rng::seeded(seed));
+        let c = RandomForest::fit(data, &params, &mut Rng::seeded(seed ^ 0xdead_beef));
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        prop_assert!(a.fingerprint().is_some());
+        prop_assert_ne!(a.fingerprint(), c.fingerprint());
+
+        // Linear models: one ULP of one weight is one changed byte.
+        use justintime::jit_temporal::future::LinearScoreModel;
+        let weights: Vec<f64> =
+            (0..8).map(|i| (seed as f64 + i as f64) * 0.25 - 1.0).collect();
+        let m1 = LinearScoreModel::new(weights.clone(), 0.5);
+        let m2 = LinearScoreModel::new(weights.clone(), 0.5);
+        prop_assert_eq!(m1.fingerprint(), m2.fingerprint());
+        let mut bumped = weights.clone();
+        let i = bump % bumped.len();
+        bumped[i] = f64::from_bits(bumped[i].to_bits() ^ 1);
+        let m3 = LinearScoreModel::new(bumped, 0.5);
+        prop_assert_ne!(m1.fingerprint(), m3.fingerprint());
+        let m4 = LinearScoreModel::new(weights, f64::from_bits(0.5f64.to_bits() ^ 1));
+        prop_assert_ne!(m1.fingerprint(), m4.fingerprint());
+    }
+
+    #[test]
+    fn constraint_digests_are_stable_and_sensitive(
+        cap in 1.0f64..100_000.0,
+        t in 0usize..3,
+    ) {
+        use justintime::jit_constraints::builder::*;
+        let schema = FeatureSchema::lending_club();
+        let build = |cap: f64| {
+            let mut set = ConstraintSet::new();
+            set.add(feature("income").le(cap));
+            set.add_at(t, gap().le(2.0));
+            set.compile_at(t, &schema).expect("compiles")
+        };
+        // Recompiling the same set digests identically…
+        prop_assert_eq!(build(cap).content_digest(), build(cap).content_digest());
+        // …and any byte of any constant is observable.
+        let bumped = f64::from_bits(cap.to_bits() ^ 1);
+        prop_assert_ne!(build(cap).content_digest(), build(bumped).content_digest());
+        // Scope matters: the same set compiled at another time point
+        // (where the scoped conjunct drops out) digests differently.
+        let mut set = ConstraintSet::new();
+        set.add(feature("income").le(cap));
+        set.add_at(t, gap().le(2.0));
+        let elsewhere = set.compile_at(t + 1, &schema).expect("compiles");
+        prop_assert_ne!(build(cap).content_digest(), elsewhere.content_digest());
+    }
+
+    #[test]
+    fn digests_round_trip_through_hex(
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+    ) {
+        use justintime::jit_math::digest::Digest;
+        let d = Digest([a, b]);
+        prop_assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+    }
+}
+
+#[test]
+fn session_fingerprints_are_stable_across_retrains_on_identical_data() {
+    // The whole point of content (not pointer) fingerprints: a system
+    // retrained from the same bytes stamps the same fingerprints, so a
+    // snapshot taken before the retrain replays entirely.
+    let (schema, slices) = lending_slices(120, 4);
+    let config = batch_config(1, BatchParallelism::PerUser);
+    let first = JustInTime::train(config.clone(), &schema, &slices).expect("train");
+    let request = UserRequest::new(LendingClubGenerator::john());
+    let prior =
+        first.serve_batch(std::slice::from_ref(&request)).expect("serve")[0].snapshot();
+
+    let retrained = JustInTime::train(config, &schema, &slices).expect("retrain");
+    let warm =
+        retrained.reserve_batch(&[ReturningUser::unchanged(prior)]).expect("reserve");
+    assert!(warm[0]
+        .reserve_report()
+        .expect("reserved session")
+        .iter()
+        .all(|o| *o == TimePointServe::Replayed));
 }
