@@ -39,10 +39,15 @@ use jit_bench::{
 use jit_core::JustInTime;
 use jit_data::LendingClubGenerator;
 use jit_ml::{Dataset, RandomForestParams};
+use jit_service::{
+    CohortMember, DbSnapshotStore, JitService, MemorySnapshotStore, ServeRequest,
+    ShardedService,
+};
 use jit_temporal::future::{
     FutureModelsGenerator, FutureModelsParams, FuturePredictor,
 };
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Scale {
@@ -320,22 +325,24 @@ fn main() {
     });
     entries.push((format!("pipeline/train_models_T{}", scale.horizon), mean, min));
 
-    let system = JustInTime::train(config, &schema, &slices).expect("train");
+    let system_arc =
+        Arc::new(JustInTime::train(config, &schema, &slices).expect("train"));
+    let system = &*system_arc;
     let (mean, min) = time_ms(scale.reps, || {
-        let session = john_session(black_box(&system));
+        let session = john_session(black_box(system));
         black_box(session.candidates().len());
     });
     entries.push((format!("pipeline/user_session_T{}", scale.horizon), mean, min));
 
     // --- candidates: one generator run over the present model ----------
     let (mean, min) = time_ms(scale.reps, || {
-        let session = john_session(black_box(&system));
+        let session = john_session(black_box(system));
         black_box(session.run_all().expect("queries").len());
     });
     entries.push(("candidates/session_canned_queries".to_string(), mean, min));
 
     // --- serve: serial sessions vs the amortized batch layer -----------
-    let cohort = serving_cohort(&system, &gen, scale.batch_users);
+    let cohort = serving_cohort(system, &gen, scale.batch_users);
     let n = cohort.len();
     let (mean, min) = time_ms(scale.reps, || {
         let mut total = 0usize;
@@ -358,18 +365,70 @@ fn main() {
     // No drift: every time point replays from the snapshots (the pure
     // refresh path). 25% drift: every fourth user returns with a changed
     // profile, so a quarter of the cohort's (user, t) pairs recompute.
-    let no_drift = returning_cohort(&system, &cohort);
+    let no_drift = returning_cohort(system, &cohort);
     let (mean, min) = time_ms(scale.reps, || {
         let sessions = system.reserve_batch(black_box(&no_drift)).expect("reserve");
         black_box(sessions.iter().map(|s| s.candidates().len()).sum::<usize>());
     });
     entries.push((format!("reserve/no_drift_{n}xT{}", scale.horizon), mean, min));
-    let drifted = drifted_returning_cohort(&system, &cohort);
+    let drifted = drifted_returning_cohort(system, &cohort);
     let (mean, min) = time_ms(scale.reps, || {
         let sessions = system.reserve_batch(black_box(&drifted)).expect("reserve");
         black_box(sessions.iter().map(|s| s.candidates().len()).sum::<usize>());
     });
     entries.push((format!("reserve/drift25_{n}xT{}", scale.horizon), mean, min));
+
+    // --- service: the typed front end (sharded dispatch + persisted
+    //     snapshot refresh) ----------------------------------------------
+    // Sharded mixed workload: a 2n-user population split across 4 shard
+    // workers; each rep serves n fresh users (cold batch) and refreshes
+    // the n returning ones from the per-shard stores in the same pass.
+    let population: Vec<CohortMember> = serving_cohort(system, &gen, 2 * n)
+        .into_iter()
+        .enumerate()
+        .map(|(i, request)| CohortMember::new(format!("svc-{i}"), request))
+        .collect();
+    let (returning_half, fresh_half) = population.split_at(n);
+    let sharded = ShardedService::from_shared(Arc::clone(&system_arc), 4, 0, |_| {
+        Arc::new(MemorySnapshotStore::new())
+    });
+    // First visit for the returning half, so their snapshots are stored.
+    sharded.serve(ServeRequest::batch(returning_half.to_vec())).expect("warm-up serve");
+    let returning_ids: Vec<String> =
+        returning_half.iter().map(|m| m.user_id.clone()).collect();
+    let (mean, min) = time_ms(scale.reps, || {
+        let cold = sharded
+            .serve(ServeRequest::batch(black_box(fresh_half.to_vec())))
+            .expect("sharded batch");
+        let warm = sharded
+            .serve(ServeRequest::refresh(black_box(returning_ids.clone())))
+            .expect("sharded refresh");
+        black_box(cold.report.cold_time_points + warm.report.replayed_time_points);
+    });
+    entries.push((
+        format!("service/sharded_mixed_{}xT{}", 2 * n, scale.horizon),
+        mean,
+        min,
+    ));
+
+    // Persisted refresh: snapshots live as SQL rows in a jit-db-backed
+    // store; each rep loads them through the SQL engine and replays.
+    let db_service = JitService::with_shared(
+        Arc::clone(&system_arc),
+        Arc::new(
+            DbSnapshotStore::in_new_database(&schema).expect("snapshot store opens"),
+        ),
+    );
+    db_service
+        .serve(ServeRequest::batch(returning_half.to_vec()))
+        .expect("populate persisted store");
+    let (mean, min) = time_ms(scale.reps, || {
+        let warm = db_service
+            .serve(ServeRequest::refresh(black_box(returning_ids.clone())))
+            .expect("persisted refresh");
+        black_box(warm.report.replayed_time_points);
+    });
+    entries.push((format!("service/db_refresh_{n}xT{}", scale.horizon), mean, min));
 
     // --- JSON out -------------------------------------------------------
     let threads = std::thread::available_parallelism().map_or(1, usize::from);

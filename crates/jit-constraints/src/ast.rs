@@ -132,6 +132,28 @@ impl LinExpr {
         self.constant
     }
 
+    /// Rebuilds an expression from raw `(var, coeff)` terms and a
+    /// constant — the exact inverse of [`LinExpr::terms`] /
+    /// [`LinExpr::constant_part`].
+    ///
+    /// Coefficients are inserted verbatim (no accumulation arithmetic),
+    /// so a round trip through `terms`/`from_terms` is **bit-identical**:
+    /// serialized constraint sets deserialize to structurally equal
+    /// expressions with equal content digests. Zero coefficients are
+    /// pruned, as everywhere else.
+    pub fn from_terms(
+        terms: impl IntoIterator<Item = (VarRef, f64)>,
+        constant: f64,
+    ) -> Self {
+        let mut coeffs = BTreeMap::new();
+        for (v, c) in terms {
+            coeffs.insert(v, c);
+        }
+        let mut e = LinExpr { coeffs, constant };
+        e.prune();
+        e
+    }
+
     /// Iterates `(var, coeff)` pairs in canonical order.
     pub fn terms(&self) -> impl Iterator<Item = (&VarRef, f64)> + '_ {
         self.coeffs.iter().map(|(v, c)| (v, *c))

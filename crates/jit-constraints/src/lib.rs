@@ -36,7 +36,8 @@ pub mod parse;
 pub mod set;
 
 pub use ast::{
-    BoundConstraint, CmpOp, Constraint, EvalContext, LinExpr, Special, VarRef,
+    BoundConstraint, CmpOp, Constraint, EvalContext, LinExpr, Special, UnknownFeature,
+    VarRef,
 };
 pub use compiled::CompiledDomain;
 pub use parse::{parse_constraint, ParseError};

@@ -41,6 +41,7 @@ pub use candidates::{
 pub use insights::Insight;
 pub use pipeline::{
     AdminConfig, BatchError, BatchParallelism, JustInTime, ReturningUser,
-    SessionBuilder, SessionSnapshot, TimePointServe, UserRequest, UserSession,
+    SessionBuilder, SessionError, SessionSnapshot, TimePointServe, TrainError,
+    UserRequest, UserSession,
 };
 pub use queries::CannedQuery;

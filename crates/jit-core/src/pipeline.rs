@@ -123,6 +123,11 @@ pub enum TrainError {
         /// Slice dimension encountered.
         found: usize,
     },
+    /// The schema-derived domain constraints failed to compile (a schema
+    /// whose feature names collide with derived constraint variables).
+    Domain(jit_constraints::UnknownFeature),
+    /// The session-table DDL failed against a fresh template database.
+    Db(DbError),
 }
 
 impl std::fmt::Display for TrainError {
@@ -132,6 +137,10 @@ impl std::fmt::Display for TrainError {
             TrainError::DimensionMismatch { expected, found } => {
                 write!(f, "slice dimension {found} does not match schema {expected}")
             }
+            TrainError::Domain(e) => {
+                write!(f, "domain constraints failed to compile: {e}")
+            }
+            TrainError::Db(e) => write!(f, "session-table DDL failed: {e}"),
         }
     }
 }
@@ -286,13 +295,13 @@ impl JustInTime {
         };
         let (domain, _immutable) = jit_constraints::set::domain_constraints(schema);
         // Schema-derived constraints only mention schema features, and a
-        // fresh template cannot collide on table names: both one-time
-        // serving caches are infallible here.
+        // fresh template cannot collide on table names — but both caches
+        // still surface typed errors instead of panicking, so a
+        // pathological schema fails the train call, not the process.
         let compiled_domain = CompiledDomain::compile(&domain, schema, config.horizon)
-            .expect("domain constraints bind against their own schema");
+            .map_err(TrainError::Domain)?;
         let db_template = Database::new();
-        tables::create_tables(&db_template, schema)
-            .expect("fresh template database accepts the session DDL");
+        tables::create_tables(&db_template, schema).map_err(TrainError::Db)?;
         // Content fingerprints, once per train: serving stamps sessions
         // with them and incremental re-serving diffs them, at zero
         // per-request digesting cost for the model side.
@@ -363,6 +372,11 @@ impl JustInTime {
 
     /// Opens a session for one user — a serving batch of one.
     ///
+    /// **Migration note:** this is a compatibility shim. New code should
+    /// go through the `jit-service` crate's `JitService::serve` with a
+    /// `ServeRequest::NewUser` — same engine underneath, plus typed
+    /// errors, snapshot persistence and sharding.
+    ///
     /// * `profile` — the user's present feature vector `x`;
     /// * `user_constraints` — preferences/limitations from the
     ///   *Personal Preferences* screen (conjoined with domain constraints);
@@ -392,7 +406,12 @@ impl JustInTime {
         SessionBuilder { system: self, request: UserRequest::new(profile.to_vec()) }
     }
 
-    /// Serves a batch of users, amortizing everything user-independent:
+    /// Serves a batch of users, amortizing everything user-independent.
+    ///
+    /// **Migration note:** compatibility shim — prefer `jit-service`'s
+    /// `JitService::serve` with `ServeRequest::Batch` (typed errors,
+    /// stored snapshots, sharding via `ShardedService`). This method is
+    /// the engine that service is built on:
     /// the models' move hints are extracted once per time point, the
     /// domain constraints were compiled once at training time (each user
     /// only overlays their preferences), and every session database is
@@ -424,6 +443,11 @@ impl JustInTime {
 
     /// Re-serves a batch of **returning users** against the current
     /// (possibly drifted) model set.
+    ///
+    /// **Migration note:** compatibility shim — prefer `jit-service`'s
+    /// `JitService::serve` with `ServeRequest::Returning` (or
+    /// `ServeRequest::Refresh` to re-serve straight from a persistent
+    /// snapshot store).
     ///
     /// Each request carries the [`SessionSnapshot`] of the user's prior
     /// visit. Per time point, the stored fingerprint is diffed against
@@ -805,9 +829,40 @@ pub struct SessionSnapshot {
 }
 
 impl SessionSnapshot {
+    /// Rebuilds a snapshot from its parts — the inverse of the accessors
+    /// below, used by persistent snapshot stores (`jit-service`) to
+    /// round-trip sessions through storage.
+    ///
+    /// `temporal_inputs` and `fingerprints` must have one entry per time
+    /// point `0..=T` (equal lengths); candidates carry their own
+    /// `time_index`. Returns `None` when the lengths disagree or a
+    /// candidate's time index is out of range, so a corrupted store
+    /// surfaces as a typed load error instead of a wrong replay.
+    pub fn from_parts(
+        request: UserRequest,
+        temporal_inputs: Vec<Vec<f64>>,
+        candidates: Vec<Candidate>,
+        fingerprints: Vec<Option<Digest>>,
+    ) -> Option<Self> {
+        if temporal_inputs.is_empty() || temporal_inputs.len() != fingerprints.len() {
+            return None;
+        }
+        if candidates.iter().any(|c| c.time_index >= temporal_inputs.len()) {
+            return None;
+        }
+        Some(SessionSnapshot { request, temporal_inputs, candidates, fingerprints })
+    }
+
     /// The stored horizon `T`.
     pub fn horizon(&self) -> usize {
         self.temporal_inputs.len().saturating_sub(1)
+    }
+
+    /// The serving fingerprints per time point (`None` entries mark
+    /// unfingerprintable artifacts; those always re-serve as
+    /// [`TimePointServe::Recomputed`]).
+    pub fn fingerprints(&self) -> &[Option<Digest>] {
+        &self.fingerprints
     }
 
     /// The stored candidates (all time points, in time order).

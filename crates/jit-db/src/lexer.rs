@@ -18,8 +18,13 @@ pub enum Token {
     /// Identifier or keyword (original case preserved; match
     /// case-insensitively).
     Ident(String),
-    /// Numeric literal.
-    Number(f64),
+    /// Integer literal (no `.` or exponent in the source text).
+    Int(i64),
+    /// Float literal (the source text contained `.` or an exponent, or
+    /// the value overflows `i64`). Kept distinct from [`Token::Int`] so
+    /// `2.0` and `-0.0` stay floats bit-for-bit through INSERT→SELECT
+    /// instead of collapsing to integers.
+    Float(f64),
     /// `'string'` literal (escaped quotes doubled).
     Str(String),
     /// `(`
@@ -186,12 +191,17 @@ fn lex_number(src: &str, start: usize) -> Result<(Token, usize), DbError> {
     let bytes = src.as_bytes();
     let mut end = start;
     let mut seen_e = false;
+    let mut float_syntax = false;
     while end < bytes.len() {
         let d = bytes[end] as char;
-        if d.is_ascii_digit() || d == '.' {
+        if d.is_ascii_digit() {
+            end += 1;
+        } else if d == '.' {
+            float_syntax = true;
             end += 1;
         } else if (d == 'e' || d == 'E') && !seen_e {
             seen_e = true;
+            float_syntax = true;
             end += 1;
             if end < bytes.len() && (bytes[end] == b'+' || bytes[end] == b'-') {
                 end += 1;
@@ -201,11 +211,27 @@ fn lex_number(src: &str, start: usize) -> Result<(Token, usize), DbError> {
         }
     }
     let text = &src[start..end];
-    let value: f64 = text.parse().map_err(|e| DbError::Parse {
-        offset: start,
-        message: format!("bad number {text:?}: {e}"),
-    })?;
-    Ok((Token::Number(value), end - start))
+    // Digits-only literals are integers; a `.` or exponent makes a float
+    // (and an integer too wide for i64 falls back to the float value).
+    let token = if float_syntax {
+        let value: f64 = text.parse().map_err(|e| DbError::Parse {
+            offset: start,
+            message: format!("bad number {text:?}: {e}"),
+        })?;
+        Token::Float(value)
+    } else {
+        match text.parse::<i64>() {
+            Ok(value) => Token::Int(value),
+            Err(_) => {
+                let value: f64 = text.parse().map_err(|e| DbError::Parse {
+                    offset: start,
+                    message: format!("bad number {text:?}: {e}"),
+                })?;
+                Token::Float(value)
+            }
+        }
+    };
+    Ok((token, end - start))
 }
 
 impl Token {
@@ -230,7 +256,7 @@ mod tests {
         assert_eq!(t[1], Token::Ident("Min".into()));
         assert_eq!(t[2], Token::LParen);
         assert!(t.contains(&Token::Eq));
-        assert!(t.contains(&Token::Number(0.0)));
+        assert!(t.contains(&Token::Int(0)));
     }
 
     #[test]
@@ -258,16 +284,29 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("3.25"), vec![Token::Number(3.25)]);
-        assert_eq!(toks(".5"), vec![Token::Number(0.5)]);
-        assert_eq!(toks("1e3"), vec![Token::Number(1000.0)]);
-        assert_eq!(toks("2.5e-1"), vec![Token::Number(0.25)]);
+        assert_eq!(toks("3.25"), vec![Token::Float(3.25)]);
+        assert_eq!(toks(".5"), vec![Token::Float(0.5)]);
+        assert_eq!(toks("1e3"), vec![Token::Float(1000.0)]);
+        assert_eq!(toks("2.5e-1"), vec![Token::Float(0.25)]);
+    }
+
+    #[test]
+    fn integral_text_lexes_int_but_float_text_stays_float() {
+        assert_eq!(toks("7"), vec![Token::Int(7)]);
+        assert_eq!(toks("7.0"), vec![Token::Float(7.0)]);
+        assert_eq!(toks("0.0"), vec![Token::Float(0.0)]);
+        // 2^63 does not fit i64; it falls back to the float value.
+        assert_eq!(
+            toks("9223372036854775808"),
+            vec![Token::Float(9.223372036854776e18)]
+        );
+        assert_eq!(toks("9223372036854775807"), vec![Token::Int(i64::MAX)]);
     }
 
     #[test]
     fn comments_skipped() {
         let t = toks("SELECT -- a comment\n 1");
-        assert_eq!(t, vec![Token::Ident("SELECT".into()), Token::Number(1.0)]);
+        assert_eq!(t, vec![Token::Ident("SELECT".into()), Token::Int(1)]);
     }
 
     #[test]

@@ -254,7 +254,7 @@ impl Parser {
         }
         let limit = if self.eat_kw("limit") {
             match self.peek() {
-                Some(Token::Number(n)) if *n >= 0.0 && n.fract() == 0.0 => {
+                Some(Token::Int(n)) if *n >= 0 => {
                     let v = *n as usize;
                     self.pos += 1;
                     Some(v)
@@ -506,14 +506,13 @@ impl Parser {
 
     fn primary(&mut self) -> Result<Expr, DbError> {
         match self.peek().cloned() {
-            Some(Token::Number(n)) => {
+            Some(Token::Int(n)) => {
                 self.pos += 1;
-                // Integral literals become Ints so integer columns accept them.
-                if n.fract() == 0.0 && n.abs() < 9e15 {
-                    Ok(Expr::Literal(Value::Int(n as i64)))
-                } else {
-                    Ok(Expr::Literal(Value::Float(n)))
-                }
+                Ok(Expr::Literal(Value::Int(n)))
+            }
+            Some(Token::Float(n)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Float(n)))
             }
             Some(Token::Str(s)) => {
                 self.pos += 1;
@@ -545,6 +544,17 @@ impl Parser {
                     "false" => {
                         self.pos += 1;
                         return Ok(Expr::Literal(Value::Bool(false)));
+                    }
+                    // Non-finite float literals, so REAL values written by
+                    // `Value::sql_literal` always parse back. These are
+                    // reserved words: a column cannot be named nan/inf.
+                    "nan" => {
+                        self.pos += 1;
+                        return Ok(Expr::Literal(Value::Float(f64::NAN)));
+                    }
+                    "inf" | "infinity" => {
+                        self.pos += 1;
+                        return Ok(Expr::Literal(Value::Float(f64::INFINITY)));
                     }
                     "exists" => {
                         self.pos += 1;

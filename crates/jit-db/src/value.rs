@@ -140,6 +140,38 @@ impl Value {
         }
     }
 
+    /// Renders the value as a SQL literal that parses back to an equal
+    /// value — **bit-exactly** for floats.
+    ///
+    /// This is the lossless serialization path: finite floats use Rust's
+    /// shortest round-trip representation (always containing a `.` or an
+    /// exponent, so the lexer keeps them `REAL` instead of integerizing
+    /// `2.0`), and non-finite floats render as the `NAN` / `INF` /
+    /// `-INF` literals the parser accepts. The one caveat: NaN *payloads*
+    /// collapse to the canonical quiet NaN (there is only one NaN
+    /// literal).
+    pub fn sql_literal(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                if f.is_nan() {
+                    "NAN".to_string()
+                } else if *f == f64::INFINITY {
+                    "INF".to_string()
+                } else if *f == f64::NEG_INFINITY {
+                    "-INF".to_string()
+                } else {
+                    // `{:?}` is the shortest decimal that round-trips and
+                    // always reads back as a float ("2.0", "-0.0", "1e300").
+                    format!("{f:?}")
+                }
+            }
+            Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+            Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+        }
+    }
+
     /// Key usable in hash-based DISTINCT/GROUP BY: canonicalizes numerics.
     pub fn group_key(&self) -> String {
         match self {
@@ -269,6 +301,24 @@ mod tests {
         assert_eq!(Value::Float(3.25).to_string(), "3.25");
         assert_eq!(Value::Int(7).to_string(), "7");
         assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn sql_literal_floats_are_lossless_text() {
+        assert_eq!(Value::Float(2.0).sql_literal(), "2.0");
+        assert_eq!(Value::Float(-0.0).sql_literal(), "-0.0");
+        assert_eq!(Value::Float(f64::NAN).sql_literal(), "NAN");
+        assert_eq!(Value::Float(f64::INFINITY).sql_literal(), "INF");
+        assert_eq!(Value::Float(f64::NEG_INFINITY).sql_literal(), "-INF");
+        assert_eq!(Value::Int(-7).sql_literal(), "-7");
+        assert_eq!(Value::Null.sql_literal(), "NULL");
+        assert_eq!(Value::Text("it's".into()).sql_literal(), "'it''s'");
+        assert_eq!(Value::Bool(true).sql_literal(), "TRUE");
+        // Shortest-repr text re-parses to the identical bits.
+        for v in [0.1 + 0.2, f64::MAX, f64::MIN_POSITIVE, 5e-324, 1.0 / 3.0] {
+            let text = Value::Float(v).sql_literal();
+            assert_eq!(text.parse::<f64>().unwrap().to_bits(), v.to_bits(), "{text}");
+        }
     }
 
     #[test]

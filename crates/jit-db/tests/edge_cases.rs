@@ -264,3 +264,63 @@ fn deeply_nested_boolean_expressions() {
     let ks: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
     assert_eq!(ks, vec![1, 3]);
 }
+
+// ---------------------------------------------------------------------
+// Lossless float round-trips (snapshot persistence relies on these)
+// ---------------------------------------------------------------------
+
+#[test]
+fn float_edge_cases_survive_insert_select_bit_exactly() {
+    let db = Database::new();
+    db.execute("CREATE TABLE f (k INTEGER, v REAL)").unwrap();
+    let cases: Vec<f64> = vec![
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        -0.0,
+        0.0,
+        5e-324,                  // smallest subnormal
+        f64::MIN_POSITIVE,       // smallest normal
+        f64::MIN_POSITIVE / 2.0, // mid subnormal
+        f64::MAX,
+        -f64::MAX,
+        0.1 + 0.2, // classic shortest-repr case
+        1.0 / 3.0,
+        2.0, // integral float must NOT collapse to Int
+        -1e15,
+        9.007199254740993e15, // > 2^53, fract()==0 territory
+    ];
+    for (k, v) in cases.iter().enumerate() {
+        let lit = Value::Float(*v).sql_literal();
+        db.execute(&format!("INSERT INTO f VALUES ({k}, {lit})")).unwrap();
+    }
+    let rs = db.execute("SELECT k, v FROM f ORDER BY k").unwrap();
+    assert_eq!(rs.len(), cases.len());
+    for (row, expected) in rs.rows.iter().zip(&cases) {
+        match &row[1] {
+            Value::Float(got) => assert_eq!(
+                got.to_bits(),
+                expected.to_bits(),
+                "{expected:?} came back as {got:?}"
+            ),
+            other => panic!("{expected:?} came back as non-float {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn integer_literals_still_integerize_and_nonfinite_parse_everywhere() {
+    let db = Database::new();
+    db.execute("CREATE TABLE f (k INTEGER, v REAL)").unwrap();
+    // Digits-only literals stay integers (INTEGER columns accept them).
+    db.execute("INSERT INTO f VALUES (1, 1.5), (2, INF), (3, NAN)").unwrap();
+    let rs = db.execute("SELECT k FROM f WHERE v > 1e300").unwrap();
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.rows[0][0].as_i64(), Some(2));
+    // NaN compares false against everything, including itself.
+    let rs = db.execute("SELECT k FROM f WHERE v = NAN").unwrap();
+    assert_eq!(rs.len(), 0);
+    // Case-insensitive, and usable in expressions.
+    let rs = db.execute("SELECT k FROM f WHERE v = -(-inf)").unwrap();
+    assert_eq!(rs.len(), 1);
+}

@@ -1,0 +1,525 @@
+//! The `jit-db`-backed snapshot store: re-serves survive restarts.
+//!
+//! Every [`SessionSnapshot`] is serialized **through the SQL engine** —
+//! plain `INSERT` statements written with [`Value::sql_literal`] (floats
+//! travel bit-exactly, including non-finite values) and read back with
+//! ordinary `SELECT`s. The backing [`Database`] is the durable medium:
+//! hold on to it (it is `Arc`-shared into the store), drop the service
+//! and its trained system, and a store re-opened over the same database
+//! reproduces the original re-serve bit-for-bit.
+//!
+//! Layout (narrow tables, schema-independent):
+//!
+//! | table | row per | columns |
+//! |---|---|---|
+//! | `jit_snapshots` | snapshot | `user_id, schema_digest, horizon, update_fn` |
+//! | `jit_snapshot_profile` | profile coordinate | `user_id, idx, v` |
+//! | `jit_snapshot_inputs` | temporal-input coordinate | `user_id, t, idx, v` |
+//! | `jit_snapshot_fingerprints` | time point | `user_id, t, hex` (NULL = unfingerprintable) |
+//! | `jit_snapshot_constraints` | scoped constraint | `user_id, ord, kind, lo, hi, body` |
+//! | `jit_snapshot_candidates` | candidate | `user_id, ord, t, gap, diff, p` |
+//! | `jit_snapshot_candidate_profiles` | candidate coordinate | `user_id, ord, idx, v` |
+//!
+//! Fingerprints round-trip via [`Digest`] hex; constraint bodies and
+//! update functions via the exact [`crate::codec`]. Each snapshot
+//! records the feature schema's content digest, and loads under a
+//! different schema fail with [`StoreError::SchemaMismatch`] rather than
+//! risk a wrong replay.
+
+use crate::codec;
+use crate::store::{SnapshotStore, StoreError};
+use jit_core::{Candidate, SessionSnapshot, UserRequest};
+use jit_data::FeatureSchema;
+use jit_db::{ColumnType, Database, Value};
+use jit_math::digest::Digest;
+use std::fmt;
+use std::sync::Arc;
+
+/// The SQL-engine-backed [`SnapshotStore`].
+pub struct DbSnapshotStore {
+    db: Arc<Database>,
+    schema: FeatureSchema,
+    schema_digest: Digest,
+    /// Serializes the multi-statement save/load/remove sequences: the
+    /// database locks per statement, but one snapshot spans seven
+    /// tables, so without this a concurrent `load` could observe a
+    /// half-written ("torn") snapshot between a `save`'s DELETEs and
+    /// its last INSERT. Per-store, so the sharded dispatcher's
+    /// one-store-per-shard layout keeps cross-shard parallelism.
+    op_lock: parking_lot::Mutex<()>,
+}
+
+const TABLES: [(&str, &[(&str, ColumnType)]); 7] = [
+    (
+        "jit_snapshots",
+        &[
+            ("user_id", ColumnType::Text),
+            ("schema_digest", ColumnType::Text),
+            ("horizon", ColumnType::Integer),
+            ("update_fn", ColumnType::Text),
+        ],
+    ),
+    (
+        "jit_snapshot_profile",
+        &[
+            ("user_id", ColumnType::Text),
+            ("idx", ColumnType::Integer),
+            ("v", ColumnType::Real),
+        ],
+    ),
+    (
+        "jit_snapshot_inputs",
+        &[
+            ("user_id", ColumnType::Text),
+            ("t", ColumnType::Integer),
+            ("idx", ColumnType::Integer),
+            ("v", ColumnType::Real),
+        ],
+    ),
+    (
+        "jit_snapshot_fingerprints",
+        &[
+            ("user_id", ColumnType::Text),
+            ("t", ColumnType::Integer),
+            ("hex", ColumnType::Text),
+        ],
+    ),
+    (
+        "jit_snapshot_constraints",
+        &[
+            ("user_id", ColumnType::Text),
+            ("ord", ColumnType::Integer),
+            ("kind", ColumnType::Text),
+            ("lo", ColumnType::Integer),
+            ("hi", ColumnType::Integer),
+            ("body", ColumnType::Text),
+        ],
+    ),
+    (
+        "jit_snapshot_candidates",
+        &[
+            ("user_id", ColumnType::Text),
+            ("ord", ColumnType::Integer),
+            ("t", ColumnType::Integer),
+            ("gap", ColumnType::Integer),
+            ("diff", ColumnType::Real),
+            ("p", ColumnType::Real),
+        ],
+    ),
+    (
+        "jit_snapshot_candidate_profiles",
+        &[
+            ("user_id", ColumnType::Text),
+            ("ord", ColumnType::Integer),
+            ("idx", ColumnType::Integer),
+            ("v", ColumnType::Real),
+        ],
+    ),
+];
+
+impl DbSnapshotStore {
+    /// Opens a store over `db`, creating the snapshot tables when absent
+    /// (re-opening an already-populated database is the restart path).
+    pub fn open(db: Arc<Database>, schema: &FeatureSchema) -> Result<Self, StoreError> {
+        for (name, columns) in TABLES {
+            if !db.has_table(name) {
+                db.create_table(
+                    name,
+                    columns
+                        .iter()
+                        .map(|(c, ty)| (c.to_string(), *ty))
+                        .collect::<Vec<_>>(),
+                )?;
+            }
+        }
+        Ok(DbSnapshotStore {
+            db,
+            schema: schema.clone(),
+            schema_digest: schema.content_digest(),
+            op_lock: parking_lot::Mutex::new(()),
+        })
+    }
+
+    /// A store over a fresh private database.
+    pub fn in_new_database(schema: &FeatureSchema) -> Result<Self, StoreError> {
+        Self::open(Arc::new(Database::new()), schema)
+    }
+
+    /// The backing database (the durable medium — keep a clone of the
+    /// `Arc` to survive a service restart).
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    fn corrupt(user_id: &str, detail: impl Into<String>) -> StoreError {
+        StoreError::Corrupt { user_id: user_id.to_string(), detail: detail.into() }
+    }
+
+    /// Runs one statement, rendered from literal values.
+    fn exec(&self, sql: &str) -> Result<(), StoreError> {
+        self.db.execute(sql)?;
+        Ok(())
+    }
+
+    fn delete_user(&self, id_lit: &str) -> Result<(), StoreError> {
+        for (name, _) in TABLES {
+            self.exec(&format!("DELETE FROM {name} WHERE user_id = {id_lit}"))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for DbSnapshotStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DbSnapshotStore")
+            .field("schema_digest", &self.schema_digest)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Renders `INSERT INTO table VALUES (row), (row), …` from literal rows.
+/// Returns `None` for zero rows (nothing to insert).
+fn insert_sql(table: &str, rows: &[Vec<Value>]) -> Option<String> {
+    if rows.is_empty() {
+        return None;
+    }
+    let body: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            let vals: Vec<String> = row.iter().map(Value::sql_literal).collect();
+            format!("({})", vals.join(", "))
+        })
+        .collect();
+    Some(format!("INSERT INTO {table} VALUES {}", body.join(", ")))
+}
+
+impl SnapshotStore for DbSnapshotStore {
+    fn save(
+        &self,
+        user_id: &str,
+        snapshot: &SessionSnapshot,
+    ) -> Result<(), StoreError> {
+        let _guard = self.op_lock.lock();
+        let id = Value::from(user_id);
+        let id_lit = id.sql_literal();
+        // Replace semantics: clear any prior snapshot rows first.
+        self.delete_user(&id_lit)?;
+
+        let header = vec![vec![
+            id.clone(),
+            Value::from(self.schema_digest.to_hex()),
+            Value::Int(snapshot.horizon() as i64),
+            Value::from(codec::encode_update_fn(snapshot.request.update_fn.as_ref())),
+        ]];
+        let profile: Vec<Vec<Value>> = snapshot
+            .request
+            .profile
+            .iter()
+            .enumerate()
+            .map(|(i, v)| vec![id.clone(), Value::Int(i as i64), Value::Float(*v)])
+            .collect();
+        let inputs: Vec<Vec<Value>> = snapshot
+            .temporal_inputs()
+            .iter()
+            .enumerate()
+            .flat_map(|(t, x)| {
+                let id = &id;
+                x.iter().enumerate().map(move |(i, v)| {
+                    vec![
+                        id.clone(),
+                        Value::Int(t as i64),
+                        Value::Int(i as i64),
+                        Value::Float(*v),
+                    ]
+                })
+            })
+            .collect();
+        let fingerprints: Vec<Vec<Value>> = snapshot
+            .fingerprints()
+            .iter()
+            .enumerate()
+            .map(|(t, fp)| {
+                vec![
+                    id.clone(),
+                    Value::Int(t as i64),
+                    fp.map_or(Value::Null, |d| Value::from(d.to_hex())),
+                ]
+            })
+            .collect();
+        let constraints: Vec<Vec<Value>> = snapshot
+            .request
+            .constraints
+            .items()
+            .iter()
+            .enumerate()
+            .map(|(ord, item)| {
+                let (kind, lo, hi) = match item.scope {
+                    jit_constraints::TimeScope::AllTimes => ("all", 0, 0),
+                    jit_constraints::TimeScope::At(t) => ("at", t, t),
+                    jit_constraints::TimeScope::Between(lo, hi) => ("between", lo, hi),
+                };
+                vec![
+                    id.clone(),
+                    Value::Int(ord as i64),
+                    Value::from(kind),
+                    Value::Int(lo as i64),
+                    Value::Int(hi as i64),
+                    Value::from(codec::encode_constraint(&item.constraint)),
+                ]
+            })
+            .collect();
+        let mut candidates = Vec::new();
+        let mut candidate_profiles = Vec::new();
+        for (ord, c) in snapshot.candidates().iter().enumerate() {
+            candidates.push(vec![
+                id.clone(),
+                Value::Int(ord as i64),
+                Value::Int(c.time_index as i64),
+                Value::Int(c.gap as i64),
+                Value::Float(c.diff),
+                Value::Float(c.confidence),
+            ]);
+            for (i, v) in c.profile.iter().enumerate() {
+                candidate_profiles.push(vec![
+                    id.clone(),
+                    Value::Int(ord as i64),
+                    Value::Int(i as i64),
+                    Value::Float(*v),
+                ]);
+            }
+        }
+
+        for (table, rows) in [
+            ("jit_snapshots", header),
+            ("jit_snapshot_profile", profile),
+            ("jit_snapshot_inputs", inputs),
+            ("jit_snapshot_fingerprints", fingerprints),
+            ("jit_snapshot_constraints", constraints),
+            ("jit_snapshot_candidates", candidates),
+            ("jit_snapshot_candidate_profiles", candidate_profiles),
+        ] {
+            if let Some(sql) = insert_sql(table, &rows) {
+                self.exec(&sql)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn load(&self, user_id: &str) -> Result<Option<SessionSnapshot>, StoreError> {
+        let _guard = self.op_lock.lock();
+        let id_lit = Value::from(user_id).sql_literal();
+        let header = self.db.execute(&format!(
+            "SELECT schema_digest, horizon, update_fn FROM jit_snapshots \
+             WHERE user_id = {id_lit}"
+        ))?;
+        let Some(header_row) = header.rows.first() else {
+            return Ok(None);
+        };
+        let digest_hex = match &header_row[0] {
+            Value::Text(s) => s.clone(),
+            other => {
+                return Err(Self::corrupt(user_id, format!("schema digest {other}")))
+            }
+        };
+        let found = Digest::from_hex(&digest_hex)
+            .ok_or_else(|| Self::corrupt(user_id, "unparseable schema digest"))?;
+        if found != self.schema_digest {
+            return Err(StoreError::SchemaMismatch {
+                expected: self.schema_digest,
+                found,
+            });
+        }
+        let horizon = header_row[1]
+            .as_i64()
+            .filter(|h| *h >= 0)
+            .ok_or_else(|| Self::corrupt(user_id, "horizon"))?
+            as usize;
+        let update_text = match &header_row[2] {
+            Value::Text(s) => s.as_str(),
+            other => return Err(Self::corrupt(user_id, format!("update_fn {other}"))),
+        };
+        let update_fn = codec::decode_update_fn(update_text, &self.schema)
+            .map_err(|e| Self::corrupt(user_id, e.to_string()))?;
+
+        // Profile, ordered by coordinate.
+        let rs = self.db.execute(&format!(
+            "SELECT v FROM jit_snapshot_profile WHERE user_id = {id_lit} \
+             ORDER BY idx"
+        ))?;
+        let profile: Vec<f64> = rs
+            .rows
+            .iter()
+            .map(|r| r[0].as_f64())
+            .collect::<Option<_>>()
+            .ok_or_else(|| Self::corrupt(user_id, "profile values"))?;
+        if profile.len() != self.schema.dim() {
+            return Err(Self::corrupt(user_id, "profile dimension"));
+        }
+
+        // Temporal inputs, (t, idx)-ordered into per-t rows.
+        let rs = self.db.execute(&format!(
+            "SELECT t, v FROM jit_snapshot_inputs WHERE user_id = {id_lit} \
+             ORDER BY t, idx"
+        ))?;
+        let mut temporal_inputs: Vec<Vec<f64>> = vec![Vec::new(); horizon + 1];
+        for row in &rs.rows {
+            let t = row[0]
+                .as_i64()
+                .filter(|t| (0..=horizon as i64).contains(t))
+                .ok_or_else(|| Self::corrupt(user_id, "temporal-input time"))?;
+            let v = row[1]
+                .as_f64()
+                .ok_or_else(|| Self::corrupt(user_id, "temporal-input value"))?;
+            temporal_inputs[t as usize].push(v);
+        }
+        if temporal_inputs.iter().any(|x| x.len() != self.schema.dim()) {
+            return Err(Self::corrupt(user_id, "temporal-input dimension"));
+        }
+
+        // Fingerprints per time point (NULL = unfingerprintable).
+        let rs = self.db.execute(&format!(
+            "SELECT t, hex FROM jit_snapshot_fingerprints \
+             WHERE user_id = {id_lit} ORDER BY t"
+        ))?;
+        let mut fingerprints: Vec<Option<Digest>> = vec![None; horizon + 1];
+        if rs.rows.len() != horizon + 1 {
+            return Err(Self::corrupt(user_id, "fingerprint row count"));
+        }
+        for row in &rs.rows {
+            let t = row[0]
+                .as_i64()
+                .filter(|t| (0..=horizon as i64).contains(t))
+                .ok_or_else(|| Self::corrupt(user_id, "fingerprint time"))?;
+            fingerprints[t as usize] = match &row[1] {
+                Value::Null => None,
+                Value::Text(hex) => Some(Digest::from_hex(hex).ok_or_else(|| {
+                    Self::corrupt(user_id, "unparseable fingerprint hex")
+                })?),
+                other => {
+                    return Err(Self::corrupt(user_id, format!("fingerprint {other}")))
+                }
+            };
+        }
+
+        // Preference constraints, in insertion order.
+        let rs = self.db.execute(&format!(
+            "SELECT kind, lo, hi, body FROM jit_snapshot_constraints \
+             WHERE user_id = {id_lit} ORDER BY ord"
+        ))?;
+        let mut constraints = jit_constraints::ConstraintSet::new();
+        for row in &rs.rows {
+            let body = match &row[3] {
+                Value::Text(s) => s.as_str(),
+                other => {
+                    return Err(Self::corrupt(
+                        user_id,
+                        format!("constraint body {other}"),
+                    ))
+                }
+            };
+            let constraint = codec::decode_constraint(body)
+                .map_err(|e| Self::corrupt(user_id, e.to_string()))?;
+            let scope_int = |i: usize| {
+                row[i]
+                    .as_i64()
+                    .filter(|v| *v >= 0)
+                    .map(|v| v as usize)
+                    .ok_or_else(|| Self::corrupt(user_id, "constraint scope"))
+            };
+            match &row[0] {
+                Value::Text(kind) if kind == "all" => {
+                    constraints.add(constraint);
+                }
+                Value::Text(kind) if kind == "at" => {
+                    constraints.add_at(scope_int(1)?, constraint);
+                }
+                Value::Text(kind) if kind == "between" => {
+                    let (lo, hi) = (scope_int(1)?, scope_int(2)?);
+                    if lo > hi {
+                        return Err(Self::corrupt(user_id, "scope range order"));
+                    }
+                    constraints.add_between(lo, hi, constraint);
+                }
+                other => {
+                    return Err(Self::corrupt(user_id, format!("scope kind {other}")))
+                }
+            }
+        }
+
+        // Candidates with their profiles, in stored order.
+        let rs = self.db.execute(&format!(
+            "SELECT t, gap, diff, p FROM jit_snapshot_candidates \
+             WHERE user_id = {id_lit} ORDER BY ord"
+        ))?;
+        let profile_rows = self.db.execute(&format!(
+            "SELECT ord, v FROM jit_snapshot_candidate_profiles \
+             WHERE user_id = {id_lit} ORDER BY ord, idx"
+        ))?;
+        let mut candidate_profiles: Vec<Vec<f64>> = vec![Vec::new(); rs.rows.len()];
+        for row in &profile_rows.rows {
+            let ord = row[0]
+                .as_i64()
+                .filter(|o| (0..rs.rows.len() as i64).contains(o))
+                .ok_or_else(|| Self::corrupt(user_id, "candidate profile ord"))?;
+            let v = row[1]
+                .as_f64()
+                .ok_or_else(|| Self::corrupt(user_id, "candidate profile value"))?;
+            candidate_profiles[ord as usize].push(v);
+        }
+        if candidate_profiles.iter().any(|p| p.len() != self.schema.dim()) {
+            return Err(Self::corrupt(user_id, "candidate profile dimension"));
+        }
+        let mut candidates = Vec::with_capacity(rs.rows.len());
+        for (row, profile) in rs.rows.iter().zip(candidate_profiles) {
+            let int = |v: &Value, what: &'static str| {
+                v.as_i64()
+                    .filter(|v| *v >= 0)
+                    .map(|v| v as usize)
+                    .ok_or_else(|| Self::corrupt(user_id, what))
+            };
+            candidates.push(Candidate {
+                time_index: int(&row[0], "candidate time")?,
+                profile,
+                gap: int(&row[1], "candidate gap")?,
+                diff: row[2]
+                    .as_f64()
+                    .ok_or_else(|| Self::corrupt(user_id, "candidate diff"))?,
+                confidence: row[3]
+                    .as_f64()
+                    .ok_or_else(|| Self::corrupt(user_id, "candidate p"))?,
+            });
+        }
+
+        let request = UserRequest { profile, constraints, update_fn };
+        SessionSnapshot::from_parts(request, temporal_inputs, candidates, fingerprints)
+            .ok_or_else(|| Self::corrupt(user_id, "inconsistent snapshot shape"))
+            .map(Some)
+    }
+
+    fn remove(&self, user_id: &str) -> Result<bool, StoreError> {
+        let _guard = self.op_lock.lock();
+        let id_lit = Value::from(user_id).sql_literal();
+        let rs = self.db.execute(&format!(
+            "SELECT COUNT(*) FROM jit_snapshots WHERE user_id = {id_lit}"
+        ))?;
+        let existed = rs.scalar().and_then(|v| v.as_i64()).unwrap_or(0) > 0;
+        self.delete_user(&id_lit)?;
+        Ok(existed)
+    }
+
+    fn user_ids(&self) -> Result<Vec<String>, StoreError> {
+        let _guard = self.op_lock.lock();
+        let rs =
+            self.db.execute("SELECT user_id FROM jit_snapshots ORDER BY user_id")?;
+        rs.rows
+            .iter()
+            .map(|r| match &r[0] {
+                Value::Text(s) => Ok(s.clone()),
+                other => Err(StoreError::Corrupt {
+                    user_id: other.to_string(),
+                    detail: "non-text user id".to_string(),
+                }),
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,109 @@
+//! # jit-service
+//!
+//! The **one public serving front end** of the JustInTime reproduction:
+//! a typed request/response API over the `jit-core` serving engine, with
+//! pluggable snapshot stores and an in-process sharded dispatcher.
+//!
+//! ## Why this crate exists
+//!
+//! After the batch- and incremental-serving PRs, `jit-core` exposed
+//! three divergent ad-hoc entry points — [`JustInTime::session`],
+//! [`JustInTime::serve_batch`] and [`JustInTime::reserve_batch`] — with
+//! per-method error types, no user identity, no persistence and no
+//! multi-shard story. This crate redesigns that surface into a single
+//! contract:
+//!
+//! * [`ServeRequest`] — the four workloads a serving tier sees:
+//!   [`ServeRequest::NewUser`], [`ServeRequest::Batch`],
+//!   [`ServeRequest::Returning`] (snapshot provided inline) and
+//!   [`ServeRequest::Refresh`] (snapshot loaded *by user id* from the
+//!   service's store);
+//! * [`ServeResponse`] — the served sessions **in request order** plus a
+//!   [`ServeReport`] aggregating replay/recompute provenance per shard;
+//! * [`ServeError`] — one structured error enum for every entry point
+//!   (empty batch, duplicate/unknown user ids, per-user session errors
+//!   carrying the user id, store failures including snapshot/schema
+//!   mismatches). No panics, no stringly-typed errors.
+//!
+//! ## Request/response contract
+//!
+//! [`JitService::serve`] is all-or-nothing: either every user in the
+//! request is served and the response holds one [`ServedUser`] per
+//! request entry in request order, or the first failure (lowest request
+//! index) is returned and nothing is stored. Every successfully served
+//! session is snapshotted into the service's [`SnapshotStore`] under its
+//! user id before the response is returned, so the next
+//! [`ServeRequest::Refresh`] for that id replays whatever drift leaves
+//! untouched. Serving through the service is **bit-identical** to the
+//! legacy `jit-core` entry points (locked down by `tests/determinism.rs`
+//! at the workspace root).
+//!
+//! ## Snapshot stores
+//!
+//! [`SnapshotStore`] is the persistence seam: `save`/`load`/`remove`/
+//! `user_ids` keyed by user id, `&self` methods (implementations are
+//! internally synchronized) so per-shard stores can be driven from pool
+//! workers. Two backends ship:
+//!
+//! * [`MemorySnapshotStore`] — a `RwLock<HashMap>`; snapshots live as
+//!   long as the process. The default.
+//! * [`DbSnapshotStore`] — serializes every snapshot **through the
+//!   `jit-db` SQL engine** (INSERT/SELECT text, no side channel):
+//!   floats travel as lossless literals (`Value::sql_literal`),
+//!   fingerprints as [`jit_math::digest::Digest`] hex, constraint sets
+//!   and temporal update functions through an exact bit-preserving text
+//!   codec ([`codec`]). Because the backing [`jit_db::Database`] is the
+//!   durable medium, re-serves survive "process restarts": drop the
+//!   service and the trained system, re-open a store over the same
+//!   database, and [`ServeRequest::Refresh`] reproduces the original
+//!   re-serve bit-for-bit. Each snapshot records the schema's content
+//!   digest; loading under a different schema fails with
+//!   [`StoreError::SchemaMismatch`] instead of mis-replaying.
+//!
+//! ## Sharding semantics
+//!
+//! [`ShardedService`] routes cohorts across `N` in-process shard
+//! workers on the deterministic `jit-runtime` pool. Placement uses
+//! **consistent jump hashing** of the user id ([`shard_of`]): the same
+//! id always lands on the same shard (per-shard stores stay coherent),
+//! and growing `N` relocates only ~`1/N` of ids. Output is
+//! **bit-identical to a single-shard [`JitService`] for any shard
+//! count** — per-user serving is deterministic and shard-independent,
+//! and responses are reassembled in request order. The API is shaped so
+//! an OS-process backend can slot in behind the same [`ServeRequest`]
+//! later: shards communicate only via owned requests and snapshots.
+//!
+//! [`shard_of`]: ShardedService::shard_of
+//!
+//! ## Migrating from the old entry points
+//!
+//! | old (`jit-core`, still available as shims) | new |
+//! |---|---|
+//! | `system.session(profile, prefs, update)` | `service.serve(ServeRequest::new_user(id, request))` |
+//! | `system.serve_batch(&requests)` | `service.serve(ServeRequest::batch(members))` |
+//! | `system.reserve_batch(&returning)` | `service.serve(ServeRequest::returning(members))` |
+//! | hand-held `SessionSnapshot` values | `ServeRequest::refresh(ids)` against the store |
+//!
+//! The old methods remain thin shims over the same engine and stay
+//! bit-identical; new capabilities (typed errors, persistence, sharding,
+//! serve reports) only exist here.
+//!
+//! [`JustInTime::session`]: jit_core::JustInTime::session
+//! [`JustInTime::serve_batch`]: jit_core::JustInTime::serve_batch
+//! [`JustInTime::reserve_batch`]: jit_core::JustInTime::reserve_batch
+
+pub mod api;
+pub mod codec;
+pub mod db_store;
+pub mod service;
+pub mod sharded;
+pub mod store;
+
+pub use api::{
+    CohortMember, ReturningMember, ServeError, ServeReport, ServeRequest,
+    ServeResponse, ServedUser, ShardReport,
+};
+pub use db_store::DbSnapshotStore;
+pub use service::JitService;
+pub use sharded::ShardedService;
+pub use store::{MemorySnapshotStore, SnapshotStore, StoreError};

@@ -1,0 +1,218 @@
+//! The single-shard serving service.
+
+use crate::api::{
+    CohortMember, ReturningMember, ServeError, ServeReport, ServeRequest,
+    ServeResponse, ServedUser, ShardReport,
+};
+use crate::store::{MemorySnapshotStore, SnapshotStore};
+use jit_core::{
+    AdminConfig, JustInTime, ReturningUser, TimePointServe, TrainError, UserSession,
+};
+use jit_data::FeatureSchema;
+use jit_ml::Dataset;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// The serving service: a trained [`JustInTime`] system plus a
+/// [`SnapshotStore`], behind the typed [`ServeRequest`] /
+/// [`ServeResponse`] contract (see the crate docs).
+///
+/// Serving is bit-identical to the legacy `jit-core` entry points; what
+/// the service adds is user identity, automatic snapshot persistence,
+/// typed errors and the aggregate [`ServeReport`].
+pub struct JitService {
+    system: Arc<JustInTime>,
+    store: Arc<dyn SnapshotStore>,
+    /// Shard index stamped into reports (0 for standalone services; the
+    /// sharded dispatcher labels its workers).
+    shard_label: usize,
+}
+
+impl fmt::Debug for JitService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JitService")
+            .field("horizon", &self.system.config().horizon)
+            .field("shard_label", &self.shard_label)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JitService {
+    /// Wraps a trained system with the given snapshot store.
+    pub fn new(system: JustInTime, store: impl SnapshotStore + 'static) -> Self {
+        Self::with_shared(Arc::new(system), Arc::new(store))
+    }
+
+    /// Wraps an already-shared system and store (how [`crate::ShardedService`]
+    /// builds its shard workers).
+    pub fn with_shared(system: Arc<JustInTime>, store: Arc<dyn SnapshotStore>) -> Self {
+        JitService { system, store, shard_label: 0 }
+    }
+
+    /// A service over a fresh in-memory store.
+    pub fn in_memory(system: JustInTime) -> Self {
+        Self::new(system, MemorySnapshotStore::new())
+    }
+
+    /// Trains a system and wraps it — the one-call entry point.
+    ///
+    /// # Errors
+    /// The typed [`TrainError`] from [`JustInTime::train`].
+    pub fn train(
+        config: AdminConfig,
+        schema: &FeatureSchema,
+        slices: &[Dataset],
+        store: impl SnapshotStore + 'static,
+    ) -> Result<Self, TrainError> {
+        Ok(Self::new(JustInTime::train(config, schema, slices)?, store))
+    }
+
+    pub(crate) fn set_shard_label(&mut self, shard: usize) {
+        self.shard_label = shard;
+    }
+
+    /// The trained system (read access; retraining means building a new
+    /// service over the same store).
+    pub fn system(&self) -> &JustInTime {
+        &self.system
+    }
+
+    /// The shared handle to the system.
+    pub fn system_arc(&self) -> &Arc<JustInTime> {
+        &self.system
+    }
+
+    /// The snapshot store.
+    pub fn store(&self) -> &dyn SnapshotStore {
+        self.store.as_ref()
+    }
+
+    /// The shared handle to the store.
+    pub fn store_arc(&self) -> &Arc<dyn SnapshotStore> {
+        &self.store
+    }
+
+    /// Serves one request — the one public serving entry point.
+    ///
+    /// All-or-nothing; sessions come back in request order; every served
+    /// session's snapshot is stored under its user id before returning.
+    /// See the crate docs for the full contract.
+    ///
+    /// # Errors
+    /// The typed [`ServeError`] — never a panic: empty batches, duplicate
+    /// or unknown user ids, per-user session failures (tagged with the
+    /// user id) and store failures all surface as variants.
+    pub fn serve(
+        &self,
+        request: ServeRequest,
+    ) -> Result<ServeResponse<'_>, ServeError> {
+        check_user_ids(&request)?;
+        match request {
+            ServeRequest::NewUser(member) => self.serve_cohort(vec![member]),
+            ServeRequest::Batch(members) => self.serve_cohort(members),
+            ServeRequest::Returning(members) => self.reserve_cohort(members),
+            ServeRequest::Refresh(ids) => {
+                let members = ids
+                    .into_iter()
+                    .map(|user_id| {
+                        let prior = self
+                            .store
+                            .load(&user_id)?
+                            .ok_or_else(|| ServeError::UnknownUser(user_id.clone()))?;
+                        Ok(ReturningMember {
+                            user_id,
+                            returning: ReturningUser::unchanged(prior),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, ServeError>>()?;
+                self.reserve_cohort(members)
+            }
+        }
+    }
+
+    fn serve_cohort(
+        &self,
+        members: Vec<CohortMember>,
+    ) -> Result<ServeResponse<'_>, ServeError> {
+        let requests: Vec<jit_core::UserRequest> =
+            members.iter().map(|m| m.request.clone()).collect();
+        let sessions =
+            self.system.serve_batch(&requests).map_err(|e| ServeError::Session {
+                user_id: members[e.user].user_id.clone(),
+                error: e.error,
+            })?;
+        self.finish(members.into_iter().map(|m| m.user_id).collect(), sessions)
+    }
+
+    fn reserve_cohort(
+        &self,
+        members: Vec<ReturningMember>,
+    ) -> Result<ServeResponse<'_>, ServeError> {
+        let returning: Vec<ReturningUser> =
+            members.iter().map(|m| m.returning.clone()).collect();
+        let sessions =
+            self.system.reserve_batch(&returning).map_err(|e| ServeError::Session {
+                user_id: members[e.user].user_id.clone(),
+                error: e.error,
+            })?;
+        self.finish(members.into_iter().map(|m| m.user_id).collect(), sessions)
+    }
+
+    /// Stores snapshots and assembles the response + report.
+    fn finish<'a>(
+        &self,
+        user_ids: Vec<String>,
+        sessions: Vec<UserSession<'a>>,
+    ) -> Result<ServeResponse<'a>, ServeError> {
+        let mut shard = ShardReport {
+            shard: self.shard_label,
+            users: 0,
+            replayed_time_points: 0,
+            recomputed_time_points: 0,
+            cold_time_points: 0,
+        };
+        let mut users = Vec::with_capacity(sessions.len());
+        for (user_id, session) in user_ids.into_iter().zip(sessions) {
+            self.store.save(&user_id, &session.snapshot())?;
+            shard.users += 1;
+            match session.reserve_report() {
+                Some(report) => {
+                    for served in report {
+                        match served {
+                            TimePointServe::Replayed => shard.replayed_time_points += 1,
+                            TimePointServe::Recomputed => {
+                                shard.recomputed_time_points += 1
+                            }
+                        }
+                    }
+                }
+                None => shard.cold_time_points += session.temporal_inputs().len(),
+            }
+            users.push(ServedUser { user_id, session });
+        }
+        let report = ServeReport {
+            users: shard.users,
+            replayed_time_points: shard.replayed_time_points,
+            recomputed_time_points: shard.recomputed_time_points,
+            cold_time_points: shard.cold_time_points,
+            shards: vec![shard],
+        };
+        Ok(ServeResponse { users, report })
+    }
+}
+
+/// Shared request validation: batch variants must be non-empty and user
+/// ids unique within one request.
+pub(crate) fn check_user_ids(request: &ServeRequest) -> Result<(), ServeError> {
+    if request.is_empty() {
+        return Err(ServeError::EmptyBatch);
+    }
+    let mut seen = HashSet::new();
+    for id in request.user_ids() {
+        if !seen.insert(id) {
+            return Err(ServeError::DuplicateUser(id.to_string()));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,237 @@
+//! Property tests for snapshot persistence: a `SessionSnapshot` pushed
+//! through a [`SnapshotStore`] (both backends) and loaded back must
+//! re-serve **bit-identically** to reserving from the original in-memory
+//! snapshot — under no drift and partial drift, for 1/2/8 worker
+//! threads and both batch policies.
+//!
+//! This is the end-to-end guarantee the store stack (lossless jit-db
+//! float literals, digest hex, the exact constraint/update-fn codec)
+//! exists to provide; any lossy byte anywhere breaks fingerprint
+//! equality and shows up here as a spurious recompute or a diverging
+//! candidate bit pattern.
+
+use jit_core::{
+    AdminConfig, BatchParallelism, JustInTime, ReturningUser, TimePointServe,
+    UserRequest, UserSession,
+};
+use jit_data::{FeatureSchema, LendingClubGenerator, LendingClubParams};
+use jit_ml::{Dataset, RandomForestParams};
+use jit_service::{DbSnapshotStore, MemorySnapshotStore, SnapshotStore};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn systems() -> &'static Vec<(usize, BatchParallelism, JustInTime)> {
+    static SYSTEMS: OnceLock<Vec<(usize, BatchParallelism, JustInTime)>> =
+        OnceLock::new();
+    SYSTEMS.get_or_init(|| {
+        let gen = LendingClubGenerator::new(LendingClubParams {
+            records_per_year: 120,
+            ..Default::default()
+        });
+        let slices: Vec<Dataset> = gen
+            .years()
+            .into_iter()
+            .take(4)
+            .map(|y| LendingClubGenerator::to_dataset(&gen.records_for_year(y)))
+            .collect();
+        let mut out = Vec::new();
+        for policy in [BatchParallelism::PerUser, BatchParallelism::PerTimePoint] {
+            for threads in THREAD_COUNTS {
+                let config = AdminConfig {
+                    horizon: 2,
+                    threads,
+                    batch_threads: threads,
+                    batch_parallelism: policy,
+                    future: jit_temporal::future::FutureModelsParams {
+                        n_landmarks: 20,
+                        pool_slices: 2,
+                        forest: RandomForestParams { n_trees: 6, ..Default::default() },
+                        ..Default::default()
+                    },
+                    candidates: jit_core::CandidateParams {
+                        beam_width: 4,
+                        max_iters: 3,
+                        top_k: 4,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                };
+                let system = JustInTime::train(config, gen.schema(), &slices)
+                    .expect("property fixture trains");
+                out.push((threads, policy, system));
+            }
+        }
+        out
+    })
+}
+
+fn schema() -> &'static FeatureSchema {
+    static SCHEMA: OnceLock<FeatureSchema> = OnceLock::new();
+    SCHEMA.get_or_init(FeatureSchema::lending_club)
+}
+
+type Print = Vec<(usize, Vec<u64>, u64, u64)>;
+
+fn print(session: &UserSession<'_>) -> Print {
+    session
+        .candidates()
+        .iter()
+        .map(|c| {
+            (
+                c.time_index,
+                c.profile.iter().map(|v| v.to_bits()).collect(),
+                c.diff.to_bits(),
+                c.confidence.to_bits(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn stored_snapshots_reserve_bit_identically_to_in_memory_ones(
+        income_cap in 50_000.0f64..120_000.0,
+        debt_floor in 0.0f64..100.0,
+        drift_t in 0usize..3,
+    ) {
+        use jit_constraints::builder::{feature, gap};
+        for (threads, policy, system) in systems() {
+            // A request with preferences whose constants exercise the
+            // codec's float path (arbitrary f64s from the strategy).
+            let request = system
+                .session_builder(&LendingClubGenerator::john())
+                .constraint(feature("income").le(income_cap))
+                .constraint(feature("debt").ge(debt_floor))
+                .override_feature(
+                    "debt",
+                    jit_temporal::update::Override::Trajectory(
+                        vec![debt_floor + 1_000.0, debt_floor],
+                    ),
+                )
+                .build();
+            let cold = system
+                .serve_batch(std::slice::from_ref(&request))
+                .expect("cold serve");
+            let snapshot = cold[0].snapshot();
+
+            let memory = MemorySnapshotStore::new();
+            let db = DbSnapshotStore::in_new_database(schema()).expect("open");
+            memory.save("u", &snapshot).expect("memory save");
+            db.save("u", &snapshot).expect("db save");
+
+            for store in [&memory as &dyn SnapshotStore, &db] {
+                let loaded = store.load("u").expect("load").expect("stored");
+
+                // No drift: both replay fully and match bit-for-bit.
+                let from_memory = system
+                    .reserve(&ReturningUser::unchanged(snapshot.clone()))
+                    .expect("reserve in-memory");
+                let from_store = system
+                    .reserve(&ReturningUser::unchanged(loaded.clone()))
+                    .expect("reserve loaded");
+                prop_assert_eq!(
+                    print(&from_store),
+                    print(&from_memory),
+                    "no-drift divergence (threads={}, policy={:?})",
+                    threads,
+                    policy
+                );
+                prop_assert!(from_store
+                    .reserve_report()
+                    .expect("reserved")
+                    .iter()
+                    .all(|o| *o == TimePointServe::Replayed));
+
+                // Partial drift: a new preference at one time point;
+                // that point recomputes, the rest replay — identically
+                // from the stored and in-memory snapshots.
+                let drifted_request = {
+                    let mut r = request.clone();
+                    r.constraints.add_at(drift_t, gap().le(1.0));
+                    r
+                };
+                let warm_memory = system
+                    .reserve(&ReturningUser::with_request(
+                        snapshot.clone(),
+                        drifted_request.clone(),
+                    ))
+                    .expect("partial reserve in-memory");
+                let warm_store = system
+                    .reserve(&ReturningUser::with_request(
+                        loaded,
+                        drifted_request.clone(),
+                    ))
+                    .expect("partial reserve loaded");
+                prop_assert_eq!(
+                    print(&warm_store),
+                    print(&warm_memory),
+                    "partial-drift divergence (threads={}, policy={:?})",
+                    threads,
+                    policy
+                );
+                prop_assert_eq!(
+                    warm_store.reserve_report(),
+                    warm_memory.reserve_report()
+                );
+                let report = warm_store.reserve_report().expect("reserved");
+                prop_assert_eq!(report[drift_t], TimePointServe::Recomputed);
+                prop_assert_eq!(
+                    report
+                        .iter()
+                        .filter(|o| **o == TimePointServe::Replayed)
+                        .count(),
+                    report.len() - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn store_round_trip_preserves_every_snapshot_byte(
+        bump in 0u64..u64::MAX,
+    ) {
+        // Direct store round-trip on a snapshot with adversarial floats
+        // in the request (bit-pattern probing beyond what real serves
+        // produce): save -> load must preserve profile/input/candidate
+        // bits, fingerprints and constraint digests exactly.
+        let (_, _, system) = &systems()[0];
+        let mut profile = LendingClubGenerator::john();
+        // Perturb one coordinate by an arbitrary ULP pattern within
+        // schema bounds (keep it finite and in range).
+        profile[2] = 46_000.0 + (bump % 1_000) as f64 + 0.1 + 0.2;
+        let request = UserRequest::new(profile);
+        let cold = system
+            .serve_batch(std::slice::from_ref(&request))
+            .expect("cold serve");
+        let snapshot = cold[0].snapshot();
+
+        let db = DbSnapshotStore::in_new_database(schema()).expect("open");
+        db.save("u", &snapshot).expect("save");
+        let loaded = db.load("u").expect("load").expect("stored");
+
+        prop_assert_eq!(loaded.fingerprints(), snapshot.fingerprints());
+        let bits = |rows: &[Vec<f64>]| -> Vec<Vec<u64>> {
+            rows.iter()
+                .map(|r| r.iter().map(|v| v.to_bits()).collect())
+                .collect()
+        };
+        prop_assert_eq!(
+            bits(loaded.temporal_inputs()),
+            bits(snapshot.temporal_inputs())
+        );
+        prop_assert_eq!(
+            bits(std::slice::from_ref(&loaded.request.profile)),
+            bits(std::slice::from_ref(&snapshot.request.profile))
+        );
+        prop_assert_eq!(loaded.candidates().len(), snapshot.candidates().len());
+        for (a, b) in loaded.candidates().iter().zip(snapshot.candidates()) {
+            prop_assert_eq!(a.time_index, b.time_index);
+            prop_assert_eq!(a.diff.to_bits(), b.diff.to_bits());
+            prop_assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+        }
+    }
+}

@@ -51,6 +51,40 @@ impl TemporalUpdateFn {
         self
     }
 
+    /// The per-feature temporal specs currently in effect (schema
+    /// defaults, before overrides), indexed like the schema.
+    pub fn specs(&self) -> &[TemporalSpec] {
+        &self.specs
+    }
+
+    /// The per-feature overrides, indexed like the schema (`None` =
+    /// schema default applies).
+    pub fn overrides(&self) -> &[Option<Override>] {
+        &self.overrides
+    }
+
+    /// The schema this update function was built against.
+    pub fn schema(&self) -> &FeatureSchema {
+        &self.schema
+    }
+
+    /// Rebuilds an update function from its parts — the inverse of
+    /// [`TemporalUpdateFn::specs`] / [`TemporalUpdateFn::overrides`],
+    /// used by snapshot stores to round-trip persisted sessions.
+    ///
+    /// Returns `None` when the part lengths do not match the schema
+    /// dimension.
+    pub fn from_parts(
+        schema: &FeatureSchema,
+        specs: Vec<TemporalSpec>,
+        overrides: Vec<Option<Override>>,
+    ) -> Option<Self> {
+        if specs.len() != schema.dim() || overrides.len() != schema.dim() {
+            return None;
+        }
+        Some(TemporalUpdateFn { specs, overrides, schema: schema.clone() })
+    }
+
     /// The profile `x` projected `t` time steps into the future,
     /// sanitized into the schema's domains (ordinals rounded, bounds
     /// clamped).

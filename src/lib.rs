@@ -38,33 +38,35 @@
 //!     println!("{insight}");
 //! }
 //!
-//! // 5. Serving at scale: batch whole cohorts through the amortized
-//! //    serving layer — bit-identical to serial sessions, for any
-//! //    thread count (see `examples/batch_serving.rs`).
+//! // 5. Serving at scale: the jit-service front end is the one public
+//! //    serving surface — typed requests/errors, snapshot stores, and
+//! //    an in-process sharded dispatcher (bit-identical to the legacy
+//! //    entry points above; see `examples/service_front_end.rs`).
+//! let service = JitService::in_memory(system);
 //! let cohort = vec![
-//!     UserRequest::new(LendingClubGenerator::john()),
-//!     system
-//!         .session_builder(&LendingClubGenerator::john())
-//!         .constraint(gap().le(2.0))
-//!         .build(),
+//!     CohortMember::new("john", UserRequest::new(LendingClubGenerator::john())),
+//!     CohortMember::new(
+//!         "jane",
+//!         service
+//!             .system()
+//!             .session_builder(&LendingClubGenerator::john())
+//!             .constraint(gap().le(2.0))
+//!             .build(),
+//!     ),
 //! ];
-//! let sessions = system.serve_batch(&cohort).unwrap();
-//! for session in &sessions {
-//!     println!("{} candidates", session.candidates().len());
+//! let response = service.serve(ServeRequest::batch(cohort)).unwrap();
+//! for user in &response.users {
+//!     println!("{}: {} candidates", user.user_id, user.session.candidates().len());
 //! }
 //!
-//! // 6. Returning users: snapshot sessions, and when users come back —
-//! //    after any amount of retraining — re-serve them incrementally.
-//! //    Time points whose fingerprints are unchanged replay from the
-//! //    snapshot; only drifted ones recompute (bit-identical to a cold
-//! //    serve; see `examples/returning_user.rs`).
-//! let snapshots: Vec<SessionSnapshot> =
-//!     sessions.iter().map(UserSession::snapshot).collect();
-//! let returning: Vec<ReturningUser> =
-//!     snapshots.into_iter().map(ReturningUser::unchanged).collect();
-//! for refreshed in system.reserve_batch(&returning).unwrap() {
-//!     println!("{:?}", refreshed.reserve_report().unwrap());
-//! }
+//! // 6. Returning users: every served session was snapshotted into the
+//! //    service's store, so when users come back — after any amount of
+//! //    retraining — refresh them by id. Time points whose fingerprints
+//! //    are unchanged replay from the stored snapshot; only drifted
+//! //    ones recompute (bit-identical to a cold serve; persist the
+//! //    store through jit-db via `DbSnapshotStore` to survive restarts).
+//! let refreshed = service.serve(ServeRequest::refresh(["john", "jane"])).unwrap();
+//! println!("{}", refreshed.report);
 //! ```
 //!
 //! ## Crate map
@@ -79,6 +81,7 @@
 //! | [`jit_temporal`] | temporal update fns, EDD future-model prediction |
 //! | [`jit_db`] | in-memory SQL engine (Figure 2 queries run verbatim) |
 //! | [`jit_core`] | timeline-aware candidates search, canned queries, insights, pipeline, batch + incremental serving |
+//! | [`jit_service`] | the serving front end: typed request/response API, snapshot stores, sharded dispatcher |
 
 pub use jit_constraints;
 pub use jit_core;
@@ -87,6 +90,7 @@ pub use jit_db;
 pub use jit_math;
 pub use jit_ml;
 pub use jit_runtime;
+pub use jit_service;
 pub use jit_temporal;
 
 /// One-stop imports for applications.
@@ -106,6 +110,11 @@ pub mod prelude {
     pub use jit_db::{Database, ResultSet, Value};
     pub use jit_math::digest::{Digest, DigestWriter};
     pub use jit_ml::{Dataset, Model, RandomForest, RandomForestParams};
+    pub use jit_service::{
+        CohortMember, DbSnapshotStore, JitService, MemorySnapshotStore,
+        ReturningMember, ServeError, ServeReport, ServeRequest, ServeResponse,
+        ServedUser, ShardReport, ShardedService, SnapshotStore, StoreError,
+    };
     pub use jit_temporal::future::{FutureModelsParams, FuturePredictor};
     pub use jit_temporal::update::{Override, TemporalUpdateFn};
 }

@@ -383,6 +383,179 @@ fn reserve_batch_is_bit_identical_to_cold_serve_under_drift() {
     }
 }
 
+// ---------------------------------------------------------------------
+// 1d. The service front end: ShardedService ≡ JitService ≡ the legacy
+//     serve_batch/reserve_batch paths, for any shard count, thread
+//     count and batch policy; persisted snapshots reproduce re-serves
+//     after the in-memory system is gone
+// ---------------------------------------------------------------------
+
+use std::sync::Arc;
+
+fn service_cohort() -> Vec<CohortMember> {
+    batch_cohort()
+        .into_iter()
+        .enumerate()
+        .map(|(i, request)| CohortMember::new(format!("user-{i}"), request))
+        .collect()
+}
+
+#[test]
+fn sharded_service_is_bit_identical_to_single_shard_and_legacy_paths() {
+    let (schema, slices) = lending_slices(120, 4);
+    let members = service_cohort();
+    let requests: Vec<UserRequest> =
+        members.iter().map(|m| m.request.clone()).collect();
+
+    // Reference: the legacy batch path on a serially-configured system.
+    let reference_system =
+        JustInTime::train(batch_config(1, BatchParallelism::PerUser), &schema, &slices)
+            .expect("train");
+    let reference: Vec<SessionFingerprint> = reference_system
+        .serve_batch(&requests)
+        .expect("legacy serve_batch")
+        .iter()
+        .map(fingerprint)
+        .collect();
+    assert!(reference.iter().all(|s| !s.is_empty()), "fixture must yield candidates");
+
+    for policy in [BatchParallelism::PerUser, BatchParallelism::PerTimePoint] {
+        for threads in [1usize, 2, 8] {
+            let system =
+                JustInTime::train(batch_config(threads, policy), &schema, &slices)
+                    .expect("train");
+            let system = Arc::new(system);
+
+            // Single service == legacy path.
+            let service = JitService::with_shared(
+                Arc::clone(&system),
+                Arc::new(MemorySnapshotStore::new()),
+            );
+            let response = service
+                .serve(ServeRequest::batch(members.clone()))
+                .expect("service serve");
+            let service_prints: Vec<SessionFingerprint> =
+                response.users.iter().map(|u| fingerprint(&u.session)).collect();
+            assert_eq!(
+                service_prints, reference,
+                "JitService diverged (threads={threads} policy={policy:?})"
+            );
+            drop(response);
+
+            // Sharded == single shard, for every shard count.
+            for shards in [1usize, 2, 4, 8] {
+                let sharded = ShardedService::from_shared(
+                    Arc::clone(&system),
+                    shards,
+                    threads,
+                    |_| Arc::new(MemorySnapshotStore::new()),
+                );
+                let response = sharded
+                    .serve(ServeRequest::batch(members.clone()))
+                    .expect("sharded serve");
+                let prints: Vec<SessionFingerprint> =
+                    response.users.iter().map(|u| fingerprint(&u.session)).collect();
+                assert_eq!(
+                    prints, reference,
+                    "ShardedService diverged (shards={shards} threads={threads} \
+                     policy={policy:?})"
+                );
+                // Request order is preserved exactly.
+                let ids: Vec<&str> =
+                    response.users.iter().map(|u| u.user_id.as_str()).collect();
+                assert_eq!(ids, vec!["user-0", "user-1", "user-2"]);
+
+                // And the refresh path (per-shard snapshot stores) is
+                // bit-identical to the legacy reserve_batch.
+                let refreshed = sharded
+                    .serve(ServeRequest::refresh(
+                        members.iter().map(|m| m.user_id.clone()),
+                    ))
+                    .expect("sharded refresh");
+                let warm_prints: Vec<SessionFingerprint> =
+                    refreshed.users.iter().map(|u| fingerprint(&u.session)).collect();
+                assert_eq!(
+                    warm_prints, reference,
+                    "sharded refresh diverged (shards={shards} threads={threads})"
+                );
+                assert_eq!(
+                    refreshed.report.replayed_time_points,
+                    3 * requests.len(),
+                    "no drift: every time point replays"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn db_persisted_snapshots_reproduce_the_reserve_after_the_system_is_dropped() {
+    let (schema, slices) = lending_slices(120, 5);
+    let members = service_cohort();
+    let config = batch_config(2, BatchParallelism::PerUser);
+
+    // First life: train, serve through a jit-db-backed store, record
+    // the in-memory reserve under drift (retrain on extended history).
+    let databases: Vec<Arc<Database>> =
+        (0..2).map(|_| Arc::new(Database::new())).collect();
+    let reference_warm: Vec<SessionFingerprint>;
+    {
+        let before = JustInTime::train(config.clone(), &schema, &slices[..4])
+            .expect("train before");
+        let sharded = ShardedService::new(before, 2, 2, |shard| {
+            Arc::new(
+                DbSnapshotStore::open(Arc::clone(&databases[shard]), &schema)
+                    .expect("open store"),
+            )
+        });
+        let first =
+            sharded.serve(ServeRequest::batch(members.clone())).expect("first visit");
+        let snapshots: Vec<SessionSnapshot> =
+            first.users.iter().map(|u| u.session.snapshot()).collect();
+        drop(first);
+        drop(sharded);
+
+        // The drifted system the users will return to.
+        let after =
+            JustInTime::train(config.clone(), &schema, &slices).expect("train after");
+        let returning: Vec<ReturningUser> =
+            snapshots.into_iter().map(ReturningUser::unchanged).collect();
+        reference_warm = after
+            .reserve_batch(&returning)
+            .expect("in-memory reserve")
+            .iter()
+            .map(fingerprint)
+            .collect();
+        // `before`, `after`, every snapshot and store: all dropped here.
+    }
+
+    // Second life: only the databases survived. Re-open stores, refresh
+    // by id on the drifted system — must equal the in-memory reserve.
+    let after = JustInTime::train(config, &schema, &slices).expect("retrain after");
+    let sharded = ShardedService::new(after, 2, 2, |shard| {
+        Arc::new(
+            DbSnapshotStore::open(Arc::clone(&databases[shard]), &schema)
+                .expect("re-open store"),
+        )
+    });
+    let refreshed = sharded
+        .serve(ServeRequest::refresh(members.iter().map(|m| m.user_id.clone())))
+        .expect("refresh from persisted snapshots");
+    let warm_prints: Vec<SessionFingerprint> =
+        refreshed.users.iter().map(|u| fingerprint(&u.session)).collect();
+    assert_eq!(
+        warm_prints, reference_warm,
+        "persisted snapshots must reproduce the in-memory re-serve exactly"
+    );
+    // Full drift: every time point recomputed, none replayed.
+    assert_eq!(refreshed.report.replayed_time_points, 0);
+    assert_eq!(
+        refreshed.report.recomputed_time_points,
+        3 * members.len(),
+        "retraining on extended history drifts every model"
+    );
+}
+
 #[test]
 fn runtime_parallel_map_matches_serial_with_forked_streams() {
     // The contract in miniature: fork first, then map.

@@ -119,4 +119,45 @@ fn prelude_surface_end_to_end() {
     let counted: ResultSet =
         session.sql("SELECT COUNT(*) FROM candidates").expect("session SQL runs");
     assert_eq!(counted.len(), 1);
+    drop(session);
+
+    // ---- jit_service: JitService, ShardedService, ServeRequest/Response,
+    // CohortMember/ReturningMember, stores, typed errors ------------------
+    let db_store: DbSnapshotStore =
+        DbSnapshotStore::in_new_database(schema).expect("snapshot store opens");
+    let service: JitService = JitService::new(system, db_store);
+    let member = CohortMember::new("john", UserRequest::new(john.clone()));
+    let response: ServeResponse<'_> =
+        service.serve(ServeRequest::batch([member])).expect("service serves");
+    let served: &ServedUser<'_> = &response.users[0];
+    assert_eq!(served.user_id, "john");
+    let report: &ServeReport = &response.report;
+    let shard_report: ShardReport = report.shards[0];
+    assert_eq!((report.users, shard_report.shard), (1, 0));
+
+    let returning = ReturningMember::new(
+        "john",
+        ReturningUser::unchanged(served.session.snapshot()),
+    );
+    let inline =
+        service.serve(ServeRequest::returning([returning])).expect("returning");
+    assert_eq!(inline.report.recomputed_time_points, 0);
+    let refreshed: ServeResponse<'_> =
+        service.serve(ServeRequest::refresh(["john"])).expect("refresh by id");
+    assert_eq!(refreshed.report.replayed_time_points, 3);
+
+    let err: ServeError = service.serve(ServeRequest::Batch(vec![])).unwrap_err();
+    assert!(matches!(err, ServeError::EmptyBatch));
+    let store: &dyn SnapshotStore = service.store();
+    assert_eq!(store.user_ids().expect("listable"), vec!["john"]);
+    let memory: MemorySnapshotStore = MemorySnapshotStore::new();
+    let missing: Result<_, StoreError> = memory.load("nobody");
+    assert!(missing.expect("memory load").is_none());
+
+    let sharded: ShardedService =
+        ShardedService::from_shared(service.system_arc().clone(), 2, 1, |_| {
+            std::sync::Arc::new(MemorySnapshotStore::new())
+        });
+    assert_eq!(sharded.shard_count(), 2);
+    assert!(sharded.shard_of("john") < 2);
 }
