@@ -4,9 +4,10 @@
 //! Times the hot-path workloads the perf acceptance criteria track —
 //! models-generator training (`future_models`), the end-to-end pipeline
 //! (`pipeline`), the candidates search (`candidates`), multi-user
-//! serving (`serve`) and returning-user re-serving under the fingerprint
-//! diff (`reserve`, no-drift and 25%-drift cohorts) — and prints one
-//! JSON object to stdout, so snapshots are reproducible with:
+//! serving (`serve`), returning-user re-serving under the fingerprint
+//! diff (`reserve`, no-drift and 25%-drift cohorts) and the TCP serving
+//! tier under a closed-loop load burst (`net`) — and prints one JSON
+//! object to stdout, so snapshots are reproducible with:
 //!
 //! ```text
 //! cargo run --release -p jit-bench --bin perf_snapshot            # full
@@ -39,6 +40,8 @@ use jit_bench::{
 use jit_core::JustInTime;
 use jit_data::LendingClubGenerator;
 use jit_ml::{Dataset, RandomForestParams};
+use jit_service::loadgen::{self, LoadMode, LoadPlan};
+use jit_service::net::{NetServer, NetServerConfig, ServeBackend};
 use jit_service::{
     CohortMember, DbSnapshotStore, JitService, MemorySnapshotStore, ServeRequest,
     ShardedService,
@@ -429,6 +432,30 @@ fn main() {
         black_box(warm.report.replayed_time_points);
     });
     entries.push((format!("service/db_refresh_{n}xT{}", scale.horizon), mean, min));
+
+    // --- net: the TCP serving tier under a closed-loop burst ------------
+    // The in-process sharded dispatcher behind the real wire protocol on
+    // loopback: each rep drives 2 connections × 2 rounds of 4-user
+    // batches (16 users) through framing, admission control and dispatch
+    // end to end. (The OS-process backend needs the jit-shardd binary,
+    // which a bench bin cannot assume is built; the wire + queue + TCP
+    // cost this entry tracks is identical either way.)
+    let net_backend: Arc<dyn ServeBackend> =
+        Arc::new(ShardedService::from_shared(Arc::clone(&system_arc), 2, 0, |_| {
+            Arc::new(MemorySnapshotStore::new())
+        }));
+    let server =
+        NetServer::bind(net_backend, "127.0.0.1:0", NetServerConfig::default())
+            .expect("bind loopback");
+    let plan =
+        LoadPlan { connections: 2, rounds: 2, cohort: 4, mode: LoadMode::Closed };
+    let (mean, min) = time_ms(scale.reps, || {
+        let report = loadgen::run(server.addr(), &schema, &plan).expect("load run");
+        assert_eq!(report.failed + report.shed, 0, "loopback burst must not fail");
+        black_box(report.users_served);
+    });
+    entries.push((format!("net/loadgen_16xT{}", scale.horizon), mean, min));
+    server.shutdown();
 
     // --- JSON out -------------------------------------------------------
     let threads = std::thread::available_parallelism().map_or(1, usize::from);

@@ -213,6 +213,57 @@ impl Runtime {
     }
 }
 
+/// Maps `f` over `0..n` on **dedicated OS threads** — one per task — and
+/// returns results in task order.
+///
+/// This is the I/O fan-out primitive, not a compute pool: the chunked
+/// [`Runtime::parallel_map`] assumes tasks burn CPU and would head-of-line
+/// block when a task parks in a blocking syscall (a shard RPC waiting on a
+/// pipe, a socket read). Here every task gets its own thread, so one slow
+/// peer never delays the others. `n` is expected to be small (shard
+/// counts, connection counts) — callers with thousands of tasks want the
+/// pool, not this.
+///
+/// Semantics match `parallel_map` where they overlap: results are
+/// index-addressed, `n <= 1` runs inline, and a panicking task resurfaces
+/// on the caller after the remaining tasks finish.
+pub fn blocking_map<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![f(0)];
+    }
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .zip(results.iter_mut())
+            .map(|(i, slot)| {
+                let f = &f;
+                scope.spawn(move || *slot = Some(f(i)))
+            })
+            .collect();
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every blocking task produced a result"))
+        .collect()
+}
+
 /// Forks `n` independent child RNG streams from `parent`, in task order.
 ///
 /// This is step 1 of the determinism contract: call it on the dispatching
@@ -343,6 +394,33 @@ mod tests {
         }
         // The caller's thread is not a worker.
         assert!(!in_pool_worker());
+    }
+
+    #[test]
+    fn blocking_map_is_order_preserving_and_truly_concurrent() {
+        assert_eq!(blocking_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(blocking_map(1, |i| i + 3), vec![3]);
+        // All tasks must be in flight at once: each blocks until every
+        // other has started, which only terminates with one thread per
+        // task (a chunked pool would deadlock here).
+        let n = 6;
+        let barrier = std::sync::Barrier::new(n);
+        let out = blocking_map(n, |i| {
+            barrier.wait();
+            i * 2
+        });
+        assert_eq!(out, (0..n).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "blocking task panic bubbles")]
+    fn blocking_map_propagates_panics() {
+        blocking_map(4, |i| {
+            if i == 2 {
+                panic!("blocking task panic bubbles");
+            }
+            i
+        });
     }
 
     #[test]

@@ -214,8 +214,40 @@ pub enum ServeError {
         error: SessionError,
     },
     /// The snapshot store failed (I/O-level failure, corrupt rows, or a
-    /// snapshot recorded under a different feature schema).
-    Store(StoreError),
+    /// snapshot recorded under a different feature schema). When the
+    /// failure happened while loading or saving a specific user's
+    /// snapshot, `user_id` names that user — so a store dying *mid-batch*
+    /// is attributed to the first request entry it failed on, exactly
+    /// like a per-user [`ServeError::Session`] failure.
+    Store {
+        /// The user whose load/save failed, when attributable.
+        user_id: Option<String>,
+        /// The underlying store error.
+        error: StoreError,
+    },
+    /// The serving tier's admission queue was full: the request was shed
+    /// instead of queued. Load shedding is typed and immediate — an
+    /// overloaded server answers `Overloaded`, it never hangs the caller.
+    Overloaded {
+        /// The queue capacity that was exceeded.
+        capacity: usize,
+    },
+    /// A shard worker process failed mid-request (crashed, was killed, or
+    /// its pipe closed). The supervisor marks the shard dead and respawns
+    /// it on next use; the in-flight request fails with this error,
+    /// attributed to the earliest affected user in request order.
+    Shard {
+        /// Index of the failed shard.
+        shard: usize,
+        /// The earliest affected user, in request order.
+        user_id: String,
+        /// What the supervisor observed (broken pipe, early EOF, ...).
+        detail: String,
+    },
+    /// The transport layer failed: connection I/O errors, malformed,
+    /// truncated or oversized frames. Protocol failures are typed, never
+    /// panics — a desynchronized connection is closed after reporting.
+    Transport(String),
 }
 
 impl fmt::Display for ServeError {
@@ -231,7 +263,21 @@ impl fmt::Display for ServeError {
             ServeError::Session { user_id, error } => {
                 write!(f, "serving user {user_id:?} failed: {error}")
             }
-            ServeError::Store(e) => write!(f, "snapshot store failure: {e}"),
+            ServeError::Store { user_id: Some(id), error } => {
+                write!(f, "snapshot store failure for user {id:?}: {error}")
+            }
+            ServeError::Store { user_id: None, error } => {
+                write!(f, "snapshot store failure: {error}")
+            }
+            ServeError::Overloaded { capacity } => {
+                write!(f, "admission queue full ({capacity} pending): request shed")
+            }
+            ServeError::Shard { shard, user_id, detail } => {
+                write!(f, "shard {shard} failed serving user {user_id:?}: {detail}")
+            }
+            ServeError::Transport(detail) => {
+                write!(f, "transport failure: {detail}")
+            }
         }
     }
 }
@@ -240,14 +286,14 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Session { error, .. } => Some(error),
-            ServeError::Store(e) => Some(e),
+            ServeError::Store { error, .. } => Some(error),
             _ => None,
         }
     }
 }
 
 impl From<StoreError> for ServeError {
-    fn from(e: StoreError) -> Self {
-        ServeError::Store(e)
+    fn from(error: StoreError) -> Self {
+        ServeError::Store { user_id: None, error }
     }
 }

@@ -88,6 +88,32 @@
 //! bit-identical; new capabilities (typed errors, persistence, sharding,
 //! serve reports) only exist here.
 //!
+//! ## The networked tier
+//!
+//! Three modules extend the same contract across process and machine
+//! boundaries without changing a single served byte:
+//!
+//! * [`wire`] — the std-only length-prefixed binary protocol: exact
+//!   f64-bits encoding, typed [`wire::WireError`]s for malformed /
+//!   truncated / oversized frames (never panics), and the
+//!   shard-count-invariant [`wire::WireResponse`] whose canonical bytes
+//!   ([`wire::response_bytes`]) are the determinism comparison basis.
+//! * [`net`] — [`NetServer`] (TCP ingress + bounded admission queue
+//!   with typed [`ServeError::Overloaded`] load shedding) and
+//!   [`NetClient`], over any [`ServeBackend`].
+//! * [`supervisor`] — [`ProcessShardBackend`]: one `jit-shardd` worker
+//!   *process* per shard, trained deterministically from a wire-carried
+//!   [`TrainSpec`], supervised with detect-on-use failure handling and
+//!   lazy respawn; snapshot stores stay in the supervisor so a killed
+//!   shard loses nothing.
+//! * [`loadgen`] — closed-/open-loop load generation (the `jit-loadgen`
+//!   bin and the perf gate's network workload).
+//!
+//! The stack composes: `NetClient → NetServer → ProcessShardBackend →
+//! N × jit-shardd`, and every layer is bit-identical to calling
+//! [`JitService::serve`] directly (`tests/determinism.rs`) with every
+//! failure mode typed (`tests/net_failures.rs`).
+//!
 //! [`JustInTime::session`]: jit_core::JustInTime::session
 //! [`JustInTime::serve_batch`]: jit_core::JustInTime::serve_batch
 //! [`JustInTime::reserve_batch`]: jit_core::JustInTime::reserve_batch
@@ -95,15 +121,26 @@
 pub mod api;
 pub mod codec;
 pub mod db_store;
+pub mod loadgen;
+pub mod net;
 pub mod service;
 pub mod sharded;
 pub mod store;
+pub mod supervisor;
+pub mod wire;
 
 pub use api::{
     CohortMember, ReturningMember, ServeError, ServeReport, ServeRequest,
     ServeResponse, ServedUser, ShardReport,
 };
 pub use db_store::DbSnapshotStore;
+pub use loadgen::{LoadMode, LoadPlan, LoadReport};
+pub use net::{NetClient, NetServer, NetServerConfig, ServeBackend, ServerStats};
 pub use service::JitService;
-pub use sharded::ShardedService;
-pub use store::{MemorySnapshotStore, SnapshotStore, StoreError};
+pub use sharded::{shard_index, ShardedService};
+pub use store::{MemorySnapshotStore, NullSnapshotStore, SnapshotStore, StoreError};
+pub use supervisor::{
+    locate_shardd, DataSpec, ProcessShardBackend, ProcessShardConfig, ShardHealth,
+    TrainSpec,
+};
+pub use wire::{Message, WireError, WireReport, WireResponse, MAX_FRAME_LEN};

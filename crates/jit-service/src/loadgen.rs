@@ -1,0 +1,269 @@
+//! The load generator library (the `jit-loadgen` bin and the
+//! `perf_snapshot` network workload both drive this).
+//!
+//! Two driving disciplines against a [`crate::NetServer`] address:
+//!
+//! * **closed loop** ([`LoadMode::Closed`]) — each connection keeps
+//!   exactly one request in flight; issue rate adapts to server
+//!   latency. This is the reproducible discipline the perf gate uses.
+//! * **open loop** ([`LoadMode::Open`]) — each connection issues on a
+//!   fixed schedule regardless of completion (approximated with
+//!   blocking clients: a connection that falls behind skips its sleep
+//!   and the report counts the `late` ticks). This is the discipline
+//!   that actually surfaces queue buildup and load shedding.
+//!
+//! Every request is a [`ServeRequest::Batch`] of `cohort` fresh users
+//! with deterministic ids (`lg-<conn>-<round>-<k>`) and deterministic
+//! in-bounds profiles derived from the schema — two runs against the
+//! same server issue byte-identical request frames. Shed requests
+//! ([`ServeError::Overloaded`]) are counted separately from hard
+//! failures: under deliberate overload, shedding is the *correct*
+//! outcome.
+
+use crate::api::{CohortMember, ServeError, ServeRequest};
+use crate::net::NetClient;
+use jit_core::UserRequest;
+use jit_data::FeatureSchema;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// The driving discipline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LoadMode {
+    /// One request in flight per connection, back to back.
+    Closed,
+    /// Fixed per-connection issue interval (open-loop approximation).
+    Open {
+        /// Target requests per second **per connection**.
+        requests_per_second: f64,
+    },
+}
+
+/// One load run: `connections` concurrent clients each issuing `rounds`
+/// cohort requests.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadPlan {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Requests issued per connection.
+    pub rounds: usize,
+    /// Users per request (batch cohort size).
+    pub cohort: usize,
+    /// Driving discipline.
+    pub mode: LoadMode,
+}
+
+impl Default for LoadPlan {
+    fn default() -> Self {
+        LoadPlan { connections: 2, rounds: 4, cohort: 4, mode: LoadMode::Closed }
+    }
+}
+
+/// Outcome of one load run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Requests issued.
+    pub requests: u64,
+    /// Requests served successfully.
+    pub ok: u64,
+    /// Requests shed by admission control ([`ServeError::Overloaded`]).
+    pub shed: u64,
+    /// Requests failing with any other error (these fail the bin).
+    pub failed: u64,
+    /// Users served across all successful requests.
+    pub users_served: u64,
+    /// Open-loop ticks issued behind schedule.
+    pub late: u64,
+    /// Wall-clock duration of the run, microseconds.
+    pub elapsed_us: u64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile request latency, microseconds.
+    pub p95_us: u64,
+    /// Worst request latency, microseconds.
+    pub max_us: u64,
+}
+
+impl LoadReport {
+    /// The report as a single JSON object (hand-rolled; integers only).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"requests\":{},\"ok\":{},\"shed\":{},\"failed\":{},\
+             \"users_served\":{},\"late\":{},\"elapsed_us\":{},\
+             \"p50_us\":{},\"p95_us\":{},\"max_us\":{}}}",
+            self.requests,
+            self.ok,
+            self.shed,
+            self.failed,
+            self.users_served,
+            self.late,
+            self.elapsed_us,
+            self.p50_us,
+            self.p95_us,
+            self.max_us,
+        )
+    }
+}
+
+/// A deterministic in-bounds profile for synthetic user `(conn, round,
+/// k)`: each feature interpolates its `[min, max]` range at a position
+/// derived from the ids — no RNG, identical across runs and processes.
+pub fn synthetic_profile(
+    schema: &FeatureSchema,
+    conn: usize,
+    round: usize,
+    k: usize,
+) -> Vec<f64> {
+    schema
+        .features()
+        .iter()
+        .enumerate()
+        .map(|(j, meta)| {
+            let step = (conn * 131 + round * 31 + k * 7 + j * 3) % 17;
+            let fraction = step as f64 / 16.0;
+            let value = meta.min + (meta.max - meta.min) * fraction;
+            // Integer-kind features stay on the lattice.
+            value.round().min(meta.max).max(meta.min)
+        })
+        .collect()
+}
+
+/// The deterministic user id for synthetic user `(conn, round, k)`.
+pub fn synthetic_user_id(conn: usize, round: usize, k: usize) -> String {
+    format!("lg-{conn}-{round}-{k}")
+}
+
+/// The batch request connection `conn` issues in `round`.
+pub fn synthetic_request(
+    schema: &FeatureSchema,
+    plan: &LoadPlan,
+    conn: usize,
+    round: usize,
+) -> ServeRequest {
+    ServeRequest::Batch(
+        (0..plan.cohort.max(1))
+            .map(|k| {
+                CohortMember::new(
+                    synthetic_user_id(conn, round, k),
+                    UserRequest::new(synthetic_profile(schema, conn, round, k)),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Runs `plan` against the server at `addr` and aggregates the report.
+///
+/// # Errors
+/// [`ServeError::Transport`] when a connection cannot be established;
+/// per-request failures are *counted*, not returned (load generation
+/// keeps going through them).
+pub fn run(
+    addr: SocketAddr,
+    schema: &FeatureSchema,
+    plan: &LoadPlan,
+) -> Result<LoadReport, ServeError> {
+    let connections = plan.connections.max(1);
+    let started = Instant::now();
+    let per_conn: Vec<Result<ConnOutcome, ServeError>> =
+        jit_runtime::blocking_map(connections, |conn| {
+            run_connection(addr, schema, plan, conn)
+        });
+    let elapsed = started.elapsed();
+
+    let mut report = LoadReport::default();
+    let mut latencies: Vec<u64> = Vec::new();
+    for outcome in per_conn {
+        let outcome = outcome?;
+        report.requests += outcome.requests;
+        report.ok += outcome.ok;
+        report.shed += outcome.shed;
+        report.failed += outcome.failed;
+        report.users_served += outcome.users_served;
+        report.late += outcome.late;
+        latencies.extend(outcome.latencies_us);
+    }
+    latencies.sort_unstable();
+    report.elapsed_us = elapsed.as_micros() as u64;
+    report.p50_us = percentile(&latencies, 50);
+    report.p95_us = percentile(&latencies, 95);
+    report.max_us = latencies.last().copied().unwrap_or(0);
+    Ok(report)
+}
+
+struct ConnOutcome {
+    requests: u64,
+    ok: u64,
+    shed: u64,
+    failed: u64,
+    users_served: u64,
+    late: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn run_connection(
+    addr: SocketAddr,
+    schema: &FeatureSchema,
+    plan: &LoadPlan,
+    conn: usize,
+) -> Result<ConnOutcome, ServeError> {
+    let mut client = NetClient::connect(addr, schema.clone())?;
+    let mut outcome = ConnOutcome {
+        requests: 0,
+        ok: 0,
+        shed: 0,
+        failed: 0,
+        users_served: 0,
+        late: 0,
+        latencies_us: Vec::with_capacity(plan.rounds),
+    };
+    let interval = match plan.mode {
+        LoadMode::Closed => None,
+        LoadMode::Open { requests_per_second } => {
+            Some(Duration::from_secs_f64(1.0 / requests_per_second.max(0.001)))
+        }
+    };
+    let origin = Instant::now();
+    for round in 0..plan.rounds {
+        if let Some(interval) = interval {
+            // Open loop: issue on the schedule tick, never earlier; a
+            // tick already in the past is issued immediately and
+            // counted late.
+            let due = origin + interval * round as u32;
+            let now = Instant::now();
+            if now < due {
+                std::thread::sleep(due - now);
+            } else if round > 0 {
+                outcome.late += 1;
+            }
+        }
+        let request = synthetic_request(schema, plan, conn, round);
+        let issued = Instant::now();
+        outcome.requests += 1;
+        match client.serve(request) {
+            Ok(response) => {
+                outcome.ok += 1;
+                outcome.users_served += response.users.len() as u64;
+                outcome.latencies_us.push(issued.elapsed().as_micros() as u64);
+            }
+            Err(ServeError::Overloaded { .. }) => outcome.shed += 1,
+            Err(ServeError::Transport(detail)) => {
+                // A dead connection ends this client's run; everything
+                // it did still counts.
+                outcome.failed += 1;
+                let _ = detail;
+                break;
+            }
+            Err(_) => outcome.failed += 1,
+        }
+    }
+    Ok(outcome)
+}
+
+fn percentile(sorted_us: &[u64], pct: usize) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = (sorted_us.len() - 1) * pct / 100;
+    sorted_us[rank]
+}

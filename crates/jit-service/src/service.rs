@@ -118,7 +118,11 @@ impl JitService {
                     .map(|user_id| {
                         let prior = self
                             .store
-                            .load(&user_id)?
+                            .load(&user_id)
+                            .map_err(|error| ServeError::Store {
+                                user_id: Some(user_id.clone()),
+                                error,
+                            })?
                             .ok_or_else(|| ServeError::UnknownUser(user_id.clone()))?;
                         Ok(ReturningMember {
                             user_id,
@@ -174,7 +178,13 @@ impl JitService {
         };
         let mut users = Vec::with_capacity(sessions.len());
         for (user_id, session) in user_ids.into_iter().zip(sessions) {
-            self.store.save(&user_id, &session.snapshot())?;
+            // Attribute a store failure to the user whose save failed:
+            // saves run in request order, so a store dying mid-batch
+            // reports the first user it lost (everything before it is
+            // durably stored; nothing after it was attempted).
+            self.store.save(&user_id, &session.snapshot()).map_err(|error| {
+                ServeError::Store { user_id: Some(user_id.clone()), error }
+            })?;
             shard.users += 1;
             match session.reserve_report() {
                 Some(report) => {

@@ -46,6 +46,18 @@ fn user_key(user_id: &str) -> u64 {
     w.finish().0[0]
 }
 
+/// The shard `user_id` is routed to among `n_shards` — the one placement
+/// function of the serving tier, shared by the in-process dispatcher and
+/// the OS-process backend (`crate::supervisor`) so a user's snapshot
+/// lands on the same shard no matter which tier serves them.
+///
+/// # Panics
+/// Panics when `n_shards == 0`.
+pub fn shard_index(user_id: &str, n_shards: usize) -> usize {
+    assert!(n_shards >= 1, "routing needs at least one shard");
+    jump_consistent_hash(user_key(user_id), n_shards)
+}
+
 /// A cohort dispatcher over `N` shard workers (see the module docs).
 pub struct ShardedService {
     shards: Vec<JitService>,
@@ -119,7 +131,7 @@ impl ShardedService {
 
     /// The shard `user_id` is (always) routed to.
     pub fn shard_of(&self, user_id: &str) -> usize {
-        jump_consistent_hash(user_key(user_id), self.shards.len())
+        shard_index(user_id, self.shards.len())
     }
 
     /// Serves one request across the shards — same contract as
@@ -239,8 +251,9 @@ impl ShardedService {
 
 /// Original-request position a shard error should be attributed to: the
 /// failing user's position when the error names one, else the shard's
-/// first member.
-fn error_position(
+/// first member. Shared with the OS-process backend (`crate::supervisor`)
+/// so both tiers pick the same winning error.
+pub(crate) fn error_position(
     error: &ServeError,
     all_ids: &[String],
     shard_positions: &[usize],
@@ -248,6 +261,8 @@ fn error_position(
     let named_user = match error {
         ServeError::Session { user_id, .. } => Some(user_id.as_str()),
         ServeError::UnknownUser(id) => Some(id.as_str()),
+        ServeError::Store { user_id: Some(id), .. } => Some(id.as_str()),
+        ServeError::Shard { user_id, .. } => Some(user_id.as_str()),
         _ => None,
     };
     named_user

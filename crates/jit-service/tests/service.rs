@@ -251,9 +251,17 @@ fn store_failures_are_typed_errors_not_panics() {
     let err = service
         .serve(ServeRequest::new_user("u", john_member("u").request))
         .unwrap_err();
-    assert!(matches!(err, ServeError::Store(StoreError::Unavailable(_))));
+    assert!(matches!(
+        &err,
+        ServeError::Store { user_id: Some(id), error: StoreError::Unavailable(_) }
+            if id == "u"
+    ));
     let err = service.serve(ServeRequest::refresh(["u"])).unwrap_err();
-    assert!(matches!(err, ServeError::Store(StoreError::Unavailable(_))));
+    assert!(matches!(
+        &err,
+        ServeError::Store { user_id: Some(id), error: StoreError::Unavailable(_) }
+            if id == "u"
+    ));
 }
 
 #[test]
@@ -290,7 +298,8 @@ fn db_store_reports_corrupt_rows_as_typed_errors() {
     assert!(
         matches!(
             &err,
-            ServeError::Store(StoreError::Corrupt { user_id, .. }) if user_id == "u"
+            ServeError::Store { error: StoreError::Corrupt { user_id, .. }, .. }
+                if user_id == "u"
         ),
         "{err:?}"
     );

@@ -1,0 +1,138 @@
+//! The networked serving tier end to end: train a spec, spawn shard
+//! worker processes, stand up the TCP front end, fire a closed-loop
+//! load burst at it, SIGKILL one shard mid-workload, and watch the
+//! supervisor recover — with the post-recovery refresh bit-identical to
+//! the pre-kill one.
+//!
+//! ```text
+//! cargo build --release --bin jit-shardd   # the shard worker binary
+//! cargo run --release --example networked_serving
+//! ```
+//!
+//! Without the `jit-shardd` binary on disk the example still runs,
+//! over the in-process sharded dispatcher instead of OS processes (the
+//! serving bytes are identical by contract — that is the whole point).
+
+use justintime::jit_service::{loadgen, wire};
+use justintime::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // 1. One spec describes training for every shard worker: the data
+    //    recipe plus the full admin config. Training is deterministic,
+    //    so N processes training independently serve identically.
+    let spec = TrainSpec {
+        data: DataSpec { records_per_year: 80, n_years: 3, ..Default::default() },
+        config: AdminConfig {
+            horizon: 1,
+            future: FutureModelsParams {
+                n_landmarks: 12,
+                pool_slices: 2,
+                forest: RandomForestParams { n_trees: 4, ..Default::default() },
+                ..Default::default()
+            },
+            candidates: CandidateParams {
+                beam_width: 3,
+                max_iters: 2,
+                top_k: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    };
+    let schema = spec.schema();
+
+    // 2. The shard backend: OS processes when jit-shardd is available,
+    //    the in-process dispatcher otherwise. The same Arc handle backs
+    //    the TCP server *and* the fault-injection below.
+    let process_backend: Option<Arc<ProcessShardBackend>> =
+        locate_shardd().map(|shardd| {
+            println!("spawning 2 shard processes from {}", shardd.display());
+            Arc::new(
+                ProcessShardBackend::spawn(
+                    spec.clone(),
+                    ProcessShardConfig::new(shardd, 2),
+                    |_| Arc::new(MemorySnapshotStore::new()),
+                )
+                .expect("shard processes spawn and handshake"),
+            )
+        });
+    let backend: Arc<dyn ServeBackend> = match &process_backend {
+        Some(backend) => Arc::clone(backend) as Arc<dyn ServeBackend>,
+        None => {
+            println!(
+                "jit-shardd not found next to this example; using in-process shards"
+            );
+            let system = spec.train().expect("train");
+            Arc::new(ShardedService::new(system, 2, 0, |_| {
+                Arc::new(MemorySnapshotStore::new())
+            }))
+        }
+    };
+
+    // 3. TCP front end on an ephemeral loopback port.
+    let server = NetServer::bind(backend, "127.0.0.1:0", NetServerConfig::default())
+        .expect("bind loopback");
+    println!("serving on {}", server.addr());
+
+    // 4. Closed-loop load burst through real connections.
+    let plan =
+        LoadPlan { connections: 2, rounds: 3, cohort: 4, mode: LoadMode::Closed };
+    let report = loadgen::run(server.addr(), &schema, &plan).expect("load run");
+    println!("burst: {}", report.to_json());
+    assert_eq!(report.failed, 0, "no hard failures under a polite burst");
+
+    // 5. Serve a named cohort and capture the canonical refresh bytes.
+    let mut client =
+        NetClient::connect(server.addr(), schema.clone()).expect("connect");
+    let members: Vec<CohortMember> = (0..6)
+        .map(|i| {
+            CohortMember::new(
+                format!("demo-{i}"),
+                UserRequest::new(loadgen::synthetic_profile(&schema, 9, 9, i)),
+            )
+        })
+        .collect();
+    let ids: Vec<String> = members.iter().map(|m| m.user_id.clone()).collect();
+    client.serve(ServeRequest::Batch(members)).expect("cold serve");
+    let before = wire::response_bytes(
+        &client.serve(ServeRequest::refresh(ids.clone())).expect("refresh"),
+    );
+
+    // 6. Kill a shard worker behind the supervisor's back: the next
+    //    request touching it fails typed, then supervision respawns it.
+    if let Some(backend) = &process_backend {
+        let victim = backend.shard_of(&ids[0]);
+        let pid = backend.kill_shard(victim).expect("live worker");
+        println!("killed shard {victim} (pid {pid})");
+        let err = client
+            .serve(ServeRequest::refresh(
+                ids.iter().filter(|id| backend.shard_of(id) == victim).cloned(),
+            ))
+            .expect_err("first touch finds the corpse");
+        println!("typed failure over TCP: {err}");
+        backend.ensure_healthy().expect("supervised respawn");
+        let health = &backend.health()[victim];
+        println!(
+            "shard {victim} back up (pid {:?}, {} restart{})",
+            health.pid,
+            health.restarts,
+            if health.restarts == 1 { "" } else { "s" }
+        );
+    }
+
+    // 7. Recovery bar: the refresh replays exactly the bytes it
+    //    replayed before the kill — the snapshot stores live in the
+    //    supervisor, so a dead worker loses nothing.
+    let after = wire::response_bytes(
+        &client.serve(ServeRequest::refresh(ids)).expect("refresh after recovery"),
+    );
+    assert_eq!(before, after, "recovery must not change a single byte");
+    println!("post-recovery refresh is bit-identical ({} bytes)", after.len());
+
+    server.shutdown();
+    if let Some(backend) = process_backend {
+        backend.shutdown();
+    }
+    println!("done");
+}

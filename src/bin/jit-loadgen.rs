@@ -1,0 +1,133 @@
+//! `jit-loadgen` — closed/open-loop load generation for the networked
+//! serving tier.
+//!
+//! Two modes:
+//!
+//! * **`--smoke`** (self-contained, what CI runs under a hard timeout):
+//!   trains a small system, stands up the full networked tier in this
+//!   process — over shard worker processes when the `jit-shardd` binary
+//!   is locatable, else over the in-process sharded dispatcher — fires
+//!   a closed-loop burst at it through real TCP loopback connections,
+//!   prints the JSON report, and exits non-zero on any hard failure.
+//! * **`--addr HOST:PORT`**: drive an already-running server (e.g.
+//!   `jit-shardd --listen`). The schema is derived from the data flags,
+//!   which must match the server's spec.
+//!
+//! ```text
+//! jit-loadgen --smoke [--shards 2]
+//! jit-loadgen --addr 127.0.0.1:4617 [--connections 2 --rounds 4
+//!             --cohort 4] [--open RPS] [--records 120 --years 4]
+//! ```
+//!
+//! Shed requests (typed `Overloaded` replies) are reported separately
+//! from failures and do not affect the exit code: under deliberate
+//! overload, shedding is the correct server behavior.
+
+use jit_service::loadgen::{self, LoadMode, LoadPlan};
+use jit_service::{
+    locate_shardd, DataSpec, MemorySnapshotStore, NetServer, NetServerConfig,
+    ProcessShardBackend, ProcessShardConfig, ServeBackend, ShardedService, TrainSpec,
+};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(failures) => {
+            eprintln!("jit-loadgen: {failures} requests failed hard");
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("jit-loadgen: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<u64, String> {
+    let mut smoke = false;
+    let mut addr: Option<String> = None;
+    let mut shards = 2usize;
+    let mut data = DataSpec { records_per_year: 80, n_years: 3, ..DataSpec::default() };
+    let mut plan = LoadPlan::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value")).cloned()
+        };
+        match flag.as_str() {
+            "--smoke" => smoke = true,
+            "--addr" => addr = Some(value("--addr")?),
+            "--shards" => shards = parse(&value("--shards")?, "--shards")?,
+            "--connections" => {
+                plan.connections = parse(&value("--connections")?, "--connections")?
+            }
+            "--rounds" => plan.rounds = parse(&value("--rounds")?, "--rounds")?,
+            "--cohort" => plan.cohort = parse(&value("--cohort")?, "--cohort")?,
+            "--open" => {
+                let rps: f64 = value("--open")?
+                    .parse()
+                    .map_err(|_| "--open: not a number".to_string())?;
+                plan.mode = LoadMode::Open { requests_per_second: rps };
+            }
+            "--records" => {
+                data.records_per_year = parse(&value("--records")?, "--records")?
+            }
+            "--years" => data.n_years = parse(&value("--years")?, "--years")?,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+
+    let spec = TrainSpec { data, config: jit_core::AdminConfig::default() };
+    let schema = spec.schema();
+
+    if smoke {
+        // Self-contained: build the tier, burst it, tear it down.
+        let (backend, tier): (Arc<dyn ServeBackend>, &str) = match locate_shardd() {
+            Some(shardd) => {
+                let backend = ProcessShardBackend::spawn(
+                    spec.clone(),
+                    ProcessShardConfig::new(shardd, shards.max(1)),
+                    |_| Arc::new(MemorySnapshotStore::new()),
+                )
+                .map_err(|e| format!("shard spawn: {e}"))?;
+                (Arc::new(backend), "process-shards")
+            }
+            None => {
+                let system = spec.train().map_err(|e| format!("training: {e}"))?;
+                let sharded = ShardedService::new(system, shards.max(1), 0, |_| {
+                    Arc::new(MemorySnapshotStore::new())
+                });
+                (Arc::new(sharded), "in-process-shards")
+            }
+        };
+        let server =
+            NetServer::bind(backend, "127.0.0.1:0", NetServerConfig::default())
+                .map_err(|e| format!("bind: {e}"))?;
+        let report = loadgen::run(server.addr(), &schema, &plan)
+            .map_err(|e| format!("load run: {e}"))?;
+        println!("{{\"tier\":\"{tier}\",\"report\":{}}}", report.to_json());
+        server.shutdown();
+        if report.ok == 0 {
+            return Err("no request succeeded".to_string());
+        }
+        return Ok(report.failed);
+    }
+
+    let addr = addr.ok_or("pass --smoke or --addr HOST:PORT")?;
+    let addr: SocketAddr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr} resolves to nothing"))?;
+    let report =
+        loadgen::run(addr, &schema, &plan).map_err(|e| format!("load run: {e}"))?;
+    println!("{}", report.to_json());
+    Ok(report.failed)
+}
+
+fn parse(value: &str, flag: &str) -> Result<usize, String> {
+    value.parse().map_err(|_| format!("{flag}: {value:?} is not a number"))
+}

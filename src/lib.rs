@@ -111,9 +111,12 @@ pub mod prelude {
     pub use jit_math::digest::{Digest, DigestWriter};
     pub use jit_ml::{Dataset, Model, RandomForest, RandomForestParams};
     pub use jit_service::{
-        CohortMember, DbSnapshotStore, JitService, MemorySnapshotStore,
-        ReturningMember, ServeError, ServeReport, ServeRequest, ServeResponse,
-        ServedUser, ShardReport, ShardedService, SnapshotStore, StoreError,
+        locate_shardd, shard_index, CohortMember, DataSpec, DbSnapshotStore,
+        JitService, LoadMode, LoadPlan, LoadReport, MemorySnapshotStore, NetClient,
+        NetServer, NetServerConfig, NullSnapshotStore, ProcessShardBackend,
+        ProcessShardConfig, ReturningMember, ServeBackend, ServeError, ServeReport,
+        ServeRequest, ServeResponse, ServedUser, ServerStats, ShardHealth, ShardReport,
+        ShardedService, SnapshotStore, StoreError, TrainSpec, WireReport, WireResponse,
     };
     pub use jit_temporal::future::{FutureModelsParams, FuturePredictor};
     pub use jit_temporal::update::{Override, TemporalUpdateFn};

@@ -556,6 +556,130 @@ fn db_persisted_snapshots_reproduce_the_reserve_after_the_system_is_dropped() {
     );
 }
 
+// ---------------------------------------------------------------------
+// 1e. The networked tier: NetClient → NetServer → ProcessShardBackend →
+//     N × jit-shardd OS processes is bit-identical to in-process
+//     serving, for 1/2/4 shard processes, both batch policies, and all
+//     of cold / returning-inline / refresh-from-store workloads. The
+//     comparison basis is the canonical response encoding
+//     (`wire::response_bytes`), which is shard-count-invariant.
+// ---------------------------------------------------------------------
+
+use justintime::jit_service::{
+    loadgen, wire, DataSpec, NetClient, NetServer, NetServerConfig,
+    ProcessShardBackend, ProcessShardConfig, TrainSpec, WireResponse,
+};
+
+/// 16 users with deterministic in-bounds profiles; every third carries a
+/// global preference, every fifth a time-scoped one.
+fn net_cohort(schema: &FeatureSchema) -> Vec<CohortMember> {
+    use justintime::jit_constraints::builder::{feature, gap};
+    (0..16)
+        .map(|i| {
+            let mut request =
+                UserRequest::new(loadgen::synthetic_profile(schema, 0, 0, i));
+            if i % 3 == 0 {
+                request.constraints.add(gap().le(2.0));
+            }
+            if i % 5 == 0 {
+                request.constraints.add_at(1, feature("income").le(60_000.0));
+            }
+            CohortMember::new(format!("net-user-{i}"), request)
+        })
+        .collect()
+}
+
+/// The three-phase workload every tier runs: a cold 16-user batch, an
+/// 8-user returning cohort carrying snapshots inline (straight from the
+/// phase-1 response, so snapshots round-trip whatever transport the
+/// tier uses), and a refresh-by-id of all 16 from the tier's stores.
+fn run_workload(
+    members: &[CohortMember],
+    mut serve: impl FnMut(ServeRequest) -> WireResponse,
+) -> [Vec<u8>; 3] {
+    let cold = serve(ServeRequest::Batch(members.to_vec()));
+    let returning: Vec<ReturningMember> = cold.users[..8]
+        .iter()
+        .map(|u| {
+            ReturningMember::new(
+                u.user_id.clone(),
+                ReturningUser::unchanged(u.snapshot.clone()),
+            )
+        })
+        .collect();
+    let inline = serve(ServeRequest::Returning(returning));
+    let refreshed =
+        serve(ServeRequest::refresh(members.iter().map(|m| m.user_id.clone())));
+    [
+        wire::response_bytes(&cold),
+        wire::response_bytes(&inline),
+        wire::response_bytes(&refreshed),
+    ]
+}
+
+#[test]
+fn networked_tier_is_bit_identical_to_in_process_serving() {
+    let shardd = std::path::PathBuf::from(env!("CARGO_BIN_EXE_jit-shardd"));
+    let data = DataSpec { records_per_year: 120, n_years: 4, ..Default::default() };
+
+    for policy in [BatchParallelism::PerUser, BatchParallelism::PerTimePoint] {
+        let spec = TrainSpec { data, config: batch_config(2, policy) };
+        let schema = spec.schema();
+        let members = net_cohort(&schema);
+
+        // Reference: one unsharded in-process service over the same
+        // spec (shard workers train from the identical bytes).
+        let system = Arc::new(spec.train().expect("train reference"));
+        let service = JitService::with_shared(
+            Arc::clone(&system),
+            Arc::new(MemorySnapshotStore::new()),
+        );
+        let reference = run_workload(&members, |request| {
+            WireResponse::from_response(&service.serve(request).expect("reference"))
+        });
+        assert!(
+            !reference.iter().any(Vec::is_empty),
+            "fixture must produce non-empty responses"
+        );
+
+        // In-process sharded dispatcher agrees (sanity anchor for the
+        // cross-process comparison below).
+        let sharded = ShardedService::from_shared(Arc::clone(&system), 2, 2, |_| {
+            Arc::new(MemorySnapshotStore::new())
+        });
+        let in_process = run_workload(&members, |request| {
+            WireResponse::from_response(&sharded.serve(request).expect("sharded"))
+        });
+        assert_eq!(in_process, reference, "in-process shards diverged ({policy:?})");
+
+        // The real thing: TCP client → server → shard OS processes.
+        for shards in [1usize, 2, 4] {
+            let backend = ProcessShardBackend::spawn(
+                spec.clone(),
+                ProcessShardConfig::new(&shardd, shards),
+                |_| Arc::new(MemorySnapshotStore::new()),
+            )
+            .expect("spawn shard processes");
+            let server = NetServer::bind(
+                Arc::new(backend),
+                "127.0.0.1:0",
+                NetServerConfig::default(),
+            )
+            .expect("bind loopback");
+            let mut client =
+                NetClient::connect(server.addr(), schema.clone()).expect("connect");
+            let networked = run_workload(&members, |request| {
+                client.serve(request).expect("networked serve")
+            });
+            assert_eq!(
+                networked, reference,
+                "networked tier diverged (shards={shards} policy={policy:?})"
+            );
+            server.shutdown();
+        }
+    }
+}
+
 #[test]
 fn runtime_parallel_map_matches_serial_with_forked_streams() {
     // The contract in miniature: fork first, then map.

@@ -143,6 +143,93 @@ fn unparseable_user_constraint_is_rejected_up_front() {
     assert!(jit_constraints::parse_constraint("not not not").is_err());
 }
 
+/// A store that serves normally until its fuse runs out, then fails
+/// every save until healed — the mid-batch store-death fixture.
+#[derive(Debug)]
+struct FlakyStore {
+    inner: MemorySnapshotStore,
+    saves_left: std::sync::atomic::AtomicIsize,
+}
+
+impl FlakyStore {
+    fn failing_after(successes: isize) -> Self {
+        FlakyStore {
+            inner: MemorySnapshotStore::new(),
+            saves_left: std::sync::atomic::AtomicIsize::new(successes),
+        }
+    }
+
+    fn heal(&self) {
+        self.saves_left.store(isize::MAX, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+impl SnapshotStore for FlakyStore {
+    fn save(
+        &self,
+        user_id: &str,
+        snapshot: &SessionSnapshot,
+    ) -> Result<(), StoreError> {
+        if self.saves_left.fetch_sub(1, std::sync::atomic::Ordering::SeqCst) <= 0 {
+            return Err(StoreError::Unavailable("store died mid-batch".to_string()));
+        }
+        self.inner.save(user_id, snapshot)
+    }
+
+    fn load(&self, user_id: &str) -> Result<Option<SessionSnapshot>, StoreError> {
+        self.inner.load(user_id)
+    }
+
+    fn remove(&self, user_id: &str) -> Result<bool, StoreError> {
+        self.inner.remove(user_id)
+    }
+
+    fn user_ids(&self) -> Result<Vec<String>, StoreError> {
+        self.inner.user_ids()
+    }
+}
+
+#[test]
+fn store_dying_mid_batch_is_attributed_to_the_first_lost_user() {
+    use std::sync::Arc;
+    let (schema, slices) = tiny_slices(3, 60);
+    let system = JustInTime::train(tiny_config(1), &schema, &slices).unwrap();
+    let store = Arc::new(FlakyStore::failing_after(2));
+    let service = JitService::with_shared(
+        Arc::new(system),
+        Arc::clone(&store) as Arc<dyn SnapshotStore>,
+    );
+
+    let members: Vec<CohortMember> = (0..4)
+        .map(|i| {
+            CohortMember::new(
+                format!("u{i}"),
+                UserRequest::new(LendingClubGenerator::john()),
+            )
+        })
+        .collect();
+
+    // Saves run in request order, so a store with two good writes left
+    // dies exactly on u2 — and the typed error must say so.
+    let err = service.serve(ServeRequest::batch(members.clone())).unwrap_err();
+    match &err {
+        ServeError::Store { user_id: Some(id), error: StoreError::Unavailable(_) } => {
+            assert_eq!(id, "u2", "failure attributed to the first lost user");
+        }
+        other => panic!("expected an attributed store error, got {other:?}"),
+    }
+    // Everything before the failure is durably stored; nothing after it
+    // was attempted.
+    assert_eq!(store.user_ids().unwrap(), vec!["u0", "u1"]);
+
+    // Healed, the same cohort serves in full, in request order.
+    store.heal();
+    let response = service.serve(ServeRequest::batch(members)).unwrap();
+    let ids: Vec<&str> = response.users.iter().map(|u| u.user_id.as_str()).collect();
+    assert_eq!(ids, vec!["u0", "u1", "u2", "u3"]);
+    assert_eq!(store.user_ids().unwrap(), vec!["u0", "u1", "u2", "u3"]);
+}
+
 #[test]
 fn all_labels_one_class_still_trains() {
     // Degenerate labels: everyone approved.
