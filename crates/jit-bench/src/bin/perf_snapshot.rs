@@ -39,12 +39,13 @@ use jit_bench::{
 };
 use jit_core::JustInTime;
 use jit_data::LendingClubGenerator;
+use jit_db::{DurableDatabase, MemFile, WalConfig};
 use jit_ml::{Dataset, RandomForestParams};
 use jit_service::loadgen::{self, LoadMode, LoadPlan};
 use jit_service::net::{NetServer, NetServerConfig, ServeBackend};
 use jit_service::{
     CohortMember, DbSnapshotStore, JitService, MemorySnapshotStore, ServeRequest,
-    ShardedService,
+    ShardedService, SnapshotStore,
 };
 use jit_temporal::future::{
     FutureModelsGenerator, FutureModelsParams, FuturePredictor,
@@ -432,6 +433,36 @@ fn main() {
         black_box(warm.report.replayed_time_points);
     });
     entries.push((format!("service/db_refresh_{n}xT{}", scale.horizon), mean, min));
+
+    // --- db: the durable commit path in isolation ------------------------
+    // Re-save the same n snapshots through a WAL-backed store over an
+    // in-memory log: each save is one validate+encode+append+apply
+    // commit, so this tracks the write-ahead-log overhead itself without
+    // session-compute noise. (The log grows across reps and periodically
+    // checkpoint-compacts, exactly as a long-lived serving process sees.)
+    let snapshots: Vec<_> = returning_ids
+        .iter()
+        .map(|id| {
+            let snapshot = db_service
+                .store()
+                .load(id)
+                .expect("loadable")
+                .expect("populated above");
+            (id.clone(), snapshot)
+        })
+        .collect();
+    let (wal, _) =
+        DurableDatabase::open(Arc::new(MemFile::new()), WalConfig::default())
+            .expect("in-memory WAL opens");
+    let durable_store =
+        DbSnapshotStore::open_durable(Arc::new(wal), &schema).expect("durable store");
+    let (mean, min) = time_ms(scale.reps, || {
+        for (id, snapshot) in &snapshots {
+            durable_store.save(id, black_box(snapshot)).expect("durable save");
+        }
+        black_box(durable_store.wal().expect("durable").wal_bytes_logged());
+    });
+    entries.push((format!("db/wal_commit_{n}xT{}", scale.horizon), mean, min));
 
     // --- net: the TCP serving tier under a closed-loop burst ------------
     // The in-process sharded dispatcher behind the real wire protocol on

@@ -364,6 +364,7 @@ mod tests {
         let rs = ResultSet {
             columns: vec!["min(time)".to_string()],
             rows: vec![vec![Value::Int(2)]],
+            ..ResultSet::default()
         };
         let insight = render(&ctx, &CannedQuery::NoModification, &rs);
         assert!(insight.headline.contains("t=2 (2020)"), "{}", insight.headline);
@@ -371,6 +372,7 @@ mod tests {
         let empty = ResultSet {
             columns: vec!["min(time)".to_string()],
             rows: vec![vec![Value::Null]],
+            ..ResultSet::default()
         };
         let insight = render(&ctx, &CannedQuery::NoModification, &empty);
         assert!(
@@ -393,16 +395,22 @@ mod tests {
         let full = ResultSet {
             columns: vec!["t".to_string()],
             rows: vec![vec![Value::Int(0)], vec![Value::Int(1)], vec![Value::Int(2)]],
+            ..ResultSet::default()
         };
         assert!(render(&ctx, &q, &full).headline.starts_with("Yes"));
         let partial = ResultSet {
             columns: vec!["t".to_string()],
             rows: vec![vec![Value::Int(1)]],
+            ..ResultSet::default()
         };
         let h = render(&ctx, &q, &partial).headline;
         assert!(h.starts_with("Partially"), "{h}");
         assert!(h.contains("2019"), "{h}");
-        let none = ResultSet { columns: vec!["t".to_string()], rows: vec![] };
+        let none = ResultSet {
+            columns: vec!["t".to_string()],
+            rows: vec![],
+            ..ResultSet::default()
+        };
         assert!(render(&ctx, &q, &none).headline.starts_with("No —"));
     }
 

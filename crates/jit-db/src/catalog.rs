@@ -4,8 +4,9 @@ use crate::ast::Statement;
 use crate::error::DbError;
 use crate::exec::Executor;
 use crate::parser::parse_statement;
-use crate::result::ResultSet;
-use crate::table::Table;
+use crate::prepare::{FilterRhs, Prepared, SimplePlan};
+use crate::result::{ExecutionMetrics, ResultSet};
+use crate::table::{Table, TableSchema};
 use crate::value::{ColumnType, Value};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -111,19 +112,161 @@ impl Database {
         Ok(())
     }
 
+    /// Deletes all rows whose `column` equals `value` (SQL equality, so
+    /// NULL never matches). Returns the number of rows removed. This is
+    /// the programmatic form of `DELETE FROM t WHERE col = ?` — no SQL
+    /// text, no predicate machinery.
+    pub fn delete_eq(
+        &self,
+        table: &str,
+        column: &str,
+        value: &Value,
+    ) -> Result<usize, DbError> {
+        let mut tables = self.tables.write();
+        let t = tables
+            .get_mut(&table.to_ascii_lowercase())
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
+        let ci = t
+            .schema
+            .column_index(column)
+            .ok_or_else(|| DbError::UnknownColumn(column.to_string()))?;
+        let before = t.rows.len();
+        t.rows.retain(|row| !row[ci].sql_eq(value));
+        Ok(before - t.rows.len())
+    }
+
+    /// A table's schema, if it exists.
+    pub fn table_schema(&self, name: &str) -> Option<TableSchema> {
+        self.tables.read().get(&name.to_ascii_lowercase()).map(|t| t.schema.clone())
+    }
+
+    /// Full point-in-time image of every table (schema + rows), sorted
+    /// by table name. Used by the WAL checkpoint writer.
+    pub fn snapshot_tables(&self) -> Vec<(TableSchema, Vec<Vec<Value>>)> {
+        let tables = self.tables.read();
+        let mut out: Vec<(TableSchema, Vec<Vec<Value>>)> =
+            tables.values().map(|t| (t.schema.clone(), t.rows.clone())).collect();
+        out.sort_by(|(a, _), (b, _)| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Compiles SQL into a reusable [`Prepared`] statement. `?`
+    /// placeholders become positional parameters; single-table SELECTs
+    /// of plain columns additionally get a direct scan plan that skips
+    /// the expression machinery at execution time.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared, DbError> {
+        Prepared::compile(sql)
+    }
+
+    /// Executes a prepared statement with bound parameter values.
+    pub fn execute_prepared(
+        &self,
+        stmt: &Prepared,
+        params: &[Value],
+    ) -> Result<ResultSet, DbError> {
+        if params.len() != stmt.param_count() {
+            return Err(DbError::ParamMismatch {
+                expected: stmt.param_count(),
+                found: params.len(),
+            });
+        }
+        if let Some(plan) = stmt.plan() {
+            return self.execute_simple(plan, params);
+        }
+        self.execute_stmt(stmt.statement(), params)
+    }
+
     /// Parses and executes one SQL statement.
     pub fn execute(&self, sql: &str) -> Result<ResultSet, DbError> {
-        match parse_statement(sql)? {
+        let stmt = parse_statement(sql)?;
+        self.execute_stmt(&stmt, &[])
+    }
+
+    /// Direct scan/filter/sort path for [`SimplePlan`] queries; must be
+    /// result-identical to the general executor (same `total_cmp` order,
+    /// same stable sort), just without per-row frame evaluation.
+    fn execute_simple(
+        &self,
+        plan: &SimplePlan,
+        params: &[Value],
+    ) -> Result<ResultSet, DbError> {
+        let tables = self.tables.read();
+        let t = tables
+            .get(&plan.table.to_ascii_lowercase())
+            .ok_or_else(|| DbError::UnknownTable(plan.table.clone()))?;
+        let resolve = |name: &String| {
+            t.schema
+                .column_index(name)
+                .ok_or_else(|| DbError::UnknownColumn(name.clone()))
+        };
+        let proj: Vec<usize> =
+            plan.projections.iter().map(resolve).collect::<Result<_, _>>()?;
+        let order: Vec<usize> =
+            plan.order_by.iter().map(resolve).collect::<Result<_, _>>()?;
+        let filter: Option<(usize, &Value)> = match &plan.filter {
+            None => None,
+            Some((col, rhs)) => {
+                let v = match rhs {
+                    FilterRhs::Param(i) => &params[*i],
+                    FilterRhs::Literal(v) => v,
+                };
+                Some((resolve(col)?, v))
+            }
+        };
+
+        let mut metrics = ExecutionMetrics {
+            rows_scanned: t.rows.len() as u64,
+            ..Default::default()
+        };
+        let mut output: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
+        for row in &t.rows {
+            if let Some((ci, v)) = filter {
+                if !row[ci].sql_eq(v) {
+                    continue;
+                }
+            }
+            metrics.bytes_scanned +=
+                row.iter().map(crate::codec::encoded_len).sum::<u64>();
+            let projected: Vec<Value> = proj.iter().map(|&i| row[i].clone()).collect();
+            let keys: Vec<Value> = order.iter().map(|&i| row[i].clone()).collect();
+            output.push((projected, keys));
+        }
+        if !order.is_empty() {
+            output.sort_by(|(_, ka), (_, kb)| {
+                for (a, b) in ka.iter().zip(kb) {
+                    let ord = a.total_cmp(b);
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        if let Some(limit) = plan.limit {
+            output.truncate(limit);
+        }
+        let rows: Vec<Vec<Value>> = output.into_iter().map(|(p, _)| p).collect();
+        metrics.rows_output = rows.len() as u64;
+        Ok(ResultSet { columns: plan.projections.clone(), rows, metrics })
+    }
+
+    /// Executes an already-parsed statement with bound parameters.
+    pub(crate) fn execute_stmt(
+        &self,
+        stmt: &Statement,
+        params: &[Value],
+    ) -> Result<ResultSet, DbError> {
+        match stmt {
             Statement::Select(q) => {
                 let tables = self.tables.read();
-                Executor::new(&tables).select(&q)
+                Executor::with_params(&tables, params).select(q)
             }
             Statement::CreateTable { name, columns } => {
-                self.create_table(&name, columns)?;
+                self.create_table(name, columns.clone())?;
                 Ok(ResultSet::empty())
             }
             Statement::DropTable(name) => {
-                self.drop_table(&name)?;
+                self.drop_table(name)?;
                 Ok(ResultSet::empty())
             }
             Statement::Insert { table, columns, rows } => {
@@ -132,7 +275,7 @@ impl Database {
                 for row in rows {
                     let mut vals = Vec::with_capacity(row.len());
                     for e in row {
-                        vals.push(eval_insert_literal(&e)?);
+                        vals.push(eval_insert_literal(e, params)?);
                     }
                     evaluated.push(vals);
                 }
@@ -159,7 +302,7 @@ impl Database {
                     match &predicate {
                         None => vec![false; t.len()],
                         Some(pred) => {
-                            let executor = Executor::new(&tables);
+                            let executor = Executor::with_params(&tables, params);
                             let q = crate::ast::Select {
                                 distinct: false,
                                 projections: vec![crate::ast::Projection::Expr {
@@ -195,21 +338,28 @@ impl Database {
 }
 
 /// Evaluates a context-free expression (INSERT literals may contain
-/// arithmetic such as `-1` or `2 + 3`).
-fn eval_insert_literal(expr: &crate::ast::Expr) -> Result<Value, DbError> {
+/// arithmetic such as `-1` or `2 + 3`, and `?` parameters when prepared).
+pub(crate) fn eval_insert_literal(
+    expr: &crate::ast::Expr,
+    params: &[Value],
+) -> Result<Value, DbError> {
     // The executor's eval is private; emulate the tiny literal subset here.
     use crate::ast::{BinOp, Expr};
     Ok(match expr {
         Expr::Literal(v) => v.clone(),
-        Expr::Neg(e) => match eval_insert_literal(e)? {
+        Expr::Param(i) => params
+            .get(*i)
+            .cloned()
+            .ok_or(DbError::ParamMismatch { expected: *i + 1, found: params.len() })?,
+        Expr::Neg(e) => match eval_insert_literal(e, params)? {
             Value::Int(i) => Value::Int(-i),
             Value::Float(f) => Value::Float(-f),
             Value::Null => Value::Null,
             other => return Err(DbError::Eval(format!("cannot negate {other}"))),
         },
         Expr::Binary { lhs, op, rhs } => {
-            let a = eval_insert_literal(lhs)?;
-            let b = eval_insert_literal(rhs)?;
+            let a = eval_insert_literal(lhs, params)?;
+            let b = eval_insert_literal(rhs, params)?;
             let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) else {
                 return Err(DbError::Eval(
                     "INSERT expressions must be numeric literals".to_string(),

@@ -1,0 +1,354 @@
+//! Bit-exact binary codec for [`Value`] rows and WAL records.
+//!
+//! The SQL-literal round trip (`Value::sql_literal` → lexer → parser)
+//! is lossless for every value the engine stores *except* NaN payloads,
+//! and it pays a full tokenizer/parser pass per row. This codec is the
+//! storage-grade alternative: floats travel as raw `f64::to_bits`
+//! (every NaN payload, `-0.0`, subnormals and infinities survive
+//! bit-for-bit), strings are length-prefixed UTF-8, and integers keep
+//! their 64-bit two's-complement form — the same discipline as
+//! `jit-service::wire`, but self-contained so jit-db stays dependency
+//! free.
+//!
+//! Decoding never panics: every failure is a typed
+//! [`DbError::Codec`] carrying the byte offset and what was expected
+//! there, and length prefixes are validated against the remaining
+//! buffer *before* any allocation, so a corrupt 4 GiB length claim
+//! costs nothing.
+
+use crate::error::DbError;
+use crate::value::{ColumnType, Value};
+
+/// Value tag: SQL NULL.
+const TAG_NULL: u8 = 0;
+/// Value tag: 64-bit signed integer.
+const TAG_INT: u8 = 1;
+/// Value tag: IEEE-754 double as raw bits.
+const TAG_FLOAT: u8 = 2;
+/// Value tag: length-prefixed UTF-8 string.
+const TAG_TEXT: u8 = 3;
+/// Value tag: boolean.
+const TAG_BOOL: u8 = 4;
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+/// Appends the binary form of one value.
+pub fn encode_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(x) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Text(s) => {
+            out.push(TAG_TEXT);
+            encode_str(out, s);
+        }
+        Value::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.push(u8::from(*b));
+        }
+    }
+}
+
+/// Exact encoded size of one value, without encoding it. Used by the
+/// executor to meter bytes materialized from storage.
+pub fn encoded_len(v: &Value) -> u64 {
+    match v {
+        Value::Null => 1,
+        Value::Int(_) | Value::Float(_) => 9,
+        Value::Text(s) => 5 + s.len() as u64,
+        Value::Bool(_) => 2,
+    }
+}
+
+/// Appends a count-prefixed row of values.
+pub fn encode_row(out: &mut Vec<u8>, row: &[Value]) {
+    encode_u32(out, row.len() as u32);
+    for v in row {
+        encode_value(out, v);
+    }
+}
+
+/// Appends a count-prefixed batch of rows.
+pub fn encode_rows(out: &mut Vec<u8>, rows: &[Vec<Value>]) {
+    encode_u32(out, rows.len() as u32);
+    for row in rows {
+        encode_row(out, row);
+    }
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn encode_str(out: &mut Vec<u8>, s: &str) {
+    encode_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends a little-endian `u32`.
+pub fn encode_u32(out: &mut Vec<u8>, n: u32) {
+    out.extend_from_slice(&n.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn encode_u64(out: &mut Vec<u8>, n: u64) {
+    out.extend_from_slice(&n.to_le_bytes());
+}
+
+/// Appends a column-type tag byte.
+pub fn encode_column_type(out: &mut Vec<u8>, t: ColumnType) {
+    out.push(match t {
+        ColumnType::Integer => 0,
+        ColumnType::Real => 1,
+        ColumnType::Text => 2,
+        ColumnType::Boolean => 3,
+    });
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// A bounds-checked cursor over an encoded buffer.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Starts decoding at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to decode.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Typed "expected X at this offset" error.
+    fn err(&self, expected: &'static str) -> DbError {
+        DbError::Codec { offset: self.pos, expected }
+    }
+
+    /// Fails unless the whole buffer was consumed.
+    pub fn finish(&self) -> Result<(), DbError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(self.err("end of record"))
+        }
+    }
+
+    fn take(&mut self, n: usize, expected: &'static str) -> Result<&'a [u8], DbError> {
+        if self.remaining() < n {
+            return Err(self.err(expected));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Decodes one byte.
+    pub fn u8(&mut self, expected: &'static str) -> Result<u8, DbError> {
+        Ok(self.take(1, expected)?[0])
+    }
+
+    /// Decodes a little-endian `u32`.
+    pub fn u32(&mut self, expected: &'static str) -> Result<u32, DbError> {
+        let b = self.take(4, expected)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Decodes a little-endian `u64`.
+    pub fn u64(&mut self, expected: &'static str) -> Result<u64, DbError> {
+        let b = self.take(8, expected)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Decodes a length-prefixed UTF-8 string. The length is validated
+    /// against the remaining bytes before allocating.
+    pub fn str(&mut self, expected: &'static str) -> Result<String, DbError> {
+        let len = self.u32(expected)? as usize;
+        if len > self.remaining() {
+            return Err(self.err(expected));
+        }
+        let bytes = self.take(len, expected)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DbError::Codec {
+            offset: self.pos - len,
+            expected: "valid UTF-8",
+        })
+    }
+
+    /// Decodes one tagged value.
+    pub fn value(&mut self) -> Result<Value, DbError> {
+        let tag = self.u8("value tag")?;
+        match tag {
+            TAG_NULL => Ok(Value::Null),
+            TAG_INT => {
+                let b = self.take(8, "int payload")?;
+                Ok(Value::Int(i64::from_le_bytes([
+                    b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+                ])))
+            }
+            TAG_FLOAT => {
+                let bits = self.u64("float payload")?;
+                Ok(Value::Float(f64::from_bits(bits)))
+            }
+            TAG_TEXT => Ok(Value::Text(self.str("text payload")?)),
+            TAG_BOOL => match self.u8("bool payload")? {
+                0 => Ok(Value::Bool(false)),
+                1 => Ok(Value::Bool(true)),
+                _ => Err(DbError::Codec {
+                    offset: self.pos - 1,
+                    expected: "bool 0 or 1",
+                }),
+            },
+            _ => Err(DbError::Codec {
+                offset: self.pos - 1,
+                expected: "value tag 0..=4",
+            }),
+        }
+    }
+
+    /// Decodes a count-prefixed row. Each value costs ≥ 1 byte, so the
+    /// claimed count is validated against the remaining bytes up front.
+    pub fn row(&mut self) -> Result<Vec<Value>, DbError> {
+        let n = self.u32("row arity")? as usize;
+        if n > self.remaining() {
+            return Err(self.err("row arity within record"));
+        }
+        let mut row = Vec::with_capacity(n);
+        for _ in 0..n {
+            row.push(self.value()?);
+        }
+        Ok(row)
+    }
+
+    /// Decodes a count-prefixed batch of rows.
+    pub fn rows(&mut self) -> Result<Vec<Vec<Value>>, DbError> {
+        let n = self.u32("row count")? as usize;
+        if n > self.remaining() {
+            return Err(self.err("row count within record"));
+        }
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            rows.push(self.row()?);
+        }
+        Ok(rows)
+    }
+
+    /// Decodes a column-type tag byte.
+    pub fn column_type(&mut self) -> Result<ColumnType, DbError> {
+        match self.u8("column type tag")? {
+            0 => Ok(ColumnType::Integer),
+            1 => Ok(ColumnType::Real),
+            2 => Ok(ColumnType::Text),
+            3 => Ok(ColumnType::Boolean),
+            _ => Err(DbError::Codec {
+                offset: self.pos - 1,
+                expected: "column type tag 0..=3",
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checksum
+// ---------------------------------------------------------------------
+
+/// 64-bit content checksum for WAL records: FNV-1a with a splitmix64
+/// finalizer for avalanche. Not cryptographic — it detects torn writes
+/// and media bit flips, which is all the recovery path needs.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // splitmix64 finalizer
+    h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: Value) -> Value {
+        let mut buf = Vec::new();
+        encode_value(&mut buf, &v);
+        assert_eq!(buf.len() as u64, encoded_len(&v));
+        let mut d = Decoder::new(&buf);
+        let back = d.value().expect("decodes");
+        d.finish().expect("fully consumed");
+        back
+    }
+
+    #[test]
+    fn scalar_roundtrips_are_bit_exact() {
+        assert_eq!(roundtrip(Value::Null), Value::Null);
+        assert_eq!(roundtrip(Value::Int(i64::MIN)), Value::Int(i64::MIN));
+        assert_eq!(roundtrip(Value::Bool(true)), Value::Bool(true));
+        assert_eq!(
+            roundtrip(Value::Text("héllo\0🦀".into())),
+            Value::Text("héllo\0🦀".into())
+        );
+        // NaN payloads survive — the one thing sql_literal collapses.
+        let weird_nan = f64::from_bits(0x7ff8_dead_beef_0001);
+        match roundtrip(Value::Float(weird_nan)) {
+            Value::Float(x) => assert_eq!(x.to_bits(), weird_nan.to_bits()),
+            other => panic!("expected float, got {other:?}"),
+        }
+        match roundtrip(Value::Float(-0.0)) {
+            Value::Float(x) => assert_eq!(x.to_bits(), (-0.0f64).to_bits()),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_yields_typed_error() {
+        let mut buf = Vec::new();
+        encode_value(&mut buf, &Value::Text("abcdef".into()));
+        for cut in 0..buf.len() {
+            let mut d = Decoder::new(&buf[..cut]);
+            assert!(d.value().is_err(), "cut at {cut} must fail typed");
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_does_not_allocate() {
+        // Claims a 4 GiB string with 2 bytes of payload.
+        let buf = [TAG_TEXT, 0xff, 0xff, 0xff, 0xff, b'x', b'y'];
+        let mut d = Decoder::new(&buf);
+        match d.value() {
+            Err(DbError::Codec { .. }) => {}
+            other => panic!("expected codec error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checksum_differs_on_single_bit_flip() {
+        let mut buf = Vec::new();
+        encode_rows(&mut buf, &[vec![Value::Int(7), Value::Text("x".into())]]);
+        let base = checksum64(&buf);
+        for i in 0..buf.len() {
+            buf[i] ^= 0x10;
+            assert_ne!(checksum64(&buf), base, "flip at byte {i} must change checksum");
+            buf[i] ^= 0x10;
+        }
+    }
+}

@@ -42,6 +42,32 @@ pub enum DbError {
     AggregateMisuse(String),
     /// Runtime evaluation failure (division by zero, bad operand types).
     Eval(String),
+    /// Binary row/record decoding failure at a byte offset.
+    Codec {
+        /// Byte offset into the encoded buffer where decoding failed.
+        offset: usize,
+        /// What the decoder expected to find there.
+        expected: &'static str,
+    },
+    /// I/O failure in the durability layer (rendered, since
+    /// `std::io::Error` is neither `Clone` nor `PartialEq`).
+    Io {
+        /// Operation that failed (`"append"`, `"sync"`, …).
+        op: &'static str,
+        /// Rendered OS error.
+        detail: String,
+    },
+    /// The write-ahead log file is unusable (bad magic, wrong version,
+    /// or poisoned after a failed rollback).
+    Wal(String),
+    /// A prepared statement was executed with the wrong number of
+    /// parameters, or an unbound `?` was evaluated.
+    ParamMismatch {
+        /// Parameters the statement requires.
+        expected: usize,
+        /// Parameters supplied.
+        found: usize,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -63,6 +89,14 @@ impl fmt::Display for DbError {
             DbError::SubqueryShape(msg) => write!(f, "bad subquery shape: {msg}"),
             DbError::AggregateMisuse(msg) => write!(f, "aggregate misuse: {msg}"),
             DbError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            DbError::Codec { offset, expected } => {
+                write!(f, "codec error at byte {offset}: expected {expected}")
+            }
+            DbError::Io { op, detail } => write!(f, "i/o error during {op}: {detail}"),
+            DbError::Wal(msg) => write!(f, "write-ahead log error: {msg}"),
+            DbError::ParamMismatch { expected, found } => {
+                write!(f, "statement takes {expected} parameter(s), {found} supplied")
+            }
         }
     }
 }

@@ -11,10 +11,12 @@
 //! references the outer projection alias `t`.
 
 use crate::ast::*;
+use crate::codec;
 use crate::error::DbError;
-use crate::result::ResultSet;
+use crate::result::{ExecutionMetrics, ResultSet};
 use crate::table::Table;
 use crate::value::Value;
+use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 
@@ -108,12 +110,49 @@ struct GroupCtx<'a> {
 /// The executor; borrows the catalog's table map.
 pub struct Executor<'a> {
     tables: &'a HashMap<String, Table>,
+    /// Bound values for `?` parameters (empty for unprepared execution).
+    params: &'a [Value],
+    /// Base-table rows materialized so far (subqueries accumulate here).
+    rows_scanned: Cell<u64>,
+    /// Encoded bytes of those rows, in the binary codec's sizing.
+    bytes_scanned: Cell<u64>,
 }
 
 impl<'a> Executor<'a> {
     /// Creates an executor over a table map.
     pub fn new(tables: &'a HashMap<String, Table>) -> Self {
-        Executor { tables }
+        Executor::with_params(tables, &[])
+    }
+
+    /// Creates an executor with bound statement parameters.
+    pub fn with_params(
+        tables: &'a HashMap<String, Table>,
+        params: &'a [Value],
+    ) -> Self {
+        Executor {
+            tables,
+            params,
+            rows_scanned: Cell::new(0),
+            bytes_scanned: Cell::new(0),
+        }
+    }
+
+    /// Meters rows materialized from a base table.
+    fn note_scan(&self, rows: &[Vec<Value>]) {
+        self.rows_scanned.set(self.rows_scanned.get() + rows.len() as u64);
+        let bytes: u64 =
+            rows.iter().map(|r| r.iter().map(codec::encoded_len).sum::<u64>()).sum();
+        self.bytes_scanned.set(self.bytes_scanned.get() + bytes);
+    }
+
+    /// Cumulative scan counters (also reported on every [`ResultSet`]).
+    pub fn metrics(&self) -> ExecutionMetrics {
+        ExecutionMetrics {
+            rows_scanned: self.rows_scanned.get(),
+            bytes_scanned: self.bytes_scanned.get(),
+            rows_output: 0,
+            wal_bytes_written: 0,
+        }
     }
 
     fn table(&self, name: &str) -> Result<&'a Table, DbError> {
@@ -138,9 +177,11 @@ impl<'a> Executor<'a> {
         let base = self.table(&q.from.name)?;
         layout.push(q.from.binding(), base.schema.column_names());
         let mut rows: Vec<Vec<Value>> = base.rows.clone();
+        self.note_scan(&rows);
 
         for join in &q.joins {
             let right = self.table(&join.table.name)?;
+            self.note_scan(&right.rows);
             let right_cols = right.schema.column_names();
             let mut next_layout = layout.clone();
             next_layout.push(join.table.binding(), right_cols);
@@ -330,7 +371,10 @@ impl<'a> Executor<'a> {
             output.truncate(limit);
         }
 
-        Ok(ResultSet { columns, rows: output.into_iter().map(|(p, _)| p).collect() })
+        let rows: Vec<Vec<Value>> = output.into_iter().map(|(p, _)| p).collect();
+        let metrics =
+            ExecutionMetrics { rows_output: rows.len() as u64, ..self.metrics() };
+        Ok(ResultSet { columns, rows, metrics })
     }
 
     fn sort_keys(
@@ -399,6 +443,12 @@ impl<'a> Executor<'a> {
     ) -> Result<Value, DbError> {
         match expr {
             Expr::Literal(v) => Ok(v.clone()),
+            Expr::Param(i) => {
+                self.params.get(*i).cloned().ok_or(DbError::ParamMismatch {
+                    expected: *i + 1,
+                    found: self.params.len(),
+                })
+            }
             Expr::Column { qualifier, name } => {
                 self.resolve_column(qualifier.as_deref(), name, frames)
             }

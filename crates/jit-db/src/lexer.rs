@@ -59,6 +59,8 @@ pub enum Token {
     Ge,
     /// `;`
     Semicolon,
+    /// `?` — positional statement parameter.
+    Question,
 }
 
 /// Tokenizes SQL text.
@@ -104,6 +106,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, DbError> {
             '/' => push!(Token::Slash, 1),
             '%' => push!(Token::Percent, 1),
             ';' => push!(Token::Semicolon, 1),
+            '?' => push!(Token::Question, 1),
             '=' => push!(Token::Eq, 1),
             '!' => {
                 if bytes.get(pos + 1) == Some(&b'=') {
@@ -128,7 +131,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, DbError> {
                 }
             }
             '\'' => {
-                let mut text = String::new();
+                // Accumulate raw bytes: `'` (0x27) never occurs inside a
+                // multi-byte UTF-8 sequence, so splitting on it is safe
+                // and non-ASCII text survives byte-for-byte.
+                let mut text = Vec::new();
                 let mut i = pos + 1;
                 loop {
                     match bytes.get(i) {
@@ -140,7 +146,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, DbError> {
                         }
                         Some(&b'\'') => {
                             if bytes.get(i + 1) == Some(&b'\'') {
-                                text.push('\'');
+                                text.push(b'\'');
                                 i += 2;
                             } else {
                                 i += 1;
@@ -148,11 +154,15 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, DbError> {
                             }
                         }
                         Some(&b) => {
-                            text.push(b as char);
+                            text.push(b);
                             i += 1;
                         }
                     }
                 }
+                let text = String::from_utf8(text).map_err(|_| DbError::Parse {
+                    offset: pos,
+                    message: "string literal is not valid UTF-8".to_string(),
+                })?;
                 out.push(Spanned { offset: start, token: Token::Str(text) });
                 pos = i;
             }
@@ -283,6 +293,12 @@ mod tests {
     }
 
     #[test]
+    fn multibyte_string_literals_survive() {
+        assert_eq!(toks("'héllo 漢 🦀'"), vec![Token::Str("héllo 漢 🦀".into())]);
+        assert_eq!(toks("'🦀''s'"), vec![Token::Str("🦀's".into())]);
+    }
+
+    #[test]
     fn numbers() {
         assert_eq!(toks("3.25"), vec![Token::Float(3.25)]);
         assert_eq!(toks(".5"), vec![Token::Float(0.5)]);
@@ -301,6 +317,20 @@ mod tests {
             vec![Token::Float(9.223372036854776e18)]
         );
         assert_eq!(toks("9223372036854775807"), vec![Token::Int(i64::MAX)]);
+    }
+
+    #[test]
+    fn question_marks_are_parameters() {
+        assert_eq!(
+            toks("x = ? , ?"),
+            vec![
+                Token::Ident("x".into()),
+                Token::Eq,
+                Token::Question,
+                Token::Comma,
+                Token::Question
+            ]
+        );
     }
 
     #[test]

@@ -29,21 +29,53 @@
 //! Entry point: [`Database`], which wraps the catalog behind a
 //! `parking_lot::RwLock` so the per-time-point candidate generators can
 //! insert in parallel while readers run queries.
+//!
+//! ## Prepared statements
+//!
+//! [`Database::prepare`] compiles SQL once into a [`Prepared`]
+//! statement with positional `?` parameters; execution binds typed
+//! [`Value`]s directly — no lexer, parser, or `sql_literal` rendering
+//! on the hot path, and float parameters stay bit-exact (NaN payloads,
+//! `-0.0`). Store-shaped SELECTs additionally compile to a direct scan
+//! plan. Every execution reports [`ExecutionMetrics`] (rows/bytes
+//! scanned, rows output, WAL bytes written).
+//!
+//! ## Durability
+//!
+//! [`DurableDatabase`] (in [`wal`]) wraps a [`Database`] with an
+//! append-only write-ahead log behind the pluggable [`DbFile`] trait.
+//! The contract, in one paragraph: a commit is acknowledged only after
+//! its batch is encoded into a checksummed record, appended, and
+//! flushed; reopening replays the log to the last valid record and
+//! truncates any torn or corrupt tail, so recovery always lands on the
+//! longest committed prefix — never a partial batch, never a panic.
+//! Checkpoints fold the log into one full-image record via an atomic
+//! file replace, bounding log growth and reopen time. See the [`wal`]
+//! module docs for the failure-handling fine print (rollback on failed
+//! append/sync, poisoning, and the fault-injection harness).
 
 pub mod ast;
 pub mod catalog;
+pub mod codec;
 pub mod error;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod prepare;
 pub mod result;
 pub mod table;
 pub mod value;
+pub mod wal;
 
 pub use catalog::Database;
 pub use error::DbError;
-pub use result::ResultSet;
+pub use prepare::Prepared;
+pub use result::{ExecutionMetrics, ResultSet};
 pub use value::{ColumnType, Value};
+pub use wal::{
+    CommitReceipt, DbFile, DurableDatabase, FaultFile, MemFile, RecoveryReport,
+    StdFile, WalConfig, WalOp,
+};
 
 /// Parses and executes one SQL statement against a database.
 ///

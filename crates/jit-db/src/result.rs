@@ -3,6 +3,26 @@
 use crate::value::Value;
 use std::fmt;
 
+/// Work counters accumulated while executing one statement.
+///
+/// `rows_scanned`/`bytes_scanned` meter rows materialized from base
+/// tables (bytes in the binary codec's encoding, via
+/// [`crate::codec::encoded_len`]); subquery scans accumulate into the
+/// outer statement's totals. `wal_bytes_written` is stamped by the
+/// durability layer ([`crate::wal::DurableDatabase`]) and stays zero
+/// for plain in-memory execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecutionMetrics {
+    /// Base-table rows materialized during execution.
+    pub rows_scanned: u64,
+    /// Encoded bytes of those rows.
+    pub bytes_scanned: u64,
+    /// Rows in the final result.
+    pub rows_output: u64,
+    /// Bytes appended to the write-ahead log by this statement.
+    pub wal_bytes_written: u64,
+}
+
 /// The materialized result of a statement.
 #[derive(Clone, Debug, Default)]
 pub struct ResultSet {
@@ -10,6 +30,8 @@ pub struct ResultSet {
     pub columns: Vec<String>,
     /// Output rows.
     pub rows: Vec<Vec<Value>>,
+    /// Work counters for this statement.
+    pub metrics: ExecutionMetrics,
 }
 
 impl ResultSet {
@@ -109,6 +131,7 @@ mod tests {
                 vec![Value::Int(0), Value::Float(12.5)],
                 vec![Value::Int(1), Value::Null],
             ],
+            ..ResultSet::default()
         }
     }
 
@@ -117,6 +140,7 @@ mod tests {
         let one = ResultSet {
             columns: vec!["min".to_string()],
             rows: vec![vec![Value::Int(3)]],
+            ..ResultSet::default()
         };
         assert_eq!(one.scalar().unwrap().as_i64(), Some(3));
         assert!(rs().scalar().is_none());

@@ -1,0 +1,163 @@
+//! Prepared statements must be observably identical to SQL-text
+//! execution: same rows, same order, same errors — whether or not the
+//! direct-scan [`SimplePlan`] kicks in.
+
+use jit_db::{Database, DbError, Value};
+
+fn store_like_db() -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE inputs (user_id TEXT, t INTEGER, idx INTEGER, v REAL)")
+        .unwrap();
+    let users = ["u1", "u2", "emoji🦀"];
+    for (ui, user) in users.iter().enumerate() {
+        for t in 0..4 {
+            for idx in 0..3 {
+                db.insert_row(
+                    "inputs",
+                    vec![
+                        Value::Text(user.to_string()),
+                        Value::Int(t),
+                        Value::Int(idx),
+                        Value::Float(
+                            (ui * 100 + (t as usize) * 10 + idx as usize) as f64,
+                        ),
+                    ],
+                )
+                .unwrap();
+            }
+        }
+    }
+    // Rows that stress ordering: NULLs and adversarial floats.
+    db.insert_row(
+        "inputs",
+        vec![Value::Text("u1".into()), Value::Int(9), Value::Null, Value::Null],
+    )
+    .unwrap();
+    db.insert_row(
+        "inputs",
+        vec![
+            Value::Text("u1".into()),
+            Value::Int(9),
+            Value::Int(1),
+            Value::Float(-0.0),
+        ],
+    )
+    .unwrap();
+    db
+}
+
+fn assert_same(db: &Database, sql_literal: &str, sql_param: &str, params: &[Value]) {
+    let direct = db.execute(sql_literal).unwrap();
+    let stmt = db.prepare(sql_param).unwrap();
+    let prepared = db.execute_prepared(&stmt, params).unwrap();
+    assert_eq!(prepared.columns, direct.columns, "{sql_param}");
+    assert_eq!(prepared.rows, direct.rows, "{sql_param}");
+    // And again, proving the compiled statement is reusable.
+    let again = db.execute_prepared(&stmt, params).unwrap();
+    assert_eq!(again.rows, direct.rows, "{sql_param} (second execution)");
+}
+
+#[test]
+fn plan_path_matches_sql_execution() {
+    let db = store_like_db();
+    assert_same(
+        &db,
+        "SELECT t, idx, v FROM inputs WHERE user_id = 'u1' ORDER BY t, idx",
+        "SELECT t, idx, v FROM inputs WHERE user_id = ? ORDER BY t, idx",
+        &[Value::Text("u1".into())],
+    );
+    assert_same(
+        &db,
+        "SELECT v FROM inputs WHERE user_id = 'emoji🦀' ORDER BY t, idx",
+        "SELECT v FROM inputs WHERE user_id = ? ORDER BY t, idx",
+        &[Value::Text("emoji🦀".into())],
+    );
+    assert_same(
+        &db,
+        "SELECT user_id FROM inputs ORDER BY user_id LIMIT 5",
+        "SELECT user_id FROM inputs ORDER BY user_id LIMIT 5",
+        &[],
+    );
+    // No matches: empty, not an error.
+    assert_same(
+        &db,
+        "SELECT t FROM inputs WHERE user_id = 'nobody'",
+        "SELECT t FROM inputs WHERE user_id = ?",
+        &[Value::Text("nobody".into())],
+    );
+}
+
+#[test]
+fn executor_fallback_path_matches_sql_execution() {
+    let db = store_like_db();
+    // These shapes have no simple plan and go through the executor with
+    // bound parameters.
+    assert_same(
+        &db,
+        "SELECT DISTINCT user_id FROM inputs ORDER BY user_id",
+        "SELECT DISTINCT user_id FROM inputs ORDER BY user_id",
+        &[],
+    );
+    assert_same(
+        &db,
+        "SELECT t, COUNT(*) FROM inputs WHERE user_id = 'u1' GROUP BY t ORDER BY t",
+        "SELECT t, COUNT(*) FROM inputs WHERE user_id = ? GROUP BY t ORDER BY t",
+        &[Value::Text("u1".into())],
+    );
+    assert_same(
+        &db,
+        "SELECT idx FROM inputs WHERE t > 2 ORDER BY idx DESC",
+        "SELECT idx FROM inputs WHERE t > ? ORDER BY idx DESC",
+        &[Value::Int(2)],
+    );
+}
+
+#[test]
+fn param_count_is_enforced() {
+    let db = store_like_db();
+    let stmt = db.prepare("SELECT v FROM inputs WHERE user_id = ?").unwrap();
+    let err = db.execute_prepared(&stmt, &[]).unwrap_err();
+    assert_eq!(err, DbError::ParamMismatch { expected: 1, found: 0 });
+    let err = db.execute_prepared(&stmt, &[Value::Int(1), Value::Int(2)]).unwrap_err();
+    assert_eq!(err, DbError::ParamMismatch { expected: 1, found: 2 });
+}
+
+#[test]
+fn parameters_bind_bit_exact_floats() {
+    let db = Database::new();
+    db.execute("CREATE TABLE f (x REAL)").unwrap();
+    let weird = f64::from_bits(0x7ff8_dead_beef_0001);
+    let ins = db.prepare("INSERT INTO f VALUES (?)").unwrap();
+    db.execute_prepared(&ins, &[Value::Float(weird)]).unwrap();
+    db.execute_prepared(&ins, &[Value::Float(-0.0)]).unwrap();
+    let rs = db.execute("SELECT x FROM f").unwrap();
+    let bits: Vec<u64> = rs
+        .rows
+        .iter()
+        .map(|r| {
+            let Value::Float(x) = r[0] else { panic!() };
+            x.to_bits()
+        })
+        .collect();
+    assert_eq!(bits, vec![weird.to_bits(), (-0.0f64).to_bits()]);
+}
+
+#[test]
+fn prepared_dml_and_metrics() {
+    let db = store_like_db();
+    let del = db.prepare("DELETE FROM inputs WHERE user_id = ?").unwrap();
+    db.execute_prepared(&del, &[Value::Text("u2".into())]).unwrap();
+    let rs = db.execute("SELECT COUNT(*) FROM inputs WHERE user_id = 'u2'").unwrap();
+    assert_eq!(rs.scalar().unwrap().as_i64(), Some(0));
+
+    // Metrics meter the scan on both execution paths.
+    let q = db.prepare("SELECT v FROM inputs WHERE user_id = ?").unwrap();
+    assert!(q.has_simple_plan());
+    let rs = db.execute_prepared(&q, &[Value::Text("u1".into())]).unwrap();
+    assert_eq!(rs.metrics.rows_output, rs.rows.len() as u64);
+    assert!(rs.metrics.rows_scanned >= rs.metrics.rows_output);
+    assert!(rs.metrics.bytes_scanned > 0);
+    let rs2 = db.execute("SELECT v FROM inputs WHERE user_id = 'u1'").unwrap();
+    assert_eq!(rs2.metrics.rows_output, rs.metrics.rows_output);
+    assert!(rs2.metrics.rows_scanned > 0);
+}

@@ -422,6 +422,7 @@ fn count_distinct_via_subquery() {
             jit_db::ResultSet {
                 columns: vec!["count".to_string()],
                 rows: vec![vec![Value::Int(n)]],
+                ..jit_db::ResultSet::default()
             }
         });
     assert_eq!(rs.rows[0][0].as_i64(), Some(3));

@@ -1,12 +1,24 @@
 //! The `jit-db`-backed snapshot store: re-serves survive restarts.
 //!
-//! Every [`SessionSnapshot`] is serialized **through the SQL engine** —
-//! plain `INSERT` statements written with [`Value::sql_literal`] (floats
-//! travel bit-exactly, including non-finite values) and read back with
-//! ordinary `SELECT`s. The backing [`Database`] is the durable medium:
-//! hold on to it (it is `Arc`-shared into the store), drop the service
-//! and its trained system, and a store re-opened over the same database
-//! reproduces the original re-serve bit-for-bit.
+//! Every [`SessionSnapshot`] is serialized **through the SQL engine's
+//! programmatic row API** — typed [`Value`] rows on the write path (one
+//! atomic delete+insert batch per save) and prepared `SELECT … WHERE
+//! user_id = ?` statements on the read path, compiled once at open.
+//! Floats travel as raw bits end to end (no SQL-literal rendering, no
+//! tokenizer on the hot path), so NaN payloads and `-0.0` survive, and
+//! a per-user load costs a handful of direct scans instead of seven
+//! parse+plan passes.
+//!
+//! Two durability tiers share the code path:
+//!
+//! * [`DbSnapshotStore::open`] — the backing [`Database`] is the
+//!   medium; keep its `Arc` alive across a restart.
+//! * [`DbSnapshotStore::open_durable`] — a
+//!   [`DurableDatabase`] is the medium; every
+//!   save commits one write-ahead-log record, so snapshots survive a
+//!   process **kill**, not just a drop. A save is crash-atomic: after
+//!   recovery the store holds either the old snapshot or the new one,
+//!   never a torn mix.
 //!
 //! Layout (narrow tables, schema-independent):
 //!
@@ -30,16 +42,74 @@ use crate::codec;
 use crate::store::{SnapshotStore, StoreError};
 use jit_core::{Candidate, SessionSnapshot, UserRequest};
 use jit_data::FeatureSchema;
-use jit_db::{ColumnType, Database, Value};
+use jit_db::{ColumnType, Database, DurableDatabase, Prepared, Value, WalOp};
 use jit_math::digest::Digest;
 use std::fmt;
 use std::sync::Arc;
 
+/// The read-path statements, compiled once at open. All are
+/// single-table `WHERE user_id = ?` selects in the shape the engine's
+/// direct-scan plan covers, so executing them never touches the SQL
+/// front end.
+struct Stmts {
+    header: Prepared,
+    profile: Prepared,
+    inputs: Prepared,
+    fingerprints: Prepared,
+    constraints: Prepared,
+    candidates: Prepared,
+    candidate_profiles: Prepared,
+    exists: Prepared,
+    user_ids: Prepared,
+}
+
+impl Stmts {
+    fn compile(db: &Database) -> Result<Stmts, StoreError> {
+        Ok(Stmts {
+            header: db.prepare(
+                "SELECT schema_digest, horizon, update_fn FROM jit_snapshots \
+                 WHERE user_id = ?",
+            )?,
+            profile: db.prepare(
+                "SELECT v FROM jit_snapshot_profile WHERE user_id = ? ORDER BY idx",
+            )?,
+            inputs: db.prepare(
+                "SELECT t, v FROM jit_snapshot_inputs WHERE user_id = ? \
+                 ORDER BY t, idx",
+            )?,
+            fingerprints: db.prepare(
+                "SELECT t, hex FROM jit_snapshot_fingerprints WHERE user_id = ? \
+                 ORDER BY t",
+            )?,
+            constraints: db.prepare(
+                "SELECT kind, lo, hi, body FROM jit_snapshot_constraints \
+                 WHERE user_id = ? ORDER BY ord",
+            )?,
+            candidates: db.prepare(
+                "SELECT t, gap, diff, p FROM jit_snapshot_candidates \
+                 WHERE user_id = ? ORDER BY ord",
+            )?,
+            candidate_profiles: db.prepare(
+                "SELECT ord, v FROM jit_snapshot_candidate_profiles \
+                 WHERE user_id = ? ORDER BY ord, idx",
+            )?,
+            exists: db
+                .prepare("SELECT user_id FROM jit_snapshots WHERE user_id = ?")?,
+            user_ids: db
+                .prepare("SELECT user_id FROM jit_snapshots ORDER BY user_id")?,
+        })
+    }
+}
+
 /// The SQL-engine-backed [`SnapshotStore`].
 pub struct DbSnapshotStore {
     db: Arc<Database>,
+    /// When set, writes commit through the write-ahead log instead of
+    /// mutating `db` directly (`db` is then the WAL's in-memory state).
+    wal: Option<Arc<DurableDatabase>>,
     schema: FeatureSchema,
     schema_digest: Digest,
+    stmts: Stmts,
     /// Serializes the multi-statement save/load/remove sequences: the
     /// database locks per statement, but one snapshot spans seven
     /// tables, so without this a concurrent `load` could observe a
@@ -123,19 +193,16 @@ impl DbSnapshotStore {
     pub fn open(db: Arc<Database>, schema: &FeatureSchema) -> Result<Self, StoreError> {
         for (name, columns) in TABLES {
             if !db.has_table(name) {
-                db.create_table(
-                    name,
-                    columns
-                        .iter()
-                        .map(|(c, ty)| (c.to_string(), *ty))
-                        .collect::<Vec<_>>(),
-                )?;
+                db.create_table(name, owned_columns(columns))?;
             }
         }
+        let stmts = Stmts::compile(&db)?;
         Ok(DbSnapshotStore {
             db,
+            wal: None,
             schema: schema.clone(),
             schema_digest: schema.content_digest(),
+            stmts,
             op_lock: parking_lot::Mutex::new(()),
         })
     }
@@ -145,28 +212,106 @@ impl DbSnapshotStore {
         Self::open(Arc::new(Database::new()), schema)
     }
 
+    /// Opens a store whose writes commit through `wal`'s write-ahead
+    /// log: each save/remove is one crash-atomic logged batch, and a
+    /// store reopened over the recovered log re-serves bit-identically.
+    /// Missing snapshot tables are created (and logged) on open.
+    pub fn open_durable(
+        wal: Arc<DurableDatabase>,
+        schema: &FeatureSchema,
+    ) -> Result<Self, StoreError> {
+        let db = Arc::clone(wal.database());
+        let ddl: Vec<WalOp> = TABLES
+            .iter()
+            .filter(|(name, _)| !db.has_table(name))
+            .map(|(name, columns)| WalOp::CreateTable {
+                name: name.to_string(),
+                columns: owned_columns(columns),
+            })
+            .collect();
+        if !ddl.is_empty() {
+            wal.commit(&ddl)?;
+        }
+        let stmts = Stmts::compile(&db)?;
+        Ok(DbSnapshotStore {
+            db,
+            wal: Some(wal),
+            schema: schema.clone(),
+            schema_digest: schema.content_digest(),
+            stmts,
+            op_lock: parking_lot::Mutex::new(()),
+        })
+    }
+
     /// The backing database (the durable medium — keep a clone of the
     /// `Arc` to survive a service restart).
     pub fn database(&self) -> &Arc<Database> {
         &self.db
     }
 
+    /// The write-ahead log behind this store, when opened durable.
+    pub fn wal(&self) -> Option<&Arc<DurableDatabase>> {
+        self.wal.as_ref()
+    }
+
     fn corrupt(user_id: &str, detail: impl Into<String>) -> StoreError {
         StoreError::Corrupt { user_id: user_id.to_string(), detail: detail.into() }
     }
 
-    /// Runs one statement, rendered from literal values.
-    fn exec(&self, sql: &str) -> Result<(), StoreError> {
-        self.db.execute(sql)?;
-        Ok(())
+    /// Runs a prepared read with the user id bound.
+    fn query(
+        &self,
+        stmt: &Prepared,
+        user_id: &str,
+    ) -> Result<jit_db::ResultSet, StoreError> {
+        Ok(self.db.execute_prepared(stmt, &[Value::from(user_id)])?)
     }
 
-    fn delete_user(&self, id_lit: &str) -> Result<(), StoreError> {
-        for (name, _) in TABLES {
-            self.exec(&format!("DELETE FROM {name} WHERE user_id = {id_lit}"))?;
+    /// Applies one save/remove batch: through the WAL as a single
+    /// crash-atomic commit when durable, directly otherwise. The ops are
+    /// typed (validated before any byte is logged), so a failed apply
+    /// cannot leave a half-written snapshot behind.
+    fn apply_batch(&self, ops: &[WalOp]) -> Result<(), StoreError> {
+        match &self.wal {
+            Some(wal) => {
+                wal.commit(ops)?;
+            }
+            None => {
+                for op in ops {
+                    match op {
+                        WalOp::DeleteEq { table, column, value } => {
+                            self.db.delete_eq(table, column, value)?;
+                        }
+                        WalOp::InsertRows { table, rows } => {
+                            self.db.insert_rows(table, rows.clone())?;
+                        }
+                        other => {
+                            return Err(StoreError::Unavailable(format!(
+                                "unsupported direct-apply op {other:?}"
+                            )))
+                        }
+                    }
+                }
+            }
         }
         Ok(())
     }
+
+    /// The delete half of replace semantics for one user.
+    fn delete_ops(id: &Value) -> Vec<WalOp> {
+        TABLES
+            .iter()
+            .map(|(name, _)| WalOp::DeleteEq {
+                table: name.to_string(),
+                column: "user_id".to_string(),
+                value: id.clone(),
+            })
+            .collect()
+    }
+}
+
+fn owned_columns(columns: &[(&str, ColumnType)]) -> Vec<(String, ColumnType)> {
+    columns.iter().map(|(c, ty)| (c.to_string(), *ty)).collect()
 }
 
 impl fmt::Debug for DbSnapshotStore {
@@ -177,20 +322,12 @@ impl fmt::Debug for DbSnapshotStore {
     }
 }
 
-/// Renders `INSERT INTO table VALUES (row), (row), …` from literal rows.
-/// Returns `None` for zero rows (nothing to insert).
-fn insert_sql(table: &str, rows: &[Vec<Value>]) -> Option<String> {
+/// A typed insert op, or `None` for zero rows (nothing to insert).
+fn insert_op(table: &str, rows: Vec<Vec<Value>>) -> Option<WalOp> {
     if rows.is_empty() {
         return None;
     }
-    let body: Vec<String> = rows
-        .iter()
-        .map(|row| {
-            let vals: Vec<String> = row.iter().map(Value::sql_literal).collect();
-            format!("({})", vals.join(", "))
-        })
-        .collect();
-    Some(format!("INSERT INTO {table} VALUES {}", body.join(", ")))
+    Some(WalOp::InsertRows { table: table.to_string(), rows })
 }
 
 impl SnapshotStore for DbSnapshotStore {
@@ -201,9 +338,6 @@ impl SnapshotStore for DbSnapshotStore {
     ) -> Result<(), StoreError> {
         let _guard = self.op_lock.lock();
         let id = Value::from(user_id);
-        let id_lit = id.sql_literal();
-        // Replace semantics: clear any prior snapshot rows first.
-        self.delete_user(&id_lit)?;
 
         let header = vec![vec![
             id.clone(),
@@ -289,29 +423,30 @@ impl SnapshotStore for DbSnapshotStore {
             }
         }
 
-        for (table, rows) in [
-            ("jit_snapshots", header),
-            ("jit_snapshot_profile", profile),
-            ("jit_snapshot_inputs", inputs),
-            ("jit_snapshot_fingerprints", fingerprints),
-            ("jit_snapshot_constraints", constraints),
-            ("jit_snapshot_candidates", candidates),
-            ("jit_snapshot_candidate_profiles", candidate_profiles),
-        ] {
-            if let Some(sql) = insert_sql(table, &rows) {
-                self.exec(&sql)?;
-            }
-        }
-        Ok(())
+        // Replace semantics as ONE batch: deletes of any prior snapshot
+        // rows, then the inserts. Durable stores commit it as a single
+        // WAL record, so a crash recovers either the old snapshot or the
+        // new one — never rows from both.
+        let mut ops = Self::delete_ops(&id);
+        ops.extend(
+            [
+                ("jit_snapshots", header),
+                ("jit_snapshot_profile", profile),
+                ("jit_snapshot_inputs", inputs),
+                ("jit_snapshot_fingerprints", fingerprints),
+                ("jit_snapshot_constraints", constraints),
+                ("jit_snapshot_candidates", candidates),
+                ("jit_snapshot_candidate_profiles", candidate_profiles),
+            ]
+            .into_iter()
+            .filter_map(|(table, rows)| insert_op(table, rows)),
+        );
+        self.apply_batch(&ops)
     }
 
     fn load(&self, user_id: &str) -> Result<Option<SessionSnapshot>, StoreError> {
         let _guard = self.op_lock.lock();
-        let id_lit = Value::from(user_id).sql_literal();
-        let header = self.db.execute(&format!(
-            "SELECT schema_digest, horizon, update_fn FROM jit_snapshots \
-             WHERE user_id = {id_lit}"
-        ))?;
+        let header = self.query(&self.stmts.header, user_id)?;
         let Some(header_row) = header.rows.first() else {
             return Ok(None);
         };
@@ -342,10 +477,7 @@ impl SnapshotStore for DbSnapshotStore {
             .map_err(|e| Self::corrupt(user_id, e.to_string()))?;
 
         // Profile, ordered by coordinate.
-        let rs = self.db.execute(&format!(
-            "SELECT v FROM jit_snapshot_profile WHERE user_id = {id_lit} \
-             ORDER BY idx"
-        ))?;
+        let rs = self.query(&self.stmts.profile, user_id)?;
         let profile: Vec<f64> = rs
             .rows
             .iter()
@@ -357,10 +489,7 @@ impl SnapshotStore for DbSnapshotStore {
         }
 
         // Temporal inputs, (t, idx)-ordered into per-t rows.
-        let rs = self.db.execute(&format!(
-            "SELECT t, v FROM jit_snapshot_inputs WHERE user_id = {id_lit} \
-             ORDER BY t, idx"
-        ))?;
+        let rs = self.query(&self.stmts.inputs, user_id)?;
         let mut temporal_inputs: Vec<Vec<f64>> = vec![Vec::new(); horizon + 1];
         for row in &rs.rows {
             let t = row[0]
@@ -377,10 +506,7 @@ impl SnapshotStore for DbSnapshotStore {
         }
 
         // Fingerprints per time point (NULL = unfingerprintable).
-        let rs = self.db.execute(&format!(
-            "SELECT t, hex FROM jit_snapshot_fingerprints \
-             WHERE user_id = {id_lit} ORDER BY t"
-        ))?;
+        let rs = self.query(&self.stmts.fingerprints, user_id)?;
         let mut fingerprints: Vec<Option<Digest>> = vec![None; horizon + 1];
         if rs.rows.len() != horizon + 1 {
             return Err(Self::corrupt(user_id, "fingerprint row count"));
@@ -402,10 +528,7 @@ impl SnapshotStore for DbSnapshotStore {
         }
 
         // Preference constraints, in insertion order.
-        let rs = self.db.execute(&format!(
-            "SELECT kind, lo, hi, body FROM jit_snapshot_constraints \
-             WHERE user_id = {id_lit} ORDER BY ord"
-        ))?;
+        let rs = self.query(&self.stmts.constraints, user_id)?;
         let mut constraints = jit_constraints::ConstraintSet::new();
         for row in &rs.rows {
             let body = match &row[3] {
@@ -447,14 +570,8 @@ impl SnapshotStore for DbSnapshotStore {
         }
 
         // Candidates with their profiles, in stored order.
-        let rs = self.db.execute(&format!(
-            "SELECT t, gap, diff, p FROM jit_snapshot_candidates \
-             WHERE user_id = {id_lit} ORDER BY ord"
-        ))?;
-        let profile_rows = self.db.execute(&format!(
-            "SELECT ord, v FROM jit_snapshot_candidate_profiles \
-             WHERE user_id = {id_lit} ORDER BY ord, idx"
-        ))?;
+        let rs = self.query(&self.stmts.candidates, user_id)?;
+        let profile_rows = self.query(&self.stmts.candidate_profiles, user_id)?;
         let mut candidate_profiles: Vec<Vec<f64>> = vec![Vec::new(); rs.rows.len()];
         for row in &profile_rows.rows {
             let ord = row[0]
@@ -498,19 +615,16 @@ impl SnapshotStore for DbSnapshotStore {
 
     fn remove(&self, user_id: &str) -> Result<bool, StoreError> {
         let _guard = self.op_lock.lock();
-        let id_lit = Value::from(user_id).sql_literal();
-        let rs = self.db.execute(&format!(
-            "SELECT COUNT(*) FROM jit_snapshots WHERE user_id = {id_lit}"
-        ))?;
-        let existed = rs.scalar().and_then(|v| v.as_i64()).unwrap_or(0) > 0;
-        self.delete_user(&id_lit)?;
+        let existed = !self.query(&self.stmts.exists, user_id)?.is_empty();
+        if existed || self.wal.is_none() {
+            self.apply_batch(&Self::delete_ops(&Value::from(user_id)))?;
+        }
         Ok(existed)
     }
 
     fn user_ids(&self) -> Result<Vec<String>, StoreError> {
         let _guard = self.op_lock.lock();
-        let rs =
-            self.db.execute("SELECT user_id FROM jit_snapshots ORDER BY user_id")?;
+        let rs = self.db.execute_prepared(&self.stmts.user_ids, &[])?;
         rs.rows
             .iter()
             .map(|r| match &r[0] {

@@ -135,10 +135,14 @@ pub use api::{
 };
 pub use db_store::DbSnapshotStore;
 pub use loadgen::{LoadMode, LoadPlan, LoadReport};
-pub use net::{NetClient, NetServer, NetServerConfig, ServeBackend, ServerStats};
+pub use net::{
+    ConnectRetry, NetClient, NetServer, NetServerConfig, ServeBackend, ServerStats,
+};
 pub use service::JitService;
 pub use sharded::{shard_index, ShardedService};
-pub use store::{MemorySnapshotStore, NullSnapshotStore, SnapshotStore, StoreError};
+pub use store::{
+    retry_transient, MemorySnapshotStore, NullSnapshotStore, SnapshotStore, StoreError,
+};
 pub use supervisor::{
     locate_shardd, DataSpec, ProcessShardBackend, ProcessShardConfig, ShardHealth,
     TrainSpec,

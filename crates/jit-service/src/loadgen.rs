@@ -207,7 +207,13 @@ fn run_connection(
     plan: &LoadPlan,
     conn: usize,
 ) -> Result<ConnOutcome, ServeError> {
-    let mut client = NetClient::connect(addr, schema.clone())?;
+    // The generator often races the server's bind; ride out transient
+    // connection refusals instead of failing the whole run.
+    let mut client = NetClient::connect_with_retry(
+        addr,
+        schema.clone(),
+        crate::net::ConnectRetry::default(),
+    )?;
     let mut outcome = ConnOutcome {
         requests: 0,
         ok: 0,

@@ -390,6 +390,40 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Bounded retry policy for [`NetClient::connect_with_retry`]: how many
+/// connection attempts to make and how the pause between them grows.
+///
+/// Only `ECONNREFUSED` is retried — it is the one failure that a server
+/// still binding its listener produces, and the one that waiting can
+/// cure. Every other error (unreachable host, reset, bad address)
+/// surfaces immediately.
+#[derive(Clone, Copy, Debug)]
+pub struct ConnectRetry {
+    /// Total connection attempts (≥ 1; the first attempt counts).
+    pub attempts: u32,
+    /// Pause before the second attempt; doubles each retry.
+    pub initial_backoff: std::time::Duration,
+    /// Cap on the doubling backoff.
+    pub max_backoff: std::time::Duration,
+}
+
+impl Default for ConnectRetry {
+    fn default() -> Self {
+        ConnectRetry {
+            attempts: 8,
+            initial_backoff: std::time::Duration::from_millis(5),
+            max_backoff: std::time::Duration::from_millis(250),
+        }
+    }
+}
+
+impl ConnectRetry {
+    /// A single attempt: [`NetClient::connect`]'s behavior.
+    pub fn none() -> Self {
+        ConnectRetry { attempts: 1, ..ConnectRetry::default() }
+    }
+}
+
 /// A blocking client for the TCP front end: one request in flight at a
 /// time, replies correlated by id. Concurrency comes from opening more
 /// clients (each is its own connection).
@@ -412,8 +446,43 @@ impl NetClient {
         addr: impl std::net::ToSocketAddrs,
         schema: FeatureSchema,
     ) -> Result<NetClient, ServeError> {
-        let writer = TcpStream::connect(addr)
-            .map_err(|e| ServeError::Transport(format!("connect failed: {e}")))?;
+        NetClient::connect_with_retry(addr, schema, ConnectRetry::none())
+    }
+
+    /// Connects like [`NetClient::connect`], but rides out a server that
+    /// has not finished binding yet: `ECONNREFUSED` is retried up to
+    /// `retry.attempts` times with doubling backoff.
+    ///
+    /// # Errors
+    /// [`ServeError::Transport`] when the final attempt fails or the
+    /// failure is not a refused connection.
+    pub fn connect_with_retry(
+        addr: impl std::net::ToSocketAddrs,
+        schema: FeatureSchema,
+        retry: ConnectRetry,
+    ) -> Result<NetClient, ServeError> {
+        let attempts = retry.attempts.max(1);
+        let mut backoff = retry.initial_backoff;
+        let mut attempt = 0;
+        let writer = loop {
+            match TcpStream::connect(&addr) {
+                Ok(stream) => break stream,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::ConnectionRefused
+                        && attempt + 1 < attempts =>
+                {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(retry.max_backoff);
+                    attempt += 1;
+                }
+                Err(e) => {
+                    return Err(ServeError::Transport(format!(
+                        "connect failed after {} attempt(s): {e}",
+                        attempt + 1
+                    )))
+                }
+            }
+        };
         let reader = writer
             .try_clone()
             .map_err(|e| ServeError::Transport(format!("clone failed: {e}")))?;

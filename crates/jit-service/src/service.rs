@@ -113,23 +113,23 @@ impl JitService {
             ServeRequest::Batch(members) => self.serve_cohort(members),
             ServeRequest::Returning(members) => self.reserve_cohort(members),
             ServeRequest::Refresh(ids) => {
-                let members = ids
-                    .into_iter()
-                    .map(|user_id| {
-                        let prior = self
-                            .store
-                            .load(&user_id)
+                let members =
+                    ids.into_iter()
+                        .map(|user_id| {
+                            let prior = crate::store::retry_transient(|| {
+                                self.store.load(&user_id)
+                            })
                             .map_err(|error| ServeError::Store {
                                 user_id: Some(user_id.clone()),
                                 error,
                             })?
                             .ok_or_else(|| ServeError::UnknownUser(user_id.clone()))?;
-                        Ok(ReturningMember {
-                            user_id,
-                            returning: ReturningUser::unchanged(prior),
+                            Ok(ReturningMember {
+                                user_id,
+                                returning: ReturningUser::unchanged(prior),
+                            })
                         })
-                    })
-                    .collect::<Result<Vec<_>, ServeError>>()?;
+                        .collect::<Result<Vec<_>, ServeError>>()?;
                 self.reserve_cohort(members)
             }
         }
@@ -182,9 +182,12 @@ impl JitService {
             // saves run in request order, so a store dying mid-batch
             // reports the first user it lost (everything before it is
             // durably stored; nothing after it was attempted).
-            self.store.save(&user_id, &session.snapshot()).map_err(|error| {
-                ServeError::Store { user_id: Some(user_id.clone()), error }
-            })?;
+            let snapshot = session.snapshot();
+            crate::store::retry_transient(|| self.store.save(&user_id, &snapshot))
+                .map_err(|error| ServeError::Store {
+                    user_id: Some(user_id.clone()),
+                    error,
+                })?;
             shard.users += 1;
             match session.reserve_report() {
                 Some(report) => {

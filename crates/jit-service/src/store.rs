@@ -66,6 +66,41 @@ impl From<jit_db::DbError> for StoreError {
     }
 }
 
+impl StoreError {
+    /// `true` for failures that a bounded retry can plausibly clear: the
+    /// backend being momentarily unreachable, or an I/O error from the
+    /// durability layer (whose commit protocol rolls the log back to its
+    /// committed length, making the next attempt safe). Schema
+    /// mismatches, corrupt rows, and SQL rejections are deterministic —
+    /// retrying them only repeats the failure.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            StoreError::Unavailable(_) | StoreError::Db(jit_db::DbError::Io { .. })
+        )
+    }
+}
+
+/// Runs `f` up to 3 times, backing off briefly, while it fails with a
+/// [transient](StoreError::is_transient) error. Deterministic errors and
+/// the final attempt's failure surface unchanged — retrying never
+/// reclassifies or swallows an error, it only buys another attempt.
+pub fn retry_transient<T>(
+    mut f: impl FnMut() -> Result<T, StoreError>,
+) -> Result<T, StoreError> {
+    const ATTEMPTS: u32 = 3;
+    let mut attempt = 0;
+    loop {
+        match f() {
+            Err(e) if e.is_transient() && attempt + 1 < ATTEMPTS => {
+                std::thread::sleep(std::time::Duration::from_millis(1 << attempt));
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
 /// A keyed store of [`SessionSnapshot`]s.
 ///
 /// Methods take `&self` — implementations synchronize internally — so a

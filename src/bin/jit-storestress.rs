@@ -1,0 +1,88 @@
+//! Crash-recovery stress target for the durable snapshot store.
+//!
+//! Trains a small deterministic system, opens a WAL-backed
+//! [`DbSnapshotStore`] at `--wal PATH`, and serves the same cohort
+//! round after round — each round re-saves every snapshot through the
+//! write-ahead log. After every fully committed round it prints
+//! `ROUND {n} OK` and flushes, so a harness (`tests/crash_recovery.rs`)
+//! can SIGKILL this process at a known durability point and verify that
+//! reopening the surviving log re-serves bit-identically.
+//!
+//! The train spec here must stay in sync with the one in
+//! `tests/crash_recovery.rs` — the test retrains it to build the
+//! bit-identity reference.
+
+use justintime::jit_db::{DurableDatabase, WalConfig};
+use justintime::jit_service::loadgen::synthetic_profile;
+use justintime::prelude::*;
+use std::io::Write as _;
+use std::sync::Arc;
+
+fn stress_spec() -> TrainSpec {
+    TrainSpec {
+        data: DataSpec { records_per_year: 60, n_years: 3, ..Default::default() },
+        config: AdminConfig {
+            horizon: 1,
+            future: FutureModelsParams {
+                n_landmarks: 10,
+                pool_slices: 2,
+                forest: RandomForestParams { n_trees: 4, ..Default::default() },
+                ..Default::default()
+            },
+            candidates: CandidateParams {
+                beam_width: 3,
+                max_iters: 2,
+                top_k: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    }
+}
+
+fn main() {
+    let mut wal_path = None;
+    let mut rounds: u64 = u64::MAX;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--wal" => wal_path = args.next(),
+            "--rounds" => {
+                rounds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--rounds takes a number");
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let wal_path = wal_path.expect("usage: jit-storestress --wal PATH [--rounds N]");
+
+    let spec = stress_spec();
+    let schema = spec.schema();
+    let system = Arc::new(spec.train().expect("deterministic training succeeds"));
+
+    let (wal, report) =
+        DurableDatabase::open_path(&wal_path, WalConfig::default()).expect("open WAL");
+    println!(
+        "RECOVERED records={} ops={} truncated={}",
+        report.records_replayed, report.ops_applied, report.truncated_bytes
+    );
+    let store =
+        DbSnapshotStore::open_durable(Arc::new(wal), &schema).expect("open store");
+    let service = JitService::with_shared(system, Arc::new(store));
+
+    for round in 0..rounds {
+        let members: Vec<CohortMember> = (0..8)
+            .map(|i| {
+                CohortMember::new(
+                    format!("cr-{i}"),
+                    UserRequest::new(synthetic_profile(&schema, 0, 0, i)),
+                )
+            })
+            .collect();
+        service.serve(ServeRequest::batch(members)).expect("round serves");
+        println!("ROUND {round} OK");
+        std::io::stdout().flush().expect("flush");
+    }
+}

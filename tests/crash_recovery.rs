@@ -1,0 +1,184 @@
+//! End-to-end crash recovery: SIGKILL the serving process mid-workload
+//! and prove the write-ahead log brings the snapshot store back
+//! bit-identically.
+//!
+//! The `jit-storestress` binary serves the same deterministic cohort
+//! round after round through a WAL-backed [`DbSnapshotStore`], printing
+//! `ROUND {n} OK` after each fully committed round. This test kills it
+//! with SIGKILL right after the first committed round — so the log ends
+//! wherever the kill landed, possibly mid-record — then reopens the
+//! surviving file in-process and checks:
+//!
+//! * recovery is clean (typed report, no panic), truncating any torn
+//!   tail;
+//! * every user from the committed round is present and refreshes
+//!   **bit-identically** to a cold serve of the same spec (the WAL path
+//!   adds durability, not drift);
+//! * the recovered log keeps accepting commits (the store is writable
+//!   again, not just readable).
+//!
+//! The train spec must stay in sync with `src/bin/jit-storestress.rs`.
+
+use justintime::jit_db::{DurableDatabase, WalConfig};
+use justintime::jit_service::loadgen::synthetic_profile;
+use justintime::jit_service::wire;
+use justintime::prelude::*;
+use std::io::{BufRead as _, BufReader};
+use std::process::{Command, Stdio};
+use std::sync::Arc;
+
+fn stress_spec() -> TrainSpec {
+    TrainSpec {
+        data: DataSpec { records_per_year: 60, n_years: 3, ..Default::default() },
+        config: AdminConfig {
+            horizon: 1,
+            future: FutureModelsParams {
+                n_landmarks: 10,
+                pool_slices: 2,
+                forest: RandomForestParams { n_trees: 4, ..Default::default() },
+                ..Default::default()
+            },
+            candidates: CandidateParams {
+                beam_width: 3,
+                max_iters: 2,
+                top_k: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    }
+}
+
+fn cohort(schema: &FeatureSchema) -> Vec<CohortMember> {
+    (0..8)
+        .map(|i| {
+            CohortMember::new(
+                format!("cr-{i}"),
+                UserRequest::new(synthetic_profile(schema, 0, 0, i)),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn sigkill_mid_save_recovers_and_reserves_bit_identically() {
+    let dir =
+        std::env::temp_dir().join(format!("jit-crash-recovery-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let wal_path = dir.join("snapshots.wal");
+    let _ = std::fs::remove_file(&wal_path);
+
+    // Launch the stress process and let it commit at least one full
+    // round (8 durable saves), then SIGKILL it — the next round is in
+    // flight, so the log tail is wherever the kill landed.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_jit-storestress"))
+        .arg("--wal")
+        .arg(&wal_path)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn jit-storestress");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let committed_round = loop {
+        let line = lines
+            .next()
+            .expect("stress process must report rounds before exiting")
+            .expect("readable stdout");
+        if let Some(round) = line.strip_prefix("ROUND ").and_then(|rest| {
+            rest.strip_suffix(" OK").and_then(|n| n.parse::<u64>().ok())
+        }) {
+            if round >= 1 {
+                break round;
+            }
+        }
+    };
+    child.kill().expect("SIGKILL");
+    let _ = child.wait();
+    assert!(committed_round >= 1);
+
+    // The reference: the same deterministic spec, trained and served
+    // cold in this process. Durability must not change a single bit.
+    let spec = stress_spec();
+    let schema = spec.schema();
+    let system = Arc::new(spec.train().expect("deterministic training"));
+    let reference_service = JitService::with_shared(
+        Arc::clone(&system),
+        Arc::new(MemorySnapshotStore::new()),
+    );
+    let members = cohort(&schema);
+    let ids: Vec<String> = members.iter().map(|m| m.user_id.clone()).collect();
+    reference_service.serve(ServeRequest::batch(members)).expect("cold serve");
+    let reference = wire::response_bytes(
+        &reference_service
+            .serve_wire(ServeRequest::refresh(ids.clone()))
+            .expect("reference refresh"),
+    );
+
+    // Reopen the log the kill left behind: recovery must be clean and
+    // land on the committed prefix (the saves are idempotent across
+    // rounds, so any committed prefix ≥ round 1 holds all 8 users).
+    let (wal, report) =
+        DurableDatabase::open_path(&wal_path, WalConfig::default()).expect("recover");
+    assert!(report.records_replayed > 0, "the committed round must survive");
+    let wal = Arc::new(wal);
+    let store =
+        DbSnapshotStore::open_durable(Arc::clone(&wal), &schema).expect("reopen store");
+    assert_eq!(store.user_ids().expect("listable"), ids, "all 8 users survive");
+
+    let recovered_service = JitService::with_shared(system, Arc::new(store));
+    let recovered = wire::response_bytes(
+        &recovered_service
+            .serve_wire(ServeRequest::refresh(ids.clone()))
+            .expect("recovered refresh"),
+    );
+    assert_eq!(
+        recovered, reference,
+        "refresh from the recovered WAL must be bit-identical to a cold serve"
+    );
+
+    // The recovered store keeps accepting durable writes.
+    recovered_service
+        .serve(ServeRequest::batch(cohort(&schema)))
+        .expect("post-recovery saves commit");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovery_truncates_a_torn_tail_without_losing_committed_saves() {
+    let dir = std::env::temp_dir()
+        .join(format!("jit-crash-torn-tail-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let wal_path = dir.join("snapshots.wal");
+    let _ = std::fs::remove_file(&wal_path);
+
+    let spec = stress_spec();
+    let schema = spec.schema();
+    let system = Arc::new(spec.train().expect("deterministic training"));
+    {
+        let (wal, _) = DurableDatabase::open_path(&wal_path, WalConfig::default())
+            .expect("fresh WAL");
+        let store =
+            DbSnapshotStore::open_durable(Arc::new(wal), &schema).expect("open store");
+        let service = JitService::with_shared(Arc::clone(&system), Arc::new(store));
+        service.serve(ServeRequest::batch(cohort(&schema))).expect("serve");
+    }
+
+    // Simulate a crash mid-append: chop bytes off the end of the file.
+    // The last commit record — the save of `cr-7` — is now torn.
+    let bytes = std::fs::read(&wal_path).expect("readable WAL");
+    std::fs::write(&wal_path, &bytes[..bytes.len() - 7]).expect("tear the tail");
+
+    let (wal, report) =
+        DurableDatabase::open_path(&wal_path, WalConfig::default()).expect("recover");
+    assert!(report.truncated_bytes > 0, "the torn record must be dropped");
+    let store =
+        DbSnapshotStore::open_durable(Arc::new(wal), &schema).expect("reopen store");
+    let survivors = store.user_ids().expect("listable");
+    let expected: Vec<String> = (0..7).map(|i| format!("cr-{i}")).collect();
+    assert_eq!(survivors, expected, "exactly the committed saves survive");
+    let service = JitService::with_shared(system, Arc::new(store));
+    service.serve(ServeRequest::refresh(survivors)).expect("survivors refresh cleanly");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
