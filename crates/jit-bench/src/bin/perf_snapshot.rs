@@ -5,8 +5,11 @@
 //! models-generator training (`future_models`), the end-to-end pipeline
 //! (`pipeline`), the candidates search (`candidates`), multi-user
 //! serving (`serve`), returning-user re-serving under the fingerprint
-//! diff (`reserve`, no-drift and 25%-drift cohorts) and the TCP serving
-//! tier under a closed-loop load burst (`net`) — and prints one JSON
+//! diff (`reserve`, no-drift and 25%-drift cohorts), the TCP serving
+//! tier under a closed-loop load burst (`net`) and the synthetic
+//! population workloads — a 1000-user cohort batch-served through the
+//! sharded tier and the recourse-invalidation refresh/classify loop
+//! (`synth`) — and prints one JSON
 //! object to stdout, so snapshots are reproducible with:
 //!
 //! ```text
@@ -16,6 +19,19 @@
 //!
 //! `--scale smoke` shrinks every workload (fewer records, trees, reps) so
 //! CI can *run* the benches — not just compile them — in seconds.
+//!
+//! ## Threads sweep
+//!
+//! ```text
+//! perf_snapshot --scale smoke --threads 1,2,4
+//! ```
+//!
+//! re-runs the scaling-sensitive workloads (training, batch serving,
+//! synthetic generation) once per requested thread count and emits a
+//! sweep-only snapshot whose entries carry an `@tN` suffix, plus a
+//! `"threads_sweep"` field. The sweep is a scaling-curve *artifact* —
+//! thread counts above the runner's cores measure oversubscription, not
+//! regressions — so it cannot be combined with `--check`.
 //!
 //! ## Regression gate
 //!
@@ -37,10 +53,12 @@ use jit_bench::{
     bench_config, bench_generator, drifted_returning_cohort, john_session,
     returning_cohort, serving_cohort, year_slices,
 };
-use jit_core::JustInTime;
-use jit_data::LendingClubGenerator;
+use jit_core::{JustInTime, TimePointServe, UserRequest};
+use jit_data::scenario::ScenarioSpec;
+use jit_data::{LendingClubGenerator, SyntheticGenerator};
 use jit_db::{DurableDatabase, MemFile, WalConfig};
 use jit_ml::{Dataset, RandomForestParams};
+use jit_service::invalidation::insight_digests;
 use jit_service::loadgen::{self, LoadMode, LoadPlan};
 use jit_service::net::{NetServer, NetServerConfig, ServeBackend};
 use jit_service::{
@@ -50,10 +68,12 @@ use jit_service::{
 use jit_temporal::future::{
     FutureModelsGenerator, FutureModelsParams, FuturePredictor,
 };
+use std::collections::HashMap;
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
+#[derive(Clone, Copy)]
 struct Scale {
     name: &'static str,
     records_per_year: usize,
@@ -101,19 +121,27 @@ struct Args {
     check: Option<String>,
     tolerance: f64,
     floor_ms: f64,
+    threads_sweep: Option<Vec<usize>>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: perf_snapshot [--scale full|smoke] \
-         [--check BASELINE.json [--tolerance RATIO] [--floor MS]]"
+         [--check BASELINE.json [--tolerance RATIO] [--floor MS]] \
+         [--threads N,N,...]"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut out = Args { scale: FULL, check: None, tolerance: 1.25, floor_ms: 1.0 };
+    let mut out = Args {
+        scale: FULL,
+        check: None,
+        tolerance: 1.25,
+        floor_ms: 1.0,
+        threads_sweep: None,
+    };
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -152,8 +180,26 @@ fn parse_args() -> Args {
                 out.floor_ms = f;
                 i += 2;
             }
+            "--threads" => {
+                let Some(list) = argv.get(i + 1) else { usage() };
+                let counts: Vec<usize> = list
+                    .split(',')
+                    .map(|t| t.trim().parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .unwrap_or_else(|_| usage());
+                if counts.is_empty() || counts.contains(&0) {
+                    usage()
+                }
+                out.threads_sweep = Some(counts);
+                i += 2;
+            }
             _ => usage(),
         }
+    }
+    // The sweep measures scaling curves, not regressions; gating one
+    // against a flat baseline would be meaningless.
+    if out.threads_sweep.is_some() && out.check.is_some() {
+        usage()
     }
     out
 }
@@ -280,9 +326,86 @@ fn check_regressions(
     regressions
 }
 
+/// Prints the snapshot JSON document to stdout.
+fn print_snapshot(
+    scale: Scale,
+    entries: &[(String, f64, f64)],
+    sweep: Option<&[usize]>,
+) {
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("{{");
+    println!("  \"schema_version\": 1,");
+    println!("  \"scale\": \"{}\",", scale.name);
+    println!("  \"reps\": {},", scale.reps);
+    println!("  \"threads_available\": {threads},");
+    if let Some(counts) = sweep {
+        let list: Vec<String> = counts.iter().map(usize::to_string).collect();
+        println!("  \"threads_sweep\": [{}],", list.join(", "));
+    }
+    println!("  \"timings_ms\": {{");
+    let n = entries.len();
+    for (i, (name, mean, min)) in entries.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        println!("    \"{name}\": {{ \"mean\": {mean:.2}, \"min\": {min:.2} }}{comma}");
+    }
+    println!("  }}");
+    println!("}}");
+}
+
+/// The `--threads` sweep: the scaling-sensitive workloads — forest
+/// training, the amortized batch-serving layer and parallel synthetic
+/// generation — once per requested thread count, with entries suffixed
+/// `@tN` so a scaling curve can be read straight off the snapshot.
+fn run_sweep(scale: Scale, thread_counts: &[usize]) {
+    let mut entries: Vec<(String, f64, f64)> = Vec::new();
+    let gen = bench_generator(scale.records_per_year.min(200));
+    let slices = year_slices(&gen);
+    let schema = gen.schema().clone();
+    let h = scale.horizon;
+    // Generation is microseconds per row; sweep a slice big enough for
+    // the parallel dispatch to matter.
+    let synth_rows =
+        if scale.records_per_year >= FULL.records_per_year { 100_000 } else { 20_000 };
+    let spec = ScenarioSpec::credit(0x5eed).with_rows_per_slice(synth_rows);
+    for &t in thread_counts {
+        let mut config = bench_config(h, true);
+        config.threads = t;
+        config.batch_threads = t;
+
+        let (mean, min) = time_ms(scale.reps, || {
+            let system = JustInTime::train(config.clone(), &schema, black_box(&slices))
+                .expect("sweep training must succeed");
+            black_box(system.models().len());
+        });
+        entries.push((format!("sweep/train_models_T{h}@t{t}"), mean, min));
+
+        let system = JustInTime::train(config.clone(), &schema, &slices)
+            .expect("sweep training must succeed");
+        let n = 2 * scale.batch_users;
+        let cohort = serving_cohort(&system, &gen, n);
+        let (mean, min) = time_ms(scale.reps, || {
+            let sessions = system.serve_batch(black_box(&cohort)).expect("sweep batch");
+            black_box(sessions.iter().map(|s| s.candidates().len()).sum::<usize>());
+        });
+        entries.push((format!("sweep/batch_sessions_{n}xT{h}@t{t}"), mean, min));
+
+        let synth = SyntheticGenerator::new(&spec, t);
+        let present = synth.present_slice();
+        let (mean, min) = time_ms(scale.reps, || {
+            black_box(synth.slice(black_box(present)).len());
+        });
+        entries.push((format!("sweep/synth_slice_{synth_rows}x@t{t}"), mean, min));
+    }
+    print_snapshot(scale, &entries, Some(thread_counts));
+}
+
 fn main() {
     let args = parse_args();
     let scale = args.scale;
+    if let Some(counts) = &args.threads_sweep {
+        run_sweep(scale, counts);
+        return;
+    }
     let mut entries: Vec<(String, f64, f64)> = Vec::new();
 
     // --- future_models: models-generator training per predictor --------
@@ -488,21 +611,94 @@ fn main() {
     entries.push((format!("net/loadgen_16xT{}", scale.horizon), mean, min));
     server.shutdown();
 
+    // --- synth: population-scale serving + recourse invalidation --------
+    // The registry's credit scenario at serving scale: a deterministic
+    // 1000-user cohort batch-served through the sharded tier, then the
+    // invalidation hot loop — refresh the cohort through a system
+    // retrained one drift step later and classify every (user, t) pair
+    // against its served insight fingerprints. These are the inner
+    // loops of `jit-scenariorun --smoke`, isolated from training noise.
+    let spec = ScenarioSpec::credit(0x5eed)
+        .with_rows_per_slice(scale.records_per_year)
+        .with_cohort_size(1_000);
+    let synth = SyntheticGenerator::new(&spec, 0);
+    let mut synth_config = bench_config(scale.horizon, true);
+    synth_config.start_year = spec.start_year;
+    let system_a = Arc::new(
+        JustInTime::train(synth_config, synth.schema(), &synth.history(0))
+            .expect("synth training must succeed"),
+    );
+    let members: Vec<CohortMember> = synth
+        .cohort()
+        .iter()
+        .map(|u| CohortMember::new(&u.user_id, UserRequest::new(u.profile.clone())))
+        .collect();
+    let ids: Vec<String> = members.iter().map(|m| m.user_id.clone()).collect();
+    let store_a: Arc<dyn SnapshotStore> = Arc::new(MemorySnapshotStore::new());
+    let service_a = ShardedService::from_shared(Arc::clone(&system_a), 4, 0, |_| {
+        Arc::clone(&store_a)
+    });
+    let (mean, min) = time_ms(scale.reps, || {
+        let response = service_a
+            .serve(ServeRequest::batch(black_box(members.clone())))
+            .expect("synth batch serve");
+        black_box(response.report.cold_time_points);
+    });
+    entries.push((format!("synth/serve_1kxT{}", scale.horizon), mean, min));
+
+    // Setup (untimed): the served insight fingerprints, the snapshots to
+    // seed each rep's store with, and the one-drift-step-later system.
+    let prior: HashMap<String, Vec<_>> = service_a
+        .serve(ServeRequest::batch(members.clone()))
+        .expect("synth baseline serve")
+        .users
+        .iter()
+        .map(|u| (u.user_id.clone(), insight_digests(&u.session, scale.horizon)))
+        .collect();
+    let seeded: Vec<_> = ids
+        .iter()
+        .map(|id| {
+            let snap = store_a.load(id).expect("loadable").expect("served above");
+            (id.clone(), snap)
+        })
+        .collect();
+    let system_b =
+        Arc::new(system_a.retrain(&synth.history(1)).expect("synth retrain"));
+    // Each rep refreshes against a fresh store seeded with the step-0
+    // snapshots — otherwise the first refresh would overwrite them and
+    // later reps would replay instead of recompute.
+    let (mean, min) = time_ms(scale.reps, || {
+        let store: Arc<dyn SnapshotStore> = Arc::new(MemorySnapshotStore::new());
+        for (id, snap) in &seeded {
+            store.save(id, snap).expect("seed save");
+        }
+        let service_b =
+            ShardedService::from_shared(Arc::clone(&system_b), 4, 0, |_| {
+                Arc::clone(&store)
+            });
+        let response = service_b
+            .serve(ServeRequest::refresh(black_box(ids.clone())))
+            .expect("synth refresh");
+        let mut overturned = 0usize;
+        for served in &response.users {
+            let fresh = insight_digests(&served.session, scale.horizon);
+            let before = &prior[&served.user_id];
+            let report = served
+                .session
+                .reserve_report()
+                .expect("refreshed sessions carry a reserve report");
+            for (t, tp) in report.iter().enumerate() {
+                if matches!(tp, TimePointServe::Recomputed) && fresh[t] != before[t] {
+                    overturned += 1;
+                }
+            }
+        }
+        black_box(overturned);
+    });
+    entries.push((format!("synth/invalidation_1kxT{}", scale.horizon), mean, min));
+
     // --- JSON out -------------------------------------------------------
-    let threads = std::thread::available_parallelism().map_or(1, usize::from);
-    println!("{{");
-    println!("  \"schema_version\": 1,");
-    println!("  \"scale\": \"{}\",", scale.name);
-    println!("  \"reps\": {},", scale.reps);
-    println!("  \"threads_available\": {threads},");
-    println!("  \"timings_ms\": {{");
-    let n = entries.len();
-    for (i, (name, mean, min)) in entries.iter().enumerate() {
-        let comma = if i + 1 < n { "," } else { "" };
-        println!("    \"{name}\": {{ \"mean\": {mean:.2}, \"min\": {min:.2} }}{comma}");
-    }
-    println!("  }}");
-    println!("}}");
+    print_snapshot(scale, &entries, None);
 
     // --- perf gate ------------------------------------------------------
     if let Some(baseline) = &args.check {

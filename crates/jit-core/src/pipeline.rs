@@ -330,6 +330,43 @@ impl JustInTime {
         })
     }
 
+    /// The drift-schedule hook: retrains the future-model sequence on a
+    /// new set of historical slices, keeping this system's admin
+    /// configuration and schema fixed. This is how a scenario's drift
+    /// schedule advances — each step slides the training window and
+    /// produces the next system; serving the same cohort through it
+    /// (over the same snapshot store) measures which served insights
+    /// the drift invalidated.
+    ///
+    /// Retraining is exactly [`JustInTime::train`], so it inherits the
+    /// full determinism contract: the same slices reproduce the same
+    /// models bit for bit, and unchanged models keep their content
+    /// fingerprints (letting re-serves replay their time points).
+    ///
+    /// # Errors
+    /// The typed [`TrainError`] from [`JustInTime::train`].
+    pub fn retrain(&self, slices: &[Dataset]) -> Result<JustInTime, TrainError> {
+        JustInTime::train(self.config.clone(), &self.schema, slices)
+    }
+
+    /// Which time points drifted relative to `prior`: `true` at `t`
+    /// where the two systems' `(M_t, δ_t)` content fingerprints differ
+    /// (or either is missing), `false` where a re-serve against `self`
+    /// can replay a `prior` session's time point. The same diff
+    /// incremental re-serving performs per session, surfaced once per
+    /// retrain so population-scale harnesses can report drift without
+    /// touching any user.
+    pub fn drifted_time_points(&self, prior: &JustInTime) -> Vec<bool> {
+        (0..self.model_digests.len())
+            .map(|t| {
+                match (self.model_digests[t], prior.model_digests.get(t).copied()) {
+                    (Some(a), Some(Some(b))) => a != b,
+                    _ => true,
+                }
+            })
+            .collect()
+    }
+
     /// The admin configuration.
     pub fn config(&self) -> &AdminConfig {
         &self.config
@@ -1054,6 +1091,25 @@ mod tests {
         assert_eq!(system.year_of(0), 2019);
         assert_eq!(system.year_of(3), 2022);
         assert_eq!(system.scales().len(), 6);
+    }
+
+    #[test]
+    fn retrain_keeps_config_and_diffs_fingerprints() {
+        let (schema, slices) = lending_slices(250);
+        let system = JustInTime::train(small_config(2), &schema, &slices).unwrap();
+
+        // Retraining on identical slices is bit-deterministic, so every
+        // fingerprint matches and nothing reports as drifted.
+        let same = system.retrain(&slices).unwrap();
+        assert_eq!(same.config().horizon, 2);
+        assert!(same.drifted_time_points(&system).iter().all(|d| !d));
+
+        // Sliding the window by one year is real drift: at least one
+        // time point's (M_t, δ_t) fingerprint must change.
+        let moved = system.retrain(&slices[1..]).unwrap();
+        let drifted = moved.drifted_time_points(&system);
+        assert_eq!(drifted.len(), 3);
+        assert!(drifted.iter().any(|d| *d));
     }
 
     #[test]

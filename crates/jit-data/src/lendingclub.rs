@@ -33,7 +33,7 @@ pub struct LoanRecord {
 }
 
 /// Generator parameters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LendingClubParams {
     /// First application year (inclusive).
     pub start_year: u32,

@@ -1,7 +1,10 @@
 //! # jit-data
 //!
-//! Data substrate for JustInTime: feature schemas and the synthetic
-//! Lending-Club-like workload.
+//! Data substrate for JustInTime: feature schemas, the synthetic
+//! Lending-Club-like workload, and the declarative scenario layer
+//! ([`scenario`] + [`synth`]) that generates arbitrary seeded
+//! populations — from 8 users to millions — bit-identically for any
+//! thread count.
 //!
 //! The paper demonstrates over the *Lending Club Loan Data* Kaggle dataset
 //! (~1M loan applications, 2007–2018). That dataset is not redistributable
@@ -20,7 +23,14 @@
 
 pub mod csv;
 pub mod lendingclub;
+pub mod scenario;
 pub mod schema;
+pub mod synth;
 
 pub use lendingclub::{LendingClubGenerator, LendingClubParams, LoanRecord};
+pub use scenario::{
+    CohortFilter, CohortSpec, DriftSchedule, LendingClubScenario, ScenarioRegistry,
+    ScenarioSpec, SyntheticFeature, Workload,
+};
 pub use schema::{FeatureKind, FeatureMeta, FeatureSchema, Mutability, TemporalSpec};
+pub use synth::{CohortUser, Distribution, LabelModel, SyntheticGenerator};

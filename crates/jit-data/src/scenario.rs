@@ -1,0 +1,768 @@
+//! Declarative scenario specs and the scenario registry.
+//!
+//! Motivated by Tempo-style declarative workload specs (see PAPERS.md):
+//! a scenario is **data, not code**. [`ScenarioSpec`] declares the
+//! feature schema (bounds, kinds, temporal evolution, mutability — the
+//! same [`FeatureMeta`] the engine's domain constraints are derived
+//! from), per-feature sampling distributions with covariate drift, a
+//! drifting logistic label model (concept drift), a drift schedule for
+//! retraining, cohort mixes and the serving time horizon. Everything
+//! else — generation, training, serving, invalidation measurement — is
+//! generic machinery driven by the spec.
+//!
+//! What stays code: the two irreducibly procedural pieces. Sampling
+//! itself lives in [`crate::synth`] (with its bit-determinism
+//! contract), and the hand-written Lending Club workload
+//! ([`crate::lendingclub`], whose oracle encodes the paper's
+//! Example I.1 verbatim) joins the registry as a [`Workload`] variant
+//! rather than being forced through the declarative mold.
+//!
+//! [`ScenarioRegistry`] names both kinds: look a workload up by name
+//! (`"lendingclub"`, `"synth/credit"`, …), get slices and cohorts out,
+//! and feed them to the serving stack. The registry is how bins, CI
+//! smokes and benchmarks reference scenarios without hard-coding them.
+
+use crate::lendingclub::{LendingClubGenerator, LendingClubParams};
+use crate::schema::{FeatureMeta, FeatureSchema};
+use crate::synth::{CohortUser, Distribution, LabelModel, SyntheticGenerator};
+use jit_math::digest::{Digest, DigestWriter};
+use jit_ml::Dataset;
+use std::collections::BTreeMap;
+
+/// One declared feature: serving metadata plus its generative model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SyntheticFeature {
+    /// Schema metadata (name, kind, bounds, temporal spec, mutability) —
+    /// exactly what serving derives domain constraints from.
+    pub meta: FeatureMeta,
+    /// Sampling distribution at slice 0.
+    pub dist: Distribution,
+    /// Additive location drift per history slice (covariate drift), in
+    /// the units of the distribution's location parameter.
+    pub drift_per_slice: f64,
+}
+
+/// How membership in a [`CohortSpec`] is decided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CohortFilter {
+    /// Every sampled profile joins.
+    All,
+    /// Only profiles the present-slice oracle rejects (`p < 0.5`) — the
+    /// population recourse is *for*.
+    Rejected,
+    /// Only profiles the present-slice oracle approves.
+    Approved,
+}
+
+/// One named cohort in the scenario's serving mix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CohortSpec {
+    /// Cohort name; becomes the user-id prefix, so it must be unique
+    /// within the spec.
+    pub name: String,
+    /// Number of members to generate.
+    pub size: usize,
+    /// Membership filter.
+    pub filter: CohortFilter,
+}
+
+/// The retraining schedule the invalidation harness advances through.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DriftSchedule {
+    /// Number of retrain steps after the initial training.
+    pub steps: usize,
+    /// How many slices the training window slides per step (how fast
+    /// drift moves through the models).
+    pub slices_per_step: usize,
+}
+
+/// A fully declarative synthetic scenario. See the module docs for the
+/// declarative-vs-code boundary and [`crate::synth`] for the generator's
+/// determinism contract.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Registry name (convention: `"synth/<something>"`).
+    pub name: String,
+    /// One-line human description.
+    pub description: String,
+    /// The features, in schema order.
+    pub features: Vec<SyntheticFeature>,
+    /// The drifting label oracle.
+    pub label: LabelModel,
+    /// The retraining schedule.
+    pub drift: DriftSchedule,
+    /// The serving cohorts, generated at the present slice.
+    pub cohorts: Vec<CohortSpec>,
+    /// Slices per training window.
+    pub history_slices: usize,
+    /// Labeled rows per slice.
+    pub rows_per_slice: usize,
+    /// Serving horizon `T` (time points `0..=T`).
+    pub horizon: usize,
+    /// Calendar year of `t = 0` (presentation only).
+    pub start_year: u32,
+    /// Base seed; every generated bit derives from it.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// The serving schema declared by the spec.
+    pub fn schema(&self) -> FeatureSchema {
+        FeatureSchema::new(self.features.iter().map(|f| f.meta.clone()).collect())
+    }
+
+    /// Total declared cohort size.
+    pub fn total_cohort_size(&self) -> usize {
+        self.cohorts.iter().map(|c| c.size).sum()
+    }
+
+    /// Structural consistency check; [`SyntheticGenerator::new`] refuses
+    /// specs that fail it.
+    ///
+    /// # Errors
+    /// A human-readable description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        let d = self.features.len();
+        if d == 0 {
+            return Err("a scenario needs at least one feature".into());
+        }
+        if self.label.weights.len() != d || self.label.weight_drift.len() != d {
+            return Err(format!(
+                "label model is over {} weights but the spec declares {d} features",
+                self.label.weights.len().max(self.label.weight_drift.len()),
+            ));
+        }
+        if !(self.label.sharpness.is_finite() && self.label.sharpness > 0.0) {
+            return Err("label sharpness must be finite and positive".into());
+        }
+        if self.rows_per_slice == 0 {
+            return Err("rows_per_slice must be positive".into());
+        }
+        if self.history_slices < 2 {
+            return Err("a training window needs at least 2 slices".into());
+        }
+        if self.horizon == 0 {
+            return Err("the serving horizon must be at least 1".into());
+        }
+        if self.drift.slices_per_step == 0 {
+            return Err("drift.slices_per_step must be positive".into());
+        }
+        let mut names = std::collections::HashSet::new();
+        for c in &self.cohorts {
+            if c.name.is_empty() || c.size == 0 {
+                return Err(format!("cohort {:?} must be named and non-empty", c.name));
+            }
+            if !names.insert(c.name.as_str()) {
+                return Err(format!("duplicate cohort name {:?}", c.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Content digest over every generation-relevant field: two specs
+    /// with equal digests generate bit-identical populations.
+    pub fn content_digest(&self) -> Digest {
+        let mut w = DigestWriter::new("jit-data/scenario-spec");
+        w.write_str(&self.name);
+        w.write_usize(self.features.len());
+        for f in &self.features {
+            // The meta fields travel through the schema digest below;
+            // here only the generative side.
+            f.dist.digest_into(&mut w);
+            w.write_f64(f.drift_per_slice);
+        }
+        w.write_digest(self.schema().content_digest());
+        self.label.digest_into(&mut w);
+        w.write_usize(self.drift.steps);
+        w.write_usize(self.drift.slices_per_step);
+        w.write_usize(self.cohorts.len());
+        for c in &self.cohorts {
+            w.write_str(&c.name);
+            w.write_usize(c.size);
+            w.write_u64(match c.filter {
+                CohortFilter::All => 0,
+                CohortFilter::Rejected => 1,
+                CohortFilter::Approved => 2,
+            });
+        }
+        w.write_usize(self.history_slices);
+        w.write_usize(self.rows_per_slice);
+        w.write_usize(self.horizon);
+        w.write_u64(u64::from(self.start_year));
+        w.write_u64(self.seed);
+        w.finish()
+    }
+
+    /// Rescales the cohort mix to `total` members, preserving the
+    /// declared proportions (largest-remainder rounding, every cohort
+    /// kept non-empty). The knob behind `jit-scenariorun --users`.
+    #[must_use]
+    pub fn with_cohort_size(mut self, total: usize) -> Self {
+        let current: usize = self.total_cohort_size();
+        if current == 0 || self.cohorts.is_empty() || total == 0 {
+            return self;
+        }
+        let n = self.cohorts.len();
+        let mut sizes: Vec<usize> = Vec::with_capacity(n);
+        let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(n);
+        for (i, c) in self.cohorts.iter().enumerate() {
+            let exact = total as f64 * c.size as f64 / current as f64;
+            let floor = (exact.floor() as usize).max(1);
+            sizes.push(floor);
+            remainders.push((i, exact - exact.floor()));
+        }
+        // Hand out the remaining members by descending fractional part
+        // (ties broken by spec order, so the result is deterministic).
+        remainders
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut assigned: usize = sizes.iter().sum();
+        let mut k = 0;
+        while assigned < total {
+            sizes[remainders[k % n].0] += 1;
+            assigned += 1;
+            k += 1;
+        }
+        while assigned > total {
+            // Over-assignment can only come from the max(1) floors; trim
+            // the largest cohorts first, never below one member.
+            let i = (0..n).max_by_key(|&i| sizes[i]).unwrap_or(0);
+            if sizes[i] <= 1 {
+                break;
+            }
+            sizes[i] -= 1;
+            assigned -= 1;
+        }
+        for (c, size) in self.cohorts.iter_mut().zip(sizes) {
+            c.size = size;
+        }
+        self
+    }
+
+    /// Overrides the number of drift steps (the `--steps` knob).
+    #[must_use]
+    pub fn with_drift_steps(mut self, steps: usize) -> Self {
+        self.drift.steps = steps;
+        self
+    }
+
+    /// Overrides the base seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the rows generated per training slice.
+    #[must_use]
+    pub fn with_rows_per_slice(mut self, rows: usize) -> Self {
+        self.rows_per_slice = rows;
+        self
+    }
+
+    /// The built-in credit-underwriting scenario: eight features with
+    /// covariate drift (wage growth, rising debt) and concept drift
+    /// (debt weighting tightens, score weighting rises), a mostly-
+    /// rejected serving mix, horizon 3.
+    pub fn credit(seed: u64) -> Self {
+        use crate::schema::{FeatureKind, Mutability, TemporalSpec};
+        let f = |meta, dist, drift_per_slice| SyntheticFeature {
+            meta,
+            dist,
+            drift_per_slice,
+        };
+        ScenarioSpec {
+            name: "synth/credit".into(),
+            description: "drifting credit underwriting over 8 features".into(),
+            features: vec![
+                f(
+                    FeatureMeta::new(
+                        "age",
+                        FeatureKind::Ordinal,
+                        18.0,
+                        80.0,
+                        TemporalSpec::Linear { per_period: 1.0 },
+                        Mutability::Immutable,
+                    ),
+                    Distribution::Normal { mean: 38.0, std_dev: 11.0 },
+                    0.0,
+                ),
+                f(
+                    FeatureMeta::new(
+                        "income",
+                        FeatureKind::Continuous,
+                        0.0,
+                        300_000.0,
+                        TemporalSpec::Compound { rate: 0.03 },
+                        Mutability::Actionable,
+                    ),
+                    Distribution::LogNormal { location: 10.85, scale: 0.45 },
+                    0.01,
+                ),
+                f(
+                    FeatureMeta::new(
+                        "monthly_debt",
+                        FeatureKind::Continuous,
+                        0.0,
+                        20_000.0,
+                        TemporalSpec::Static,
+                        Mutability::Actionable,
+                    ),
+                    Distribution::Normal { mean: 1_800.0, std_dev: 700.0 },
+                    15.0,
+                ),
+                f(
+                    FeatureMeta::new(
+                        "savings",
+                        FeatureKind::Continuous,
+                        0.0,
+                        500_000.0,
+                        TemporalSpec::Compound { rate: 0.02 },
+                        Mutability::Actionable,
+                    ),
+                    Distribution::LogNormal { location: 9.2, scale: 0.8 },
+                    0.005,
+                ),
+                f(
+                    FeatureMeta::new(
+                        "employment_years",
+                        FeatureKind::Ordinal,
+                        0.0,
+                        45.0,
+                        TemporalSpec::Linear { per_period: 1.0 },
+                        Mutability::Actionable,
+                    ),
+                    Distribution::Normal { mean: 8.0, std_dev: 6.0 },
+                    0.0,
+                ),
+                f(
+                    FeatureMeta::new(
+                        "homeowner",
+                        FeatureKind::Binary,
+                        0.0,
+                        1.0,
+                        TemporalSpec::Static,
+                        Mutability::Immutable,
+                    ),
+                    Distribution::Bernoulli { p: 0.55 },
+                    0.003,
+                ),
+                f(
+                    FeatureMeta::new(
+                        "loan_amount",
+                        FeatureKind::Continuous,
+                        1_000.0,
+                        80_000.0,
+                        TemporalSpec::Static,
+                        Mutability::Actionable,
+                    ),
+                    Distribution::LogNormal { location: 9.6, scale: 0.5 },
+                    0.004,
+                ),
+                f(
+                    FeatureMeta::new(
+                        "credit_score",
+                        FeatureKind::Ordinal,
+                        300.0,
+                        850.0,
+                        TemporalSpec::Linear { per_period: 4.0 },
+                        Mutability::Actionable,
+                    ),
+                    Distribution::Normal { mean: 660.0, std_dev: 70.0 },
+                    0.4,
+                ),
+            ],
+            label: LabelModel {
+                weights: vec![0.1, 1.2, -1.0, 0.5, 0.4, 0.25, -0.9, 1.4],
+                bias: -0.55,
+                weight_drift: vec![0.0, -0.03, -0.06, 0.0, 0.0, 0.0, 0.0, 0.04],
+                bias_drift: -0.01,
+                sharpness: 2.0,
+                noisy: true,
+            },
+            drift: DriftSchedule { steps: 2, slices_per_step: 1 },
+            cohorts: vec![
+                CohortSpec {
+                    name: "rejected".into(),
+                    size: 96,
+                    filter: CohortFilter::Rejected,
+                },
+                CohortSpec {
+                    name: "walk-ins".into(),
+                    size: 32,
+                    filter: CohortFilter::All,
+                },
+            ],
+            history_slices: 8,
+            rows_per_slice: 2_500,
+            horizon: 3,
+            start_year: 2026,
+            seed,
+        }
+    }
+
+    /// The committed population-scale spec: [`ScenarioSpec::credit`]
+    /// with a 100 000-user cohort mix. Generation stays bit-identical
+    /// across thread counts and reruns at this size (locked down by the
+    /// determinism suites); serve it through `ShardedService` via
+    /// `jit-scenariorun` when you want the full end-to-end run.
+    pub fn credit_100k() -> Self {
+        let mut spec = Self::credit(0x0dd5_eed5).with_cohort_size(100_000);
+        spec.name = "synth/credit-100k".into();
+        spec.description = "the credit scenario at a 100k-user serving cohort".into();
+        spec
+    }
+
+    /// The built-in subscription-churn scenario: six features, retention
+    /// label, price sensitivity sharpening over time.
+    pub fn churn(seed: u64) -> Self {
+        use crate::schema::{FeatureKind, Mutability, TemporalSpec};
+        let f = |meta, dist, drift_per_slice| SyntheticFeature {
+            meta,
+            dist,
+            drift_per_slice,
+        };
+        ScenarioSpec {
+            name: "synth/churn".into(),
+            description: "subscription retention under rising price sensitivity".into(),
+            features: vec![
+                f(
+                    FeatureMeta::new(
+                        "tenure_months",
+                        FeatureKind::Ordinal,
+                        0.0,
+                        240.0,
+                        TemporalSpec::Linear { per_period: 12.0 },
+                        Mutability::Immutable,
+                    ),
+                    Distribution::LogNormal { location: 3.0, scale: 0.9 },
+                    0.2,
+                ),
+                f(
+                    FeatureMeta::new(
+                        "monthly_fee",
+                        FeatureKind::Continuous,
+                        5.0,
+                        200.0,
+                        TemporalSpec::Compound { rate: 0.05 },
+                        Mutability::Actionable,
+                    ),
+                    Distribution::Normal { mean: 42.0, std_dev: 18.0 },
+                    0.6,
+                ),
+                f(
+                    FeatureMeta::new(
+                        "weekly_usage_hours",
+                        FeatureKind::Continuous,
+                        0.0,
+                        80.0,
+                        TemporalSpec::Static,
+                        Mutability::Actionable,
+                    ),
+                    Distribution::LogNormal { location: 1.6, scale: 0.7 },
+                    -0.01,
+                ),
+                f(
+                    FeatureMeta::new(
+                        "support_tickets",
+                        FeatureKind::Ordinal,
+                        0.0,
+                        50.0,
+                        TemporalSpec::Static,
+                        Mutability::Actionable,
+                    ),
+                    Distribution::LogNormal { location: 0.3, scale: 1.0 },
+                    0.01,
+                ),
+                f(
+                    FeatureMeta::new(
+                        "autopay",
+                        FeatureKind::Binary,
+                        0.0,
+                        1.0,
+                        TemporalSpec::Static,
+                        Mutability::Actionable,
+                    ),
+                    Distribution::Bernoulli { p: 0.4 },
+                    0.005,
+                ),
+                f(
+                    FeatureMeta::new(
+                        "discount_rate",
+                        FeatureKind::Continuous,
+                        0.0,
+                        0.5,
+                        TemporalSpec::Static,
+                        Mutability::Actionable,
+                    ),
+                    Distribution::Uniform { lo: 0.0, hi: 0.3 },
+                    0.002,
+                ),
+            ],
+            label: LabelModel {
+                weights: vec![0.8, -0.9, 1.1, -0.7, 0.5, 0.6],
+                bias: 0.15,
+                weight_drift: vec![0.0, -0.05, 0.02, 0.0, 0.0, 0.03],
+                bias_drift: -0.015,
+                sharpness: 1.8,
+                noisy: true,
+            },
+            drift: DriftSchedule { steps: 2, slices_per_step: 1 },
+            cohorts: vec![CohortSpec {
+                name: "at-risk".into(),
+                size: 64,
+                filter: CohortFilter::Rejected,
+            }],
+            history_slices: 6,
+            rows_per_slice: 2_000,
+            horizon: 3,
+            start_year: 2026,
+            seed,
+        }
+    }
+}
+
+/// The hand-written Lending Club workload packaged for the registry:
+/// the same [`LendingClubGenerator`] the rest of the repo uses, with the
+/// serving knobs a registry entry needs (horizon, drift schedule,
+/// cohort size). Drift step `k` extends the history by `k` more years —
+/// the generator's oracle already drifts year over year (Example I.1),
+/// so sliding the window retrains genuinely different models.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LendingClubScenario {
+    /// Generator parameters.
+    pub params: LendingClubParams,
+    /// Serving horizon `T`.
+    pub horizon: usize,
+    /// Retrain steps (each adds one year of history).
+    pub drift_steps: usize,
+    /// Members of the served cohort (rejected applicants from the last
+    /// training year).
+    pub cohort_size: usize,
+}
+
+impl Default for LendingClubScenario {
+    fn default() -> Self {
+        LendingClubScenario {
+            params: LendingClubParams::default(),
+            horizon: 3,
+            drift_steps: 2,
+            cohort_size: 64,
+        }
+    }
+}
+
+/// A named workload: either a declarative synthetic scenario or the
+/// code-defined Lending Club generator, behind one interface the
+/// serving/invalidation machinery consumes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Workload {
+    /// A declarative [`ScenarioSpec`] realized by [`SyntheticGenerator`].
+    Synthetic(ScenarioSpec),
+    /// The hand-written Lending Club workload.
+    LendingClub(LendingClubScenario),
+}
+
+impl Workload {
+    /// The registry name.
+    pub fn name(&self) -> &str {
+        match self {
+            Workload::Synthetic(spec) => &spec.name,
+            Workload::LendingClub(_) => "lendingclub",
+        }
+    }
+
+    /// The serving schema.
+    pub fn schema(&self) -> FeatureSchema {
+        match self {
+            Workload::Synthetic(spec) => spec.schema(),
+            Workload::LendingClub(lc) => {
+                LendingClubGenerator::new(lc.params.clone()).schema().clone()
+            }
+        }
+    }
+
+    /// The serving horizon `T`.
+    pub fn horizon(&self) -> usize {
+        match self {
+            Workload::Synthetic(spec) => spec.horizon,
+            Workload::LendingClub(lc) => lc.horizon,
+        }
+    }
+
+    /// Calendar year of `t = 0` (presentation only).
+    pub fn start_year(&self) -> u32 {
+        match self {
+            Workload::Synthetic(spec) => spec.start_year,
+            Workload::LendingClub(lc) => lc.params.end_year + 1,
+        }
+    }
+
+    /// Number of retrain steps in the drift schedule.
+    pub fn drift_steps(&self) -> usize {
+        match self {
+            Workload::Synthetic(spec) => spec.drift.steps,
+            Workload::LendingClub(lc) => lc.drift_steps,
+        }
+    }
+
+    /// The training slices at drift step `k` (step 0 is the initial
+    /// window). Generation is bit-identical for every `threads` value.
+    pub fn history(&self, drift_step: usize, threads: usize) -> Vec<Dataset> {
+        match self {
+            Workload::Synthetic(spec) => {
+                SyntheticGenerator::new(spec, threads).history(drift_step)
+            }
+            Workload::LendingClub(lc) => {
+                let params = LendingClubParams {
+                    end_year: lc.params.end_year + drift_step as u32,
+                    ..lc.params.clone()
+                };
+                let gen = LendingClubGenerator::new(params);
+                gen.years()
+                    .into_iter()
+                    .map(|y| LendingClubGenerator::to_dataset(&gen.records_for_year(y)))
+                    .collect()
+            }
+        }
+    }
+
+    /// The identified serving cohort, generated at the present slice.
+    pub fn cohort(&self, threads: usize) -> Vec<CohortUser> {
+        match self {
+            Workload::Synthetic(spec) => {
+                SyntheticGenerator::new(spec, threads).cohort()
+            }
+            Workload::LendingClub(lc) => {
+                let gen = LendingClubGenerator::new(lc.params.clone());
+                let year = lc.params.end_year;
+                let rejected: Vec<Vec<f64>> = gen
+                    .records_for_year(year)
+                    .into_iter()
+                    .filter(|r| gen.oracle_probability(&r.features, year) < 0.5)
+                    .map(|r| r.features)
+                    .take(lc.cohort_size)
+                    .collect();
+                assert!(
+                    rejected.len() == lc.cohort_size,
+                    "lendingclub year {year} has only {} rejected applicants, \
+                     cohort needs {}; raise records_per_year",
+                    rejected.len(),
+                    lc.cohort_size,
+                );
+                rejected
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, profile)| CohortUser {
+                        cohort: "lc-rejected".into(),
+                        user_id: format!("lc-rejected-{i:06}"),
+                        profile,
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Content digest of the workload definition.
+    pub fn content_digest(&self) -> Digest {
+        match self {
+            Workload::Synthetic(spec) => spec.content_digest(),
+            Workload::LendingClub(lc) => {
+                let mut w = DigestWriter::new("jit-data/lendingclub-scenario");
+                w.write_u64(u64::from(lc.params.start_year));
+                w.write_u64(u64::from(lc.params.end_year));
+                w.write_usize(lc.params.records_per_year);
+                w.write_f64(lc.params.oracle_sharpness);
+                w.write_u64(lc.params.seed);
+                w.write_usize(lc.horizon);
+                w.write_usize(lc.drift_steps);
+                w.write_usize(lc.cohort_size);
+                w.finish()
+            }
+        }
+    }
+
+    /// Rescales the served cohort to `total` users (see
+    /// [`ScenarioSpec::with_cohort_size`]).
+    #[must_use]
+    pub fn with_cohort_size(self, total: usize) -> Self {
+        match self {
+            Workload::Synthetic(spec) => {
+                Workload::Synthetic(spec.with_cohort_size(total))
+            }
+            Workload::LendingClub(mut lc) => {
+                lc.cohort_size = total;
+                Workload::LendingClub(lc)
+            }
+        }
+    }
+
+    /// Overrides the number of drift steps.
+    #[must_use]
+    pub fn with_drift_steps(self, steps: usize) -> Self {
+        match self {
+            Workload::Synthetic(spec) => {
+                Workload::Synthetic(spec.with_drift_steps(steps))
+            }
+            Workload::LendingClub(mut lc) => {
+                lc.drift_steps = steps;
+                Workload::LendingClub(lc)
+            }
+        }
+    }
+}
+
+/// The name → [`Workload`] registry. `BTreeMap`-backed so listings are
+/// sorted and deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct ScenarioRegistry {
+    entries: BTreeMap<String, Workload>,
+}
+
+impl ScenarioRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The built-in registry: the Lending Club workload plus the
+    /// committed synthetic scenarios.
+    pub fn builtin() -> Self {
+        let mut reg = Self::new();
+        reg.register(Workload::LendingClub(LendingClubScenario::default()));
+        reg.register(Workload::Synthetic(ScenarioSpec::credit(0x0dd5_eed5)));
+        reg.register(Workload::Synthetic(ScenarioSpec::credit_100k()));
+        reg.register(Workload::Synthetic(ScenarioSpec::churn(0xc0ff_ee00)));
+        reg
+    }
+
+    /// Registers `workload` under [`Workload::name`]; returns the entry
+    /// it replaced, if any.
+    pub fn register(&mut self, workload: Workload) -> Option<Workload> {
+        self.entries.insert(workload.name().to_string(), workload)
+    }
+
+    /// Looks a workload up by name.
+    pub fn get(&self, name: &str) -> Option<&Workload> {
+        self.entries.get(name)
+    }
+
+    /// The registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// The registered workloads, in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Workload)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of registered workloads.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}

@@ -61,7 +61,7 @@ pub enum Mutability {
 }
 
 /// Metadata for one feature.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FeatureMeta {
     /// Column name; also the SQL column name in the candidates table.
     pub name: String,

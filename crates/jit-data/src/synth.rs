@@ -1,0 +1,374 @@
+//! Seeded, bit-deterministic synthetic population generator.
+//!
+//! Where [`crate::lendingclub`] is one hand-written workload, this module
+//! turns a declarative [`ScenarioSpec`]
+//! into data: labeled training slices and identified serving cohorts, at
+//! any size from 8 users to millions.
+//!
+//! ## Determinism contract
+//!
+//! Generation is **bit-deterministic for every thread count**: each row
+//! derives its own SplitMix64 stream from `(spec seed, stream tag, row
+//! index)` *before* work is dispatched to the `jit-runtime` pool — the
+//! same fork-streams-before-dispatch discipline training uses, taken to
+//! its strongest form (a per-row pure function). No draw ever depends on
+//! which worker ran a neighbouring row or how the pool chunked the index
+//! space, so `generate` with 1, 2 or 8 threads — or in two different
+//! processes — produces byte-identical [`Dataset`]s and cohorts.
+//!
+//! Cohort membership filters (e.g. "rejected at present") use
+//! deterministic rejection sampling: attempt indices are drawn in order
+//! and the first `size` accepted attempts win, which is again
+//! independent of the parallel schedule.
+
+use crate::scenario::{CohortFilter, ScenarioSpec};
+use crate::schema::FeatureSchema;
+use jit_math::digest::{splitmix64, Digest, DigestWriter};
+use jit_math::rng::Rng;
+use jit_ml::Dataset;
+use jit_runtime::Runtime;
+
+/// A parameterized sampling distribution for one feature.
+///
+/// `shift` (covariate drift, in units of the distribution's location
+/// parameter) moves the location: the mean for [`Distribution::Normal`],
+/// the bounds for [`Distribution::Uniform`], the log-location for
+/// [`Distribution::LogNormal`] and the success probability (clamped to
+/// `[0, 1]`) for [`Distribution::Bernoulli`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Distribution {
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Gaussian.
+    Normal {
+        /// Location.
+        mean: f64,
+        /// Spread (must be finite and non-negative).
+        std_dev: f64,
+    },
+    /// `exp(Normal(location, scale))` — heavy-tailed positives (incomes,
+    /// balances, loan amounts).
+    LogNormal {
+        /// Log-space location (`exp(location)` is the median).
+        location: f64,
+        /// Log-space spread.
+        scale: f64,
+    },
+    /// `1.0` with probability `p`, else `0.0`.
+    Bernoulli {
+        /// Success probability.
+        p: f64,
+    },
+}
+
+impl Distribution {
+    /// Draws one value with the location shifted by `shift`.
+    pub fn sample(&self, rng: &mut Rng, shift: f64) -> f64 {
+        match *self {
+            Distribution::Uniform { lo, hi } => rng.uniform(lo + shift, hi + shift),
+            Distribution::Normal { mean, std_dev } => {
+                rng.normal_with(mean + shift, std_dev)
+            }
+            Distribution::LogNormal { location, scale } => {
+                rng.normal_with(location + shift, scale).exp()
+            }
+            Distribution::Bernoulli { p } => {
+                if rng.bernoulli((p + shift).clamp(0.0, 1.0)) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Folds every parameter into a content digest.
+    pub fn digest_into(&self, w: &mut DigestWriter) {
+        match *self {
+            Distribution::Uniform { lo, hi } => {
+                w.write_u64(0);
+                w.write_f64(lo);
+                w.write_f64(hi);
+            }
+            Distribution::Normal { mean, std_dev } => {
+                w.write_u64(1);
+                w.write_f64(mean);
+                w.write_f64(std_dev);
+            }
+            Distribution::LogNormal { location, scale } => {
+                w.write_u64(2);
+                w.write_f64(location);
+                w.write_f64(scale);
+            }
+            Distribution::Bernoulli { p } => {
+                w.write_u64(3);
+                w.write_f64(p);
+            }
+        }
+    }
+}
+
+/// The label model: a drifting logistic oracle over normalized features.
+///
+/// Each feature is normalized to roughly `[-1, 1]` by its schema bounds
+/// (`(x - mid) / halfspan`), so weights are comparable across features
+/// regardless of raw units. At history slice `s` the oracle score is
+///
+/// ```text
+/// z(x, s) = bias + bias_drift·s + Σᵢ (weightᵢ + weight_driftᵢ·s) · normᵢ(xᵢ)
+/// p(x, s) = σ(sharpness · z(x, s))
+/// ```
+///
+/// so non-zero `weight_drift` entries are **concept drift**: the same
+/// applicant's approval probability changes as slices advance, which is
+/// what the recourse-invalidation harness measures.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LabelModel {
+    /// Per-feature weight at slice 0 (length = number of features).
+    pub weights: Vec<f64>,
+    /// Intercept at slice 0.
+    pub bias: f64,
+    /// Additive per-slice weight drift (length = number of features).
+    pub weight_drift: Vec<f64>,
+    /// Additive per-slice intercept drift.
+    pub bias_drift: f64,
+    /// Logistic steepness; larger = less label noise.
+    pub sharpness: f64,
+    /// `true` samples labels from `Bernoulli(p)` (noisy, like real
+    /// decisions); `false` thresholds at `p >= 0.5` (noise-free oracle).
+    pub noisy: bool,
+}
+
+impl LabelModel {
+    /// Folds every parameter into a content digest.
+    pub fn digest_into(&self, w: &mut DigestWriter) {
+        w.write_f64s(&self.weights);
+        w.write_f64(self.bias);
+        w.write_f64s(&self.weight_drift);
+        w.write_f64(self.bias_drift);
+        w.write_f64(self.sharpness);
+        w.write_bool(self.noisy);
+    }
+}
+
+/// One identified member of a generated serving cohort.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CohortUser {
+    /// Name of the cohort the user belongs to.
+    pub cohort: String,
+    /// Stable unique user id (`"{cohort}-{index:06}"`).
+    pub user_id: String,
+    /// The user's present profile, sanitized into the schema's domain.
+    pub profile: Vec<f64>,
+}
+
+/// Stream tags keep row streams for different purposes disjoint even at
+/// equal indices.
+const SLICE_TAG: u64 = 0x534c_4943_455f_5441; // "SLICE_TA"
+const COHORT_TAG: u64 = 0x434f_484f_5254_5f54; // "COHORT_T"
+
+/// Pure per-row stream derivation: the whole determinism contract hangs
+/// on this being a function of `(seed, stream, index)` only.
+fn stream_seed(seed: u64, stream: u64, index: u64) -> u64 {
+    splitmix64(
+        splitmix64(seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            ^ index.wrapping_mul(0xbf58_476d_1ce4_e5b9),
+    )
+}
+
+/// The generator: a validated [`ScenarioSpec`] plus a `jit-runtime` pool.
+///
+/// All outputs are bit-identical for every `threads` value (see the
+/// module docs for the contract).
+pub struct SyntheticGenerator {
+    spec: ScenarioSpec,
+    schema: FeatureSchema,
+    runtime: Runtime,
+}
+
+impl SyntheticGenerator {
+    /// Builds a generator; `threads` follows the `jit-runtime`
+    /// convention (`0` = one per core, `1` = serial).
+    ///
+    /// # Panics
+    /// When the spec fails [`ScenarioSpec::validate`] — generating from
+    /// an inconsistent spec would silently mis-label.
+    pub fn new(spec: &ScenarioSpec, threads: usize) -> Self {
+        if let Err(why) = spec.validate() {
+            panic!("invalid scenario spec {:?}: {why}", spec.name);
+        }
+        SyntheticGenerator {
+            schema: spec.schema(),
+            spec: spec.clone(),
+            runtime: Runtime::new(threads),
+        }
+    }
+
+    /// The spec this generator realizes.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// The schema built from the spec's feature metadata.
+    pub fn schema(&self) -> &FeatureSchema {
+        &self.schema
+    }
+
+    /// Samples one profile at absolute slice index `slice` (covariate
+    /// drift applied), sanitized into the schema domain.
+    fn sample_row(&self, rng: &mut Rng, slice: usize) -> Vec<f64> {
+        self.spec
+            .features
+            .iter()
+            .map(|f| {
+                let shift = f.drift_per_slice * slice as f64;
+                f.meta.sanitize(f.dist.sample(rng, shift))
+            })
+            .collect()
+    }
+
+    /// The oracle's approval probability for `profile` under the label
+    /// model at absolute slice index `slice` (concept drift applied).
+    pub fn oracle_probability(&self, profile: &[f64], slice: usize) -> f64 {
+        let label = &self.spec.label;
+        let s = slice as f64;
+        let mut z = label.bias + label.bias_drift * s;
+        for (i, f) in self.spec.features.iter().enumerate() {
+            let mid = (f.meta.min + f.meta.max) / 2.0;
+            let halfspan = (f.meta.max - f.meta.min) / 2.0;
+            let norm = if halfspan > 0.0 {
+                (profile[i] - mid) / halfspan
+            } else {
+                profile[i] - mid
+            };
+            z += (label.weights[i] + label.weight_drift[i] * s) * norm;
+        }
+        1.0 / (1.0 + (-label.sharpness * z).exp())
+    }
+
+    /// Generates the labeled training slice at absolute index `slice`
+    /// (`rows_per_slice` rows), in parallel, bit-identically for any
+    /// thread count.
+    pub fn slice(&self, slice: usize) -> Dataset {
+        let n = self.spec.rows_per_slice;
+        let generated = self.runtime.parallel_map(n, |i| {
+            let mut rng = Rng::seeded(stream_seed(
+                self.spec.seed,
+                SLICE_TAG ^ slice as u64,
+                i as u64,
+            ));
+            let row = self.sample_row(&mut rng, slice);
+            let p = self.oracle_probability(&row, slice);
+            let label = if self.spec.label.noisy { rng.bernoulli(p) } else { p >= 0.5 };
+            (row, label)
+        });
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for (row, label) in generated {
+            rows.push(row);
+            labels.push(label);
+        }
+        Dataset::from_rows(rows, labels)
+    }
+
+    /// The training history at drift step `k`: `history_slices` slices
+    /// starting at absolute index `k * drift.slices_per_step`. Step 0 is
+    /// the initial training window; each step slides it forward, which
+    /// moves both covariate and concept drift through the models.
+    pub fn history(&self, drift_step: usize) -> Vec<Dataset> {
+        let first = drift_step * self.spec.drift.slices_per_step;
+        (first..first + self.spec.history_slices).map(|s| self.slice(s)).collect()
+    }
+
+    /// The absolute slice index cohort members are sampled at (the last
+    /// slice of the step-0 training window — "the present").
+    pub fn present_slice(&self) -> usize {
+        self.spec.history_slices.saturating_sub(1)
+    }
+
+    /// Generates every declared cohort, in spec order, with stable user
+    /// ids. Filtered cohorts use deterministic rejection sampling (see
+    /// the module docs); an infeasible filter (acceptance below ~1/64)
+    /// panics rather than looping forever.
+    pub fn cohort(&self) -> Vec<CohortUser> {
+        let present = self.present_slice();
+        let mut users = Vec::new();
+        for (c_idx, cohort) in self.spec.cohorts.iter().enumerate() {
+            let mut accepted: Vec<Vec<f64>> = Vec::with_capacity(cohort.size);
+            let wave = cohort.size.clamp(1024, 1 << 16);
+            let mut next_attempt = 0usize;
+            let max_attempts = cohort.size.saturating_mul(64).max(1 << 16);
+            while accepted.len() < cohort.size {
+                assert!(
+                    next_attempt < max_attempts,
+                    "cohort {:?} filter accepts too few profiles \
+                     ({}/{} after {} attempts)",
+                    cohort.name,
+                    accepted.len(),
+                    cohort.size,
+                    next_attempt,
+                );
+                let rows = self.runtime.parallel_map(wave, |j| {
+                    let attempt = (next_attempt + j) as u64;
+                    let mut rng = Rng::seeded(stream_seed(
+                        self.spec.seed,
+                        COHORT_TAG ^ c_idx as u64,
+                        attempt,
+                    ));
+                    let row = self.sample_row(&mut rng, present);
+                    let p = self.oracle_probability(&row, present);
+                    let keep = match cohort.filter {
+                        CohortFilter::All => true,
+                        CohortFilter::Rejected => p < 0.5,
+                        CohortFilter::Approved => p >= 0.5,
+                    };
+                    keep.then_some(row)
+                });
+                for row in rows.into_iter().flatten() {
+                    if accepted.len() == cohort.size {
+                        break;
+                    }
+                    accepted.push(row);
+                }
+                next_attempt += wave;
+            }
+            users.extend(accepted.into_iter().enumerate().map(|(i, profile)| {
+                CohortUser {
+                    cohort: cohort.name.clone(),
+                    user_id: format!("{}-{i:06}", cohort.name),
+                    profile,
+                }
+            }));
+        }
+        users
+    }
+
+    /// A digest of the generated population at `drift_step`: every
+    /// history row, label and cohort profile, bit for bit. Two runs (or
+    /// two processes) agree on this digest exactly when generation was
+    /// bit-identical — the comparison basis of the determinism suites.
+    pub fn population_digest(&self, drift_step: usize) -> Digest {
+        let mut w = DigestWriter::new("jit-data/synth-population");
+        w.write_digest(self.spec.content_digest());
+        w.write_usize(drift_step);
+        for slice in self.history(drift_step) {
+            w.write_usize(slice.len());
+            for i in 0..slice.len() {
+                w.write_f64s(slice.row(i));
+                w.write_bool(slice.label(i));
+            }
+        }
+        let cohort = self.cohort();
+        w.write_usize(cohort.len());
+        for user in &cohort {
+            w.write_str(&user.user_id);
+            w.write_f64s(&user.profile);
+        }
+        w.finish()
+    }
+}

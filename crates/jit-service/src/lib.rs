@@ -114,6 +114,18 @@
 //! [`JitService::serve`] directly (`tests/determinism.rs`) with every
 //! failure mode typed (`tests/net_failures.rs`).
 //!
+//! ## Population workloads and recourse invalidation
+//!
+//! [`invalidation`] drives any registered workload
+//! ([`jit_data::scenario`]) through this serving stack end to end:
+//! first-visit cohort batches, one retrain per drift step
+//! ([`jit_core::JustInTime::retrain`] over a sliding history window),
+//! then refreshes whose `(user, time point)` outcomes are classified as
+//! **replayed / surviving / overturned** into per-cohort
+//! [`InvalidationReport`]s — the "Time Can Invalidate Algorithmic
+//! Recourse" measurement, at population scale, with a content digest
+//! that locks whole runs down across thread, shard and process counts.
+//!
 //! [`JustInTime::session`]: jit_core::JustInTime::session
 //! [`JustInTime::serve_batch`]: jit_core::JustInTime::serve_batch
 //! [`JustInTime::reserve_batch`]: jit_core::JustInTime::reserve_batch
@@ -121,6 +133,7 @@
 pub mod api;
 pub mod codec;
 pub mod db_store;
+pub mod invalidation;
 pub mod loadgen;
 pub mod net;
 pub mod service;
@@ -134,6 +147,10 @@ pub use api::{
     ServeResponse, ServedUser, ShardReport,
 };
 pub use db_store::DbSnapshotStore;
+pub use invalidation::{
+    run_invalidation, CohortInvalidation, InvalidationError, InvalidationOptions,
+    InvalidationReport, InvalidationRun,
+};
 pub use loadgen::{LoadMode, LoadPlan, LoadReport};
 pub use net::{
     ConnectRetry, NetClient, NetServer, NetServerConfig, ServeBackend, ServerStats,

@@ -76,7 +76,7 @@
 //! | [`jit_math`] | vectors, matrices, Cholesky/ridge, kernels, RNG, content digests |
 //! | [`jit_runtime`] | deterministic scoped thread pool for training |
 //! | [`jit_ml`] | decision trees, random forests, logistic, GBM, metrics |
-//! | [`jit_data`] | feature schema + drifting Lending-Club generator |
+//! | [`jit_data`] | feature schema, drifting Lending-Club generator, scenario registry + deterministic synthetic populations |
 //! | [`jit_constraints`] | the constraints language (diff/gap/confidence), compiled-domain cache |
 //! | [`jit_temporal`] | temporal update fns, EDD future-model prediction |
 //! | [`jit_db`] | in-memory SQL engine (Figure 2 queries run verbatim) |
@@ -105,18 +105,22 @@ pub mod prelude {
         TimePointServe, TimelineSearch, UserRequest, UserSession,
     };
     pub use jit_data::{
-        FeatureSchema, LendingClubGenerator, LendingClubParams, LoanRecord,
+        CohortFilter, CohortSpec, CohortUser, DriftSchedule, FeatureSchema,
+        LendingClubGenerator, LendingClubParams, LendingClubScenario, LoanRecord,
+        ScenarioRegistry, ScenarioSpec, SyntheticFeature, SyntheticGenerator, Workload,
     };
     pub use jit_db::{Database, ResultSet, Value};
     pub use jit_math::digest::{Digest, DigestWriter};
     pub use jit_ml::{Dataset, Model, RandomForest, RandomForestParams};
     pub use jit_service::{
-        locate_shardd, shard_index, CohortMember, DataSpec, DbSnapshotStore,
-        JitService, LoadMode, LoadPlan, LoadReport, MemorySnapshotStore, NetClient,
-        NetServer, NetServerConfig, NullSnapshotStore, ProcessShardBackend,
-        ProcessShardConfig, ReturningMember, ServeBackend, ServeError, ServeReport,
-        ServeRequest, ServeResponse, ServedUser, ServerStats, ShardHealth, ShardReport,
-        ShardedService, SnapshotStore, StoreError, TrainSpec, WireReport, WireResponse,
+        locate_shardd, run_invalidation, shard_index, CohortInvalidation, CohortMember,
+        DataSpec, DbSnapshotStore, InvalidationError, InvalidationOptions,
+        InvalidationReport, InvalidationRun, JitService, LoadMode, LoadPlan,
+        LoadReport, MemorySnapshotStore, NetClient, NetServer, NetServerConfig,
+        NullSnapshotStore, ProcessShardBackend, ProcessShardConfig, ReturningMember,
+        ServeBackend, ServeError, ServeReport, ServeRequest, ServeResponse, ServedUser,
+        ServerStats, ShardHealth, ShardReport, ShardedService, SnapshotStore,
+        StoreError, TrainSpec, WireReport, WireResponse,
     };
     pub use jit_temporal::future::{FutureModelsParams, FuturePredictor};
     pub use jit_temporal::update::{Override, TemporalUpdateFn};
