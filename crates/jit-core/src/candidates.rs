@@ -54,6 +54,35 @@
 //! fingerprint; see [`jit_ml::Model::fingerprint`]). Cells whose model
 //! changed are dropped and re-verified by recomputation, so warm
 //! output is **bit-identical** to a cold search at every time point.
+//!
+//! ## Cross-user sharing ([`SharedCellCache`])
+//!
+//! The same argument extends across *users*: a cached confidence is a
+//! pure function of `(model, cell vector)` and carries no trace of the
+//! user it was computed for, so a whole batch — or a whole shard — can
+//! share one memo per model fingerprint. [`SharedCellCache`] holds one
+//! slot per fingerprint; an engine built with
+//! [`TimelineSearch::with_shared`] binds the slot matching its current
+//! `model_key`, probes it on private-memo misses (with the same exact
+//! cell-vector verification — a hash collision can never smuggle in a
+//! wrong confidence), and publishes its newly computed cells back when a
+//! run finishes. The sharing contract:
+//!
+//! * **What fingerprint equality proves.** Equal
+//!   [`jit_ml::Model::fingerprint`]s mean bit-identical models, so every
+//!   shared cell is exactly what the probing engine would compute
+//!   itself. Reuse changes *when* a confidence is computed, never its
+//!   bits: output is bit-identical for any thread count, shard count,
+//!   batch policy, or interleaving of users. Unfingerprintable models
+//!   (`model_key = None`) never touch the shared cache.
+//! * **Who clears what, when.** An engine clears its *private* memo
+//!   whenever its model key changes (as before). The shared cache is
+//!   append-only during serving; the *owner* (in production, the
+//!   serving tier — one cache per shard) drops slots by calling
+//!   [`SharedCellCache::retain_models`] with the fingerprints of the
+//!   current model generation, precisely when a retrain changes them.
+//!   Dropping a live slot is always sound — engines fall back to
+//!   recomputation — it only forfeits reuse.
 
 use jit_constraints::{BoundConstraint, EvalContext};
 use jit_data::{FeatureSchema, Mutability};
@@ -62,6 +91,7 @@ use jit_math::distance::{l0_gap, l2_diff};
 use jit_math::rng::Rng;
 use jit_ml::{Model, ModelHints};
 use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
 
 /// What the search minimizes among decision-altering candidates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -240,6 +270,88 @@ struct CellConfidenceCache {
     base_cells: Vec<u32>,
     /// Commutative hash of `base_cells`.
     base_hash: u64,
+    /// The shared slot for the current model key, probed on private
+    /// misses (see [`SharedCellCache`]). `None` runs fully private.
+    shared: Option<Arc<Mutex<CellMap>>>,
+    /// Cells computed (not shared-hit) since the last publish, staged so
+    /// a run takes the shared lock once instead of per miss.
+    pending: Vec<(u64, Box<[u32]>, f64)>,
+}
+
+/// A cross-user confidence memo shared by many [`TimelineSearch`]
+/// engines — one slot of threshold-cell entries per model fingerprint.
+///
+/// Cached confidences are pure functions of `(model, cell vector)`, so
+/// sharing them across users (or threads, or an entire shard's batch
+/// stream) is provably output-preserving: every probe re-verifies the
+/// exact cell vector, and a slot is only ever consulted by engines whose
+/// current `model_key` equals the slot's fingerprint. See the module
+/// docs for the full sharing/invalidation contract.
+///
+/// Engines stage newly computed cells locally and publish them when a
+/// run finishes ([`TimelineSearch::run`]), so the per-slot lock is taken
+/// once per probe-miss burst, not per model evaluation. Concurrent
+/// engines may race to compute the same cell; both compute identical
+/// bits and the duplicate publish is dropped.
+#[derive(Default)]
+pub struct SharedCellCache {
+    slots: Mutex<HashMap<Digest, Arc<Mutex<CellMap>>>>,
+}
+
+impl SharedCellCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SharedCellCache::default()
+    }
+
+    /// The slot for model fingerprint `key`, created empty on first use.
+    fn slot(&self, key: Digest) -> Arc<Mutex<CellMap>> {
+        Arc::clone(
+            self.slots.lock().expect("cell-cache poisoned").entry(key).or_default(),
+        )
+    }
+
+    /// Drops every slot whose model fingerprint is not in `keys` — the
+    /// invalidation half of the contract: call with the fingerprints of
+    /// the current model generation whenever they change (retrain), and
+    /// slots for surviving models carry over while stale ones die.
+    pub fn retain_models(&self, keys: &[Option<Digest>]) {
+        self.slots
+            .lock()
+            .expect("cell-cache poisoned")
+            .retain(|slot, _| keys.iter().any(|key| key.as_ref() == Some(slot)));
+    }
+
+    /// Number of model fingerprints with a live slot.
+    pub fn model_count(&self) -> usize {
+        self.slots.lock().expect("cell-cache poisoned").len()
+    }
+
+    /// Total number of memoized cell vectors across all slots. An
+    /// observability number only: it depends on thread scheduling and
+    /// must never feed deterministic reports.
+    pub fn cell_count(&self) -> usize {
+        self.slots
+            .lock()
+            .expect("cell-cache poisoned")
+            .values()
+            .map(|slot| {
+                slot.lock()
+                    .expect("cell-cache poisoned")
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for SharedCellCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedCellCache")
+            .field("models", &self.model_count())
+            .finish_non_exhaustive()
+    }
 }
 
 /// Hash-bucketed cell-vector memo: key is the mixed cell hash, each
@@ -286,15 +398,58 @@ impl CellConfidenceCache {
             return model.predict_proba(profile);
         };
         let h = fold_cells(per_feature, profile, &mut self.cells);
-        let bucket = self.map.entry(h).or_default();
-        if let Some((_, conf)) =
-            bucket.iter().find(|(cells, _)| cells[..] == self.cells[..])
-        {
-            return *conf;
+        if let Some(bucket) = self.map.get(&h) {
+            if let Some((_, conf)) =
+                bucket.iter().find(|(cells, _)| cells[..] == self.cells[..])
+            {
+                return *conf;
+            }
         }
-        let conf = model.predict_proba(profile);
-        bucket.push((self.cells.as_slice().into(), conf));
+        let cells: Box<[u32]> = self.cells.as_slice().into();
+        let conf = match self.probe_shared(h, &cells) {
+            Some(conf) => conf,
+            None => {
+                let conf = model.predict_proba(profile);
+                if self.shared.is_some() {
+                    self.pending.push((h, cells.clone(), conf));
+                }
+                conf
+            }
+        };
+        self.map.entry(h).or_default().push((cells, conf));
         conf
+    }
+
+    /// Probes the bound shared slot for an exact cell-vector match.
+    /// Verification is the same as the private path: a hash hit counts
+    /// only when the stored vector equals `cells` slot for slot.
+    fn probe_shared(&self, h: u64, cells: &[u32]) -> Option<f64> {
+        let shared = self.shared.as_ref()?;
+        let map = shared.lock().expect("cell-cache poisoned");
+        map.get(&h)?
+            .iter()
+            .find(|(stored, _)| stored[..] == cells[..])
+            .map(|(_, conf)| *conf)
+    }
+
+    /// Drains staged cells into the bound shared slot (no-op when
+    /// unbound). Duplicates computed concurrently by another engine are
+    /// dropped — both computed identical bits, so either copy serves.
+    fn publish(&mut self) {
+        let Some(shared) = &self.shared else {
+            self.pending.clear();
+            return;
+        };
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut map = shared.lock().expect("cell-cache poisoned");
+        for (h, cells, conf) in self.pending.drain(..) {
+            let bucket = map.entry(h).or_default();
+            if !bucket.iter().any(|(stored, _)| stored[..] == cells[..]) {
+                bucket.push((cells, conf));
+            }
+        }
     }
 
     /// Seeds a bisection base: `sanitized` must be the (elementwise
@@ -319,26 +474,36 @@ impl CellConfidenceCache {
             .base_hash
             .wrapping_sub(cell_term(f, self.base_cells[f]))
             .wrapping_add(cell_term(f, cell));
-        let bucket = self.map.entry(h).or_default();
-        let hit = bucket.iter().find(|(cells, _)| {
-            cells.len() == self.base_cells.len()
-                && cells.iter().zip(&self.base_cells).enumerate().all(
-                    |(i, (stored, base))| {
-                        if i == f {
-                            *stored == cell
-                        } else {
-                            stored == base
-                        }
-                    },
-                )
-        });
-        if let Some((_, conf)) = hit {
-            return *conf;
+        if let Some(bucket) = self.map.get(&h) {
+            let hit = bucket.iter().find(|(cells, _)| {
+                cells.len() == self.base_cells.len()
+                    && cells.iter().zip(&self.base_cells).enumerate().all(
+                        |(i, (stored, base))| {
+                            if i == f {
+                                *stored == cell
+                            } else {
+                                stored == base
+                            }
+                        },
+                    )
+            });
+            if let Some((_, conf)) = hit {
+                return *conf;
+            }
         }
-        let conf = model.predict_proba(profile);
-        let mut stored: Box<[u32]> = self.base_cells.as_slice().into();
-        stored[f] = cell;
-        bucket.push((stored, conf));
+        let mut trial_cells: Box<[u32]> = self.base_cells.as_slice().into();
+        trial_cells[f] = cell;
+        let conf = match self.probe_shared(h, &trial_cells) {
+            Some(conf) => conf,
+            None => {
+                let conf = model.predict_proba(profile);
+                if self.shared.is_some() {
+                    self.pending.push((h, trial_cells.clone(), conf));
+                }
+                conf
+            }
+        };
+        self.map.entry(h).or_default().push((trial_cells, conf));
         conf
     }
 }
@@ -376,12 +541,23 @@ pub struct TimelineSearch {
     confidence: CellConfidenceCache,
     /// Fingerprint of the model `confidence` currently describes.
     model_key: Option<Digest>,
+    /// Cross-user cache this engine probes and publishes to, if any.
+    shared: Option<Arc<SharedCellCache>>,
 }
 
 impl TimelineSearch {
     /// A fresh engine with no warm state.
     pub fn new() -> Self {
         TimelineSearch::default()
+    }
+
+    /// A fresh engine wired to a cross-user [`SharedCellCache`]: each
+    /// run binds the cache slot matching its `model_key`, probes it on
+    /// private-memo misses and publishes newly computed cells back.
+    /// Output stays bit-identical to [`TimelineSearch::new`] — sharing
+    /// only changes where a confidence is first computed.
+    pub fn with_shared(cache: Arc<SharedCellCache>) -> Self {
+        TimelineSearch { shared: Some(cache), ..TimelineSearch::default() }
     }
 
     /// Runs the search for one time point, reusing the engine's warm
@@ -407,10 +583,19 @@ impl TimelineSearch {
         // everything else in the engine is model-independent scratch.
         match (self.model_key, model_key) {
             (Some(prev), Some(cur)) if prev == cur => {}
-            _ => self.confidence.map.clear(),
+            _ => {
+                self.confidence.map.clear();
+                self.confidence.pending.clear();
+                self.confidence.shared = match (&self.shared, model_key) {
+                    (Some(cache), Some(key)) => Some(cache.slot(key)),
+                    _ => None,
+                };
+            }
         }
         self.model_key = model_key;
-        g.search(self, params, hints)
+        let out = g.search(self, params, hints);
+        self.confidence.publish();
+        out
     }
 }
 
@@ -1314,6 +1499,112 @@ mod tests {
         let warm = engine.run(&g, &params, &drifted_hints, drifted.fingerprint());
         let cold = g.generate_with_hints(&params, &drifted_hints);
         assert_eq!(bits(&warm), bits(&cold), "warm diverged after model drift");
+    }
+
+    #[test]
+    fn shared_cache_engines_are_bit_identical_to_private_and_cold_searches() {
+        // Two engines share one cache and serve interleaved "users"
+        // (distinct origins, same model): every run must equal a cold
+        // single-shot search bit for bit, whichever engine computed the
+        // cells first. Then the model drifts and `retain_models` must
+        // drop the stale slot.
+        let fx = fixture();
+        let c = constraint_for(&fx, None);
+        let params = CandidateParams::default();
+        let hints = fx.model.hints();
+        let key = fx.model.fingerprint();
+        assert!(key.is_some(), "forests must be fingerprintable");
+
+        let cache = Arc::new(SharedCellCache::new());
+        let mut a = TimelineSearch::with_shared(Arc::clone(&cache));
+        let mut b = TimelineSearch::with_shared(Arc::clone(&cache));
+        for user in 0..3usize {
+            for t in 0..2usize {
+                let mut origin = fx.origin.clone();
+                origin[idx::INCOME] += 500.0 * user as f64;
+                origin[idx::AGE] += t as f64;
+                origin[idx::SENIORITY] += t as f64;
+                let g = CandidatesGenerator {
+                    model: &fx.model,
+                    delta: 0.5,
+                    origin: &origin,
+                    constraint: &c,
+                    schema: &fx.schema,
+                    scales: &fx.scales,
+                    time_index: t,
+                };
+                let engine = if user % 2 == 0 { &mut a } else { &mut b };
+                let shared = engine.run(&g, &params, &hints, key);
+                let cold = g.generate_with_hints(&params, &hints);
+                assert_eq!(
+                    bits(&shared),
+                    bits(&cold),
+                    "shared cache diverged at user={user} t={t}"
+                );
+                assert!(!shared.is_empty(), "fixture must produce candidates");
+            }
+        }
+        assert_eq!(cache.model_count(), 1);
+        assert!(cache.cell_count() > 0, "runs must have published cells");
+
+        // Drift: the second engine moves to a new model; its output must
+        // match cold, and retaining only the new key drops the old slot.
+        let gen = LendingClubGenerator::new(LendingClubParams {
+            records_per_year: 600,
+            ..Default::default()
+        });
+        let data = LendingClubGenerator::to_dataset(&gen.records_for_year(2017));
+        let drifted = RandomForest::fit(
+            &data,
+            &RandomForestParams { n_trees: 25, ..Default::default() },
+            &mut Rng::seeded(99),
+        );
+        let drifted_key = drifted.fingerprint();
+        assert_ne!(drifted_key, key);
+        let g = CandidatesGenerator {
+            model: &drifted,
+            delta: 0.5,
+            origin: &fx.origin,
+            constraint: &c,
+            schema: &fx.schema,
+            scales: &fx.scales,
+            time_index: 0,
+        };
+        let drifted_hints = drifted.hints();
+        let shared = b.run(&g, &params, &drifted_hints, drifted_key);
+        let cold = g.generate_with_hints(&params, &drifted_hints);
+        assert_eq!(bits(&shared), bits(&cold), "shared diverged after drift");
+        assert_eq!(cache.model_count(), 2);
+        cache.retain_models(&[drifted_key]);
+        assert_eq!(cache.model_count(), 1);
+        cache.retain_models(&[None]);
+        assert_eq!(cache.model_count(), 0);
+    }
+
+    #[test]
+    fn shared_cache_engine_without_fingerprint_stays_private() {
+        // `model_key = None` must neither publish nor probe: the cache
+        // stays empty and output still matches cold searches.
+        let fx = fixture();
+        let c = constraint_for(&fx, None);
+        let params = CandidateParams::default();
+        let hints = fx.model.hints();
+        let cache = Arc::new(SharedCellCache::new());
+        let mut engine = TimelineSearch::with_shared(Arc::clone(&cache));
+        let g = CandidatesGenerator {
+            model: &fx.model,
+            delta: 0.5,
+            origin: &fx.origin,
+            constraint: &c,
+            schema: &fx.schema,
+            scales: &fx.scales,
+            time_index: 0,
+        };
+        let out = engine.run(&g, &params, &hints, None);
+        let cold = g.generate_with_hints(&params, &hints);
+        assert_eq!(bits(&out), bits(&cold));
+        assert_eq!(cache.model_count(), 0);
+        assert_eq!(cache.cell_count(), 0);
     }
 
     #[test]

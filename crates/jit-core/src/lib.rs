@@ -36,7 +36,8 @@ pub mod queries;
 pub mod tables;
 
 pub use candidates::{
-    Candidate, CandidateParams, CandidatesGenerator, Objective, TimelineSearch,
+    Candidate, CandidateParams, CandidatesGenerator, Objective, SharedCellCache,
+    TimelineSearch,
 };
 pub use insights::Insight;
 pub use pipeline::{

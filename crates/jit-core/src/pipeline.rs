@@ -30,7 +30,7 @@
 //! they are only meaningful within one build of the search code.
 
 use crate::candidates::{
-    Candidate, CandidateParams, CandidatesGenerator, TimelineSearch,
+    Candidate, CandidateParams, CandidatesGenerator, SharedCellCache, TimelineSearch,
 };
 use crate::insights::{render, Insight, InsightContext};
 use crate::queries::CannedQuery;
@@ -43,7 +43,7 @@ use jit_ml::{Dataset, Model, ModelHints};
 use jit_runtime::Runtime;
 use jit_temporal::future::{FutureModel, FutureModelsGenerator, FutureModelsParams};
 use jit_temporal::update::{Override, TemporalUpdateFn};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Administrator configuration (the admin UI of Figure 1).
 #[derive(Clone, Debug)]
@@ -349,6 +349,52 @@ impl JustInTime {
         JustInTime::train(self.config.clone(), &self.schema, slices)
     }
 
+    /// [`JustInTime::retrain`] with **pinned time points**: `pinned[t]`
+    /// keeps this system's `(M_t, δ_t)` (and its fingerprints) in the
+    /// retrained system instead of the freshly trained one — the partial
+    /// -drift shape where an operator rolls out new models for some
+    /// horizon steps while freezing others (e.g. near-term models whose
+    /// validation did not clear yet).
+    ///
+    /// Pinning only helps returning users if the pinned time points'
+    /// serving fingerprints actually survive, and the search environment
+    /// (per-feature scales) is folded into every stamp — so this method
+    /// also **freezes the prior normalization**: the retrained system
+    /// keeps `self`'s scales (and hence its search-environment digest)
+    /// rather than refitting them on the new window. That is the
+    /// deployed-scaler practice, and it is what lets a pinned `t`
+    /// replay: model, scales, schema and search parameters are then all
+    /// bit-identical. Unpinned time points search with their *new*
+    /// models under the frozen scales — deterministic and coherent, just
+    /// a different (explicitly chosen) system than a full retrain.
+    ///
+    /// `pinned` entries beyond the horizon are ignored; missing entries
+    /// count as unpinned. With no `true` entry this is exactly
+    /// [`JustInTime::retrain`].
+    ///
+    /// # Errors
+    /// The typed [`TrainError`] from [`JustInTime::train`].
+    pub fn retrain_pinned(
+        &self,
+        slices: &[Dataset],
+        pinned: &[bool],
+    ) -> Result<JustInTime, TrainError> {
+        let mut next = self.retrain(slices)?;
+        if !pinned.iter().any(|p| *p) {
+            return Ok(next);
+        }
+        next.scales = self.scales.clone();
+        next.search_env = self.search_env;
+        for t in 0..next.models.len() {
+            if pinned.get(t).copied().unwrap_or(false) {
+                next.models[t] = self.models[t].clone();
+                next.model_digests[t] = self.model_digests[t];
+                next.model_keys[t] = self.model_keys[t];
+            }
+        }
+        Ok(next)
+    }
+
     /// Which time points drifted relative to `prior`: `true` at `t`
     /// where the two systems' `(M_t, δ_t)` content fingerprints differ
     /// (or either is missing), `false` where a re-serve against `self`
@@ -380,6 +426,15 @@ impl JustInTime {
     /// The `(M_t, δ_t)` sequence, `t = 0..=T`.
     pub fn models(&self) -> &[FutureModel] {
         &self.models
+    }
+
+    /// Per-time-point **model-only** content fingerprints (`None` for
+    /// opaque models) — the keys under which this system's searches
+    /// cache threshold cells. Hand them to
+    /// [`SharedCellCache::retain_models`] after a retrain so slots for
+    /// surviving models carry over and stale ones drop.
+    pub fn model_keys(&self) -> &[Option<Digest>] {
+        &self.model_keys
     }
 
     /// Per-feature scales learned from the training data.
@@ -469,11 +524,39 @@ impl JustInTime {
         &self,
         requests: &[UserRequest],
     ) -> Result<Vec<UserSession<'_>>, BatchError> {
+        self.serve_batch_inner(requests, None)
+    }
+
+    /// [`JustInTime::serve_batch`] with a cross-user [`SharedCellCache`]:
+    /// every engine in the batch probes and populates `cache`, so
+    /// confidence cells computed for one user are reused by every later
+    /// user on the same model. The caller owns the cache's lifetime —
+    /// keep it across batches while the models stand, and
+    /// [`SharedCellCache::retain_models`] it on retrain.
+    ///
+    /// Output is **bit-identical** to [`JustInTime::serve_batch`] (and
+    /// to serial sessions) for any thread count, batch policy and cache
+    /// history: shared cells are pure functions of
+    /// `(model fingerprint, threshold cells)` and every reuse re-verifies
+    /// the exact cell vector.
+    pub fn serve_batch_shared(
+        &self,
+        requests: &[UserRequest],
+        cache: &Arc<SharedCellCache>,
+    ) -> Result<Vec<UserSession<'_>>, BatchError> {
+        self.serve_batch_inner(requests, Some(cache))
+    }
+
+    fn serve_batch_inner(
+        &self,
+        requests: &[UserRequest],
+        cache: Option<&Arc<SharedCellCache>>,
+    ) -> Result<Vec<UserSession<'_>>, BatchError> {
         // Amortized once per batch: move hints per time point.
         let hints = HintsCache::new();
         let (session_runtime, user_runtime) = self.batch_runtimes();
         let results = user_runtime.parallel_map(requests.len(), |u| {
-            self.serve_one(&requests[u], &hints, &session_runtime, None)
+            self.serve_one(&requests[u], &hints, &session_runtime, None, cache)
         });
         Self::collect_batch(results)
     }
@@ -508,6 +591,26 @@ impl JustInTime {
         &self,
         returning: &[ReturningUser],
     ) -> Result<Vec<UserSession<'_>>, BatchError> {
+        self.reserve_batch_inner(returning, None)
+    }
+
+    /// [`JustInTime::reserve_batch`] with a cross-user
+    /// [`SharedCellCache`] — the re-serving twin of
+    /// [`JustInTime::serve_batch_shared`], with the same bit-identity
+    /// guarantee.
+    pub fn reserve_batch_shared(
+        &self,
+        returning: &[ReturningUser],
+        cache: &Arc<SharedCellCache>,
+    ) -> Result<Vec<UserSession<'_>>, BatchError> {
+        self.reserve_batch_inner(returning, Some(cache))
+    }
+
+    fn reserve_batch_inner(
+        &self,
+        returning: &[ReturningUser],
+        cache: Option<&Arc<SharedCellCache>>,
+    ) -> Result<Vec<UserSession<'_>>, BatchError> {
         // Hints are extracted lazily: a fully-replayed batch (the
         // no-drift fast path) never walks the ensembles at all.
         let hints = HintsCache::new();
@@ -518,6 +621,7 @@ impl JustInTime {
                 &hints,
                 &session_runtime,
                 Some(&returning[u].prior),
+                cache,
             )
         });
         Self::collect_batch(results)
@@ -574,62 +678,29 @@ impl JustInTime {
         hints: &HintsCache,
         runtime: &Runtime,
         prior: Option<&SessionSnapshot>,
+        cache: Option<&Arc<SharedCellCache>>,
     ) -> Result<UserSession<'_>, SessionError> {
-        if request.profile.len() != self.schema.dim() {
-            return Err(SessionError::DimensionMismatch {
-                expected: self.schema.dim(),
-                found: request.profile.len(),
-            });
-        }
-        let update =
-            request.update_fn.clone().unwrap_or_else(|| self.default_update_fn());
-        let temporal_inputs = update.project_all(&request.profile, self.config.horizon);
-
-        // Per-time-point constraints: the cached domain compilation with
-        // this user's preferences overlaid (structurally identical to
-        // merging the sets and compiling from scratch).
-        let bounds: Vec<BoundConstraint> = (0..=self.config.horizon)
-            .map(|t| {
-                self.compiled_domain.overlay(t, &request.constraints, &self.schema)
-            })
-            .collect::<Result<_, _>>()
-            .map_err(|e| SessionError::UnknownFeature(e.0))?;
-
-        // Stamp every time point with its serving fingerprint (see the
-        // module docs); an empty preference set reuses the constraint
-        // digests cached at compile time.
-        let empty_prefs = request.constraints.is_empty();
-        let fingerprints: Vec<Option<Digest>> = (0..=self.config.horizon)
-            .map(|t| {
-                let bound_digest = if empty_prefs {
-                    self.compiled_domain.digest_at(t)
-                } else {
-                    bounds[t].content_digest()
-                };
-                self.time_fingerprint(t, &temporal_inputs[t], bound_digest)
-            })
-            .collect();
+        let (temporal_inputs, bounds, fingerprints) =
+            self.fingerprint_inputs(request)?;
 
         // A returning user replays every time point whose fingerprint
         // still matches; everything else (including unfingerprintable
         // artifacts) is recomputed.
-        let provenance: Option<Vec<TimePointServe>> = prior.map(|prior| {
-            fingerprints
-                .iter()
-                .enumerate()
-                .map(|(t, fp)| match (*fp, prior.fingerprint_at(t)) {
-                    (Some(now), Some(then)) if now == then => TimePointServe::Replayed,
-                    _ => TimePointServe::Recomputed,
-                })
-                .collect()
-        });
+        let provenance: Option<Vec<TimePointServe>> =
+            prior.map(|prior| Self::diff_plan(&fingerprints, prior));
         let replay = match (prior, &provenance) {
             (Some(prior), Some(plan)) => Some((prior, plan.as_slice())),
             _ => None,
         };
 
-        let candidates =
-            self.generate_candidates(&temporal_inputs, &bounds, hints, runtime, replay);
+        let candidates = self.generate_candidates(
+            &temporal_inputs,
+            &bounds,
+            hints,
+            runtime,
+            replay,
+            cache,
+        );
 
         // Populate the user's relational database from the DDL template.
         let db = self.db_template.clone();
@@ -666,6 +737,90 @@ impl JustInTime {
         Some(w.finish())
     }
 
+    /// The user-dependent half of the serving-fingerprint contract,
+    /// shared verbatim by [`JustInTime::serve_one`] and
+    /// [`JustInTime::reserve_plan`]: projected temporal inputs, compiled
+    /// per-`t` constraints (the cached domain compilation with this
+    /// user's preferences overlaid) and the per-`t` fingerprints this
+    /// system would stamp on a session for `request`.
+    #[allow(clippy::type_complexity)]
+    fn fingerprint_inputs(
+        &self,
+        request: &UserRequest,
+    ) -> Result<(Vec<Vec<f64>>, Vec<BoundConstraint>, Vec<Option<Digest>>), SessionError>
+    {
+        if request.profile.len() != self.schema.dim() {
+            return Err(SessionError::DimensionMismatch {
+                expected: self.schema.dim(),
+                found: request.profile.len(),
+            });
+        }
+        let update =
+            request.update_fn.clone().unwrap_or_else(|| self.default_update_fn());
+        let temporal_inputs = update.project_all(&request.profile, self.config.horizon);
+
+        let bounds: Vec<BoundConstraint> = (0..=self.config.horizon)
+            .map(|t| {
+                self.compiled_domain.overlay(t, &request.constraints, &self.schema)
+            })
+            .collect::<Result<_, _>>()
+            .map_err(|e| SessionError::UnknownFeature(e.0))?;
+
+        // Stamp every time point with its serving fingerprint (see the
+        // module docs); an empty preference set reuses the constraint
+        // digests cached at compile time.
+        let empty_prefs = request.constraints.is_empty();
+        let fingerprints: Vec<Option<Digest>> = (0..=self.config.horizon)
+            .map(|t| {
+                let bound_digest = if empty_prefs {
+                    self.compiled_domain.digest_at(t)
+                } else {
+                    bounds[t].content_digest()
+                };
+                self.time_fingerprint(t, &temporal_inputs[t], bound_digest)
+            })
+            .collect();
+        Ok((temporal_inputs, bounds, fingerprints))
+    }
+
+    /// Diffs freshly stamped fingerprints against a prior snapshot's —
+    /// the one replay decision, used both when actually serving and when
+    /// planning ahead.
+    fn diff_plan(
+        fingerprints: &[Option<Digest>],
+        prior: &SessionSnapshot,
+    ) -> Vec<TimePointServe> {
+        fingerprints
+            .iter()
+            .enumerate()
+            .map(|(t, fp)| match (*fp, prior.fingerprint_at(t)) {
+                (Some(now), Some(then)) if now == then => TimePointServe::Replayed,
+                _ => TimePointServe::Recomputed,
+            })
+            .collect()
+    }
+
+    /// The per-time-point plan [`JustInTime::reserve_batch`] would use
+    /// for `returning` — the exact fingerprint diff of a re-serve,
+    /// **without running any search**. This is the staleness probe
+    /// behind proactive re-serving (`jit-service`'s refresh-ahead): scan
+    /// stored snapshots, and only users with at least one
+    /// [`TimePointServe::Recomputed`] entry need a refresh.
+    ///
+    /// Unfingerprintable artifacts plan as `Recomputed` (the diff never
+    /// guesses), matching serving behaviour exactly.
+    ///
+    /// # Errors
+    /// The same [`SessionError`]s serving the request would produce
+    /// (dimension mismatch, unknown constraint feature).
+    pub fn reserve_plan(
+        &self,
+        returning: &ReturningUser,
+    ) -> Result<Vec<TimePointServe>, SessionError> {
+        let (_, _, fingerprints) = self.fingerprint_inputs(&returning.request)?;
+        Ok(Self::diff_plan(&fingerprints, &returning.prior))
+    }
+
     /// Runs the per-time-point generators; parallel when configured
     /// (§II-B: "The generators are independent of each other, and thus
     /// they can be executed in parallel").
@@ -682,6 +837,7 @@ impl JustInTime {
         hints: &HintsCache,
         runtime: &Runtime,
         replay: Option<(&SessionSnapshot, &[TimePointServe])>,
+        cache: Option<&Arc<SharedCellCache>>,
     ) -> Vec<Candidate> {
         let run_one = |engine: &mut TimelineSearch, t: usize| -> Vec<Candidate> {
             if let Some((prior, plan)) = replay {
@@ -716,12 +872,15 @@ impl JustInTime {
         // RNG forking is needed for determinism here; the runtime keeps
         // results in time order for every thread count, and engine state
         // only memoizes provably identical work (so worker placement
-        // cannot change output).
-        let results = runtime.parallel_map_with(
-            self.config.horizon + 1,
-            TimelineSearch::new,
-            run_one,
-        );
+        // cannot change output). The same argument covers the shared
+        // cell cache: sharing changes which engine computes a cell
+        // first, never the cell's bits.
+        let mk_engine = || match cache {
+            Some(cache) => TimelineSearch::with_shared(Arc::clone(cache)),
+            None => TimelineSearch::new(),
+        };
+        let results =
+            runtime.parallel_map_with(self.config.horizon + 1, mk_engine, run_one);
         results.into_iter().flatten().collect()
     }
 }

@@ -74,6 +74,12 @@ pub struct DriftSchedule {
     /// How many slices the training window slides per step (how fast
     /// drift moves through the models).
     pub slices_per_step: usize,
+    /// Time points `t < pinned_time_points` whose models (and digests)
+    /// are **pinned** across retrains — partial drift. Pinned time
+    /// points replay on refresh, so invalidation reports exercise the
+    /// replayed / surviving middle ground instead of classifying every
+    /// pair as overturned; `0` lets every model drift.
+    pub pinned_time_points: usize,
 }
 
 /// A fully declarative synthetic scenario. See the module docs for the
@@ -175,6 +181,7 @@ impl ScenarioSpec {
         self.label.digest_into(&mut w);
         w.write_usize(self.drift.steps);
         w.write_usize(self.drift.slices_per_step);
+        w.write_usize(self.drift.pinned_time_points);
         w.write_usize(self.cohorts.len());
         for c in &self.cohorts {
             w.write_str(&c.name);
@@ -242,6 +249,14 @@ impl ScenarioSpec {
     #[must_use]
     pub fn with_drift_steps(mut self, steps: usize) -> Self {
         self.drift.steps = steps;
+        self
+    }
+
+    /// Overrides how many leading time points are pinned across
+    /// retrains ([`DriftSchedule::pinned_time_points`]).
+    #[must_use]
+    pub fn with_pinned_time_points(mut self, pinned: usize) -> Self {
+        self.drift.pinned_time_points = pinned;
         self
     }
 
@@ -379,7 +394,11 @@ impl ScenarioSpec {
                 sharpness: 2.0,
                 noisy: true,
             },
-            drift: DriftSchedule { steps: 2, slices_per_step: 1 },
+            drift: DriftSchedule {
+                steps: 2,
+                slices_per_step: 1,
+                pinned_time_points: 2,
+            },
             cohorts: vec![
                 CohortSpec {
                     name: "rejected".into(),
@@ -506,7 +525,11 @@ impl ScenarioSpec {
                 sharpness: 1.8,
                 noisy: true,
             },
-            drift: DriftSchedule { steps: 2, slices_per_step: 1 },
+            drift: DriftSchedule {
+                steps: 2,
+                slices_per_step: 1,
+                pinned_time_points: 0,
+            },
             cohorts: vec![CohortSpec {
                 name: "at-risk".into(),
                 size: 64,
@@ -602,6 +625,16 @@ impl Workload {
         match self {
             Workload::Synthetic(spec) => spec.drift.steps,
             Workload::LendingClub(lc) => lc.drift_steps,
+        }
+    }
+
+    /// Leading time points pinned across retrains
+    /// ([`DriftSchedule::pinned_time_points`]). The Lending Club
+    /// workload has no pinning: its oracle drifts every year.
+    pub fn pinned_time_points(&self) -> usize {
+        match self {
+            Workload::Synthetic(spec) => spec.drift.pinned_time_points,
+            Workload::LendingClub(_) => 0,
         }
     }
 

@@ -132,7 +132,28 @@ impl Database {
             .ok_or_else(|| DbError::UnknownColumn(column.to_string()))?;
         let before = t.rows.len();
         t.rows.retain(|row| !row[ci].sql_eq(value));
-        Ok(before - t.rows.len())
+        let removed = before - t.rows.len();
+        if removed > 0 {
+            t.rebuild_indexes();
+        }
+        Ok(removed)
+    }
+
+    /// Declares a hash secondary index on `table.column` (TEXT columns
+    /// only), indexing existing rows immediately. Idempotent. Equality
+    /// filters on the column in prepared single-table SELECTs then probe
+    /// the index instead of scanning — result-identical, just fewer rows
+    /// touched (visible in [`ExecutionMetrics::rows_scanned`]).
+    pub fn create_index(&self, table: &str, column: &str) -> Result<(), DbError> {
+        let mut tables = self.tables.write();
+        let t = tables
+            .get_mut(&table.to_ascii_lowercase())
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
+        let ci = t
+            .schema
+            .column_index(column)
+            .ok_or_else(|| DbError::UnknownColumn(column.to_string()))?;
+        t.create_index(ci)
     }
 
     /// A table's schema, if it exists.
@@ -214,23 +235,39 @@ impl Database {
             }
         };
 
-        let mut metrics = ExecutionMetrics {
-            rows_scanned: t.rows.len() as u64,
-            ..Default::default()
-        };
         let mut output: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
-        for row in &t.rows {
+        let mut bytes_scanned = 0u64;
+        let mut consider = |row: &Vec<Value>| {
             if let Some((ci, v)) = filter {
                 if !row[ci].sql_eq(v) {
-                    continue;
+                    return;
                 }
             }
-            metrics.bytes_scanned +=
-                row.iter().map(crate::codec::encoded_len).sum::<u64>();
+            bytes_scanned += row.iter().map(crate::codec::encoded_len).sum::<u64>();
             let projected: Vec<Value> = proj.iter().map(|&i| row[i].clone()).collect();
             let keys: Vec<Value> = order.iter().map(|&i| row[i].clone()).collect();
             output.push((projected, keys));
-        }
+        };
+        // An indexed equality filter probes the hash index and touches
+        // only the matching positions (ascending, so output order —
+        // hence results — match a full scan exactly).
+        let indexed = filter.and_then(|(ci, v)| t.index_probe(ci, v));
+        let rows_scanned = match indexed {
+            Some(positions) => {
+                for &position in positions {
+                    consider(&t.rows[position]);
+                }
+                positions.len() as u64
+            }
+            None => {
+                for row in &t.rows {
+                    consider(row);
+                }
+                t.rows.len() as u64
+            }
+        };
+        let mut metrics =
+            ExecutionMetrics { rows_scanned, bytes_scanned, ..Default::default() };
         if !order.is_empty() {
             output.sort_by(|(_, ka), (_, kb)| {
                 for (a, b) in ka.iter().zip(kb) {
@@ -331,6 +368,7 @@ impl Database {
                     .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
                 let mut it = keep.iter();
                 t.rows.retain(|_| *it.next().unwrap_or(&true));
+                t.rebuild_indexes();
                 Ok(ResultSet::empty())
             }
         }
@@ -505,6 +543,52 @@ mod tests {
         a.execute("CREATE TABLE extra (x INTEGER)").unwrap();
         assert!(!template.has_table("extra"));
         assert!(!b.has_table("extra"));
+    }
+
+    #[test]
+    fn hash_index_is_result_identical_and_skips_rows() {
+        let db = sample_db();
+        let stmt = db.prepare("SELECT a, b FROM t WHERE c = ? ORDER BY a").unwrap();
+        let probe = [Value::from("two")];
+        let scanned = db.execute_prepared(&stmt, &probe).unwrap();
+        assert_eq!(scanned.metrics.rows_scanned, 3);
+
+        db.create_index("t", "c").unwrap();
+        db.create_index("t", "c").unwrap(); // idempotent
+        let indexed = db.execute_prepared(&stmt, &probe).unwrap();
+        assert_eq!(indexed.rows, scanned.rows);
+        assert_eq!(indexed.columns, scanned.columns);
+        assert_eq!(indexed.metrics.rows_scanned, 1);
+
+        // Maintained across inserts (duplicate keys, ascending order) …
+        db.execute("INSERT INTO t VALUES (0, 0.5, 'two'), (9, 9.5, 'nine')").unwrap();
+        let rs = db.execute_prepared(&stmt, &probe).unwrap();
+        assert_eq!(rs.metrics.rows_scanned, 2);
+        let got: Vec<_> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(got, vec![0, 2]);
+        // … and across both delete paths (positions shift on retain).
+        db.delete_eq("t", "c", &Value::from("two")).unwrap();
+        assert!(db.execute_prepared(&stmt, &probe).unwrap().rows.is_empty());
+        db.execute("DELETE FROM t WHERE a = 1").unwrap();
+        let rs = db.execute_prepared(&stmt, &[Value::from("nine")]).unwrap();
+        assert_eq!(rs.rows[0][0].as_i64(), Some(9));
+
+        // NULL and cross-type probes are answered (empty) by the index:
+        // SQL equality can never match them against stored text.
+        db.execute("INSERT INTO t (a) VALUES (5)").unwrap();
+        for probe in [Value::Null, Value::Int(9)] {
+            let rs = db.execute_prepared(&stmt, &[probe]).unwrap();
+            assert!(rs.rows.is_empty());
+            assert_eq!(rs.metrics.rows_scanned, 0);
+        }
+    }
+
+    #[test]
+    fn hash_index_only_on_text_columns() {
+        let db = sample_db();
+        assert!(matches!(db.create_index("t", "a"), Err(DbError::Eval(_))));
+        assert!(matches!(db.create_index("t", "zzz"), Err(DbError::UnknownColumn(_))));
+        assert!(matches!(db.create_index("zzz", "a"), Err(DbError::UnknownTable(_))));
     }
 
     #[test]

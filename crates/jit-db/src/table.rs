@@ -1,7 +1,8 @@
-//! Tables: schema + row storage.
+//! Tables: schema + row storage + hash secondary indexes.
 
 use crate::error::DbError;
 use crate::value::{ColumnType, Value};
+use std::collections::HashMap;
 
 /// A table's schema.
 #[derive(Clone, Debug)]
@@ -31,6 +32,13 @@ pub struct Table {
     pub schema: TableSchema,
     /// Row storage.
     pub rows: Vec<Vec<Value>>,
+    /// Hash secondary indexes by column position: text key → row
+    /// positions in **ascending order**, so an index probe visits rows
+    /// in the same order a full scan would (result-identical output).
+    /// Only TEXT columns are indexable; such columns store only `Text`
+    /// or `Null` values, and SQL equality rejects NULL and cross-type
+    /// probes, so a hash lookup fully answers any equality filter.
+    indexes: HashMap<usize, HashMap<String, Vec<usize>>>,
 }
 
 impl Table {
@@ -39,7 +47,67 @@ impl Table {
         Table {
             schema: TableSchema { name: name.to_string(), columns },
             rows: Vec::new(),
+            indexes: HashMap::new(),
         }
+    }
+
+    /// Declares (or rebuilds) a hash index on the column at `column`.
+    /// Idempotent; indexes existing rows immediately.
+    ///
+    /// # Errors
+    /// [`DbError::UnknownColumn`] for an out-of-range position, or
+    /// [`DbError::Eval`] for a non-TEXT column (hash indexes rely on the
+    /// TEXT storage invariant documented on [`Table`]).
+    pub fn create_index(&mut self, column: usize) -> Result<(), DbError> {
+        match self.schema.columns.get(column) {
+            Some((_, ColumnType::Text)) => {}
+            Some((name, ty)) => {
+                return Err(DbError::Eval(format!(
+                    "cannot index {ty} column {name:?}: hash indexes cover \
+                     TEXT columns only"
+                )))
+            }
+            None => return Err(DbError::UnknownColumn(format!("#{column}"))),
+        }
+        self.indexes.insert(column, Self::build_index(&self.rows, column));
+        Ok(())
+    }
+
+    /// `true` when `column` has a hash index.
+    pub fn has_index(&self, column: usize) -> bool {
+        self.indexes.contains_key(&column)
+    }
+
+    /// Row positions (ascending) matching `value` under an index on
+    /// `column`; `None` when the column is not indexed (caller must
+    /// scan). A `Some(&[])` is authoritative: NULL and non-text probes
+    /// can never SQL-equal a stored text value.
+    pub fn index_probe(&self, column: usize, value: &Value) -> Option<&[usize]> {
+        let index = self.indexes.get(&column)?;
+        Some(match value {
+            Value::Text(s) => index.get(s).map_or(&[][..], Vec::as_slice),
+            _ => &[],
+        })
+    }
+
+    /// Rebuilds every declared index from current row positions. Called
+    /// after positional mutations (retain-style deletes); inserts
+    /// maintain the indexes incrementally instead.
+    pub fn rebuild_indexes(&mut self) {
+        let columns: Vec<usize> = self.indexes.keys().copied().collect();
+        for column in columns {
+            self.indexes.insert(column, Self::build_index(&self.rows, column));
+        }
+    }
+
+    fn build_index(rows: &[Vec<Value>], column: usize) -> HashMap<String, Vec<usize>> {
+        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        for (position, row) in rows.iter().enumerate() {
+            if let Value::Text(key) = &row[column] {
+                index.entry(key.clone()).or_default().push(position);
+            }
+        }
+        index
     }
 
     /// Number of rows.
@@ -75,6 +143,13 @@ impl Table {
                 _ => v,
             };
             coerced.push(v);
+        }
+        let position = self.rows.len();
+        for (&column, index) in &mut self.indexes {
+            if let Value::Text(key) = &coerced[column] {
+                // Appends keep each position list ascending.
+                index.entry(key.clone()).or_default().push(position);
+            }
         }
         self.rows.push(coerced);
         Ok(())

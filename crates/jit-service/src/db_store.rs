@@ -196,6 +196,7 @@ impl DbSnapshotStore {
                 db.create_table(name, owned_columns(columns))?;
             }
         }
+        declare_indexes(&db)?;
         let stmts = Stmts::compile(&db)?;
         Ok(DbSnapshotStore {
             db,
@@ -232,6 +233,7 @@ impl DbSnapshotStore {
         if !ddl.is_empty() {
             wal.commit(&ddl)?;
         }
+        declare_indexes(&db)?;
         let stmts = Stmts::compile(&db)?;
         Ok(DbSnapshotStore {
             db,
@@ -312,6 +314,17 @@ impl DbSnapshotStore {
 
 fn owned_columns(columns: &[(&str, ColumnType)]) -> Vec<(String, ColumnType)> {
     columns.iter().map(|(c, ty)| (c.to_string(), *ty)).collect()
+}
+
+/// Every store read and the replace-on-save delete filter on `user_id`,
+/// so each snapshot table gets a hash index on it. Indexes are in-memory
+/// acceleration, not logged state: they are (re)declared on every open —
+/// including reopens over recovered WALs — and never change results.
+fn declare_indexes(db: &Database) -> Result<(), StoreError> {
+    for (name, _) in TABLES {
+        db.create_index(name, "user_id")?;
+    }
+    Ok(())
 }
 
 impl fmt::Debug for DbSnapshotStore {

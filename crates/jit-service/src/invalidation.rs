@@ -223,14 +223,33 @@ impl InvalidationRun {
         }
         out.push_str("  \"steps\": [\n");
         for (i, r) in self.reports.iter().enumerate() {
+            // The step-level counts stay ahead of the nested cohort
+            // objects: `--check` scans brace-delimited fragments for the
+            // `"step"` key, and reordering would feed it cohort counts.
             out.push_str(&format!(
                 "    {{ \"step\": {}, \"drifted_models\": {}, \"replayed\": {}, \
-                 \"overturned\": {}, \"surviving\": {} }}{}\n",
+                 \"overturned\": {}, \"surviving\": {},\n",
                 r.step,
                 r.drifted_models,
                 r.replayed(),
                 r.overturned(),
                 r.surviving(),
+            ));
+            out.push_str("      \"cohorts\": [\n");
+            for (j, c) in r.cohorts.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{ \"cohort\": {:?}, \"users\": {}, \"replayed\": {}, \
+                     \"overturned\": {}, \"surviving\": {} }}{}\n",
+                    c.cohort,
+                    c.users,
+                    c.replayed,
+                    c.overturned,
+                    c.surviving,
+                    if j + 1 < r.cohorts.len() { "," } else { "" },
+                ));
+            }
+            out.push_str(&format!(
+                "      ] }}{}\n",
                 if i + 1 < self.reports.len() { "," } else { "" },
             ));
         }
@@ -317,7 +336,7 @@ pub fn run_invalidation(
     let stores: Vec<Arc<dyn SnapshotStore>> = (0..opts.shards.max(1))
         .map(|_| Arc::new(MemorySnapshotStore::new()) as Arc<dyn SnapshotStore>)
         .collect();
-    let service = ShardedService::from_shared(
+    let mut service = ShardedService::from_shared(
         Arc::clone(&system),
         stores.len(),
         opts.dispatch_threads,
@@ -356,20 +375,25 @@ pub fn run_invalidation(
     } else {
         None
     };
-    drop(service);
 
-    // Advance the drift schedule: retrain, rebuild the serving tier
-    // over the same stores, refresh, classify.
+    // Advance the drift schedule: retrain (pinning any time points the
+    // scenario shields from drift, so reports exercise the replayed /
+    // surviving middle ground), rebuild the serving tier over the same
+    // stores — carrying each shard's cell cache so surviving models
+    // keep their warm cells — then refresh and classify.
+    let pinned_count = workload.pinned_time_points().min(horizon + 1);
+    let pinned: Vec<bool> = (0..=horizon).map(|t| t < pinned_count).collect();
     let mut reports = Vec::with_capacity(workload.drift_steps());
     for step in 1..=workload.drift_steps() {
-        let next = Arc::new(system.retrain(&workload.history(step, gen_threads))?);
+        let next = Arc::new(
+            system.retrain_pinned(&workload.history(step, gen_threads), &pinned)?,
+        );
         let drifted_models =
             next.drifted_time_points(&system).iter().filter(|d| **d).count();
-        let service = ShardedService::from_shared(
+        service = ShardedService::next_generation(
             Arc::clone(&next),
-            stores.len(),
             opts.dispatch_threads,
-            |s| Arc::clone(&stores[s]),
+            &service,
         );
         let mut cohorts: Vec<CohortInvalidation> = cohort_names
             .iter()

@@ -88,6 +88,31 @@
 //! bit-identical; new capabilities (typed errors, persistence, sharding,
 //! serve reports) only exist here.
 //!
+//! ## Cross-user search sharing and refresh-ahead
+//!
+//! Every [`JitService`] owns a [`jit_core::SharedCellCache`]: confidence
+//! values memoized per **(model fingerprint, threshold-cell vector)**
+//! during `Batch`/`Returning`/`Refresh` serving and reused across all
+//! users of that service. Equal fingerprints prove bit-identical models
+//! and every reuse re-verifies the exact cell vector, so serving output
+//! is bit-identical with the cache shared, private, or absent (see
+//! `jit_core::candidates` for the proof sketch). Lifecycle contract:
+//! constructors start the cache empty; after a retrain,
+//! [`JitService::with_cell_cache`] / [`ShardedService::next_generation`]
+//! carry the prior generation's cache forward and drop **exactly** the
+//! slots whose model fingerprints did not survive. In the OS-process
+//! tier each `jit-shardd` worker's cache lives in that worker process
+//! and resets when the supervisor respawns it — a warmth loss, never a
+//! correctness event.
+//!
+//! [`refresh`] adds the proactive half: after a retrain, one
+//! refresh-ahead pass scans each shard's store, plans every snapshot
+//! from fingerprints alone, and re-serves the stale users in
+//! rate-limited batches through the ordinary `Refresh` path — so
+//! returning users find their snapshots already re-served and replay
+//! every time point instead of paying cold recomputes on the request
+//! path.
+//!
 //! ## The networked tier
 //!
 //! Three modules extend the same contract across process and machine
@@ -136,6 +161,7 @@ pub mod db_store;
 pub mod invalidation;
 pub mod loadgen;
 pub mod net;
+pub mod refresh;
 pub mod service;
 pub mod sharded;
 pub mod store;
@@ -155,6 +181,7 @@ pub use loadgen::{LoadMode, LoadPlan, LoadReport};
 pub use net::{
     ConnectRetry, NetClient, NetServer, NetServerConfig, ServeBackend, ServerStats,
 };
+pub use refresh::{RefreshAheadOptions, RefreshAheadReport};
 pub use service::JitService;
 pub use sharded::{shard_index, ShardedService};
 pub use store::{

@@ -6,7 +6,8 @@ use crate::api::{
 };
 use crate::store::{MemorySnapshotStore, SnapshotStore};
 use jit_core::{
-    AdminConfig, JustInTime, ReturningUser, TimePointServe, TrainError, UserSession,
+    AdminConfig, JustInTime, ReturningUser, SharedCellCache, TimePointServe,
+    TrainError, UserSession,
 };
 use jit_data::FeatureSchema;
 use jit_ml::Dataset;
@@ -20,10 +21,20 @@ use std::sync::Arc;
 ///
 /// Serving is bit-identical to the legacy `jit-core` entry points; what
 /// the service adds is user identity, automatic snapshot persistence,
-/// typed errors and the aggregate [`ServeReport`].
+/// typed errors, the aggregate [`ServeReport`] — and a per-service
+/// [`SharedCellCache`]: confidence cells computed for one user are
+/// reused by every later user on the same model (see
+/// `jit_core::candidates` for why that is provably output-preserving).
+/// The cache's lifetime follows the model fingerprints: constructors
+/// start it fresh, and [`JitService::with_cell_cache`] carries a prior
+/// generation's cache across a retrain, dropping exactly the slots whose
+/// models changed.
 pub struct JitService {
     system: Arc<JustInTime>,
     store: Arc<dyn SnapshotStore>,
+    /// Cross-user confidence cells, scoped to `system`'s model
+    /// fingerprints.
+    cache: Arc<SharedCellCache>,
     /// Shard index stamped into reports (0 for standalone services; the
     /// sharded dispatcher labels its workers).
     shard_label: usize,
@@ -45,9 +56,30 @@ impl JitService {
     }
 
     /// Wraps an already-shared system and store (how [`crate::ShardedService`]
-    /// builds its shard workers).
+    /// builds its shard workers). The cell cache starts empty.
     pub fn with_shared(system: Arc<JustInTime>, store: Arc<dyn SnapshotStore>) -> Self {
-        JitService { system, store, shard_label: 0 }
+        JitService {
+            system,
+            store,
+            cache: Arc::new(SharedCellCache::new()),
+            shard_label: 0,
+        }
+    }
+
+    /// [`JitService::with_shared`] adopting a **prior generation's** cell
+    /// cache — the retrain handover: slots whose model fingerprints
+    /// survive into `system` (pinned or undrifted models) carry their
+    /// warm cells over, and every other slot is dropped here, precisely
+    /// when the fingerprints change. Sound for any cache: stale slots
+    /// are keyed by fingerprints the new system never produces, and this
+    /// constructor removes them anyway to free the memory.
+    pub fn with_cell_cache(
+        system: Arc<JustInTime>,
+        store: Arc<dyn SnapshotStore>,
+        cache: Arc<SharedCellCache>,
+    ) -> Self {
+        cache.retain_models(system.model_keys());
+        JitService { system, store, cache, shard_label: 0 }
     }
 
     /// A service over a fresh in-memory store.
@@ -91,6 +123,15 @@ impl JitService {
     /// The shared handle to the store.
     pub fn store_arc(&self) -> &Arc<dyn SnapshotStore> {
         &self.store
+    }
+
+    /// The cross-user cell cache this service populates while serving.
+    ///
+    /// Hand it to [`JitService::with_cell_cache`] when building the
+    /// next-generation service after a retrain to carry warm cells for
+    /// surviving models across.
+    pub fn cell_cache(&self) -> &Arc<SharedCellCache> {
+        &self.cache
     }
 
     /// Serves one request — the one public serving entry point.
@@ -142,9 +183,11 @@ impl JitService {
         let requests: Vec<jit_core::UserRequest> =
             members.iter().map(|m| m.request.clone()).collect();
         let sessions =
-            self.system.serve_batch(&requests).map_err(|e| ServeError::Session {
-                user_id: members[e.user].user_id.clone(),
-                error: e.error,
+            self.system.serve_batch_shared(&requests, &self.cache).map_err(|e| {
+                ServeError::Session {
+                    user_id: members[e.user].user_id.clone(),
+                    error: e.error,
+                }
             })?;
         self.finish(members.into_iter().map(|m| m.user_id).collect(), sessions)
     }
@@ -155,8 +198,10 @@ impl JitService {
     ) -> Result<ServeResponse<'_>, ServeError> {
         let returning: Vec<ReturningUser> =
             members.iter().map(|m| m.returning.clone()).collect();
-        let sessions =
-            self.system.reserve_batch(&returning).map_err(|e| ServeError::Session {
+        let sessions = self
+            .system
+            .reserve_batch_shared(&returning, &self.cache)
+            .map_err(|e| ServeError::Session {
                 user_id: members[e.user].user_id.clone(),
                 error: e.error,
             })?;

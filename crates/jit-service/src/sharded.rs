@@ -113,6 +113,40 @@ impl ShardedService {
         ShardedService { shards, dispatch: Runtime::new(dispatch_threads) }
     }
 
+    /// Builds the next-generation sharded service after a retrain:
+    /// every shard keeps its snapshot store **and** its cell cache from
+    /// `prior`, switching only the trained system. Cache slots whose
+    /// model fingerprints did not survive into `system` are dropped per
+    /// shard (see [`JitService::with_cell_cache`]); slots for pinned or
+    /// undrifted models stay warm, so returning users on surviving
+    /// models reuse cells computed before the retrain.
+    ///
+    /// # Panics
+    /// Panics when `prior` has zero shards (impossible for a constructed
+    /// [`ShardedService`]).
+    pub fn next_generation(
+        system: Arc<JustInTime>,
+        dispatch_threads: usize,
+        prior: &ShardedService,
+    ) -> Self {
+        assert!(prior.shard_count() >= 1, "a sharded service needs at least one shard");
+        let shards = prior
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| {
+                let mut service = JitService::with_cell_cache(
+                    Arc::clone(&system),
+                    Arc::clone(shard.store_arc()),
+                    Arc::clone(shard.cell_cache()),
+                );
+                service.set_shard_label(s);
+                service
+            })
+            .collect();
+        ShardedService { shards, dispatch: Runtime::new(dispatch_threads) }
+    }
+
     /// Number of shard workers.
     pub fn shard_count(&self) -> usize {
         self.shards.len()

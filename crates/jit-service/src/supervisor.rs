@@ -23,6 +23,13 @@
 //! process retrains the identical system, and the next `Refresh` replays
 //! bit-for-bit.
 //!
+//! The cross-user cell cache ([`jit_core::SharedCellCache`]) is part of
+//! that stateless compute: each worker's [`crate::JitService`] owns its
+//! cache inside the worker process, so a respawn starts the replacement
+//! cold. That is a warmth loss only — cached cells are memoized
+//! recomputation, never inputs — so restarted shards stay bit-identical,
+//! just briefly slower until the cache re-fills.
+//!
 //! ## Supervision contract
 //!
 //! Failure detection is **on use**: a broken pipe or early EOF while

@@ -85,6 +85,7 @@ impl Default for FutureModelsParams {
 ///
 /// The model is `Arc`-shared so predictors that reuse one model at many
 /// time points (notably [`FuturePredictor::Frozen`]) train it once.
+#[derive(Clone)]
 pub struct FutureModel {
     /// Future time index `t` (0 = present).
     pub time_index: usize,

@@ -128,6 +128,18 @@ fn run(args: &[String]) -> Result<(), String> {
 
     if smoke || check.is_some() {
         assert_invariants(&run)?;
+        // Every class is printed unconditionally — a zero count is a
+        // real measurement (e.g. fully-pinned or fully-drifted steps),
+        // and smoke diffs must stay line-stable when one class empties.
+        for report in &run.reports {
+            eprintln!(
+                "smoke: step {}: replayed={} surviving={} overturned={}",
+                report.step,
+                report.replayed(),
+                report.surviving(),
+                report.overturned(),
+            );
+        }
     }
     if let Some(path) = check {
         let expected = std::fs::read_to_string(&path)

@@ -102,7 +102,7 @@ pub mod prelude {
     pub use jit_core::{
         AdminConfig, BatchError, BatchParallelism, CandidateParams, CannedQuery,
         Insight, JustInTime, Objective, ReturningUser, SessionBuilder, SessionSnapshot,
-        TimePointServe, TimelineSearch, UserRequest, UserSession,
+        SharedCellCache, TimePointServe, TimelineSearch, UserRequest, UserSession,
     };
     pub use jit_data::{
         CohortFilter, CohortSpec, CohortUser, DriftSchedule, FeatureSchema,
@@ -117,10 +117,11 @@ pub mod prelude {
         DataSpec, DbSnapshotStore, InvalidationError, InvalidationOptions,
         InvalidationReport, InvalidationRun, JitService, LoadMode, LoadPlan,
         LoadReport, MemorySnapshotStore, NetClient, NetServer, NetServerConfig,
-        NullSnapshotStore, ProcessShardBackend, ProcessShardConfig, ReturningMember,
-        ServeBackend, ServeError, ServeReport, ServeRequest, ServeResponse, ServedUser,
-        ServerStats, ShardHealth, ShardReport, ShardedService, SnapshotStore,
-        StoreError, TrainSpec, WireReport, WireResponse,
+        NullSnapshotStore, ProcessShardBackend, ProcessShardConfig,
+        RefreshAheadOptions, RefreshAheadReport, ReturningMember, ServeBackend,
+        ServeError, ServeReport, ServeRequest, ServeResponse, ServedUser, ServerStats,
+        ShardHealth, ShardReport, ShardedService, SnapshotStore, StoreError, TrainSpec,
+        WireReport, WireResponse,
     };
     pub use jit_temporal::future::{FutureModelsParams, FuturePredictor};
     pub use jit_temporal::update::{Override, TemporalUpdateFn};

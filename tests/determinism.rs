@@ -680,6 +680,212 @@ fn networked_tier_is_bit_identical_to_in_process_serving() {
     }
 }
 
+// ---------------------------------------------------------------------
+// 1f. Cross-user cell-cache sharing and refresh-ahead: warm shared
+//     caches (second batch, retrain-generation handover via
+//     `next_generation`) stay bit-identical to cold serves on fresh
+//     systems, and a refresh-ahead pass replays byte-identically to
+//     on-demand re-serving while moving returning users onto the pure
+//     replay path.
+// ---------------------------------------------------------------------
+
+#[test]
+fn shared_cell_cache_is_bit_identical_warm_and_across_generations() {
+    let (schema, slices) = lending_slices(120, 5);
+    let members = service_cohort();
+    let requests: Vec<UserRequest> =
+        members.iter().map(|m| m.request.clone()).collect();
+
+    for policy in [BatchParallelism::PerUser, BatchParallelism::PerTimePoint] {
+        for threads in [1usize, 2, 8] {
+            let config = batch_config(threads, policy);
+            let before = Arc::new(
+                JustInTime::train(config.clone(), &schema, &slices[..4])
+                    .expect("train before"),
+            );
+            // Partial drift: t = 0 keeps the prior generation's model
+            // (and fingerprint), t = 1..=2 retrain on extended history.
+            let after = Arc::new(
+                before
+                    .retrain_pinned(&slices, &[true, false, false])
+                    .expect("retrain pinned"),
+            );
+            // Cold references: the legacy per-user-cache batch path on
+            // each generation, no shared cache anywhere.
+            let cold_before: Vec<SessionFingerprint> = before
+                .serve_batch(&requests)
+                .expect("cold before")
+                .iter()
+                .map(fingerprint)
+                .collect();
+            let cold_after: Vec<SessionFingerprint> = after
+                .serve_batch(&requests)
+                .expect("cold after")
+                .iter()
+                .map(fingerprint)
+                .collect();
+            assert!(cold_before.iter().all(|s| !s.is_empty()));
+
+            for shards in [1usize, 2, 4] {
+                let sharded = ShardedService::from_shared(
+                    Arc::clone(&before),
+                    shards,
+                    threads,
+                    |_| Arc::new(MemorySnapshotStore::new()),
+                );
+                // First batch populates the per-shard shared caches;
+                // the second runs entirely against warm caches. Both
+                // must equal the cache-free cold reference.
+                for pass in ["cold", "warm"] {
+                    let response = sharded
+                        .serve(ServeRequest::batch(members.clone()))
+                        .expect("serve");
+                    let prints: Vec<SessionFingerprint> = response
+                        .users
+                        .iter()
+                        .map(|u| fingerprint(&u.session))
+                        .collect();
+                    assert_eq!(
+                        prints, cold_before,
+                        "{pass} shared-cache pass diverged (shards={shards} \
+                         threads={threads} policy={policy:?})"
+                    );
+                }
+
+                // Generation handover: stores and caches carry over,
+                // non-surviving model slots are dropped, the pinned
+                // t = 0 slot stays warm.
+                let next = ShardedService::next_generation(
+                    Arc::clone(&after),
+                    threads,
+                    &sharded,
+                );
+                let refreshed = next
+                    .serve(ServeRequest::refresh(
+                        members.iter().map(|m| m.user_id.clone()),
+                    ))
+                    .expect("refresh across generations");
+                let prints: Vec<SessionFingerprint> =
+                    refreshed.users.iter().map(|u| fingerprint(&u.session)).collect();
+                assert_eq!(
+                    prints, cold_after,
+                    "post-handover refresh diverged (shards={shards} \
+                     threads={threads} policy={policy:?})"
+                );
+                // Provenance: the pinned time point replays, the two
+                // drifted ones recompute.
+                assert_eq!(refreshed.report.replayed_time_points, members.len());
+                assert_eq!(refreshed.report.recomputed_time_points, 2 * members.len());
+
+                // A cold batch on the handed-over (warm-cache) service
+                // still equals the fresh-system reference.
+                let response = next
+                    .serve(ServeRequest::batch(members.clone()))
+                    .expect("serve next generation");
+                let prints: Vec<SessionFingerprint> =
+                    response.users.iter().map(|u| fingerprint(&u.session)).collect();
+                assert_eq!(
+                    prints, cold_after,
+                    "next-generation batch diverged (shards={shards} \
+                     threads={threads} policy={policy:?})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn refresh_ahead_replays_byte_identically_and_pre_warms_returning_users() {
+    let (schema, slices) = lending_slices(120, 5);
+    let members = service_cohort();
+    let ids: Vec<String> = members.iter().map(|m| m.user_id.clone()).collect();
+    let config = batch_config(2, BatchParallelism::PerUser);
+    let before = Arc::new(
+        JustInTime::train(config, &schema, &slices[..4]).expect("train before"),
+    );
+    let after = Arc::new(
+        before.retrain_pinned(&slices, &[true, false, false]).expect("retrain"),
+    );
+
+    // Two identical pipelines: serve the cohort, retrain with partial
+    // drift, hand the stores/caches to the next generation. One then
+    // runs refresh-ahead; the other stays on-demand.
+    let build = || {
+        let sharded = ShardedService::from_shared(Arc::clone(&before), 2, 2, |_| {
+            Arc::new(MemorySnapshotStore::new())
+        });
+        sharded.serve(ServeRequest::batch(members.clone())).expect("first visit");
+        ShardedService::next_generation(Arc::clone(&after), 2, &sharded)
+    };
+    let proactive = build();
+    let on_demand = build();
+
+    let report = proactive
+        .refresh_ahead(&before, &RefreshAheadOptions::default())
+        .expect("refresh-ahead pass");
+    assert_eq!(report.scanned, members.len());
+    assert_eq!(report.fresh, 0, "every snapshot references drifted models");
+    assert_eq!(report.refreshed, members.len());
+    assert_eq!(report.deferred, 0);
+    assert_eq!(report.drifted_time_points, 2, "t = 0 was pinned");
+    assert_eq!(report.replayed_time_points, members.len());
+    assert_eq!(report.recomputed_time_points, 2 * members.len());
+
+    // Idempotence: the refreshed snapshots carry current fingerprints,
+    // so a second pass finds everyone fresh and re-serves nobody.
+    let again = proactive
+        .refresh_ahead(&before, &RefreshAheadOptions::default())
+        .expect("second pass");
+    assert_eq!(again.fresh, members.len());
+    assert_eq!(again.refreshed, 0);
+    assert_eq!(again.drifted_time_points, 2);
+
+    // The acceptance property: returning users on the pre-refreshed
+    // service stay on the pure replay path — zero cold, zero recomputed.
+    let warm = proactive
+        .serve(ServeRequest::refresh(ids.clone()))
+        .expect("pre-warmed refresh");
+    assert_eq!(warm.report.cold_time_points, 0);
+    assert_eq!(warm.report.recomputed_time_points, 0);
+    assert_eq!(warm.report.replayed_time_points, 3 * members.len());
+
+    // Byte identity: the on-demand pipeline recomputes the drifted time
+    // points on the request path instead, but serves the same bytes.
+    // Provenance and the report are the *intended* observable difference
+    // (replay vs recompute), so the comparison normalizes exactly those
+    // two fields and matches everything else — ids, candidates,
+    // snapshots, fingerprints — in canonical wire encoding.
+    let cold = on_demand.serve(ServeRequest::refresh(ids)).expect("on-demand refresh");
+    assert_eq!(cold.report.recomputed_time_points, 2 * members.len());
+    let content_bytes = |response: &ServeResponse<'_>| {
+        let mut wire = WireResponse::from_response(response);
+        for user in &mut wire.users {
+            user.provenance = None;
+        }
+        wire.report = Default::default();
+        wire::response_bytes(&wire)
+    };
+    assert_eq!(
+        content_bytes(&warm),
+        content_bytes(&cold),
+        "refresh-ahead must not change a single served byte"
+    );
+
+    // Rate limiting: a per-shard cap defers the overflow to later
+    // passes instead of dropping it.
+    let capped = build();
+    let limited = capped
+        .refresh_ahead(&before, &RefreshAheadOptions { batch: 1, max_users: Some(1) })
+        .expect("capped pass");
+    assert_eq!(limited.scanned, members.len());
+    assert_eq!(limited.refreshed + limited.deferred, members.len());
+    assert!(
+        (1..=2).contains(&limited.refreshed),
+        "2 shards, cap 1 per shard: {} refreshed",
+        limited.refreshed
+    );
+}
+
 #[test]
 fn runtime_parallel_map_matches_serial_with_forked_streams() {
     // The contract in miniature: fork first, then map.
