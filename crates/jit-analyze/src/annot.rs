@@ -1,0 +1,227 @@
+//! The allow-annotation mechanism: the in-source, fully-reasoned
+//! allowlist.
+//!
+//! A finding is suppressed only by an annotation comment that names the
+//! rule **and carries a non-empty reason**:
+//!
+//! ```text
+//! // jit-analyze: allow(no-wall-clock) — loadgen measures latency; the
+//! // clock never feeds digests or wire bytes.
+//! let started = Instant::now();
+//! ```
+//!
+//! Grammar, inside any `//` or `/* */` comment:
+//!
+//! ```text
+//! jit-analyze: allow(rule[, rule…]) — reason
+//! jit-analyze: allow-file(rule[, rule…]) — reason
+//! ```
+//!
+//! The separator before the reason may be `—`, `–`, `-`, `:` or just
+//! whitespace; the reason must be non-empty (a reasonless annotation is
+//! itself a finding — the allowlist stays honest). A line annotation
+//! applies to the first source line at or after it: trailing comments
+//! cover their own line, a comment line covers the next code line.
+//! `allow-file` covers the whole file and is meant for files whose
+//! purpose is the exception (e.g. the load generator and wall clocks).
+//!
+//! Unused annotations are reported as findings too: when the code an
+//! annotation justified goes away, the annotation must go with it.
+
+use crate::lexer::Tok;
+
+/// Where an annotation applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scope {
+    /// One source line (the annotation's effective line).
+    Line,
+    /// The whole file.
+    File,
+}
+
+/// One parsed allow annotation.
+#[derive(Clone, Debug)]
+pub struct Annotation {
+    /// Rules this annotation suppresses.
+    pub rules: Vec<String>,
+    /// The mandatory reason.
+    pub reason: String,
+    /// Line or file scope.
+    pub scope: Scope,
+    /// 1-based line of the annotation comment itself.
+    pub comment_line: u32,
+    /// 1-based line the annotation covers (line-scoped only; the first
+    /// code line at or after the comment).
+    pub effective_line: u32,
+}
+
+/// A malformed annotation: mentions `jit-analyze:` but does not parse,
+/// or parses without a reason. Always a finding.
+#[derive(Clone, Debug)]
+pub struct BadAnnotation {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Why it was rejected.
+    pub why: &'static str,
+}
+
+const MARKER: &str = "jit-analyze:";
+
+/// Extracts annotations from a lexed token stream. Comment tokens
+/// without the `jit-analyze:` marker are ignored; marked comments must
+/// parse fully or are returned as [`BadAnnotation`]s. Doc comments
+/// (`///`, `//!`, `/** */`, `/*! */`) never carry directives — they are
+/// documentation *about* the mechanism, not uses of it.
+pub fn collect(toks: &[Tok]) -> (Vec<Annotation>, Vec<BadAnnotation>) {
+    let mut annots = Vec::new();
+    let mut bad = Vec::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if !tok.is_comment() {
+            continue;
+        }
+        // The lexer strips `//` / `/*` but keeps doc sigils, so a doc
+        // comment's text starts with `/`, `!` or `*`.
+        if matches!(tok.text.chars().next(), Some('/' | '!' | '*')) {
+            continue;
+        }
+        let Some(at) = tok.text.find(MARKER) else { continue };
+        let body = &tok.text[at + MARKER.len()..];
+        match parse_directive(body) {
+            Ok((rules, reason, scope)) => {
+                let effective_line = match scope {
+                    Scope::File => tok.line,
+                    Scope::Line => effective_line(toks, i),
+                };
+                annots.push(Annotation {
+                    rules,
+                    reason,
+                    scope,
+                    comment_line: tok.line,
+                    effective_line,
+                });
+            }
+            Err(why) => bad.push(BadAnnotation { line: tok.line, why }),
+        }
+    }
+    (annots, bad)
+}
+
+/// The line a line-scoped annotation at token index `i` covers: its own
+/// line if code precedes it there (trailing comment), else the line of
+/// the next non-comment token.
+fn effective_line(toks: &[Tok], i: usize) -> u32 {
+    let line = toks[i].line;
+    let trailing =
+        toks[..i].iter().rev().take_while(|t| t.line == line).any(|t| !t.is_comment());
+    if trailing {
+        return line;
+    }
+    toks[i + 1..].iter().find(|t| !t.is_comment()).map(|t| t.line).unwrap_or(line)
+}
+
+/// Parses `allow(rule…) — reason` / `allow-file(rule…) — reason`.
+fn parse_directive(body: &str) -> Result<(Vec<String>, String, Scope), &'static str> {
+    let body = body.trim_start();
+    let (scope, rest) = if let Some(rest) = body.strip_prefix("allow-file") {
+        (Scope::File, rest)
+    } else if let Some(rest) = body.strip_prefix("allow") {
+        (Scope::Line, rest)
+    } else {
+        return Err("expected `allow(…)` or `allow-file(…)`");
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("expected `(` after allow");
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed rule list");
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("empty rule list");
+    }
+    let mut reason = rest[close + 1..].trim_start();
+    for sep in ["—", "–", "-", ":"] {
+        if let Some(r) = reason.strip_prefix(sep) {
+            reason = r.trim_start();
+            break;
+        }
+    }
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err("annotation carries no reason");
+    }
+    Ok((rules, reason.to_string(), scope))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_comment_covers_its_own_line() {
+        let src = "let t = now(); // jit-analyze: allow(no-wall-clock) — bench only\n";
+        let (annots, bad) = collect(&lex(src).expect("lexes"));
+        assert!(bad.is_empty());
+        assert_eq!(annots.len(), 1);
+        assert_eq!(annots[0].effective_line, 1);
+        assert_eq!(annots[0].rules, vec!["no-wall-clock"]);
+        assert_eq!(annots[0].reason, "bench only");
+    }
+
+    #[test]
+    fn leading_comment_covers_next_code_line() {
+        let src =
+            "\n// jit-analyze: allow(no-panic-paths) - provably some\n\nx.unwrap();";
+        let (annots, _) = collect(&lex(src).expect("lexes"));
+        assert_eq!(annots[0].comment_line, 2);
+        assert_eq!(annots[0].effective_line, 4);
+    }
+
+    #[test]
+    fn multi_rule_and_file_scope() {
+        let src = "// jit-analyze: allow-file(no-wall-clock, lock-discipline): loadgen\nfn f() {}";
+        let (annots, _) = collect(&lex(src).expect("lexes"));
+        assert_eq!(annots[0].scope, Scope::File);
+        assert_eq!(annots[0].rules, vec!["no-wall-clock", "lock-discipline"]);
+    }
+
+    #[test]
+    fn reasonless_or_malformed_annotations_are_findings() {
+        for src in [
+            "// jit-analyze: allow(no-wall-clock)\nx();",
+            "// jit-analyze: allow(no-wall-clock) —   \nx();",
+            "// jit-analyze: allow no-wall-clock — reason\nx();",
+            "// jit-analyze: allow() — reason\nx();",
+            "// jit-analyze: deny(x) — reason\nx();",
+        ] {
+            let (annots, bad) = collect(&lex(src).expect("lexes"));
+            assert!(annots.is_empty(), "{src}");
+            assert_eq!(bad.len(), 1, "{src}");
+        }
+    }
+
+    #[test]
+    fn doc_comments_never_carry_directives() {
+        for src in [
+            "/// jit-analyze: allow(rule) — doc example\nx();",
+            "//! jit-analyze: allow(rule[, rule…]) — grammar docs\nx();",
+            "/** jit-analyze: allow(broken — doc */\nx();",
+        ] {
+            let (annots, bad) = collect(&lex(src).expect("lexes"));
+            assert!(annots.is_empty() && bad.is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn unmarked_comments_are_ignored() {
+        let src = "// plain comment about allow(things)\nx();";
+        let (annots, bad) = collect(&lex(src).expect("lexes"));
+        assert!(annots.is_empty() && bad.is_empty());
+    }
+}

@@ -1,0 +1,603 @@
+//! The rule engine: turns one lexed source file into findings.
+//!
+//! The engine works on the comment-free *code token* stream, but first
+//! computes four kinds of lexical regions over it:
+//!
+//! - **test regions** — items under `#[cfg(test)]` or `#[test]` (tests
+//!   unwrap freely; `#[cfg(not(test))]` is correctly *not* a test
+//!   region);
+//! - **`Display`/`Debug` impl bodies** — error rendering is not wire
+//!   data, so `no-lossy-float-fmt` only flags float-specific formats
+//!   there;
+//! - **`use` items** — importing `Instant` is not using a clock; the
+//!   call site is what gets flagged;
+//! - **function bodies** — the unit `lock-discipline` counts lock
+//!   acquisitions in.
+//!
+//! Findings are then matched against the allow annotations
+//! ([`crate::annot`]): a suppressed finding consumes its annotation,
+//! and annotations that suppress nothing become `unused-allow`
+//! findings, so the committed allowlist can never silently go stale.
+
+use crate::annot::{self, Scope};
+use crate::lexer::{lex, Tok, TokKind};
+use crate::report::Finding;
+use crate::rules;
+
+/// A code token with its position in the original (comment-bearing)
+/// token stream.
+struct Code<'a> {
+    tok: &'a Tok,
+}
+
+/// Analyzes one source file; `path` must be workspace-relative with
+/// forward slashes (it selects rule scopes).
+pub fn analyze_source(path: &str, src: &str) -> Vec<Finding> {
+    let toks = match lex(src) {
+        Ok(toks) => toks,
+        Err(e) => {
+            return vec![Finding::new(
+                rules::LEX_ERROR,
+                path,
+                e.line,
+                format!("unterminated {}", e.what),
+                String::new(),
+            )]
+        }
+    };
+    let (annots, bad) = annot::collect(&toks);
+    let code: Vec<Code<'_>> =
+        toks.iter().filter(|t| !t.is_comment()).map(|tok| Code { tok }).collect();
+
+    let in_test = test_regions(&code);
+    let in_display = display_regions(&code);
+    let in_use = use_regions(&code);
+    let fn_bodies = fn_body_regions(&code);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    if rules::in_panic_scope(path) {
+        no_panic_paths(path, &code, &in_test, &mut raw);
+    }
+    no_wall_clock(path, &code, &in_test, &in_use, &mut raw);
+    if rules::in_digest_scope(path) {
+        no_lossy_float_fmt(path, &code, &in_test, &in_display, &mut raw);
+    }
+    if rules::in_lock_scope(path) {
+        lock_discipline(path, &code, &in_test, &fn_bodies, &mut raw);
+    }
+
+    // Suppression: match findings to annotations, tracking use.
+    let mut used = vec![false; annots.len()];
+    let mut findings: Vec<Finding> = Vec::new();
+    for finding in raw {
+        let mut suppressed = false;
+        for (i, a) in annots.iter().enumerate() {
+            let applies = a.rules.iter().any(|r| r == finding.rule)
+                && match a.scope {
+                    Scope::File => true,
+                    Scope::Line => a.effective_line == finding.line,
+                };
+            if applies {
+                used[i] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            findings.push(finding);
+        }
+    }
+
+    for b in bad {
+        findings.push(Finding::new(
+            rules::BAD_ANNOTATION,
+            path,
+            b.line,
+            format!("malformed jit-analyze annotation: {}", b.why),
+            String::new(),
+        ));
+    }
+    for (i, a) in annots.iter().enumerate() {
+        for rule in &a.rules {
+            if !rules::SUPPRESSABLE.contains(&rule.as_str()) {
+                findings.push(Finding::new(
+                    rules::BAD_ANNOTATION,
+                    path,
+                    a.comment_line,
+                    format!("annotation names unknown rule `{rule}`"),
+                    String::new(),
+                ));
+            }
+        }
+        if !used[i] && a.rules.iter().all(|r| rules::SUPPRESSABLE.contains(&r.as_str()))
+        {
+            findings.push(Finding::new(
+                rules::UNUSED_ALLOW,
+                path,
+                a.comment_line,
+                format!(
+                    "annotation allow({}) suppresses nothing — remove it",
+                    a.rules.join(", ")
+                ),
+                String::new(),
+            ));
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Regions
+// ---------------------------------------------------------------------
+
+/// Finds the matching close for the bracket opening at `open` (which
+/// must hold one of `(`, `[`, `{`). Returns the index of the closer, or
+/// the last token when unbalanced.
+fn matching(code: &[Code<'_>], open: usize) -> usize {
+    let (o, c) = match code[open].tok.text.as_str() {
+        "(" => ('(', ')'),
+        "[" => ('[', ']'),
+        _ => ('{', '}'),
+    };
+    let mut depth = 0usize;
+    for (i, t) in code.iter().enumerate().skip(open) {
+        if t.tok.is_punct(o) {
+            depth += 1;
+        } else if t.tok.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    code.len().saturating_sub(1)
+}
+
+/// The token range an item starting after index `i` covers: up to the
+/// matching `}` of its first body brace, or its terminating `;` for
+/// bodyless items.
+fn item_extent(code: &[Code<'_>], mut i: usize) -> usize {
+    while i < code.len() {
+        if code[i].tok.is_punct('{') {
+            return matching(code, i);
+        }
+        if code[i].tok.is_punct(';') {
+            return i;
+        }
+        // Skip nested attribute brackets and parenthesized groups so a
+        // `;` or `{` inside them does not end the scan early.
+        if code[i].tok.is_punct('(') || code[i].tok.is_punct('[') {
+            i = matching(code, i);
+        }
+        i += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Marks tokens covered by `#[cfg(test)]` / `#[test]` items.
+fn test_regions(code: &[Code<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut i = 0;
+    while i + 1 < code.len() {
+        if code[i].tok.is_punct('#') && code[i + 1].tok.is_punct('[') {
+            let close = matching(code, i + 1);
+            let attr = &code[i + 2..close];
+            let has = |name: &str| attr.iter().any(|t| t.tok.is_ident(name));
+            let is_test_attr = (has("cfg") && has("test") && !has("not"))
+                || (attr.len() == 1 && attr[0].tok.is_ident("test"));
+            if is_test_attr {
+                let end = item_extent(code, close + 1);
+                for m in mask.iter_mut().take(end + 1).skip(i) {
+                    *m = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Marks tokens inside `impl … Display/Debug … for … { … }` bodies.
+fn display_regions(code: &[Code<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].tok.is_ident("impl") {
+            // Scan the header up to the body brace.
+            let mut j = i + 1;
+            let mut is_display = false;
+            let mut has_for = false;
+            while j < code.len()
+                && !code[j].tok.is_punct('{')
+                && !code[j].tok.is_punct(';')
+            {
+                if code[j].tok.is_ident("Display") || code[j].tok.is_ident("Debug") {
+                    is_display = true;
+                }
+                if code[j].tok.is_ident("for") {
+                    has_for = true;
+                }
+                j += 1;
+            }
+            if is_display && has_for && j < code.len() && code[j].tok.is_punct('{') {
+                let end = matching(code, j);
+                for m in mask.iter_mut().take(end + 1).skip(j) {
+                    *m = true;
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Marks tokens inside `use …;` items.
+fn use_regions(code: &[Code<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].tok.is_ident("use") {
+            let mut j = i;
+            while j < code.len() && !code[j].tok.is_punct(';') {
+                j += 1;
+            }
+            for m in mask.iter_mut().take(j + 1).skip(i) {
+                *m = true;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Body token ranges of every `fn`, innermost-deduplicated: a token
+/// inside a nested fn belongs to the nested one only.
+fn fn_body_regions(code: &[Code<'_>]) -> Vec<(usize, usize)> {
+    let mut bodies = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].tok.is_ident("fn") {
+            let mut j = i + 1;
+            while j < code.len()
+                && !code[j].tok.is_punct('{')
+                && !code[j].tok.is_punct(';')
+            {
+                if code[j].tok.is_punct('(') || code[j].tok.is_punct('[') {
+                    j = matching(code, j);
+                }
+                j += 1;
+            }
+            if j < code.len() && code[j].tok.is_punct('{') {
+                bodies.push((j, matching(code, j)));
+            }
+        }
+        i += 1;
+    }
+    bodies
+}
+
+// ---------------------------------------------------------------------
+// Rule matchers
+// ---------------------------------------------------------------------
+
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "unimplemented",
+    "todo",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+fn no_panic_paths(
+    path: &str,
+    code: &[Code<'_>],
+    in_test: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..code.len() {
+        if in_test[i] {
+            continue;
+        }
+        let t = code[i].tok;
+        // `.unwrap()` / `.expect(`
+        if t.is_punct('.') && i + 2 < code.len() {
+            let name = &code[i + 1].tok;
+            if (name.is_ident("unwrap") || name.is_ident("expect"))
+                && code[i + 2].tok.is_punct('(')
+            {
+                out.push(Finding::new(
+                    rules::NO_PANIC_PATHS,
+                    path,
+                    name.line,
+                    format!(
+                        "`.{}()` on the decode/serve path — return a typed error",
+                        name.text
+                    ),
+                    format!(".{}(…)", name.text),
+                ));
+            }
+        }
+        // Panicking macros.
+        if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && i + 1 < code.len()
+            && code[i + 1].tok.is_punct('!')
+        {
+            out.push(Finding::new(
+                rules::NO_PANIC_PATHS,
+                path,
+                t.line,
+                format!(
+                    "`{}!` on the decode/serve path — return a typed error",
+                    t.text
+                ),
+                format!("{}!(…)", t.text),
+            ));
+        }
+        // Slice indexing by integer literal: `ident[0]`.
+        if t.kind == TokKind::Ident
+            && i + 3 < code.len()
+            && code[i + 1].tok.is_punct('[')
+            && code[i + 2].tok.kind == TokKind::NumLit
+            && code[i + 3].tok.is_punct(']')
+        {
+            out.push(Finding::new(
+                rules::NO_PANIC_PATHS,
+                path,
+                t.line,
+                "slice indexing by literal can panic — use a checked conversion"
+                    .to_string(),
+                format!("{}[{}]", t.text, code[i + 2].tok.text),
+            ));
+        }
+    }
+}
+
+fn no_wall_clock(
+    path: &str,
+    code: &[Code<'_>],
+    in_test: &[bool],
+    in_use: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    let digest_scope = rules::in_digest_scope(path);
+    for i in 0..code.len() {
+        if in_test[i] || in_use[i] {
+            continue;
+        }
+        let t = code[i].tok;
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let flagged = match t.text.as_str() {
+            "SystemTime" | "Instant" | "RandomState" => true,
+            "sleep" => {
+                i > 0
+                    && (code[i - 1].tok.is_punct(':') || code[i - 1].tok.is_punct('.'))
+            }
+            "HashMap" | "HashSet" => digest_scope,
+            _ => false,
+        };
+        if flagged {
+            let what = match t.text.as_str() {
+                "HashMap" | "HashSet" => {
+                    "iteration order is seeded per process — it must never feed \
+                     digests or frames"
+                }
+                _ => "ambient nondeterminism on a deterministic path",
+            };
+            out.push(Finding::new(
+                rules::NO_WALL_CLOCK,
+                path,
+                t.line,
+                format!("`{}`: {what}", t.text),
+                t.text.clone(),
+            ));
+        }
+    }
+}
+
+/// How a format placeholder can lose float payload bits.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Lossiness {
+    Lossless,
+    Lossy,
+    FloatLossy,
+}
+
+/// Classifies one placeholder body (the text between `{` and `}`).
+fn classify_placeholder(body: &str) -> Lossiness {
+    let spec = match body.split_once(':') {
+        None => return Lossiness::Lossy, // `{}` / `{name}`
+        Some((_, spec)) => spec,
+    };
+    if spec.contains('.') || spec.ends_with('e') || spec.ends_with('E') {
+        return Lossiness::FloatLossy; // precision / scientific
+    }
+    if spec.ends_with('x')
+        || spec.ends_with('X')
+        || spec.ends_with('b')
+        || spec.ends_with('o')
+    {
+        return Lossiness::Lossless; // radix formats are bit-faithful
+    }
+    Lossiness::Lossy // `{:?}`, bare width/fill, …
+}
+
+/// The worst placeholder in a format string.
+fn worst_placeholder(fmt: &str) -> Lossiness {
+    let mut worst = Lossiness::Lossless;
+    let chars: Vec<char> = fmt.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '{' {
+            if chars.get(i + 1) == Some(&'{') {
+                i += 2;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < chars.len() && chars[j] != '}' {
+                j += 1;
+            }
+            let body: String = chars[i + 1..j.min(chars.len())].iter().collect();
+            let c = classify_placeholder(&body);
+            if c == Lossiness::FloatLossy
+                || (c == Lossiness::Lossy && worst == Lossiness::Lossless)
+            {
+                worst = c;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    worst
+}
+
+const FMT_MACROS: &[&str] =
+    &["format", "write", "writeln", "print", "println", "eprint", "eprintln"];
+
+fn no_lossy_float_fmt(
+    path: &str,
+    code: &[Code<'_>],
+    in_test: &[bool],
+    in_display: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..code.len() {
+        if in_test[i] {
+            continue;
+        }
+        let t = code[i].tok;
+        // `.to_string()` (outside Display/Debug impls).
+        if t.is_punct('.')
+            && !in_display[i]
+            && i + 3 < code.len()
+            && code[i + 1].tok.is_ident("to_string")
+            && code[i + 2].tok.is_punct('(')
+            && code[i + 3].tok.is_punct(')')
+        {
+            out.push(Finding::new(
+                rules::NO_LOSSY_FLOAT_FMT,
+                path,
+                code[i + 1].tok.line,
+                "`.to_string()` in a codec/digest module — floats must travel as \
+                 bits (`to_bits`/`sql_literal`)"
+                    .to_string(),
+                ".to_string()".to_string(),
+            ));
+        }
+        // Format macros with lossy placeholders.
+        if t.kind == TokKind::Ident
+            && FMT_MACROS.contains(&t.text.as_str())
+            && i + 1 < code.len()
+            && code[i + 1].tok.is_punct('!')
+        {
+            let fmt = code[i + 2..code.len().min(i + 8)]
+                .iter()
+                .find(|c| c.tok.kind == TokKind::StrLit);
+            let Some(fmt) = fmt else { continue };
+            let worst = worst_placeholder(&fmt.tok.text);
+            let flag = match worst {
+                Lossiness::FloatLossy => true,
+                Lossiness::Lossy => !in_display[i],
+                Lossiness::Lossless => false,
+            };
+            if flag {
+                out.push(Finding::new(
+                    rules::NO_LOSSY_FLOAT_FMT,
+                    path,
+                    t.line,
+                    format!(
+                        "`{}!` with a `{{}}`-family placeholder in a codec/digest \
+                         module — floats must travel as bits",
+                        t.text
+                    ),
+                    format!("{}!(\"…\")", t.text),
+                ));
+            }
+        }
+    }
+}
+
+fn lock_discipline(
+    path: &str,
+    code: &[Code<'_>],
+    in_test: &[bool],
+    fn_bodies: &[(usize, usize)],
+    out: &mut Vec<Finding>,
+) {
+    // `.lock().unwrap()` / `.lock().expect(`.
+    for i in 0..code.len() {
+        if in_test[i] {
+            continue;
+        }
+        if code[i].tok.is_punct('.')
+            && i + 5 < code.len()
+            && code[i + 1].tok.is_ident("lock")
+            && code[i + 2].tok.is_punct('(')
+            && code[i + 3].tok.is_punct(')')
+            && code[i + 4].tok.is_punct('.')
+            && (code[i + 5].tok.is_ident("unwrap")
+                || code[i + 5].tok.is_ident("expect"))
+        {
+            out.push(Finding::new(
+                rules::LOCK_DISCIPLINE,
+                path,
+                code[i + 1].tok.line,
+                "lock poisoning unwrapped — handle it deliberately \
+                 (`unwrap_or_else(PoisonError::into_inner)`) or return a typed error"
+                    .to_string(),
+                format!(".lock().{}(…)", code[i + 5].tok.text),
+            ));
+        }
+    }
+    // Multiple acquisitions inside one function body (innermost wins).
+    for &(start, end) in fn_bodies {
+        let mut sites: Vec<usize> = Vec::new();
+        for i in start..=end.min(code.len().saturating_sub(1)) {
+            if in_test[i] {
+                continue;
+            }
+            // Skip tokens that belong to a *nested* fn body.
+            let innermost = fn_bodies
+                .iter()
+                .filter(|(s, e)| *s <= i && i <= *e)
+                .min_by_key(|(s, e)| e - s);
+            if innermost != Some(&(start, end)) {
+                continue;
+            }
+            if code[i].tok.is_punct('.')
+                && i + 3 < code.len()
+                && (code[i + 1].tok.is_ident("lock")
+                    || code[i + 1].tok.is_ident("read")
+                    || code[i + 1].tok.is_ident("write"))
+                && code[i + 2].tok.is_punct('(')
+                && code[i + 3].tok.is_punct(')')
+            {
+                sites.push(i + 1);
+            }
+        }
+        for &site in sites.iter().skip(1) {
+            out.push(Finding::new(
+                rules::LOCK_DISCIPLINE,
+                path,
+                code[site].tok.line,
+                "second lock acquisition in one function — nested-lock hazard; \
+                 restructure or justify with an annotation"
+                    .to_string(),
+                format!(".{}()", code[site].tok.text),
+            ));
+        }
+    }
+}

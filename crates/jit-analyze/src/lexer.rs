@@ -1,0 +1,485 @@
+//! A real Rust lexer — the foundation the rule engine trusts.
+//!
+//! The rules in [`crate::rules`] are lexical: they must never fire on
+//! text inside a string literal or a comment, and must never *miss* a
+//! token because an adversarial literal confused the scanner. So this
+//! module implements actual Rust lexical structure, not regexes:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`), each kept as a token so annotation parsing can
+//!   read them;
+//! - string literals with escapes, byte strings (`b"…"`), C strings
+//!   (`c"…"`), and **raw** strings `r"…"` / `r#"…"#` with any number of
+//!   hashes (`br#"…"#`, `cr#"…"#` included) — a raw string containing
+//!   `.unwrap()` produces one string token, never an `unwrap` ident;
+//! - char literals vs lifetimes: `'a'` is a char, `'a` is a lifetime,
+//!   `'{'` is a char, `b'x'` is a byte char, `'_` is a lifetime and
+//!   `'_'` is a char;
+//! - raw identifiers (`r#type`) and numeric literals with underscores,
+//!   radix prefixes, float exponents and type suffixes.
+//!
+//! Every token carries its 1-based source line, which is the unit the
+//! allow-annotation mechanism ([`crate::annot`]) works in.
+
+/// What kind of token was lexed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (includes raw identifiers, without `r#`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (text excludes the quote).
+    Lifetime,
+    /// A char literal (`'x'`, `'\n'`, `'{'`) or byte char (`b'x'`).
+    CharLit,
+    /// Any string-like literal: `"…"`, `b"…"`, `c"…"`, `r"…"`,
+    /// `r#"…"#`, `br#"…"#`, `cr#"…"#`. Text is the *contents* only.
+    StrLit,
+    /// Numeric literal, including suffixes (`1_000u64`, `1.5e-3f64`).
+    NumLit,
+    /// A `//` comment (text excludes the slashes, includes doc sigils).
+    LineComment,
+    /// A `/* … */` comment, nesting included (text is the interior).
+    BlockComment,
+    /// Any single punctuation character.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// The token kind.
+    pub kind: TokKind,
+    /// Kind-specific text (see [`TokKind`] for what is included).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// `true` for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// `true` for a punctuation token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.chars().eq([ch])
+    }
+
+    /// `true` for either comment kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// A lexing failure: the scanner hit an unterminated construct. The
+/// engine treats this as a finding (fail closed), never a panic.
+#[derive(Clone, Debug)]
+pub struct LexError {
+    /// 1-based line of the offending construct.
+    pub line: u32,
+    /// What was unterminated.
+    pub what: &'static str,
+}
+
+struct Scanner {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Scanner {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn err(&self, what: &'static str) -> LexError {
+        LexError { line: self.line, what }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens.
+///
+/// # Errors
+/// [`LexError`] on an unterminated string, char or block comment.
+pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
+    let mut s = Scanner { chars: src.chars().collect(), pos: 0, line: 1 };
+    let mut out = Vec::new();
+    while let Some(c) = s.peek(0) {
+        let line = s.line;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                s.bump();
+            }
+            '/' if s.peek(1) == Some('/') => {
+                s.bump();
+                s.bump();
+                let mut text = String::new();
+                while let Some(c) = s.peek(0) {
+                    if c == '\n' {
+                        break;
+                    }
+                    text.push(c);
+                    s.bump();
+                }
+                out.push(Tok { kind: TokKind::LineComment, text, line });
+            }
+            '/' if s.peek(1) == Some('*') => {
+                s.bump();
+                s.bump();
+                let mut depth = 1usize;
+                let mut text = String::new();
+                loop {
+                    match (s.peek(0), s.peek(1)) {
+                        (Some('/'), Some('*')) => {
+                            depth += 1;
+                            text.push_str("/*");
+                            s.bump();
+                            s.bump();
+                        }
+                        (Some('*'), Some('/')) => {
+                            depth -= 1;
+                            s.bump();
+                            s.bump();
+                            if depth == 0 {
+                                break;
+                            }
+                            text.push_str("*/");
+                        }
+                        (Some(c), _) => {
+                            text.push(c);
+                            s.bump();
+                        }
+                        (None, _) => return Err(s.err("block comment")),
+                    }
+                }
+                out.push(Tok { kind: TokKind::BlockComment, text, line });
+            }
+            '"' => {
+                s.bump();
+                let text = scan_quoted(&mut s)?;
+                out.push(Tok { kind: TokKind::StrLit, text, line });
+            }
+            '\'' => {
+                s.bump();
+                out.push(scan_char_or_lifetime(&mut s, line)?);
+            }
+            c if is_ident_start(c) => {
+                let mut ident = String::new();
+                while let Some(c) = s.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    ident.push(c);
+                    s.bump();
+                }
+                match string_prefix(&ident, &mut s) {
+                    Some(tok) => out.push(tok?),
+                    None => {
+                        // `r#raw_ident`: swallow the hash, lex the ident.
+                        if ident == "r"
+                            && s.peek(0) == Some('#')
+                            && s.peek(1).is_some_and(is_ident_start)
+                        {
+                            s.bump();
+                            let mut raw = String::new();
+                            while let Some(c) = s.peek(0) {
+                                if !is_ident_continue(c) {
+                                    break;
+                                }
+                                raw.push(c);
+                                s.bump();
+                            }
+                            out.push(Tok { kind: TokKind::Ident, text: raw, line });
+                        } else if ident == "b" && s.peek(0) == Some('\'') {
+                            // Byte char literal b'x'.
+                            s.bump();
+                            let mut tok = scan_char_or_lifetime(&mut s, line)?;
+                            tok.kind = TokKind::CharLit;
+                            out.push(tok);
+                        } else {
+                            out.push(Tok { kind: TokKind::Ident, text: ident, line });
+                        }
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while let Some(c) = s.peek(0) {
+                    if is_ident_continue(c) {
+                        text.push(c);
+                        s.bump();
+                        // Exponent sign: `1e-5`, `2E+3`.
+                        if (c == 'e' || c == 'E')
+                            && !text.starts_with("0x")
+                            && !text.starts_with("0X")
+                            && matches!(s.peek(0), Some('+') | Some('-'))
+                            && s.peek(1).is_some_and(|d| d.is_ascii_digit())
+                        {
+                            text.push(s.bump().unwrap_or('-'));
+                        }
+                    } else if c == '.'
+                        && s.peek(1).is_some_and(|d| d.is_ascii_digit())
+                        && !text.contains('.')
+                    {
+                        // `1.5` but not `1..5` and not a second dot.
+                        text.push(c);
+                        s.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok { kind: TokKind::NumLit, text, line });
+            }
+            c => {
+                s.bump();
+                out.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Scans the rest of a `"…"` literal (opening quote consumed).
+fn scan_quoted(s: &mut Scanner) -> Result<String, LexError> {
+    let mut text = String::new();
+    loop {
+        match s.bump() {
+            Some('\\') => {
+                // Keep the escaped char verbatim; `\"` must not close.
+                text.push('\\');
+                match s.bump() {
+                    Some(c) => text.push(c),
+                    None => return Err(s.err("string literal")),
+                }
+            }
+            Some('"') => return Ok(text),
+            Some(c) => text.push(c),
+            None => return Err(s.err("string literal")),
+        }
+    }
+}
+
+/// Scans a raw string `…"…"##` given the number of leading hashes
+/// (opening quote consumed).
+fn scan_raw(s: &mut Scanner, hashes: usize) -> Result<String, LexError> {
+    let mut text = String::new();
+    loop {
+        match s.bump() {
+            Some('"') => {
+                // Closing quote only if followed by exactly enough `#`s.
+                let mut n = 0;
+                while n < hashes && s.peek(n) == Some('#') {
+                    n += 1;
+                }
+                if n == hashes {
+                    for _ in 0..hashes {
+                        s.bump();
+                    }
+                    return Ok(text);
+                }
+                text.push('"');
+            }
+            Some(c) => text.push(c),
+            None => return Err(s.err("raw string literal")),
+        }
+    }
+}
+
+/// If `ident` is a string-literal prefix sitting directly before a
+/// quote (or hashes-then-quote for raw forms), scans the literal.
+fn string_prefix(ident: &str, s: &mut Scanner) -> Option<Result<Tok, LexError>> {
+    let raw = matches!(ident, "r" | "br" | "cr");
+    let plain = matches!(ident, "b" | "c");
+    let line = s.line;
+    if (raw || plain) && s.peek(0) == Some('"') {
+        s.bump();
+        let text = if raw { scan_raw(s, 0) } else { scan_quoted(s) };
+        return Some(text.map(|text| Tok { kind: TokKind::StrLit, text, line }));
+    }
+    if raw && s.peek(0) == Some('#') {
+        let mut hashes = 0;
+        while s.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if s.peek(hashes) == Some('"') {
+            for _ in 0..=hashes {
+                s.bump();
+            }
+            let text = scan_raw(s, hashes);
+            return Some(text.map(|text| Tok { kind: TokKind::StrLit, text, line }));
+        }
+    }
+    None
+}
+
+/// Scans after a consumed `'`: either a char literal or a lifetime.
+fn scan_char_or_lifetime(s: &mut Scanner, line: u32) -> Result<Tok, LexError> {
+    match s.peek(0) {
+        // Escape: definitely a char literal.
+        Some('\\') => {
+            let mut text = String::new();
+            loop {
+                match s.bump() {
+                    Some('\\') => {
+                        text.push('\\');
+                        match s.bump() {
+                            Some(c) => text.push(c),
+                            None => return Err(s.err("char literal")),
+                        }
+                    }
+                    Some('\'') => {
+                        return Ok(Tok { kind: TokKind::CharLit, text, line })
+                    }
+                    Some(c) => text.push(c),
+                    None => return Err(s.err("char literal")),
+                }
+            }
+        }
+        // Ident-shaped: lifetime unless a closing quote follows the run
+        // (`'a'` is a char, `'a` / `'static` / `'_` are lifetimes).
+        Some(c) if is_ident_start(c) => {
+            let mut text = String::new();
+            while let Some(c) = s.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                s.bump();
+            }
+            if s.peek(0) == Some('\'') {
+                s.bump();
+                Ok(Tok { kind: TokKind::CharLit, text, line })
+            } else {
+                Ok(Tok { kind: TokKind::Lifetime, text, line })
+            }
+        }
+        // Anything else (`'{'`, `'3'`, `'.'`): a one-char literal.
+        Some(c) => {
+            s.bump();
+            if s.bump() == Some('\'') {
+                Ok(Tok { kind: TokKind::CharLit, text: c.to_string(), line })
+            } else {
+                Err(s.err("char literal"))
+            }
+        }
+        None => Err(s.err("char literal")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).expect("lexes").into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn raw_string_containing_unwrap_is_one_string_token() {
+        let toks = kinds(r###"let s = r#"x.unwrap() and "quotes" too"#;"###);
+        assert!(toks.iter().any(|(k, t)| {
+            *k == TokKind::StrLit && t.contains("unwrap") && t.contains("\"quotes\"")
+        }));
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let toks = kinds("/* outer /* inner */ still outer */ after");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert!(toks[0].1.contains("inner"));
+        assert!(toks[1].1 == "after");
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = kinds("'{' 'a' '_' &'a x &'_ y '\\n' b'z' 'static");
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::CharLit)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, vec!["{", "a", "_", "\\n", "z"]);
+        assert_eq!(lifetimes, vec!["a", "_", "static"]);
+    }
+
+    #[test]
+    fn byte_and_c_strings_and_hashed_raw_strings() {
+        let toks = kinds(r####"b"bytes" c"cstr" br##"raw "# bytes"## x"####);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::StrLit)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, vec!["bytes", "cstr", r##"raw "# bytes"##]);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "type"));
+    }
+
+    #[test]
+    fn numbers_with_exponents_ranges_and_suffixes() {
+        let toks = kinds("1_000u64 1.5e-3f64 0x1F 0..10 1.max(2)");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::NumLit)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1_000u64", "1.5e-3f64", "0x1F", "0", "10", "1", "2"]);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_close_strings() {
+        let toks = kinds(r#"let s = "a \" b .unwrap()";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::StrLit && t.contains("unwrap")));
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "a\n/* x\ny */\nb";
+        let toks = lex(src).expect("lexes");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn unterminated_constructs_are_errors_not_panics() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("/* never closed").is_err());
+        assert!(lex("r#\"still open").is_err());
+        assert!(lex(r"'\x").is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! `jit-analyze` — the workspace contract lint.
+//!
+//! The serving stack promises things `rustc` and clippy cannot check:
+//! bit-identical responses across threads, shards and processes; codecs
+//! that return typed errors instead of panicking on hostile bytes;
+//! floats that cross process boundaries as raw bits; locks whose
+//! poisoning is handled deliberately. This crate enforces those
+//! contracts mechanically, as named rules over the real token stream of
+//! every workspace source file:
+//!
+//! | rule | contract |
+//! |---|---|
+//! | `no-panic-paths` | decode/serve modules never panic ([`rules::NO_PANIC_PATHS`]) |
+//! | `no-wall-clock` | no ambient nondeterminism in library code ([`rules::NO_WALL_CLOCK`]) |
+//! | `no-lossy-float-fmt` | floats travel as bits through codec/digest modules ([`rules::NO_LOSSY_FLOAT_FMT`]) |
+//! | `lock-discipline` | deliberate poison handling, no nested acquisitions ([`rules::LOCK_DISCIPLINE`]) |
+//!
+//! Exceptions live **in the source** as reasoned annotations
+//! (`// jit-analyze: allow(rule) — reason`, see [`annot`]); a reasonless
+//! or stale annotation is itself a finding, so the allowlist cannot rot.
+//!
+//! Design choices, in order:
+//!
+//! - **A real lexer, not regexes** ([`lexer`]): `unwrap()` inside a raw
+//!   string, `panic!` inside a nested block comment, and `'{'` char
+//!   literals must not trip the rules — and `#[cfg(test)]` regions,
+//!   `Display` impls and `use` items must be recognized from tokens to
+//!   scope exemptions correctly ([`engine`]).
+//! - **Std-only, zero dependencies**: the analyzer gates CI before
+//!   anything else builds, so it depends on nothing — not even the
+//!   vendored stand-in crates.
+//! - **Self-testing** ([`selftest`]): fixtures seed one violation per
+//!   rule (plus adversarial negatives) and CI runs them first; a green
+//!   `--check` only counts after the lint has found its own seeded bugs.
+//!
+//! The prose version of each contract is `CONTRACTS.md` at the
+//! workspace root; the binary (`src/main.rs`) wires this library to the
+//! filesystem and CI (`--check`, `--json`, `--list-allows`,
+//! `--self-test`).
+
+#![forbid(unsafe_code)]
+
+pub mod annot;
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod selftest;

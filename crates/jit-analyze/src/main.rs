@@ -1,0 +1,213 @@
+//! CLI for the workspace contract lint.
+//!
+//! ```text
+//! jit-analyze [--root DIR] [--check] [--json] [--list-allows] [--self-test]
+//! ```
+//!
+//! Walks `src/` and every `crates/*/src/` under the root (sorted, so
+//! reports are stable), analyzes each `.rs` file, and prints findings.
+//! Exit codes: `0` clean (or findings without `--check`), `1` findings
+//! under `--check`, `2` usage or I/O error.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use jit_analyze::{annot, engine, lexer, report, selftest};
+
+fn main() {
+    std::process::exit(run(std::env::args().skip(1).collect()));
+}
+
+struct Opts {
+    root: PathBuf,
+    check: bool,
+    json: bool,
+    list_allows: bool,
+    self_test: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        check: false,
+        json: false,
+        list_allows: false,
+        self_test: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                let Some(dir) = it.next() else {
+                    return Err("--root needs a directory".into());
+                };
+                opts.root = PathBuf::from(dir);
+            }
+            "--check" => opts.check = true,
+            "--json" => opts.json = true,
+            "--list-allows" => opts.list_allows = true,
+            "--self-test" => opts.self_test = true,
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+const USAGE: &str =
+    "usage: jit-analyze [--root DIR] [--check] [--json] [--list-allows] [--self-test]";
+
+fn run(args: Vec<String>) -> i32 {
+    let opts = match parse_opts(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+
+    if opts.self_test {
+        return match selftest::run() {
+            Ok(summary) => {
+                println!("{summary}");
+                0
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                1
+            }
+        };
+    }
+
+    let files = match source_files(&opts.root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("jit-analyze: {e}");
+            return 2;
+        }
+    };
+    if files.is_empty() {
+        eprintln!(
+            "jit-analyze: no sources under {} — wrong --root?",
+            opts.root.display()
+        );
+        return 2;
+    }
+
+    if opts.list_allows {
+        return list_allows(&opts.root, &files);
+    }
+
+    let mut findings = Vec::new();
+    for rel in &files {
+        let src = match fs::read_to_string(opts.root.join(rel)) {
+            Ok(src) => src,
+            Err(e) => {
+                eprintln!("jit-analyze: {rel}: {e}");
+                return 2;
+            }
+        };
+        findings.extend(engine::analyze_source(rel, &src));
+    }
+
+    if opts.json {
+        print!("{}", report::render_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{}", f.render_text());
+        }
+        println!(
+            "jit-analyze: {} files scanned, {} finding{}",
+            files.len(),
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+        );
+    }
+    if opts.check && !findings.is_empty() {
+        1
+    } else {
+        0
+    }
+}
+
+/// Prints every allow annotation in the tree — the committed allowlist,
+/// with its reasons — for review.
+fn list_allows(root: &Path, files: &[String]) -> i32 {
+    let mut n = 0usize;
+    for rel in files {
+        let Ok(src) = fs::read_to_string(root.join(rel)) else { continue };
+        let Ok(toks) = lexer::lex(&src) else { continue };
+        let (annots, _) = annot::collect(&toks);
+        for a in annots {
+            n += 1;
+            let scope = match a.scope {
+                annot::Scope::File => "file",
+                annot::Scope::Line => "line",
+            };
+            println!(
+                "{rel}:{}: [{scope}] allow({}) — {}",
+                a.comment_line,
+                a.rules.join(", "),
+                a.reason
+            );
+        }
+    }
+    println!("jit-analyze: {n} annotations");
+    0
+}
+
+/// Workspace-relative paths (forward slashes) of every `.rs` file under
+/// `src/` and `crates/*/src/`, sorted for stable reports. The vendored
+/// stand-in crates (`vendor/`) are deliberately out of scope: they
+/// mimic external dependencies.
+fn source_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut roots: Vec<PathBuf> = Vec::new();
+    let top_src = root.join("src");
+    if top_src.is_dir() {
+        roots.push(top_src);
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut dirs: Vec<PathBuf> = fs::read_dir(&crates)
+            .map_err(|e| format!("{}: {e}", crates.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let src = dir.join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    let mut files = Vec::new();
+    for r in &roots {
+        collect_rs(root, r, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(root, &p, out)?;
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            let rel = p
+                .strip_prefix(root)
+                .map_err(|e| format!("{}: {e}", p.display()))?
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,118 @@
+//! Findings and report rendering (human text and machine JSON).
+//!
+//! The JSON writer is hand-rolled (the analyzer is dependency-free by
+//! design) and escapes strings per RFC 8259 — good enough for paths,
+//! rule ids and one-line messages.
+
+/// One rule violation (or engine-level problem) at a source location.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule id, e.g. `no-panic-paths`.
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// Short matched snippet, possibly empty.
+    pub snippet: String,
+}
+
+impl Finding {
+    /// Builds a finding; `path` is stored as given.
+    pub fn new(
+        rule: &'static str,
+        path: &str,
+        line: u32,
+        message: String,
+        snippet: String,
+    ) -> Self {
+        Finding { rule, path: path.to_string(), line, message, snippet }
+    }
+
+    /// `path:line: [rule] message (snippet)` — the one-line text form.
+    pub fn render_text(&self) -> String {
+        let mut s =
+            format!("{}:{}: [{}] {}", self.path, self.line, self.rule, self.message);
+        if !self.snippet.is_empty() {
+            s.push_str(&format!("  `{}`", self.snippet));
+        }
+        s
+    }
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full report as a stable JSON document:
+/// `{"findings": […], "count": N, "clean": bool}`. Findings keep the
+/// engine's (path, line, rule) ordering so reports diff cleanly.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \
+             \"message\": \"{}\", \"snippet\": \"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.message),
+            json_escape(&f.snippet),
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"count\": {},\n  \"clean\": {}\n}}\n",
+        findings.len(),
+        findings.is_empty(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let f = Finding::new(
+            "no-panic-paths",
+            "a/b.rs",
+            7,
+            "say \"no\"".into(),
+            "x\\y".into(),
+        );
+        let json = render_json(&[f]);
+        assert!(json.contains("\"say \\\"no\\\"\""));
+        assert!(json.contains("\"x\\\\y\""));
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\"clean\": false"));
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let json = render_json(&[]);
+        assert!(json.contains("\"count\": 0"));
+        assert!(json.contains("\"clean\": true"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Self-test: seeded violations proving every rule actually fires.
+//!
+//! The fixtures are a virtual source tree (path → source text) with
+//! exactly one seeded violation per behaviour the engine promises, plus
+//! adversarial *negatives* — unwraps inside raw strings, panics inside
+//! nested block comments, `'{'` char literals, `#[cfg(test)]` regions —
+//! that must stay silent. CI runs this (`jit-analyze --self-test`)
+//! before trusting a clean `--check`: a lint that cannot find its own
+//! seeded bugs proves nothing.
+
+use crate::engine::analyze_source;
+use crate::rules;
+
+/// One fixture file: a virtual path (selects rule scopes), source text,
+/// and the exact findings the engine must produce. `line == 0` matches
+/// any line (used where the exact line is an implementation detail,
+/// e.g. lex errors).
+pub struct Fixture {
+    /// Virtual workspace-relative path.
+    pub path: &'static str,
+    /// Source text.
+    pub src: &'static str,
+    /// Expected `(rule, line)` pairs, sorted by line.
+    pub expect: &'static [(&'static str, u32)],
+}
+
+/// Seeded `no-panic-paths` violations (slice-index, unwrap, panic!)
+/// plus negatives: a suppressed unwrap, an unwrap inside a raw string,
+/// a panic! inside a nested block comment, and a `#[cfg(test)]` module.
+const PANIC_FIXTURE: &str = r##"
+pub fn decode(buf: &[u8]) -> u8 {
+    let first = buf[0];
+    first
+}
+pub fn run(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+pub fn boom() {
+    panic!("nope");
+}
+pub fn ok(x: Option<u8>) -> u8 {
+    x.unwrap() // jit-analyze: allow(no-panic-paths) — fixture: provably Some, seeded suppression
+}
+pub fn strings() -> &'static str {
+    r#"please .unwrap() me"#
+}
+/* outer /* panic!("inner") */ still one comment */
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { None::<u8>.unwrap(); }
+}
+"##;
+
+/// Seeded `no-wall-clock` violation (`Instant::now`) plus negatives: a
+/// `use` line, an annotated `thread::sleep`, and a `'{'` char literal.
+const CLOCK_FIXTURE: &str = r##"
+use std::time::Instant;
+pub fn timed() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+pub fn pace() {
+    std::thread::sleep(std::time::Duration::from_millis(1)); // jit-analyze: allow(no-wall-clock) — fixture: pacing only, never feeds output
+}
+pub fn brace() -> char {
+    '{'
+}
+"##;
+
+/// Seeded seeded-`HashMap`-in-digest-scope violation (iteration order
+/// would feed the digest); the `use` line stays exempt.
+const DIGEST_FIXTURE: &str = r##"
+use std::collections::HashMap;
+pub fn digest_map(m: &HashMap<u64, u64>) -> u64 {
+    m.iter().map(|(k, v)| k ^ v).sum()
+}
+"##;
+
+/// Seeded `no-lossy-float-fmt` violations: a `{}` format outside any
+/// `Display` impl and a `{:.3}` precision format *inside* one (float
+/// payloads may not be narrowed even for display). Negatives: lossless
+/// `{:016x}` and a plain `{}` inside `Display`.
+const FLOAT_FIXTURE: &str = r##"
+use std::fmt;
+pub fn encode(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+pub fn lossy(v: f64) -> String {
+    format!("{}", v)
+}
+pub struct E(f64);
+impl fmt::Display for E {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E = {}", self.0)
+    }
+}
+pub struct P(f64);
+impl fmt::Display for P {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.0)
+    }
+}
+"##;
+
+/// Seeded `lock-discipline` violations: `.lock().unwrap()` and a second
+/// acquisition in one function. Negatives: `io::Read::read(&mut buf)`
+/// (takes an argument, so it is not a lock acquisition) and nested
+/// functions that each take one lock.
+const LOCK_FIXTURE: &str = r##"
+use std::sync::Mutex;
+pub fn poisoned(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+pub fn nested(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let x = *a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let y = *b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    x + y
+}
+pub fn io_read(r: &mut impl std::io::Read, buf: &mut [u8]) {
+    let _ = r.read(buf);
+}
+pub fn outer(a: &Mutex<u32>) -> u32 {
+    fn inner(b: &Mutex<u32>) -> u32 {
+        *b.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+    inner(a) + *a.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+"##;
+
+/// A reasonless annotation (bad-annotation) and a well-formed one that
+/// suppresses nothing (unused-allow): both must be findings.
+const ANNOT_FIXTURE: &str = r##"
+// jit-analyze: allow(no-wall-clock)
+pub fn quiet() {}
+// jit-analyze: allow(no-panic-paths) — fixture: stale, nothing here panics
+pub fn calm() {}
+"##;
+
+/// A source the lexer cannot scan: the engine must fail closed with a
+/// `lex-error` finding, not silently skip the file.
+const BROKEN_FIXTURE: &str = "pub fn f() {}\n/* unterminated\n";
+
+/// The fixture tree. Paths are virtual but chosen to land inside the
+/// real rule scopes of [`crate::rules`].
+pub fn fixtures() -> Vec<Fixture> {
+    vec![
+        Fixture {
+            path: "crates/jit-service/src/supervisor.rs",
+            src: PANIC_FIXTURE,
+            expect: &[
+                (rules::NO_PANIC_PATHS, 3),
+                (rules::NO_PANIC_PATHS, 7),
+                (rules::NO_PANIC_PATHS, 10),
+            ],
+        },
+        Fixture {
+            path: "crates/jit-core/src/clock.rs",
+            src: CLOCK_FIXTURE,
+            expect: &[(rules::NO_WALL_CLOCK, 4)],
+        },
+        Fixture {
+            path: "crates/jit-math/src/digest.rs",
+            src: DIGEST_FIXTURE,
+            expect: &[(rules::NO_WALL_CLOCK, 3)],
+        },
+        Fixture {
+            path: "crates/jit-db/src/codec.rs",
+            src: FLOAT_FIXTURE,
+            expect: &[(rules::NO_LOSSY_FLOAT_FMT, 7), (rules::NO_LOSSY_FLOAT_FMT, 18)],
+        },
+        Fixture {
+            path: "crates/jit-runtime/src/pool.rs",
+            src: LOCK_FIXTURE,
+            expect: &[(rules::LOCK_DISCIPLINE, 4), (rules::LOCK_DISCIPLINE, 8)],
+        },
+        Fixture {
+            path: "crates/jit-core/src/annots.rs",
+            src: ANNOT_FIXTURE,
+            expect: &[(rules::BAD_ANNOTATION, 2), (rules::UNUSED_ALLOW, 4)],
+        },
+        Fixture {
+            path: "crates/jit-core/src/broken.rs",
+            src: BROKEN_FIXTURE,
+            expect: &[(rules::LEX_ERROR, 0)],
+        },
+    ]
+}
+
+/// Runs every fixture; returns a human summary on success, a diff
+/// description on the first mismatch.
+pub fn run() -> Result<String, String> {
+    let fixtures = fixtures();
+    let mut total = 0usize;
+    let mut rules_fired: Vec<&str> = Vec::new();
+    for fx in &fixtures {
+        let got: Vec<(&str, u32)> =
+            analyze_source(fx.path, fx.src).iter().map(|f| (f.rule, f.line)).collect();
+        if got.len() != fx.expect.len()
+            || !got
+                .iter()
+                .zip(fx.expect.iter())
+                .all(|(g, e)| g.0 == e.0 && (e.1 == 0 || g.1 == e.1))
+        {
+            return Err(format!(
+                "self-test MISMATCH for fixture `{}`:\n  expected {:?}\n  got      {:?}",
+                fx.path, fx.expect, got
+            ));
+        }
+        total += got.len();
+        for (rule, _) in &got {
+            if !rules_fired.contains(rule) {
+                rules_fired.push(rule);
+            }
+        }
+    }
+    let must_fire = [
+        rules::NO_PANIC_PATHS,
+        rules::NO_WALL_CLOCK,
+        rules::NO_LOSSY_FLOAT_FMT,
+        rules::LOCK_DISCIPLINE,
+        rules::BAD_ANNOTATION,
+        rules::UNUSED_ALLOW,
+        rules::LEX_ERROR,
+    ];
+    for rule in must_fire {
+        if !rules_fired.contains(&rule) {
+            return Err(format!(
+                "self-test: rule `{rule}` never fired on its seeded fixture"
+            ));
+        }
+    }
+    Ok(format!(
+        "self-test OK: {} fixtures, {} seeded findings, all {} rules fired",
+        fixtures.len(),
+        total,
+        must_fire.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_fixtures_all_pass() {
+        match run() {
+            Ok(summary) => assert!(summary.contains("self-test OK")),
+            Err(e) => panic!("{e}"),
+        }
+    }
+}

@@ -12,6 +12,9 @@
 //!
 //! Run with: `cargo bench -p jit-bench --bench candidates`
 
+// Bench code: panics are the correct failure mode for a broken harness.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jit_bench::{bench_generator, year_slices};
 use jit_constraints::set::domain_constraints;

@@ -13,6 +13,9 @@
 //!
 //! Run with: `cargo bench -p jit-bench --bench future_models`
 
+// Bench code: panics are the correct failure mode for a broken harness.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jit_bench::bench_generator;
 use jit_data::LendingClubGenerator;

@@ -4,6 +4,9 @@
 //!
 //! Run with: `cargo bench -p jit-bench --bench pipeline`
 
+// Bench code: panics are the correct failure mode for a broken harness.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jit_bench::{bench_config, bench_generator, john_session, year_slices};
 use jit_constraints::ConstraintSet;

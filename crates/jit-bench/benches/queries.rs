@@ -3,6 +3,9 @@
 //!
 //! Run with: `cargo bench -p jit-bench --bench queries`
 
+// Bench code: panics are the correct failure mode for a broken harness.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jit_bench::{john_session, trained_system};
 use jit_core::CannedQuery;

@@ -9,6 +9,9 @@
 //!
 //! Run with: `cargo bench -p jit-bench --bench serving`
 
+// Bench code: panics are the correct failure mode for a broken harness.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use jit_bench::{bench_generator, serving_cohort, trained_system};
 use std::hint::black_box;

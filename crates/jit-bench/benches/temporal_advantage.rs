@@ -16,6 +16,9 @@
 //!
 //! Run with: `cargo bench -p jit-bench --bench temporal_advantage`
 
+// Bench code: panics are the correct failure mode for a broken harness.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use jit_bench::{bench_config, year_slices};
 use jit_constraints::ConstraintSet;

@@ -1,6 +1,9 @@
 //! Diagnostic for the E1 bench: prints the static and temporal plans of a
 //! few John-cohort applicants with their oracle transfer scores.
 
+// CLI tool: top-level unwraps abort with a message, which is the intended UX.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use jit_bench::{bench_config, year_slices};
 use jit_constraints::ConstraintSet;
 use jit_core::JustInTime;

@@ -50,6 +50,9 @@
 //! report goes to stderr so stdout stays valid snapshot JSON for
 //! artifact upload.
 
+// CLI tool: top-level unwraps abort with a message, which is the intended UX.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use jit_bench::{
     bench_config, bench_generator, drifted_returning_cohort, john_session,
     returning_cohort, serving_cohort, year_slices,
@@ -108,6 +111,7 @@ fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> (f64, f64) {
     let mut total = 0.0;
     let mut min = f64::INFINITY;
     for _ in 0..reps {
+        // jit-analyze: allow(no-wall-clock) — this binary exists to measure wall time; timings feed the perf report, not digests
         let start = Instant::now();
         f();
         let ms = start.elapsed().as_secs_f64() * 1000.0;

@@ -6,6 +6,10 @@
 //! experiment's *shape table* (who wins, by how much) to stderr during
 //! setup; EXPERIMENTS.md records those tables against the paper's claims.
 
+// Bench fixtures: panics are the correct failure mode for a broken harness.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![forbid(unsafe_code)]
+
 use jit_constraints::ConstraintSet;
 use jit_core::{AdminConfig, CandidateParams, JustInTime};
 use jit_data::{FeatureSchema, LendingClubGenerator, LendingClubParams};

@@ -29,6 +29,8 @@
 //! Constraints are written over feature *names* and bound to vector indices
 //! against a [`jit_data::FeatureSchema`] before evaluation.
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod builder;
 pub mod compiled;

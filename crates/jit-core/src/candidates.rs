@@ -298,6 +298,15 @@ pub struct SharedCellCache {
     slots: Mutex<HashMap<Digest, Arc<Mutex<CellMap>>>>,
 }
 
+/// Acquires a cache mutex, entering it even when a panicking thread
+/// poisoned it: every stored value is a finished, verified cell vector
+/// inserted whole under the lock, so the map is consistent no matter
+/// where a writer died. Lock order is strictly outer slot-map before
+/// inner cell-map, never the reverse.
+fn lock_cache<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 impl SharedCellCache {
     /// An empty cache.
     pub fn new() -> Self {
@@ -306,9 +315,7 @@ impl SharedCellCache {
 
     /// The slot for model fingerprint `key`, created empty on first use.
     fn slot(&self, key: Digest) -> Arc<Mutex<CellMap>> {
-        Arc::clone(
-            self.slots.lock().expect("cell-cache poisoned").entry(key).or_default(),
-        )
+        Arc::clone(lock_cache(&self.slots).entry(key).or_default())
     }
 
     /// Drops every slot whose model fingerprint is not in `keys` — the
@@ -316,32 +323,22 @@ impl SharedCellCache {
     /// the current model generation whenever they change (retrain), and
     /// slots for surviving models carry over while stale ones die.
     pub fn retain_models(&self, keys: &[Option<Digest>]) {
-        self.slots
-            .lock()
-            .expect("cell-cache poisoned")
+        lock_cache(&self.slots)
             .retain(|slot, _| keys.iter().any(|key| key.as_ref() == Some(slot)));
     }
 
     /// Number of model fingerprints with a live slot.
     pub fn model_count(&self) -> usize {
-        self.slots.lock().expect("cell-cache poisoned").len()
+        lock_cache(&self.slots).len()
     }
 
     /// Total number of memoized cell vectors across all slots. An
     /// observability number only: it depends on thread scheduling and
     /// must never feed deterministic reports.
     pub fn cell_count(&self) -> usize {
-        self.slots
-            .lock()
-            .expect("cell-cache poisoned")
+        lock_cache(&self.slots)
             .values()
-            .map(|slot| {
-                slot.lock()
-                    .expect("cell-cache poisoned")
-                    .values()
-                    .map(Vec::len)
-                    .sum::<usize>()
-            })
+            .map(|slot| lock_cache(slot).values().map(Vec::len).sum::<usize>())
             .sum()
     }
 }
@@ -425,7 +422,7 @@ impl CellConfidenceCache {
     /// only when the stored vector equals `cells` slot for slot.
     fn probe_shared(&self, h: u64, cells: &[u32]) -> Option<f64> {
         let shared = self.shared.as_ref()?;
-        let map = shared.lock().expect("cell-cache poisoned");
+        let map = lock_cache(shared);
         map.get(&h)?
             .iter()
             .find(|(stored, _)| stored[..] == cells[..])
@@ -443,7 +440,7 @@ impl CellConfidenceCache {
         if self.pending.is_empty() {
             return;
         }
-        let mut map = shared.lock().expect("cell-cache poisoned");
+        let mut map = lock_cache(shared);
         for (h, cells, conf) in self.pending.drain(..) {
             let bucket = map.entry(h).or_default();
             if !bucket.iter().any(|(stored, _)| stored[..] == cells[..]) {
@@ -631,6 +628,7 @@ impl<'a> CandidatesGenerator<'a> {
     /// The search body behind [`TimelineSearch::run`]: identical
     /// semantics to the historical per-call search, with all reusable
     /// state borrowed from `engine`.
+    #[allow(clippy::expect_used)] // search scores are finite by construction (clamped upstream)
     fn search(
         &self,
         engine: &mut TimelineSearch,
@@ -1081,6 +1079,7 @@ impl<'a> CandidatesGenerator<'a> {
     /// Diverse top-k via maximal marginal relevance: greedily pick the
     /// candidate maximizing `objective + λ · (distance to picked set)`,
     /// with distances measured in scale-normalized feature space.
+    #[allow(clippy::expect_used)] // loop runs while `remaining` is non-empty, so a best exists
     fn select_diverse(
         &self,
         pool: Vec<State>,

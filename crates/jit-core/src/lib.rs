@@ -28,6 +28,8 @@
 //!   [`pipeline::UserSession::snapshot`] /
 //!   [`pipeline::SessionSnapshot`]).
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod candidates;
 pub mod insights;

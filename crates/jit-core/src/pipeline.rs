@@ -474,6 +474,7 @@ impl JustInTime {
     ///   *Personal Preferences* screen (conjoined with domain constraints);
     /// * `update_fn` — `None` uses the schema-derived temporal update
     ///   function.
+    #[allow(clippy::expect_used)] // serve_batch on a one-element slice returns exactly one session
     pub fn session(
         &self,
         profile: &[f64],
@@ -632,6 +633,7 @@ impl JustInTime {
     ///
     /// # Errors
     /// The per-user [`SessionError`], as from [`JustInTime::session`].
+    #[allow(clippy::expect_used)] // reserve_batch on a one-element slice returns exactly one session
     pub fn reserve(
         &self,
         returning: &ReturningUser,
@@ -985,6 +987,7 @@ impl<'a> SessionBuilder<'a> {
     ///
     /// # Errors
     /// The per-user [`SessionError`], as from [`JustInTime::session`].
+    #[allow(clippy::expect_used)] // serve_batch on a one-element slice returns exactly one session
     pub fn open(self) -> Result<UserSession<'a>, SessionError> {
         match self.system.serve_batch(std::slice::from_ref(&self.request)) {
             Ok(mut sessions) => Ok(sessions.pop().expect("one request, one session")),

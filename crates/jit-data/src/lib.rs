@@ -21,6 +21,8 @@
 //!
 //! Everything is seeded and parameterized, so experiments are reproducible.
 
+#![forbid(unsafe_code)]
+
 pub mod csv;
 pub mod lendingclub;
 pub mod scenario;

@@ -316,6 +316,7 @@ impl Database {
                     }
                     evaluated.push(vals);
                 }
+                // jit-analyze: allow(lock-discipline) — sequential arms of one match, never held together: each arm takes the same table lock once
                 let mut tables = self.tables.write();
                 let t = tables
                     .get_mut(&table.to_ascii_lowercase())
@@ -332,6 +333,7 @@ impl Database {
                 // Evaluate the predicate per row via a single-table SELECT
                 // of row positions, then retain the complement.
                 let keep: Vec<bool> = {
+                    // jit-analyze: allow(lock-discipline) — read guard lives only inside this block and is dropped before the write below
                     let tables = self.tables.read();
                     let t = tables
                         .get(&table.to_ascii_lowercase())
@@ -362,6 +364,7 @@ impl Database {
                         }
                     }
                 };
+                // jit-analyze: allow(lock-discipline) — reacquired after the read guard above was dropped with `keep`; never nested
                 let mut tables = self.tables.write();
                 let t = tables
                     .get_mut(&table.to_ascii_lowercase())

@@ -16,6 +16,11 @@
 //! buffer *before* any allocation, so a corrupt 4 GiB length claim
 //! costs nothing.
 
+// Decode/serve path: panics are denied outright here (tests and the
+// few fn-level reasoned allows excepted) — hostile bytes and worker
+// failures must surface as typed errors.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::error::DbError;
 use crate::value::{ColumnType, Value};
 
@@ -168,13 +173,15 @@ impl<'a> Decoder<'a> {
     /// Decodes a little-endian `u32`.
     pub fn u32(&mut self, expected: &'static str) -> Result<u32, DbError> {
         let b = self.take(4, expected)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        let a: [u8; 4] = b.try_into().map_err(|_| self.err(expected))?;
+        Ok(u32::from_le_bytes(a))
     }
 
     /// Decodes a little-endian `u64`.
     pub fn u64(&mut self, expected: &'static str) -> Result<u64, DbError> {
         let b = self.take(8, expected)?;
-        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        let a: [u8; 8] = b.try_into().map_err(|_| self.err(expected))?;
+        Ok(u64::from_le_bytes(a))
     }
 
     /// Decodes a length-prefixed UTF-8 string. The length is validated
@@ -198,9 +205,8 @@ impl<'a> Decoder<'a> {
             TAG_NULL => Ok(Value::Null),
             TAG_INT => {
                 let b = self.take(8, "int payload")?;
-                Ok(Value::Int(i64::from_le_bytes([
-                    b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-                ])))
+                let a: [u8; 8] = b.try_into().map_err(|_| self.err("int payload"))?;
+                Ok(Value::Int(i64::from_le_bytes(a)))
             }
             TAG_FLOAT => {
                 let bits = self.u64("float payload")?;

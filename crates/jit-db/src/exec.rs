@@ -167,6 +167,7 @@ impl<'a> Executor<'a> {
     }
 
     /// Executes a `SELECT` inside the given correlation environment.
+    #[allow(clippy::expect_used)] // `order` holds exactly the keys of `map`
     pub fn select_with_env(
         &self,
         q: &Select,
@@ -402,6 +403,7 @@ impl<'a> Executor<'a> {
         Ok(keys)
     }
 
+    #[allow(clippy::expect_used)] // the executor pushes its own frame before evaluating
     fn project_row(
         &self,
         projections: &[Projection],
@@ -707,6 +709,7 @@ impl<'a> Executor<'a> {
     }
 
     /// Runs a subquery expected to produce exactly one column.
+    #[allow(clippy::expect_used)] // the projection was validated to one column above
     fn subquery_column(
         &self,
         subquery: &Select,

@@ -54,6 +54,8 @@
 //! module docs for the failure-handling fine print (rollback on failed
 //! append/sync, poisoning, and the fault-injection harness).
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod catalog;
 pub mod codec;

@@ -32,6 +32,11 @@
 //! typed) until a successful [`DurableDatabase::checkpoint`] rewrites
 //! the file whole.
 
+// Decode/serve path: panics are denied outright here (tests and the
+// few fn-level reasoned allows excepted) — hostile bytes and worker
+// failures must surface as typed errors.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::ast::{BinOp, Expr, Statement};
 use crate::catalog::{eval_insert_literal, Database};
 use crate::codec::{self, Decoder};
@@ -267,8 +272,9 @@ impl FaultFile {
 
     /// Disarms all faults.
     pub fn clear_faults(&self) {
-        let calls = self.state.lock().sync_calls;
-        *self.state.lock() = FaultState { sync_calls: calls, ..FaultState::default() };
+        let mut state = self.state.lock();
+        let calls = state.sync_calls;
+        *state = FaultState { sync_calls: calls, ..FaultState::default() };
     }
 }
 
@@ -911,7 +917,12 @@ impl DurableDatabase {
     /// Lowers a non-SELECT statement to typed WAL ops.
     fn lower(&self, stmt: &Prepared, params: &[Value]) -> Result<Vec<WalOp>, DbError> {
         match stmt.statement() {
-            Statement::Select(_) => unreachable!("handled by the caller"),
+            // A SELECT reaching the write-path lowering is a caller
+            // bug, but recovery code never panics over it — it surfaces
+            // as a typed evaluation error instead.
+            Statement::Select(_) => {
+                Err(DbError::Eval("SELECT cannot be lowered to WAL ops".to_string()))
+            }
             Statement::CreateTable { name, columns } => Ok(vec![WalOp::CreateTable {
                 name: name.clone(),
                 columns: columns.clone(),
@@ -999,14 +1010,11 @@ impl DurableDatabase {
 /// the bytes from `pos` on are not a valid record (torn or corrupt).
 fn take_record(bytes: &[u8], pos: usize) -> Option<(&[u8], usize)> {
     let header = bytes.get(pos..pos + 12)?;
-    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let len = u32::from_le_bytes(header.get(..4)?.try_into().ok()?);
     if len > MAX_RECORD {
         return None;
     }
-    let checksum = u64::from_le_bytes([
-        header[4], header[5], header[6], header[7], header[8], header[9], header[10],
-        header[11],
-    ]);
+    let checksum = u64::from_le_bytes(header.get(4..12)?.try_into().ok()?);
     let start = pos + 12;
     let payload = bytes.get(start..start + len as usize)?;
     if codec::checksum64(payload) != checksum {

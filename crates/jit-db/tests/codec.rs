@@ -3,6 +3,9 @@
 //! truncated and corrupted buffers. Mirrors the wire-codec suite in
 //! `jit-service/tests/wire.rs`, at the storage layer.
 
+// Test code: assertion-style unwraps are the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use jit_db::codec::{self, checksum64, Decoder};
 use jit_db::Value;
 use proptest::prelude::*;

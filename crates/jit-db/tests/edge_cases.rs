@@ -1,6 +1,9 @@
 //! Edge-case and failure-injection tests for the SQL engine, beyond the
 //! happy paths of `sql_queries.rs`.
 
+// Test code: assertion-style unwraps are the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use jit_db::{Database, DbError, Value};
 
 fn db_with(values: &[(i64, Option<f64>, &str)]) -> Database {

@@ -2,6 +2,9 @@
 //! execution: same rows, same order, same errors — whether or not the
 //! direct-scan [`SimplePlan`] kicks in.
 
+// Test code: assertion-style unwraps are the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use jit_db::{Database, DbError, Value};
 
 fn store_like_db() -> Database {

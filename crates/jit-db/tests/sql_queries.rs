@@ -2,6 +2,9 @@
 //! a `candidates` table and a `temporal_inputs` table, exercising every
 //! query shape from the paper's Figure 2.
 
+// Test code: assertion-style unwraps are the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use jit_db::{Database, Value};
 
 /// Builds the schema of the paper's two tables with a small hand-authored

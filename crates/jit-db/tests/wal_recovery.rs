@@ -5,6 +5,9 @@
 //! recovery lands on a *committed prefix* of the history, never a
 //! partial batch, never a panic.
 
+// Test code: assertion-style unwraps are the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use jit_db::{
     DbError, DbFile, DurableDatabase, FaultFile, MemFile, Value, WalConfig, WalOp,
 };

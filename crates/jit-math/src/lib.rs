@@ -23,6 +23,8 @@
 //! * [`digest`] — 128-bit content digests for trained artifacts, the
 //!   change-detection primitive behind incremental re-serving.
 
+#![forbid(unsafe_code)]
+
 pub mod digest;
 pub mod distance;
 pub mod kernel;

@@ -103,6 +103,7 @@ impl Rng {
     ///
     /// # Panics
     /// Panics when weights are empty or all zero/negative.
+    #[allow(clippy::expect_used)] // documented invariant: callers pass at least one positive weight
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
         assert!(total > 0.0, "weighted_index needs positive total weight");

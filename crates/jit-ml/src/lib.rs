@@ -23,6 +23,12 @@
 //! * [`model::Model`] — the trait tying it together, including
 //!   [`model::ModelHints`] consumed by the counterfactual search.
 
+// Debt, tracked: training-time code leans on `partial_cmp(..).expect("no NaN")`
+// invariants throughout. The serve path (jit-service, jit-db) holds the
+// panic-freedom bar; sweeping training is future work.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![forbid(unsafe_code)]
+
 pub mod boosting;
 pub mod dataset;
 pub mod forest;

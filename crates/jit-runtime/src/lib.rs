@@ -54,6 +54,8 @@
 //! the per-time-point candidates generators) all follow it, and
 //! `tests/determinism.rs` locks the property down.
 
+#![forbid(unsafe_code)]
+
 use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -145,6 +147,7 @@ impl Runtime {
     /// cheaper (memoized results it would recompute identically), never
     /// different, because which tasks share a state depends on
     /// scheduling.
+    #[allow(clippy::expect_used)] // pool protocol: every spawned index writes its slot before the channel closes
     pub fn parallel_map_with<S, R, I, F>(&self, n: usize, init: I, f: F) -> Vec<R>
     where
         R: Send,
@@ -227,6 +230,7 @@ impl Runtime {
 /// Semantics match `parallel_map` where they overlap: results are
 /// index-addressed, `n <= 1` runs inline, and a panicking task resurfaces
 /// on the caller after the remaining tasks finish.
+#[allow(clippy::expect_used)] // pool protocol: every blocking task writes its slot before join
 pub fn blocking_map<R, F>(n: usize, f: F) -> Vec<R>
 where
     R: Send,

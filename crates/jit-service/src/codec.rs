@@ -25,6 +25,11 @@
 //! f64        := 16 hex digits (IEEE-754 bits)
 //! ```
 
+// Decode/serve path: panics are denied outright here (tests and the
+// few fn-level reasoned allows excepted) — hostile bytes and worker
+// failures must surface as typed errors.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use jit_constraints::{CmpOp, Constraint, LinExpr, Special, VarRef};
 use jit_data::{FeatureSchema, TemporalSpec};
 use jit_temporal::update::{Override, TemporalUpdateFn};
@@ -67,7 +72,10 @@ impl<'a> Cursor<'a> {
         Ok(b)
     }
 
-    fn expect(&mut self, b: u8, expected: &'static str) -> Result<(), CodecError> {
+    // Named `expect_byte` (not `expect`): this is a Result-returning
+    // parser step, and the no-panic-paths contract reserves `.expect(`
+    // for the panicking `Option`/`Result` method.
+    fn expect_byte(&mut self, b: u8, expected: &'static str) -> Result<(), CodecError> {
         if self.next(expected)? == b {
             Ok(())
         } else {
@@ -130,6 +138,13 @@ fn push_f64(out: &mut String, v: f64) {
     out.push_str(&format!("{:016x}", v.to_bits()));
 }
 
+/// Pushes a decimal count/length. Only f64 payloads must travel as
+/// bits; `usize` counts format exactly in decimal.
+fn push_usize(out: &mut String, n: usize) {
+    // jit-analyze: allow(no-lossy-float-fmt) — usize is integral; decimal text is exact
+    out.push_str(&n.to_string());
+}
+
 // ---------------------------------------------------------------------
 // Constraints
 // ---------------------------------------------------------------------
@@ -137,14 +152,14 @@ fn push_f64(out: &mut String, v: f64) {
 fn encode_lin(out: &mut String, e: &LinExpr) {
     let terms: Vec<(&VarRef, f64)> = e.terms().collect();
     out.push('L');
-    out.push_str(&terms.len().to_string());
+    push_usize(out, terms.len());
     out.push(':');
     push_f64(out, e.constant_part());
     for (var, coef) in terms {
         match var {
             VarRef::Feature(name) => {
                 out.push('F');
-                out.push_str(&name.len().to_string());
+                push_usize(out, name.len());
                 out.push(':');
                 out.push_str(name);
             }
@@ -157,7 +172,7 @@ fn encode_lin(out: &mut String, e: &LinExpr) {
 }
 
 fn decode_lin(cur: &mut Cursor<'_>) -> Result<LinExpr, CodecError> {
-    cur.expect(b'L', "'L' (linear expression)")?;
+    cur.expect_byte(b'L', "'L' (linear expression)")?;
     let n = cur.count()?;
     let constant = cur.f64_bits()?;
     let mut terms = Vec::with_capacity(n);
@@ -165,7 +180,7 @@ fn decode_lin(cur: &mut Cursor<'_>) -> Result<LinExpr, CodecError> {
         let var = match cur.next("variable tag")? {
             b'F' => {
                 let len = cur.count()?;
-                VarRef::Feature(cur.str_of(len)?.to_string())
+                VarRef::Feature(cur.str_of(len)?.to_owned())
             }
             b'D' => VarRef::Special(Special::Diff),
             b'G' => VarRef::Special(Special::Gap),
@@ -202,7 +217,7 @@ fn encode_constraint_into(out: &mut String, c: &Constraint) {
         }
         Constraint::And(cs) => {
             out.push('A');
-            out.push_str(&cs.len().to_string());
+            push_usize(out, cs.len());
             out.push(':');
             for c in cs {
                 encode_constraint_into(out, c);
@@ -210,7 +225,7 @@ fn encode_constraint_into(out: &mut String, c: &Constraint) {
         }
         Constraint::Or(cs) => {
             out.push('O');
-            out.push_str(&cs.len().to_string());
+            push_usize(out, cs.len());
             out.push(':');
             for c in cs {
                 encode_constraint_into(out, c);
@@ -319,10 +334,10 @@ fn decode_spec(cur: &mut Cursor<'_>) -> Result<TemporalSpec, CodecError> {
 /// time) encodes as `"-"`.
 pub fn encode_update_fn(update: Option<&TemporalUpdateFn>) -> String {
     let Some(update) = update else {
-        return "-".to_string();
+        return String::from("-");
     };
     let mut out = String::from("U");
-    out.push_str(&update.specs().len().to_string());
+    push_usize(&mut out, update.specs().len());
     out.push(':');
     for (spec, over) in update.specs().iter().zip(update.overrides()) {
         encode_spec(&mut out, spec);
@@ -334,7 +349,7 @@ pub fn encode_update_fn(update: Option<&TemporalUpdateFn>) -> String {
             }
             Some(Override::Trajectory(traj)) => {
                 out.push('t');
-                out.push_str(&traj.len().to_string());
+                push_usize(&mut out, traj.len());
                 out.push(':');
                 for v in traj {
                     push_f64(&mut out, *v);
@@ -358,7 +373,7 @@ pub fn decode_update_fn(
         return Ok(None);
     }
     let mut cur = Cursor::new(text);
-    cur.expect(b'U', "'U' or '-'")?;
+    cur.expect_byte(b'U', "'U' or '-'")?;
     let dim = cur.count()?;
     let mut specs = Vec::with_capacity(dim);
     let mut overrides = Vec::with_capacity(dim);

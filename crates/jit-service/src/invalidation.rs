@@ -25,6 +25,11 @@
 //! carries a content digest making whole runs comparable across thread
 //! counts, shard counts and processes.
 
+// Decode/serve path: panics are denied outright here (tests and the
+// few fn-level reasoned allows excepted) — hostile bytes and worker
+// failures must surface as typed errors.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::api::{CohortMember, ServeError, ServeRequest};
 use crate::sharded::ShardedService;
 use crate::store::{MemorySnapshotStore, SnapshotStore};
@@ -301,6 +306,7 @@ pub fn insight_digests(session: &UserSession<'_>, horizon: usize) -> Vec<Digest>
 /// # Errors
 /// [`InvalidationError`] on any train or serve failure; the harness
 /// never partially succeeds silently.
+#[allow(clippy::expect_used)] // refreshed sessions always carry a reserve report
 pub fn run_invalidation(
     workload: &Workload,
     opts: &InvalidationOptions,
@@ -416,6 +422,7 @@ pub fn run_invalidation(
                 let report = served
                     .session
                     .reserve_report()
+                    // jit-analyze: allow(no-panic-paths) — serve(Refresh) recomputes every session, and recomputed sessions always carry a reserve report
                     .expect("refreshed sessions always carry a reserve report");
                 for (t, tp) in report.iter().enumerate() {
                     match tp {

@@ -155,6 +155,8 @@
 //! [`JustInTime::serve_batch`]: jit_core::JustInTime::serve_batch
 //! [`JustInTime::reserve_batch`]: jit_core::JustInTime::reserve_batch
 
+#![forbid(unsafe_code)]
+
 pub mod api;
 pub mod codec;
 pub mod db_store;

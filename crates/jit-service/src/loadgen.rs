@@ -20,6 +20,7 @@
 //! failures: under deliberate overload, shedding is the *correct*
 //! outcome.
 
+// jit-analyze: allow-file(no-wall-clock) — the load generator's whole job is measuring wall-clock latency and pacing an open loop; its clocks feed human reports, never digests or wire bytes
 use crate::api::{CohortMember, ServeError, ServeRequest};
 use crate::net::NetClient;
 use jit_core::UserRequest;

@@ -39,6 +39,11 @@
 //! joined. No sleeps anywhere — tests poll [`NetServer::stats`] with a
 //! deadline.
 
+// Decode/serve path: panics are denied outright here (tests and the
+// few fn-level reasoned allows excepted) — hostile bytes and worker
+// failures must surface as typed errors.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::api::{ServeError, ServeRequest};
 use crate::service::JitService;
 use crate::sharded::ShardedService;
@@ -471,6 +476,7 @@ impl NetClient {
                     if e.kind() == std::io::ErrorKind::ConnectionRefused
                         && attempt + 1 < attempts =>
                 {
+                    // jit-analyze: allow(no-wall-clock) — client connect backoff; pacing only, never feeds output
                     std::thread::sleep(backoff);
                     backoff = (backoff * 2).min(retry.max_backoff);
                     attempt += 1;

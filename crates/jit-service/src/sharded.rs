@@ -14,6 +14,11 @@
 //! call for an RPC leaves the routing, ordering and error semantics
 //! untouched.
 
+// Decode/serve path: panics are denied outright here (tests and the
+// few fn-level reasoned allows excepted) — hostile bytes and worker
+// failures must surface as typed errors.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::api::{ServeError, ServeReport, ServeRequest, ServeResponse, ServedUser};
 use crate::service::{check_user_ids, JitService};
 use crate::store::SnapshotStore;
@@ -54,6 +59,7 @@ fn user_key(user_id: &str) -> u64 {
 /// # Panics
 /// Panics when `n_shards == 0`.
 pub fn shard_index(user_id: &str, n_shards: usize) -> usize {
+    // jit-analyze: allow(no-panic-paths) — documented `# Panics` contract: a zero-shard topology is a construction bug, not input
     assert!(n_shards >= 1, "routing needs at least one shard");
     jump_consistent_hash(user_key(user_id), n_shards)
 }
@@ -101,6 +107,7 @@ impl ShardedService {
         dispatch_threads: usize,
         mut store_for: impl FnMut(usize) -> Arc<dyn SnapshotStore>,
     ) -> Self {
+        // jit-analyze: allow(no-panic-paths) — documented `# Panics` contract: misconfiguration at construction time, not serve-path input
         assert!(n_shards >= 1, "a sharded service needs at least one shard");
         let shards = (0..n_shards)
             .map(|s| {
@@ -129,6 +136,7 @@ impl ShardedService {
         dispatch_threads: usize,
         prior: &ShardedService,
     ) -> Self {
+        // jit-analyze: allow(no-panic-paths) — documented `# Panics` contract: `prior` already upheld the ≥1-shard invariant
         assert!(prior.shard_count() >= 1, "a sharded service needs at least one shard");
         let shards = prior
             .shards
@@ -160,6 +168,7 @@ impl ShardedService {
 
     /// The shared trained system.
     pub fn system(&self) -> &JustInTime {
+        // jit-analyze: allow(no-panic-paths) — construction asserts ≥1 shard, so index 0 always exists
         self.shards[0].system()
     }
 
@@ -175,6 +184,7 @@ impl ShardedService {
     /// The typed [`ServeError`]; with several failing shards, the error
     /// of the user earliest in request order wins (matching what an
     /// unsharded service would report).
+    #[allow(clippy::expect_used)] // see jit-analyze annotation at the call site
     pub fn serve(
         &self,
         request: ServeRequest,
@@ -225,6 +235,7 @@ impl ShardedService {
         let results: Vec<Result<ServeResponse<'_>, ServeError>> =
             self.dispatch.parallel_map(active.len(), |i| {
                 let (shard, sub) = &active[i];
+                // jit-analyze: allow(no-panic-paths) — parallel_map calls each index exactly once, so the slot is provably Some
                 let sub = sub.lock().take().expect("each sub-request runs once");
                 self.shards[*shard].serve(sub)
             });
@@ -260,6 +271,7 @@ impl ShardedService {
         }
         let users = slots
             .into_iter()
+            // jit-analyze: allow(no-panic-paths) — in-process shards are trusted: split() covers every position exactly once (unlike the supervisor, whose workers are separate processes and get a typed error instead)
             .map(|u| u.expect("every request position served exactly once"))
             .collect();
         Ok(ServeResponse { users, report })

@@ -1,5 +1,10 @@
 //! The snapshot-store seam: pluggable persistence for served sessions.
 
+// Decode/serve path: panics are denied outright here (tests and the
+// few fn-level reasoned allows excepted) — hostile bytes and worker
+// failures must surface as typed errors.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use jit_core::SessionSnapshot;
 use jit_math::digest::Digest;
 use parking_lot::RwLock;
@@ -93,6 +98,7 @@ pub fn retry_transient<T>(
     loop {
         match f() {
             Err(e) if e.is_transient() && attempt + 1 < ATTEMPTS => {
+                // jit-analyze: allow(no-wall-clock) — retry backoff pacing; the delay never feeds a digest or response
                 std::thread::sleep(std::time::Duration::from_millis(1 << attempt));
                 attempt += 1;
             }

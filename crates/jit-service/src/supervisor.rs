@@ -44,6 +44,11 @@
 //! deterministic and testable by polling [`ProcessShardBackend::health`]
 //! with a deadline.
 
+// Decode/serve path: panics are denied outright here (tests and the
+// few fn-level reasoned allows excepted) — hostile bytes and worker
+// failures must surface as typed errors.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::api::{ReturningMember, ServeError, ServeRequest};
 use crate::net::ServeBackend;
 use crate::service::check_user_ids;
@@ -245,6 +250,7 @@ impl ProcessShardBackend {
         config: ProcessShardConfig,
         mut store_for: impl FnMut(usize) -> Arc<dyn SnapshotStore>,
     ) -> Result<Self, ServeError> {
+        // jit-analyze: allow(no-panic-paths) — documented `# Panics` contract: misconfiguration at spawn time, not serve-path input
         assert!(config.n_shards >= 1, "a shard backend needs at least one shard");
         let schema = spec.schema();
         let stores = (0..config.n_shards).map(&mut store_for).collect();
@@ -366,6 +372,7 @@ impl ProcessShardBackend {
     /// [`ServeError::Shard`] attributed to the earliest affected user,
     /// and with several failing shards the error of the user earliest in
     /// request order wins.
+    #[allow(clippy::expect_used)] // see jit-analyze annotation at the call site
     pub fn serve(&self, request: ServeRequest) -> Result<WireResponse, ServeError> {
         check_user_ids(&request)?;
         let n = self.shards.len();
@@ -422,6 +429,7 @@ impl ProcessShardBackend {
                     .map(|ms| (!ms.is_empty()).then_some(ServeRequest::Returning(ms)))
                     .collect()
             }
+            // jit-analyze: allow(no-panic-paths) — Refresh returns earlier in this fn; this arm is unreachable by construction
             ServeRequest::Refresh(_) => unreachable!("refresh resolved above"),
         };
 
@@ -435,6 +443,7 @@ impl ProcessShardBackend {
         let results: Vec<Result<WireResponse, ServeError>> =
             jit_runtime::blocking_map(active.len(), |i| {
                 let (shard, sub) = &active[i];
+                // jit-analyze: allow(no-panic-paths) — blocking_map calls each index exactly once, so the slot is provably Some
                 let sub = sub.lock().take().expect("each sub-request runs once");
                 let first_user = all_ids[positions[*shard][0]].clone();
                 self.call_shard(*shard, sub, first_user)
@@ -473,10 +482,20 @@ impl ProcessShardBackend {
                 slots[*position] = Some(user);
             }
         }
-        let users: Vec<wire::WireServedUser> = slots
-            .into_iter()
-            .map(|u| u.expect("every request position served exactly once"))
-            .collect();
+        // A shard worker is another process: a reply carrying fewer
+        // users than it was sent is a protocol violation to report, not
+        // an invariant to assert.
+        let mut users: Vec<wire::WireServedUser> = Vec::with_capacity(total);
+        for (position, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(user) => users.push(user),
+                None => {
+                    return Err(ServeError::Transport(format!(
+                        "shard worker dropped request position {position}"
+                    )))
+                }
+            }
+        }
 
         // Persist snapshots into the supervisor's stores in request
         // order — the same order (and the same mid-batch attribution)
@@ -508,16 +527,23 @@ impl ProcessShardBackend {
             user_id: first_user.clone(),
             detail,
         })?;
-        let live = slot.live.as_mut().expect("ensure_live attached a worker");
+        let Some(live) = slot.live.as_mut() else {
+            return Err(ServeError::Shard {
+                shard,
+                user_id: first_user,
+                detail: "ensure_live returned without a worker".to_string(),
+            });
+        };
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         match self.rpc(live, id, &sub) {
             Ok(reply) => reply,
             Err(detail) => {
                 // The worker is gone or desynchronized: kill, reap,
                 // detach. The next request respawns it.
-                let mut live = slot.live.take().expect("worker was attached");
-                let _ = live.child.kill();
-                let _ = live.child.wait();
+                if let Some(mut live) = slot.live.take() {
+                    let _ = live.child.kill();
+                    let _ = live.child.wait();
+                }
                 Err(ServeError::Shard { shard, user_id: first_user, detail })
             }
         }
@@ -559,8 +585,17 @@ impl ProcessShardBackend {
             .stderr(Stdio::inherit())
             .spawn()
             .map_err(|e| format!("spawn {:?} failed: {e}", self.config.shardd))?;
-        let mut stdin = child.stdin.take().expect("piped stdin");
-        let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        let Some(mut stdin) = child.stdin.take() else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err("worker stdin was not piped".to_string());
+        };
+        let Some(stdout) = child.stdout.take() else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err("worker stdout was not piped".to_string());
+        };
+        let mut stdout = BufReader::new(stdout);
         let handshake = (|| -> Result<(), String> {
             let hello = wire::encode_message(&Message::Hello(self.spec.clone()));
             wire::write_frame(&mut stdin, &hello, self.config.max_frame_len)

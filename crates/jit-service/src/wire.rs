@@ -51,6 +51,11 @@
 //! engine internal is not load-bearing, the message is. Encoding a
 //! decoded error re-produces identical bytes.
 
+// Decode/serve path: panics are denied outright here (tests and the
+// few fn-level reasoned allows excepted) — hostile bytes and worker
+// failures must surface as typed errors.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::api::{
     CohortMember, ReturningMember, ServeError, ServeRequest, ServeResponse,
 };
@@ -133,6 +138,7 @@ impl From<WireError> for ServeError {
     /// Transport-level failures surface to callers as the typed
     /// [`ServeError::Transport`] variant.
     fn from(e: WireError) -> Self {
+        // jit-analyze: allow(no-lossy-float-fmt) — error text for humans; no float payload crosses here
         ServeError::Transport(e.to_string())
     }
 }
@@ -295,13 +301,13 @@ impl<'a> Reader<'a> {
 
     fn u32(&mut self, expected: &'static str) -> Result<u32, WireError> {
         let b = self.take(4, expected)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        let a: [u8; 4] = b.try_into().map_err(|_| self.err(expected))?;
+        Ok(u32::from_le_bytes(a))
     }
 
     fn u64(&mut self, expected: &'static str) -> Result<u64, WireError> {
         let b = self.take(8, expected)?;
-        let mut a = [0u8; 8];
-        a.copy_from_slice(b);
+        let a: [u8; 8] = b.try_into().map_err(|_| self.err(expected))?;
         Ok(u64::from_le_bytes(a))
     }
 
@@ -756,6 +762,7 @@ pub fn encode_error(w: &mut Writer, error: &ServeError) {
                 }
                 SessionError::Db(e) => {
                     w.u8(2);
+                    // jit-analyze: allow(no-lossy-float-fmt) — documented lossy error mapping: DbError crosses the wire as display text
                     w.str(&e.to_string());
                 }
             }
@@ -772,6 +779,7 @@ pub fn encode_error(w: &mut Writer, error: &ServeError) {
             match error {
                 StoreError::Db(e) => {
                     w.u8(0);
+                    // jit-analyze: allow(no-lossy-float-fmt) — documented lossy error mapping: DbError crosses the wire as display text
                     w.str(&e.to_string());
                 }
                 StoreError::SchemaMismatch { expected, found } => {

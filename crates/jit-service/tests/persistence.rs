@@ -10,6 +10,9 @@
 //! equality and shows up here as a spurious recompute or a diverging
 //! candidate bit pattern.
 
+// Test code: assertion-style unwraps are the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use jit_core::{
     AdminConfig, BatchParallelism, JustInTime, ReturningUser, TimePointServe,
     UserRequest, UserSession,

@@ -3,6 +3,9 @@
 //! panicking), snapshot persistence through both store backends, and
 //! the sharded dispatcher's routing invariants.
 
+// Test code: assertion-style unwraps are the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use jit_core::{JustInTime, UserRequest};
 use jit_data::{FeatureSchema, LendingClubGenerator, LendingClubParams};
 use jit_ml::{Dataset, RandomForestParams};

@@ -3,6 +3,9 @@
 //! typed (never panicking) rejection of malformed, truncated and
 //! corrupted frames.
 
+// Test code: assertion-style unwraps are the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use jit_core::UserRequest;
 use jit_data::FeatureSchema;
 use jit_service::wire::{self, Message, WireError};

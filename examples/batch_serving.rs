@@ -9,6 +9,9 @@
 //!
 //! Run with: `cargo run --release --example batch_serving`
 
+// Example code: unwraps keep the walkthrough focused; a panic is a fine demo failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use justintime::prelude::*;
 
 fn main() {

@@ -3,6 +3,9 @@
 //!
 //! Run with: `cargo run --release --example canned_queries`
 
+// Example code: unwraps keep the walkthrough focused; a panic is a fine demo failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use justintime::prelude::*;
 
 fn main() {

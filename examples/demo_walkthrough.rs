@@ -4,6 +4,9 @@
 //!
 //! Run with: `cargo run --release --example demo_walkthrough`
 
+// Example code: unwraps keep the walkthrough focused; a panic is a fine demo failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use justintime::prelude::*;
 
 /// The audience-suggested preferences for each reenacted applicant, as

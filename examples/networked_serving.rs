@@ -13,6 +13,9 @@
 //! over the in-process sharded dispatcher instead of OS processes (the
 //! serving bytes are identical by contract — that is the whole point).
 
+// Example code: unwraps keep the walkthrough focused; a panic is a fine demo failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use justintime::jit_service::{loadgen, wire};
 use justintime::prelude::*;
 use std::sync::Arc;

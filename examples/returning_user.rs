@@ -15,6 +15,9 @@
 //!
 //! Run with: `cargo run --release --example returning_user`
 
+// Example code: unwraps keep the walkthrough focused; a panic is a fine demo failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use justintime::prelude::*;
 
 fn report_line(label: &str, session: &UserSession<'_>) {

@@ -21,6 +21,9 @@
 //!
 //! Run with: `cargo run --release --example service_front_end`
 
+// Example code: unwraps keep the walkthrough focused; a panic is a fine demo failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use justintime::prelude::*;
 use std::sync::Arc;
 

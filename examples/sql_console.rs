@@ -11,6 +11,9 @@
 //!   cargo run --release --example sql_console -- "SELECT Min(diff) FROM candidates"
 //!   echo "SELECT COUNT(*) FROM candidates" | cargo run --release --example sql_console -- -
 
+// Example code: unwraps keep the walkthrough focused; a panic is a fine demo failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use justintime::prelude::*;
 use std::io::BufRead;
 

@@ -11,6 +11,9 @@
 //! `with_*` overrides (or run `jit-scenariorun --smoke`) for the
 //! population-scale version.
 
+// Example code: unwraps keep the walkthrough focused; a panic is a fine demo failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use jit_core::{AdminConfig, CandidateParams};
 use jit_data::scenario::{ScenarioRegistry, ScenarioSpec, Workload};
 use jit_data::SyntheticGenerator;

@@ -23,6 +23,9 @@
 //! from failures and do not affect the exit code: under deliberate
 //! overload, shedding is the correct server behavior.
 
+// CLI tool: top-level unwraps abort with a message, which is the intended UX.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use jit_service::loadgen::{self, LoadMode, LoadPlan};
 use jit_service::{
     locate_shardd, DataSpec, MemorySnapshotStore, NetServer, NetServerConfig,

@@ -27,6 +27,9 @@
 //!   (history slices + cohort, every bit), used by the determinism
 //!   suite to compare two independent processes.
 
+// CLI tool: top-level unwraps abort with a message, which is the intended UX.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use jit_core::{AdminConfig, CandidateParams};
 use jit_data::scenario::{ScenarioRegistry, Workload};
 use jit_math::digest::DigestWriter;

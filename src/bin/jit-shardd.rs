@@ -21,6 +21,9 @@
 //!            --shards 2 [--records 120 --years 4] [--workers 2]
 //! ```
 
+// CLI tool: top-level unwraps abort with a message, which is the intended UX.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use jit_service::wire::{self, Message};
 use jit_service::{
     DataSpec, JitService, MemorySnapshotStore, NetServer, NetServerConfig,

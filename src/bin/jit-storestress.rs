@@ -12,6 +12,9 @@
 //! `tests/crash_recovery.rs` — the test retrains it to build the
 //! bit-identity reference.
 
+// CLI tool: top-level unwraps abort with a message, which is the intended UX.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use justintime::jit_db::{DurableDatabase, WalConfig};
 use justintime::jit_service::loadgen::synthetic_profile;
 use justintime::prelude::*;

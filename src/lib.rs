@@ -83,6 +83,8 @@
 //! | [`jit_core`] | timeline-aware candidates search, canned queries, insights, pipeline, batch + incremental serving |
 //! | [`jit_service`] | the serving front end: typed request/response API, snapshot stores, sharded dispatcher |
 
+#![forbid(unsafe_code)]
+
 pub use jit_constraints;
 pub use jit_core;
 pub use jit_data;

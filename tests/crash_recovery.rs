@@ -19,6 +19,9 @@
 //!
 //! The train spec must stay in sync with `src/bin/jit-storestress.rs`.
 
+// Test code: assertion-style unwraps are the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use justintime::jit_db::{DurableDatabase, WalConfig};
 use justintime::jit_service::loadgen::synthetic_profile;
 use justintime::jit_service::wire;

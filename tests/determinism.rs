@@ -14,6 +14,9 @@
 //!    same rows, labels, weights, in the same order, with the same RNG
 //!    consumption.
 
+// Test code: assertion-style unwraps are the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use justintime::jit_constraints::ConstraintSet;
 use justintime::jit_math::rng::Rng;
 use justintime::jit_ml::{DecisionTree, DecisionTreeParams};

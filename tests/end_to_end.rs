@@ -1,6 +1,9 @@
 //! Cross-crate integration tests: the full JustInTime pipeline on the
 //! synthetic Lending-Club workload.
 
+// Test code: assertion-style unwraps are the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use justintime::prelude::*;
 
 fn small_system(horizon: usize, seed_bump: u64) -> (LendingClubGenerator, JustInTime) {

@@ -1,6 +1,9 @@
 //! Failure-injection tests: the pipeline must degrade gracefully, never
 //! panic, on degenerate inputs.
 
+// Test code: assertion-style unwraps are the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use justintime::prelude::*;
 
 fn tiny_slices(n_slices: usize, per: usize) -> (FeatureSchema, Vec<Dataset>) {

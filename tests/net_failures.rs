@@ -17,6 +17,9 @@
 //! ([`NetServer::stats`], [`ProcessShardBackend::health`]) with a
 //! deadline.
 
+// Test code: assertion-style unwraps are the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use justintime::jit_service::wire::{self, Message};
 use justintime::prelude::*;
 use std::io::Write as _;

@@ -5,6 +5,9 @@
 //! silent breakage: a symbol dropped from the prelude, or an API drift in
 //! any re-exported type, fails this suite at compile time or runtime.
 
+// Test code: assertion-style unwraps are the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use justintime::prelude::*;
 
 #[test]

@@ -1,5 +1,8 @@
 //! Property-based tests (proptest) over the workspace's core invariants.
 
+// Test code: assertion-style unwraps are the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use justintime::jit_constraints::{parse_constraint, EvalContext};
 use justintime::jit_db::{Database, Value};
 use justintime::jit_math::distance::{l0_gap, l1, l2_diff, linf};

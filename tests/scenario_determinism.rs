@@ -8,6 +8,9 @@
 //! `jit-scenariorun` binary for cross-process comparison and the
 //! serving tier for whole-run comparison.)
 
+// Test code: assertion-style unwraps are the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use jit_core::{AdminConfig, CandidateParams};
 use jit_data::scenario::{ScenarioRegistry, ScenarioSpec, Workload};
 use jit_ml::RandomForestParams;
